@@ -1,0 +1,55 @@
+// Ablation: speculation vs a single global lock (Config::serialize_all).
+//
+// The classic TM question — what does optimistic concurrency buy over
+// coarse locking? — applied to the Figure 3 workload. On a multicore host
+// the speculative substrate scales with threads while the serial mode
+// flat-lines; on a single-core host (where nothing truly runs in parallel)
+// the lock's lower per-operation cost can win — reported honestly either
+// way, with the lock-acquisition counts shown.
+#include "bench_common.hpp"
+#include "htm/config.hpp"
+#include "sim/drivers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const auto opts = sim::Options::parse(argc, argv);
+  if (!opts.csv) {
+    std::printf(
+        "== Ablation: speculative HTM vs global-lock serialization ==\n"
+        "(Figure 3 workload, ArrayDynAppendDereg step 32)\n");
+    bench::print_host_caveat();
+  }
+  util::Table table({"threads", "speculative_ops_us", "serialized_ops_us",
+                     "spec_abort_pct"});
+  const sim::MixedMix mix{};
+  for (const uint32_t threads : sim::thread_sweep(opts)) {
+    double thru[2];
+    double abort_pct = 0;
+    int col = 0;
+    for (const bool serial : {false, true}) {
+      htm::config().serialize_all = serial;
+      htm::reset_stats();
+      util::RunningStats stats;
+      for (int r = 0; r < opts.repeats; ++r) {
+        auto obj = collect::make_algorithm("ArrayDynAppendDereg",
+                                           bench::params_for(64, threads));
+        obj->set_step_size(32);
+        stats.add(
+            sim::run_mixed(*obj, threads, 64, 32, mix, opts.duration_ms));
+      }
+      thru[col] = stats.mean();
+      if (!serial) abort_pct = 100.0 * htm::aggregate_stats().abort_rate();
+      ++col;
+    }
+    table.add_row({util::Table::fmt(uint64_t{threads}),
+                   util::Table::fmt(thru[0]), util::Table::fmt(thru[1]),
+                   util::Table::fmt(abort_pct, 1)});
+  }
+  htm::config().serialize_all = false;
+  if (opts.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+  }
+  return 0;
+}

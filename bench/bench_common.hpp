@@ -1,0 +1,65 @@
+// Helpers shared by the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collect/registry.hpp"
+#include "htm/stats.hpp"
+#include "sim/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dc::bench {
+
+// Construction parameters sized for a workload with `total_slots` handles
+// spread over `worker_threads` registering threads (the static baseline's
+// per-thread regions must fit the largest per-thread share).
+inline collect::MakeParams params_for(uint32_t total_slots,
+                                      uint32_t worker_threads) {
+  collect::MakeParams p;
+  const uint32_t per = (total_slots + worker_threads - 1) / worker_threads;
+  p.static_capacity = static_cast<int32_t>(per * worker_threads);
+  p.max_threads = worker_threads;
+  p.min_size = 16;
+  return p;
+}
+
+inline const collect::AlgoInfo& algo(const std::string& name) {
+  for (const auto& info : collect::all_algorithms()) {
+    if (info.name == name) return info;
+  }
+  std::fprintf(stderr, "unknown algorithm %s\n", name.c_str());
+  std::abort();
+}
+
+// Prints the HTM substrate's commit/abort counters accumulated since the
+// last reset — the diagnostics behind the figures' abort-rate narratives.
+inline void print_htm_diagnostics() {
+  const htm::TxnStats s = htm::aggregate_stats();
+  std::printf(
+      "\n[htm] commits=%llu aborts=%llu (conflict=%llu overflow=%llu "
+      "explicit=%llu) abort-rate=%.1f%% tle-fallbacks=%llu\n",
+      static_cast<unsigned long long>(s.commits),
+      static_cast<unsigned long long>(s.aborts),
+      static_cast<unsigned long long>(
+          s.aborts_by_code[static_cast<int>(htm::AbortCode::kConflict)]),
+      static_cast<unsigned long long>(
+          s.aborts_by_code[static_cast<int>(htm::AbortCode::kOverflow)]),
+      static_cast<unsigned long long>(
+          s.aborts_by_code[static_cast<int>(htm::AbortCode::kExplicit)]),
+      100.0 * s.abort_rate(),
+      static_cast<unsigned long long>(s.lock_fallbacks));
+}
+
+inline void print_host_caveat() {
+  std::printf(
+      "# NOTE: software-simulated HTM (TL2-style, 32-entry store buffer,\n"
+      "# sandboxing via orec bump on free). The paper ran on a 16-core Rock\n"
+      "# CPU; absolute numbers and scalability slopes are not comparable —\n"
+      "# compare the relative ordering of the series (see EXPERIMENTS.md).\n");
+}
+
+}  // namespace dc::bench

@@ -1,0 +1,66 @@
+// Figure 3 — Collect-dominated mixed workload, throughput vs threads.
+//
+// Distribution: Collect 90%, Update 8%, Register 1%, DeRegister 1%; a total
+// budget of 64 handles spread evenly over the threads, 32 registered before
+// measurement. All eight algorithms run here (the paper drops HOHRC and the
+// Dynamic baseline from later figures after this one shows them far
+// behind). Telescoped algorithms use step 32, as in the paper's legend.
+#include "bench_common.hpp"
+#include "htm/config.hpp"
+#include "sim/drivers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const auto opts = sim::Options::parse(argc, argv);
+  if (!opts.csv) {
+    std::printf(
+        "== Figure 3: collect-dominated workload [ops/us] vs threads ==\n"
+        "(mix: 90%% Collect / 8%% Update / 1%% Register / 1%% DeRegister; 64 "
+        "slot budget, 32 preregistered)\n");
+    bench::print_host_caveat();
+  }
+  htm::reset_stats();
+  // Restore multicore-style transaction/writer overlap on oversubscribed
+  // hosts (see Config::txn_yield_every_loads).
+  htm::config().txn_yield_every_loads = 16;
+
+  const std::vector<std::string> series = {
+      "ArrayStatSearchNo", "ArrayDynAppendDereg", "ArrayStatAppendDereg",
+      "ListFastCollect",   "StaticBaseline",      "ArrayDynSearchResize",
+      "ListHoHRC",         "DynamicBaseline"};
+
+  std::vector<std::string> headers = {"threads"};
+  headers.insert(headers.end(), series.begin(), series.end());
+  util::Table table(headers);
+
+  const sim::MixedMix mix{};  // 90/8/1/1
+  for (const uint32_t threads : sim::thread_sweep(opts)) {
+    std::vector<std::string> row = {util::Table::fmt(uint64_t{threads})};
+    for (const std::string& name : series) {
+      util::RunningStats stats;
+      for (int r = 0; r < opts.repeats; ++r) {
+        auto obj =
+            collect::make_algorithm(name, bench::params_for(64, threads));
+        // Step 32 for the telescoped series, per the paper's legend; HOHRC
+        // runs untelescoped there (its per-node reference-count traffic is
+        // exactly what Figure 3 exposes).
+        if (name == "ListHoHRC") {
+          obj->set_step_size(1);
+        } else if (bench::algo(name).telescoped) {
+          obj->set_step_size(32);
+        }
+        stats.add(sim::run_mixed(*obj, threads, 64, 32, mix,
+                                 opts.duration_ms));
+      }
+      row.push_back(util::Table::fmt(stats.mean()));
+    }
+    table.add_row(row);
+  }
+  if (opts.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+    bench::print_htm_diagnostics();
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 4 — Collect throughput under concurrent paced Updates.
+//
+// One collector thread; 15 updaters each update one of their handles every
+// `update period` cycles (swept 1M -> 400); 64 handles registered before
+// measurement. Telescoped algorithms run in adaptive step mode ("(adapt)"
+// in the paper's legend). An `--no-extension` ablation knob disables the
+// substrate's timestamp extension to show its effect on long Collects.
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "htm/config.hpp"
+#include "sim/drivers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  bool no_extension = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-extension") == 0) {
+      no_extension = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const auto opts =
+      sim::Options::parse(static_cast<int>(args.size()), args.data());
+  htm::config().enable_extension = !no_extension;
+  // Restore multicore-style transaction/writer overlap (see Config).
+  htm::config().txn_yield_every_loads = 48;
+
+  const uint32_t updaters =
+      opts.max_threads > 1 ? opts.max_threads - 1 : 1;  // paper: 15
+  if (!opts.csv) {
+    std::printf(
+        "== Figure 4: collect throughput [collects/us] vs update period "
+        "==\n(1 collector + %u updaters, 64 handles%s)\n",
+        updaters, no_extension ? ", timestamp extension DISABLED" : "");
+    bench::print_host_caveat();
+  }
+  htm::reset_stats();
+
+  const std::vector<std::string> series = {
+      "ArrayDynAppendDereg", "ArrayStatAppendDereg", "ListFastCollect",
+      "ArrayDynSearchResize", "ArrayStatSearchNo",   "StaticBaseline"};
+  const std::vector<uint64_t> periods = {
+      1'000'000, 500'000, 200'000, 100'000, 50'000, 20'000, 10'000,
+      8'000,     6'000,   4'000,   2'000,   1'000,  800,    600,
+      400};
+
+  std::vector<std::string> headers = {"period_cycles"};
+  headers.insert(headers.end(), series.begin(), series.end());
+  util::Table table(headers);
+
+  for (const uint64_t period : periods) {
+    std::vector<std::string> row = {util::Table::fmt(period)};
+    for (const std::string& name : series) {
+      util::RunningStats stats;
+      for (int r = 0; r < opts.repeats; ++r) {
+        auto obj =
+            collect::make_algorithm(name, bench::params_for(64, updaters));
+        if (bench::algo(name).telescoped) obj->set_adaptive(true);
+        stats.add(sim::run_collect_update(*obj, updaters, 64, period,
+                                          opts.duration_ms)
+                      .collects_per_us);
+      }
+      row.push_back(util::Table::fmt(stats.mean()));
+    }
+    table.add_row(row);
+  }
+  if (opts.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+    bench::print_htm_diagnostics();
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 5 — the step-size tradeoff and the adaptive mechanism, for
+// ArrayDynAppendDereg under the Figure 4 workload.
+//
+// Series: fixed steps 8/16/32; "Best (adapt cost)" = the best fixed step at
+// each point while collecting (but not using) adaptation data; "Adaptive" =
+// the full §3.4 mechanism. In the paper, step 32 stops completing below a
+// 2000-cycle update period, and Adaptive tracks Best; the bookkeeping
+// overhead (20-30% on Rock, where it required reading failure registers)
+// is much smaller in this software substrate.
+#include "bench_common.hpp"
+#include "htm/config.hpp"
+#include "sim/drivers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const auto opts = sim::Options::parse(argc, argv);
+  const uint32_t updaters = opts.max_threads > 1 ? opts.max_threads - 1 : 1;
+  if (!opts.csv) {
+    std::printf(
+        "== Figure 5: adapting step size for ArrayDynAppendDereg "
+        "[collects/us] ==\n(1 collector + %u updaters, 64 handles)\n",
+        updaters);
+    bench::print_host_caveat();
+  }
+  htm::reset_stats();
+  // Restore multicore-style transaction/writer overlap on oversubscribed
+  // hosts (see Config::txn_yield_every_loads).
+  htm::config().txn_yield_every_loads = 16;
+
+  const std::vector<uint64_t> periods = {100'000, 50'000, 20'000, 10'000,
+                                         8'000,   6'000,  4'000,  2'000,
+                                         1'000,   800,    600,    400};
+  util::Table table({"period_cycles", "Step8", "Step16", "Step32",
+                     "Best(adapt-cost)", "Adaptive"});
+
+  auto run_one = [&](uint32_t step, bool record_only, bool adaptive,
+                     uint64_t period) {
+    util::RunningStats stats;
+    for (int r = 0; r < opts.repeats; ++r) {
+      auto obj = collect::make_algorithm("ArrayDynAppendDereg",
+                                         bench::params_for(64, updaters));
+      if (adaptive) {
+        obj->set_adaptive(true);
+      } else {
+        obj->set_step_size(step);
+        if (record_only) obj->set_record_only(true);
+      }
+      stats.add(sim::run_collect_update(*obj, updaters, 64, period,
+                                        opts.duration_ms)
+                    .collects_per_us);
+    }
+    return stats.mean();
+  };
+
+  for (const uint64_t period : periods) {
+    const double s8 = run_one(8, false, false, period);
+    const double s16 = run_one(16, false, false, period);
+    const double s32 = run_one(32, false, false, period);
+    // Best with adaptation-cost: best fixed step, re-run with outcome
+    // bookkeeping enabled.
+    uint32_t best_step = 8;
+    double best = s8;
+    if (s16 > best) best = s16, best_step = 16;
+    if (s32 > best) best = s32, best_step = 32;
+    const double best_cost = run_one(best_step, true, false, period);
+    const double adaptive = run_one(0, false, true, period);
+    table.add_row({util::Table::fmt(period), util::Table::fmt(s8),
+                   util::Table::fmt(s16), util::Table::fmt(s32),
+                   util::Table::fmt(best_cost), util::Table::fmt(adaptive)});
+  }
+  if (opts.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+    bench::print_htm_diagnostics();
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6 — fraction of slots collected at each step size by the adaptive
+// ArrayDynAppendDereg, under the Figure 4 workload.
+//
+// As the update period shrinks (more contention) the adaptive controller
+// spends more of its time at smaller steps; at long periods virtually all
+// slots are collected at step 32.
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "htm/config.hpp"
+#include "sim/drivers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const auto opts = sim::Options::parse(argc, argv);
+  const uint32_t updaters = opts.max_threads > 1 ? opts.max_threads - 1 : 1;
+  htm::config().txn_yield_every_loads = 16;  // multicore-style overlap
+  if (!opts.csv) {
+    std::printf(
+        "== Figure 6: %% of slots collected per step size (adaptive "
+        "ArrayDynAppendDereg) ==\n(1 collector + %u updaters, 64 handles; "
+        "steps <4 folded into the '<=4' column)\n",
+        updaters);
+    bench::print_host_caveat();
+  }
+  const std::vector<uint64_t> periods = {8'000, 6'000, 4'000, 2'000,
+                                         1'000, 800,   600,   400};
+  util::Table table(
+      {"period_cycles", "step<=4", "step8", "step16", "step32"});
+  for (const uint64_t period : periods) {
+    auto obj = collect::make_algorithm("ArrayDynAppendDereg",
+                                       bench::params_for(64, updaters));
+    obj->set_adaptive(true);
+    obj->reset_step_stats();
+    (void)sim::run_collect_update(*obj, updaters, 64, period,
+                                  opts.duration_ms * opts.repeats);
+    const auto slots = obj->slots_by_step();
+    const double total = static_cast<double>(
+        std::accumulate(slots.begin(), slots.end(), uint64_t{0}));
+    auto pct = [&](double x) {
+      return util::Table::fmt(total > 0 ? 100.0 * x / total : 0.0, 1);
+    };
+    table.add_row({util::Table::fmt(period),
+                   pct(static_cast<double>(slots[0] + slots[1] + slots[2])),
+                   pct(static_cast<double>(slots[3])),
+                   pct(static_cast<double>(slots[4])),
+                   pct(static_cast<double>(slots[5]))});
+  }
+  if (opts.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 7 — Collect throughput under Register/DeRegister churn.
+//
+// One collector + 15 churn threads; register period fixed at 20,000 cycles,
+// deregister period swept 1M -> 1k; at most 64 registered handles.
+// Telescoped algorithms use fixed step 32 (the paper's legend).
+#include "bench_common.hpp"
+#include "htm/config.hpp"
+#include "sim/drivers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const auto opts = sim::Options::parse(argc, argv);
+  const uint32_t churners = opts.max_threads > 1 ? opts.max_threads - 1 : 1;
+  if (!opts.csv) {
+    std::printf(
+        "== Figure 7: collect throughput [collects/us] vs deregister period "
+        "==\n(1 collector + %u register/deregister threads, <=64 handles, "
+        "register period 20k cycles)\n",
+        churners);
+    bench::print_host_caveat();
+  }
+  htm::reset_stats();
+  // Restore multicore-style transaction/writer overlap on oversubscribed
+  // hosts (see Config::txn_yield_every_loads).
+  htm::config().txn_yield_every_loads = 16;
+
+  const std::vector<std::string> series = {
+      "ArrayStatAppendDereg", "ArrayDynAppendDereg", "ListFastCollect",
+      "ArrayDynSearchResize", "ArrayStatSearchNo",   "StaticBaseline"};
+  const std::vector<uint64_t> periods = {1'000'000, 500'000, 200'000,
+                                         100'000,   50'000,  20'000,
+                                         10'000,    8'000,   6'000,
+                                         4'000,     2'000,   1'000};
+
+  std::vector<std::string> headers = {"dereg_period_cycles"};
+  headers.insert(headers.end(), series.begin(), series.end());
+  util::Table table(headers);
+
+  for (const uint64_t period : periods) {
+    std::vector<std::string> row = {util::Table::fmt(period)};
+    for (const std::string& name : series) {
+      util::RunningStats stats;
+      for (int r = 0; r < opts.repeats; ++r) {
+        auto obj =
+            collect::make_algorithm(name, bench::params_for(64, churners));
+        if (bench::algo(name).telescoped) obj->set_step_size(32);
+        stats.add(sim::run_collect_dereg(*obj, churners, 64, 20'000, period,
+                                         opts.duration_ms)
+                      .collects_per_us);
+      }
+      row.push_back(util::Table::fmt(stats.mean()));
+    }
+    table.add_row(row);
+  }
+  if (opts.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+    bench::print_htm_diagnostics();
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 8 — Collect throughput over time as the number of registered
+// handles alternates (16 <-> 64 every 500 ms, 3 s total).
+//
+// The signature shapes: StaticBaseline is flat (always scans the whole
+// array); ArrayStatSearchNo degrades at the first growth and NEVER recovers
+// (historical high-water mark); the Append algorithms and FastCollect track
+// the registered count both ways.
+#include "bench_common.hpp"
+#include "htm/config.hpp"
+#include "sim/drivers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const auto opts = sim::Options::parse(argc, argv);
+  const uint32_t updaters = opts.max_threads > 1 ? opts.max_threads - 1 : 1;
+  htm::config().txn_yield_every_loads = 16;  // multicore-style overlap
+  if (!opts.csv) {
+    std::printf(
+        "== Figure 8: collect throughput [collects/us] over time ==\n"
+        "(1 collector + %u updaters, update period 20k cycles; registered "
+        "handles alternate 16<->64 every 500 ms)\n",
+        updaters);
+    bench::print_host_caveat();
+  }
+  const std::vector<std::string> series = {
+      "ArrayStatAppendDereg", "ArrayDynAppendDereg", "ListFastCollect",
+      "ArrayStatSearchNo", "StaticBaseline"};
+  constexpr double kPhaseMs = 500.0;
+  constexpr double kTotalMs = 3000.0;
+  constexpr double kBucketMs = 100.0;
+
+  std::vector<std::vector<sim::TimePoint>> results;
+  for (const std::string& name : series) {
+    auto obj = collect::make_algorithm(name, bench::params_for(64, updaters));
+    if (bench::algo(name).telescoped) obj->set_step_size(32);
+    results.push_back(sim::run_varying_slots(*obj, updaters, 20'000, 16, 64,
+                                             kPhaseMs, kTotalMs, kBucketMs));
+  }
+
+  std::vector<std::string> headers = {"time_ms", "phase_slots"};
+  headers.insert(headers.end(), series.begin(), series.end());
+  util::Table table(headers);
+  std::size_t buckets = 0;
+  for (const auto& r : results) buckets = std::max(buckets, r.size());
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double t = results[0].size() > b ? results[0][b].t_ms
+                                           : static_cast<double>(b) * kBucketMs;
+    const int phase = static_cast<int>(t / kPhaseMs);
+    std::vector<std::string> row = {
+        util::Table::fmt(t, 0),
+        util::Table::fmt(uint64_t{phase % 2 == 0 ? 16u : 64u})};
+    for (const auto& r : results) {
+      row.push_back(b < r.size() ? util::Table::fmt(r[b].collects_per_us)
+                                 : std::string{});
+    }
+    table.add_row(row);
+  }
+  if (opts.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+  }
+  return 0;
+}

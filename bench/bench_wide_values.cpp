@@ -1,0 +1,73 @@
+// §5.1's prediction, measured: with multi-word values, algorithms that
+// enjoyed naked-store Updates must synchronize, "largely closing the gap"
+// to the transactional-indirection algorithms.
+//
+// Rows: Update latency for narrow (1-word) vs wide (4-word) values, for the
+// naked-store representative (ArrayStatSearchNo) and the transactional
+// representative (ArrayDynAppendDereg).
+#include <benchmark/benchmark.h>
+
+#include "collect/array_dyn_append_dereg.hpp"
+#include "collect/array_stat_search_no.hpp"
+#include "collect/wide.hpp"
+
+namespace {
+
+using namespace dc::collect;
+
+void bm_narrow_search_no(benchmark::State& state) {
+  ArrayStatSearchNo obj(64);
+  Handle h = obj.register_handle(1);
+  Value v = 2;
+  for (auto _ : state) obj.update(h, v++);
+  obj.deregister(h);
+}
+BENCHMARK(bm_narrow_search_no)->Name("Update/Narrow/ArrayStatSearchNo");
+
+void bm_wide_search_no(benchmark::State& state) {
+  WideArrayStatSearchNo obj(64);
+  WideHandle h = obj.register_handle(WideValue::make(1, 2, 3));
+  uint64_t s = 0;
+  for (auto _ : state) {
+    ++s;
+    obj.update(h, WideValue::make(s, s + 1, s + 2));
+  }
+  obj.deregister(h);
+}
+BENCHMARK(bm_wide_search_no)->Name("Update/Wide/ArrayStatSearchNo");
+
+void bm_narrow_append_dereg(benchmark::State& state) {
+  ArrayDynAppendDereg obj(16);
+  Handle h = obj.register_handle(1);
+  Value v = 2;
+  for (auto _ : state) obj.update(h, v++);
+  obj.deregister(h);
+}
+BENCHMARK(bm_narrow_append_dereg)->Name("Update/Narrow/ArrayDynAppendDereg");
+
+void bm_wide_append_dereg(benchmark::State& state) {
+  WideArrayDynAppendDereg obj(16);
+  WideHandle h = obj.register_handle(WideValue::make(1, 2, 3));
+  uint64_t s = 0;
+  for (auto _ : state) {
+    ++s;
+    obj.update(h, WideValue::make(s, s + 1, s + 2));
+  }
+  obj.deregister(h);
+}
+BENCHMARK(bm_wide_append_dereg)->Name("Update/Wide/ArrayDynAppendDereg");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::printf(
+      "== Wide values (§5.1): does the naked-store Update advantage survive "
+      "multi-word values? ==\n"
+      "(paper's prediction: no — synchronization is needed either way, so "
+      "the gap largely closes)\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

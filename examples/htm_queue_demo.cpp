@@ -1,0 +1,77 @@
+// The paper's §1.1 story, runnable: an HTM FIFO queue whose dequeue frees
+// entries immediately, next to a Michael-Scott queue whose thread-local
+// pools hold the historical maximum forever.
+//
+//   build/examples/htm_queue_demo
+//
+// Four producer/consumer threads churn both queues through a large burst,
+// then drain; the pool statistics show the difference in quiescent
+// footprint that motivates the whole paper.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "memory/pool.hpp"
+#include "queue/htm_queue.hpp"
+#include "queue/ms_queue.hpp"
+
+namespace {
+
+template <class Q>
+void churn(Q& q, int threads, int burst) {
+  std::vector<std::thread> team;
+  for (int t = 0; t < threads; ++t) {
+    team.emplace_back([&, t] {
+      dc::queue::Value v = 0;
+      // Grow phase: net enqueue pressure...
+      for (int i = 0; i < burst; ++i) {
+        q.enqueue(static_cast<dc::queue::Value>(t) << 32 | i);
+        if (i % 4 == 0) q.dequeue(&v);
+      }
+      // ...then drain everything this thread can see.
+      while (q.dequeue(&v)) {
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kThreads = 4;
+  constexpr int kBurst = 20'000;
+
+  dc::mem::pool_flush_thread_cache();
+  const auto base = dc::mem::pool_stats();
+
+  std::printf("churning HTM queue (%d threads, %d-op bursts)...\n", kThreads,
+              kBurst);
+  uint64_t htm_live = 0;
+  {
+    dc::queue::HtmQueue q;
+    churn(q, kThreads, kBurst);
+    htm_live = dc::mem::pool_stats().live_blocks - base.live_blocks;
+    std::printf("  quiescent live nodes (queue drained): %llu\n",
+                (unsigned long long)htm_live);
+  }
+
+  std::printf("churning Michael-Scott queue (thread-local pools)...\n");
+  {
+    dc::queue::MsQueue q;
+    churn(q, kThreads, kBurst);
+    std::printf("  quiescent pooled nodes (queue drained): %llu\n",
+                (unsigned long long)q.pooled_nodes());
+    std::printf(
+        "  -> the pools retain ~the historical maximum queue length;\n"
+        "     that memory can never be used for anything else (§1.1).\n");
+  }
+
+  std::printf(
+      "\nHTM queue held %llu nodes at quiescence: dequeue frees entries\n"
+      "immediately — safe because a concurrent transaction that still\n"
+      "holds a reference is guaranteed to abort (sandboxing).\n",
+      (unsigned long long)htm_live);
+  return 0;
+}

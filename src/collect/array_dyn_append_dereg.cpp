@@ -1,0 +1,252 @@
+#include "collect/array_dyn_append_dereg.hpp"
+
+#include "memory/pool.hpp"
+#include "util/backoff.hpp"
+
+namespace dc::collect {
+
+using htm::Txn;
+
+ArrayDynAppendDereg::ArrayDynAppendDereg(int32_t min_size)
+    : array_(mem::create_array<Slot>(static_cast<std::size_t>(
+          min_size < 1 ? 1 : min_size))),
+      capacity_(min_size < 1 ? 1 : min_size),
+      min_size_(min_size < 1 ? 1 : min_size) {}
+
+ArrayDynAppendDereg::~ArrayDynAppendDereg() {
+  help_copy();  // finish any in-flight resize so array_ is the only array
+  mem::destroy_array(array_, static_cast<std::size_t>(capacity_));
+}
+
+void ArrayDynAppendDereg::append_in_txn(Txn& txn, Slot* arr, int32_t index,
+                                        Slot** slot_ref, Value v) {
+  // Figure 2 lines 68-72.
+  Slot* slot = &arr[index];
+  txn.store(&slot->val, v);
+  txn.store(&slot->slot_ref, slot_ref);
+  txn.store(slot_ref, slot);
+  txn.store(&count_, index + 1);
+}
+
+Handle ArrayDynAppendDereg::register_handle(Value v) {
+  // Figure 2 lines 18-43. The handle cell is allocated outside the
+  // transaction (no allocation inside transactions, §6).
+  auto* slot_ref = static_cast<Slot**>(mem::pool_allocate(sizeof(Slot*)));
+  for (;;) {
+    int32_t count_l = 0;
+    const Action action = htm::atomic([&](Txn& txn) -> Action {
+      if (txn.load(&array_new_) == nullptr) {
+        const int32_t c = txn.load(&count_);
+        if (c < txn.load(&capacity_)) {
+          append_in_txn(txn, txn.load(&array_), c, slot_ref, v);
+          return Action::kDone;
+        }
+        count_l = c;
+        return Action::kGrow;
+      }
+      // Resize in progress: registration can still complete if the new
+      // element fits in both arrays — the transaction that copies the last
+      // element is the one that installs the new array, so a slot claimed
+      // here is guaranteed to be copied (§4.2).
+      const int32_t c = txn.load(&count_);
+      if (c < txn.load(&capacity_) && c < txn.load(&capacity_new_)) {
+        append_in_txn(txn, txn.load(&array_), c, slot_ref, v);
+        return Action::kDone;
+      }
+      return Action::kHelp;
+    });
+    if (action == Action::kDone) return slot_ref;
+    if (action == Action::kGrow) {
+      attempt_resize(count_l, count_l);  // full: capacity == count
+    } else {
+      help_copy();
+    }
+  }
+}
+
+void ArrayDynAppendDereg::deregister(Handle h) {
+  // Figure 2 lines 45-66.
+  auto* slot_ref = static_cast<Slot**>(h);
+  for (;;) {
+    int32_t count_l = 0;
+    int32_t capacity_l = 0;
+    const Action action = htm::atomic([&](Txn& txn) -> Action {
+      count_l = txn.load(&count_);
+      capacity_l = txn.load(&capacity_);
+      if (count_l * 4 == capacity_l && count_l * 2 >= min_size_) {
+        return Action::kShrink;
+      }
+      if (txn.load(&array_new_) == nullptr) {
+        const int32_t last = count_l - 1;
+        txn.store(&count_, last);
+        Slot* arr = txn.load(&array_);
+        // **slot_ref = array[count]: move the last slot into the hole.
+        Slot* mine = txn.load(slot_ref);
+        const Value last_val = txn.load(&arr[last].val);
+        Slot** const last_ref = txn.load(&arr[last].slot_ref);
+        txn.store(&mine->val, last_val);
+        txn.store(&mine->slot_ref, last_ref);
+        // *(array[count].slot_ref) = *slot_ref: redirect the moved handle.
+        txn.store(last_ref, mine);
+        return Action::kDone;
+      }
+      return Action::kHelp;
+    });
+    if (action == Action::kDone) break;
+    if (action == Action::kShrink) {
+      attempt_resize(count_l, capacity_l);
+    } else {
+      help_copy();
+    }
+  }
+  mem::pool_deallocate(slot_ref, sizeof(Slot*));
+}
+
+void ArrayDynAppendDereg::update(Handle h, Value v) {
+  // Figure 2 lines 74-78: one indirection through the handle cell, inside a
+  // transaction because the slot may move concurrently (compaction/resize).
+  auto* slot_ref = static_cast<Slot**>(h);
+  htm::atomic([&](Txn& txn) {
+    Slot* slot = txn.load(slot_ref);
+    txn.store(&slot->val, v);
+  });
+}
+
+void ArrayDynAppendDereg::collect(std::vector<Value>& out) {
+  // Figure 2 lines 80-93, with `step` slots per transaction (§3.4).
+  out.clear();
+  help_copy();  // no copy may be in progress when the scan starts (§4.2)
+  StepController& ctl = this->ctl();
+  int32_t i = htm::nontxn_load(&count_) - 1;
+  std::vector<Value> scratch;
+  scratch.reserve(StepController::kMaxStep);
+  util::Backoff backoff(4, 1024);
+  uint32_t failures = 0;
+  while (i >= 0) {
+    const uint32_t step = ctl.step();
+    int32_t i_next = i;
+    const htm::TryResult r = htm::try_once([&](Txn& txn) {
+      i_next = i;
+      scratch.clear();
+      for (uint32_t k = 0;
+           k < step && i_next >= 0 && txn.store_budget_left() > 0;
+           ++k) {
+        const int32_t cnt = txn.load(&count_);
+        if (i_next >= cnt) i_next = cnt - 1;  // skip deregistered suffix
+        if (i_next < 0) break;
+        Slot* arr = txn.load(&array_);
+        scratch.push_back(txn.load(&arr[i_next].val));
+        txn.charge_store();  // result-set store occupies the store buffer
+        --i_next;
+      }
+    });
+    if (r.committed) {
+      out.insert(out.end(), scratch.begin(), scratch.end());
+      i = i_next;
+      ctl.on_commit(static_cast<uint32_t>(scratch.size()));
+      failures = 0;
+      backoff.reset();
+      continue;
+    }
+    ctl.on_abort();
+    if (++failures >= 128 && ctl.step() == 1) {
+      // Liveness escape hatch: one slot via the full retry/TLE wrapper.
+      Value val = 0;
+      bool got = false;
+      htm::atomic([&](Txn& txn) {
+        got = false;
+        i_next = i;
+        const int32_t cnt = txn.load(&count_);
+        if (i_next >= cnt) i_next = cnt - 1;
+        if (i_next >= 0) {
+          Slot* arr = txn.load(&array_);
+          val = txn.load(&arr[i_next].val);
+          got = true;
+          --i_next;
+        }
+      });
+      if (got) out.push_back(val);
+      i = i_next;
+      ctl.on_commit(got ? 1 : 0);
+      failures = 0;
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+void ArrayDynAppendDereg::attempt_resize(int32_t count_l, int32_t capacity_l) {
+  // Figure 2 lines 95-108. The candidate array is allocated outside the
+  // transaction and discarded if the premise changed.
+  const int32_t new_cap = count_l * 2;
+  Slot* tmp = mem::create_array<Slot>(static_cast<std::size_t>(new_cap));
+  const bool free_tmp = htm::atomic([&](Txn& txn) -> bool {
+    if (txn.load(&array_new_) == nullptr && txn.load(&count_) == count_l &&
+        txn.load(&capacity_) == capacity_l) {
+      txn.store(&array_new_, tmp);
+      txn.store(&capacity_new_, new_cap);
+      txn.store(&copied_, 0);
+      return false;
+    }
+    return true;  // premise changed or another resize is in progress
+  });
+  if (free_tmp) mem::destroy_array(tmp, static_cast<std::size_t>(new_cap));
+  help_copy();
+}
+
+void ArrayDynAppendDereg::help_copy() {
+  // Figure 2 lines 110-112.
+  while (htm::nontxn_load(&array_new_) != nullptr) help_copy_one();
+}
+
+void ArrayDynAppendDereg::help_copy_one() {
+  // Figure 2 lines 114-131: copy one slot, or install the new array and
+  // free the old (outside the transaction; sandboxing covers stale readers).
+  Slot* to_free = nullptr;
+  int32_t to_free_cap = 0;
+  htm::atomic([&](Txn& txn) {
+    to_free = nullptr;
+    if (txn.load(&array_new_) == nullptr) return;
+    const int32_t copied = txn.load(&copied_);
+    if (copied < txn.load(&count_)) {
+      Slot* arr = txn.load(&array_);
+      Slot* arr_new = txn.load(&array_new_);
+      const Value v = txn.load(&arr[copied].val);
+      Slot** const sr = txn.load(&arr[copied].slot_ref);
+      txn.store(&arr_new[copied].val, v);
+      txn.store(&arr_new[copied].slot_ref, sr);
+      txn.store(sr, &arr_new[copied]);
+      txn.store(&copied_, copied + 1);
+    } else {
+      to_free = txn.load(&array_);
+      to_free_cap = txn.load(&capacity_);
+      txn.store(&array_, txn.load(&array_new_));
+      txn.store(&capacity_, txn.load(&capacity_new_));
+      txn.store(&array_new_, static_cast<Slot*>(nullptr));
+    }
+  });
+  if (to_free != nullptr) {
+    mem::destroy_array(to_free, static_cast<std::size_t>(to_free_cap));
+  }
+}
+
+std::size_t ArrayDynAppendDereg::footprint_bytes() const {
+  const auto cap = static_cast<std::size_t>(htm::nontxn_load(&capacity_));
+  const auto cnt = static_cast<std::size_t>(htm::nontxn_load(&count_));
+  std::size_t bytes = cap * sizeof(Slot) + cnt * sizeof(Slot*);
+  if (htm::nontxn_load(&array_new_) != nullptr) {
+    bytes += static_cast<std::size_t>(htm::nontxn_load(&capacity_new_)) *
+             sizeof(Slot);
+  }
+  return bytes;
+}
+
+int32_t ArrayDynAppendDereg::capacity_now() const noexcept {
+  return htm::nontxn_load(&capacity_);
+}
+
+int32_t ArrayDynAppendDereg::count_now() const noexcept {
+  return htm::nontxn_load(&count_);
+}
+
+}  // namespace dc::collect

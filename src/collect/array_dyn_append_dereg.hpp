@@ -1,0 +1,72 @@
+// ArrayDynAppendDereg — the paper's flagship algorithm (§4, Figure 2).
+//
+// A dynamic array of slots; Register appends after the last used slot;
+// DeRegister compacts by moving the last used slot into the hole; the array
+// doubles when full and halves when 25% full (invariant:
+// max(count, MIN_SIZE) <= capacity <= 4*count, modulo the MIN_SIZE floor),
+// with resizing performed cooperatively, one slot-copy transaction at a
+// time. Each handle is a heap cell ("slot reference") pointing at its
+// current slot; the slot points back so moves can redirect the handle.
+//
+// The implementation below is a line-by-line transcription of the paper's
+// Figure 2 pseudocode onto the htm substrate, with the Collect loop
+// generalized to copy `step` slots per transaction (telescoping, §3.4 /
+// §5.3) instead of Figure 2's fixed one-slot transactions.
+#pragma once
+
+#include <cstdint>
+
+#include "collect/telescoped_base.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+
+class ArrayDynAppendDereg final : public TelescopedBase {
+ public:
+  explicit ArrayDynAppendDereg(int32_t min_size = 16);
+  ~ArrayDynAppendDereg() override;
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override { return "ArrayDynAppendDereg"; }
+  bool is_dynamic() const override { return true; }
+  bool uses_htm() const override { return true; }
+  std::size_t footprint_bytes() const override;
+
+  // Test hooks (quiescent reads).
+  int32_t capacity_now() const noexcept;
+  int32_t count_now() const noexcept;
+  int32_t min_size() const noexcept { return min_size_; }
+
+ private:
+  struct Slot {
+    Value val;
+    Slot** slot_ref;  // back-pointer to the handle cell pointing here
+  };
+
+  enum class Action : uint8_t { kDone, kGrow, kShrink, kHelp };
+
+  // Figure 2, append(): claim array[count] for (val, slot_ref).
+  void append_in_txn(htm::Txn& txn, Slot* arr, int32_t index, Slot** slot_ref,
+                     Value v);
+  // Figure 2, attempt_resize().
+  void attempt_resize(int32_t count_l, int32_t capacity_l);
+  // Figure 2, help_copy()/help_copy_one().
+  void help_copy();
+  void help_copy_one();
+
+  // Shared state (Figure 2 lines 6-12); accessed transactionally.
+  Slot* array_;
+  int32_t capacity_;
+  int32_t count_ = 0;
+  Slot* array_new_ = nullptr;
+  int32_t capacity_new_ = 0;
+  int32_t copied_ = 0;
+
+  const int32_t min_size_;
+};
+
+}  // namespace dc::collect

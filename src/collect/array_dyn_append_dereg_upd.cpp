@@ -1,0 +1,229 @@
+#include "collect/array_dyn_append_dereg_upd.hpp"
+
+#include "memory/pool.hpp"
+#include "util/backoff.hpp"
+
+namespace dc::collect {
+
+using htm::Txn;
+
+ArrayDynAppendDeregUpdateOpt::ArrayDynAppendDeregUpdateOpt(int32_t min_size)
+    : array_(mem::create_array<Slot>(static_cast<std::size_t>(
+          min_size < 1 ? 1 : min_size))),
+      capacity_(min_size < 1 ? 1 : min_size),
+      min_size_(min_size < 1 ? 1 : min_size) {}
+
+ArrayDynAppendDeregUpdateOpt::~ArrayDynAppendDeregUpdateOpt() {
+  help_copy();
+  mem::destroy_array(array_, static_cast<std::size_t>(capacity_));
+}
+
+Handle ArrayDynAppendDeregUpdateOpt::register_handle(Value v) {
+  auto* cell = static_cast<Cell*>(mem::pool_allocate(sizeof(Cell)));
+  cell->val = v;  // private until published
+  for (;;) {
+    int32_t count_l = 0;
+    const Action action = htm::atomic([&](Txn& txn) -> Action {
+      auto append = [&](int32_t c) {
+        Slot* arr = txn.load(&array_);
+        txn.store(&arr[c].cell, cell);
+        txn.store(&cell->slot, &arr[c]);
+        txn.store(&count_, c + 1);
+      };
+      if (txn.load(&array_new_) == nullptr) {
+        const int32_t c = txn.load(&count_);
+        if (c < txn.load(&capacity_)) {
+          append(c);
+          return Action::kDone;
+        }
+        count_l = c;
+        return Action::kGrow;
+      }
+      const int32_t c = txn.load(&count_);
+      if (c < txn.load(&capacity_) && c < txn.load(&capacity_new_)) {
+        append(c);
+        return Action::kDone;
+      }
+      return Action::kHelp;
+    });
+    if (action == Action::kDone) return cell;
+    if (action == Action::kGrow) {
+      attempt_resize(count_l, count_l);
+    } else {
+      help_copy();
+    }
+  }
+}
+
+void ArrayDynAppendDeregUpdateOpt::update(Handle h, Value v) {
+  // The whole point of the variant: the cell never moves, so Update is one
+  // naked strong-atomicity store, no transaction, no indirection.
+  htm::nontxn_store(&static_cast<Cell*>(h)->val, v);
+}
+
+void ArrayDynAppendDeregUpdateOpt::deregister(Handle h) {
+  auto* cell = static_cast<Cell*>(h);
+  for (;;) {
+    int32_t count_l = 0;
+    int32_t capacity_l = 0;
+    const Action action = htm::atomic([&](Txn& txn) -> Action {
+      count_l = txn.load(&count_);
+      capacity_l = txn.load(&capacity_);
+      if (count_l * 4 == capacity_l && count_l * 2 >= min_size_) {
+        return Action::kShrink;
+      }
+      if (txn.load(&array_new_) == nullptr) {
+        const int32_t last = count_l - 1;
+        txn.store(&count_, last);
+        Slot* arr = txn.load(&array_);
+        // Move the last slot's cell pointer into the hole and redirect that
+        // cell's slot pointer; values do not move (they live in cells).
+        Slot* mine = txn.load(&cell->slot);
+        Cell* const moved = txn.load(&arr[last].cell);
+        txn.store(&mine->cell, moved);
+        txn.store(&moved->slot, mine);
+        return Action::kDone;
+      }
+      return Action::kHelp;
+    });
+    if (action == Action::kDone) break;
+    if (action == Action::kShrink) {
+      attempt_resize(count_l, capacity_l);
+    } else {
+      help_copy();
+    }
+  }
+  mem::pool_deallocate(cell, sizeof(Cell));
+}
+
+void ArrayDynAppendDeregUpdateOpt::collect(std::vector<Value>& out) {
+  out.clear();
+  help_copy();
+  StepController& ctl = this->ctl();
+  int32_t i = htm::nontxn_load(&count_) - 1;
+  std::vector<Value> scratch;
+  scratch.reserve(StepController::kMaxStep);
+  util::Backoff backoff(4, 1024);
+  uint32_t failures = 0;
+  while (i >= 0) {
+    const uint32_t step = ctl.step();
+    int32_t i_next = i;
+    const htm::TryResult r = htm::try_once([&](Txn& txn) {
+      i_next = i;
+      scratch.clear();
+      for (uint32_t k = 0;
+           k < step && i_next >= 0 && txn.store_budget_left() > 0; ++k) {
+        const int32_t cnt = txn.load(&count_);
+        if (i_next >= cnt) i_next = cnt - 1;
+        if (i_next < 0) break;
+        Slot* arr = txn.load(&array_);
+        // The §4.1 downside: one extra transactional dereference per slot.
+        Cell* cell = txn.load(&arr[i_next].cell);
+        scratch.push_back(txn.load(&cell->val));
+        txn.charge_store();
+        --i_next;
+      }
+    });
+    if (r.committed) {
+      out.insert(out.end(), scratch.begin(), scratch.end());
+      i = i_next;
+      ctl.on_commit(static_cast<uint32_t>(scratch.size()));
+      failures = 0;
+      backoff.reset();
+      continue;
+    }
+    ctl.on_abort();
+    if (++failures >= 128 && ctl.step() == 1) {
+      Value val = 0;
+      bool got = false;
+      htm::atomic([&](Txn& txn) {
+        got = false;
+        i_next = i;
+        const int32_t cnt = txn.load(&count_);
+        if (i_next >= cnt) i_next = cnt - 1;
+        if (i_next >= 0) {
+          Slot* arr = txn.load(&array_);
+          Cell* cell = txn.load(&arr[i_next].cell);
+          val = txn.load(&cell->val);
+          got = true;
+          --i_next;
+        }
+      });
+      if (got) out.push_back(val);
+      i = i_next;
+      ctl.on_commit(got ? 1 : 0);
+      failures = 0;
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+void ArrayDynAppendDeregUpdateOpt::attempt_resize(int32_t count_l,
+                                                  int32_t capacity_l) {
+  const int32_t new_cap = count_l * 2;
+  Slot* tmp = mem::create_array<Slot>(static_cast<std::size_t>(new_cap));
+  const bool free_tmp = htm::atomic([&](Txn& txn) -> bool {
+    if (txn.load(&array_new_) == nullptr && txn.load(&count_) == count_l &&
+        txn.load(&capacity_) == capacity_l) {
+      txn.store(&array_new_, tmp);
+      txn.store(&capacity_new_, new_cap);
+      txn.store(&copied_, 0);
+      return false;
+    }
+    return true;
+  });
+  if (free_tmp) mem::destroy_array(tmp, static_cast<std::size_t>(new_cap));
+  help_copy();
+}
+
+void ArrayDynAppendDeregUpdateOpt::help_copy() {
+  while (htm::nontxn_load(&array_new_) != nullptr) help_copy_one();
+}
+
+void ArrayDynAppendDeregUpdateOpt::help_copy_one() {
+  Slot* to_free = nullptr;
+  int32_t to_free_cap = 0;
+  htm::atomic([&](Txn& txn) {
+    to_free = nullptr;
+    if (txn.load(&array_new_) == nullptr) return;
+    const int32_t copied = txn.load(&copied_);
+    if (copied < txn.load(&count_)) {
+      Slot* arr = txn.load(&array_);
+      Slot* arr_new = txn.load(&array_new_);
+      Cell* const cell = txn.load(&arr[copied].cell);
+      txn.store(&arr_new[copied].cell, cell);
+      txn.store(&cell->slot, &arr_new[copied]);
+      txn.store(&copied_, copied + 1);
+    } else {
+      to_free = txn.load(&array_);
+      to_free_cap = txn.load(&capacity_);
+      txn.store(&array_, txn.load(&array_new_));
+      txn.store(&capacity_, txn.load(&capacity_new_));
+      txn.store(&array_new_, static_cast<Slot*>(nullptr));
+    }
+  });
+  if (to_free != nullptr) {
+    mem::destroy_array(to_free, static_cast<std::size_t>(to_free_cap));
+  }
+}
+
+std::size_t ArrayDynAppendDeregUpdateOpt::footprint_bytes() const {
+  const auto cap = static_cast<std::size_t>(htm::nontxn_load(&capacity_));
+  const auto cnt = static_cast<std::size_t>(htm::nontxn_load(&count_));
+  std::size_t bytes = cap * sizeof(Slot) + cnt * sizeof(Cell);
+  if (htm::nontxn_load(&array_new_) != nullptr) {
+    bytes += static_cast<std::size_t>(htm::nontxn_load(&capacity_new_)) *
+             sizeof(Slot);
+  }
+  return bytes;
+}
+
+int32_t ArrayDynAppendDeregUpdateOpt::capacity_now() const noexcept {
+  return htm::nontxn_load(&capacity_);
+}
+int32_t ArrayDynAppendDeregUpdateOpt::count_now() const noexcept {
+  return htm::nontxn_load(&count_);
+}
+
+}  // namespace dc::collect

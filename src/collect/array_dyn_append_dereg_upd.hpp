@@ -1,0 +1,73 @@
+// ArrayDynAppendDeregUpdateOpt — the Update-optimized variant sketched (but
+// not implemented) in the paper's §4.1:
+//
+//   "The idea is to store the value associated with a handle together with
+//    the slot reference for that handle, rather than in the array slot to
+//    which it points. This way, slot references do not move, even if their
+//    associated array slots are compacted. Therefore, a Update operation
+//    can store its value directly and without using a transaction [...]
+//    The downside of this choice is that Collect operations must now use a
+//    transaction to dereference the pointer in each array slot."
+//
+// Handle cells hold {value, slot pointer}; array slots hold only the
+// back-pointer to the cell. Update becomes a naked strong-atomicity store
+// (the ~135 ns class of §5.1); Collect pays one extra transactional
+// dereference per slot. Resize/compaction machinery is identical to
+// Figure 2 — only what moves changes (cells never move, slots still do).
+#pragma once
+
+#include <cstdint>
+
+#include "collect/telescoped_base.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+
+class ArrayDynAppendDeregUpdateOpt final : public TelescopedBase {
+ public:
+  explicit ArrayDynAppendDeregUpdateOpt(int32_t min_size = 16);
+  ~ArrayDynAppendDeregUpdateOpt() override;
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override { return "ArrayDynAppendDeregUpdOpt"; }
+  bool is_dynamic() const override { return true; }
+  bool uses_htm() const override { return true; }
+  std::size_t footprint_bytes() const override;
+
+  int32_t capacity_now() const noexcept;
+  int32_t count_now() const noexcept;
+
+ private:
+  struct Slot;
+  // The handle: value lives here (never moves); `slot` tracks the cell's
+  // current array position.
+  struct Cell {
+    Value val;
+    Slot* slot;
+  };
+  // The array slot: only a back-pointer to the owning cell.
+  struct Slot {
+    Cell* cell;
+  };
+
+  enum class Action : uint8_t { kDone, kGrow, kShrink, kHelp };
+
+  void attempt_resize(int32_t count_l, int32_t capacity_l);
+  void help_copy();
+  void help_copy_one();
+
+  Slot* array_;
+  int32_t capacity_;
+  int32_t count_ = 0;
+  Slot* array_new_ = nullptr;
+  int32_t capacity_new_ = 0;
+  int32_t copied_ = 0;
+
+  const int32_t min_size_;
+};
+
+}  // namespace dc::collect

@@ -1,0 +1,243 @@
+#include "collect/array_dyn_search_resize.hpp"
+
+#include "memory/pool.hpp"
+#include "util/backoff.hpp"
+
+namespace dc::collect {
+
+using htm::Txn;
+
+ArrayDynSearchResize::ArrayDynSearchResize(int32_t min_size)
+    : array_(mem::create_array<Slot>(static_cast<std::size_t>(
+          min_size < 1 ? 1 : min_size))),
+      capacity_(min_size < 1 ? 1 : min_size),
+      min_size_(min_size < 1 ? 1 : min_size) {}
+
+ArrayDynSearchResize::~ArrayDynSearchResize() {
+  help_copy();
+  mem::destroy_array(array_, static_cast<std::size_t>(capacity_));
+}
+
+Handle ArrayDynSearchResize::register_handle(Value v) {
+  auto* slot_ref = static_cast<Slot**>(mem::pool_allocate(sizeof(Slot*)));
+  for (;;) {
+    int32_t count_l = 0;
+    int32_t capacity_l = 0;
+    const Action action = htm::atomic([&](Txn& txn) -> Action {
+      if (txn.load(&array_new_) != nullptr) return Action::kHelp;
+      // Search for a free slot (unbounded reads, bounded stores).
+      Slot* arr = txn.load(&array_);
+      for (int32_t i = 0; i < txn.load(&capacity_); ++i) {
+        if (txn.load(&arr[i].used) == 0) {
+          Slot* slot = &arr[i];
+          txn.store(&slot->used, uint32_t{1});
+          txn.store(&slot->val, v);
+          txn.store(&slot->slot_ref, slot_ref);
+          txn.store(slot_ref, slot);
+          txn.store(&count_, txn.load(&count_) + 1);
+          if (i + 1 > txn.load(&high_)) txn.store(&high_, i + 1);
+          return Action::kDone;
+        }
+      }
+      count_l = txn.load(&count_);
+      capacity_l = txn.load(&capacity_);
+      return Action::kGrow;  // array full
+    });
+    if (action == Action::kDone) return slot_ref;
+    if (action == Action::kGrow) {
+      attempt_resize(count_l, capacity_l);
+    } else {
+      help_copy();
+    }
+  }
+}
+
+void ArrayDynSearchResize::deregister(Handle h) {
+  auto* slot_ref = static_cast<Slot**>(h);
+  for (;;) {
+    int32_t count_l = 0;
+    int32_t capacity_l = 0;
+    const Action action = htm::atomic([&](Txn& txn) -> Action {
+      count_l = txn.load(&count_);
+      capacity_l = txn.load(&capacity_);
+      if (count_l * 4 == capacity_l && count_l * 2 >= min_size_) {
+        return Action::kShrink;
+      }
+      if (txn.load(&array_new_) != nullptr) return Action::kHelp;
+      Slot* slot = txn.load(slot_ref);
+      txn.store(&slot->used, uint32_t{0});
+      txn.store(&count_, count_l - 1);
+      // No compaction: the hole stays; high_ is untouched, so Collect keeps
+      // traversing it until the next resize (§5.4's observed cost).
+      return Action::kDone;
+    });
+    if (action == Action::kDone) break;
+    if (action == Action::kShrink) {
+      attempt_resize(count_l, capacity_l);
+    } else {
+      help_copy();
+    }
+  }
+  mem::pool_deallocate(slot_ref, sizeof(Slot*));
+}
+
+void ArrayDynSearchResize::update(Handle h, Value v) {
+  auto* slot_ref = static_cast<Slot**>(h);
+  htm::atomic([&](Txn& txn) {
+    Slot* slot = txn.load(slot_ref);
+    txn.store(&slot->val, v);
+  });
+}
+
+void ArrayDynSearchResize::collect(std::vector<Value>& out) {
+  out.clear();
+  help_copy();
+  StepController& ctl = this->ctl();
+  int32_t i = htm::nontxn_load(&high_) - 1;
+  std::vector<Value> scratch;
+  scratch.reserve(StepController::kMaxStep);
+  util::Backoff backoff(4, 1024);
+  uint32_t failures = 0;
+  while (i >= 0) {
+    const uint32_t step = ctl.step();
+    int32_t i_next = i;
+    const htm::TryResult r = htm::try_once([&](Txn& txn) {
+      i_next = i;
+      scratch.clear();
+      // A registered slot only moves to a lower index (resize compaction
+      // preserves order), so a downward scan clamped to the current
+      // high-water mark cannot miss one.
+      for (uint32_t k = 0;
+           k < step && i_next >= 0 && txn.store_budget_left() > 0;
+           ++k) {
+        const int32_t high = txn.load(&high_);
+        if (i_next >= high) i_next = high - 1;
+        if (i_next < 0) break;
+        Slot* arr = txn.load(&array_);
+        if (txn.load(&arr[i_next].used) != 0) {
+          scratch.push_back(txn.load(&arr[i_next].val));
+          txn.charge_store();
+        }
+        --i_next;
+      }
+    });
+    if (r.committed) {
+      out.insert(out.end(), scratch.begin(), scratch.end());
+      i = i_next;
+      ctl.on_commit(static_cast<uint32_t>(scratch.size()));
+      failures = 0;
+      backoff.reset();
+      continue;
+    }
+    ctl.on_abort();
+    if (++failures >= 128 && ctl.step() == 1) {
+      Value val = 0;
+      bool got = false;
+      htm::atomic([&](Txn& txn) {
+        got = false;
+        i_next = i;
+        const int32_t high = txn.load(&high_);
+        if (i_next >= high) i_next = high - 1;
+        if (i_next >= 0) {
+          Slot* arr = txn.load(&array_);
+          if (txn.load(&arr[i_next].used) != 0) {
+            val = txn.load(&arr[i_next].val);
+            got = true;
+          }
+          --i_next;
+        }
+      });
+      if (got) out.push_back(val);
+      i = i_next;
+      ctl.on_commit(got ? 1 : 0);
+      failures = 0;
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+void ArrayDynSearchResize::attempt_resize(int32_t count_l,
+                                          int32_t capacity_l) {
+  const int32_t new_cap = count_l * 2;
+  if (new_cap < 1) return;  // nothing registered; capacity floor holds
+  Slot* tmp = mem::create_array<Slot>(static_cast<std::size_t>(new_cap));
+  const bool free_tmp = htm::atomic([&](Txn& txn) -> bool {
+    if (txn.load(&array_new_) == nullptr && txn.load(&count_) == count_l &&
+        txn.load(&capacity_) == capacity_l) {
+      txn.store(&array_new_, tmp);
+      txn.store(&capacity_new_, new_cap);
+      txn.store(&copied_, 0);
+      txn.store(&new_count_, 0);
+      return false;
+    }
+    return true;
+  });
+  if (free_tmp) mem::destroy_array(tmp, static_cast<std::size_t>(new_cap));
+  help_copy();
+}
+
+void ArrayDynSearchResize::help_copy() {
+  while (htm::nontxn_load(&array_new_) != nullptr) help_copy_one();
+}
+
+void ArrayDynSearchResize::help_copy_one() {
+  // Copy-with-compaction: used slots land at consecutive indices of the new
+  // array (order-preserving, so indices only decrease). Register and
+  // DeRegister are blocked (they help instead), so count_ is stable during
+  // the copy.
+  Slot* to_free = nullptr;
+  int32_t to_free_cap = 0;
+  htm::atomic([&](Txn& txn) {
+    to_free = nullptr;
+    if (txn.load(&array_new_) == nullptr) return;
+    const int32_t scan = txn.load(&copied_);
+    if (scan < txn.load(&capacity_)) {
+      Slot* arr = txn.load(&array_);
+      if (txn.load(&arr[scan].used) != 0) {
+        Slot* arr_new = txn.load(&array_new_);
+        const int32_t dst = txn.load(&new_count_);
+        txn.store(&arr_new[dst].val, txn.load(&arr[scan].val));
+        Slot** const sr = txn.load(&arr[scan].slot_ref);
+        txn.store(&arr_new[dst].slot_ref, sr);
+        txn.store(&arr_new[dst].used, uint32_t{1});
+        txn.store(sr, &arr_new[dst]);
+        txn.store(&new_count_, dst + 1);
+      }
+      txn.store(&copied_, scan + 1);
+    } else {
+      to_free = txn.load(&array_);
+      to_free_cap = txn.load(&capacity_);
+      txn.store(&array_, txn.load(&array_new_));
+      txn.store(&capacity_, txn.load(&capacity_new_));
+      txn.store(&high_, txn.load(&new_count_));
+      txn.store(&array_new_, static_cast<Slot*>(nullptr));
+    }
+  });
+  if (to_free != nullptr) {
+    mem::destroy_array(to_free, static_cast<std::size_t>(to_free_cap));
+  }
+}
+
+std::size_t ArrayDynSearchResize::footprint_bytes() const {
+  const auto cap = static_cast<std::size_t>(htm::nontxn_load(&capacity_));
+  const auto cnt = static_cast<std::size_t>(htm::nontxn_load(&count_));
+  std::size_t bytes = cap * sizeof(Slot) + cnt * sizeof(Slot*);
+  if (htm::nontxn_load(&array_new_) != nullptr) {
+    bytes += static_cast<std::size_t>(htm::nontxn_load(&capacity_new_)) *
+             sizeof(Slot);
+  }
+  return bytes;
+}
+
+int32_t ArrayDynSearchResize::capacity_now() const noexcept {
+  return htm::nontxn_load(&capacity_);
+}
+int32_t ArrayDynSearchResize::count_now() const noexcept {
+  return htm::nontxn_load(&count_);
+}
+int32_t ArrayDynSearchResize::high_water() const noexcept {
+  return htm::nontxn_load(&high_);
+}
+
+}  // namespace dc::collect

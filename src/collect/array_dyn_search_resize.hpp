@@ -1,0 +1,65 @@
+// ArrayDynSearchResize (§3.2): dynamic array, search-based Register,
+// compaction only on resize.
+//
+// Register scans for a free slot (growing the array when none exists);
+// DeRegister just clears the claim, leaving a hole — so Collect must
+// traverse up to a high-water mark that only resizing resets, which is why
+// this algorithm "frequently traverses more slots than are registered due
+// to infrequent compaction" (§5.4). Resizing copies the *used* slots to
+// consecutive positions in the new array (compaction), redirecting each
+// moved handle through its slot reference.
+#pragma once
+
+#include <cstdint>
+
+#include "collect/telescoped_base.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+
+class ArrayDynSearchResize final : public TelescopedBase {
+ public:
+  explicit ArrayDynSearchResize(int32_t min_size = 16);
+  ~ArrayDynSearchResize() override;
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override { return "ArrayDynSearchResize"; }
+  bool is_dynamic() const override { return true; }
+  bool uses_htm() const override { return true; }
+  std::size_t footprint_bytes() const override;
+
+  int32_t capacity_now() const noexcept;
+  int32_t count_now() const noexcept;
+  int32_t high_water() const noexcept;
+
+ private:
+  struct Slot {
+    Value val;
+    Slot** slot_ref;
+    uint32_t used;
+  };
+
+  enum class Action : uint8_t { kDone, kGrow, kShrink, kHelp };
+
+  void attempt_resize(int32_t count_l, int32_t capacity_l);
+  void help_copy();
+  void help_copy_one();
+
+  // Shared state; accessed transactionally.
+  Slot* array_;
+  int32_t capacity_;
+  int32_t count_ = 0;  // number of registered (used) slots
+  int32_t high_ = 0;   // 1 + highest used index; reset by resize compaction
+  Slot* array_new_ = nullptr;
+  int32_t capacity_new_ = 0;
+  int32_t copied_ = 0;      // scan index into the old array
+  int32_t new_count_ = 0;   // used slots placed into the new array so far
+
+  const int32_t min_size_;
+};
+
+}  // namespace dc::collect

@@ -1,0 +1,140 @@
+#include "collect/array_stat_append_dereg.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "memory/pool.hpp"
+#include "util/backoff.hpp"
+
+namespace dc::collect {
+
+using htm::Txn;
+
+ArrayStatAppendDereg::ArrayStatAppendDereg(int32_t capacity)
+    : array_(mem::create_array<Slot>(
+          static_cast<std::size_t>(capacity < 1 ? 1 : capacity))),
+      capacity_(capacity < 1 ? 1 : capacity) {}
+
+ArrayStatAppendDereg::~ArrayStatAppendDereg() {
+  mem::destroy_array(array_, static_cast<std::size_t>(capacity_));
+}
+
+Handle ArrayStatAppendDereg::register_handle(Value v) {
+  auto* slot_ref = static_cast<Slot**>(mem::pool_allocate(sizeof(Slot*)));
+  const bool ok = htm::atomic([&](Txn& txn) -> bool {
+    const int32_t c = txn.load(&count_);
+    if (c >= capacity_) return false;
+    Slot* slot = &array_[c];
+    txn.store(&slot->val, v);
+    txn.store(&slot->slot_ref, slot_ref);
+    txn.store(slot_ref, slot);
+    txn.store(&count_, c + 1);
+    return true;
+  });
+  if (!ok) {
+    // Static algorithms assume a known bound on registered handles (§3.2.1).
+    std::fprintf(stderr,
+                 "ArrayStatAppendDereg: capacity %d exceeded (the static "
+                 "algorithm assumes a known bound)\n",
+                 capacity_);
+    std::abort();
+  }
+  return slot_ref;
+}
+
+void ArrayStatAppendDereg::deregister(Handle h) {
+  auto* slot_ref = static_cast<Slot**>(h);
+  htm::atomic([&](Txn& txn) {
+    const int32_t last = txn.load(&count_) - 1;
+    txn.store(&count_, last);
+    Slot* mine = txn.load(slot_ref);
+    const Value last_val = txn.load(&array_[last].val);
+    Slot** const last_ref = txn.load(&array_[last].slot_ref);
+    txn.store(&mine->val, last_val);
+    txn.store(&mine->slot_ref, last_ref);
+    txn.store(last_ref, mine);
+  });
+  mem::pool_deallocate(slot_ref, sizeof(Slot*));
+}
+
+void ArrayStatAppendDereg::update(Handle h, Value v) {
+  // Indirection through the handle cell: the slot may be moved by a
+  // concurrent deregister's compaction, so the lookup must be transactional.
+  auto* slot_ref = static_cast<Slot**>(h);
+  htm::atomic([&](Txn& txn) {
+    Slot* slot = txn.load(slot_ref);
+    txn.store(&slot->val, v);
+  });
+}
+
+void ArrayStatAppendDereg::collect(std::vector<Value>& out) {
+  // Reverse-order scan (a concurrently deregistered slot moves the last
+  // element *down*, so scanning downwards cannot miss a continuously
+  // registered handle; duplicates are allowed by the spec).
+  out.clear();
+  StepController& ctl = this->ctl();
+  int32_t i = htm::nontxn_load(&count_) - 1;
+  std::vector<Value> scratch;
+  scratch.reserve(StepController::kMaxStep);
+  util::Backoff backoff(4, 1024);
+  uint32_t failures = 0;
+  while (i >= 0) {
+    const uint32_t step = ctl.step();
+    int32_t i_next = i;
+    const htm::TryResult r = htm::try_once([&](Txn& txn) {
+      i_next = i;
+      scratch.clear();
+      for (uint32_t k = 0;
+           k < step && i_next >= 0 && txn.store_budget_left() > 0;
+           ++k) {
+        const int32_t cnt = txn.load(&count_);
+        if (i_next >= cnt) i_next = cnt - 1;
+        if (i_next < 0) break;
+        scratch.push_back(txn.load(&array_[i_next].val));
+        txn.charge_store();
+        --i_next;
+      }
+    });
+    if (r.committed) {
+      out.insert(out.end(), scratch.begin(), scratch.end());
+      i = i_next;
+      ctl.on_commit(static_cast<uint32_t>(scratch.size()));
+      failures = 0;
+      backoff.reset();
+      continue;
+    }
+    ctl.on_abort();
+    if (++failures >= 128 && ctl.step() == 1) {
+      Value val = 0;
+      bool got = false;
+      htm::atomic([&](Txn& txn) {
+        got = false;
+        i_next = i;
+        const int32_t cnt = txn.load(&count_);
+        if (i_next >= cnt) i_next = cnt - 1;
+        if (i_next >= 0) {
+          val = txn.load(&array_[i_next].val);
+          got = true;
+          --i_next;
+        }
+      });
+      if (got) out.push_back(val);
+      i = i_next;
+      ctl.on_commit(got ? 1 : 0);
+      failures = 0;
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+std::size_t ArrayStatAppendDereg::footprint_bytes() const {
+  return static_cast<std::size_t>(capacity_) * sizeof(Slot) +
+         static_cast<std::size_t>(htm::nontxn_load(&count_)) * sizeof(Slot*);
+}
+
+int32_t ArrayStatAppendDereg::count_now() const noexcept {
+  return htm::nontxn_load(&count_);
+}
+
+}  // namespace dc::collect

@@ -1,0 +1,43 @@
+// ArrayStatAppendDereg (§3.2): the static (bounded) sibling of
+// ArrayDynAppendDereg — same append-register and compact-on-deregister
+// machinery, but a fixed-size array and no resizing/copying. It does not
+// solve Dynamic Collect (the bound is assumed, memory is never released);
+// the paper uses it to isolate register/compact behaviour from resizing.
+#pragma once
+
+#include <cstdint>
+
+#include "collect/telescoped_base.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+
+class ArrayStatAppendDereg final : public TelescopedBase {
+ public:
+  explicit ArrayStatAppendDereg(int32_t capacity = 1024);
+  ~ArrayStatAppendDereg() override;
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override { return "ArrayStatAppendDereg"; }
+  bool is_dynamic() const override { return false; }
+  bool uses_htm() const override { return true; }
+  std::size_t footprint_bytes() const override;
+
+  int32_t count_now() const noexcept;
+
+ private:
+  struct Slot {
+    Value val;
+    Slot** slot_ref;
+  };
+
+  Slot* const array_;
+  const int32_t capacity_;
+  int32_t count_ = 0;
+};
+
+}  // namespace dc::collect

@@ -1,0 +1,80 @@
+#include "collect/array_stat_search_no.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "memory/pool.hpp"
+
+namespace dc::collect {
+
+using htm::Txn;
+
+ArrayStatSearchNo::ArrayStatSearchNo(int32_t capacity)
+    : array_(mem::create_array<Slot>(
+          static_cast<std::size_t>(capacity < 1 ? 1 : capacity))),
+      capacity_(capacity < 1 ? 1 : capacity) {}
+
+ArrayStatSearchNo::~ArrayStatSearchNo() {
+  mem::destroy_array(array_, static_cast<std::size_t>(capacity_));
+}
+
+Handle ArrayStatSearchNo::register_handle(Value v) {
+  // One transaction scans for a free slot and claims it (reads are
+  // unbounded; the claim is 3-4 stores).
+  Slot* claimed = htm::atomic([&](Txn& txn) -> Slot* {
+    for (int32_t i = 0; i < capacity_; ++i) {
+      if (txn.load(&array_[i].used) == 0) {
+        txn.store(&array_[i].used, uint32_t{1});
+        txn.store(&array_[i].val, v);
+        if (i + 1 > txn.load(&high_)) txn.store(&high_, i + 1);
+        return &array_[i];
+      }
+    }
+    return nullptr;
+  });
+  if (claimed == nullptr) {
+    std::fprintf(stderr,
+                 "ArrayStatSearchNo: capacity %d exceeded (the static "
+                 "algorithm assumes a known bound)\n",
+                 capacity_);
+    std::abort();
+  }
+  return claimed;
+}
+
+void ArrayStatSearchNo::deregister(Handle h) {
+  // The slot never moves and never holds anyone else's value; releasing the
+  // claim is a single strong-atomicity store.
+  auto* slot = static_cast<Slot*>(h);
+  htm::nontxn_store(&slot->used, uint32_t{0});
+}
+
+void ArrayStatSearchNo::update(Handle h, Value v) {
+  // Storage is stable for the handle's lifetime: a naked store suffices
+  // (§3.1.1's "significant advantage when Update operations are frequent").
+  auto* slot = static_cast<Slot*>(h);
+  htm::nontxn_store(&slot->val, v);
+}
+
+void ArrayStatSearchNo::collect(std::vector<Value>& out) {
+  // No transactions: slots never move, so a plain scan up to the historical
+  // high-water mark satisfies the spec (concurrent updates may flicker,
+  // which the spec allows).
+  out.clear();
+  const int32_t high = htm::nontxn_load(&high_);
+  for (int32_t i = high - 1; i >= 0; --i) {
+    if (htm::nontxn_load(&array_[i].used) != 0) {
+      out.push_back(htm::nontxn_load(&array_[i].val));
+    }
+  }
+}
+
+std::size_t ArrayStatSearchNo::footprint_bytes() const {
+  return static_cast<std::size_t>(capacity_) * sizeof(Slot);
+}
+
+int32_t ArrayStatSearchNo::high_water() const noexcept {
+  return htm::nontxn_load(&high_);
+}
+
+}  // namespace dc::collect

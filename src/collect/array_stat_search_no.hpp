@@ -1,0 +1,48 @@
+// ArrayStatSearchNo (§3.2): static array, search-based Register, no
+// compaction.
+//
+// Because slots never move, a handle's storage address is stable for its
+// whole lifetime: Update is a naked (strong-atomicity) store and Collect
+// needs no transactions at all — it scans up to the historical high-water
+// mark reading slots directly. That makes its Collect immune to update
+// contention (Figure 4) but blind to shrinkage: after many deregisters it
+// still traverses the historical maximum (Figure 8). Does not solve Dynamic
+// Collect (fixed bound, nothing deallocated).
+#pragma once
+
+#include <cstdint>
+
+#include "collect/telescoped_base.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+
+class ArrayStatSearchNo final : public TelescopedBase {
+ public:
+  explicit ArrayStatSearchNo(int32_t capacity = 1024);
+  ~ArrayStatSearchNo() override;
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override { return "ArrayStatSearchNo"; }
+  bool is_dynamic() const override { return false; }
+  bool uses_htm() const override { return true; }  // Register uses txns
+  std::size_t footprint_bytes() const override;
+
+  int32_t high_water() const noexcept;
+
+ private:
+  struct Slot {
+    Value val;
+    uint32_t used;  // claimed flag; word-sized for strong-atomicity access
+  };
+
+  Slot* const array_;
+  const int32_t capacity_;
+  int32_t high_ = 0;  // 1 + highest index ever used (never decreases)
+};
+
+}  // namespace dc::collect

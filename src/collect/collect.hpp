@@ -1,0 +1,88 @@
+// The Dynamic Collect problem (paper §2) — interface and specification.
+//
+// A Collect object binds values to dynamically allocated handles:
+//
+//   h = Register(v)   binds v to a previously unused handle h
+//   Update(h, v)      re-binds h to v
+//   DeRegister(h)     removes the binding (h may be recycled)
+//   Collect()         returns bound values
+//
+// Well-formedness (caller obligations): a thread may Update/DeRegister only
+// a handle registered to it and not since deregistered; a thread runs one
+// operation at a time.
+//
+// Correctness (§2.3), informally:
+//   * every value returned by Collect was bound by the last preceding
+//     Register/Update for its handle, or by an operation concurrent with
+//     the Collect ("flicker" is allowed for concurrent bindings);
+//   * every handle whose binding precedes the Collect and is not
+//     deregistered (nor being deregistered concurrently) MUST contribute a
+//     value;
+//   * duplicates per handle are allowed (clients filter).
+//
+// This specification is what Hazard-Pointer-/ROP-style memory reclamation
+// reduces to (§1.2): announcing a pointer is Register/Update, and the
+// scan-before-free is a Collect.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dc::collect {
+
+using Value = uint64_t;
+
+// Opaque handle. The concrete type varies per algorithm (array slot
+// reference, list node, ...); clients must treat it as a token.
+using Handle = void*;
+
+class DynamicCollect {
+ public:
+  virtual ~DynamicCollect() = default;
+
+  // Paper: Register(v). Never returns a handle registered to another thread.
+  virtual Handle register_handle(Value v) = 0;
+
+  // Paper: Update(h, v).
+  virtual void update(Handle h, Value v) = 0;
+
+  // Paper: DeRegister(h).
+  virtual void deregister(Handle h) = 0;
+
+  // Paper: Collect(). Appends the returned values to `out` (which is
+  // cleared first). Values only — the paper notes the handle-free variant
+  // is an inessential specification change, and its own pseudocode
+  // (Figure 2, line 88) collects values.
+  virtual void collect(std::vector<Value>& out) = 0;
+
+  virtual const char* name() const = 0;
+
+  // True for algorithms that actually solve *Dynamic* Collect (unbounded
+  // handles, space proportional to registered handles). The Stat*/Static
+  // algorithms are bounded stepping stones (paper §3.2.1, §3.3).
+  virtual bool is_dynamic() const = 0;
+
+  // False for the two non-HTM baseline algorithms (§3.3).
+  virtual bool uses_htm() const = 0;
+
+  // --- Telescoping control (no-ops for algorithms without transactions) ---
+
+  // Fixed step size: how many elements each Collect transaction copies.
+  virtual void set_step_size(uint32_t /*step*/) {}
+  // Enable the adaptive step-size mechanism of §3.4.
+  virtual void set_adaptive(bool /*on*/) {}
+  // Record adaptation data without acting on it ("Best (adapt cost)",
+  // Figure 5).
+  virtual void set_record_only(bool /*on*/) {}
+  // Slots collected per step size since the last reset (Figure 6); indexed
+  // by log2(step), i.e. [0]=step 1 ... [5]=step 32. Aggregated over threads.
+  virtual std::vector<uint64_t> slots_by_step() const { return {}; }
+  virtual void reset_step_stats() {}
+
+  // Approximate bytes of shared memory currently used by the object
+  // (arrays + nodes + handle cells), for space comparisons.
+  virtual std::size_t footprint_bytes() const = 0;
+};
+
+}  // namespace dc::collect

@@ -1,0 +1,169 @@
+#include "collect/dynamic_baseline.hpp"
+
+#include <vector>
+
+#include "memory/pool.hpp"
+#include "util/backoff.hpp"
+
+namespace dc::collect {
+
+DynamicBaseline::DynamicBaseline() : head_(mem::create<Node>()) {}
+
+DynamicBaseline::~DynamicBaseline() {
+  Node* cur = head_;
+  while (cur != nullptr) {
+    Node* next = cur->next.load(std::memory_order_relaxed).ptr;
+    mem::destroy(cur);
+    cur = next;
+  }
+}
+
+DynamicBaseline::Node* DynamicBaseline::pin_next(Node* p) noexcept {
+  util::Backoff backoff(2, 128);
+  for (;;) {
+    Fwd cur = p->next.load(std::memory_order_acquire);
+    if (cur.ptr == nullptr) return nullptr;
+    const Fwd want{cur.ptr, bump(cur.tag, +1)};
+    if (p->next.compare_exchange_weak(cur, want,
+                                      std::memory_order_acq_rel)) {
+      return cur.ptr;
+    }
+    backoff.pause();
+  }
+}
+
+void DynamicBaseline::unpin_next(Node* p) noexcept {
+  util::Backoff backoff(2, 128);
+  for (;;) {
+    Fwd cur = p->next.load(std::memory_order_acquire);
+    const Fwd want{cur.ptr, bump(cur.tag, -1)};
+    if (p->next.compare_exchange_weak(cur, want,
+                                      std::memory_order_acq_rel)) {
+      if (count_of(want) == 0) try_unlink(p);
+      return;
+    }
+    backoff.pause();
+  }
+}
+
+void DynamicBaseline::try_unlink(Node* p) noexcept {
+  // Remove unregistered, unpinned successors of p. Pins are prefix-closed
+  // (every operation pins the whole path from the head), so a zero count on
+  // p->next means no thread is at or beyond the successor; the versioned
+  // CAS rules out a claim that slipped in between our checks.
+  for (;;) {
+    Fwd cur = p->next.load(std::memory_order_acquire);
+    if (cur.ptr == nullptr || count_of(cur) != 0) return;
+    Node* q = cur.ptr;
+    if (q->used.load(std::memory_order_acquire) != 0) return;
+    // Reading q->next is safe even if q was concurrently freed: pool memory
+    // stays mapped, and a stale read only makes the CAS below fail on the
+    // version bump.
+    const Fwd qnext = q->next.load(std::memory_order_acquire);
+    const Fwd want{qnext.ptr, bump(cur.tag, 0) | (qnext.tag & kCountMask)};
+    if (p->next.compare_exchange_strong(cur, want,
+                                        std::memory_order_acq_rel)) {
+      mem::destroy(q);
+      nodes_.fetch_sub(1, std::memory_order_relaxed);
+      continue;  // cascade: the new successor may also be removable
+    }
+    return;
+  }
+}
+
+Handle DynamicBaseline::register_handle(Value v) {
+  // Walk from the head, pinning each forward pointer, looking for a free
+  // node to claim; append a fresh node at the end if none is found. The
+  // pinned prefix stays pinned for the handle's lifetime (deregister walks
+  // it back down).
+  Node* p = head_;
+  for (;;) {
+    Node* q = pin_next(p);
+    if (q == nullptr) {
+      Node* n = mem::create<Node>();
+      n->used.store(1, std::memory_order_relaxed);
+      n->val.store(v, std::memory_order_relaxed);
+      Fwd cur = p->next.load(std::memory_order_acquire);
+      if (cur.ptr == nullptr) {
+        // Append with our pin folded into the same CAS.
+        const Fwd want{n, bump(cur.tag, +1)};
+        if (p->next.compare_exchange_strong(cur, want,
+                                            std::memory_order_acq_rel)) {
+          nodes_.fetch_add(1, std::memory_order_relaxed);
+          return n;
+        }
+      }
+      mem::destroy(n);  // lost the race; someone appended first
+      continue;
+    }
+    uint32_t expected = 0;
+    if (q->used.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acq_rel)) {
+      q->val.store(v, std::memory_order_release);
+      return q;  // prefix head..q stays pinned while registered
+    }
+    p = q;
+  }
+}
+
+void DynamicBaseline::update(Handle h, Value v) {
+  // Direct store into the registered node ([11]: the handle addresses its
+  // node; storage never moves).
+  static_cast<Node*>(h)->val.store(v, std::memory_order_release);
+}
+
+void DynamicBaseline::deregister(Handle h) {
+  Node* n = static_cast<Node*>(h);
+  n->used.store(0, std::memory_order_release);
+  // Re-walk the pinned prefix (stable: our pins block unlinking) to find
+  // the pointers to unpin, then drop them from the far end back, unlinking
+  // zero-count unregistered nodes on the way.
+  std::vector<Node*> path;
+  path.push_back(head_);
+  Node* cur = head_;
+  while (cur != n) {
+    cur = cur->next.load(std::memory_order_acquire).ptr;
+    path.push_back(cur);
+  }
+  for (std::size_t i = path.size() - 1; i-- > 0;) {
+    unpin_next(path[i]);
+  }
+}
+
+void DynamicBaseline::collect(std::vector<Value>& out) {
+  out.clear();
+  // Forward pass: pin every forward pointer, reading registered values.
+  std::vector<Node*> path;
+  path.push_back(head_);
+  Node* p = head_;
+  for (;;) {
+    Node* q = pin_next(p);
+    if (q == nullptr) break;
+    if (q->used.load(std::memory_order_acquire) != 0) {
+      out.push_back(q->val.load(std::memory_order_acquire));
+    }
+    path.push_back(q);
+    p = q;
+  }
+  // Backward pass: drop the pins, reclaiming unregistered zero-count nodes.
+  for (std::size_t i = path.size() - 1; i-- > 0;) {
+    unpin_next(path[i]);
+  }
+}
+
+std::size_t DynamicBaseline::footprint_bytes() const {
+  return static_cast<std::size_t>(nodes_.load(std::memory_order_relaxed) + 1) *
+         sizeof(Node);
+}
+
+std::size_t DynamicBaseline::node_count() const {
+  std::size_t n = 0;
+  for (Node* cur = head_->next.load(std::memory_order_relaxed).ptr;
+       cur != nullptr;
+       cur = cur->next.load(std::memory_order_relaxed).ptr) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace dc::collect

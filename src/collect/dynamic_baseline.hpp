@@ -1,0 +1,80 @@
+// Dynamic baseline (§3.3): Algorithm 2 of Herlihy, Luchangco, Moir — "Space
+// and time adaptive non-blocking algorithms" [11] — the non-HTM dynamic
+// collect the paper compares against.
+//
+// A linked list of value nodes whose forward pointers are augmented with
+// reference counts, updated by (double-width) CAS. A thread pins the whole
+// prefix of the list it has traversed by incrementing each forward
+// pointer's count on the way; Register claims a free node on its path (or
+// appends one at the end) and keeps the prefix pinned for the handle's
+// lifetime; DeRegister and the tail of Collect walk the pins back down,
+// unlinking and deallocating any node whose incoming count reaches zero
+// while it is unregistered. The per-node CAS traffic in *every* operation
+// — including read-only Collects — is what makes this baseline's cache
+// behaviour so poor in Figure 3.
+//
+// Deviation from [11]: instead of maintained prev pointers, each operation
+// records its pinned path in a thread-local vector and walks it backwards;
+// the shared-memory access pattern (one CAS per node in each direction) is
+// identical, which is what the performance comparison depends on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "collect/collect.hpp"
+#include "util/tagged_ptr.hpp"
+
+namespace dc::collect {
+
+class DynamicBaseline final : public DynamicCollect {
+ public:
+  DynamicBaseline();
+  ~DynamicBaseline() override;
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override { return "DynamicBaseline"; }
+  bool is_dynamic() const override { return true; }
+  bool uses_htm() const override { return false; }
+  std::size_t footprint_bytes() const override;
+
+  std::size_t node_count() const;
+
+ private:
+  struct Node;
+  // Forward pointer: target + (version<<16 | pin-count) packed in the tag.
+  using Fwd = util::TaggedPtr<Node>;
+
+  struct Node {
+    std::atomic<Value> val{0};
+    std::atomic<uint32_t> used{0};
+    std::atomic<Fwd> next{};
+  };
+
+  static constexpr uint64_t kCountMask = 0xFFFF;
+  static uint32_t count_of(const Fwd& f) noexcept {
+    return static_cast<uint32_t>(f.tag & kCountMask);
+  }
+  static uint64_t bump(uint64_t tag, int32_t count_delta) noexcept {
+    // Increment the version (upper bits) on every modification: ABA defence
+    // for the claim-while-count-momentarily-zero race.
+    return ((tag | kCountMask) + 1) |
+           ((tag & kCountMask) + static_cast<uint64_t>(count_delta));
+  }
+
+  // Pins p->next's target: returns it, or nullptr if p is the last node.
+  Node* pin_next(Node* p) noexcept;
+  // Drops one pin from p->next; if the count reaches zero, opportunistically
+  // unlinks and frees unregistered successors.
+  void unpin_next(Node* p) noexcept;
+  void try_unlink(Node* p) noexcept;
+
+  Node* const head_;  // sentinel; never freed
+  std::atomic<int64_t> nodes_{0};
+};
+
+}  // namespace dc::collect

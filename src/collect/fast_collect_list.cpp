@@ -1,0 +1,253 @@
+#include "collect/fast_collect_list.hpp"
+
+#include "memory/pool.hpp"
+#include "util/backoff.hpp"
+
+namespace dc::collect {
+
+using htm::Txn;
+
+FastCollectList::FastCollectList(bool defer_frees)
+    : head_(mem::create<Node>()), defer_frees_(defer_frees) {}
+
+FastCollectList::~FastCollectList() {
+  Node* cur = head_->next;
+  while (cur != nullptr) {
+    Node* next = cur->next;
+    mem::destroy(cur);
+    cur = next;
+  }
+  mem::destroy(head_);
+  for (Node* n : limbo_) {
+    mem::destroy(n);
+    nodes_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Handle FastCollectList::register_handle(Value v) {
+  Node* n = mem::create<Node>();
+  n->val = v;
+  nodes_.fetch_add(1, std::memory_order_relaxed);
+  htm::atomic([&](Txn& txn) {
+    Node* first = txn.load(&head_->next);
+    n->next = first;  // private until published
+    n->prev = head_;
+    if (first != nullptr) txn.store(&first->prev, n);
+    txn.store(&head_->next, n);
+  });
+  return n;
+}
+
+void FastCollectList::update(Handle h, Value v) {
+  htm::nontxn_store(&static_cast<Node*>(h)->val, v);
+}
+
+void FastCollectList::deregister(Handle h) {
+  Node* n = static_cast<Node*>(h);
+  if (defer_frees_) {
+    // §3.1.2 variant: unlink only (the node's own pointers stay intact, so
+    // an in-flight Collect can traverse through it); park in limbo for the
+    // last active Collect to free. No counter bump -> no Collect restarts.
+    htm::atomic([&](Txn& txn) {
+      Node* prev = txn.load(&n->prev);
+      Node* next = txn.load(&n->next);
+      txn.store(&prev->next, next);
+      if (next != nullptr) txn.store(&next->prev, prev);
+    });
+    std::lock_guard lock(limbo_mu_);
+    limbo_.push_back(n);
+    return;
+  }
+  htm::atomic([&](Txn& txn) {
+    Node* prev = txn.load(&n->prev);
+    Node* next = txn.load(&n->next);
+    txn.store(&prev->next, next);
+    if (next != nullptr) txn.store(&next->prev, prev);
+    txn.store(&dereg_count_, txn.load(&dereg_count_) + 1);
+  });
+  // Freed immediately — the deregister counter (plus sandboxing) is what
+  // keeps concurrent Collects correct.
+  mem::destroy(n);
+  nodes_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FastCollectList::collect(std::vector<Value>& out) {
+  if (defer_frees_) {
+    collect_deferred(out);
+    return;
+  }
+  StepController& ctl = this->ctl();
+  std::vector<Value> scratch;
+  scratch.reserve(StepController::kMaxStep);
+  util::Backoff backoff(4, 1024);
+  uint32_t total_restarts = 0;
+  static constexpr uint32_t kSerializeAfterRestarts = 64;
+restart:
+  out.clear();
+  uint64_t dc0 = 0;
+  // First transaction: capture the deregister count and the first chunk.
+  // Subsequent transactions validate the count before touching nodes, so a
+  // re-executed transaction after a sandbox abort (freed node) restarts
+  // rather than touching the stale pointer again.
+  Node* resume = head_;
+  bool have_dc0 = false;
+  uint32_t failures = 0;
+  for (;;) {
+    const uint32_t step = ctl.step();
+    Node* next_resume = nullptr;
+    bool done = false;
+    bool stale = false;
+    const htm::TryResult r = htm::try_once([&](Txn& txn) {
+      scratch.clear();
+      next_resume = nullptr;
+      done = false;
+      stale = false;
+      const uint64_t dc = txn.load(&dereg_count_);
+      if (!have_dc0) {
+        dc0 = dc;
+      } else if (dc != dc0) {
+        stale = true;  // a deregister slipped in: restart the whole Collect
+        return;
+      }
+      Node* cur = txn.load(&resume->next);
+      for (uint32_t k = 0;
+           k < step && cur != nullptr && txn.store_budget_left() > 0;
+           ++k) {
+        scratch.push_back(txn.load(&cur->val));
+        txn.charge_store();
+        next_resume = cur;
+        cur = txn.load(&cur->next);
+      }
+      if (cur == nullptr) done = true;
+    });
+    if (r.committed) {
+      if (stale) {
+        restarts_.fetch_add(1, std::memory_order_relaxed);
+        ctl.on_commit(0);
+        if (++total_restarts >= kSerializeAfterRestarts) {
+          collect_serialized(out);
+          return;
+        }
+        goto restart;
+      }
+      have_dc0 = true;
+      out.insert(out.end(), scratch.begin(), scratch.end());
+      ctl.on_commit(static_cast<uint32_t>(scratch.size()));
+      if (done) return;
+      resume = next_resume;
+      failures = 0;
+      backoff.reset();
+      continue;
+    }
+    ctl.on_abort();
+    if (++failures >= 256) {
+      // The resume pointer may be permanently stale (its node freed while
+      // the counter churns); restart from the head for liveness.
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      failures = 0;
+      if (++total_restarts >= kSerializeAfterRestarts) {
+        collect_serialized(out);
+        return;
+      }
+      goto restart;
+    }
+    backoff.pause();
+  }
+}
+
+void FastCollectList::collect_serialized(std::vector<Value>& out) {
+  // The §6 escape hatch: under sustained deregister churn the speculative
+  // Collect can be starved indefinitely (the progress problem §3.1.2
+  // acknowledges). Serialize: with the global lock held, deregister
+  // transactions cannot commit, so a plain traversal is exact and safe.
+  serialized_collects_.fetch_add(1, std::memory_order_relaxed);
+  htm::SerialSection section;
+  out.clear();
+  for (Node* cur = htm::nontxn_load(&head_->next); cur != nullptr;
+       cur = htm::nontxn_load(&cur->next)) {
+    out.push_back(htm::nontxn_load(&cur->val));
+  }
+}
+
+void FastCollectList::collect_deferred(std::vector<Value>& out) {
+  out.clear();
+  StepController& ctl = this->ctl();
+  // Announce this Collect: while any Collect is active nothing is freed, so
+  // traversal never touches freed memory and needs no validation counter.
+  htm::atomic([&](Txn& txn) {
+    txn.store(&active_collects_, txn.load(&active_collects_) + 1);
+  });
+  std::vector<Value> scratch;
+  scratch.reserve(StepController::kMaxStep);
+  util::Backoff backoff(4, 1024);
+  Node* resume = head_;
+  uint32_t failures = 0;
+  for (bool done = false; !done;) {
+    const uint32_t step = ctl.step();
+    Node* next_resume = nullptr;
+    const htm::TryResult r = htm::try_once([&](Txn& txn) {
+      scratch.clear();
+      next_resume = nullptr;
+      done = false;
+      Node* cur = txn.load(&resume->next);
+      for (uint32_t k = 0;
+           k < step && cur != nullptr && txn.store_budget_left() > 0; ++k) {
+        scratch.push_back(txn.load(&cur->val));
+        txn.charge_store();
+        next_resume = cur;
+        cur = txn.load(&cur->next);
+      }
+      if (cur == nullptr) done = true;
+    });
+    if (r.committed) {
+      out.insert(out.end(), scratch.begin(), scratch.end());
+      ctl.on_commit(static_cast<uint32_t>(scratch.size()));
+      if (next_resume != nullptr) resume = next_resume;
+      failures = 0;
+      backoff.reset();
+      continue;
+    }
+    ctl.on_abort();
+    if (++failures >= 256) {
+      // Unlike the eager mode, resume cannot dangle (nothing is freed while
+      // we are active); heavy conflicts alone get us here. Start over.
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      resume = head_;
+      out.clear();
+      failures = 0;
+    }
+    backoff.pause();
+  }
+  // Retire: the last active Collect frees the limbo nodes. Anything parked
+  // there was unlinked before this point, so no later Collect can reach it.
+  bool last = false;
+  htm::atomic([&](Txn& txn) {
+    const int32_t active = txn.load(&active_collects_);
+    last = active == 1;
+    txn.store(&active_collects_, active - 1);
+  });
+  if (last) {
+    std::vector<Node*> drain;
+    {
+      std::lock_guard lock(limbo_mu_);
+      drain.swap(limbo_);
+    }
+    for (Node* n : drain) {
+      mem::destroy(n);
+      nodes_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t FastCollectList::footprint_bytes() const {
+  return static_cast<std::size_t>(nodes_.load(std::memory_order_relaxed) + 1) *
+         sizeof(Node);
+}
+
+std::size_t FastCollectList::node_count() const {
+  std::size_t n = 0;
+  for (Node* cur = head_->next; cur != nullptr; cur = cur->next) ++n;
+  return n;
+}
+
+}  // namespace dc::collect

@@ -1,0 +1,82 @@
+// FastCollect (§3.1.2): list-based Collect optimized for infrequent
+// DeRegister operations.
+//
+// Same Register/Update as HOHRC, but no reference counts: DeRegister
+// atomically unlinks the node and increments a shared deregister counter,
+// then frees the node immediately. Collect validates the counter in every
+// transaction; if it changed since the Collect began, the whole Collect
+// restarts. Sandboxing covers the window where a Collect still holds a
+// pointer to a just-freed node: touching it aborts the transaction, and the
+// re-executed transaction sees the counter change and restarts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "collect/telescoped_base.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+
+class FastCollectList final : public TelescopedBase {
+ public:
+  // `defer_frees` enables the variant proposed in §3.1.2 to address
+  // FastCollect's progress problem ("a mode in which DeRegister operations
+  // add nodes to a to-be-freed list that is freed by a Collect operation
+  // after it completes"): DeRegister unlinks but parks the node in a limbo
+  // list; the last active Collect to finish frees the parked nodes. With
+  // nothing freed mid-Collect, the deregister counter — and the restarts it
+  // forces — disappear, at the cost of Collects writing a shared
+  // active-collect count and of limbo growth while Collects overlap.
+  explicit FastCollectList(bool defer_frees = false);
+  ~FastCollectList() override;
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override {
+    return defer_frees_ ? "ListFastCollectDefer" : "ListFastCollect";
+  }
+  bool is_dynamic() const override { return true; }
+  bool uses_htm() const override { return true; }
+  std::size_t footprint_bytes() const override;
+
+  // Collect restarts caused by concurrent deregisters (test/bench hook).
+  uint64_t restarts() const noexcept {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+
+  // Collects that fell back to the serialized (§6 lock) path after being
+  // starved by churn.
+  uint64_t serialized_collects() const noexcept {
+    return serialized_collects_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t node_count() const;
+
+ private:
+  struct Node {
+    Value val = 0;
+    Node* prev = nullptr;
+    Node* next = nullptr;
+  };
+
+  void collect_deferred(std::vector<Value>& out);
+  void collect_serialized(std::vector<Value>& out);
+
+  Node* const head_;  // sentinel
+  uint64_t dereg_count_ = 0;  // `dc` in the paper; read/written in txns
+  const bool defer_frees_;
+  int32_t active_collects_ = 0;  // deferred mode; read/written in txns
+  std::mutex limbo_mu_;
+  std::vector<Node*> limbo_;  // unlinked, awaiting a quiescent collect end
+  std::atomic<int64_t> nodes_{0};
+  std::atomic<uint64_t> restarts_{0};
+  std::atomic<uint64_t> serialized_collects_{0};
+};
+
+}  // namespace dc::collect

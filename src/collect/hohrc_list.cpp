@@ -1,0 +1,190 @@
+#include "collect/hohrc_list.hpp"
+
+#include "memory/pool.hpp"
+#include "util/backoff.hpp"
+
+namespace dc::collect {
+
+using htm::Txn;
+
+HohrcList::HohrcList() : head_(mem::create<Node>()) {}
+
+HohrcList::~HohrcList() {
+  // Quiesced: free whatever is still linked, then the sentinel.
+  Node* cur = head_->next;
+  while (cur != nullptr) {
+    Node* next = cur->next;
+    mem::destroy(cur);
+    cur = next;
+  }
+  mem::destroy(head_);
+}
+
+void HohrcList::unlink_in_txn(Txn& txn, Node* n) {
+  Node* prev = txn.load(&n->prev);
+  Node* next = txn.load(&n->next);
+  txn.store(&prev->next, next);
+  if (next != nullptr) txn.store(&next->prev, prev);
+}
+
+Handle HohrcList::register_handle(Value v) {
+  Node* n = mem::create<Node>();
+  n->val = v;
+  nodes_.fetch_add(1, std::memory_order_relaxed);
+  htm::atomic([&](Txn& txn) {
+    Node* first = txn.load(&head_->next);
+    // n is private until the commit publishes it; plain initialization.
+    n->next = first;
+    n->prev = head_;
+    if (first != nullptr) txn.store(&first->prev, n);
+    txn.store(&head_->next, n);
+  });
+  return n;
+}
+
+void HohrcList::update(Handle h, Value v) {
+  // Handle storage never moves: a naked strong-atomicity store (§3.1.1's
+  // stated advantage for update-heavy workloads).
+  htm::nontxn_store(&static_cast<Node*>(h)->val, v);
+}
+
+void HohrcList::deregister(Handle h) {
+  Node* n = static_cast<Node*>(h);
+  bool do_free = false;
+  htm::atomic([&](Txn& txn) {
+    do_free = false;
+    txn.store(&n->del, uint32_t{1});
+    if (txn.load(&n->refcount) == 0) {
+      unlink_in_txn(txn, n);
+      do_free = true;
+    }
+    // Otherwise some Collect pins the node; the last unpin reclaims it.
+  });
+  if (do_free) {
+    mem::destroy(n);
+    nodes_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void HohrcList::collect(std::vector<Value>& out) {
+  out.clear();
+  StepController& ctl = this->ctl();
+  Node* pinned = head_;  // the sentinel needs no pin: it is never deleted
+  std::vector<Value> scratch;
+  scratch.reserve(StepController::kMaxStep);
+  util::Backoff backoff(4, 1024);
+  uint32_t failures = 0;
+  for (;;) {
+    const uint32_t step = ctl.step();
+    Node* new_pin = nullptr;
+    Node* to_free = nullptr;
+    bool done = false;
+    const htm::TryResult r = htm::try_once([&](Txn& txn) {
+      scratch.clear();
+      new_pin = nullptr;
+      to_free = nullptr;
+      done = false;
+      // Walk up to `step` nodes past the pinned node. The transaction
+      // validates the whole chain, so the intermediate nodes need no
+      // reference-count updates — that is the telescoping optimization.
+      // Reserve budget for the pin transfer (2 stores) and a possible
+      // unlink (3 stores); the rest is available for result recording.
+      // HOHRC therefore needs a store buffer of at least 6 entries.
+      constexpr uint32_t kPinReserve = 5;
+      Node* last = nullptr;
+      Node* cur = txn.load(&pinned->next);
+      for (uint32_t k = 0;
+           k < step && cur != nullptr && txn.store_budget_left() > kPinReserve;
+           ++k) {
+        if (txn.load(&cur->del) == 0) {
+          scratch.push_back(txn.load(&cur->val));
+          txn.charge_store();
+        }
+        last = cur;
+        cur = txn.load(&cur->next);
+      }
+      if (cur == nullptr) {
+        done = true;  // reached the end; no new pin needed
+      } else {
+        // Pin the last node visited; the next transaction resumes there.
+        txn.store(&last->refcount, txn.load(&last->refcount) + 1);
+        new_pin = last;
+      }
+      // Unpin the node we started from (hand-over-hand).
+      if (pinned != head_) {
+        const int32_t rc = txn.load(&pinned->refcount) - 1;
+        txn.store(&pinned->refcount, rc);
+        if (rc == 0 && txn.load(&pinned->del) != 0) {
+          unlink_in_txn(txn, pinned);
+          to_free = pinned;
+        }
+      }
+    });
+    if (r.committed) {
+      out.insert(out.end(), scratch.begin(), scratch.end());
+      ctl.on_commit(static_cast<uint32_t>(scratch.size()));
+      if (to_free != nullptr) {
+        mem::destroy(to_free);
+        nodes_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (done) return;
+      pinned = new_pin;
+      failures = 0;
+      backoff.reset();
+      continue;
+    }
+    ctl.on_abort();
+    ++failures;
+    if (failures >= 128 && ctl.step() == 1) {
+      // Liveness escape hatch: single step via the retrying wrapper.
+      htm::atomic([&](Txn& txn) {
+        scratch.clear();
+        new_pin = nullptr;
+        to_free = nullptr;
+        done = false;
+        Node* cur = txn.load(&pinned->next);
+        if (cur == nullptr) {
+          done = true;
+        } else {
+          if (txn.load(&cur->del) == 0) {
+            scratch.push_back(txn.load(&cur->val));
+          }
+          txn.store(&cur->refcount, txn.load(&cur->refcount) + 1);
+          new_pin = cur;
+        }
+        if (pinned != head_) {
+          const int32_t rc = txn.load(&pinned->refcount) - 1;
+          txn.store(&pinned->refcount, rc);
+          if (rc == 0 && txn.load(&pinned->del) != 0) {
+            unlink_in_txn(txn, pinned);
+            to_free = pinned;
+          }
+        }
+      });
+      out.insert(out.end(), scratch.begin(), scratch.end());
+      ctl.on_commit(static_cast<uint32_t>(scratch.size()));
+      if (to_free != nullptr) {
+        mem::destroy(to_free);
+        nodes_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (done) return;
+      pinned = new_pin;
+      failures = 0;
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+std::size_t HohrcList::footprint_bytes() const {
+  return static_cast<std::size_t>(nodes_.load(std::memory_order_relaxed) + 1) *
+         sizeof(Node);
+}
+
+std::size_t HohrcList::node_count() const {
+  std::size_t n = 0;
+  for (Node* cur = head_->next; cur != nullptr; cur = cur->next) ++n;
+  return n;
+}
+
+}  // namespace dc::collect

@@ -1,0 +1,56 @@
+// HOHRC — hand-over-hand reference counting over a doubly-linked list
+// (§3.1.1), with telescoping (§3.4).
+//
+// Each node carries a reference count that "pins" it (prevents
+// deallocation) while a Collect holds it. Collect moves down the list in
+// transactions that pin the next node and unpin the previous one (with
+// telescoping, the pin advances k nodes per transaction, leaving the
+// intermediate nodes untouched — the key cache-behaviour win). DeRegister
+// marks the node; whoever drops the pin count to zero on a marked node
+// unlinks and frees it. Handles never move, so Update is a naked
+// (strong-atomicity) store.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "collect/telescoped_base.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+
+class HohrcList final : public TelescopedBase {
+ public:
+  HohrcList();
+  ~HohrcList() override;
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override { return "ListHoHRC"; }
+  bool is_dynamic() const override { return true; }
+  bool uses_htm() const override { return true; }
+  std::size_t footprint_bytes() const override;
+
+  // Number of linked nodes, sentinel excluded (test hook; quiescent).
+  std::size_t node_count() const;
+
+ private:
+  struct Node {
+    Value val = 0;
+    int32_t refcount = 0;
+    uint32_t del = 0;  // delete marker (§3.1.1)
+    Node* prev = nullptr;
+    Node* next = nullptr;
+  };
+
+  // Unlinks n (inside txn); caller frees after commit.
+  static void unlink_in_txn(htm::Txn& txn, Node* n);
+
+  Node* const head_;  // sentinel; never deleted, never pinned
+  std::atomic<int64_t> nodes_{0};
+};
+
+}  // namespace dc::collect

@@ -1,0 +1,72 @@
+#include "collect/registry.hpp"
+
+#include "collect/array_dyn_append_dereg.hpp"
+#include "collect/array_dyn_append_dereg_upd.hpp"
+#include "collect/array_dyn_search_resize.hpp"
+#include "collect/array_stat_append_dereg.hpp"
+#include "collect/array_stat_search_no.hpp"
+#include "collect/dynamic_baseline.hpp"
+#include "collect/fast_collect_list.hpp"
+#include "collect/hohrc_list.hpp"
+#include "collect/static_baseline.hpp"
+
+namespace dc::collect {
+
+const std::vector<AlgoInfo>& all_algorithms() {
+  static const std::vector<AlgoInfo> algos = {
+      {"ListHoHRC", true, true, true,
+       [](const MakeParams&) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<HohrcList>();
+       }},
+      {"ListFastCollect", true, true, true,
+       [](const MakeParams&) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<FastCollectList>();
+       }},
+      // §3.1.2's proposed deferred-free variant (this repo implements it).
+      {"ListFastCollectDefer", true, true, true,
+       [](const MakeParams&) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<FastCollectList>(/*defer_frees=*/true);
+       }},
+      {"ArrayStatSearchNo", false, true, false,
+       [](const MakeParams& p) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<ArrayStatSearchNo>(p.static_capacity);
+       }},
+      {"ArrayStatAppendDereg", false, true, true,
+       [](const MakeParams& p) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<ArrayStatAppendDereg>(p.static_capacity);
+       }},
+      {"ArrayDynSearchResize", true, true, true,
+       [](const MakeParams& p) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<ArrayDynSearchResize>(p.min_size);
+       }},
+      {"ArrayDynAppendDereg", true, true, true,
+       [](const MakeParams& p) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<ArrayDynAppendDereg>(p.min_size);
+       }},
+      // §4.1's sketched Update-optimized variant (this repo implements it).
+      {"ArrayDynAppendDeregUpdOpt", true, true, true,
+       [](const MakeParams& p) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<ArrayDynAppendDeregUpdateOpt>(p.min_size);
+       }},
+      {"StaticBaseline", false, false, false,
+       [](const MakeParams& p) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<StaticBaseline>(p.static_capacity,
+                                                 p.max_threads);
+       }},
+      {"DynamicBaseline", true, false, false,
+       [](const MakeParams&) -> std::unique_ptr<DynamicCollect> {
+         return std::make_unique<DynamicBaseline>();
+       }},
+  };
+  return algos;
+}
+
+std::unique_ptr<DynamicCollect> make_algorithm(const std::string& name,
+                                               const MakeParams& params) {
+  for (const AlgoInfo& info : all_algorithms()) {
+    if (info.name == name) return info.make(params);
+  }
+  return nullptr;
+}
+
+}  // namespace dc::collect

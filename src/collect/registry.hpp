@@ -1,0 +1,38 @@
+// Factory over the eight Dynamic Collect implementations, so tests,
+// benchmarks, and examples can iterate "all algorithms" uniformly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collect/collect.hpp"
+
+namespace dc::collect {
+
+// Sizing knobs for construction. The static algorithms need a capacity
+// bound; the dynamic arrays take a minimum size; the static baseline also
+// needs the thread bound.
+struct MakeParams {
+  int32_t static_capacity = 128;
+  int32_t min_size = 16;
+  uint32_t max_threads = 16;
+};
+
+struct AlgoInfo {
+  std::string name;
+  bool is_dynamic;
+  bool uses_htm;
+  bool telescoped;  // Collect supports step sizes > 1
+  std::function<std::unique_ptr<DynamicCollect>(const MakeParams&)> make;
+};
+
+// All eight algorithms, in the paper's presentation order.
+const std::vector<AlgoInfo>& all_algorithms();
+
+// nullptr if `name` is unknown. Names match DynamicCollect::name().
+std::unique_ptr<DynamicCollect> make_algorithm(const std::string& name,
+                                               const MakeParams& params = {});
+
+}  // namespace dc::collect

@@ -1,0 +1,96 @@
+#include "collect/static_baseline.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "memory/pool.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::collect {
+
+namespace {
+
+// Per-object, per-thread region assignment: the first `max_threads` threads
+// to touch the object get disjoint slot ranges (the "static mapping").
+struct RegionMap {
+  std::atomic<int32_t> of[util::kMaxThreads];
+  std::atomic<int32_t> next{0};
+
+  RegionMap() {
+    for (auto& r : of) r.store(-1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+StaticBaseline::StaticBaseline(int32_t capacity, uint32_t max_threads)
+    : array_(mem::create_array<Slot>(
+          static_cast<std::size_t>(capacity < 1 ? 1 : capacity))),
+      capacity_(capacity < 1 ? 1 : capacity),
+      max_threads_(max_threads < 1 ? 1 : max_threads) {
+  regions_ = new RegionMap;
+}
+
+StaticBaseline::~StaticBaseline() {
+  mem::destroy_array(array_, static_cast<std::size_t>(capacity_));
+  delete static_cast<RegionMap*>(regions_);
+}
+
+Handle StaticBaseline::register_handle(Value v) {
+  auto* map = static_cast<RegionMap*>(regions_);
+  const uint32_t tid = util::thread_id();
+  int32_t region = map->of[tid].load(std::memory_order_acquire);
+  if (region < 0) {
+    region = map->next.fetch_add(1, std::memory_order_acq_rel);
+    if (region >= static_cast<int32_t>(max_threads_)) {
+      std::fprintf(stderr,
+                   "StaticBaseline: more than %u threads (static mapping "
+                   "assumes a known thread bound)\n",
+                   max_threads_);
+      std::abort();
+    }
+    map->of[tid].store(region, std::memory_order_release);
+  }
+  const int32_t per = capacity_ / static_cast<int32_t>(max_threads_);
+  const int32_t begin = region * per;
+  const int32_t end = begin + per;
+  for (int32_t i = begin; i < end; ++i) {
+    // Only this thread writes flags in its region; plain read suffices.
+    if (htm::nontxn_load(&array_[i].used) == 0) {
+      htm::nontxn_store(&array_[i].val, v);
+      htm::nontxn_store(&array_[i].used, uint32_t{1});
+      return &array_[i];
+    }
+  }
+  std::fprintf(stderr,
+               "StaticBaseline: thread region full (%d slots; the static "
+               "algorithm assumes a known bound)\n",
+               per);
+  std::abort();
+}
+
+void StaticBaseline::update(Handle h, Value v) {
+  htm::nontxn_store(&static_cast<Slot*>(h)->val, v);
+}
+
+void StaticBaseline::deregister(Handle h) {
+  htm::nontxn_store(&static_cast<Slot*>(h)->used, uint32_t{0});
+}
+
+void StaticBaseline::collect(std::vector<Value>& out) {
+  // The whole array, registered or not — the cost signature that separates
+  // this baseline from the Append algorithms in Figures 3 and 8.
+  out.clear();
+  for (int32_t i = 0; i < capacity_; ++i) {
+    if (htm::nontxn_load(&array_[i].used) != 0) {
+      out.push_back(htm::nontxn_load(&array_[i].val));
+    }
+  }
+}
+
+std::size_t StaticBaseline::footprint_bytes() const {
+  return static_cast<std::size_t>(capacity_) * sizeof(Slot);
+}
+
+}  // namespace dc::collect

@@ -1,0 +1,48 @@
+// Static baseline (§3.3): no HTM, no dynamism.
+//
+// A fixed-size array with threads statically mapped to slot ranges.
+// Register/DeRegister reduce to setting/clearing a flag in the thread's own
+// range (no synchronization — the range is thread-private for writes);
+// Update stores directly; Collect scans the *entire* array and returns the
+// bound values. The paper uses it to put the dynamic algorithms'
+// performance in context: its Collect cost is proportional to the full
+// capacity, not to the number of registered handles.
+#pragma once
+
+#include <cstdint>
+
+#include "collect/collect.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+
+class StaticBaseline final : public DynamicCollect {
+ public:
+  // `capacity` total slots statically partitioned among `max_threads`
+  // (both bounds are assumed known — this does not solve Dynamic Collect).
+  explicit StaticBaseline(int32_t capacity = 64, uint32_t max_threads = 16);
+  ~StaticBaseline() override;
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override { return "StaticBaseline"; }
+  bool is_dynamic() const override { return false; }
+  bool uses_htm() const override { return false; }
+  std::size_t footprint_bytes() const override;
+
+ private:
+  struct Slot {
+    Value val;
+    uint32_t used;
+  };
+
+  Slot* const array_;
+  const int32_t capacity_;
+  const uint32_t max_threads_;
+  void* regions_ = nullptr;  // RegionMap (opaque here to keep the header lean)
+};
+
+}  // namespace dc::collect

@@ -1,0 +1,104 @@
+// Telescoping step-size control (paper §3.4).
+//
+// Telescoping folds several traversal steps into one transaction,
+// amortizing begin/commit costs; larger steps are more abort-prone, so the
+// paper adapts the step size from the outcomes of the most recent 8
+// transaction attempts:
+//
+//   * an 8-bit vector records commit(1)/abort(0) of recent attempts, so the
+//     oldest outcome can be "aged out";
+//   * counter = #commits - #aborts among the recorded attempts;
+//   * after a commit, if counter > 6, double the step;
+//   * after an abort, if counter < -2, halve the step;
+//   * only attempts since the last step resize are relevant (history resets
+//     on resize);
+//   * steps are capped at the store-buffer capacity (32 on Rock), because
+//     each step performs at least one store (recording into the result set).
+//
+// The thresholds (+6, -2) are the paper's experimentally determined values,
+// exposed here as fields for the ablation benchmark.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace dc::collect {
+
+enum class StepMode : uint8_t {
+  kFixed,           // fixed step, no bookkeeping
+  kFixedRecording,  // fixed step, outcome bookkeeping ("Best (adapt cost)")
+  kAdaptive,        // full §3.4 mechanism
+};
+
+class StepController {
+ public:
+  static constexpr uint32_t kMaxStepLog2 = 5;  // 32 == Rock store buffer
+  static constexpr uint32_t kMaxStep = 1u << kMaxStepLog2;
+
+  StepMode mode = StepMode::kAdaptive;
+  int32_t grow_threshold = 6;    // "higher than 6 after a commit"
+  int32_t shrink_threshold = -2; // "below -2 after an abort"
+
+  uint32_t step() const noexcept { return step_; }
+
+  void set_step(uint32_t s) noexcept {
+    step_ = s < 1 ? 1 : (s > kMaxStep ? kMaxStep : s);
+    reset_history();
+  }
+
+  // Outcome of one Collect transaction attempt that copied `slots` elements
+  // (slots == step in the common case; fewer near the end of a traversal).
+  void on_commit(uint32_t slots) noexcept {
+    slots_by_step_[std::bit_width(step_) - 1] += slots;
+    if (mode == StepMode::kFixed) return;
+    record(true);
+    if (mode == StepMode::kAdaptive && counter() > grow_threshold &&
+        step_ < kMaxStep) {
+      step_ *= 2;
+      reset_history();
+    }
+  }
+
+  void on_abort() noexcept {
+    if (mode == StepMode::kFixed) return;
+    record(false);
+    if (mode == StepMode::kAdaptive && counter() < shrink_threshold &&
+        step_ > 1) {
+      step_ /= 2;
+      reset_history();
+    }
+  }
+
+  // #commits - #aborts among the recorded recent attempts.
+  int32_t counter() const noexcept {
+    const int32_t commits = std::popcount(bits_);
+    return 2 * commits - static_cast<int32_t>(filled_);
+  }
+
+  void reset_history() noexcept {
+    bits_ = 0;
+    filled_ = 0;
+  }
+
+  // Figure 6 data: slots collected while the controller sat at each step
+  // size; index = log2(step).
+  const std::array<uint64_t, kMaxStepLog2 + 1>& slots_by_step() const noexcept {
+    return slots_by_step_;
+  }
+  void reset_stats() noexcept { slots_by_step_ = {}; }
+
+ private:
+  void record(bool commit) noexcept {
+    bits_ = static_cast<uint8_t>((bits_ << 1) | (commit ? 1 : 0));
+    if (filled_ < 8) ++filled_;
+  }
+
+  uint32_t step_ = 1;
+  uint8_t bits_ = 0;     // shift register of recent outcomes (1 = commit)
+  uint32_t filled_ = 0;  // how many of the 8 bits are populated
+  std::array<uint64_t, kMaxStepLog2 + 1> slots_by_step_{};
+};
+
+}  // namespace dc::collect

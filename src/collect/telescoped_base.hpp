@@ -1,0 +1,68 @@
+// Shared plumbing for the HTM-based algorithms: per-thread telescoping step
+// controllers (§3.4) and the DynamicCollect step-control surface.
+//
+// Controllers are per-thread: the step size adapts to the abort rate each
+// thread observes, and keeping them thread-local avoids the controllers
+// themselves becoming a contention point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collect/collect.hpp"
+#include "collect/telescope.hpp"
+#include "util/padded.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::collect {
+
+class TelescopedBase : public DynamicCollect {
+ public:
+  void set_step_size(uint32_t step) override {
+    apply([&](StepController& c) {
+      c.mode = StepMode::kFixed;
+      c.set_step(step);
+    });
+  }
+
+  void set_adaptive(bool on) override {
+    apply([&](StepController& c) {
+      c.mode = on ? StepMode::kAdaptive : StepMode::kFixed;
+    });
+  }
+
+  void set_record_only(bool on) override {
+    apply([&](StepController& c) {
+      c.mode = on ? StepMode::kFixedRecording : c.mode;
+    });
+  }
+
+  std::vector<uint64_t> slots_by_step() const override {
+    std::vector<uint64_t> total(StepController::kMaxStepLog2 + 1, 0);
+    for (const auto& c : controllers_) {
+      const auto& per = c.value.slots_by_step();
+      for (std::size_t i = 0; i < per.size(); ++i) total[i] += per[i];
+    }
+    return total;
+  }
+
+  void reset_step_stats() override {
+    apply([](StepController& c) { c.reset_stats(); });
+  }
+
+ protected:
+  StepController& ctl() noexcept {
+    return controllers_[util::thread_id()].value;
+  }
+
+  template <class F>
+  void apply(F&& f) {
+    // Configuration is done while the object is quiescent (benchmark
+    // setup), so a plain sweep over all per-thread controllers is safe.
+    for (auto& c : controllers_) f(c.value);
+  }
+
+  util::Padded<StepController> controllers_[util::kMaxThreads];
+};
+
+}  // namespace dc::collect

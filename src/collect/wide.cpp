@@ -1,0 +1,279 @@
+#include "collect/wide.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "memory/pool.hpp"
+
+namespace dc::collect {
+
+using htm::Txn;
+
+namespace {
+
+WideValue txn_load_wide(Txn& txn, const WideValue* v) {
+  WideValue out;
+  out.payload[0] = txn.load(&v->payload[0]);
+  out.payload[1] = txn.load(&v->payload[1]);
+  out.payload[2] = txn.load(&v->payload[2]);
+  out.checksum = txn.load(&v->checksum);
+  return out;
+}
+
+void txn_store_wide(Txn& txn, WideValue* dst, const WideValue& v) {
+  txn.store(&dst->payload[0], v.payload[0]);
+  txn.store(&dst->payload[1], v.payload[1]);
+  txn.store(&dst->payload[2], v.payload[2]);
+  txn.store(&dst->checksum, v.checksum);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- SearchNo
+
+WideArrayStatSearchNo::WideArrayStatSearchNo(int32_t capacity)
+    : array_(mem::create_array<Slot>(
+          static_cast<std::size_t>(capacity < 1 ? 1 : capacity))),
+      capacity_(capacity < 1 ? 1 : capacity) {}
+
+WideArrayStatSearchNo::~WideArrayStatSearchNo() {
+  mem::destroy_array(array_, static_cast<std::size_t>(capacity_));
+}
+
+WideHandle WideArrayStatSearchNo::register_handle(const WideValue& v) {
+  Slot* claimed = htm::atomic([&](Txn& txn) -> Slot* {
+    for (int32_t i = 0; i < capacity_; ++i) {
+      if (txn.load(&array_[i].used) == 0) {
+        txn.store(&array_[i].used, uint32_t{1});
+        txn_store_wide(txn, &array_[i].val, v);
+        if (i + 1 > txn.load(&high_)) txn.store(&high_, i + 1);
+        return &array_[i];
+      }
+    }
+    return nullptr;
+  });
+  if (claimed == nullptr) {
+    std::fprintf(stderr, "WideArrayStatSearchNo: capacity exceeded\n");
+    std::abort();
+  }
+  return claimed;
+}
+
+void WideArrayStatSearchNo::update(WideHandle h, const WideValue& v) {
+  // The §5.1 difference: the narrow variant's naked store is no longer an
+  // option — a concurrent Collect could return a torn value. Four stores
+  // inside a transaction instead.
+  auto* slot = static_cast<Slot*>(h);
+  htm::atomic([&](Txn& txn) { txn_store_wide(txn, &slot->val, v); });
+}
+
+void WideArrayStatSearchNo::deregister(WideHandle h) {
+  auto* slot = static_cast<Slot*>(h);
+  htm::nontxn_store(&slot->used, uint32_t{0});
+}
+
+void WideArrayStatSearchNo::collect(std::vector<WideValue>& out) {
+  // Also transactional now (per slot), for the same reason.
+  out.clear();
+  const int32_t high = htm::nontxn_load(&high_);
+  for (int32_t i = high - 1; i >= 0; --i) {
+    bool used = false;
+    WideValue v;
+    htm::atomic([&](Txn& txn) {
+      used = txn.load(&array_[i].used) != 0;
+      if (used) v = txn_load_wide(txn, &array_[i].val);
+    });
+    if (used) out.push_back(v);
+  }
+}
+
+// ------------------------------------------------------------ AppendDereg
+
+WideArrayDynAppendDereg::WideArrayDynAppendDereg(int32_t min_size)
+    : array_(mem::create_array<Slot>(static_cast<std::size_t>(
+          min_size < 1 ? 1 : min_size))),
+      capacity_(min_size < 1 ? 1 : min_size),
+      min_size_(min_size < 1 ? 1 : min_size) {}
+
+WideArrayDynAppendDereg::~WideArrayDynAppendDereg() {
+  help_copy();
+  mem::destroy_array(array_, static_cast<std::size_t>(capacity_));
+}
+
+WideValue WideArrayDynAppendDereg::load_wide(Txn& txn, const WideValue* v) {
+  return txn_load_wide(txn, v);
+}
+
+void WideArrayDynAppendDereg::store_wide(Txn& txn, WideValue* dst,
+                                         const WideValue& v) {
+  txn_store_wide(txn, dst, v);
+}
+
+WideHandle WideArrayDynAppendDereg::register_handle(const WideValue& v) {
+  auto* slot_ref = static_cast<Slot**>(mem::pool_allocate(sizeof(Slot*)));
+  for (;;) {
+    int32_t count_l = 0;
+    const Action action = htm::atomic([&](Txn& txn) -> Action {
+      auto append = [&](int32_t c) {
+        Slot* arr = txn.load(&array_);
+        store_wide(txn, &arr[c].val, v);
+        txn.store(&arr[c].slot_ref, slot_ref);
+        txn.store(slot_ref, &arr[c]);
+        txn.store(&count_, c + 1);
+      };
+      if (txn.load(&array_new_) == nullptr) {
+        const int32_t c = txn.load(&count_);
+        if (c < txn.load(&capacity_)) {
+          append(c);
+          return Action::kDone;
+        }
+        count_l = c;
+        return Action::kGrow;
+      }
+      const int32_t c = txn.load(&count_);
+      if (c < txn.load(&capacity_) && c < txn.load(&capacity_new_)) {
+        append(c);
+        return Action::kDone;
+      }
+      return Action::kHelp;
+    });
+    if (action == Action::kDone) return slot_ref;
+    if (action == Action::kGrow) {
+      attempt_resize(count_l, count_l);
+    } else {
+      help_copy();
+    }
+  }
+}
+
+void WideArrayDynAppendDereg::update(WideHandle h, const WideValue& v) {
+  // Was already transactional with narrow values; widening costs three more
+  // stores, not a new synchronization regime — hence "the gap closes".
+  auto* slot_ref = static_cast<Slot**>(h);
+  htm::atomic([&](Txn& txn) {
+    Slot* slot = txn.load(slot_ref);
+    store_wide(txn, &slot->val, v);
+  });
+}
+
+void WideArrayDynAppendDereg::deregister(WideHandle h) {
+  auto* slot_ref = static_cast<Slot**>(h);
+  for (;;) {
+    int32_t count_l = 0;
+    int32_t capacity_l = 0;
+    const Action action = htm::atomic([&](Txn& txn) -> Action {
+      count_l = txn.load(&count_);
+      capacity_l = txn.load(&capacity_);
+      if (count_l * 4 == capacity_l && count_l * 2 >= min_size_) {
+        return Action::kShrink;
+      }
+      if (txn.load(&array_new_) == nullptr) {
+        const int32_t last = count_l - 1;
+        txn.store(&count_, last);
+        Slot* arr = txn.load(&array_);
+        Slot* mine = txn.load(slot_ref);
+        store_wide(txn, &mine->val, load_wide(txn, &arr[last].val));
+        Slot** const last_ref = txn.load(&arr[last].slot_ref);
+        txn.store(&mine->slot_ref, last_ref);
+        txn.store(last_ref, mine);
+        return Action::kDone;
+      }
+      return Action::kHelp;
+    });
+    if (action == Action::kDone) break;
+    if (action == Action::kShrink) {
+      attempt_resize(count_l, capacity_l);
+    } else {
+      help_copy();
+    }
+  }
+  mem::pool_deallocate(slot_ref, sizeof(Slot*));
+}
+
+void WideArrayDynAppendDereg::collect(std::vector<WideValue>& out) {
+  out.clear();
+  help_copy();
+  int32_t i = htm::nontxn_load(&count_) - 1;
+  while (i >= 0) {
+    // Wide values consume the store budget 4x as fast: up to 8 slots per
+    // transaction within the 32-entry buffer.
+    int32_t i_next = i;
+    std::vector<WideValue> scratch;
+    scratch.reserve(8);
+    htm::atomic([&](Txn& txn) {
+      i_next = i;
+      scratch.clear();
+      while (i_next >= 0 && txn.store_budget_left() >= 4) {
+        const int32_t cnt = txn.load(&count_);
+        if (i_next >= cnt) i_next = cnt - 1;
+        if (i_next < 0) break;
+        Slot* arr = txn.load(&array_);
+        scratch.push_back(load_wide(txn, &arr[i_next].val));
+        txn.charge_store(4);  // 4-word result record
+        --i_next;
+      }
+    });
+    out.insert(out.end(), scratch.begin(), scratch.end());
+    i = i_next;
+  }
+}
+
+void WideArrayDynAppendDereg::attempt_resize(int32_t count_l,
+                                             int32_t capacity_l) {
+  const int32_t new_cap = count_l * 2;
+  Slot* tmp = mem::create_array<Slot>(static_cast<std::size_t>(new_cap));
+  const bool free_tmp = htm::atomic([&](Txn& txn) -> bool {
+    if (txn.load(&array_new_) == nullptr && txn.load(&count_) == count_l &&
+        txn.load(&capacity_) == capacity_l) {
+      txn.store(&array_new_, tmp);
+      txn.store(&capacity_new_, new_cap);
+      txn.store(&copied_, 0);
+      return false;
+    }
+    return true;
+  });
+  if (free_tmp) mem::destroy_array(tmp, static_cast<std::size_t>(new_cap));
+  help_copy();
+}
+
+void WideArrayDynAppendDereg::help_copy() {
+  while (htm::nontxn_load(&array_new_) != nullptr) help_copy_one();
+}
+
+void WideArrayDynAppendDereg::help_copy_one() {
+  Slot* to_free = nullptr;
+  int32_t to_free_cap = 0;
+  htm::atomic([&](Txn& txn) {
+    to_free = nullptr;
+    if (txn.load(&array_new_) == nullptr) return;
+    const int32_t copied = txn.load(&copied_);
+    if (copied < txn.load(&count_)) {
+      Slot* arr = txn.load(&array_);
+      Slot* arr_new = txn.load(&array_new_);
+      store_wide(txn, &arr_new[copied].val,
+                 load_wide(txn, &arr[copied].val));
+      Slot** const sr = txn.load(&arr[copied].slot_ref);
+      txn.store(&arr_new[copied].slot_ref, sr);
+      txn.store(sr, &arr_new[copied]);
+      txn.store(&copied_, copied + 1);
+    } else {
+      to_free = txn.load(&array_);
+      to_free_cap = txn.load(&capacity_);
+      txn.store(&array_, txn.load(&array_new_));
+      txn.store(&capacity_, txn.load(&capacity_new_));
+      txn.store(&array_new_, static_cast<Slot*>(nullptr));
+    }
+  });
+  if (to_free != nullptr) {
+    mem::destroy_array(to_free, static_cast<std::size_t>(to_free_cap));
+  }
+}
+
+int32_t WideArrayDynAppendDereg::capacity_now() const noexcept {
+  return htm::nontxn_load(&capacity_);
+}
+int32_t WideArrayDynAppendDereg::count_now() const noexcept {
+  return htm::nontxn_load(&count_);
+}
+
+}  // namespace dc::collect

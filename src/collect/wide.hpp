@@ -1,0 +1,126 @@
+// Multi-word values — the §5.1 prediction, implemented.
+//
+//   "the ability of some of the algorithms to perform Update operations
+//    using naked store instructions depends on the values being stored
+//    fitting within a single machine word [...]. For larger values,
+//    synchronization (HTM-based or not) would be needed to prevent Collect
+//    from returning partial values, which would largely close the gap in
+//    Update performance."
+//
+// WideValue is a 4-word value with a derived checksum so tests and
+// benchmarks can detect torn (partially updated) reads. Two wide-value
+// collect objects are provided:
+//
+//  * WideArrayStatSearchNo — the algorithm whose narrow Update is a naked
+//    store; with wide values both Update and Collect must use transactions,
+//    which is exactly the "gap closes" claim (bench_wide_values).
+//  * WideArrayDynAppendDereg — the Figure 2 algorithm, whose Update was
+//    already transactional; widening adds three stores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+
+struct WideValue {
+  // Three payload words and a checksum; consistent() detects torn reads.
+  std::array<uint64_t, 3> payload{};
+  uint64_t checksum = 0;
+
+  static WideValue make(uint64_t a, uint64_t b, uint64_t c) noexcept {
+    WideValue v;
+    v.payload = {a, b, c};
+    v.checksum = a ^ b ^ c ^ kSeal;
+    return v;
+  }
+
+  bool consistent() const noexcept {
+    return checksum == (payload[0] ^ payload[1] ^ payload[2] ^ kSeal);
+  }
+
+  friend bool operator==(const WideValue&, const WideValue&) = default;
+
+ private:
+  static constexpr uint64_t kSeal = 0x5EA1'5EA1'5EA1'5EA1ULL;
+};
+
+using WideHandle = void*;
+
+// Shared shape of the two wide-value objects (kept separate from
+// DynamicCollect: the paper's interface is single-word by construction).
+class WideCollect {
+ public:
+  virtual ~WideCollect() = default;
+  virtual WideHandle register_handle(const WideValue& v) = 0;
+  virtual void update(WideHandle h, const WideValue& v) = 0;
+  virtual void deregister(WideHandle h) = 0;
+  virtual void collect(std::vector<WideValue>& out) = 0;
+  virtual const char* name() const = 0;
+};
+
+// --- Static, search-register, no compaction — wide variant --------------
+class WideArrayStatSearchNo final : public WideCollect {
+ public:
+  explicit WideArrayStatSearchNo(int32_t capacity = 256);
+  ~WideArrayStatSearchNo() override;
+
+  WideHandle register_handle(const WideValue& v) override;
+  void update(WideHandle h, const WideValue& v) override;
+  void deregister(WideHandle h) override;
+  void collect(std::vector<WideValue>& out) override;
+  const char* name() const override { return "WideArrayStatSearchNo"; }
+
+ private:
+  struct Slot {
+    WideValue val;
+    uint32_t used;
+  };
+  Slot* const array_;
+  const int32_t capacity_;
+  int32_t high_ = 0;
+};
+
+// --- Figure 2 (append/dereg, dynamic) — wide variant ---------------------
+class WideArrayDynAppendDereg final : public WideCollect {
+ public:
+  explicit WideArrayDynAppendDereg(int32_t min_size = 16);
+  ~WideArrayDynAppendDereg() override;
+
+  WideHandle register_handle(const WideValue& v) override;
+  void update(WideHandle h, const WideValue& v) override;
+  void deregister(WideHandle h) override;
+  void collect(std::vector<WideValue>& out) override;
+  const char* name() const override { return "WideArrayDynAppendDereg"; }
+
+  int32_t capacity_now() const noexcept;
+  int32_t count_now() const noexcept;
+
+ private:
+  struct Slot {
+    WideValue val;
+    Slot** slot_ref;
+  };
+
+  enum class Action : uint8_t { kDone, kGrow, kShrink, kHelp };
+
+  static WideValue load_wide(htm::Txn& txn, const WideValue* v);
+  static void store_wide(htm::Txn& txn, WideValue* dst, const WideValue& v);
+
+  void attempt_resize(int32_t count_l, int32_t capacity_l);
+  void help_copy();
+  void help_copy_one();
+
+  Slot* array_;
+  int32_t capacity_;
+  int32_t count_ = 0;
+  Slot* array_new_ = nullptr;
+  int32_t capacity_new_ = 0;
+  int32_t copied_ = 0;
+  const int32_t min_size_;
+};
+
+}  // namespace dc::collect

@@ -1,0 +1,42 @@
+// Transaction abort causes and the (internal) abort exception.
+//
+// The set of causes mirrors what Rock's checkpoint-status register reported
+// to software [Dice et al., ASPLOS'09]: conflicts, store-buffer overflow
+// ("size"), explicit aborts, and illegal accesses. The adaptive telescoping
+// controller (paper §3.4) keys off commit-vs-abort outcomes; tests and
+// benchmark diagnostics key off the specific cause.
+#pragma once
+
+#include <cstdint>
+
+namespace dc::htm {
+
+enum class AbortCode : uint8_t {
+  kNone = 0,
+  // Another thread wrote (transactionally or via a strong-atomicity store)
+  // a location this transaction read, or holds a commit-time lock on it.
+  kConflict,
+  // The transaction issued more stores than the simulated store buffer
+  // accommodates (Rock: 32 entries; configurable here).
+  kOverflow,
+  // The transaction body requested an abort.
+  kExplicit,
+  // The transaction accessed memory freed through the HTM-aware allocator.
+  // On Rock this manifests as a sandboxed abort instead of a fault
+  // (paper footnote 1); in this substrate it surfaces as a conflict raised
+  // by the allocator's ownership-record bump, tagged distinctly when the
+  // allocator's debug poison detects it.
+  kIllegalAccess,
+  kNumCodes,
+};
+
+const char* to_string(AbortCode code) noexcept;
+
+// Thrown by Txn to unwind out of the transaction body. User code must never
+// catch this type (catching it would break the retry loop); catch clauses in
+// algorithm code should use catch(...) only with rethrow.
+struct TxnAbort {
+  AbortCode code;
+};
+
+}  // namespace dc::htm

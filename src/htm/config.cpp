@@ -1,0 +1,10 @@
+#include "htm/config.hpp"
+
+namespace dc::htm {
+
+Config& config() noexcept {
+  static Config cfg;
+  return cfg;
+}
+
+}  // namespace dc::htm

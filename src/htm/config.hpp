@@ -1,0 +1,58 @@
+// Runtime configuration of the simulated HTM.
+//
+// Defaults model Sun's Rock prototype as described in the paper and in
+// [Dice et al., ASPLOS'09]: a 32-entry store buffer bounds transactional
+// stores, transactions are sandboxed, and there is no guarantee that any
+// transaction eventually commits (hence the optional TLE fallback, §6).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dc::htm {
+
+struct Config {
+  // Maximum number of transactional stores per transaction (unique words
+  // written plus explicit charges for stores to private memory, which Rock's
+  // store buffer also held). Exceeding it aborts with AbortCode::kOverflow.
+  uint32_t store_buffer_capacity = 32;
+
+  // Transactional Lock Elision fallback (§6): after this many consecutive
+  // aborts of one atomic block, acquire the global fallback lock and run the
+  // block non-speculatively. 0 disables TLE (pure best-effort HTM, as on
+  // Rock without software mitigation).
+  uint32_t tle_after_aborts = 64;
+
+  // Timestamp extension: when a load observes a version newer than the
+  // transaction's read version, revalidate the read set and advance instead
+  // of aborting. Disabling this models a plainer HTM conflict response and
+  // is an ablation knob for the benchmarks.
+  bool enable_extension = true;
+
+  // Run every atomic block under the global fallback lock (no speculation
+  // at all): the "coarse global lock" baseline that transactional memory is
+  // classically compared against. Ablation knob; default off.
+  bool serialize_all = false;
+
+  // Conflict-detection granularity: log2 of the bytes covered by one
+  // ownership record. 3 (default) = 8-byte word; 6 = 64-byte cache line,
+  // which is how real HTMs (Rock included) actually detect conflicts —
+  // adjacent data false-shares. Change only while no transactions run.
+  uint32_t conflict_granularity_log2 = 3;
+
+  // Single-core fidelity knob: yield to the scheduler every N transactional
+  // loads (0 = never). On the paper's 16-core machine a transaction's whole
+  // window is exposed to concurrently *running* writers; on a single-core
+  // host the OS timeslice hides that overlap, collapsing conflict rates.
+  // Yielding mid-transaction restores the exposure window (longer
+  // transactions yield more, so larger telescoping steps see more conflicts
+  // — the very tradeoff Figures 5/6 measure). Benchmarks enable this; tests
+  // leave it off.
+  uint32_t txn_yield_every_loads = 0;
+};
+
+// Process-global configuration. Benchmarks/tests set it between runs while
+// no transactions execute; it is not meant to be flipped mid-transaction.
+Config& config() noexcept;
+
+}  // namespace dc::htm

@@ -1,0 +1,68 @@
+#include "htm/htm.hpp"
+
+#include "util/backoff.hpp"
+#include "util/padded.hpp"
+
+namespace dc::htm {
+
+namespace detail {
+
+uint64_t* tle_lock_word() noexcept {
+  alignas(dc::util::kCacheLine) static uint64_t word = 0;
+  return &word;
+}
+
+void tle_acquire() noexcept {
+  // Acquire the word with full conflict visibility (nontxn_cas bumps the
+  // orec and global clock), then wait for in-flight commit write-backs to
+  // drain. After the bump, no transaction can begin a new write-back:
+  //  - transactions begun after the bump read the lock word as 1 at begin
+  //    and abort;
+  //  - transactions begun before have the lock word's orec in their read
+  //    set at a version now older than the bump, so commit validation (and
+  //    load-time extension) fails.
+  util::Backoff backoff(8, 1024);
+  while (!nontxn_cas(tle_lock_word(), uint64_t{0}, uint64_t{1})) {
+    backoff.pause();
+  }
+  backoff.reset();
+  while (writeback_count().load(std::memory_order_acquire) != 0) {
+    backoff.pause();
+  }
+}
+
+void tle_release() noexcept { nontxn_store(tle_lock_word(), uint64_t{0}); }
+
+}  // namespace detail
+
+void invalidate_range(void* p, std::size_t bytes, bool poison) noexcept {
+  // Advance every ownership record covering the range, one at a time (never
+  // holding two orec locks, so this cannot deadlock against a committing
+  // transaction that locks its write set in sorted order).
+  const auto start = reinterpret_cast<uintptr_t>(p) & ~uintptr_t{7};
+  const auto end = reinterpret_cast<uintptr_t>(p) + bytes;
+  const OrecValue mine = make_locked(~0ULL >> 1);
+  for (uintptr_t word = start; word < end; word += 8) {
+    Orec& o = orec_for(reinterpret_cast<const void*>(word));
+    util::Backoff backoff(2, 64);
+    OrecValue cur = o.value.load(std::memory_order_relaxed);
+    for (;;) {
+      if (!orec_is_locked(cur) &&
+          o.value.compare_exchange_weak(cur, mine,
+                                        std::memory_order_acq_rel)) {
+        break;
+      }
+      backoff.pause();
+      cur = o.value.load(std::memory_order_relaxed);
+    }
+    if (poison && word >= reinterpret_cast<uintptr_t>(p) && word + 8 <= end) {
+      detail::atomic_word_store(reinterpret_cast<uint64_t*>(word),
+                                kPoisonWord);
+    }
+    const uint64_t wv =
+        global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    o.value.store(make_version(wv), std::memory_order_release);
+  }
+}
+
+}  // namespace dc::htm

@@ -1,0 +1,249 @@
+// Public API of the simulated hardware transactional memory.
+//
+//   htm::atomic([&](htm::Txn& txn) { ... });   // the paper's `atomic {}`
+//
+// The body runs speculatively; on conflict/overflow it is re-executed after
+// backoff. If Config::tle_after_aborts consecutive attempts fail, the block
+// runs under a global fallback lock (Transactional Lock Elision, paper §6).
+// The body must therefore be written to be re-executable: no side effects
+// outside txn.load/txn.store except on memory it owns exclusively, and any
+// transaction-private accumulation (e.g. a Collect result set) must be reset
+// at the top of the body or managed by the caller.
+//
+// Strong atomicity (paper §6): nontxn_store makes a non-transactional store
+// that conflicts correctly with concurrent transactions; nontxn_load is a
+// plain atomic load (single-word, may observe "flickering" values, which is
+// exactly the latitude the Dynamic Collect spec grants).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "htm/abort.hpp"
+#include "htm/config.hpp"
+#include "htm/stats.hpp"
+#include "htm/txn.hpp"
+#include "util/backoff.hpp"
+
+namespace dc::htm {
+
+namespace detail {
+
+// The TLE fallback lock word. Transactions read it (transactionally) at
+// begin; the acquirer bumps its orec, which dooms every in-flight
+// transaction, then waits for in-flight write-backs to drain.
+uint64_t* tle_lock_word() noexcept;
+void tle_acquire() noexcept;
+void tle_release() noexcept;
+
+}  // namespace detail
+
+// Non-transactional (strong-atomicity) store: acquires the word's ownership
+// record, stores, and releases it at a fresh version, so concurrent
+// transactions that read the word abort rather than miss the update.
+template <TxnWord T>
+void nontxn_store(T* addr, T value) noexcept {
+  Orec& o = orec_for(addr);
+  const OrecValue mine = make_locked(~0ULL >> 1);  // anonymous owner token
+  util::Backoff backoff(2, 64);
+  OrecValue cur = o.value.load(std::memory_order_relaxed);
+  for (;;) {
+    if (!orec_is_locked(cur) &&
+        o.value.compare_exchange_weak(cur, mine, std::memory_order_acq_rel)) {
+      break;
+    }
+    backoff.pause();
+    cur = o.value.load(std::memory_order_relaxed);
+  }
+  detail::atomic_word_store(addr, value);
+  const uint64_t wv =
+      global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  o.value.store(make_version(wv), std::memory_order_release);
+  local_stats().nontxn_stores++;
+}
+
+// Non-transactional compare-and-swap with the same conflict visibility as
+// nontxn_store. Used by the TLE lock and by non-HTM baseline algorithms
+// that share data with transactions.
+template <TxnWord T>
+bool nontxn_cas(T* addr, T expected, T desired) noexcept {
+  Orec& o = orec_for(addr);
+  const OrecValue mine = make_locked(~0ULL >> 1);
+  util::Backoff backoff(2, 64);
+  OrecValue cur = o.value.load(std::memory_order_relaxed);
+  for (;;) {
+    if (!orec_is_locked(cur) &&
+        o.value.compare_exchange_weak(cur, mine, std::memory_order_acq_rel)) {
+      break;
+    }
+    backoff.pause();
+    cur = o.value.load(std::memory_order_relaxed);
+  }
+  const T observed = detail::atomic_word_load(addr);
+  bool success = false;
+  if (observed == expected) {
+    detail::atomic_word_store(addr, desired);
+    success = true;
+  }
+  if (success) {
+    const uint64_t wv =
+        global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    o.value.store(make_version(wv), std::memory_order_release);
+  } else {
+    o.value.store(cur, std::memory_order_release);
+  }
+  return success;
+}
+
+// Non-transactional load. Single-word atomic; values written by an
+// in-flight commit may be observed the instant they are written back.
+template <TxnWord T>
+T nontxn_load(const T* addr) noexcept {
+  return detail::atomic_word_load(addr);
+}
+
+// Dooms any in-flight transaction that has read a word in [p, p+bytes) by
+// advancing the covering ownership records. The pool allocator calls this
+// on deallocation — it is the mechanism behind the sandboxing guarantee
+// that a transaction dereferencing freed memory aborts instead of faulting.
+//
+// When `poison` is true, each fully-covered 8-byte word is overwritten with
+// 0xDD bytes *under its ownership-record lock*, so the poisoning itself is
+// correctly versioned: a transaction either reads the pre-free value at a
+// read version that predates the free (and is serialized before it), or
+// observes the version bump and aborts. Poison lets tests catch
+// non-transactional use-after-free, which the orec mechanism cannot see.
+void invalidate_range(void* p, std::size_t bytes, bool poison = false) noexcept;
+
+inline constexpr uint64_t kPoisonWord = 0xDDDDDDDDDDDDDDDDULL;
+
+// Exclusive, non-speculative execution section: acquires the global
+// fallback lock, dooms in-flight transactions, and blocks new ones from
+// committing until destruction. The §6 escape hatch for operations that
+// cannot make progress speculatively (e.g. a FastCollect traversal starved
+// by deregister churn): inside the section, shared state may be read with
+// nontxn_load at full fidelity.
+class SerialSection {
+ public:
+  SerialSection() { detail::tle_acquire(); }
+  ~SerialSection() { detail::tle_release(); }
+  SerialSection(const SerialSection&) = delete;
+  SerialSection& operator=(const SerialSection&) = delete;
+};
+
+// Outcome of a single transaction attempt (for callers that drive their own
+// retry policy, e.g. the adaptive telescoping controller of §3.4).
+struct TryResult {
+  bool committed;
+  AbortCode code;  // kNone when committed
+};
+
+// Runs `body` as exactly one transaction attempt (no retry, no TLE).
+// `body` must be void(Txn&).
+template <class F>
+TryResult try_once(F&& body) {
+  if (config().serialize_all) {
+    // Serial-execution ablation: no speculation, always under the lock.
+    detail::tle_acquire();
+    struct Release {
+      ~Release() { detail::tle_release(); }
+    } release;
+    try {
+      Txn txn(/*lock_mode=*/true);
+      local_stats().lock_fallbacks++;
+      body(txn);
+      txn.commit();
+      local_stats().commits++;
+      return TryResult{true, AbortCode::kNone};
+    } catch (const TxnAbort& a) {  // explicit abort under the lock
+      local_stats().aborts++;
+      local_stats().aborts_by_code[static_cast<std::size_t>(a.code)]++;
+      return TryResult{false, a.code};
+    }
+  }
+  if (nontxn_load(detail::tle_lock_word()) != 0) {
+    // Behave like a transaction started while the fallback lock is held.
+    local_stats().aborts++;
+    local_stats()
+        .aborts_by_code[static_cast<std::size_t>(AbortCode::kConflict)]++;
+    return TryResult{false, AbortCode::kConflict};
+  }
+  try {
+    Txn txn;
+    if (txn.load(detail::tle_lock_word()) != 0) {
+      txn.abort(AbortCode::kConflict);
+    }
+    body(txn);
+    txn.commit();
+    local_stats().commits++;
+    return TryResult{true, AbortCode::kNone};
+  } catch (const TxnAbort& a) {
+    local_stats().aborts++;
+    local_stats().aborts_by_code[static_cast<std::size_t>(a.code)]++;
+    return TryResult{false, a.code};
+  }
+}
+
+// Runs `body` atomically, retrying with backoff until it commits (or, after
+// Config::tle_after_aborts failures, under the fallback lock). Returns the
+// body's return value. This is the `atomic { ... }` of the paper's
+// pseudocode.
+template <class F>
+decltype(auto) atomic(F&& body) {
+  using Result = std::invoke_result_t<F&, Txn&>;
+  util::Backoff backoff(4, 2048);
+  const uint32_t tle_threshold = config().tle_after_aborts;
+  const bool serialize = config().serialize_all;
+  for (uint32_t attempt = 0;; ++attempt) {
+    const bool use_lock =
+        serialize || (tle_threshold != 0 && attempt >= tle_threshold);
+    if (use_lock) {
+      struct TleGuard {
+        TleGuard() { detail::tle_acquire(); }
+        ~TleGuard() { detail::tle_release(); }
+      };
+      try {
+        TleGuard guard;
+        Txn txn(/*lock_mode=*/true);
+        local_stats().lock_fallbacks++;
+        if constexpr (std::is_void_v<Result>) {
+          body(txn);
+          txn.commit();
+          return;
+        } else {
+          Result r = body(txn);
+          txn.commit();
+          return r;
+        }
+      } catch (const TxnAbort&) {
+        // An explicit abort under the lock: release and retry (still in
+        // lock mode on the next iteration, since attempt keeps growing).
+        backoff.pause();
+        continue;
+      }
+    }
+    try {
+      Txn txn;
+      if (txn.load(detail::tle_lock_word()) != 0) {
+        txn.abort(AbortCode::kConflict);
+      }
+      if constexpr (std::is_void_v<Result>) {
+        body(txn);
+        txn.commit();
+        local_stats().commits++;
+        return;
+      } else {
+        Result r = body(txn);
+        txn.commit();
+        local_stats().commits++;
+        return r;
+      }
+    } catch (const TxnAbort& a) {
+      local_stats().aborts++;
+      local_stats().aborts_by_code[static_cast<std::size_t>(a.code)]++;
+      backoff.pause();
+    }
+  }
+}
+
+}  // namespace dc::htm

@@ -1,0 +1,24 @@
+#include "htm/orec.hpp"
+
+#include <memory>
+
+namespace dc::htm {
+
+Orec* orec_table() noexcept {
+  // Heap-allocated once and intentionally leaked: orecs must outlive every
+  // static-storage object that might run transactions during shutdown.
+  static Orec* table = new Orec[kOrecCount];
+  return table;
+}
+
+std::atomic<uint64_t>& global_clock() noexcept {
+  alignas(dc::util::kCacheLine) static std::atomic<uint64_t> clock{0};
+  return clock;
+}
+
+std::atomic<uint32_t>& writeback_count() noexcept {
+  alignas(dc::util::kCacheLine) static std::atomic<uint32_t> count{0};
+  return count;
+}
+
+}  // namespace dc::htm

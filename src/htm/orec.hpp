@@ -1,0 +1,72 @@
+// Ownership records ("orecs"): the conflict-detection substrate.
+//
+// Every 8-byte word of the address space hashes to one versioned lock in a
+// global table, the standard word-granularity TL2 arrangement. An orec value
+// is either
+//   version << 1          (unlocked; version = global-clock time of the last
+//                          commit that wrote a word mapping here), or
+//   (owner_token << 1)|1  (locked during a commit's write-back, or for the
+//                          duration of a strong-atomicity store).
+//
+// The table is the moral equivalent of the cache-coherence metadata a real
+// HTM snoops: bumping an orec is how writes, strong-atomicity stores, and
+// frees of memory become visible as conflicts to concurrent transactions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "htm/config.hpp"
+#include "util/padded.hpp"
+
+namespace dc::htm {
+
+using OrecValue = uint64_t;
+
+inline constexpr OrecValue kLockBit = 1;
+
+inline constexpr bool orec_is_locked(OrecValue v) noexcept {
+  return (v & kLockBit) != 0;
+}
+inline constexpr uint64_t orec_version(OrecValue v) noexcept { return v >> 1; }
+inline constexpr OrecValue make_version(uint64_t version) noexcept {
+  return version << 1;
+}
+inline constexpr OrecValue make_locked(uint64_t owner_token) noexcept {
+  return (owner_token << 1) | kLockBit;
+}
+
+struct Orec {
+  std::atomic<OrecValue> value{0};
+};
+
+// 2^20 orecs = 8 MiB of metadata; large enough that distinct hot words in
+// the reproduced workloads essentially never false-share an orec.
+inline constexpr uint64_t kOrecCountLog2 = 20;
+inline constexpr uint64_t kOrecCount = 1ULL << kOrecCountLog2;
+
+Orec* orec_table() noexcept;
+
+// The orec guarding the conflict-granule (word or cache line, per
+// Config::conflict_granularity_log2) containing `addr`.
+inline Orec& orec_for(const void* addr) noexcept {
+  const auto a = reinterpret_cast<uintptr_t>(addr) >>
+                 config().conflict_granularity_log2;
+  // Mix in higher bits so that same-offset words of page-aligned
+  // allocations do not systematically collide.
+  const uint64_t idx = (a ^ (a >> kOrecCountLog2)) & (kOrecCount - 1);
+  return orec_table()[idx];
+}
+
+// Global version clock. Commits and strong-atomicity stores advance it;
+// transactions sample it at begin (read version) and on extension.
+std::atomic<uint64_t>& global_clock() noexcept;
+
+// Number of commits currently in their lock/write-back window. The TLE
+// fallback (htm.hpp) waits for this to drain after acquiring the fallback
+// lock, which is what makes lock-mode execution exclusive against the lazy
+// write-back of this STM (real HTM write-back is atomic, so hardware TLE
+// does not need this).
+std::atomic<uint32_t>& writeback_count() noexcept;
+
+}  // namespace dc::htm

@@ -1,0 +1,70 @@
+#include "htm/stats.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace dc::htm {
+
+namespace {
+
+// Registry of all thread-local stats blocks. Exited threads' blocks are
+// retained (heap-allocated) so their counts remain visible to
+// aggregate_stats, matching how benchmarks join workers before reading.
+struct Registry {
+  std::mutex mu;
+  std::vector<TxnStats*> blocks;
+};
+
+Registry& registry() noexcept {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+TxnStats* make_local_block() {
+  auto* block = new TxnStats;
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  r.blocks.push_back(block);
+  return block;
+}
+
+}  // namespace
+
+TxnStats& local_stats() noexcept {
+  thread_local TxnStats* block = make_local_block();
+  return *block;
+}
+
+TxnStats aggregate_stats() noexcept {
+  TxnStats total;
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (const TxnStats* b : r.blocks) total += *b;
+  return total;
+}
+
+void reset_stats() noexcept {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (TxnStats* b : r.blocks) *b = TxnStats{};
+}
+
+const char* to_string(AbortCode code) noexcept {
+  switch (code) {
+    case AbortCode::kNone:
+      return "none";
+    case AbortCode::kConflict:
+      return "conflict";
+    case AbortCode::kOverflow:
+      return "overflow";
+    case AbortCode::kExplicit:
+      return "explicit";
+    case AbortCode::kIllegalAccess:
+      return "illegal-access";
+    case AbortCode::kNumCodes:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace dc::htm

@@ -1,0 +1,52 @@
+// Per-thread transaction statistics.
+//
+// The paper's evaluation reports abort behaviour indirectly (step-size
+// adaptation, Figure 5/6) and we additionally surface commit/abort counts in
+// every benchmark for diagnosis. Counters are thread-local and aggregated on
+// demand, so the hot path is a plain increment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "htm/abort.hpp"
+
+namespace dc::htm {
+
+struct TxnStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  std::array<uint64_t, static_cast<std::size_t>(AbortCode::kNumCodes)>
+      aborts_by_code{};
+  uint64_t lock_fallbacks = 0;  // atomic blocks completed under the TLE lock
+  uint64_t nontxn_stores = 0;   // strong-atomicity stores
+
+  TxnStats& operator+=(const TxnStats& o) noexcept {
+    commits += o.commits;
+    aborts += o.aborts;
+    for (std::size_t i = 0; i < aborts_by_code.size(); ++i)
+      aborts_by_code[i] += o.aborts_by_code[i];
+    lock_fallbacks += o.lock_fallbacks;
+    nontxn_stores += o.nontxn_stores;
+    return *this;
+  }
+
+  double abort_rate() const noexcept {
+    const uint64_t attempts = commits + aborts;
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(aborts) / static_cast<double>(attempts);
+  }
+};
+
+// The calling thread's counters (registered in a global registry on first
+// use so aggregate_stats can sum across threads, including exited ones).
+TxnStats& local_stats() noexcept;
+
+// Sum of all threads' counters since the last reset.
+TxnStats aggregate_stats() noexcept;
+
+// Zeroes all threads' counters. Call only while no transactions run.
+void reset_stats() noexcept;
+
+}  // namespace dc::htm

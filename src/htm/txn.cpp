@@ -1,0 +1,307 @@
+#include "htm/txn.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/backoff.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::htm {
+
+namespace {
+
+thread_local bool t_in_transaction = false;
+
+}  // namespace
+
+bool in_transaction() noexcept { return t_in_transaction; }
+
+void Txn::yield_now() { std::this_thread::yield(); }
+
+namespace detail {
+void set_in_transaction(bool v) noexcept { t_in_transaction = v; }
+}  // namespace detail
+
+std::vector<Orec*>& Txn::scratch_read_set() noexcept {
+  thread_local std::vector<Orec*> v = [] {
+    std::vector<Orec*> init;
+    init.reserve(256);
+    return init;
+  }();
+  return v;
+}
+
+std::vector<Txn::WriteEntry>& Txn::scratch_write_set() noexcept {
+  thread_local std::vector<WriteEntry> v = [] {
+    std::vector<WriteEntry> init;
+    init.reserve(64);
+    return init;
+  }();
+  return v;
+}
+
+std::vector<Txn::LockedOrec>& Txn::scratch_locked() noexcept {
+  thread_local std::vector<LockedOrec> v = [] {
+    std::vector<LockedOrec> init;
+    init.reserve(64);
+    return init;
+  }();
+  return v;
+}
+
+std::vector<Txn::AbortHook>& Txn::scratch_abort_hooks() noexcept {
+  thread_local std::vector<AbortHook> v;
+  return v;
+}
+
+Txn::Txn(bool lock_mode)
+    : rv_(global_clock().load(std::memory_order_acquire)),
+      my_token_(static_cast<uint64_t>(util::thread_id()) + 1),
+      lock_mode_(lock_mode),
+      read_set_(scratch_read_set()),
+      write_set_(scratch_write_set()),
+      locked_(scratch_locked()),
+      abort_hooks_(scratch_abort_hooks()) {
+  assert(!t_in_transaction && "nested atomic blocks are not supported");
+  t_in_transaction = true;
+  read_set_.clear();
+  write_set_.clear();
+  locked_.clear();
+  abort_hooks_.clear();
+}
+
+Txn::~Txn() {
+  // Leave the transaction context first: abort hooks (e.g. a TM-aware
+  // allocator returning a block) are entitled to use the allocator.
+  t_in_transaction = false;
+  if (!committed_) {
+    for (const AbortHook& h : abort_hooks_) h.fn(h.p, h.bytes);
+  }
+  abort_hooks_.clear();
+}
+
+void Txn::on_abort(void (*fn)(void*, std::size_t), void* p,
+                   std::size_t bytes) {
+  abort_hooks_.push_back(AbortHook{fn, p, bytes});
+}
+
+void Txn::abort(AbortCode code) {
+  rollback_locks();
+  throw TxnAbort{code};
+}
+
+bool Txn::try_extend() noexcept {
+  if (!config().enable_extension) return false;
+  const uint64_t new_rv = global_clock().load(std::memory_order_acquire);
+  // Extension is sound only if nothing already read has changed since it
+  // was read, i.e. every read orec is still unlocked at a version <= rv_.
+  for (const Orec* o : read_set_) {
+    const OrecValue v = o->value.load(std::memory_order_acquire);
+    if (orec_is_locked(v) || orec_version(v) > rv_) return false;
+  }
+  rv_ = new_rv;
+  return true;
+}
+
+bool Txn::validate_read_set() const noexcept {
+  const OrecValue mine = make_locked(my_token_);
+  for (const Orec* o : read_set_) {
+    const OrecValue v = o->value.load(std::memory_order_acquire);
+    if (v == mine) {
+      // Read-write overlap: this transaction holds the lock, so the live
+      // value cannot be compared; validate the version captured when the
+      // lock was acquired instead. (Skipping this check would let a commit
+      // that slipped in between our read and our lock acquisition be
+      // silently overwritten — a lost update.)
+      const OrecValue before = pre_lock_version(o);
+      if (orec_version(before) > rv_) return false;
+      continue;
+    }
+    if (orec_is_locked(v) || orec_version(v) > rv_) return false;
+  }
+  return true;
+}
+
+OrecValue Txn::pre_lock_version(const Orec* o) const noexcept {
+  // locked_ is sorted by orec pointer (see acquire_write_locks).
+  auto lo = locked_.begin();
+  auto hi = locked_.end();
+  while (lo < hi) {
+    auto mid = lo + (hi - lo) / 2;
+    if (mid->orec < o) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == locked_.end() || lo->orec != o) {
+    // Cannot happen (every orec locked with my token is in locked_), but
+    // fail safe by reporting an impossible version so validation aborts.
+    assert(false && "orec locked by this txn missing from lock list");
+    return make_version(~0ULL >> 1);
+  }
+  return lo->previous;
+}
+
+void Txn::acquire_write_locks() {
+  // Gather the distinct orecs covering the write set, in a global order
+  // (table address) so concurrent committers cannot deadlock.
+  locked_.clear();
+  for (const WriteEntry& w : write_set_) {
+    Orec* o = &orec_for(reinterpret_cast<void*>(w.addr));
+    locked_.push_back(LockedOrec{o, 0});
+  }
+  std::sort(locked_.begin(), locked_.end(),
+            [](const LockedOrec& a, const LockedOrec& b) {
+              return a.orec < b.orec;
+            });
+  locked_.erase(std::unique(locked_.begin(), locked_.end(),
+                            [](const LockedOrec& a, const LockedOrec& b) {
+                              return a.orec == b.orec;
+                            }),
+                locked_.end());
+
+  const OrecValue mine = make_locked(my_token_);
+  for (std::size_t i = 0; i < locked_.size(); ++i) {
+    Orec* o = locked_[i].orec;
+    util::Backoff backoff(2, 64);
+    for (int spin = 0;; ++spin) {
+      OrecValue cur = o->value.load(std::memory_order_relaxed);
+      if (!orec_is_locked(cur)) {
+        if (o->value.compare_exchange_weak(cur, mine,
+                                           std::memory_order_acq_rel)) {
+          locked_[i].previous = cur;
+          break;
+        }
+        continue;
+      }
+      if (spin >= 128) {
+        // Give up rather than wait on another committer: best-effort HTM
+        // resolves conflicts by aborting, not blocking.
+        for (std::size_t j = 0; j < i; ++j) {
+          locked_[j].orec->value.store(locked_[j].previous,
+                                       std::memory_order_release);
+        }
+        locked_.clear();
+        throw TxnAbort{AbortCode::kConflict};
+      }
+      backoff.pause();
+    }
+  }
+}
+
+void Txn::rollback_locks() noexcept {
+  for (const LockedOrec& l : locked_) {
+    l.orec->value.store(l.previous, std::memory_order_release);
+  }
+  locked_.clear();
+}
+
+void Txn::release_locks_to(uint64_t version) noexcept {
+  const OrecValue v = make_version(version);
+  for (const LockedOrec& l : locked_) {
+    l.orec->value.store(v, std::memory_order_release);
+  }
+  locked_.clear();
+}
+
+void Txn::write_back() noexcept {
+  for (const WriteEntry& w : write_set_) {
+    void* p = reinterpret_cast<void*>(w.addr);
+    switch (w.size) {
+      case 1:
+        detail::atomic_word_store(static_cast<uint8_t*>(p),
+                                  static_cast<uint8_t>(w.value));
+        break;
+      case 2:
+        detail::atomic_word_store(static_cast<uint16_t*>(p),
+                                  static_cast<uint16_t>(w.value));
+        break;
+      case 4:
+        detail::atomic_word_store(static_cast<uint32_t*>(p),
+                                  static_cast<uint32_t>(w.value));
+        break;
+      default:
+        detail::atomic_word_store(static_cast<uint64_t*>(p), w.value);
+        break;
+    }
+  }
+}
+
+void Txn::commit() {
+  if (lock_mode_) {
+    // Under the TLE lock the transaction is exclusive; apply the buffered
+    // stores through the orec-bumping path so doomed speculative readers
+    // observe the conflict.
+    for (const WriteEntry& w : write_set_) {
+      lock_mode_store(reinterpret_cast<void*>(w.addr), w.value, w.size);
+    }
+    committed_ = true;
+    return;
+  }
+  if (write_set_.empty()) {
+    // Read-only transactions are already serializable at rv_: every load
+    // validated its orec against rv_ at read time.
+    committed_ = true;
+    return;
+  }
+  // Announce the lock/write-back window so the TLE fallback can drain it.
+  struct WritebackScope {
+    WritebackScope() {
+      writeback_count().fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~WritebackScope() {
+      writeback_count().fetch_sub(1, std::memory_order_acq_rel);
+    }
+  } scope;
+  acquire_write_locks();
+  const uint64_t wv = global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  // TL2 fast path: if nothing committed between begin and lock acquisition,
+  // the read set cannot have changed.
+  if (wv != rv_ + 1 && !validate_read_set()) {
+    rollback_locks();
+    throw TxnAbort{AbortCode::kConflict};
+  }
+  write_back();
+  release_locks_to(wv);
+  committed_ = true;
+}
+
+void Txn::lock_mode_store(void* addr, uint64_t bits, uint8_t size) noexcept {
+  // Under the TLE lock, stores still go through the word's orec so that
+  // doomed concurrent transactions observe the conflict (strong atomicity).
+  Orec& o = orec_for(addr);
+  const OrecValue mine = make_locked(my_token_);
+  util::Backoff backoff(2, 64);
+  OrecValue cur = o.value.load(std::memory_order_relaxed);
+  for (;;) {
+    if (!orec_is_locked(cur) &&
+        o.value.compare_exchange_weak(cur, mine, std::memory_order_acq_rel)) {
+      break;
+    }
+    backoff.pause();
+    cur = o.value.load(std::memory_order_relaxed);
+  }
+  switch (size) {
+    case 1:
+      detail::atomic_word_store(static_cast<uint8_t*>(addr),
+                                static_cast<uint8_t>(bits));
+      break;
+    case 2:
+      detail::atomic_word_store(static_cast<uint16_t*>(addr),
+                                static_cast<uint16_t>(bits));
+      break;
+    case 4:
+      detail::atomic_word_store(static_cast<uint32_t*>(addr),
+                                static_cast<uint32_t>(bits));
+      break;
+    default:
+      detail::atomic_word_store(static_cast<uint64_t*>(addr), bits);
+      break;
+  }
+  const uint64_t wv =
+      global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  o.value.store(make_version(wv), std::memory_order_release);
+}
+
+}  // namespace dc::htm

@@ -1,0 +1,256 @@
+// Txn: one attempt of a hardware transaction, simulated in software.
+//
+// The execution model follows TL2 (Dice, Shalev, Shavit, DISC'06) at word
+// granularity, with two deviations chosen to mimic Rock-style best-effort
+// HTM as the paper's algorithms experience it:
+//
+//  * Eager per-load validation plus timestamp extension gives *opacity*: a
+//    transaction never acts on an inconsistent view. Combined with the
+//    never-unmapping pool allocator (src/memory) whose deallocate bumps the
+//    freed words' orecs, this reproduces Rock's "sandboxing": dereferencing
+//    a pointer whose referent was freed aborts the transaction instead of
+//    faulting (paper footnote 1).
+//
+//  * The write set is bounded by Config::store_buffer_capacity (default 32,
+//    Rock's store-buffer size); exceeding it aborts with kOverflow. Stores
+//    to transaction-private memory (e.g. recording a value into a Collect
+//    result set) also occupied Rock's store buffer — the paper's reason
+//    telescoping step sizes cap at 32 — so algorithms account for them via
+//    charge_store().
+//
+// Usage: via htm::atomic() / htm::try_once() in htm/htm.hpp; Txn is not
+// created directly by algorithm code.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "htm/abort.hpp"
+#include "htm/config.hpp"
+#include "htm/orec.hpp"
+
+namespace dc::htm {
+
+// Types that may be read/written transactionally: word-sized or smaller,
+// trivially copyable, power-of-two size (so a value never straddles two
+// 8-byte-aligned words when naturally aligned).
+template <class T>
+concept TxnWord =
+    std::is_trivially_copyable_v<T> && (sizeof(T) == 1 || sizeof(T) == 2 ||
+                                        sizeof(T) == 4 || sizeof(T) == 8);
+
+namespace detail {
+
+template <TxnWord T>
+T atomic_word_load(const T* addr) noexcept {
+  return std::atomic_ref<T>(*const_cast<T*>(addr))
+      .load(std::memory_order_acquire);
+}
+
+template <TxnWord T>
+void atomic_word_store(T* addr, T value) noexcept {
+  std::atomic_ref<T>(*addr).store(value, std::memory_order_release);
+}
+
+template <TxnWord T>
+uint64_t to_bits(T value) noexcept {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(T));
+  return bits;
+}
+
+template <TxnWord T>
+T from_bits(uint64_t bits) noexcept {
+  T value;
+  std::memcpy(&value, &bits, sizeof(T));
+  return value;
+}
+
+}  // namespace detail
+
+class Txn {
+ public:
+  // Begun by htm::atomic()/try_once(). `lock_mode` is the TLE fallback path:
+  // loads go straight to memory and stores become strong-atomicity stores.
+  explicit Txn(bool lock_mode = false);
+  ~Txn();
+
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  bool in_lock_mode() const noexcept { return lock_mode_; }
+
+  // Transactional load. Validates against the read version; may extend the
+  // read version; aborts (throws TxnAbort) on conflict.
+  template <TxnWord T>
+  T load(const T* addr) {
+    if (lock_mode_) return detail::atomic_word_load(addr);
+    maybe_yield();
+    const auto a = reinterpret_cast<uintptr_t>(addr);
+    // Read-own-writes: the write set is at most store-buffer sized, so a
+    // linear scan is cheaper than any indexed structure.
+    for (const WriteEntry& w : write_set_) {
+      if (w.addr == a) return detail::from_bits<T>(w.value);
+    }
+    Orec& o = orec_for(addr);
+    for (int tries = 0; tries < kLoadRetries; ++tries) {
+      OrecValue v1 = o.value.load(std::memory_order_acquire);
+      if (orec_is_locked(v1)) {
+        // A commit's write-back or a strong-atomicity store is in flight.
+        abort(AbortCode::kConflict);
+      }
+      if (orec_version(v1) > rv_) {
+        if (!try_extend()) abort(AbortCode::kConflict);
+        continue;  // re-examine the orec under the extended read version
+      }
+      const T value = detail::atomic_word_load(addr);
+      const OrecValue v2 = o.value.load(std::memory_order_acquire);
+      if (v1 == v2) {
+        read_set_.push_back(&o);
+        return value;
+      }
+      // The word changed between the two orec samples; retry the sandwich.
+    }
+    abort(AbortCode::kConflict);
+  }
+
+  // Non-mutating overload so `txn.load(&count)` works on non-const lvalues.
+  template <TxnWord T>
+  T load(T* addr) {
+    return load(const_cast<const T*>(addr));
+  }
+
+  // Transactional store: buffered until commit. Aborts with kOverflow when
+  // the store budget is exhausted (speculative mode only: the lock-mode
+  // fallback runs non-speculatively, so the store buffer does not apply,
+  // but stores stay buffered so an explicit abort still discards them).
+  template <TxnWord T>
+  void store(T* addr, T value) {
+    const auto a = reinterpret_cast<uintptr_t>(addr);
+    for (WriteEntry& w : write_set_) {
+      if (w.addr == a) {
+        assert(w.size == sizeof(T) && "mixed-size stores to one address");
+        w.value = detail::to_bits(value);
+        return;
+      }
+    }
+    if (!lock_mode_ && stores_used() >= config().store_buffer_capacity) {
+      abort(AbortCode::kOverflow);
+    }
+    write_set_.push_back(WriteEntry{a, detail::to_bits(value),
+                                    static_cast<uint8_t>(sizeof(T))});
+  }
+
+  // Accounts for `n` stores to transaction-private memory (result-set
+  // recording). They consume store-buffer budget but need no write-back.
+  void charge_store(uint32_t n = 1) {
+    if (lock_mode_) return;
+    if (stores_used() + n > config().store_buffer_capacity) {
+      abort(AbortCode::kOverflow);
+    }
+    charged_stores_ += n;
+  }
+
+  // Remaining store budget; telescoped Collect uses it to clamp step size.
+  uint32_t store_budget_left() const noexcept {
+    const uint32_t cap = config().store_buffer_capacity;
+    const uint32_t used = stores_used();
+    return cap > used ? cap - used : 0;
+  }
+
+  // Registers a cleanup to run iff this attempt aborts (after the
+  // transaction context is torn down, so the callback may use the
+  // allocator). This is what a TM-aware allocator needs (paper §6: the
+  // algorithms were "complicated somewhat by our efforts to avoid memory
+  // allocation within transactions" — a non-fundamental Rock limitation):
+  // an allocation made inside the transaction registers its own release
+  // here and is handed over cleanly on commit.
+  void on_abort(void (*fn)(void*, std::size_t), void* p, std::size_t bytes);
+
+  // Request an abort of this attempt (retried by htm::atomic()).
+  [[noreturn]] void abort(AbortCode code);
+
+  // Attempts to commit; called by the htm::atomic()/try_once() wrappers.
+  // Throws TxnAbort on validation failure.
+  void commit();
+
+ private:
+  struct WriteEntry {
+    uintptr_t addr;
+    uint64_t value;
+    uint8_t size;
+  };
+  struct LockedOrec {
+    Orec* orec;
+    OrecValue previous;
+  };
+  struct AbortHook {
+    void (*fn)(void*, std::size_t);
+    void* p;
+    std::size_t bytes;
+  };
+
+  static constexpr int kLoadRetries = 64;
+
+  uint32_t stores_used() const noexcept {
+    return static_cast<uint32_t>(write_set_.size()) + charged_stores_;
+  }
+
+  // See Config::txn_yield_every_loads (txn.cpp; out of line so the hot path
+  // stays a counter bump and a predictable branch).
+  void maybe_yield() {
+    const uint32_t every = config().txn_yield_every_loads;
+    if (every != 0 && ++loads_since_yield_ >= every) {
+      loads_since_yield_ = 0;
+      yield_now();
+    }
+  }
+  static void yield_now();
+
+  // Revalidates the read set and advances rv_ to the current clock.
+  bool try_extend() noexcept;
+
+  // Commit helpers (txn.cpp).
+  void acquire_write_locks();
+  void release_locks_to(uint64_t version) noexcept;
+  void rollback_locks() noexcept;
+  void write_back() noexcept;
+  bool validate_read_set() const noexcept;
+  OrecValue pre_lock_version(const Orec* o) const noexcept;
+
+  void lock_mode_store(void* addr, uint64_t bits, uint8_t size) noexcept;
+
+  // Per-thread scratch buffers reused across attempts (txn.cpp).
+  static std::vector<Orec*>& scratch_read_set() noexcept;
+  static std::vector<WriteEntry>& scratch_write_set() noexcept;
+  static std::vector<LockedOrec>& scratch_locked() noexcept;
+  static std::vector<AbortHook>& scratch_abort_hooks() noexcept;
+
+  uint64_t rv_;              // read version (TL2)
+  const uint64_t my_token_;  // lock ownership token
+  const bool lock_mode_;
+  bool committed_ = false;
+  uint32_t charged_stores_ = 0;
+  uint32_t loads_since_yield_ = 0;
+  std::vector<AbortHook>& abort_hooks_;
+  // Thread-local scratch vectors, cleared per attempt (no allocation in the
+  // steady state).
+  std::vector<Orec*>& read_set_;
+  std::vector<WriteEntry>& write_set_;
+  std::vector<LockedOrec>& locked_;
+};
+
+// True while the calling thread is inside an atomic block (used to reject
+// nesting and to assert the allocator is not called transactionally).
+bool in_transaction() noexcept;
+
+namespace detail {
+void set_in_transaction(bool) noexcept;
+}
+
+}  // namespace dc::htm

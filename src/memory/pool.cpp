@@ -1,0 +1,202 @@
+#include "memory/pool.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "htm/htm.hpp"
+#include "htm/txn.hpp"
+
+namespace dc::mem {
+
+namespace {
+
+// Size classes: powers of two from 16 bytes to 16 MiB. Anything larger is a
+// configuration error for these workloads.
+constexpr std::size_t kMinClassLog2 = 4;
+constexpr std::size_t kMaxClassLog2 = 24;
+constexpr std::size_t kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+// Blocks per slab for small classes (slabs are at least 64 KiB so the
+// system allocator is touched rarely).
+constexpr std::size_t kSlabBytes = 64 * 1024;
+
+// Thread-local cache depth per class.
+constexpr std::size_t kCacheDepth = 32;
+
+std::size_t class_of(std::size_t bytes) noexcept {
+  const std::size_t need = bytes < 16 ? 16 : bytes;
+  const auto log2 = static_cast<std::size_t>(
+      std::bit_width(need - 1) < static_cast<int>(kMinClassLog2)
+          ? kMinClassLog2
+          : std::bit_width(need - 1));
+  return log2 - kMinClassLog2;
+}
+
+std::size_t class_bytes(std::size_t cls) noexcept {
+  return std::size_t{1} << (cls + kMinClassLog2);
+}
+
+struct GlobalPool {
+  std::mutex mu;
+  std::vector<void*> free_lists[kNumClasses];
+  std::atomic<uint64_t> os_bytes{0};
+  std::atomic<uint64_t> live_bytes{0};
+  std::atomic<uint64_t> live_blocks{0};
+  std::atomic<uint64_t> allocations{0};
+  std::atomic<uint64_t> deallocations{0};
+
+  // Carves a fresh slab into blocks of class `cls` and pushes them onto the
+  // global free list. Caller holds mu.
+  void refill_locked(std::size_t cls) {
+    const std::size_t bsz = class_bytes(cls);
+    const std::size_t slab = bsz > kSlabBytes ? bsz : kSlabBytes;
+    // Slabs are aligned to the block size (<= 4 KiB) or to 64 bytes for
+    // bigger blocks; 16-byte alignment is all callers rely on.
+    void* base = ::operator new(slab, std::align_val_t{64});
+    os_bytes.fetch_add(slab, std::memory_order_relaxed);
+    auto* bytes = static_cast<char*>(base);
+    for (std::size_t off = 0; off + bsz <= slab; off += bsz) {
+      free_lists[cls].push_back(bytes + off);
+    }
+  }
+};
+
+GlobalPool& global_pool() noexcept {
+  // Leaked intentionally: blocks must stay mapped for the whole process
+  // lifetime (sandboxing contract).
+  static GlobalPool* pool = new GlobalPool;
+  return *pool;
+}
+
+struct ThreadCache {
+  std::vector<void*> lists[kNumClasses];
+
+  ~ThreadCache() { flush(); }
+
+  void flush() noexcept {
+    GlobalPool& g = global_pool();
+    std::lock_guard lock(g.mu);
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      for (void* p : lists[c]) g.free_lists[c].push_back(p);
+      lists[c].clear();
+    }
+  }
+};
+
+ThreadCache& thread_cache() noexcept {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+}  // namespace
+
+void* pool_allocate(std::size_t bytes) {
+  assert(!dc::htm::in_transaction() &&
+         "allocation inside a transaction (Rock could not either, §6)");
+  const std::size_t cls = class_of(bytes);
+  if (cls >= kNumClasses) {
+    std::fprintf(stderr, "pool_allocate: %zu bytes exceeds max class\n",
+                 bytes);
+    std::abort();
+  }
+  GlobalPool& g = global_pool();
+  ThreadCache& tc = thread_cache();
+  if (tc.lists[cls].empty()) {
+    std::lock_guard lock(g.mu);
+    if (g.free_lists[cls].empty()) g.refill_locked(cls);
+    // Move up to half a cache depth in one batch.
+    const std::size_t take =
+        g.free_lists[cls].size() < kCacheDepth / 2 ? g.free_lists[cls].size()
+                                                   : kCacheDepth / 2;
+    for (std::size_t i = 0; i < take; ++i) {
+      tc.lists[cls].push_back(g.free_lists[cls].back());
+      g.free_lists[cls].pop_back();
+    }
+  }
+  void* p = tc.lists[cls].back();
+  tc.lists[cls].pop_back();
+  g.live_bytes.fetch_add(class_bytes(cls), std::memory_order_relaxed);
+  g.live_blocks.fetch_add(1, std::memory_order_relaxed);
+  g.allocations.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void pool_deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  assert(!dc::htm::in_transaction() &&
+         "deallocation inside a transaction (Rock could not either, §6)");
+  const std::size_t cls = class_of(bytes);
+  // Sandboxing: doom all speculative readers of this block and poison it,
+  // atomically per word (see htm::invalidate_range).
+  dc::htm::invalidate_range(p, class_bytes(cls), /*poison=*/true);
+  GlobalPool& g = global_pool();
+  ThreadCache& tc = thread_cache();
+  tc.lists[cls].push_back(p);
+  if (tc.lists[cls].size() > kCacheDepth) {
+    std::lock_guard lock(g.mu);
+    while (tc.lists[cls].size() > kCacheDepth / 2) {
+      g.free_lists[cls].push_back(tc.lists[cls].back());
+      tc.lists[cls].pop_back();
+    }
+  }
+  g.live_bytes.fetch_sub(class_bytes(cls), std::memory_order_relaxed);
+  g.live_blocks.fetch_sub(1, std::memory_order_relaxed);
+  g.deallocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* pool_allocate_in_txn(dc::htm::Txn& txn, std::size_t bytes) {
+  // Pool metadata is not transactional state, so the fast path is the
+  // normal allocation; the abort hook undoes it if the attempt fails. The
+  // hook runs after the transaction context is torn down (Txn::~Txn), so
+  // calling pool_deallocate from it is legal.
+  assert(dc::htm::in_transaction() &&
+         "use pool_allocate outside transactions");
+  const std::size_t cls = class_of(bytes);
+  if (cls >= kNumClasses) {
+    std::fprintf(stderr, "pool_allocate_in_txn: %zu bytes exceeds max class\n",
+                 bytes);
+    std::abort();
+  }
+  GlobalPool& g = global_pool();
+  ThreadCache& tc = thread_cache();
+  if (tc.lists[cls].empty()) {
+    std::lock_guard lock(g.mu);
+    if (g.free_lists[cls].empty()) g.refill_locked(cls);
+    const std::size_t take =
+        g.free_lists[cls].size() < kCacheDepth / 2 ? g.free_lists[cls].size()
+                                                   : kCacheDepth / 2;
+    for (std::size_t i = 0; i < take; ++i) {
+      tc.lists[cls].push_back(g.free_lists[cls].back());
+      g.free_lists[cls].pop_back();
+    }
+  }
+  void* p = tc.lists[cls].back();
+  tc.lists[cls].pop_back();
+  g.live_bytes.fetch_add(class_bytes(cls), std::memory_order_relaxed);
+  g.live_blocks.fetch_add(1, std::memory_order_relaxed);
+  g.allocations.fetch_add(1, std::memory_order_relaxed);
+  txn.on_abort(
+      [](void* block, std::size_t sz) { pool_deallocate(block, sz); }, p,
+      bytes);
+  return p;
+}
+
+PoolStats pool_stats() noexcept {
+  GlobalPool& g = global_pool();
+  return PoolStats{
+      g.os_bytes.load(std::memory_order_relaxed),
+      g.live_bytes.load(std::memory_order_relaxed),
+      g.live_blocks.load(std::memory_order_relaxed),
+      g.allocations.load(std::memory_order_relaxed),
+      g.deallocations.load(std::memory_order_relaxed),
+  };
+}
+
+void pool_flush_thread_cache() noexcept { thread_cache().flush(); }
+
+}  // namespace dc::mem

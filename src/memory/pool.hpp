@@ -1,0 +1,123 @@
+// Never-unmapping slab pool — the allocator beneath every transactional
+// data structure in this reproduction.
+//
+// Why a custom allocator: the paper's algorithms free memory that concurrent
+// transactions may still (speculatively) dereference, relying on Rock's
+// sandboxing to turn such accesses into aborts rather than faults (footnote
+// 1). To reproduce that contract in software:
+//
+//   1. memory handed out by the pool is NEVER returned to the operating
+//      system, so a stale dereference cannot fault;
+//   2. deallocate() advances the ownership records covering the block (and
+//      poisons it) via htm::invalidate_range, so any transaction holding a
+//      stale pointer aborts at its next access or at commit validation;
+//   3. blocks are recycled freely afterwards — which is exactly the "frees
+//      the dequeued entry's memory to the operating system" behaviour as
+//      observed by the algorithms (space is proportional to live data, not
+//      to historical maxima).
+//
+// Correct-use contract (documented invariant, asserted where cheap): a block
+// may be deallocated only after a committed transaction has made it
+// unreachable from transactionally-visible shared state, and never from
+// inside a transaction (Rock could not run malloc/free transactionally
+// either, paper §6).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace dc::htm {
+class Txn;
+}
+
+namespace dc::mem {
+
+struct PoolStats {
+  // Bytes obtained from the system allocator for slabs (high-water mark of
+  // the pool itself; never shrinks — that is the point).
+  uint64_t os_bytes;
+  // Bytes currently handed out to callers.
+  uint64_t live_bytes;
+  // Number of live blocks.
+  uint64_t live_blocks;
+  uint64_t allocations;
+  uint64_t deallocations;
+};
+
+// Allocates `bytes` (rounded up to a size class). Never returns nullptr;
+// aborts the process on out-of-memory (acceptable for a research harness).
+// Must not be called inside a transaction.
+void* pool_allocate(std::size_t bytes);
+
+// Returns a block to the pool. `bytes` must be the size passed to
+// pool_allocate. Bumps the block's ownership records and poisons it before
+// recycling (see file comment). Must not be called inside a transaction.
+void pool_deallocate(void* p, std::size_t bytes) noexcept;
+
+PoolStats pool_stats() noexcept;
+
+// Drains the calling thread's local caches back to the global pool
+// (used by tests that assert recycling behaviour).
+void pool_flush_thread_cache() noexcept;
+
+// Typed helpers ------------------------------------------------------------
+
+// Allocate + construct. Construction happens before the block is published
+// to any shared structure, so plain (non-transactional) initialization is
+// safe.
+template <class T, class... Args>
+T* create(Args&&... args) {
+  void* p = pool_allocate(sizeof(T));
+  return ::new (p) T(static_cast<Args&&>(args)...);
+}
+
+// Destroy + free. See the correct-use contract above.
+template <class T>
+void destroy(T* p) noexcept {
+  if (p == nullptr) return;
+  p->~T();
+  pool_deallocate(p, sizeof(T));
+}
+
+// TM-aware allocation (paper §6) ---------------------------------------
+//
+// Rock forbade the CAS-bearing malloc inside transactions, forcing the
+// paper's algorithms to split allocation out of their atomic blocks ("this
+// complication is ... not a fundamental limitation of HTM"). This substrate
+// has no such restriction if the allocation is transaction-aware: the block
+// comes from the pool immediately (pool metadata is not transactional
+// state), and an abort hook returns it, so a retried body simply allocates
+// afresh. On commit the object is owned as if allocated outside.
+//
+// The object is constructed with plain stores (it is private until some
+// committed transaction publishes a pointer to it).
+void* pool_allocate_in_txn(dc::htm::Txn& txn, std::size_t bytes);
+
+template <class T, class... Args>
+T* create_in_txn(dc::htm::Txn& txn, Args&&... args) {
+  // On abort only the raw block is reclaimed (no destructor call), so the
+  // type must not own resources.
+  static_assert(std::is_trivially_destructible_v<T>,
+                "create_in_txn requires a trivially destructible type");
+  void* p = pool_allocate_in_txn(txn, sizeof(T));
+  return ::new (p) T(static_cast<Args&&>(args)...);
+}
+
+template <class T>
+T* create_array(std::size_t n) {
+  void* p = pool_allocate(sizeof(T) * n);
+  T* a = static_cast<T*>(p);
+  for (std::size_t i = 0; i < n; ++i) ::new (a + i) T();
+  return a;
+}
+
+template <class T>
+void destroy_array(T* a, std::size_t n) noexcept {
+  if (a == nullptr) return;
+  for (std::size_t i = 0; i < n; ++i) a[i].~T();
+  pool_deallocate(a, sizeof(T) * n);
+}
+
+}  // namespace dc::mem

@@ -1,0 +1,85 @@
+// The paper's HTM queue (§1.1): "simple sequential code enclosed in
+// hardware transactions".
+//
+// A successful dequeue frees the dequeued entry immediately. No transaction
+// serialized after the dequeue can see a reference to it; a concurrent
+// transaction that still holds one is guaranteed to abort when it touches
+// the entry (sandboxing — here provided by the orec bump in
+// pool_deallocate). There is no ABA problem, no helping, no counted
+// pointers, and no reclamation protocol: this is the "reasonable homework
+// exercise" the paper contrasts with the PODC-publication-grade
+// Michael–Scott algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/htm.hpp"
+#include "memory/pool.hpp"
+#include "util/padded.hpp"
+
+namespace dc::queue {
+
+using Value = uint64_t;
+
+class HtmQueue {
+ public:
+  HtmQueue() = default;
+
+  ~HtmQueue() {
+    Value ignored;
+    while (dequeue(&ignored)) {
+    }
+  }
+
+  HtmQueue(const HtmQueue&) = delete;
+  HtmQueue& operator=(const HtmQueue&) = delete;
+
+  void enqueue(Value v) {
+    // Allocation happens outside the transaction (Rock could not run
+    // malloc's CAS inside transactions, paper §6); the node is private
+    // until the transaction publishes it.
+    Node* node = mem::create<Node>();
+    node->value = v;
+    node->next = nullptr;
+    htm::atomic([&](htm::Txn& txn) {
+      Node* tail = txn.load(&tail_);
+      if (tail == nullptr) {
+        txn.store(&head_, node);
+      } else {
+        txn.store(&tail->next, node);
+      }
+      txn.store(&tail_, node);
+    });
+  }
+
+  bool dequeue(Value* out) {
+    Node* victim = htm::atomic([&](htm::Txn& txn) -> Node* {
+      Node* head = txn.load(&head_);
+      if (head == nullptr) return nullptr;
+      Node* next = txn.load(&head->next);
+      txn.store(&head_, next);
+      if (next == nullptr) txn.store(&tail_, static_cast<Node*>(nullptr));
+      return head;
+    });
+    if (victim == nullptr) return false;
+    // The commit made `victim` unreachable; this thread owns it outright.
+    *out = victim->value;
+    mem::destroy(victim);  // "freed to the operating system" immediately
+    return true;
+  }
+
+  bool empty() const noexcept { return htm::nontxn_load(&head_) == nullptr; }
+
+  static constexpr std::size_t node_bytes() noexcept { return sizeof(Node); }
+
+ private:
+  struct Node {
+    Value value = 0;
+    Node* next = nullptr;
+  };
+
+  alignas(util::kCacheLine) Node* head_ = nullptr;
+  alignas(util::kCacheLine) Node* tail_ = nullptr;
+};
+
+}  // namespace dc::queue

@@ -1,0 +1,71 @@
+// A Treiber-style LIFO stack, the HTM way — a second instance of the
+// paper's §1.1 recipe (sequential code in a transaction, free on pop) to
+// show the pattern generalizes beyond the FIFO queue.
+//
+// The classic lock-free Treiber stack needs counted pointers or hazard
+// pointers because pop reads top->next after top may have been popped,
+// freed, and recycled (ABA). Inside a transaction neither hazard exists:
+// the read of top and the swing to top->next are atomic together, and a
+// popped node can be freed immediately — a racing transaction that still
+// sees the old top aborts on access (sandboxing).
+#pragma once
+
+#include <cstdint>
+
+#include "htm/htm.hpp"
+#include "memory/pool.hpp"
+#include "util/padded.hpp"
+
+namespace dc::queue {
+
+class HtmStack {
+ public:
+  using Value = uint64_t;
+
+  HtmStack() = default;
+
+  ~HtmStack() {
+    Value ignored;
+    while (pop(&ignored)) {
+    }
+  }
+
+  HtmStack(const HtmStack&) = delete;
+  HtmStack& operator=(const HtmStack&) = delete;
+
+  void push(Value v) {
+    Node* node = mem::create<Node>();
+    node->value = v;
+    htm::atomic([&](htm::Txn& txn) {
+      node->next = txn.load(&top_);  // node is private until the commit
+      txn.store(&top_, node);
+    });
+  }
+
+  bool pop(Value* out) {
+    Node* victim = htm::atomic([&](htm::Txn& txn) -> Node* {
+      Node* top = txn.load(&top_);
+      if (top == nullptr) return nullptr;
+      txn.store(&top_, txn.load(&top->next));
+      return top;
+    });
+    if (victim == nullptr) return false;
+    *out = victim->value;
+    mem::destroy(victim);  // freed immediately; sandboxing covers racers
+    return true;
+  }
+
+  bool empty() const noexcept { return htm::nontxn_load(&top_) == nullptr; }
+
+  static constexpr std::size_t node_bytes() noexcept { return sizeof(Node); }
+
+ private:
+  struct Node {
+    Value value = 0;
+    Node* next = nullptr;
+  };
+
+  alignas(util::kCacheLine) Node* top_ = nullptr;
+};
+
+}  // namespace dc::queue

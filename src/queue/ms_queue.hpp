@@ -1,0 +1,136 @@
+// The Michael–Scott lock-free FIFO queue (PODC 1996), in its classic form:
+// counted (tagged) pointers defeat ABA, and dequeued nodes go to the
+// dequeuer's thread-local pool for reuse.
+//
+// This is the paper's first baseline (§1.1): it reclaims nothing to the
+// system, so "even in a quiescent state, the memory used for the queue is
+// at least proportional to the historical maximal queue size" — the space
+// property the HTM queue is shown to beat. pooled_nodes()/live_node_bytes()
+// expose that footprint to tests and benchmarks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "memory/pool.hpp"
+#include "util/padded.hpp"
+#include "util/tagged_ptr.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::queue {
+
+using Value = uint64_t;
+
+class MsQueue {
+ public:
+  MsQueue() {
+    Node* dummy = mem::create<Node>();
+    head_.store({dummy, 0}, std::memory_order_relaxed);
+    tail_.store({dummy, 0}, std::memory_order_relaxed);
+  }
+
+  ~MsQueue() {
+    Value ignored;
+    while (dequeue(&ignored)) {
+    }
+    mem::destroy(head_.load(std::memory_order_relaxed).ptr);
+    for (auto& pool : pools_) {
+      for (Node* n : pool.value) mem::destroy(n);
+      pool.value.clear();
+    }
+  }
+
+  MsQueue(const MsQueue&) = delete;
+  MsQueue& operator=(const MsQueue&) = delete;
+
+  void enqueue(Value v) {
+    Node* node = alloc_node();
+    node->value.store(v, std::memory_order_relaxed);
+    node->next.store({nullptr, node->next.load(std::memory_order_relaxed).tag},
+                     std::memory_order_relaxed);
+    for (;;) {
+      const Ptr tail = tail_.load(std::memory_order_acquire);
+      const Ptr next = tail.ptr->next.load(std::memory_order_acquire);
+      if (tail != tail_.load(std::memory_order_acquire)) continue;
+      if (next.ptr == nullptr) {
+        Ptr expected = next;
+        if (tail.ptr->next.compare_exchange_weak(
+                expected, {node, next.tag + 1}, std::memory_order_acq_rel)) {
+          Ptr t = tail;
+          tail_.compare_exchange_strong(t, {node, tail.tag + 1},
+                                        std::memory_order_acq_rel);
+          return;
+        }
+      } else {
+        // Help swing the lagging tail.
+        Ptr t = tail;
+        tail_.compare_exchange_strong(t, {next.ptr, tail.tag + 1},
+                                      std::memory_order_acq_rel);
+      }
+    }
+  }
+
+  bool dequeue(Value* out) {
+    for (;;) {
+      const Ptr head = head_.load(std::memory_order_acquire);
+      const Ptr tail = tail_.load(std::memory_order_acquire);
+      const Ptr next = head.ptr->next.load(std::memory_order_acquire);
+      if (head != head_.load(std::memory_order_acquire)) continue;
+      if (head.ptr == tail.ptr) {
+        if (next.ptr == nullptr) return false;
+        Ptr t = tail;
+        tail_.compare_exchange_strong(t, {next.ptr, tail.tag + 1},
+                                      std::memory_order_acq_rel);
+      } else {
+        // Read the value before the CAS: after it, another dequeuer may
+        // recycle `next` (this pre-CAS read is exactly why recycled nodes
+        // need the counted-pointer tags).
+        const Value v = next.ptr->value.load(std::memory_order_acquire);
+        Ptr h = head;
+        if (head_.compare_exchange_weak(h, {next.ptr, head.tag + 1},
+                                        std::memory_order_acq_rel)) {
+          *out = v;
+          free_node(head.ptr);
+          return true;
+        }
+      }
+    }
+  }
+
+  // Nodes parked in thread-local pools (the "historical max" footprint).
+  uint64_t pooled_nodes() const noexcept {
+    uint64_t n = 0;
+    for (const auto& pool : pools_) n += pool.value.size();
+    return n;
+  }
+
+  static constexpr std::size_t node_bytes() noexcept { return sizeof(Node); }
+
+ private:
+  struct Node {
+    std::atomic<Value> value{0};
+    std::atomic<util::TaggedPtr<Node>> next{};
+  };
+  using Ptr = util::TaggedPtr<Node>;
+
+  Node* alloc_node() {
+    auto& pool = pools_[util::thread_id()].value;
+    if (!pool.empty()) {
+      Node* n = pool.back();
+      pool.pop_back();
+      return n;
+    }
+    return mem::create<Node>();
+  }
+
+  // Thread-local pooling (never back to the system): the next.tag survives
+  // recycling, which is what keeps the counted-pointer ABA defence sound.
+  void free_node(Node* n) { pools_[util::thread_id()].value.push_back(n); }
+
+  alignas(util::kCacheLine) std::atomic<Ptr> head_{};
+  alignas(util::kCacheLine) std::atomic<Ptr> tail_{};
+  util::Padded<std::vector<Node*>> pools_[util::kMaxThreads];
+};
+
+}  // namespace dc::queue

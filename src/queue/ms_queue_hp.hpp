@@ -1,0 +1,110 @@
+// Michael–Scott queue with Hazard-Pointer reclamation (Michael, TPDS 2004).
+//
+// Unlike the pooled MsQueue, dequeued nodes are *retired* and eventually
+// returned to the allocator, so quiescent memory is proportional to the
+// current queue size — at the cost of the announce/validate protocol on
+// every pointer access and periodic scans, the overhead class the paper's
+// Figure 1 measures. With hazard pointers protecting nodes from reuse, ABA
+// cannot occur and plain single-word pointers suffice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "memory/pool.hpp"
+#include "reclaim/hazard_pointers.hpp"
+#include "util/padded.hpp"
+
+namespace dc::queue {
+
+using Value = uint64_t;
+
+class MsQueueHp {
+ public:
+  MsQueueHp() {
+    Node* dummy = mem::create<Node>();
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  ~MsQueueHp() {
+    Value ignored;
+    while (dequeue(&ignored)) {
+    }
+    mem::destroy(head_.load(std::memory_order_relaxed));
+    // ~HazardDomain frees everything still retired.
+  }
+
+  MsQueueHp(const MsQueueHp&) = delete;
+  MsQueueHp& operator=(const MsQueueHp&) = delete;
+
+  void enqueue(Value v) {
+    Node* node = mem::create<Node>();
+    node->value.store(v, std::memory_order_relaxed);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    for (;;) {
+      Node* tail = hp_.protect(0, tail_);
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.load(std::memory_order_acquire)) continue;
+      if (next != nullptr) {
+        tail_.compare_exchange_strong(tail, next, std::memory_order_acq_rel);
+        continue;
+      }
+      Node* expected = nullptr;
+      if (tail->next.compare_exchange_weak(expected, node,
+                                           std::memory_order_acq_rel)) {
+        tail_.compare_exchange_strong(tail, node, std::memory_order_acq_rel);
+        hp_.clear(0);
+        return;
+      }
+    }
+  }
+
+  bool dequeue(Value* out) {
+    for (;;) {
+      Node* head = hp_.protect(0, head_);
+      Node* tail = tail_.load(std::memory_order_acquire);
+      Node* next = head->next.load(std::memory_order_acquire);
+      // Protect `next` before use; re-validate head so next is still the
+      // successor of a reachable node.
+      hp_.announce(1, next);
+      if (head != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        hp_.clear_all();
+        return false;
+      }
+      if (head == tail) {
+        tail_.compare_exchange_strong(tail, next, std::memory_order_acq_rel);
+        continue;
+      }
+      const Value v = next->value.load(std::memory_order_acquire);
+      if (head_.compare_exchange_weak(head, next,
+                                      std::memory_order_acq_rel)) {
+        *out = v;
+        hp_.clear_all();
+        hp_.retire(head, [](void* p) { mem::destroy(static_cast<Node*>(p)); });
+        return true;
+      }
+    }
+  }
+
+  // Nodes whose reclamation is deferred (bounded by the scan threshold).
+  uint64_t deferred_nodes() const noexcept { return hp_.retired_count(); }
+
+  // Force a reclamation pass (benchmark quiescing).
+  void quiesce() noexcept { hp_.flush(); }
+
+  static constexpr std::size_t node_bytes() noexcept { return sizeof(Node); }
+
+ private:
+  struct Node {
+    std::atomic<Value> value{0};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  alignas(util::kCacheLine) std::atomic<Node*> head_{nullptr};
+  alignas(util::kCacheLine) std::atomic<Node*> tail_{nullptr};
+  reclaim::HazardDomain hp_;
+};
+
+}  // namespace dc::queue

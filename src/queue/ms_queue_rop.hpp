@@ -1,0 +1,171 @@
+// Michael–Scott queue with ROP (Repeat Offender Problem / Pass-The-Buck)
+// reclamation — the "Michael-Scott ROP" series of the paper's Figure 1.
+//
+// Structure is identical to the hazard-pointer variant; the reclamation
+// protocol differs: threads post *guards* on values before dereferencing,
+// and dequeued nodes are batched through Liberate, which returns the subset
+// safe to free and hands trapped values off to their trapping guards.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "memory/pool.hpp"
+#include "reclaim/pass_the_buck.hpp"
+#include "util/padded.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::queue {
+
+using Value = uint64_t;
+
+class MsQueueRop {
+ public:
+  MsQueueRop() {
+    Node* dummy = mem::create<Node>();
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  ~MsQueueRop() {
+    Value ignored;
+    while (dequeue(&ignored)) {
+    }
+    mem::destroy(head_.load(std::memory_order_relaxed));
+    // Quiesced: everything batched or handed off can be freed.
+    for (auto& st : threads_) {
+      for (void* p : st.value.to_liberate) mem::destroy(static_cast<Node*>(p));
+      st.value.to_liberate.clear();
+      ptb_.fire_guard(st.value.guard0);
+      ptb_.fire_guard(st.value.guard1);
+      st.value.guard0 = st.value.guard1 = reclaim::kNoGuard;
+    }
+    std::vector<void*> rest;
+    ptb_.liberate(rest);  // drains handoff slots (no guards posted now)
+    for (void* p : rest) mem::destroy(static_cast<Node*>(p));
+  }
+
+  MsQueueRop(const MsQueueRop&) = delete;
+  MsQueueRop& operator=(const MsQueueRop&) = delete;
+
+  void enqueue(Value v) {
+    ThreadState& st = thread_state();
+    Node* node = mem::create<Node>();
+    node->value.store(v, std::memory_order_relaxed);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    for (;;) {
+      Node* tail = post_and_validate(st.guard0, tail_);
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.load(std::memory_order_acquire)) continue;
+      if (next != nullptr) {
+        tail_.compare_exchange_strong(tail, next, std::memory_order_acq_rel);
+        continue;
+      }
+      Node* expected = nullptr;
+      if (tail->next.compare_exchange_weak(expected, node,
+                                           std::memory_order_acq_rel)) {
+        tail_.compare_exchange_strong(tail, node, std::memory_order_acq_rel);
+        ptb_.post_guard(st.guard0, nullptr);
+        return;
+      }
+    }
+  }
+
+  bool dequeue(Value* out) {
+    ThreadState& st = thread_state();
+    for (;;) {
+      Node* head = post_and_validate(st.guard0, head_);
+      Node* tail = tail_.load(std::memory_order_acquire);
+      Node* next = head->next.load(std::memory_order_acquire);
+      ptb_.post_guard(st.guard1, next);
+      if (head != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        clear_guards(st);
+        return false;
+      }
+      if (head == tail) {
+        tail_.compare_exchange_strong(tail, next, std::memory_order_acq_rel);
+        continue;
+      }
+      const Value v = next->value.load(std::memory_order_acquire);
+      if (head_.compare_exchange_weak(head, next,
+                                      std::memory_order_acq_rel)) {
+        *out = v;
+        clear_guards(st);
+        retire(st, head);
+        return true;
+      }
+    }
+  }
+
+  uint64_t deferred_nodes() const noexcept {
+    uint64_t n = ptb_.handoff_count();
+    for (const auto& st : threads_) n += st.value.to_liberate.size();
+    return n;
+  }
+
+  void quiesce() noexcept {
+    ThreadState& st = thread_state();
+    liberate_batch(st);
+  }
+
+  static constexpr std::size_t node_bytes() noexcept { return sizeof(Node); }
+
+ private:
+  struct Node {
+    std::atomic<Value> value{0};
+    std::atomic<Node*> next{nullptr};
+  };
+  struct ThreadState {
+    reclaim::GuardId guard0 = reclaim::kNoGuard;
+    reclaim::GuardId guard1 = reclaim::kNoGuard;
+    std::vector<void*> to_liberate;
+  };
+
+  static constexpr std::size_t kLiberateBatch = 64;
+
+  ThreadState& thread_state() noexcept {
+    ThreadState& st = threads_[util::thread_id()].value;
+    if (st.guard0 == reclaim::kNoGuard) {
+      st.guard0 = ptb_.hire_guard();
+      st.guard1 = ptb_.hire_guard();
+    }
+    return st;
+  }
+
+  // PostGuard + ROP client revalidation: post the loaded pointer, then
+  // confirm the source still holds it.
+  Node* post_and_validate(reclaim::GuardId g, std::atomic<Node*>& src) {
+    Node* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      ptb_.post_guard(g, p);
+      Node* again = src.load(std::memory_order_acquire);
+      if (again == p) return p;
+      p = again;
+    }
+  }
+
+  void clear_guards(ThreadState& st) {
+    ptb_.post_guard(st.guard0, nullptr);
+    ptb_.post_guard(st.guard1, nullptr);
+  }
+
+  void retire(ThreadState& st, Node* n) {
+    st.to_liberate.push_back(n);
+    if (st.to_liberate.size() >= kLiberateBatch) liberate_batch(st);
+  }
+
+  void liberate_batch(ThreadState& st) {
+    ptb_.liberate(st.to_liberate);
+    for (void* p : st.to_liberate) mem::destroy(static_cast<Node*>(p));
+    st.to_liberate.clear();
+  }
+
+  alignas(util::kCacheLine) std::atomic<Node*> head_{nullptr};
+  alignas(util::kCacheLine) std::atomic<Node*> tail_{nullptr};
+  reclaim::PassTheBuck ptb_;
+  util::Padded<ThreadState> threads_[util::kMaxThreads];
+};
+
+}  // namespace dc::queue

@@ -1,0 +1,86 @@
+#include "reclaim/hazard_pointers.hpp"
+
+#include <algorithm>
+
+namespace dc::reclaim {
+
+HazardDomain::~HazardDomain() {
+  // Caller contract: the data structure is quiesced (no concurrent ops), so
+  // every deferred node can be freed regardless of stale announcements.
+  for (auto& slot : states_) {
+    ThreadState* st = slot.load(std::memory_order_acquire);
+    if (st == nullptr) continue;
+    for (const Retired& r : st->retired) r.deleter(r.ptr);
+    delete st;
+  }
+}
+
+HazardDomain::ThreadState& HazardDomain::thread_state() noexcept {
+  const uint32_t tid = util::thread_id();
+  ThreadState* st = states_[tid].load(std::memory_order_acquire);
+  if (st == nullptr) {
+    // Thread ids are unique among live threads, so only this thread can be
+    // installing at this index; the CAS guards against a recycled id racing
+    // with a very late store from a dead thread's cache (paranoia, cheap).
+    auto* fresh = new ThreadState;
+    ThreadState* expected = nullptr;
+    if (states_[tid].compare_exchange_strong(expected, fresh,
+                                             std::memory_order_acq_rel)) {
+      st = fresh;
+    } else {
+      delete fresh;
+      st = expected;
+    }
+  }
+  return *st;
+}
+
+uint32_t HazardDomain::scan_threshold() const noexcept {
+  const uint32_t announced = util::thread_id_high_water() * kSlots;
+  return 2 * (announced < 16 ? 16 : announced);
+}
+
+void HazardDomain::retire(void* p, Deleter deleter) noexcept {
+  ThreadState& st = thread_state();
+  st.retired.push_back(Retired{p, deleter});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (st.retired.size() >= scan_threshold()) scan();
+}
+
+void HazardDomain::scan() noexcept {
+  // Stage 1: snapshot all announcements.
+  std::vector<void*> announced;
+  const uint32_t threads = util::thread_id_high_water();
+  announced.reserve(threads * kSlots);
+  for (uint32_t i = 0; i < threads * kSlots; ++i) {
+    void* p = slots_[i].value.load(std::memory_order_seq_cst);
+    if (p != nullptr) announced.push_back(p);
+  }
+  std::sort(announced.begin(), announced.end());
+  // Stage 2: free every retired node not announced.
+  ThreadState& st = thread_state();
+  std::vector<Retired> keep;
+  keep.reserve(st.retired.size());
+  uint64_t freed = 0;
+  for (const Retired& r : st.retired) {
+    if (std::binary_search(announced.begin(), announced.end(), r.ptr)) {
+      keep.push_back(r);
+    } else {
+      r.deleter(r.ptr);
+      ++freed;
+    }
+  }
+  st.retired.swap(keep);
+  retired_total_.fetch_sub(freed, std::memory_order_relaxed);
+}
+
+void HazardDomain::flush() noexcept {
+  ThreadState& st = thread_state();
+  std::size_t prev = st.retired.size() + 1;
+  while (!st.retired.empty() && st.retired.size() < prev) {
+    prev = st.retired.size();
+    scan();
+  }
+}
+
+}  // namespace dc::reclaim

@@ -1,0 +1,113 @@
+// Hazard pointers (Michael, IEEE TPDS 2004) — safe memory reclamation for
+// lock-free objects without HTM.
+//
+// This is one of the two non-HTM reclamation schemes the paper positions
+// its HTM queue against (§1.1–1.2): a thread announces each pointer it is
+// about to dereference in a per-thread hazard slot; a reclaimer may free a
+// retired node only after verifying no slot announces it. The announce /
+// validate / scan machinery is exactly the per-operation overhead the
+// paper's Figure 1 quantifies at 35–75%.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/padded.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::reclaim {
+
+// A reclamation domain: one per data structure (or shared). `kSlots` hazard
+// pointers per thread (the Michael–Scott queue needs 2).
+class HazardDomain {
+ public:
+  static constexpr uint32_t kSlots = 4;
+
+  using Deleter = void (*)(void*);
+
+  HazardDomain() = default;
+  ~HazardDomain();
+
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  // Announces `src`'s current value in the calling thread's hazard slot
+  // `slot` and returns it once the announcement is stable (re-validating
+  // that src still holds it, per Michael's protocol).
+  template <class T>
+  T* protect(uint32_t slot, const std::atomic<T*>& src) noexcept {
+    std::atomic<void*>& hp = slot_ref(slot);
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      hp.store(p, std::memory_order_seq_cst);
+      T* again = src.load(std::memory_order_acquire);
+      if (again == p) return p;
+      p = again;
+    }
+  }
+
+  // Announces an already-loaded pointer (caller must re-validate reachability
+  // itself afterwards).
+  void announce(uint32_t slot, void* p) noexcept {
+    slot_ref(slot).store(p, std::memory_order_seq_cst);
+  }
+
+  void clear(uint32_t slot) noexcept {
+    slot_ref(slot).store(nullptr, std::memory_order_release);
+  }
+
+  void clear_all() noexcept {
+    for (uint32_t s = 0; s < kSlots; ++s) clear(s);
+  }
+
+  // Defers freeing `p` until no thread announces it. The deleter runs at an
+  // unspecified later point (during some thread's scan) or at domain
+  // destruction.
+  void retire(void* p, Deleter deleter) noexcept;
+
+  // Scans hazard slots and frees every retired node not announced. Called
+  // automatically when a thread's retire list exceeds the threshold;
+  // exposed for tests and for quiescing in benchmarks.
+  void scan() noexcept;
+
+  // Drains the calling thread's retire list as far as possible (retries
+  // scans; nodes still announced by *other* threads remain deferred).
+  void flush() noexcept;
+
+  // Number of nodes whose reclamation is currently deferred (approximate;
+  // for tests/benchmarks).
+  uint64_t retired_count() const noexcept {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    Deleter deleter;
+  };
+  struct ThreadState {
+    std::vector<Retired> retired;
+  };
+
+  std::atomic<void*>& slot_ref(uint32_t slot) noexcept {
+    return slots_[util::thread_id() * kSlots + slot].value;
+  }
+
+  ThreadState& thread_state() noexcept;
+
+  // Retire-list scan threshold: 2x the maximum number of simultaneously
+  // announced pointers, Michael's recommended constant (amortizes scan cost
+  // to O(1) per retire while bounding deferred memory).
+  uint32_t scan_threshold() const noexcept;
+
+  util::Padded<std::atomic<void*>> slots_[util::kMaxThreads * kSlots]{};
+  std::atomic<uint64_t> retired_total_{0};
+
+  // Thread states are registered so the destructor and cross-thread flush
+  // can find leftover retired nodes.
+  std::atomic<ThreadState*> states_[util::kMaxThreads]{};
+};
+
+}  // namespace dc::reclaim

@@ -1,0 +1,137 @@
+#include "reclaim/pass_the_buck.hpp"
+
+#include <algorithm>
+
+namespace dc::reclaim {
+
+// Safety argument (mirrors the ROP/PTB invariant): a value v may be freed
+// only if no guard g "traps" it, i.e. no g has post(g) == v continuously
+// since before v was passed to liberate. A post that started *after* v's
+// injection is harmless: the ROP client protocol re-validates reachability
+// after posting (v is already unlinked, so validation fails and the client
+// never dereferences). Therefore observing post(g) != v at any single
+// instant after injection breaks continuity for g and makes g irrelevant to
+// v's safety.
+//
+// Pass 1 samples every guard's post once; a value that no guard posted at
+// its sample instant is safe. A trapped value is parked in the trapping
+// guard's handoff slot (to be picked up by a later liberate once the guard
+// moves on) or, if the versioned CAS is contended away, moved to the
+// domain's pending list. A value evicted from a handoff slot has broken
+// continuity for *that* guard only, so pass 2 re-checks it against a fresh
+// snapshot of all posts before declaring it safe.
+
+GuardId PassTheBuck::hire_guard() noexcept {
+  for (uint32_t g = 0; g < kMaxGuards; ++g) {
+    bool expected = false;
+    if (guards_[g]->hired.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      uint32_t hw = guard_high_water_.load(std::memory_order_relaxed);
+      while (hw < g + 1 && !guard_high_water_.compare_exchange_weak(
+                               hw, g + 1, std::memory_order_acq_rel)) {
+      }
+      return g;
+    }
+  }
+  return kNoGuard;  // pool exhausted (configuration error in practice)
+}
+
+void PassTheBuck::fire_guard(GuardId g) noexcept {
+  if (g == kNoGuard) return;
+  guards_[g]->post.store(nullptr, std::memory_order_release);
+  guards_[g]->hired.store(false, std::memory_order_release);
+}
+
+void PassTheBuck::post_guard(GuardId g, void* v) noexcept {
+  // seq_cst so the post is globally ordered against liberate's samples —
+  // the same store-load fence hazard pointers need.
+  guards_[g]->post.store(v, std::memory_order_seq_cst);
+}
+
+void PassTheBuck::liberate(std::vector<void*>& values) noexcept {
+  // Re-inject values parked on the pending list by contended earlier calls.
+  {
+    std::lock_guard lock(pending_mu_);
+    values.insert(values.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+  }
+
+  const uint32_t n = guards_in_use();
+  std::vector<void*> recheck;
+
+  for (uint32_t gi = 0; gi < n; ++gi) {
+    Guard& g = *guards_[gi];
+    void* v = g.post.load(std::memory_order_seq_cst);
+    auto vit = v == nullptr ? values.end()
+                            : std::find(values.begin(), values.end(), v);
+    if (vit != values.end()) {
+      // g traps v (conservatively): park it in g's handoff slot.
+      bool parked = false;
+      for (int attempts = 0; attempts < 3 && !parked; ++attempts) {
+        auto h = g.handoff.load(std::memory_order_acquire);
+        if (h.ptr == v) {
+          parked = true;  // another liberate already parked v here
+          break;
+        }
+        if (g.handoff.compare_exchange_strong(
+                h, util::TaggedPtr<void>{v, h.tag + 1},
+                std::memory_order_acq_rel)) {
+          parked = true;
+          if (h.ptr != nullptr) {
+            // Evicted value: continuity broken for this guard at this
+            // instant (post == v != h.ptr); pass 2 checks the other guards.
+            recheck.push_back(h.ptr);
+          }
+        }
+      }
+      values.erase(std::find(values.begin(), values.end(), v));
+      if (!parked) {
+        // Contended away; keep v un-freed on the pending list.
+        std::lock_guard lock(pending_mu_);
+        pending_.push_back(v);
+      }
+      continue;
+    }
+    // g traps nothing of ours; opportunistically pick up a parked value the
+    // guard has moved off (post != parked value observed => continuity for
+    // g broken; pass 2 checks the rest).
+    auto h = g.handoff.load(std::memory_order_acquire);
+    if (h.ptr != nullptr && h.ptr != v) {
+      if (g.handoff.compare_exchange_strong(h,
+                                            util::TaggedPtr<void>{nullptr,
+                                                                  h.tag + 1},
+                                            std::memory_order_acq_rel)) {
+        recheck.push_back(h.ptr);
+      }
+    }
+  }
+
+  // Pass 2: a recheck value is safe only if no guard posts it right now
+  // (any continuous trap would still be visible in this snapshot).
+  for (void* w : recheck) {
+    bool posted = false;
+    for (uint32_t gi = 0; gi < n && !posted; ++gi) {
+      posted = guards_[gi]->post.load(std::memory_order_seq_cst) == w;
+    }
+    if (posted) {
+      std::lock_guard lock(pending_mu_);
+      pending_.push_back(w);
+    } else {
+      values.push_back(w);
+    }
+  }
+}
+
+uint64_t PassTheBuck::handoff_count() const noexcept {
+  uint64_t count = 0;
+  const uint32_t n = guards_in_use();
+  for (uint32_t gi = 0; gi < n; ++gi) {
+    if (guards_[gi]->handoff.load(std::memory_order_acquire).ptr != nullptr) {
+      ++count;
+    }
+  }
+  std::lock_guard lock(pending_mu_);
+  return count + pending_.size();
+}
+
+}  // namespace dc::reclaim

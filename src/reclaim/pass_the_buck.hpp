@@ -1,0 +1,74 @@
+// The "Repeat Offender Problem" (ROP) solved by Pass The Buck
+// (Herlihy, Luchangco, Martin, Moir — ACM TOCS 2005).
+//
+// This is the second non-HTM reclamation scheme the paper compares against
+// ("Michael-Scott ROP" in Figure 1). Clients *hire* guards, *post* a guard
+// on a value before dereferencing it (and re-validate reachability after
+// posting, as with hazard pointers), and pass candidate values through
+// *Liberate*; Liberate returns the subset that is safe to free and "hands
+// off" values still guarded to the trapping guard's handoff slot, to be
+// picked up by a later Liberate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/padded.hpp"
+#include "util/tagged_ptr.hpp"
+
+namespace dc::reclaim {
+
+using GuardId = uint32_t;
+inline constexpr GuardId kNoGuard = ~0u;
+
+class PassTheBuck {
+ public:
+  static constexpr uint32_t kMaxGuards = 1024;
+
+  PassTheBuck() = default;
+  PassTheBuck(const PassTheBuck&) = delete;
+  PassTheBuck& operator=(const PassTheBuck&) = delete;
+
+  // Hires a guard for the calling thread (ROP: HireGuard). Guards are a
+  // reusable resource; firing returns them to the pool.
+  GuardId hire_guard() noexcept;
+  void fire_guard(GuardId g) noexcept;
+
+  // Posts `v` on guard g (ROP: PostGuard; nullptr stands for "no value").
+  // The caller must re-validate that v is still reachable *after* posting
+  // before dereferencing it — identical to the hazard-pointer protocol.
+  void post_guard(GuardId g, void* v) noexcept;
+
+  // Passes candidate values to the domain. On return, `values` contains
+  // exactly those now safe to free (possibly including previously trapped
+  // values picked up from handoff slots); trapped values have been handed
+  // off and will emerge from a later liberate.
+  void liberate(std::vector<void*>& values) noexcept;
+
+  // Approximate number of values currently parked in handoff slots.
+  uint64_t handoff_count() const noexcept;
+
+  // Highest hired guard index + 1 (bounds liberate's scan).
+  uint32_t guards_in_use() const noexcept {
+    return guard_high_water_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Guard {
+    std::atomic<bool> hired{false};
+    std::atomic<void*> post{nullptr};
+    std::atomic<util::TaggedPtr<void>> handoff{};
+  };
+
+  util::Padded<Guard> guards_[kMaxGuards]{};
+  std::atomic<uint32_t> guard_high_water_{0};
+
+  // Values whose handoff CAS was contended away or that were still posted
+  // at pass-2 time; re-injected by the next liberate. Rarely touched.
+  mutable std::mutex pending_mu_;
+  std::vector<void*> pending_;
+};
+
+}  // namespace dc::reclaim

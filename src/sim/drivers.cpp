@@ -1,0 +1,294 @@
+#include "sim/drivers.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "sim/pacing.hpp"
+#include "util/barrier.hpp"
+#include "util/cycles.hpp"
+#include "util/padded.hpp"
+#include "util/rng.hpp"
+
+namespace dc::sim {
+
+using collect::DynamicCollect;
+using collect::Handle;
+using collect::Value;
+
+namespace {
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+}
+
+uint32_t share_of(uint32_t total, uint32_t parties, uint32_t index) {
+  return total / parties + (index < total % parties ? 1 : 0);
+}
+
+}  // namespace
+
+double run_mixed(DynamicCollect& obj, uint32_t threads, uint32_t total_slots,
+                 uint32_t preregistered, const MixedMix& mix,
+                 double duration_ms) {
+  std::atomic<bool> stop{false};
+  util::SpinBarrier barrier(threads + 1);
+  std::vector<util::Padded<uint64_t>> ops(threads);
+  std::vector<std::thread> team;
+  for (uint32_t t = 0; t < threads; ++t) {
+    team.emplace_back([&, t] {
+      const uint32_t max_mine = share_of(total_slots, threads, t);
+      const uint32_t pre_mine = share_of(preregistered, threads, t);
+      util::Xoshiro256 rng(0x9E3779B9u + t);
+      std::vector<Handle> queue;  // FIFO of this thread's handles
+      std::size_t lru = 0;
+      Value next_value = (static_cast<Value>(t) << 48) | 1;
+      for (uint32_t i = 0; i < pre_mine && i < max_mine; ++i) {
+        queue.push_back(obj.register_handle(next_value++));
+      }
+      std::vector<Value> buf;
+      buf.reserve(total_slots * 2);
+      barrier.arrive_and_wait();
+      uint64_t local_ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t dice = rng.next_below(100);
+        if (dice < mix.collect_pct) {
+          obj.collect(buf);
+        } else if (dice < mix.collect_pct + mix.update_pct) {
+          if (!queue.empty()) {
+            obj.update(queue[lru % queue.size()], next_value++);
+            ++lru;
+          }
+        } else if (dice < mix.collect_pct + mix.update_pct +
+                              mix.register_pct) {
+          if (queue.size() < max_mine) {
+            queue.push_back(obj.register_handle(next_value++));
+          }
+        } else {
+          if (!queue.empty()) {
+            obj.deregister(queue.front());
+            queue.erase(queue.begin());
+          }
+        }
+        ++local_ops;
+      }
+      ops[t].value = local_ops;
+      for (Handle h : queue) obj.deregister(h);
+    });
+  }
+  barrier.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  sleep_ms(duration_ms);
+  stop.store(true, std::memory_order_release);
+  for (auto& t : team) t.join();
+  const double us =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count()) /
+      1000.0;
+  uint64_t total_ops = 0;
+  for (const auto& o : ops) total_ops += o.value;
+  return static_cast<double>(total_ops) / us;
+}
+
+CollectorResult run_collect_update(DynamicCollect& obj, uint32_t updaters,
+                                   uint32_t handles_total,
+                                   uint64_t update_period_cycles,
+                                   double duration_ms) {
+  std::atomic<bool> stop{false};
+  util::SpinBarrier barrier(updaters + 2);
+  std::vector<std::thread> team;
+  for (uint32_t t = 0; t < updaters; ++t) {
+    team.emplace_back([&, t] {
+      // Each updater registers its share; it updates only its first handle,
+      // the rest exist to keep the registered total constant (§5.3).
+      const uint32_t mine = share_of(handles_total, updaters, t);
+      std::vector<Handle> handles;
+      Value v = (static_cast<Value>(t) << 48) | 1;
+      for (uint32_t i = 0; i < mine; ++i) {
+        handles.push_back(obj.register_handle(v++));
+      }
+      barrier.arrive_and_wait();
+      if (!handles.empty()) {
+        uint64_t mark = util::rdcycles();
+        while (!stop.load(std::memory_order_relaxed)) {
+          mark = pace_until(mark, update_period_cycles);
+          obj.update(handles[0], v++);
+        }
+      } else {
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::this_thread::yield();
+        }
+      }
+      for (Handle h : handles) obj.deregister(h);
+    });
+  }
+  CollectorResult result;
+  std::thread collector([&] {
+    std::vector<Value> buf;
+    buf.reserve(handles_total * 2);
+    barrier.arrive_and_wait();
+    const uint64_t t0 = util::rdcycles();
+    const uint64_t budget = util::ns_to_cycles(
+        static_cast<uint64_t>(duration_ms * 1'000'000.0));
+    uint64_t collects = 0;
+    uint64_t slots = 0;
+    while (util::rdcycles() - t0 < budget) {
+      obj.collect(buf);
+      ++collects;
+      slots += buf.size();
+    }
+    const double us = util::cycles_to_ns(util::rdcycles() - t0) / 1000.0;
+    stop.store(true, std::memory_order_release);
+    result.collects = collects;
+    result.collects_per_us = static_cast<double>(collects) / us;
+    result.slots_per_us = static_cast<double>(slots) / us;
+  });
+  barrier.arrive_and_wait();  // release everyone
+  collector.join();
+  for (auto& t : team) t.join();
+  return result;
+}
+
+CollectorResult run_collect_dereg(DynamicCollect& obj, uint32_t churners,
+                                  uint32_t total_slots,
+                                  uint64_t register_period_cycles,
+                                  uint64_t dereg_period_cycles,
+                                  double duration_ms) {
+  std::atomic<bool> stop{false};
+  util::SpinBarrier barrier(churners + 2);
+  std::vector<std::thread> team;
+  for (uint32_t t = 0; t < churners; ++t) {
+    team.emplace_back([&, t] {
+      const uint32_t mine = share_of(total_slots, churners, t);
+      std::vector<Handle> handles;
+      Value v = (static_cast<Value>(t) << 48) | 1;
+      for (uint32_t i = 0; i < mine; ++i) {
+        handles.push_back(obj.register_handle(v++));
+      }
+      barrier.arrive_and_wait();
+      std::size_t rr = 0;
+      while (!handles.empty() && !stop.load(std::memory_order_relaxed)) {
+        // Deregister -> (register period) -> re-register -> (deregister
+        // period) -> next handle (§5.4).
+        const std::size_t i = rr % handles.size();
+        uint64_t mark = util::rdcycles();
+        obj.deregister(handles[i]);
+        mark = pace_until(mark, register_period_cycles);
+        handles[i] = obj.register_handle(v++);
+        pace_until(mark, dereg_period_cycles);
+        ++rr;
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
+      for (Handle h : handles) obj.deregister(h);
+    });
+  }
+  CollectorResult result;
+  std::thread collector([&] {
+    std::vector<Value> buf;
+    buf.reserve(total_slots * 2);
+    barrier.arrive_and_wait();
+    const uint64_t t0 = util::rdcycles();
+    const uint64_t budget = util::ns_to_cycles(
+        static_cast<uint64_t>(duration_ms * 1'000'000.0));
+    uint64_t collects = 0;
+    uint64_t slots = 0;
+    while (util::rdcycles() - t0 < budget) {
+      obj.collect(buf);
+      ++collects;
+      slots += buf.size();
+    }
+    const double us = util::cycles_to_ns(util::rdcycles() - t0) / 1000.0;
+    stop.store(true, std::memory_order_release);
+    result.collects = collects;
+    result.collects_per_us = static_cast<double>(collects) / us;
+    result.slots_per_us = static_cast<double>(slots) / us;
+  });
+  barrier.arrive_and_wait();
+  collector.join();
+  for (auto& t : team) t.join();
+  return result;
+}
+
+std::vector<TimePoint> run_varying_slots(DynamicCollect& obj,
+                                         uint32_t updaters,
+                                         uint64_t update_period_cycles,
+                                         uint32_t low_slots,
+                                         uint32_t high_slots, double phase_ms,
+                                         double total_ms, double bucket_ms) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint32_t> phase{0};  // even: low target, odd: high target
+  util::SpinBarrier barrier(updaters + 2);
+  std::vector<std::thread> team;
+  for (uint32_t t = 0; t < updaters; ++t) {
+    team.emplace_back([&, t] {
+      const uint32_t low_mine = share_of(low_slots, updaters, t);
+      const uint32_t high_mine = share_of(high_slots, updaters, t);
+      std::vector<Handle> handles;
+      Value v = (static_cast<Value>(t) << 48) | 1;
+      for (uint32_t i = 0; i < low_mine; ++i) {
+        handles.push_back(obj.register_handle(v++));
+      }
+      barrier.arrive_and_wait();
+      uint64_t mark = util::rdcycles();
+      while (!stop.load(std::memory_order_relaxed)) {
+        mark = pace_until(mark, update_period_cycles);
+        // Walk the handle count toward the current phase's target, one
+        // operation per pacing interval.
+        const uint32_t target =
+            (phase.load(std::memory_order_acquire) % 2 == 0) ? low_mine
+                                                             : high_mine;
+        if (handles.size() < target) {
+          handles.push_back(obj.register_handle(v++));
+        } else if (handles.size() > target) {
+          obj.deregister(handles.back());
+          handles.pop_back();
+        } else if (!handles.empty()) {
+          obj.update(handles[0], v++);
+        }
+      }
+      for (Handle h : handles) obj.deregister(h);
+    });
+  }
+  std::vector<TimePoint> series;
+  std::thread collector([&] {
+    std::vector<Value> buf;
+    buf.reserve(high_slots * 2);
+    barrier.arrive_and_wait();
+    const uint64_t t0 = util::rdcycles();
+    const uint64_t total_budget = util::ns_to_cycles(
+        static_cast<uint64_t>(total_ms * 1'000'000.0));
+    const uint64_t bucket_budget = util::ns_to_cycles(
+        static_cast<uint64_t>(bucket_ms * 1'000'000.0));
+    const uint64_t phase_budget = util::ns_to_cycles(
+        static_cast<uint64_t>(phase_ms * 1'000'000.0));
+    uint64_t bucket_start = t0;
+    uint64_t collects_in_bucket = 0;
+    for (;;) {
+      const uint64_t now = util::rdcycles();
+      if (now - t0 >= total_budget) break;
+      phase.store(static_cast<uint32_t>((now - t0) / phase_budget),
+                  std::memory_order_release);
+      if (now - bucket_start >= bucket_budget) {
+        series.push_back(
+            {util::cycles_to_ns(bucket_start - t0) / 1e6,
+             static_cast<double>(collects_in_bucket) /
+                 (util::cycles_to_ns(now - bucket_start) / 1000.0)});
+        bucket_start = now;
+        collects_in_bucket = 0;
+      }
+      obj.collect(buf);
+      ++collects_in_bucket;
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  barrier.arrive_and_wait();
+  collector.join();
+  for (auto& t : team) t.join();
+  return series;
+}
+
+}  // namespace dc::sim

@@ -1,0 +1,66 @@
+// Workload drivers reproducing the paper's microbenchmarks (§5.2-§5.5).
+// Each returns throughput in ops/us, matching the figures' y-axes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collect/collect.hpp"
+
+namespace dc::sim {
+
+// §5.2 / Figure 3 — Collect-dominated mixed workload.
+// Threads draw operations with the given distribution; each thread keeps a
+// queue of at most total_slots/threads handles (Register appends one,
+// DeRegister removes one, Update writes the least recently used). A total
+// of `preregistered` handles is registered (evenly) before measurement.
+struct MixedMix {
+  uint32_t collect_pct = 90;
+  uint32_t update_pct = 8;
+  uint32_t register_pct = 1;  // remainder: deregister
+};
+
+double run_mixed(collect::DynamicCollect& obj, uint32_t threads,
+                 uint32_t total_slots, uint32_t preregistered,
+                 const MixedMix& mix, double duration_ms);
+
+// §5.3 / Figures 4-6 — Collect throughput under paced concurrent Updates.
+// One collector thread; `updaters` threads each update one of their handles
+// every `update_period_cycles`; `handles_total` handles are registered
+// before measurement (spread over the updaters; extras stay idle, §5.3).
+struct CollectorResult {
+  double collects_per_us = 0.0;
+  double slots_per_us = 0.0;
+  uint64_t collects = 0;
+};
+
+CollectorResult run_collect_update(collect::DynamicCollect& obj,
+                                   uint32_t updaters, uint32_t handles_total,
+                                   uint64_t update_period_cycles,
+                                   double duration_ms);
+
+// §5.4 / Figure 7 — Collect throughput under paced Register/DeRegister
+// churn. Each churner owns total_slots/churners handles and cycles through
+// them: deregister, wait register_period, re-register, wait dereg_period.
+CollectorResult run_collect_dereg(collect::DynamicCollect& obj,
+                                  uint32_t churners, uint32_t total_slots,
+                                  uint64_t register_period_cycles,
+                                  uint64_t dereg_period_cycles,
+                                  double duration_ms);
+
+// §5.5 / Figure 8 — Collect throughput over time while the number of
+// registered handles alternates between low_slots and high_slots every
+// phase_ms. Returns collects/us per bucket_ms window.
+struct TimePoint {
+  double t_ms;
+  double collects_per_us;
+};
+
+std::vector<TimePoint> run_varying_slots(collect::DynamicCollect& obj,
+                                         uint32_t updaters,
+                                         uint64_t update_period_cycles,
+                                         uint32_t low_slots,
+                                         uint32_t high_slots, double phase_ms,
+                                         double total_ms, double bucket_ms);
+
+}  // namespace dc::sim

@@ -1,0 +1,68 @@
+#include "sim/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace dc::sim {
+
+Options Options::parse(int argc, char** argv) {
+  Options opts;
+  // Default thread budget: the paper's 16 when the hardware plausibly
+  // supports it, scaled down on small hosts (oversubscribing a single core
+  // 16:1 starves the measured thread; see src/sim/pacing.hpp).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned suggested = hw == 0 ? 16 : hw * 4;
+  opts.max_threads = suggested > 16 ? 16 : (suggested < 4 ? 4 : suggested);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--csv") == 0) {
+      opts.csv = true;
+    } else if (std::strcmp(arg, "--duration-ms") == 0) {
+      opts.duration_ms = std::atof(next_value());
+    } else if (std::strcmp(arg, "--repeats") == 0) {
+      opts.repeats = std::atoi(next_value());
+    } else if (std::strcmp(arg, "--max-threads") == 0) {
+      opts.max_threads = static_cast<uint32_t>(std::atoi(next_value()));
+    } else if (std::strcmp(arg, "--full") == 0) {
+      opts.duration_ms = 200.0;
+      opts.repeats = 10;  // the paper averages 10 runs per point
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_help(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s (see --help)\n", arg);
+      std::exit(2);
+    }
+  }
+  if (opts.repeats < 1) opts.repeats = 1;
+  if (opts.duration_ms < 1.0) opts.duration_ms = 1.0;
+  if (opts.max_threads < 1) opts.max_threads = 1;
+  return opts;
+}
+
+void Options::print_help(const char* prog) {
+  std::printf(
+      "usage: %s [--csv] [--duration-ms N] [--repeats N] [--max-threads N] "
+      "[--full]\n",
+      prog);
+}
+
+std::vector<uint32_t> thread_sweep(const Options& opts) {
+  std::vector<uint32_t> sweep;
+  for (uint32_t t : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    if (t <= opts.max_threads) sweep.push_back(t);
+  }
+  if (sweep.empty()) sweep.push_back(1);
+  return sweep;
+}
+
+}  // namespace dc::sim

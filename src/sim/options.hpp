@@ -1,0 +1,31 @@
+// Command-line options shared by the benchmark binaries.
+//
+// Every bench runs with sane quick defaults (so `for b in build/bench/*; do
+// $b; done` completes in minutes on a small host) and accepts:
+//   --csv             machine-readable output
+//   --duration-ms N   measurement window per point (default 50)
+//   --repeats N       repetitions averaged per point (default 3)
+//   --max-threads N   cap on swept thread counts (default: min(16, 4x cores))
+//   --full            paper-scale durations (10 runs, 200 ms windows)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dc::sim {
+
+struct Options {
+  bool csv = false;
+  double duration_ms = 50.0;
+  int repeats = 3;
+  uint32_t max_threads = 16;  // parse() lowers this on small hosts
+
+  static Options parse(int argc, char** argv);
+  static void print_help(const char* prog);
+};
+
+// Thread counts swept in the paper's figures (1..16), capped by the option.
+std::vector<uint32_t> thread_sweep(const Options& opts);
+
+}  // namespace dc::sim

@@ -1,0 +1,40 @@
+// Cycle-denominated pacing for the Collect-Update / Collect-(De)Register
+// drivers ("update period [cycles]" in Figures 4-8).
+//
+// On the paper's 16-core Rock every paced thread had its own core, so a
+// PAUSE-spin wait was free. On an oversubscribed host a spin-wait burns the
+// measured thread's CPU share and starves the collector; this pacer sleeps
+// for long waits and *yields* for short ones. Yield-pacing also preserves
+// the period's meaning under oversubscription: a paced thread gets brief
+// scheduler turns, and performs its operation on a turn only if the period
+// has elapsed — so shorter periods still mean proportionally more
+// operations interleaved into the measured thread's transactions.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "util/cycles.hpp"
+
+namespace dc::sim {
+
+// Waits until `period` cycles have elapsed since `start`; returns the cycle
+// count at exit (the natural `start` for the next interval).
+inline uint64_t pace_until(uint64_t start, uint64_t period) noexcept {
+  const uint64_t sleep_threshold = util::ns_to_cycles(200'000);  // 200us
+  for (;;) {
+    const uint64_t now = util::rdcycles();
+    const uint64_t elapsed = now - start;
+    if (elapsed >= period) return now;
+    const uint64_t left = period - elapsed;
+    if (left > sleep_threshold) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          static_cast<int64_t>(util::cycles_to_ns(left - sleep_threshold))));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace dc::sim

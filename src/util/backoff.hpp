@@ -1,0 +1,50 @@
+// Bounded exponential backoff for transaction retry and CAS loops.
+//
+// The paper (§7) notes that back-off is one of the "common practical
+// techniques" precluded by fully asynchronous theoretical models; the
+// substrate uses it the way Rock software did.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace dc::util {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  // `min_spins`/`max_spins` bound the pause-loop length; the loop doubles on
+  // every call. On a machine with fewer cores than runnable threads the
+  // yield threshold matters far more than the pause count, so after the
+  // spin budget is exhausted we yield to the scheduler.
+  explicit Backoff(uint32_t min_spins = 4, uint32_t max_spins = 1024) noexcept
+      : current_(min_spins), max_(max_spins) {}
+
+  void pause() noexcept {
+    if (current_ >= max_) {
+      std::this_thread::yield();
+      return;
+    }
+    for (uint32_t i = 0; i < current_; ++i) cpu_relax();
+    current_ *= 2;
+  }
+
+  void reset(uint32_t min_spins = 4) noexcept { current_ = min_spins; }
+
+ private:
+  uint32_t current_;
+  uint32_t max_;
+};
+
+}  // namespace dc::util

@@ -1,0 +1,42 @@
+// Sense-reversing spin barrier for benchmark start/stop synchronization.
+//
+// std::barrier would do, but a spin barrier with a yield fallback gives much
+// tighter start alignment on the oversubscribed single-core hosts this
+// reproduction runs on, which matters for short measurement windows.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/backoff.hpp"
+
+namespace dc::util {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t parties) noexcept
+      : parties_(parties), remaining_(parties), sense_(false) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    Backoff backoff(8, 256);
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      backoff.pause();
+    }
+  }
+
+ private:
+  const uint32_t parties_;
+  std::atomic<uint32_t> remaining_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace dc::util

@@ -1,0 +1,55 @@
+#include "util/cycles.hpp"
+
+#include <chrono>
+
+namespace dc::util {
+
+namespace {
+
+double calibrate() noexcept {
+  using clock = std::chrono::steady_clock;
+  // Warm the TSC/clock path, then measure over ~2ms; that is ample for the
+  // ~1% accuracy the pacing loops need.
+  (void)rdcycles();
+  const auto t0 = clock::now();
+  const uint64_t c0 = rdcycles();
+  for (;;) {
+    const auto t1 = clock::now();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    if (ns >= 2'000'000) {
+      const uint64_t c1 = rdcycles();
+      return static_cast<double>(c1 - c0) / static_cast<double>(ns);
+    }
+  }
+}
+
+}  // namespace
+
+double cycles_per_ns() noexcept {
+  static const double ratio = calibrate();
+  return ratio;
+}
+
+uint64_t spin_until(uint64_t start, uint64_t period) noexcept {
+  uint64_t now = rdcycles();
+  while (now - start < period) {
+#if defined(__x86_64__) || defined(_M_X64)
+    _mm_pause();
+#endif
+    now = rdcycles();
+  }
+  return now;
+}
+
+#if !(defined(__x86_64__) || defined(_M_X64))
+uint64_t rdcycles_fallback() noexcept {
+  using clock = std::chrono::steady_clock;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      clock::now().time_since_epoch())
+                      .count();
+  return static_cast<uint64_t>(ns);
+}
+#endif
+
+}  // namespace dc::util

@@ -1,0 +1,44 @@
+// Cycle-granularity timing, used to express workload pacing in the same
+// units as the paper ("update period [cycles]").
+//
+// On x86-64 we read the TSC directly; elsewhere we fall back to
+// steady_clock scaled by a calibrated cycles-per-nanosecond factor so the
+// "cycles" axis of the reproduced figures stays meaningful.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace dc::util {
+
+// Current timestamp in CPU cycles (monotonic on any post-2008 x86).
+inline uint64_t rdcycles() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  extern uint64_t rdcycles_fallback() noexcept;
+  return rdcycles_fallback();
+#endif
+}
+
+// Measured TSC frequency in cycles per nanosecond (calibrated once, at first
+// use, against steady_clock over a few milliseconds).
+double cycles_per_ns() noexcept;
+
+inline uint64_t ns_to_cycles(uint64_t ns) noexcept {
+  return static_cast<uint64_t>(static_cast<double>(ns) * cycles_per_ns());
+}
+
+inline double cycles_to_ns(uint64_t cycles) noexcept {
+  return static_cast<double>(cycles) / cycles_per_ns();
+}
+
+// Spin (without yielding) until at least `period` cycles have elapsed since
+// `start`. Returns the cycle count at exit. Used by the pacing loops of the
+// Collect-Update and Collect-(De)Register benchmarks.
+uint64_t spin_until(uint64_t start, uint64_t period) noexcept;
+
+}  // namespace dc::util

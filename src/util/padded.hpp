@@ -1,0 +1,33 @@
+// Cache-line padding helpers.
+//
+// The substrate and benchmark drivers keep per-thread counters; without
+// padding they would false-share and distort the very contention effects the
+// reproduction is trying to measure.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace dc::util {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+// A T padded out to (a multiple of) a cache line.
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+
+ private:
+  char pad_[kCacheLine - (sizeof(T) % kCacheLine == 0 ? kCacheLine
+                                                      : sizeof(T) % kCacheLine)]{};
+};
+
+}  // namespace dc::util

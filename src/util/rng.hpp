@@ -1,0 +1,76 @@
+// Small, fast pseudo-random number generators for workload drivers and tests.
+//
+// The benchmark harness needs per-thread generators that are cheap (a few
+// cycles per draw) and deterministic given a seed, so that runs are
+// repeatable.  <random> engines are too heavyweight for inner benchmark
+// loops; xoshiro256** is the standard choice for this niche.
+#pragma once
+
+#include <cstdint>
+
+namespace dc::util {
+
+// SplitMix64: used to expand a single seed into generator state.
+// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr uint64_t next() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: general-purpose 64-bit generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr uint64_t next() noexcept {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  // the slight modulo bias is irrelevant for workload mixing.
+  constexpr uint64_t next_below(uint64_t bound) noexcept {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw with probability `percent`/100.
+  constexpr bool percent_chance(uint64_t percent) noexcept {
+    return next_below(100) < percent;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace dc::util

@@ -1,0 +1,25 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+
+namespace dc::util {
+
+Histogram::Histogram(std::vector<double> bucket_upper_bounds)
+    : bounds_(std::move(bucket_upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::add(double x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++total_;
+}
+
+double Histogram::fraction(std::size_t i) const noexcept {
+  return total_ == 0
+             ? 0.0
+             : static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+}  // namespace dc::util

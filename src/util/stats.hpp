@@ -1,0 +1,61 @@
+// Running statistics and throughput aggregation for the benchmark harness.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dc::util {
+
+// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Simple fixed-bucket histogram (used for latency distributions in tests and
+// the step-size distribution of Figure 6).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_upper_bounds);
+
+  void add(double x) noexcept;
+  // Buckets 0..bounds-1 are (prev, bound]; the last bucket is the overflow.
+  uint64_t bucket_count(std::size_t i) const noexcept { return counts_[i]; }
+  double bucket_bound(std::size_t i) const noexcept { return bounds_[i]; }
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  uint64_t total() const noexcept { return total_; }
+  double fraction(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> bounds_;  // ascending; last bucket is unbounded above
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace dc::util

@@ -1,0 +1,35 @@
+// Aligned-row table printing (paper-style series) with optional CSV output.
+//
+// Every benchmark binary prints one table per reproduced figure: the first
+// column is the swept parameter (threads, update period, time), and each
+// further column is one algorithm series, matching the paper's plots.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dc::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(uint64_t v);
+  static std::string fmt(int64_t v);
+
+  // Aligned human-readable output.
+  void print(std::FILE* out = stdout) const;
+  // Machine-readable output.
+  void print_csv(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dc::util

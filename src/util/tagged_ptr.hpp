@@ -1,0 +1,21 @@
+// Tagged (counted) pointers for ABA-safe CAS, as used by the original
+// Michael–Scott queue and the Pass-The-Buck handoff slots.
+//
+// std::atomic<TaggedPtr<T>> is 16 bytes; with -mcx16 GCC implements its CAS
+// with cmpxchg16b (falling back to libatomic otherwise — slower but still
+// correct).
+#pragma once
+
+#include <cstdint>
+
+namespace dc::util {
+
+template <class T>
+struct TaggedPtr {
+  T* ptr = nullptr;
+  uint64_t tag = 0;
+
+  friend bool operator==(const TaggedPtr&, const TaggedPtr&) = default;
+};
+
+}  // namespace dc::util

@@ -1,0 +1,73 @@
+#include "util/thread_id.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dc::util {
+
+namespace {
+
+std::atomic<uint64_t> g_used[kMaxThreads / 64];
+std::atomic<uint32_t> g_high_water{0};
+
+uint32_t claim_id() noexcept {
+  for (;;) {
+    for (uint32_t word = 0; word < kMaxThreads / 64; ++word) {
+      uint64_t bits = g_used[word].load(std::memory_order_relaxed);
+      while (bits != ~0ULL) {
+        const uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(~bits));
+        if (g_used[word].compare_exchange_weak(bits, bits | (1ULL << bit),
+                                               std::memory_order_acq_rel)) {
+          const uint32_t id = word * 64 + bit;
+          uint32_t hw = g_high_water.load(std::memory_order_relaxed);
+          while (hw < id + 1 &&
+                 !g_high_water.compare_exchange_weak(
+                     hw, id + 1, std::memory_order_relaxed)) {
+          }
+          return id;
+        }
+      }
+    }
+    // All kMaxThreads ids in use simultaneously: a configuration error for
+    // this research harness, not a runtime condition to recover from.
+    std::fprintf(stderr, "dc::util::thread_id: more than %u live threads\n",
+                 kMaxThreads);
+    std::abort();
+  }
+}
+
+struct ThreadSlot {
+  uint32_t id = claim_id();
+  ~ThreadSlot() {
+    g_used[id / 64].fetch_and(~(1ULL << (id % 64)), std::memory_order_acq_rel);
+  }
+};
+
+thread_local ThreadSlot* t_slot = nullptr;
+thread_local ThreadSlot t_storage_helper;  // ensures destructor registration
+
+ThreadSlot& slot() noexcept {
+  if (t_slot == nullptr) t_slot = &t_storage_helper;
+  return *t_slot;
+}
+
+}  // namespace
+
+uint32_t thread_id() noexcept { return slot().id; }
+
+void release_thread_id() noexcept {
+  // Id release happens in ~ThreadSlot at thread exit; this hook exists so
+  // tests can assert recycling without spawning OS threads. It frees the
+  // current id and immediately claims a replacement so slot().id stays valid.
+  ThreadSlot& s = slot();
+  g_used[s.id / 64].fetch_and(~(1ULL << (s.id % 64)),
+                              std::memory_order_acq_rel);
+  s.id = claim_id();
+}
+
+uint32_t thread_id_high_water() noexcept {
+  return g_high_water.load(std::memory_order_relaxed);
+}
+
+}  // namespace dc::util

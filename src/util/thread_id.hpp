@@ -1,0 +1,26 @@
+// Small dense thread identifiers.
+//
+// Several subsystems (HTM statistics, hazard pointers, the static baseline's
+// per-thread slots) need a compact index per participating thread. IDs are
+// assigned on first use and recycled when a thread detaches, so long test
+// runs that create and join many threads do not exhaust the table.
+#pragma once
+
+#include <cstdint>
+
+namespace dc::util {
+
+inline constexpr uint32_t kMaxThreads = 256;
+
+// Dense id of the calling thread in [0, kMaxThreads). Assigned on first call.
+uint32_t thread_id() noexcept;
+
+// Releases the calling thread's id for reuse. Called automatically at thread
+// exit; exposed for tests.
+void release_thread_id() noexcept;
+
+// Highest id ever handed out plus one (upper bound for scanning per-thread
+// tables).
+uint32_t thread_id_high_water() noexcept;
+
+}  // namespace dc::util

@@ -1,0 +1,115 @@
+// Space behaviour (§1.2, §5.5): dynamic algorithms keep shared memory
+// proportional to the number of registered handles; static ones inherit
+// historical maxima.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "collect/array_dyn_append_dereg.hpp"
+#include "collect/array_stat_search_no.hpp"
+#include "collect/dynamic_baseline.hpp"
+#include "collect/fast_collect_list.hpp"
+#include "collect/hohrc_list.hpp"
+#include "collect/registry.hpp"
+#include "memory/pool.hpp"
+
+namespace dc::collect {
+namespace {
+
+TEST(CollectMemory, DynamicAlgorithmsShrinkAfterMassDeregister) {
+  for (const AlgoInfo& info : all_algorithms()) {
+    if (!info.is_dynamic) continue;
+    MakeParams params;
+    auto obj = info.make(params);
+    const std::size_t floor0 = obj->footprint_bytes();
+    std::vector<Handle> handles;
+    for (Value v = 0; v < 512; ++v) handles.push_back(obj->register_handle(v));
+    const std::size_t peak = obj->footprint_bytes();
+    EXPECT_GT(peak, floor0) << info.name;
+    for (Handle h : handles) obj->deregister(h);
+    // A final collect lets list algorithms prune leftover free nodes.
+    std::vector<Value> out;
+    obj->collect(out);
+    const std::size_t after = obj->footprint_bytes();
+    EXPECT_LT(after, peak / 4)
+        << info.name << ": footprint not proportional to registrations";
+  }
+}
+
+TEST(CollectMemory, StaticSearchNoRetainsHistoricalHighWater) {
+  ArrayStatSearchNo a(256);
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 200; ++v) handles.push_back(a.register_handle(v));
+  EXPECT_GE(a.high_water(), 200);
+  for (Handle h : handles) a.deregister(h);
+  // Nothing registered, but the scan bound never recedes (the Figure 8
+  // behaviour: performance does not recover after shrink).
+  EXPECT_GE(a.high_water(), 200);
+}
+
+TEST(CollectMemory, HohrcNodesFreedEvenWhenPinnedAtDeregister) {
+  HohrcList list;
+  Handle a = list.register_handle(1);
+  Handle b = list.register_handle(2);
+  Handle c = list.register_handle(3);
+  EXPECT_EQ(list.node_count(), 3u);
+  list.deregister(b);
+  EXPECT_EQ(list.node_count(), 2u);  // unpinned: freed immediately
+  list.deregister(a);
+  list.deregister(c);
+  EXPECT_EQ(list.node_count(), 0u);
+}
+
+TEST(CollectMemory, FastCollectFreesOnDeregister) {
+  mem::pool_flush_thread_cache();
+  FastCollectList list;
+  const auto before = mem::pool_stats();
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 100; ++v) handles.push_back(list.register_handle(v));
+  EXPECT_EQ(mem::pool_stats().live_blocks, before.live_blocks + 100);
+  for (Handle h : handles) list.deregister(h);
+  EXPECT_EQ(mem::pool_stats().live_blocks, before.live_blocks);
+  EXPECT_EQ(list.node_count(), 0u);
+}
+
+TEST(CollectMemory, DynamicBaselineReclaimsUnpinnedFreeNodes) {
+  DynamicBaseline d;
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 50; ++v) handles.push_back(d.register_handle(v));
+  EXPECT_EQ(d.node_count(), 50u);
+  for (Handle h : handles) d.deregister(h);
+  // Deregister's backward pass unlinks zero-count unused nodes.
+  EXPECT_EQ(d.node_count(), 0u);
+}
+
+TEST(CollectMemory, DynamicBaselineReusesFreeNodesBeforeAppending) {
+  DynamicBaseline d;
+  Handle a = d.register_handle(1);
+  Handle b = d.register_handle(2);
+  (void)b;
+  d.deregister(a);
+  EXPECT_EQ(d.node_count(), 2u);  // a's node is free but pinned-reachable
+  Handle c = d.register_handle(3);
+  EXPECT_EQ(d.node_count(), 2u) << "should reuse the free node, not append";
+  EXPECT_EQ(c, a);  // same node recycled
+  d.deregister(b);
+  d.deregister(c);
+  EXPECT_EQ(d.node_count(), 0u);
+}
+
+TEST(CollectMemory, HandleCellsAreReleasedOnDeregister) {
+  mem::pool_flush_thread_cache();
+  ArrayDynAppendDereg a(16);
+  const auto before = mem::pool_stats();
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 64; ++v) handles.push_back(a.register_handle(v));
+  for (Handle h : handles) a.deregister(h);
+  const auto after = mem::pool_stats();
+  // Slot-reference cells and resize arrays all returned (the object itself
+  // retains only its min-size array).
+  EXPECT_LE(after.live_bytes, before.live_bytes + 4096);
+  EXPECT_EQ(after.live_blocks, before.live_blocks);
+}
+
+}  // namespace
+}  // namespace dc::collect

@@ -1,0 +1,117 @@
+// Model-based fuzzing: every algorithm, driven by long random operation
+// sequences, must agree exactly with a trivial reference model whenever the
+// object is observed single-threadedly (no concurrency -> the §2.3 spec
+// collapses to "Collect returns exactly the live bindings").
+//
+// This is the broadest net for spec violations: slot moves, compaction,
+// resizing, node reuse, handle recycling, and telescoping boundaries all
+// get exercised by the random walks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "collect/registry.hpp"
+#include "util/rng.hpp"
+
+namespace dc::collect {
+namespace {
+
+struct FuzzCase {
+  std::string algorithm;
+  uint64_t seed;
+  int ops;
+};
+
+class CollectModelFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(CollectModelFuzz, AgreesWithReferenceModel) {
+  const FuzzCase& fc = GetParam();
+  MakeParams params;
+  params.static_capacity = 512;
+  params.max_threads = 2;
+  params.min_size = 16;
+  auto obj = make_algorithm(fc.algorithm, params);
+  ASSERT_NE(obj, nullptr);
+
+  util::Xoshiro256 rng(fc.seed);
+  std::map<Handle, Value> model;  // live handle -> bound value
+  std::vector<Handle> order;      // for random victim selection
+  Value next = 1;
+  std::vector<Value> out;
+
+  for (int op = 0; op < fc.ops; ++op) {
+    const uint64_t dice = rng.next_below(100);
+    if (dice < 35 && model.size() < 200) {
+      // Register
+      Handle h = obj->register_handle(next);
+      ASSERT_EQ(model.count(h), 0u)
+          << "Register returned a handle already registered (op " << op
+          << ")";
+      model[h] = next;
+      order.push_back(h);
+      ++next;
+    } else if (dice < 65 && !model.empty()) {
+      // Update
+      Handle h = order[rng.next_below(order.size())];
+      obj->update(h, next);
+      model[h] = next;
+      ++next;
+    } else if (dice < 85 && !model.empty()) {
+      // DeRegister
+      const std::size_t i = rng.next_below(order.size());
+      Handle h = order[i];
+      obj->deregister(h);
+      model.erase(h);
+      order.erase(order.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      // Collect: exact multiset equality with the model (no concurrency,
+      // so no flicker and no duplicates are admissible... duplicates per
+      // handle are permitted by the spec even sequentially, so compare as
+      // sets and also check every returned value is a live binding).
+      // Occasionally vary the step size to cross telescoping boundaries.
+      if (rng.percent_chance(20)) {
+        obj->set_step_size(1u << rng.next_below(6));
+      }
+      obj->collect(out);
+      std::vector<Value> expected;
+      expected.reserve(model.size());
+      for (const auto& [h, v] : model) expected.push_back(v);
+      std::sort(expected.begin(), expected.end());
+      std::vector<Value> got(out.begin(), out.end());
+      std::sort(got.begin(), got.end());
+      got.erase(std::unique(got.begin(), got.end()), got.end());
+      ASSERT_EQ(got, expected) << "collect mismatch at op " << op;
+    }
+  }
+  // Final audit + teardown.
+  obj->collect(out);
+  ASSERT_EQ(out.size(), model.size());
+  for (Handle h : order) obj->deregister(h);
+  obj->collect(out);
+  EXPECT_TRUE(out.empty());
+}
+
+std::vector<FuzzCase> make_cases() {
+  std::vector<FuzzCase> cases;
+  for (const AlgoInfo& info : all_algorithms()) {
+    for (uint64_t seed : {11ull, 222ull, 3333ull}) {
+      // Static algorithms get shorter walks (bounded capacity).
+      const int ops = info.is_dynamic ? 4000 : 1500;
+      cases.push_back({info.name, seed, ops});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAndSeeds, CollectModelFuzz,
+    ::testing::ValuesIn(make_cases()),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return info.param.algorithm + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace dc::collect

@@ -1,0 +1,233 @@
+// Resizing behaviour of the dynamic array algorithms: the §4.1 invariant
+// max(count, MIN_SIZE) <= capacity <= max(4*count, MIN_SIZE), binding
+// preservation across moves, and cooperative-copy integrity.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "collect/array_dyn_append_dereg.hpp"
+#include "collect/array_dyn_search_resize.hpp"
+#include "util/rng.hpp"
+
+namespace dc::collect {
+namespace {
+
+template <class Algo>
+void check_invariant(const Algo& a) {
+  const int32_t count = a.count_now();
+  const int32_t capacity = a.capacity_now();
+  const int32_t min_size = 16;
+  EXPECT_GE(capacity, count);
+  EXPECT_GE(capacity, min_size);
+  EXPECT_LE(capacity, std::max(4 * count, min_size))
+      << "capacity not proportional to count";
+}
+
+TEST(ArrayDynAppendDeregResize, GrowsWhenFull) {
+  ArrayDynAppendDereg a(16);
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 17; ++v) {
+    handles.push_back(a.register_handle(v));
+    check_invariant(a);
+  }
+  EXPECT_GE(a.capacity_now(), 17);
+  // Values survive the resize.
+  std::vector<Value> out;
+  a.collect(out);
+  std::set<Value> s(out.begin(), out.end());
+  for (Value v = 0; v < 17; ++v) EXPECT_TRUE(s.count(v)) << v;
+  for (Handle h : handles) a.deregister(h);
+}
+
+TEST(ArrayDynAppendDeregResize, ShrinksWhenSparse) {
+  ArrayDynAppendDereg a(16);
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 256; ++v) handles.push_back(a.register_handle(v));
+  const int32_t peak = a.capacity_now();
+  EXPECT_GE(peak, 256);
+  // Deregister from the back (handles move under compaction; back order
+  // keeps this test independent of which slot moved where).
+  while (handles.size() > 4) {
+    a.deregister(handles.back());
+    handles.pop_back();
+    check_invariant(a);
+  }
+  EXPECT_LE(a.capacity_now(), 16 * 4);
+  for (Handle h : handles) a.deregister(h);
+}
+
+TEST(ArrayDynAppendDeregResize, UpdateFollowsMovedSlot) {
+  ArrayDynAppendDereg a(16);
+  // h0 sits at slot 0; deregistering it moves the last slot into slot 0.
+  Handle h0 = a.register_handle(100);
+  Handle h1 = a.register_handle(101);
+  Handle h2 = a.register_handle(102);
+  a.deregister(h0);  // h2's storage moves into slot 0
+  a.update(h2, 202); // must follow the move through the slot reference
+  std::vector<Value> out;
+  a.collect(out);
+  std::set<Value> s(out.begin(), out.end());
+  EXPECT_TRUE(s.count(101));
+  EXPECT_TRUE(s.count(202));
+  EXPECT_FALSE(s.count(102));
+  EXPECT_EQ(s.size(), 2u);
+  a.deregister(h1);
+  a.deregister(h2);
+}
+
+TEST(ArrayDynAppendDeregResize, UpdatesSurviveGrowCopy) {
+  ArrayDynAppendDereg a(16);
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 64; ++v) handles.push_back(a.register_handle(v));
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    a.update(handles[i], 1000 + static_cast<Value>(i));
+  }
+  std::vector<Value> out;
+  a.collect(out);
+  std::set<Value> s(out.begin(), out.end());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    EXPECT_TRUE(s.count(1000 + static_cast<Value>(i))) << i;
+  }
+  for (Handle h : handles) a.deregister(h);
+}
+
+TEST(ArrayDynAppendDeregResize, RandomChurnMaintainsInvariantAndBindings) {
+  ArrayDynAppendDereg a(16);
+  util::Xoshiro256 rng(42);
+  std::vector<std::pair<Handle, Value>> live;
+  Value next = 1;
+  for (int op = 0; op < 3000; ++op) {
+    const uint64_t dice = rng.next_below(10);
+    if (dice < 5 || live.empty()) {
+      live.emplace_back(a.register_handle(next), next);
+      ++next;
+    } else if (dice < 8) {
+      const std::size_t i = rng.next_below(live.size());
+      a.update(live[i].first, next);
+      live[i].second = next;
+      ++next;
+    } else {
+      const std::size_t i = rng.next_below(live.size());
+      a.deregister(live[i].first);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    check_invariant(a);
+    if (op % 200 == 0) {
+      std::vector<Value> out;
+      a.collect(out);
+      std::set<Value> s(out.begin(), out.end());
+      EXPECT_EQ(s.size(), live.size()) << "op " << op;
+      for (const auto& [h, v] : live) EXPECT_TRUE(s.count(v)) << v;
+    }
+  }
+  for (const auto& [h, v] : live) a.deregister(h);
+}
+
+TEST(ArrayDynSearchResizeResize, GrowsAndCompacts) {
+  ArrayDynSearchResize a(16);
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 40; ++v) handles.push_back(a.register_handle(v));
+  EXPECT_GE(a.capacity_now(), 40);
+  // Deregister every other handle: holes accumulate, high water unchanged.
+  for (int i = 0; i < 40; i += 2) a.deregister(handles[static_cast<std::size_t>(i)]);
+  const int32_t high_before = a.high_water();
+  EXPECT_GE(high_before, 20);
+  std::vector<Value> out;
+  a.collect(out);
+  EXPECT_EQ(std::set<Value>(out.begin(), out.end()).size(), 20u);
+  // Keep deregistering until a shrink fires; compaction resets high water.
+  std::vector<Handle> rest;
+  for (int i = 1; i < 40; i += 2) rest.push_back(handles[static_cast<std::size_t>(i)]);
+  while (rest.size() > 4) {
+    a.deregister(rest.back());
+    rest.pop_back();
+  }
+  EXPECT_LE(a.capacity_now(), 64);
+  EXPECT_LE(a.high_water(), a.capacity_now());
+  a.collect(out);
+  EXPECT_EQ(std::set<Value>(out.begin(), out.end()).size(), rest.size());
+  for (Handle h : rest) a.deregister(h);
+}
+
+TEST(ArrayDynSearchResizeResize, RandomChurnMaintainsInvariantAndBindings) {
+  ArrayDynSearchResize a(16);
+  util::Xoshiro256 rng(7);
+  std::vector<std::pair<Handle, Value>> live;
+  Value next = 1;
+  for (int op = 0; op < 3000; ++op) {
+    const uint64_t dice = rng.next_below(10);
+    if (dice < 5 || live.empty()) {
+      live.emplace_back(a.register_handle(next), next);
+      ++next;
+    } else if (dice < 8) {
+      const std::size_t i = rng.next_below(live.size());
+      a.update(live[i].first, next);
+      live[i].second = next;
+      ++next;
+    } else {
+      const std::size_t i = rng.next_below(live.size());
+      a.deregister(live[i].first);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    const int32_t count = a.count_now();
+    const int32_t capacity = a.capacity_now();
+    EXPECT_GE(capacity, count);
+    EXPECT_LE(capacity, std::max(4 * count, 16));
+    if (op % 200 == 0) {
+      std::vector<Value> out;
+      a.collect(out);
+      std::set<Value> s(out.begin(), out.end());
+      EXPECT_EQ(s.size(), live.size()) << "op " << op;
+      for (const auto& [h, v] : live) EXPECT_TRUE(s.count(v)) << v;
+    }
+  }
+  for (const auto& [h, v] : live) a.deregister(h);
+}
+
+TEST(ArrayDynAppendDeregResize, ConcurrentRegistersDuringResizeAllLand) {
+  // Hammer register/deregister from several threads so resizes interleave
+  // with registrations (including the §4.2 register-during-copy fast path),
+  // then verify every surviving handle is collected.
+  ArrayDynAppendDereg a(16);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 500;
+  std::vector<std::vector<std::pair<Handle, Value>>> survivors(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<uint64_t>(t) + 99);
+      std::vector<std::pair<Handle, Value>> mine;
+      Value next = (static_cast<Value>(t) << 32) | 1;
+      for (int op = 0; op < kOps; ++op) {
+        if (mine.size() < 20 && rng.percent_chance(60)) {
+          mine.emplace_back(a.register_handle(next), next);
+          ++next;
+        } else if (!mine.empty()) {
+          a.deregister(mine.back().first);
+          mine.pop_back();
+        }
+      }
+      survivors[static_cast<std::size_t>(t)] = std::move(mine);
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<Value> out;
+  a.collect(out);
+  std::set<Value> s(out.begin(), out.end());
+  std::size_t total = 0;
+  for (const auto& mine : survivors) {
+    total += mine.size();
+    for (const auto& [h, v] : mine) EXPECT_TRUE(s.count(v)) << std::hex << v;
+  }
+  EXPECT_EQ(s.size(), total);
+  check_invariant(a);
+  for (auto& mine : survivors) {
+    for (const auto& [h, v] : mine) a.deregister(h);
+  }
+  EXPECT_EQ(a.count_now(), 0);
+}
+
+}  // namespace
+}  // namespace dc::collect

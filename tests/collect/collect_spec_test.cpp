@@ -1,0 +1,256 @@
+// Dynamic Collect specification conformance (§2.3), parameterized over all
+// eight implementations.
+//
+// Key spec obligations under test:
+//  * a Collect returns a value for every handle whose last binding precedes
+//    it (and is not deregistered);
+//  * every returned value was bound by the handle's last preceding binding
+//    or by a concurrent operation;
+//  * duplicates per handle are permitted; missing a handle is not.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "collect/registry.hpp"
+#include "htm/config.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+
+namespace dc::collect {
+namespace {
+
+class CollectSpec : public ::testing::TestWithParam<AlgoInfo> {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    MakeParams params;
+    params.static_capacity = 1024;
+    params.max_threads = 16;
+    obj_ = GetParam().make(params);
+  }
+  void TearDown() override { htm::config() = saved_; }
+
+  std::set<Value> collect_set() {
+    std::vector<Value> out;
+    obj_->collect(out);
+    return {out.begin(), out.end()};
+  }
+
+  std::unique_ptr<DynamicCollect> obj_;
+  htm::Config saved_;
+};
+
+TEST_P(CollectSpec, EmptyObjectCollectsNothing) {
+  EXPECT_TRUE(collect_set().empty());
+}
+
+TEST_P(CollectSpec, RegisterThenCollectReturnsValue) {
+  obj_->register_handle(41);
+  const auto s = collect_set();
+  EXPECT_TRUE(s.count(41)) << obj_->name();
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST_P(CollectSpec, UpdateRebindsHandle) {
+  Handle h = obj_->register_handle(1);
+  obj_->update(h, 2);
+  const auto s = collect_set();
+  EXPECT_TRUE(s.count(2));
+  EXPECT_FALSE(s.count(1)) << "stale value after completed update";
+}
+
+TEST_P(CollectSpec, DeregisterRemovesBinding) {
+  Handle h = obj_->register_handle(7);
+  obj_->deregister(h);
+  EXPECT_TRUE(collect_set().empty());
+}
+
+TEST_P(CollectSpec, ManyHandlesAllPresent) {
+  std::vector<Handle> handles;
+  for (Value v = 100; v < 164; ++v) handles.push_back(obj_->register_handle(v));
+  const auto s = collect_set();
+  for (Value v = 100; v < 164; ++v) EXPECT_TRUE(s.count(v)) << v;
+  EXPECT_EQ(s.size(), 64u);
+  for (Handle h : handles) obj_->deregister(h);
+  EXPECT_TRUE(collect_set().empty());
+}
+
+TEST_P(CollectSpec, DeregisterSubsetKeepsRest) {
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 32; ++v) handles.push_back(obj_->register_handle(v + 1));
+  for (int i = 0; i < 32; i += 2) obj_->deregister(handles[i]);  // evens out
+  const auto s = collect_set();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(s.count(static_cast<Value>(i + 1)), (i % 2 == 0) ? 0u : 1u) << i;
+  }
+  for (int i = 1; i < 32; i += 2) obj_->deregister(handles[i]);
+}
+
+TEST_P(CollectSpec, HandleReuseAfterDeregister) {
+  for (int round = 0; round < 50; ++round) {
+    Handle h = obj_->register_handle(static_cast<Value>(round + 1));
+    const auto s = collect_set();
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.count(static_cast<Value>(round + 1)));
+    obj_->deregister(h);
+  }
+  EXPECT_TRUE(collect_set().empty());
+}
+
+TEST_P(CollectSpec, InterleavedUpdatesVisibleInOrder) {
+  Handle a = obj_->register_handle(10);
+  Handle b = obj_->register_handle(20);
+  obj_->update(a, 11);
+  obj_->update(b, 21);
+  obj_->update(a, 12);
+  auto s = collect_set();
+  EXPECT_TRUE(s.count(12));
+  EXPECT_TRUE(s.count(21));
+  EXPECT_EQ(s.size(), 2u);
+  obj_->deregister(a);
+  s = collect_set();
+  EXPECT_TRUE(s.count(21));
+  EXPECT_EQ(s.size(), 1u);
+  obj_->deregister(b);
+}
+
+TEST_P(CollectSpec, StablyBoundHandlesNeverMissedUnderUpdates) {
+  // Writers continuously update their own handles; a collector runs
+  // concurrently. Handles are registered before the collector starts and
+  // never deregistered, so EVERY collect must return >= 1 value per handle,
+  // and any returned value must be one the handle plausibly held
+  // (monotonically increasing per handle; values encode handle id).
+  constexpr int kWriters = 3;
+  constexpr int kHandlesPerWriter = 4;
+  constexpr Value kIdShift = 32;
+  struct Published {
+    std::atomic<Value> floor{0};  // last value definitely written
+  };
+  Published published[kWriters * kHandlesPerWriter];
+  std::vector<Handle> handles(kWriters * kHandlesPerWriter);
+  std::atomic<bool> stop{false};
+  util::SpinBarrier barrier(kWriters + 1);
+
+  // Register everything up front, from this thread, value = (id<<32)|0.
+  for (int i = 0; i < kWriters * kHandlesPerWriter; ++i) {
+    handles[static_cast<std::size_t>(i)] =
+        obj_->register_handle(static_cast<Value>(i) << kIdShift);
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      barrier.arrive_and_wait();
+      uint64_t seq = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ++seq;
+        for (int k = 0; k < kHandlesPerWriter; ++k) {
+          const int id = w * kHandlesPerWriter + k;
+          const Value v = (static_cast<Value>(id) << kIdShift) | seq;
+          obj_->update(handles[static_cast<std::size_t>(id)], v);
+          published[id].floor.store(seq, std::memory_order_release);
+        }
+      }
+    });
+  }
+
+  barrier.arrive_and_wait();
+  std::vector<Value> out;
+  for (int round = 0; round < 200; ++round) {
+    // Floors sampled before the collect: any value returned for handle id
+    // must have seq >= floor (older bindings are overwritten, and a
+    // completed update precedes the collect).
+    uint64_t floors[kWriters * kHandlesPerWriter];
+    for (int i = 0; i < kWriters * kHandlesPerWriter; ++i) {
+      floors[i] = published[i].floor.load(std::memory_order_acquire);
+    }
+    obj_->collect(out);
+    bool seen[kWriters * kHandlesPerWriter] = {};
+    for (const Value v : out) {
+      const int id = static_cast<int>(v >> kIdShift);
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, kWriters * kHandlesPerWriter);
+      const uint64_t seq = v & 0xffffffffULL;
+      EXPECT_GE(seq, floors[id])
+          << obj_->name() << ": stale value for handle " << id;
+      seen[id] = true;
+    }
+    for (int i = 0; i < kWriters * kHandlesPerWriter; ++i) {
+      EXPECT_TRUE(seen[i]) << obj_->name() << ": handle " << i
+                           << " missed by collect";
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  for (Handle h : handles) obj_->deregister(h);
+}
+
+TEST_P(CollectSpec, ChurnStressNeverReturnsForeignValues) {
+  // Threads register/deregister/update their own handles; collects run
+  // concurrently. Every value a collect returns must be one some handle
+  // was bound to at some point during the run (tagged values), and stable
+  // handles must always be present.
+  constexpr int kChurners = 2;
+  constexpr Value kStableTag = 0xABC0000000000000ULL;
+  constexpr Value kChurnTag = 0xDEF0000000000000ULL;
+  std::vector<Handle> stable;
+  for (int i = 0; i < 8; ++i) {
+    stable.push_back(obj_->register_handle(kStableTag | static_cast<Value>(i)));
+  }
+  std::atomic<bool> stop{false};
+  util::SpinBarrier barrier(kChurners + 1);
+  std::vector<std::thread> churners;
+  for (int c = 0; c < kChurners; ++c) {
+    churners.emplace_back([&, c] {
+      barrier.arrive_and_wait();
+      util::Xoshiro256 rng(static_cast<uint64_t>(c) + 1);
+      std::vector<Handle> mine;
+      uint64_t seq = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (mine.size() < 6 && rng.percent_chance(50)) {
+          mine.push_back(obj_->register_handle(kChurnTag | ++seq));
+        } else if (!mine.empty() && rng.percent_chance(30)) {
+          obj_->deregister(mine.back());
+          mine.pop_back();
+        } else if (!mine.empty()) {
+          obj_->update(mine[rng.next_below(mine.size())], kChurnTag | ++seq);
+        }
+      }
+      for (Handle h : mine) obj_->deregister(h);
+    });
+  }
+  barrier.arrive_and_wait();
+  std::vector<Value> out;
+  for (int round = 0; round < 100; ++round) {
+    obj_->collect(out);
+    std::set<Value> stable_seen;
+    for (const Value v : out) {
+      const bool is_stable =
+          (v >> 52) == (kStableTag >> 52) && (v & ((1ULL << 52) - 1)) < 8;
+      const bool is_churn = (v >> 52) == (kChurnTag >> 52);
+      EXPECT_TRUE(is_stable || is_churn)
+          << obj_->name() << ": foreign value 0x" << std::hex << v;
+      if (is_stable) stable_seen.insert(v);
+    }
+    EXPECT_EQ(stable_seen.size(), 8u)
+        << obj_->name() << ": stable handle missed";
+  }
+  stop.store(true);
+  for (auto& t : churners) t.join();
+  for (Handle h : stable) obj_->deregister(h);
+  const auto s = collect_set();
+  EXPECT_TRUE(s.empty()) << obj_->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CollectSpec, ::testing::ValuesIn(all_algorithms()),
+    [](const ::testing::TestParamInfo<AlgoInfo>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dc::collect

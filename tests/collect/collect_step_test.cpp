@@ -1,0 +1,136 @@
+// Telescoping behaviour of the HTM algorithms' Collect: fixed step sizes,
+// the store-budget cap, adaptive mode, and step statistics (Figures 5/6
+// machinery).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "collect/registry.hpp"
+#include "htm/config.hpp"
+#include "htm/stats.hpp"
+
+namespace dc::collect {
+namespace {
+
+class CollectStep : public ::testing::TestWithParam<AlgoInfo> {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    MakeParams params;
+    params.static_capacity = 1024;
+    params.max_threads = 4;  // StaticBaseline region = 256 handles/thread
+    obj_ = GetParam().make(params);
+  }
+  void TearDown() override { htm::config() = saved_; }
+  std::unique_ptr<DynamicCollect> obj_;
+  htm::Config saved_;
+};
+
+TEST_P(CollectStep, AllFixedStepSizesReturnTheSameSet) {
+  std::vector<Handle> handles;
+  for (Value v = 1; v <= 100; ++v) handles.push_back(obj_->register_handle(v));
+  for (const uint32_t step : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    obj_->set_step_size(step);
+    std::vector<Value> out;
+    obj_->collect(out);
+    std::set<Value> s(out.begin(), out.end());
+    EXPECT_EQ(s.size(), 100u) << "step " << step;
+    for (Value v = 1; v <= 100; ++v) EXPECT_TRUE(s.count(v)) << v;
+  }
+  for (Handle h : handles) obj_->deregister(h);
+}
+
+TEST_P(CollectStep, StepStatsAccountForEveryRegisteredSlot) {
+  std::vector<Handle> handles;
+  for (Value v = 1; v <= 64; ++v) handles.push_back(obj_->register_handle(v));
+  obj_->set_step_size(8);
+  obj_->reset_step_stats();
+  std::vector<Value> out;
+  obj_->collect(out);
+  const auto slots = obj_->slots_by_step();
+  const uint64_t total = std::accumulate(slots.begin(), slots.end(), 0ull);
+  if (GetParam().telescoped) {
+    EXPECT_EQ(total, out.size());
+    ASSERT_GE(slots.size(), 4u);
+    EXPECT_EQ(slots[3], total) << "all slots should fall in the step-8 bucket";
+  } else {
+    EXPECT_EQ(total, 0u) << "non-telescoped Collect has no step stats";
+  }
+  for (Handle h : handles) obj_->deregister(h);
+}
+
+TEST_P(CollectStep, AdaptiveModeGrowsStepWhenUncontended) {
+  if (!GetParam().telescoped) GTEST_SKIP() << "no transactions in Collect";
+  std::vector<Handle> handles;
+  for (Value v = 1; v <= 200; ++v) handles.push_back(obj_->register_handle(v));
+  obj_->set_adaptive(true);
+  obj_->reset_step_stats();
+  std::vector<Value> out;
+  for (int i = 0; i < 50; ++i) obj_->collect(out);
+  const auto slots = obj_->slots_by_step();
+  // With no contention the controller should reach the maximum step; the
+  // bulk of the slots must have been collected with steps > 8.
+  const uint64_t total = std::accumulate(slots.begin(), slots.end(), 0ull);
+  const uint64_t big = slots[4] + slots[5];  // steps 16 and 32
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(big * 2, total)
+      << "adaptive controller failed to grow the step size";
+  for (Handle h : handles) obj_->deregister(h);
+}
+
+TEST_P(CollectStep, StoreBudgetBoundsTelescopedTransactions) {
+  if (!GetParam().telescoped) GTEST_SKIP();
+  // With a tiny store buffer, step-32 Collect transactions cannot commit as
+  // a single chunk; the implementation must still complete (splitting into
+  // budget-sized pieces or falling back), and return the full set.
+  htm::config().store_buffer_capacity = 8;
+  std::vector<Handle> handles;
+  for (Value v = 1; v <= 64; ++v) handles.push_back(obj_->register_handle(v));
+  obj_->set_step_size(32);
+  std::vector<Value> out;
+  obj_->collect(out);
+  std::set<Value> s(out.begin(), out.end());
+  EXPECT_EQ(s.size(), 64u);
+  htm::config().store_buffer_capacity = 32;
+  for (Handle h : handles) obj_->deregister(h);
+}
+
+TEST_P(CollectStep, AdaptiveCollectUnderConcurrentUpdates) {
+  if (!GetParam().telescoped) GTEST_SKIP();
+  std::vector<Handle> handles;
+  for (Value v = 1; v <= 64; ++v) handles.push_back(obj_->register_handle(v));
+  obj_->set_adaptive(true);
+  std::atomic<bool> stop{false};
+  std::thread updater([&] {
+    uint64_t x = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      obj_->update(handles[x % handles.size()], 1 + x % 64);
+      ++x;
+    }
+  });
+  std::vector<Value> out;
+  for (int i = 0; i < 100; ++i) {
+    obj_->collect(out);
+    // Every returned value is one some handle held (1..64).
+    for (const Value v : out) {
+      EXPECT_GE(v, 1u);
+      EXPECT_LE(v, 64u);
+    }
+    EXPECT_GE(out.size(), 64u);  // no handle missed (duplicates possible)
+  }
+  stop.store(true);
+  updater.join();
+  for (Handle h : handles) obj_->deregister(h);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CollectStep, ::testing::ValuesIn(all_algorithms()),
+    [](const ::testing::TestParamInfo<AlgoInfo>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dc::collect

@@ -1,0 +1,103 @@
+// Failure injection: maximum-interleaving stress. With
+// txn_yield_every_loads=3 every transaction hands the core to its rivals
+// mid-flight, forcing the cross-thread interleavings a single-core host
+// would otherwise never produce. The spec invariants must survive.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "collect/registry.hpp"
+#include "htm/config.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+
+namespace dc::collect {
+namespace {
+
+class CollectYieldStress : public ::testing::TestWithParam<AlgoInfo> {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::config().txn_yield_every_loads = 3;
+    MakeParams params;
+    params.static_capacity = 256;
+    params.max_threads = 8;
+    obj_ = GetParam().make(params);
+  }
+  void TearDown() override { htm::config() = saved_; }
+  std::unique_ptr<DynamicCollect> obj_;
+  htm::Config saved_;
+};
+
+TEST_P(CollectYieldStress, InvariantsUnderForcedPreemption) {
+  constexpr int kWorkers = 3;
+  constexpr Value kStableTag = 0xABCull << 52;
+  constexpr Value kChurnTag = 0xDEFull << 52;
+  std::vector<Handle> stable;
+  for (int i = 0; i < 8; ++i) {
+    stable.push_back(
+        obj_->register_handle(kStableTag | static_cast<Value>(i)));
+  }
+  std::atomic<bool> stop{false};
+  util::SpinBarrier barrier(kWorkers + 1);
+  std::vector<std::thread> workers;
+  const bool fast_collect_eager =
+      std::string(obj_->name()) == "ListFastCollect";
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      barrier.arrive_and_wait();
+      util::Xoshiro256 rng(static_cast<uint64_t>(w) * 7919 + 1);
+      std::vector<Handle> mine;
+      uint64_t seq = 0;
+      int iters = 0;
+      while (!stop.load(std::memory_order_relaxed) && ++iters < 100000) {
+        const uint64_t dice = rng.next_below(10);
+        // Eager FastCollect: cap churn (deregister storms can stall the
+        // checker's Collect indefinitely — the documented §3.1.2 problem).
+        const bool may_churn = !fast_collect_eager || (iters % 8 == 0);
+        if (dice < 4 && mine.size() < 20 && may_churn) {
+          mine.push_back(obj_->register_handle(kChurnTag | ++seq));
+        } else if (dice < 6 && !mine.empty() && may_churn) {
+          obj_->deregister(mine.back());
+          mine.pop_back();
+        } else if (!mine.empty()) {
+          obj_->update(mine[rng.next_below(mine.size())],
+                       kChurnTag | ++seq);
+        }
+      }
+      for (Handle h : mine) obj_->deregister(h);
+    });
+  }
+  barrier.arrive_and_wait();
+  std::vector<Value> out;
+  for (int round = 0; round < 40; ++round) {
+    obj_->collect(out);
+    std::set<Value> stable_seen;
+    for (const Value v : out) {
+      const bool is_stable =
+          (v >> 52) == (kStableTag >> 52) && (v & ((1ULL << 52) - 1)) < 8;
+      const bool is_churn = (v >> 52) == (kChurnTag >> 52);
+      ASSERT_TRUE(is_stable || is_churn)
+          << obj_->name() << ": foreign value 0x" << std::hex << v;
+      if (is_stable) stable_seen.insert(v);
+    }
+    ASSERT_EQ(stable_seen.size(), 8u) << obj_->name() << " round " << round;
+  }
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  for (Handle h : stable) obj_->deregister(h);
+  obj_->collect(out);
+  EXPECT_TRUE(out.empty()) << obj_->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CollectYieldStress, ::testing::ValuesIn(all_algorithms()),
+    [](const ::testing::TestParamInfo<AlgoInfo>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dc::collect

@@ -1,0 +1,155 @@
+// Unit tests for the adaptive step-size controller (§3.4).
+#include "collect/telescope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::collect {
+namespace {
+
+TEST(StepController, DefaultsToStepOneAdaptive) {
+  StepController c;
+  EXPECT_EQ(c.step(), 1u);
+  EXPECT_EQ(c.mode, StepMode::kAdaptive);
+}
+
+TEST(StepController, SeventhStraightCommitDoublesStep) {
+  // After a resize the history is empty; the counter reaches 7 (> 6) on the
+  // 7th consecutive commit — the paper counts commits-minus-aborts among
+  // the relevant (post-resize) attempts, not over a zero-padded window.
+  StepController c;
+  c.set_step(4);
+  for (int i = 0; i < 6; ++i) {
+    c.on_commit(4);
+    EXPECT_EQ(c.step(), 4u) << "doubled too early at i=" << i;
+  }
+  c.on_commit(4);  // counter reaches 7 > 6
+  EXPECT_EQ(c.step(), 8u);
+}
+
+TEST(StepController, HistoryResetsAfterResize) {
+  StepController c;
+  c.set_step(4);
+  for (int i = 0; i < 7; ++i) c.on_commit(4);
+  EXPECT_EQ(c.step(), 8u);
+  EXPECT_EQ(c.counter(), 0) << "history must reset on resize";
+  // Another 7 commits needed for the next doubling.
+  for (int i = 0; i < 6; ++i) c.on_commit(8);
+  EXPECT_EQ(c.step(), 8u);
+  c.on_commit(8);
+  EXPECT_EQ(c.step(), 16u);
+}
+
+TEST(StepController, AbortsBelowThresholdHalveStep) {
+  StepController c;
+  c.set_step(16);
+  // 3 aborts: counter = -3 < -2 -> halve.
+  c.on_abort();
+  EXPECT_EQ(c.step(), 16u);
+  c.on_abort();
+  EXPECT_EQ(c.step(), 16u);
+  c.on_abort();
+  EXPECT_EQ(c.step(), 8u);
+}
+
+TEST(StepController, MixedOutcomesHoldSteady) {
+  StepController c;
+  c.set_step(8);
+  // Alternating commit/abort keeps the counter in (-2, 6]: no resize.
+  for (int i = 0; i < 50; ++i) {
+    c.on_commit(8);
+    c.on_abort();
+  }
+  EXPECT_EQ(c.step(), 8u);
+}
+
+TEST(StepController, AgingOutOldOutcomes) {
+  StepController c;
+  c.set_step(8);
+  // 5 aborts then commits: the aborts age out of the 8-bit window, so the
+  // counter eventually recovers to > 6 and the step doubles.
+  for (int i = 0; i < 5; ++i) c.on_abort();
+  EXPECT_EQ(c.step(), 4u);  // halved once at counter -3 (reset), then -2 ok
+  int doubles_at = -1;
+  for (int i = 0; i < 20; ++i) {
+    c.on_commit(4);
+    if (c.step() > 4) {
+      doubles_at = i;
+      break;
+    }
+  }
+  EXPECT_GE(doubles_at, 0) << "step never recovered";
+}
+
+TEST(StepController, ClampedAtMaxStep) {
+  StepController c;
+  c.set_step(32);
+  for (int i = 0; i < 100; ++i) c.on_commit(32);
+  EXPECT_EQ(c.step(), StepController::kMaxStep);
+}
+
+TEST(StepController, ClampedAtOne) {
+  StepController c;
+  c.set_step(1);
+  for (int i = 0; i < 100; ++i) c.on_abort();
+  EXPECT_EQ(c.step(), 1u);
+}
+
+TEST(StepController, SetStepClampsInput) {
+  StepController c;
+  c.set_step(0);
+  EXPECT_EQ(c.step(), 1u);
+  c.set_step(1000);
+  EXPECT_EQ(c.step(), StepController::kMaxStep);
+  c.set_step(5);  // non-power-of-two allowed; bucketed by bit_width in stats
+  EXPECT_EQ(c.step(), 5u);
+}
+
+TEST(StepController, FixedModeNeverChangesStep) {
+  StepController c;
+  c.mode = StepMode::kFixed;
+  c.set_step(16);
+  for (int i = 0; i < 50; ++i) c.on_commit(16);
+  for (int i = 0; i < 50; ++i) c.on_abort();
+  EXPECT_EQ(c.step(), 16u);
+}
+
+TEST(StepController, RecordingModeTracksButDoesNotAct) {
+  StepController c;
+  c.mode = StepMode::kFixedRecording;
+  c.set_step(8);
+  for (int i = 0; i < 8; ++i) c.on_commit(8);
+  EXPECT_EQ(c.step(), 8u);       // no doubling...
+  EXPECT_EQ(c.counter(), 8);     // ...but the counter is maintained
+}
+
+TEST(StepController, SlotsByStepAttributesToCurrentStep) {
+  StepController c;
+  c.mode = StepMode::kFixed;
+  c.set_step(4);
+  c.on_commit(4);
+  c.on_commit(3);
+  c.set_step(16);
+  c.on_commit(16);
+  const auto& slots = c.slots_by_step();
+  EXPECT_EQ(slots[2], 7u);   // step 4 bucket (log2=2)
+  EXPECT_EQ(slots[4], 16u);  // step 16 bucket
+  c.reset_stats();
+  EXPECT_EQ(c.slots_by_step()[2], 0u);
+}
+
+TEST(StepController, CounterMatchesDefinition) {
+  StepController c;
+  c.mode = StepMode::kFixedRecording;
+  c.set_step(8);
+  c.on_commit(8);
+  c.on_commit(8);
+  c.on_abort();
+  // 2 commits, 1 abort -> counter = 2 - 1 = 1.
+  EXPECT_EQ(c.counter(), 1);
+  for (int i = 0; i < 8; ++i) c.on_abort();
+  // Window holds the last 8 outcomes: all aborts.
+  EXPECT_EQ(c.counter(), -8);
+}
+
+}  // namespace
+}  // namespace dc::collect

@@ -1,0 +1,124 @@
+// The §4.1 Update-optimized ArrayDynAppendDereg variant: handle cells keep
+// the value (naked-store updates); slots move, cells do not.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "collect/array_dyn_append_dereg.hpp"
+#include "collect/array_dyn_append_dereg_upd.hpp"
+#include "htm/stats.hpp"
+#include "util/rng.hpp"
+
+namespace dc::collect {
+namespace {
+
+TEST(UpdateOpt, UpdateUsesNoTransaction) {
+  ArrayDynAppendDeregUpdateOpt obj(16);
+  Handle h = obj.register_handle(1);
+  htm::reset_stats();
+  for (int i = 0; i < 100; ++i) obj.update(h, static_cast<Value>(i));
+  const auto stats = htm::aggregate_stats();
+  EXPECT_EQ(stats.commits, 0u) << "updates must be naked stores";
+  EXPECT_EQ(stats.nontxn_stores, 100u);
+  obj.deregister(h);
+}
+
+TEST(UpdateOpt, BaselineUpdateUsesTransactions) {
+  // Control: the plain variant pays a transaction per update (§5.1's 215ns
+  // class).
+  ArrayDynAppendDereg obj(16);
+  Handle h = obj.register_handle(1);
+  htm::reset_stats();
+  for (int i = 0; i < 100; ++i) obj.update(h, static_cast<Value>(i));
+  EXPECT_EQ(htm::aggregate_stats().commits, 100u);
+  obj.deregister(h);
+}
+
+TEST(UpdateOpt, ValuesSurviveCompactionAndResize) {
+  ArrayDynAppendDeregUpdateOpt obj(16);
+  util::Xoshiro256 rng(3);
+  std::vector<std::pair<Handle, Value>> live;
+  Value next = 1;
+  for (int op = 0; op < 2000; ++op) {
+    const uint64_t dice = rng.next_below(10);
+    if (dice < 5 || live.empty()) {
+      live.emplace_back(obj.register_handle(next), next);
+      ++next;
+    } else if (dice < 8) {
+      const std::size_t i = rng.next_below(live.size());
+      obj.update(live[i].first, next);
+      live[i].second = next;
+      ++next;
+    } else {
+      const std::size_t i = rng.next_below(live.size());
+      obj.deregister(live[i].first);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (op % 200 == 0) {
+      std::vector<Value> out;
+      obj.collect(out);
+      std::set<Value> s(out.begin(), out.end());
+      EXPECT_EQ(s.size(), live.size()) << "op " << op;
+      for (const auto& [h, v] : live) EXPECT_TRUE(s.count(v)) << v;
+    }
+  }
+  for (const auto& [h, v] : live) obj.deregister(h);
+  EXPECT_EQ(obj.count_now(), 0);
+}
+
+TEST(UpdateOpt, NakedUpdatesVisibleToConcurrentCollects) {
+  // The naked store must still conflict correctly with Collect transactions
+  // (strong atomicity): a stably bound handle may never be missed, and
+  // values may never go backwards (per-handle monotone updates).
+  ArrayDynAppendDeregUpdateOpt obj(16);
+  constexpr int kHandles = 8;
+  std::vector<Handle> handles;
+  for (int i = 0; i < kHandles; ++i) {
+    handles.push_back(obj.register_handle(static_cast<Value>(i) << 32));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> floor{0};
+  std::thread updater([&] {
+    uint64_t seq = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++seq;
+      for (int i = 0; i < kHandles; ++i) {
+        obj.update(handles[static_cast<std::size_t>(i)],
+                   (static_cast<Value>(i) << 32) | seq);
+      }
+      floor.store(seq, std::memory_order_release);
+    }
+  });
+  std::vector<Value> out;
+  for (int round = 0; round < 400; ++round) {
+    const uint64_t f = floor.load(std::memory_order_acquire);
+    obj.collect(out);
+    bool seen[kHandles] = {};
+    for (const Value v : out) {
+      const int id = static_cast<int>(v >> 32);
+      ASSERT_LT(id, kHandles);
+      EXPECT_GE(v & 0xffffffffULL, f) << "stale value";
+      seen[id] = true;
+    }
+    for (int i = 0; i < kHandles; ++i) EXPECT_TRUE(seen[i]) << i;
+  }
+  stop.store(true);
+  updater.join();
+  for (Handle h : handles) obj.deregister(h);
+}
+
+TEST(UpdateOpt, FootprintShrinksLikeTheBaseVariant) {
+  ArrayDynAppendDeregUpdateOpt obj(16);
+  std::vector<Handle> handles;
+  for (Value v = 0; v < 256; ++v) handles.push_back(obj.register_handle(v));
+  const auto peak = obj.footprint_bytes();
+  for (Handle h : handles) obj.deregister(h);
+  EXPECT_LT(obj.footprint_bytes(), peak / 4);
+  EXPECT_LE(obj.capacity_now(), 16);
+}
+
+}  // namespace
+}  // namespace dc::collect

@@ -1,0 +1,120 @@
+// Wide (multi-word) values: no torn reads under concurrent updates, and
+// basic spec conformance of both wide-value objects.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "collect/wide.hpp"
+#include "htm/config.hpp"
+
+namespace dc::collect {
+namespace {
+
+TEST(WideValue, ChecksumDetectsTearing) {
+  WideValue v = WideValue::make(1, 2, 3);
+  EXPECT_TRUE(v.consistent());
+  WideValue torn = v;
+  torn.payload[1] = 99;  // payload from another version
+  EXPECT_FALSE(torn.consistent());
+}
+
+template <class W>
+void basic_semantics() {
+  W obj;
+  WideHandle a = obj.register_handle(WideValue::make(1, 2, 3));
+  WideHandle b = obj.register_handle(WideValue::make(4, 5, 6));
+  std::vector<WideValue> out;
+  obj.collect(out);
+  EXPECT_EQ(out.size(), 2u);
+  for (const auto& v : out) EXPECT_TRUE(v.consistent());
+  obj.update(a, WideValue::make(7, 8, 9));
+  obj.collect(out);
+  bool found = false;
+  for (const auto& v : out) {
+    if (v == WideValue::make(7, 8, 9)) found = true;
+  }
+  EXPECT_TRUE(found);
+  obj.deregister(a);
+  obj.collect(out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], WideValue::make(4, 5, 6));
+  obj.deregister(b);
+  obj.collect(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WideCollect, SearchNoBasicSemantics) {
+  basic_semantics<WideArrayStatSearchNo>();
+}
+TEST(WideCollect, AppendDeregBasicSemantics) {
+  basic_semantics<WideArrayDynAppendDereg>();
+}
+
+template <class W>
+void no_torn_reads() {
+  // The §5.1 hazard this machinery exists to prevent: a Collect overlapping
+  // an Update of a multi-word value must never see a mix of old and new.
+  const auto saved = htm::config();
+  htm::config().txn_yield_every_loads = 3;  // force overlap on 1 core
+  {
+    W obj;
+    std::vector<WideHandle> handles;
+    for (uint64_t i = 0; i < 12; ++i) {
+      handles.push_back(obj.register_handle(WideValue::make(i, i * 3, i * 7)));
+    }
+    std::atomic<bool> stop{false};
+    std::thread updater([&] {
+      uint64_t s = 1000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ++s;
+        obj.update(handles[s % handles.size()],
+                   WideValue::make(s, s * 3, s * 7));
+      }
+    });
+    std::vector<WideValue> out;
+    for (int round = 0; round < 50; ++round) {
+      obj.collect(out);
+      EXPECT_EQ(out.size(), 12u);
+      for (const auto& v : out) {
+        ASSERT_TRUE(v.consistent()) << "torn wide value";
+      }
+    }
+    stop.store(true);
+    updater.join();
+    for (WideHandle h : handles) obj.deregister(h);
+  }
+  htm::config() = saved;
+}
+
+TEST(WideCollect, SearchNoNoTornReads) {
+  no_torn_reads<WideArrayStatSearchNo>();
+}
+TEST(WideCollect, AppendDeregNoTornReads) {
+  no_torn_reads<WideArrayDynAppendDereg>();
+}
+
+TEST(WideCollect, AppendDeregResizePreservesWideValues) {
+  WideArrayDynAppendDereg obj(16);
+  std::vector<WideHandle> handles;
+  for (uint64_t i = 0; i < 100; ++i) {
+    handles.push_back(obj.register_handle(WideValue::make(i, i + 1, i + 2)));
+  }
+  EXPECT_GE(obj.capacity_now(), 100);
+  std::vector<WideValue> out;
+  obj.collect(out);
+  EXPECT_EQ(out.size(), 100u);
+  for (const auto& v : out) EXPECT_TRUE(v.consistent());
+  while (handles.size() > 4) {
+    obj.deregister(handles.back());
+    handles.pop_back();
+  }
+  EXPECT_LE(obj.capacity_now(), 64);
+  obj.collect(out);
+  EXPECT_EQ(out.size(), 4u);
+  for (WideHandle h : handles) obj.deregister(h);
+}
+
+}  // namespace
+}  // namespace dc::collect

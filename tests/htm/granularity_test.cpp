@@ -1,0 +1,100 @@
+// Conflict-detection granularity (Config::conflict_granularity_log2):
+// word-granularity orecs keep adjacent data independent; cache-line
+// granularity makes neighbours false-share, as on real HTMs.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "htm/htm.hpp"
+
+namespace dc::htm {
+namespace {
+
+class Granularity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    config().tle_after_aborts = 0;
+  }
+  void TearDown() override { config() = saved_; }
+  Config saved_;
+};
+
+struct alignas(64) Line {
+  uint64_t a = 0;
+  uint64_t b = 0;  // same cache line as a
+};
+
+TEST_F(Granularity, WordGranularityIgnoresNeighbourWrites) {
+  config().conflict_granularity_log2 = 3;
+  Line line;
+  const TryResult r = try_once([&](Txn& txn) {
+    (void)txn.load(&line.a);
+    nontxn_store(&line.b, uint64_t{1});  // neighbour write mid-txn
+    (void)txn.load(&line.a);             // revalidates orec(a): untouched
+  });
+  EXPECT_TRUE(r.committed);
+}
+
+TEST_F(Granularity, LineGranularityFalseSharesNeighbourWrites) {
+  config().conflict_granularity_log2 = 6;
+  Line line;
+  const TryResult r = try_once([&](Txn& txn) {
+    (void)txn.load(&line.a);
+    nontxn_store(&line.b, uint64_t{1});  // bumps the shared line orec
+    // Reading anything on the line now observes a newer version; extension
+    // fails because orec(a) == orec(b) was bumped after we read a.
+    (void)txn.load(&line.a);
+  });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.code, AbortCode::kConflict);
+}
+
+TEST_F(Granularity, LineGranularityStillAtomic) {
+  // Correctness must be granularity-independent; only abort rates change.
+  config().conflict_granularity_log2 = 6;
+  config().tle_after_aborts = 64;
+  uint64_t counter = 0;
+  std::thread t1([&] {
+    for (int i = 0; i < 2000; ++i) {
+      atomic([&](Txn& txn) { txn.store(&counter, txn.load(&counter) + 1); });
+    }
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 2000; ++i) {
+      atomic([&](Txn& txn) { txn.store(&counter, txn.load(&counter) + 1); });
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(counter, 4000u);
+}
+
+TEST_F(Granularity, WriteWriteFalseConflictAtLineGranularity) {
+  // Two txns writing different words of one line: fine at word granularity;
+  // at line granularity the second committer must either wait out or abort
+  // against the first's orec lock — but both must eventually commit.
+  for (const uint32_t g : {3u, 6u}) {
+    config().conflict_granularity_log2 = g;
+    config().tle_after_aborts = 64;
+    Line line;
+    reset_stats();
+    std::thread t1([&] {
+      for (int i = 0; i < 1000; ++i) {
+        atomic([&](Txn& txn) { txn.store(&line.a, txn.load(&line.a) + 1); });
+      }
+    });
+    std::thread t2([&] {
+      for (int i = 0; i < 1000; ++i) {
+        atomic([&](Txn& txn) { txn.store(&line.b, txn.load(&line.b) + 1); });
+      }
+    });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(line.a, 1000u) << "granularity " << g;
+    EXPECT_EQ(line.b, 1000u) << "granularity " << g;
+  }
+}
+
+}  // namespace
+}  // namespace dc::htm

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "htm/htm.hpp"
+
+namespace dc::htm {
+namespace {
+
+class Stats : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    reset_stats();
+  }
+  void TearDown() override { config() = saved_; }
+  Config saved_;
+};
+
+TEST_F(Stats, CommitsCounted) {
+  uint64_t x = 0;
+  for (int i = 0; i < 10; ++i) {
+    atomic([&](Txn& txn) { txn.store(&x, uint64_t(i)); });
+  }
+  EXPECT_EQ(aggregate_stats().commits, 10u);
+}
+
+TEST_F(Stats, ExplicitAbortsCounted) {
+  config().tle_after_aborts = 0;
+  uint64_t x = 0;
+  int attempts = 0;
+  atomic([&](Txn& txn) {
+    if (++attempts <= 4) txn.abort(AbortCode::kExplicit);
+    txn.store(&x, uint64_t{1});
+  });
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.aborts, 4u);
+  EXPECT_EQ(s.aborts_by_code[static_cast<int>(AbortCode::kExplicit)], 4u);
+}
+
+TEST_F(Stats, AbortRate) {
+  TxnStats s;
+  s.commits = 3;
+  s.aborts = 1;
+  EXPECT_DOUBLE_EQ(s.abort_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(TxnStats{}.abort_rate(), 0.0);
+}
+
+TEST_F(Stats, AggregationAcrossThreads) {
+  std::thread t1([&] {
+    uint64_t x = 0;
+    for (int i = 0; i < 5; ++i) atomic([&](Txn& txn) { txn.store(&x, uint64_t(i)); });
+  });
+  std::thread t2([&] {
+    uint64_t y = 0;
+    for (int i = 0; i < 7; ++i) atomic([&](Txn& txn) { txn.store(&y, uint64_t(i)); });
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(aggregate_stats().commits, 12u);
+}
+
+TEST_F(Stats, CountsSurviveThreadExit) {
+  std::thread([&] {
+    uint64_t x = 0;
+    atomic([&](Txn& txn) { txn.store(&x, uint64_t{1}); });
+  }).join();
+  EXPECT_EQ(aggregate_stats().commits, 1u);
+}
+
+TEST_F(Stats, ResetZeroes) {
+  uint64_t x = 0;
+  atomic([&](Txn& txn) { txn.store(&x, uint64_t{1}); });
+  reset_stats();
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.commits, 0u);
+  EXPECT_EQ(s.aborts, 0u);
+}
+
+TEST_F(Stats, TryOnceRecordsOutcome) {
+  uint64_t x = 0;
+  const TryResult ok = try_once([&](Txn& txn) { txn.store(&x, uint64_t{1}); });
+  EXPECT_TRUE(ok.committed);
+  EXPECT_EQ(ok.code, AbortCode::kNone);
+  const TryResult bad =
+      try_once([&](Txn& txn) { txn.abort(AbortCode::kExplicit); });
+  EXPECT_FALSE(bad.committed);
+  EXPECT_EQ(bad.code, AbortCode::kExplicit);
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.aborts, 1u);
+}
+
+TEST_F(Stats, AbortCodeNames) {
+  EXPECT_STREQ(to_string(AbortCode::kConflict), "conflict");
+  EXPECT_STREQ(to_string(AbortCode::kOverflow), "overflow");
+  EXPECT_STREQ(to_string(AbortCode::kExplicit), "explicit");
+  EXPECT_STREQ(to_string(AbortCode::kNone), "none");
+}
+
+}  // namespace
+}  // namespace dc::htm

@@ -1,0 +1,131 @@
+// Strong atomicity (paper §6): non-transactional stores must conflict with
+// concurrent transactions, and non-transactional loads see committed values.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "htm/htm.hpp"
+
+namespace dc::htm {
+namespace {
+
+class StrongAtomicity : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = config(); }
+  void TearDown() override { config() = saved_; }
+  Config saved_;
+};
+
+TEST_F(StrongAtomicity, NontxnStoreIsVisibleToTransactions) {
+  uint64_t x = 0;
+  nontxn_store(&x, uint64_t{7});
+  uint64_t seen = 0;
+  atomic([&](Txn& txn) { seen = txn.load(&x); });
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST_F(StrongAtomicity, NontxnLoadSeesCommittedValue) {
+  uint64_t x = 0;
+  atomic([&](Txn& txn) { txn.store(&x, uint64_t{9}); });
+  EXPECT_EQ(nontxn_load(&x), 9u);
+}
+
+TEST_F(StrongAtomicity, NontxnStoreAbortsConflictingReader) {
+  // A transaction that read x before a nontxn_store to x must not commit
+  // with the stale value: pair (x, y) written together transactionally,
+  // x also hammered non-transactionally; a reader txn that saw the old x
+  // and the new y (or vice versa) would break isolation.
+  uint64_t x = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> observed_decreasing{0};
+  std::thread writer([&] {
+    uint64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      nontxn_store(&x, ++v);
+    }
+  });
+  // Monotonicity check: each transactional read of x must be >= the
+  // previous one (the writer only increments; a stale read would go
+  // backwards).
+  uint64_t prev = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t cur = 0;
+    atomic([&](Txn& txn) { cur = txn.load(&x); });
+    if (cur < prev) observed_decreasing.fetch_add(1);
+    prev = cur;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(observed_decreasing.load(), 0u);
+}
+
+TEST_F(StrongAtomicity, MixedTxnAndNontxnIncrementsAreNotLost) {
+  uint64_t counter = 0;
+  constexpr int kTxnOps = 3000;
+  constexpr int kCasOps = 3000;
+  std::thread txn_thread([&] {
+    for (int i = 0; i < kTxnOps; ++i) {
+      atomic([&](Txn& txn) { txn.store(&counter, txn.load(&counter) + 1); });
+    }
+  });
+  std::thread cas_thread([&] {
+    for (int i = 0; i < kCasOps; ++i) {
+      // Strong-atomicity CAS loop, the way a non-HTM algorithm would share
+      // this word with transactions.
+      for (;;) {
+        const uint64_t cur = nontxn_load(&counter);
+        if (nontxn_cas(&counter, cur, cur + 1)) break;
+      }
+    }
+  });
+  txn_thread.join();
+  cas_thread.join();
+  EXPECT_EQ(counter, uint64_t{kTxnOps} + kCasOps);
+}
+
+TEST_F(StrongAtomicity, NontxnCasSemantics) {
+  uint64_t x = 5;
+  EXPECT_FALSE(nontxn_cas(&x, uint64_t{4}, uint64_t{6}));
+  EXPECT_EQ(x, 5u);
+  EXPECT_TRUE(nontxn_cas(&x, uint64_t{5}, uint64_t{6}));
+  EXPECT_EQ(x, 6u);
+}
+
+TEST_F(StrongAtomicity, NontxnStoresCountedInStats) {
+  reset_stats();
+  uint64_t x = 0;
+  nontxn_store(&x, uint64_t{1});
+  nontxn_store(&x, uint64_t{2});
+  EXPECT_EQ(aggregate_stats().nontxn_stores, 2u);
+}
+
+TEST_F(StrongAtomicity, PairedInvariantHoldsAgainstNontxnWrites) {
+  // Writer transactionally keeps a == b. A nontxn store to an unrelated
+  // word must never make a reader see a != b.
+  uint64_t a = 0, b = 0, noise = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::thread writer([&] {
+    uint64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++v;
+      atomic([&](Txn& txn) {
+        txn.store(&a, v);
+        txn.store(&b, v);
+      });
+      nontxn_store(&noise, v);
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    atomic([&](Txn& txn) {
+      if (txn.load(&a) != txn.load(&b)) torn.store(true);
+    });
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_FALSE(torn.load());
+}
+
+}  // namespace
+}  // namespace dc::htm

@@ -1,0 +1,157 @@
+// Single-threaded semantics of the transaction API.
+#include <gtest/gtest.h>
+
+#include "htm/htm.hpp"
+
+namespace dc::htm {
+namespace {
+
+class TxnBasic : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = config(); }
+  void TearDown() override { config() = saved_; }
+  Config saved_;
+};
+
+TEST_F(TxnBasic, CommitPublishesStores) {
+  uint64_t x = 0;
+  atomic([&](Txn& txn) { txn.store(&x, uint64_t{42}); });
+  EXPECT_EQ(x, 42u);
+}
+
+TEST_F(TxnBasic, LoadReadsCommittedValue) {
+  uint64_t x = 7;
+  uint64_t seen = 0;
+  atomic([&](Txn& txn) { seen = txn.load(&x); });
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST_F(TxnBasic, ReadOwnWrites) {
+  uint64_t x = 1;
+  uint64_t seen = 0;
+  atomic([&](Txn& txn) {
+    txn.store(&x, uint64_t{2});
+    seen = txn.load(&x);
+  });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(x, 2u);
+}
+
+TEST_F(TxnBasic, LastStoreWins) {
+  uint64_t x = 0;
+  atomic([&](Txn& txn) {
+    txn.store(&x, uint64_t{1});
+    txn.store(&x, uint64_t{2});
+    txn.store(&x, uint64_t{3});
+  });
+  EXPECT_EQ(x, 3u);
+}
+
+TEST_F(TxnBasic, ReturnsBodyResult) {
+  uint64_t x = 5;
+  const uint64_t r = atomic([&](Txn& txn) { return txn.load(&x) * 2; });
+  EXPECT_EQ(r, 10u);
+}
+
+TEST_F(TxnBasic, MixedSizes) {
+  uint8_t a = 0;
+  uint16_t b = 0;
+  uint32_t c = 0;
+  uint64_t d = 0;
+  atomic([&](Txn& txn) {
+    txn.store(&a, uint8_t{1});
+    txn.store(&b, uint16_t{2});
+    txn.store(&c, uint32_t{3});
+    txn.store(&d, uint64_t{4});
+  });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(c, 3u);
+  EXPECT_EQ(d, 4u);
+}
+
+TEST_F(TxnBasic, PointerValues) {
+  int target = 9;
+  int* p = nullptr;
+  atomic([&](Txn& txn) { txn.store(&p, &target); });
+  int* seen = nullptr;
+  atomic([&](Txn& txn) { seen = txn.load(&p); });
+  EXPECT_EQ(seen, &target);
+  EXPECT_EQ(*seen, 9);
+}
+
+TEST_F(TxnBasic, ExplicitAbortIsRetried) {
+  config().tle_after_aborts = 0;  // no lock fallback
+  uint64_t x = 0;
+  int attempts = 0;
+  atomic([&](Txn& txn) {
+    if (++attempts < 3) txn.abort(AbortCode::kExplicit);
+    txn.store(&x, uint64_t{1});
+  });
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(x, 1u);
+}
+
+TEST_F(TxnBasic, AbortedStoresAreNotPublished) {
+  config().tle_after_aborts = 0;
+  uint64_t x = 0;
+  bool first = true;
+  atomic([&](Txn& txn) {
+    if (first) {
+      txn.store(&x, uint64_t{99});
+      first = false;
+      txn.abort(AbortCode::kExplicit);
+    }
+    // Retry writes nothing; x must never have seen 99.
+    EXPECT_EQ(txn.load(&x), 0u);
+  });
+  EXPECT_EQ(x, 0u);
+}
+
+TEST_F(TxnBasic, UserExceptionPropagatesAndDiscardsEffects) {
+  uint64_t x = 0;
+  struct Boom {};
+  EXPECT_THROW(atomic([&](Txn& txn) {
+                 txn.store(&x, uint64_t{5});
+                 throw Boom{};
+               }),
+               Boom);
+  EXPECT_EQ(x, 0u);
+}
+
+TEST_F(TxnBasic, InTransactionFlag) {
+  EXPECT_FALSE(in_transaction());
+  atomic([&](Txn&) { EXPECT_TRUE(in_transaction()); });
+  EXPECT_FALSE(in_transaction());
+}
+
+TEST_F(TxnBasic, ReadOnlyTxnCommits) {
+  uint64_t x = 3;
+  uint64_t y = 4;
+  uint64_t sum = 0;
+  atomic([&](Txn& txn) { sum = txn.load(&x) + txn.load(&y); });
+  EXPECT_EQ(sum, 7u);
+}
+
+TEST_F(TxnBasic, StoreBudgetVisible) {
+  config().store_buffer_capacity = 32;
+  atomic([&](Txn& txn) {
+    EXPECT_EQ(txn.store_budget_left(), 32u);
+    uint64_t local = 0;
+    txn.store(&local, uint64_t{1});
+    EXPECT_EQ(txn.store_budget_left(), 31u);
+    txn.charge_store(4);
+    EXPECT_EQ(txn.store_budget_left(), 27u);
+  });
+}
+
+TEST_F(TxnBasic, BoolValues) {
+  bool flag = false;
+  atomic([&](Txn& txn) { txn.store(&flag, true); });
+  bool seen = false;
+  atomic([&](Txn& txn) { seen = txn.load(&flag); });
+  EXPECT_TRUE(seen);
+}
+
+}  // namespace
+}  // namespace dc::htm

@@ -1,0 +1,99 @@
+// Store-buffer bounding: the Rock-like overflow behaviour that caps
+// telescoping step sizes at 32 (paper §3.4).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "htm/htm.hpp"
+
+namespace dc::htm {
+namespace {
+
+class TxnOverflow : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    config().tle_after_aborts = 0;  // overflow must surface, not elide
+  }
+  void TearDown() override { config() = saved_; }
+  Config saved_;
+};
+
+TEST_F(TxnOverflow, StoresUpToCapacitySucceed) {
+  config().store_buffer_capacity = 8;
+  std::vector<uint64_t> words(8, 0);
+  const TryResult r = try_once([&](Txn& txn) {
+    for (int i = 0; i < 8; ++i) txn.store(&words[i], uint64_t(i + 1));
+  });
+  EXPECT_TRUE(r.committed);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(words[i], uint64_t(i + 1));
+}
+
+TEST_F(TxnOverflow, OneStoreTooManyAborts) {
+  config().store_buffer_capacity = 8;
+  std::vector<uint64_t> words(9, 0);
+  const TryResult r = try_once([&](Txn& txn) {
+    for (int i = 0; i < 9; ++i) txn.store(&words[i], uint64_t{1});
+  });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.code, AbortCode::kOverflow);
+  for (const uint64_t w : words) EXPECT_EQ(w, 0u);
+}
+
+TEST_F(TxnOverflow, RepeatedStoresToSameWordCoalesce) {
+  config().store_buffer_capacity = 4;
+  uint64_t x = 0;
+  const TryResult r = try_once([&](Txn& txn) {
+    for (int i = 0; i < 100; ++i) txn.store(&x, uint64_t(i));
+  });
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(x, 99u);
+}
+
+TEST_F(TxnOverflow, ChargedStoresCountAgainstBudget) {
+  config().store_buffer_capacity = 8;
+  uint64_t x = 0;
+  const TryResult r = try_once([&](Txn& txn) {
+    txn.charge_store(8);  // e.g. 8 result-set records
+    txn.store(&x, uint64_t{1});
+  });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.code, AbortCode::kOverflow);
+}
+
+TEST_F(TxnOverflow, ChargeBeyondBudgetAborts) {
+  config().store_buffer_capacity = 8;
+  const TryResult r = try_once([&](Txn& txn) { txn.charge_store(9); });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.code, AbortCode::kOverflow);
+}
+
+TEST_F(TxnOverflow, DefaultCapacityMatchesRock) {
+  EXPECT_EQ(Config{}.store_buffer_capacity, 32u);
+}
+
+TEST_F(TxnOverflow, LoadsAreUnbounded) {
+  std::vector<uint64_t> words(1000, 1);
+  uint64_t sum = 0;
+  const TryResult r = try_once([&](Txn& txn) {
+    sum = 0;
+    for (auto& w : words) sum += txn.load(&w);
+  });
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(sum, 1000u);
+}
+
+TEST_F(TxnOverflow, OverflowAbortIsRecordedInStats) {
+  config().store_buffer_capacity = 2;
+  reset_stats();
+  std::vector<uint64_t> words(3, 0);
+  (void)try_once([&](Txn& txn) {
+    for (auto& w : words) txn.store(&w, uint64_t{1});
+  });
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.aborts, 1u);
+  EXPECT_EQ(s.aborts_by_code[static_cast<int>(AbortCode::kOverflow)], 1u);
+}
+
+}  // namespace
+}  // namespace dc::htm

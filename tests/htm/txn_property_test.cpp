@@ -1,0 +1,113 @@
+// Property-style sweeps over substrate configurations: the atomicity
+// invariants must hold for every (threads, store-buffer, extension, TLE,
+// yield) combination, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "htm/htm.hpp"
+#include "util/barrier.hpp"
+
+namespace dc::htm {
+namespace {
+
+struct SubstrateParams {
+  uint32_t threads;
+  uint32_t store_buffer;
+  bool extension;
+  uint32_t tle_after;
+  uint32_t yield_every;
+};
+
+class TxnProperty : public ::testing::TestWithParam<SubstrateParams> {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    const auto& p = GetParam();
+    config().store_buffer_capacity = p.store_buffer;
+    config().enable_extension = p.extension;
+    config().tle_after_aborts = p.tle_after;
+    config().txn_yield_every_loads = p.yield_every;
+  }
+  void TearDown() override { config() = saved_; }
+  Config saved_;
+};
+
+TEST_P(TxnProperty, CounterConservation) {
+  const auto& p = GetParam();
+  uint64_t counter = 0;
+  constexpr int kOps = 1500;
+  util::SpinBarrier barrier(p.threads);
+  std::vector<std::thread> team;
+  for (uint32_t t = 0; t < p.threads; ++t) {
+    team.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        atomic([&](Txn& txn) { txn.store(&counter, txn.load(&counter) + 1); });
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  EXPECT_EQ(counter, uint64_t{p.threads} * kOps);
+}
+
+TEST_P(TxnProperty, MultiWordInvariant) {
+  // words[] must always sum to a multiple of the word count: each txn adds
+  // 1 to every word. A torn commit or lost update breaks the invariant.
+  const auto& p = GetParam();
+  // Keep writes within the smallest configured store buffer.
+  const std::size_t kWords = 4;
+  std::vector<uint64_t> words(kWords, 0);
+  std::atomic<bool> bad{false};
+  constexpr int kOps = 800;
+  util::SpinBarrier barrier(p.threads);
+  std::vector<std::thread> team;
+  for (uint32_t t = 0; t < p.threads; ++t) {
+    team.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        atomic([&](Txn& txn) {
+          for (auto& w : words) txn.store(&w, txn.load(&w) + 1);
+        });
+        uint64_t sum = 0;
+        atomic([&](Txn& txn) {
+          sum = 0;
+          for (const auto& w : words) sum += txn.load(&w);
+        });
+        if (sum % kWords != 0) bad.store(true);
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  EXPECT_FALSE(bad.load());
+  for (const auto& w : words) EXPECT_EQ(w, words[0]);
+  EXPECT_EQ(words[0], uint64_t{p.threads} * kOps);
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<SubstrateParams>& info) {
+  const auto& p = info.param;
+  return "t" + std::to_string(p.threads) + "_buf" +
+         std::to_string(p.store_buffer) + (p.extension ? "_ext" : "_noext") +
+         "_tle" + std::to_string(p.tle_after) + "_y" +
+         std::to_string(p.yield_every);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TxnProperty,
+    ::testing::Values(
+        SubstrateParams{1, 32, true, 64, 0},
+        SubstrateParams{2, 32, true, 64, 0},
+        SubstrateParams{4, 32, true, 64, 0},
+        SubstrateParams{4, 32, false, 64, 0},   // no extension
+        SubstrateParams{4, 32, true, 0, 0},     // no TLE
+        SubstrateParams{4, 4, true, 8, 0},      // tiny buffer, early TLE
+        SubstrateParams{4, 32, true, 64, 2},    // forced mid-txn yields
+        SubstrateParams{2, 4, false, 4, 1},     // everything hostile
+        SubstrateParams{8, 32, true, 64, 4}),
+    param_name);
+
+}  // namespace
+}  // namespace dc::htm

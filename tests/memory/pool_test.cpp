@@ -1,0 +1,156 @@
+#include "memory/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace dc::mem {
+namespace {
+
+TEST(Pool, AllocateGivesWritableAlignedMemory) {
+  void* p = pool_allocate(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+  std::memset(p, 0xAB, 64);
+  pool_deallocate(p, 64);
+}
+
+TEST(Pool, BlocksAreRecycled) {
+  pool_flush_thread_cache();
+  void* first = pool_allocate(48);
+  pool_deallocate(first, 48);
+  // Thread cache is LIFO: the very next same-class allocation reuses it.
+  void* second = pool_allocate(48);
+  EXPECT_EQ(first, second);
+  pool_deallocate(second, 48);
+}
+
+TEST(Pool, DeallocatePoisons) {
+  auto* words = static_cast<uint64_t*>(pool_allocate(32));
+  for (int i = 0; i < 4; ++i) words[i] = 0x1111111111111111ULL;
+  pool_deallocate(words, 32);
+  // The memory stays mapped (sandboxing) — reading it is safe — and it is
+  // poisoned so stale non-transactional readers are detectable.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(words[i], 0xDDDDDDDDDDDDDDDDULL);
+  // Note: the block is back in the thread cache; do not use it further.
+}
+
+TEST(Pool, LiveAccountingTracksAllocations) {
+  const PoolStats before = pool_stats();
+  void* a = pool_allocate(100);  // class 128
+  void* b = pool_allocate(100);
+  const PoolStats during = pool_stats();
+  EXPECT_EQ(during.live_blocks, before.live_blocks + 2);
+  EXPECT_EQ(during.live_bytes, before.live_bytes + 256);
+  pool_deallocate(a, 100);
+  pool_deallocate(b, 100);
+  const PoolStats after = pool_stats();
+  EXPECT_EQ(after.live_blocks, before.live_blocks);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST(Pool, QuiescentFootprintProportionalToLiveData) {
+  // The property the paper's HTM queue relies on: after frees, live bytes
+  // drop back — memory is not held hostage by thread-local pools.
+  const PoolStats before = pool_stats();
+  std::vector<void*> blocks;
+  for (int i = 0; i < 1000; ++i) blocks.push_back(pool_allocate(64));
+  for (void* p : blocks) pool_deallocate(p, 64);
+  const PoolStats after = pool_stats();
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_EQ(after.deallocations, before.deallocations + 1000);
+}
+
+TEST(Pool, DistinctLiveBlocksDoNotOverlap) {
+  std::vector<void*> blocks;
+  for (int i = 0; i < 200; ++i) blocks.push_back(pool_allocate(32));
+  std::set<uintptr_t> starts;
+  for (void* p : blocks) starts.insert(reinterpret_cast<uintptr_t>(p));
+  EXPECT_EQ(starts.size(), blocks.size());
+  // No two blocks within 32 bytes of each other.
+  uintptr_t prev = 0;
+  for (const uintptr_t s : starts) {
+    if (prev != 0) EXPECT_GE(s - prev, 32u);
+    prev = s;
+  }
+  for (void* p : blocks) pool_deallocate(p, 32);
+}
+
+TEST(Pool, CrossThreadFreeIsSafe) {
+  constexpr int kBlocks = 500;
+  std::vector<void*> blocks(kBlocks);
+  std::thread alloc_thread([&] {
+    for (auto& p : blocks) p = pool_allocate(64);
+  });
+  alloc_thread.join();
+  std::thread free_thread([&] {
+    for (void* p : blocks) pool_deallocate(p, 64);
+    pool_flush_thread_cache();
+  });
+  free_thread.join();
+  SUCCEED();
+}
+
+TEST(Pool, ConcurrentAllocFreeStress) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::pair<void*, std::size_t>> mine;
+      uint64_t seed = static_cast<uint64_t>(t) + 1;
+      for (int i = 0; i < kOps; ++i) {
+        seed = seed * 6364136223846793005ULL + 1;
+        const std::size_t sz = 16 + (seed >> 40) % 200;
+        if (mine.size() < 32 && (seed & 1)) {
+          void* p = pool_allocate(sz);
+          std::memset(p, static_cast<int>(t), sz);
+          mine.emplace_back(p, sz);
+        } else if (!mine.empty()) {
+          auto [p, psz] = mine.back();
+          mine.pop_back();
+          pool_deallocate(p, psz);
+        }
+      }
+      for (auto [p, psz] : mine) pool_deallocate(p, psz);
+    });
+  }
+  for (auto& t : threads) t.join();
+  SUCCEED();
+}
+
+TEST(Pool, TypedCreateDestroy) {
+  struct Node {
+    uint64_t value;
+    Node* next;
+    explicit Node(uint64_t v) : value(v), next(nullptr) {}
+  };
+  Node* n = create<Node>(uint64_t{7});
+  EXPECT_EQ(n->value, 7u);
+  destroy(n);
+}
+
+TEST(Pool, CreateArrayValueInitializes) {
+  auto* a = create_array<uint64_t>(16);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a[i], 0u);
+  destroy_array(a, 16);
+}
+
+TEST(Pool, DestroyNullIsNoop) {
+  destroy(static_cast<int*>(nullptr));
+  destroy_array(static_cast<int*>(nullptr), 10);
+  SUCCEED();
+}
+
+TEST(Pool, LargeBlocks) {
+  void* p = pool_allocate(1 << 20);
+  std::memset(p, 0, 1 << 20);
+  pool_deallocate(p, 1 << 20);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dc::mem

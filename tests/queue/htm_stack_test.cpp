@@ -1,0 +1,127 @@
+#include "queue/htm_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "htm/config.hpp"
+#include "memory/pool.hpp"
+
+namespace dc::queue {
+namespace {
+
+TEST(HtmStack, LifoOrder) {
+  HtmStack s;
+  for (HtmStack::Value v = 0; v < 100; ++v) s.push(v);
+  for (HtmStack::Value v = 100; v-- > 0;) {
+    HtmStack::Value got = 0;
+    ASSERT_TRUE(s.pop(&got));
+    EXPECT_EQ(got, v);
+  }
+  HtmStack::Value got;
+  EXPECT_FALSE(s.pop(&got));
+}
+
+TEST(HtmStack, EmptyPopFails) {
+  HtmStack s;
+  HtmStack::Value v;
+  EXPECT_FALSE(s.pop(&v));
+  EXPECT_TRUE(s.empty());
+  s.push(1);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(HtmStack, FreesOnPop) {
+  mem::pool_flush_thread_cache();
+  const auto before = mem::pool_stats();
+  HtmStack s;
+  for (HtmStack::Value v = 0; v < 500; ++v) s.push(v);
+  EXPECT_EQ(mem::pool_stats().live_blocks, before.live_blocks + 500);
+  HtmStack::Value got;
+  while (s.pop(&got)) {
+  }
+  EXPECT_EQ(mem::pool_stats().live_blocks, before.live_blocks);
+}
+
+TEST(HtmStack, MpmcConservation) {
+  HtmStack s;
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr HtmStack::Value kPerProducer = 3000;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> popped_count{0};
+  std::vector<std::vector<HtmStack::Value>> seen(kConsumers);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (HtmStack::Value i = 0; i < kPerProducer; ++i) {
+        s.push((static_cast<HtmStack::Value>(p) << 32) | i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      HtmStack::Value v;
+      for (;;) {
+        if (s.pop(&v)) {
+          seen[c].push_back(v);
+          popped_count.fetch_add(1);
+        } else if (done.load() &&
+                   popped_count.load() >= kProducers * kPerProducer) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  done.store(true);
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  std::map<HtmStack::Value, int> counts;
+  for (const auto& vec : seen) {
+    for (const auto v : vec) counts[v]++;
+  }
+  EXPECT_EQ(counts.size(),
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  for (const auto& [v, n] : counts) EXPECT_EQ(n, 1) << v;
+}
+
+TEST(HtmStack, StressUnderForcedPreemption) {
+  // Sandboxing regression: pops free immediately while racing pushers/
+  // poppers hold stale tops; forced yields maximize the overlap.
+  const auto saved = htm::config();
+  htm::config().txn_yield_every_loads = 2;
+  {
+    HtmStack s;
+    std::vector<std::thread> threads;
+    std::atomic<uint64_t> pushes{0};
+    std::atomic<uint64_t> pops{0};
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        HtmStack::Value v;
+        for (int i = 0; i < 3000; ++i) {
+          if ((i + t) % 2 == 0) {
+            s.push(static_cast<HtmStack::Value>(i));
+            pushes.fetch_add(1, std::memory_order_relaxed);
+          } else if (s.pop(&v)) {
+            pops.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    // Drain and account: remaining = pushes - pops.
+    HtmStack::Value v;
+    uint64_t drained = 0;
+    while (s.pop(&v)) ++drained;
+    EXPECT_EQ(pushes.load(), pops.load() + drained);
+  }
+  htm::config() = saved;
+}
+
+}  // namespace
+}  // namespace dc::queue

@@ -1,0 +1,149 @@
+// Behavioural tests shared by all four queue implementations (typed suite):
+// FIFO order, emptiness, and a producer/consumer stress with per-producer
+// order and value-conservation checks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "queue/htm_queue.hpp"
+#include "queue/ms_queue.hpp"
+#include "queue/ms_queue_hp.hpp"
+#include "queue/ms_queue_rop.hpp"
+
+namespace dc::queue {
+namespace {
+
+template <class Q>
+class QueueCommon : public ::testing::Test {
+ protected:
+  Q queue_;
+};
+
+using QueueTypes = ::testing::Types<HtmQueue, MsQueue, MsQueueHp, MsQueueRop>;
+
+class QueueNames {
+ public:
+  template <class T>
+  static std::string GetName(int) {
+    if constexpr (std::is_same_v<T, HtmQueue>) return "HtmQueue";
+    if constexpr (std::is_same_v<T, MsQueue>) return "MsQueue";
+    if constexpr (std::is_same_v<T, MsQueueHp>) return "MsQueueHp";
+    if constexpr (std::is_same_v<T, MsQueueRop>) return "MsQueueRop";
+  }
+};
+
+TYPED_TEST_SUITE(QueueCommon, QueueTypes, QueueNames);
+
+TYPED_TEST(QueueCommon, EmptyDequeueFails) {
+  Value v = 0;
+  EXPECT_FALSE(this->queue_.dequeue(&v));
+}
+
+TYPED_TEST(QueueCommon, SingleElementRoundTrip) {
+  this->queue_.enqueue(42);
+  Value v = 0;
+  ASSERT_TRUE(this->queue_.dequeue(&v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_FALSE(this->queue_.dequeue(&v));
+}
+
+TYPED_TEST(QueueCommon, FifoOrder) {
+  for (Value i = 0; i < 100; ++i) this->queue_.enqueue(i);
+  for (Value i = 0; i < 100; ++i) {
+    Value v = 0;
+    ASSERT_TRUE(this->queue_.dequeue(&v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TYPED_TEST(QueueCommon, InterleavedOperations) {
+  Value v = 0;
+  this->queue_.enqueue(1);
+  this->queue_.enqueue(2);
+  ASSERT_TRUE(this->queue_.dequeue(&v));
+  EXPECT_EQ(v, 1u);
+  this->queue_.enqueue(3);
+  ASSERT_TRUE(this->queue_.dequeue(&v));
+  EXPECT_EQ(v, 2u);
+  ASSERT_TRUE(this->queue_.dequeue(&v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_FALSE(this->queue_.dequeue(&v));
+}
+
+TYPED_TEST(QueueCommon, DrainAfterRefill) {
+  for (int round = 0; round < 5; ++round) {
+    for (Value i = 0; i < 50; ++i) this->queue_.enqueue(i);
+    Value v = 0;
+    int count = 0;
+    while (this->queue_.dequeue(&v)) ++count;
+    EXPECT_EQ(count, 50);
+  }
+}
+
+TYPED_TEST(QueueCommon, MpmcStressConservesValuesAndPerProducerOrder) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr Value kPerProducer = 3000;
+  std::atomic<bool> producers_done{false};
+  std::atomic<uint64_t> consumed_count{0};
+  // Value encoding: (producer << 32) | seq. Consumers check seq strictly
+  // increases per producer (FIFO per enqueuer) and record everything seen.
+  std::vector<std::vector<Value>> seen(kConsumers);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (Value i = 0; i < kPerProducer; ++i) {
+        this->queue_.enqueue((static_cast<Value>(p) << 32) | i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      Value v = 0;
+      for (;;) {
+        if (this->queue_.dequeue(&v)) {
+          seen[c].push_back(v);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load(std::memory_order_acquire) &&
+                   consumed_count.load(std::memory_order_acquire) >=
+                       kProducers * kPerProducer) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  producers_done.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  // Conservation: every value exactly once.
+  std::map<Value, int> counts;
+  for (const auto& s : seen) {
+    for (const Value v : s) counts[v]++;
+  }
+  EXPECT_EQ(counts.size(), static_cast<std::size_t>(kProducers) * kPerProducer);
+  for (const auto& [v, n] : counts) {
+    EXPECT_EQ(n, 1) << "value " << v << " seen " << n << " times";
+  }
+  // Per-producer order within each consumer's stream.
+  for (const auto& s : seen) {
+    std::map<Value, Value> last_seq;
+    for (const Value v : s) {
+      const Value producer = v >> 32;
+      const Value seq = v & 0xffffffff;
+      auto it = last_seq.find(producer);
+      if (it != last_seq.end()) {
+        EXPECT_GT(seq, it->second) << "per-producer FIFO violated";
+      }
+      last_seq[producer] = seq;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dc::queue

@@ -1,0 +1,134 @@
+// The space properties the paper's §1.1 argument rests on:
+//  - HTM queue: quiescent footprint proportional to *current* size (frees on
+//    dequeue);
+//  - Michael–Scott with thread-local pools: quiescent footprint proportional
+//    to the *historical maximum* size;
+//  - HP/ROP variants: reclaim, with a bounded deferred tail.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "memory/pool.hpp"
+#include "queue/htm_queue.hpp"
+#include "queue/ms_queue.hpp"
+#include "queue/ms_queue_hp.hpp"
+#include "queue/ms_queue_rop.hpp"
+
+namespace dc::queue {
+namespace {
+
+TEST(QueueMemory, HtmQueueFreesOnDequeue) {
+  mem::pool_flush_thread_cache();
+  const auto before = mem::pool_stats();
+  {
+    HtmQueue q;
+    for (Value i = 0; i < 1000; ++i) q.enqueue(i);
+    const auto peak = mem::pool_stats();
+    EXPECT_GE(peak.live_blocks, before.live_blocks + 1000);
+    Value v;
+    while (q.dequeue(&v)) {
+    }
+    const auto drained = mem::pool_stats();
+    // Every node freed the moment it was dequeued.
+    EXPECT_EQ(drained.live_blocks, before.live_blocks);
+  }
+}
+
+TEST(QueueMemory, MsQueueKeepsHistoricalMaximum) {
+  MsQueue q;
+  for (Value i = 0; i < 1000; ++i) q.enqueue(i);
+  Value v;
+  while (q.dequeue(&v)) {
+  }
+  // Quiescent, empty queue — but the nodes are all parked in local pools.
+  EXPECT_GE(q.pooled_nodes(), 1000u);
+  // And they are reused rather than re-allocated:
+  const auto before = mem::pool_stats();
+  for (Value i = 0; i < 500; ++i) q.enqueue(i);
+  const auto after = mem::pool_stats();
+  EXPECT_EQ(after.allocations, before.allocations);  // all from pools
+}
+
+TEST(QueueMemory, MsQueueHpReclaimsToAllocator) {
+  mem::pool_flush_thread_cache();
+  const auto before = mem::pool_stats();
+  {
+    MsQueueHp q;
+    for (Value i = 0; i < 1000; ++i) q.enqueue(i);
+    Value v;
+    while (q.dequeue(&v)) {
+    }
+    q.quiesce();
+    const auto drained = mem::pool_stats();
+    // All but the dummy and a bounded deferred tail are back.
+    EXPECT_LE(drained.live_blocks - before.live_blocks,
+              1 + q.deferred_nodes());
+    EXPECT_LT(q.deferred_nodes(), 200u);  // scan threshold bound
+  }
+}
+
+TEST(QueueMemory, MsQueueRopReclaimsToAllocator) {
+  mem::pool_flush_thread_cache();
+  const auto before = mem::pool_stats();
+  {
+    MsQueueRop q;
+    for (Value i = 0; i < 1000; ++i) q.enqueue(i);
+    Value v;
+    while (q.dequeue(&v)) {
+    }
+    q.quiesce();
+    const auto drained = mem::pool_stats();
+    EXPECT_LE(drained.live_blocks - before.live_blocks,
+              1 + q.deferred_nodes());
+    EXPECT_LT(q.deferred_nodes(), 200u);  // liberate batch bound
+  }
+  const auto after = mem::pool_stats();
+  EXPECT_EQ(after.live_blocks, before.live_blocks);  // dtor drains the rest
+}
+
+TEST(QueueMemory, HtmQueueQuiescentFootprintTracksCurrentSize) {
+  mem::pool_flush_thread_cache();
+  const auto baseline = mem::pool_stats();
+  HtmQueue q;
+  // Grow to 2000, shrink to 10: live nodes must track the shrink.
+  for (Value i = 0; i < 2000; ++i) q.enqueue(i);
+  Value v;
+  for (int i = 0; i < 1990; ++i) ASSERT_TRUE(q.dequeue(&v));
+  const auto now = mem::pool_stats();
+  EXPECT_EQ(now.live_blocks - baseline.live_blocks, 10u);
+}
+
+TEST(QueueMemory, HtmQueueDestructorReleasesEverything) {
+  mem::pool_flush_thread_cache();
+  const auto before = mem::pool_stats();
+  {
+    HtmQueue q;
+    for (Value i = 0; i < 100; ++i) q.enqueue(i);
+  }
+  const auto after = mem::pool_stats();
+  EXPECT_EQ(after.live_blocks, before.live_blocks);
+}
+
+TEST(QueueMemory, ConcurrentChurnDoesNotGrowHtmQueueFootprint) {
+  mem::pool_flush_thread_cache();
+  HtmQueue q;
+  for (Value i = 0; i < 64; ++i) q.enqueue(i);
+  const auto start = mem::pool_stats();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      Value v;
+      for (int i = 0; i < 3000; ++i) {
+        q.enqueue(static_cast<Value>(i));
+        q.dequeue(&v);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = mem::pool_stats();
+  // Size-neutral churn: footprint unchanged (± the 64 resident entries).
+  EXPECT_LE(end.live_blocks, start.live_blocks + 8);
+}
+
+}  // namespace
+}  // namespace dc::queue

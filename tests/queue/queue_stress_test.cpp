@@ -1,0 +1,117 @@
+// Failure injection for the queues: forced mid-transaction preemption for
+// the HTM queue, and a single-threaded model-based fuzz for all four
+// implementations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "htm/config.hpp"
+#include "queue/htm_queue.hpp"
+#include "queue/ms_queue.hpp"
+#include "queue/ms_queue_hp.hpp"
+#include "queue/ms_queue_rop.hpp"
+#include "util/rng.hpp"
+
+namespace dc::queue {
+namespace {
+
+template <class Q>
+void model_fuzz(uint64_t seed) {
+  Q q;
+  std::deque<Value> model;
+  util::Xoshiro256 rng(seed);
+  Value next = 1;
+  for (int op = 0; op < 20000; ++op) {
+    if (rng.percent_chance(55)) {
+      q.enqueue(next);
+      model.push_back(next);
+      ++next;
+    } else {
+      Value got = 0;
+      const bool ok = q.dequeue(&got);
+      ASSERT_EQ(ok, !model.empty()) << "op " << op;
+      if (ok) {
+        ASSERT_EQ(got, model.front()) << "FIFO violated at op " << op;
+        model.pop_front();
+      }
+    }
+  }
+  Value got;
+  while (!model.empty()) {
+    ASSERT_TRUE(q.dequeue(&got));
+    ASSERT_EQ(got, model.front());
+    model.pop_front();
+  }
+  ASSERT_FALSE(q.dequeue(&got));
+}
+
+TEST(QueueModelFuzz, HtmQueue) { model_fuzz<HtmQueue>(101); }
+TEST(QueueModelFuzz, MsQueue) { model_fuzz<MsQueue>(202); }
+TEST(QueueModelFuzz, MsQueueHp) { model_fuzz<MsQueueHp>(303); }
+TEST(QueueModelFuzz, MsQueueRop) { model_fuzz<MsQueueRop>(404); }
+
+TEST(QueueStress, HtmQueueUnderForcedPreemption) {
+  // Dequeues free nodes immediately while other threads' transactions are
+  // parked mid-flight on stale pointers (txn_yield_every_loads=2): the
+  // sandboxing contract carries the whole weight here.
+  const auto saved = htm::config();
+  htm::config().txn_yield_every_loads = 2;
+  {
+    HtmQueue q;
+    std::atomic<uint64_t> enq{0}, deq{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        util::Xoshiro256 rng(static_cast<uint64_t>(t) + 7);
+        Value v;
+        for (int i = 0; i < 2500; ++i) {
+          if (rng.percent_chance(50)) {
+            q.enqueue(static_cast<Value>(i));
+            enq.fetch_add(1, std::memory_order_relaxed);
+          } else if (q.dequeue(&v)) {
+            deq.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    Value v;
+    uint64_t drained = 0;
+    while (q.dequeue(&v)) ++drained;
+    EXPECT_EQ(enq.load(), deq.load() + drained);
+  }
+  htm::config() = saved;
+}
+
+TEST(QueueStress, MsQueueAbaHammer) {
+  // Aggressive node recycling across threads: every dequeue feeds the local
+  // pool that the next enqueue reuses, maximizing the A-B-A exposure that
+  // the counted pointers must defeat.
+  MsQueue q;
+  for (Value i = 0; i < 4; ++i) q.enqueue(i);  // tiny queue = hot recycling
+  std::atomic<uint64_t> balance{4};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      Value v;
+      for (int i = 0; i < 10000; ++i) {
+        if (q.dequeue(&v)) {
+          balance.fetch_sub(1, std::memory_order_relaxed);
+        }
+        q.enqueue(static_cast<Value>(i));
+        balance.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Value v;
+  uint64_t drained = 0;
+  while (q.dequeue(&v)) ++drained;
+  EXPECT_EQ(drained, balance.load());
+}
+
+}  // namespace
+}  // namespace dc::queue

@@ -1,0 +1,107 @@
+// The benchmark drivers themselves: they must terminate, produce positive
+// throughput, and leave the collect object quiescent and empty.
+#include <gtest/gtest.h>
+
+#include "collect/registry.hpp"
+#include "sim/drivers.hpp"
+#include "sim/options.hpp"
+#include "util/cycles.hpp"
+
+namespace dc::sim {
+namespace {
+
+using collect::make_algorithm;
+using collect::MakeParams;
+
+MakeParams params() {
+  MakeParams p;
+  p.static_capacity = 80;
+  p.max_threads = 4;
+  return p;
+}
+
+TEST(Drivers, MixedWorkloadRunsAndQuiesces) {
+  auto obj = make_algorithm("ArrayDynAppendDereg", params());
+  const double thru = run_mixed(*obj, 3, 64, 32, MixedMix{}, 30.0);
+  EXPECT_GT(thru, 0.0);
+  std::vector<collect::Value> out;
+  obj->collect(out);
+  EXPECT_TRUE(out.empty()) << "driver leaked registrations";
+}
+
+TEST(Drivers, MixedWorkloadAllAlgorithms) {
+  for (const auto& info : collect::all_algorithms()) {
+    auto obj = info.make(params());
+    const double thru = run_mixed(*obj, 2, 16, 8, MixedMix{}, 10.0);
+    EXPECT_GT(thru, 0.0) << info.name;
+    std::vector<collect::Value> out;
+    obj->collect(out);
+    EXPECT_TRUE(out.empty()) << info.name;
+  }
+}
+
+TEST(Drivers, CollectUpdateReportsCollectorThroughput) {
+  auto obj = make_algorithm("ArrayStatAppendDereg", params());
+  const auto r =
+      run_collect_update(*obj, 3, 12, util::ns_to_cycles(5'000), 30.0);
+  EXPECT_GT(r.collects, 0u);
+  EXPECT_GT(r.collects_per_us, 0.0);
+  // 12 handles stay registered for the whole run: each collect sees 12.
+  EXPECT_NEAR(r.slots_per_us / r.collects_per_us, 12.0, 0.5);
+  std::vector<collect::Value> out;
+  obj->collect(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Drivers, CollectDeregKeepsHandleBudget) {
+  auto obj = make_algorithm("ArrayDynAppendDereg", params());
+  const auto r = run_collect_dereg(*obj, 3, 12, util::ns_to_cycles(2'000),
+                                   util::ns_to_cycles(2'000), 30.0);
+  EXPECT_GT(r.collects, 0u);
+  // Churn means collects see at most 12, at least 12 - churners handles.
+  const double avg = r.slots_per_us / r.collects_per_us;
+  EXPECT_LE(avg, 12.01);
+  EXPECT_GE(avg, 12.0 - 3.5);
+  std::vector<collect::Value> out;
+  obj->collect(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Drivers, VaryingSlotsProducesPhasedSeries) {
+  auto obj = make_algorithm("ArrayDynAppendDereg", params());
+  const auto series = run_varying_slots(*obj, 3, util::ns_to_cycles(5'000),
+                                        8, 32, 100.0, 600.0, 50.0);
+  EXPECT_GE(series.size(), 8u);
+  for (const auto& p : series) EXPECT_GT(p.collects_per_us, 0.0);
+  std::vector<collect::Value> out;
+  obj->collect(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Drivers, OptionsParsing) {
+  const char* argv[] = {"prog", "--csv", "--duration-ms", "10",
+                        "--repeats", "5", "--max-threads", "8"};
+  const auto opts = Options::parse(8, const_cast<char**>(argv));
+  EXPECT_TRUE(opts.csv);
+  EXPECT_DOUBLE_EQ(opts.duration_ms, 10.0);
+  EXPECT_EQ(opts.repeats, 5);
+  EXPECT_EQ(opts.max_threads, 8u);
+  const auto sweep = thread_sweep(opts);
+  EXPECT_EQ(sweep.back(), 8u);
+  EXPECT_EQ(sweep.front(), 1u);
+}
+
+TEST(Drivers, OptionsDefaults) {
+  const char* argv[] = {"prog"};
+  const auto opts = Options::parse(1, const_cast<char**>(argv));
+  EXPECT_FALSE(opts.csv);
+  // Hardware-scaled default: between 4 and the paper's 16.
+  EXPECT_GE(opts.max_threads, 4u);
+  EXPECT_LE(opts.max_threads, 16u);
+  EXPECT_EQ(thread_sweep(opts).back(), opts.max_threads == 16 ? 16u
+            : thread_sweep(opts).back());
+  EXPECT_LE(thread_sweep(opts).back(), opts.max_threads);
+}
+
+}  // namespace
+}  // namespace dc::sim

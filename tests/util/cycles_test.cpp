@@ -1,0 +1,57 @@
+#include "util/cycles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace dc::util {
+namespace {
+
+TEST(Cycles, Monotonic) {
+  uint64_t prev = rdcycles();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = rdcycles();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Cycles, CalibrationIsPlausible) {
+  // Any CPU this runs on is between 0.2 GHz and 10 GHz.
+  const double cpn = cycles_per_ns();
+  EXPECT_GT(cpn, 0.2);
+  EXPECT_LT(cpn, 10.0);
+}
+
+TEST(Cycles, RoundTripConversion) {
+  const uint64_t ns = 1'000'000;
+  const uint64_t cycles = ns_to_cycles(ns);
+  EXPECT_NEAR(cycles_to_ns(cycles), static_cast<double>(ns), 1000.0);
+}
+
+TEST(Cycles, SpinUntilWaitsRoughlyThePeriod) {
+  const uint64_t period = ns_to_cycles(2'000'000);  // 2ms
+  const uint64_t start = rdcycles();
+  const uint64_t end = spin_until(start, period);
+  EXPECT_GE(end - start, period);
+  // Not absurdly longer (scheduler noise allowed: 100ms bound).
+  EXPECT_LT(cycles_to_ns(end - start), 100e6);
+}
+
+TEST(Cycles, AgreesWithSteadyClock) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t c0 = rdcycles();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const uint64_t c1 = rdcycles();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double measured_ns = cycles_to_ns(c1 - c0);
+  const double wall_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              t1 - t0)
+                              .count());
+  EXPECT_NEAR(measured_ns / wall_ns, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace dc::util

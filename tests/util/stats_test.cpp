@@ -1,0 +1,80 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.buckets(), 4u);  // 3 bounded + overflow
+  h.add(0.5);    // bucket 0
+  h.add(1.0);    // bucket 0 (inclusive upper bound)
+  h.add(5.0);    // bucket 1
+  h.add(50.0);   // bucket 2
+  h.add(500.0);  // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, Fractions) {
+  Histogram h({10.0});
+  h.add(1.0);
+  h.add(2.0);
+  h.add(20.0);
+  EXPECT_NEAR(h.fraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.fraction(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, UnsortedBoundsAreSorted) {
+  Histogram h({100.0, 1.0, 10.0});
+  h.add(5.0);
+  EXPECT_EQ(h.bucket_bound(0), 1.0);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+}
+
+}  // namespace
+}  // namespace dc::util

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace dc::util {
+namespace {
+
+std::string capture(const Table& t, bool csv) {
+  std::FILE* f = std::tmpfile();
+  if (csv) {
+    t.print_csv(f);
+  } else {
+    t.print(f);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  std::string out;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) out += buf;
+  std::fclose(f);
+  return out;
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"threads", "htm", "ms"});
+  t.add_row({"1", "0.5", "0.4"});
+  t.add_row({"2", "1.0", "0.7"});
+  EXPECT_EQ(capture(t, true),
+            "threads,htm,ms\n1,0.5,0.4\n2,1.0,0.7\n");
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"a", "long_header"});
+  t.add_row({"wide_cell_value", "1"});
+  const std::string out = capture(t, false);
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("wide_cell_value"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(capture(t, true), "a,b,c\n1,,\n");
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, FmtIntegers) {
+  EXPECT_EQ(Table::fmt(uint64_t{12345}), "12345");
+  EXPECT_EQ(Table::fmt(int64_t{-42}), "-42");
+}
+
+}  // namespace
+}  // namespace dc::util

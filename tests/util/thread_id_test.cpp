@@ -1,0 +1,67 @@
+#include "util/thread_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace dc::util {
+namespace {
+
+TEST(ThreadId, StableWithinThread) {
+  const uint32_t a = thread_id();
+  const uint32_t b = thread_id();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadId, DistinctAcrossLiveThreads) {
+  constexpr int kThreads = 8;
+  std::vector<uint32_t> ids(kThreads);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ids[i] = thread_id();
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+    });
+  }
+  while (ready.load() != kThreads) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : threads) t.join();
+  std::set<uint32_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ThreadId, IdsAreRecycledAfterThreadExit) {
+  std::set<uint32_t> seen;
+  for (int round = 0; round < 3 * 64; ++round) {
+    std::thread t([&] { seen.insert(thread_id()); });
+    t.join();
+  }
+  // Sequentially created/joined threads reuse a small set of ids instead of
+  // exhausting the table.
+  EXPECT_LT(seen.size(), 16u);
+}
+
+TEST(ThreadId, HighWaterCoversCurrentThread) {
+  EXPECT_GT(thread_id_high_water(), thread_id());
+}
+
+TEST(ThreadId, ReleaseGivesFreshValidId) {
+  const uint32_t before = thread_id();
+  release_thread_id();
+  const uint32_t after = thread_id();
+  EXPECT_LT(after, kMaxThreads);
+  // The released id is free; the replacement may or may not equal it, but
+  // repeated release cycles must not leak ids.
+  for (int i = 0; i < 300; ++i) release_thread_id();
+  EXPECT_LT(thread_id(), kMaxThreads);
+  (void)before;
+}
+
+}  // namespace
+}  // namespace dc::util
