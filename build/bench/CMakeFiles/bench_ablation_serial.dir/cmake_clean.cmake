@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_serial.dir/bench_ablation_serial.cpp.o"
+  "CMakeFiles/bench_ablation_serial.dir/bench_ablation_serial.cpp.o.d"
+  "bench_ablation_serial"
+  "bench_ablation_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_collect_dominated.dir/bench_fig3_collect_dominated.cpp.o"
+  "CMakeFiles/bench_fig3_collect_dominated.dir/bench_fig3_collect_dominated.cpp.o.d"
+  "bench_fig3_collect_dominated"
+  "bench_fig3_collect_dominated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_collect_dominated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_adaptive_step.dir/bench_fig5_adaptive_step.cpp.o"
+  "CMakeFiles/bench_fig5_adaptive_step.dir/bench_fig5_adaptive_step.cpp.o.d"
+  "bench_fig5_adaptive_step"
+  "bench_fig5_adaptive_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_adaptive_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_collect_dereg.dir/bench_fig7_collect_dereg.cpp.o"
+  "CMakeFiles/bench_fig7_collect_dereg.dir/bench_fig7_collect_dereg.cpp.o.d"
+  "bench_fig7_collect_dereg"
+  "bench_fig7_collect_dereg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_collect_dereg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

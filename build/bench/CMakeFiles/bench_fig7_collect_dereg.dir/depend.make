@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_collect_dereg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_varying_slots.cpp" "bench/CMakeFiles/bench_fig8_varying_slots.dir/bench_fig8_varying_slots.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_varying_slots.dir/bench_fig8_varying_slots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/dc_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/reclaim/CMakeFiles/dc_reclaim.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/dc_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

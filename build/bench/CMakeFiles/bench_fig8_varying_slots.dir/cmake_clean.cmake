@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_varying_slots.dir/bench_fig8_varying_slots.cpp.o"
+  "CMakeFiles/bench_fig8_varying_slots.dir/bench_fig8_varying_slots.cpp.o.d"
+  "bench_fig8_varying_slots"
+  "bench_fig8_varying_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_varying_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_space_footprint.dir/bench_space_footprint.cpp.o"
+  "CMakeFiles/bench_space_footprint.dir/bench_space_footprint.cpp.o.d"
+  "bench_space_footprint"
+  "bench_space_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_space_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

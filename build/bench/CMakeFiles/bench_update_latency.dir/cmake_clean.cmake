@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_latency.dir/bench_update_latency.cpp.o"
+  "CMakeFiles/bench_update_latency.dir/bench_update_latency.cpp.o.d"
+  "bench_update_latency"
+  "bench_update_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

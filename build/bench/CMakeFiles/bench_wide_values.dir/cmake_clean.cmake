@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wide_values.dir/bench_wide_values.cpp.o"
+  "CMakeFiles/bench_wide_values.dir/bench_wide_values.cpp.o.d"
+  "bench_wide_values"
+  "bench_wide_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wide_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

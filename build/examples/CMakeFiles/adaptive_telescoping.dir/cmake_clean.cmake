@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_telescoping.dir/adaptive_telescoping.cpp.o"
+  "CMakeFiles/adaptive_telescoping.dir/adaptive_telescoping.cpp.o.d"
+  "adaptive_telescoping"
+  "adaptive_telescoping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_telescoping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

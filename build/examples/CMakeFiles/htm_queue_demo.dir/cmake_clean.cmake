@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_queue_demo.dir/htm_queue_demo.cpp.o"
+  "CMakeFiles/htm_queue_demo.dir/htm_queue_demo.cpp.o.d"
+  "htm_queue_demo"
+  "htm_queue_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_queue_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_reclamation.dir/safe_reclamation.cpp.o"
+  "CMakeFiles/safe_reclamation.dir/safe_reclamation.cpp.o.d"
+  "safe_reclamation"
+  "safe_reclamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_reclamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collect/array_dyn_append_dereg.cpp" "src/collect/CMakeFiles/dc_collect.dir/array_dyn_append_dereg.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/array_dyn_append_dereg.cpp.o.d"
+  "/root/repo/src/collect/array_dyn_append_dereg_upd.cpp" "src/collect/CMakeFiles/dc_collect.dir/array_dyn_append_dereg_upd.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/array_dyn_append_dereg_upd.cpp.o.d"
+  "/root/repo/src/collect/array_dyn_search_resize.cpp" "src/collect/CMakeFiles/dc_collect.dir/array_dyn_search_resize.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/array_dyn_search_resize.cpp.o.d"
+  "/root/repo/src/collect/array_stat_append_dereg.cpp" "src/collect/CMakeFiles/dc_collect.dir/array_stat_append_dereg.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/array_stat_append_dereg.cpp.o.d"
+  "/root/repo/src/collect/array_stat_search_no.cpp" "src/collect/CMakeFiles/dc_collect.dir/array_stat_search_no.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/array_stat_search_no.cpp.o.d"
+  "/root/repo/src/collect/dynamic_baseline.cpp" "src/collect/CMakeFiles/dc_collect.dir/dynamic_baseline.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/dynamic_baseline.cpp.o.d"
+  "/root/repo/src/collect/fast_collect_list.cpp" "src/collect/CMakeFiles/dc_collect.dir/fast_collect_list.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/fast_collect_list.cpp.o.d"
+  "/root/repo/src/collect/hohrc_list.cpp" "src/collect/CMakeFiles/dc_collect.dir/hohrc_list.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/hohrc_list.cpp.o.d"
+  "/root/repo/src/collect/registry.cpp" "src/collect/CMakeFiles/dc_collect.dir/registry.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/registry.cpp.o.d"
+  "/root/repo/src/collect/static_baseline.cpp" "src/collect/CMakeFiles/dc_collect.dir/static_baseline.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/static_baseline.cpp.o.d"
+  "/root/repo/src/collect/wide.cpp" "src/collect/CMakeFiles/dc_collect.dir/wide.cpp.o" "gcc" "src/collect/CMakeFiles/dc_collect.dir/wide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/htm/CMakeFiles/dc_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_collect.dir/array_dyn_append_dereg.cpp.o"
+  "CMakeFiles/dc_collect.dir/array_dyn_append_dereg.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/array_dyn_append_dereg_upd.cpp.o"
+  "CMakeFiles/dc_collect.dir/array_dyn_append_dereg_upd.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/array_dyn_search_resize.cpp.o"
+  "CMakeFiles/dc_collect.dir/array_dyn_search_resize.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/array_stat_append_dereg.cpp.o"
+  "CMakeFiles/dc_collect.dir/array_stat_append_dereg.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/array_stat_search_no.cpp.o"
+  "CMakeFiles/dc_collect.dir/array_stat_search_no.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/dynamic_baseline.cpp.o"
+  "CMakeFiles/dc_collect.dir/dynamic_baseline.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/fast_collect_list.cpp.o"
+  "CMakeFiles/dc_collect.dir/fast_collect_list.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/hohrc_list.cpp.o"
+  "CMakeFiles/dc_collect.dir/hohrc_list.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/registry.cpp.o"
+  "CMakeFiles/dc_collect.dir/registry.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/static_baseline.cpp.o"
+  "CMakeFiles/dc_collect.dir/static_baseline.cpp.o.d"
+  "CMakeFiles/dc_collect.dir/wide.cpp.o"
+  "CMakeFiles/dc_collect.dir/wide.cpp.o.d"
+  "libdc_collect.a"
+  "libdc_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

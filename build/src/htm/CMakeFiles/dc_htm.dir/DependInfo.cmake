@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htm/config.cpp" "src/htm/CMakeFiles/dc_htm.dir/config.cpp.o" "gcc" "src/htm/CMakeFiles/dc_htm.dir/config.cpp.o.d"
+  "/root/repo/src/htm/htm.cpp" "src/htm/CMakeFiles/dc_htm.dir/htm.cpp.o" "gcc" "src/htm/CMakeFiles/dc_htm.dir/htm.cpp.o.d"
+  "/root/repo/src/htm/orec.cpp" "src/htm/CMakeFiles/dc_htm.dir/orec.cpp.o" "gcc" "src/htm/CMakeFiles/dc_htm.dir/orec.cpp.o.d"
+  "/root/repo/src/htm/stats.cpp" "src/htm/CMakeFiles/dc_htm.dir/stats.cpp.o" "gcc" "src/htm/CMakeFiles/dc_htm.dir/stats.cpp.o.d"
+  "/root/repo/src/htm/txn.cpp" "src/htm/CMakeFiles/dc_htm.dir/txn.cpp.o" "gcc" "src/htm/CMakeFiles/dc_htm.dir/txn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_htm.dir/config.cpp.o"
+  "CMakeFiles/dc_htm.dir/config.cpp.o.d"
+  "CMakeFiles/dc_htm.dir/htm.cpp.o"
+  "CMakeFiles/dc_htm.dir/htm.cpp.o.d"
+  "CMakeFiles/dc_htm.dir/orec.cpp.o"
+  "CMakeFiles/dc_htm.dir/orec.cpp.o.d"
+  "CMakeFiles/dc_htm.dir/stats.cpp.o"
+  "CMakeFiles/dc_htm.dir/stats.cpp.o.d"
+  "CMakeFiles/dc_htm.dir/txn.cpp.o"
+  "CMakeFiles/dc_htm.dir/txn.cpp.o.d"
+  "libdc_htm.a"
+  "libdc_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

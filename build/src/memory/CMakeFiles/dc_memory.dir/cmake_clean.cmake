@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_memory.dir/pool.cpp.o"
+  "CMakeFiles/dc_memory.dir/pool.cpp.o.d"
+  "libdc_memory.a"
+  "libdc_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reclaim/hazard_pointers.cpp" "src/reclaim/CMakeFiles/dc_reclaim.dir/hazard_pointers.cpp.o" "gcc" "src/reclaim/CMakeFiles/dc_reclaim.dir/hazard_pointers.cpp.o.d"
+  "/root/repo/src/reclaim/pass_the_buck.cpp" "src/reclaim/CMakeFiles/dc_reclaim.dir/pass_the_buck.cpp.o" "gcc" "src/reclaim/CMakeFiles/dc_reclaim.dir/pass_the_buck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_reclaim.dir/hazard_pointers.cpp.o"
+  "CMakeFiles/dc_reclaim.dir/hazard_pointers.cpp.o.d"
+  "CMakeFiles/dc_reclaim.dir/pass_the_buck.cpp.o"
+  "CMakeFiles/dc_reclaim.dir/pass_the_buck.cpp.o.d"
+  "libdc_reclaim.a"
+  "libdc_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_sim.dir/drivers.cpp.o"
+  "CMakeFiles/dc_sim.dir/drivers.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/options.cpp.o"
+  "CMakeFiles/dc_sim.dir/options.cpp.o.d"
+  "libdc_sim.a"
+  "libdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_util.dir/cycles.cpp.o"
+  "CMakeFiles/dc_util.dir/cycles.cpp.o.d"
+  "CMakeFiles/dc_util.dir/stats.cpp.o"
+  "CMakeFiles/dc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dc_util.dir/table.cpp.o"
+  "CMakeFiles/dc_util.dir/table.cpp.o.d"
+  "CMakeFiles/dc_util.dir/thread_id.cpp.o"
+  "CMakeFiles/dc_util.dir/thread_id.cpp.o.d"
+  "libdc_util.a"
+  "libdc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/collect/collect_memory_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/collect_memory_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/collect_memory_test.cpp.o.d"
+  "/root/repo/tests/collect/collect_model_fuzz_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/collect_model_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/collect_model_fuzz_test.cpp.o.d"
+  "/root/repo/tests/collect/collect_resize_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/collect_resize_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/collect_resize_test.cpp.o.d"
+  "/root/repo/tests/collect/collect_spec_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/collect_spec_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/collect_spec_test.cpp.o.d"
+  "/root/repo/tests/collect/collect_step_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/collect_step_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/collect_step_test.cpp.o.d"
+  "/root/repo/tests/collect/collect_yield_stress_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/collect_yield_stress_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/collect_yield_stress_test.cpp.o.d"
+  "/root/repo/tests/collect/fast_collect_defer_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/fast_collect_defer_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/fast_collect_defer_test.cpp.o.d"
+  "/root/repo/tests/collect/telescope_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/telescope_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/telescope_test.cpp.o.d"
+  "/root/repo/tests/collect/update_opt_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/update_opt_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/update_opt_test.cpp.o.d"
+  "/root/repo/tests/collect/wide_test.cpp" "tests/CMakeFiles/collect_test.dir/collect/wide_test.cpp.o" "gcc" "tests/CMakeFiles/collect_test.dir/collect/wide_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/dc_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/dc_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/reclaim/CMakeFiles/dc_reclaim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collect_test.dir/collect/collect_memory_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/collect_memory_test.cpp.o.d"
+  "CMakeFiles/collect_test.dir/collect/collect_model_fuzz_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/collect_model_fuzz_test.cpp.o.d"
+  "CMakeFiles/collect_test.dir/collect/collect_resize_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/collect_resize_test.cpp.o.d"
+  "CMakeFiles/collect_test.dir/collect/collect_spec_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/collect_spec_test.cpp.o.d"
+  "CMakeFiles/collect_test.dir/collect/collect_step_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/collect_step_test.cpp.o.d"
+  "CMakeFiles/collect_test.dir/collect/collect_yield_stress_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/collect_yield_stress_test.cpp.o.d"
+  "CMakeFiles/collect_test.dir/collect/fast_collect_defer_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/fast_collect_defer_test.cpp.o.d"
+  "CMakeFiles/collect_test.dir/collect/telescope_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/telescope_test.cpp.o.d"
+  "CMakeFiles/collect_test.dir/collect/update_opt_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/update_opt_test.cpp.o.d"
+  "CMakeFiles/collect_test.dir/collect/wide_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect/wide_test.cpp.o.d"
+  "collect_test"
+  "collect_test.pdb"
+  "collect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

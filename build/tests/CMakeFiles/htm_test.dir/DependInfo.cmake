@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/htm/granularity_test.cpp" "tests/CMakeFiles/htm_test.dir/htm/granularity_test.cpp.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/granularity_test.cpp.o.d"
+  "/root/repo/tests/htm/serial_section_test.cpp" "tests/CMakeFiles/htm_test.dir/htm/serial_section_test.cpp.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/serial_section_test.cpp.o.d"
+  "/root/repo/tests/htm/stats_test.cpp" "tests/CMakeFiles/htm_test.dir/htm/stats_test.cpp.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/stats_test.cpp.o.d"
+  "/root/repo/tests/htm/strong_atomicity_test.cpp" "tests/CMakeFiles/htm_test.dir/htm/strong_atomicity_test.cpp.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/strong_atomicity_test.cpp.o.d"
+  "/root/repo/tests/htm/tle_test.cpp" "tests/CMakeFiles/htm_test.dir/htm/tle_test.cpp.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/tle_test.cpp.o.d"
+  "/root/repo/tests/htm/txn_atomicity_test.cpp" "tests/CMakeFiles/htm_test.dir/htm/txn_atomicity_test.cpp.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/txn_atomicity_test.cpp.o.d"
+  "/root/repo/tests/htm/txn_basic_test.cpp" "tests/CMakeFiles/htm_test.dir/htm/txn_basic_test.cpp.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/txn_basic_test.cpp.o.d"
+  "/root/repo/tests/htm/txn_overflow_test.cpp" "tests/CMakeFiles/htm_test.dir/htm/txn_overflow_test.cpp.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/txn_overflow_test.cpp.o.d"
+  "/root/repo/tests/htm/txn_property_test.cpp" "tests/CMakeFiles/htm_test.dir/htm/txn_property_test.cpp.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/txn_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/dc_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/dc_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/reclaim/CMakeFiles/dc_reclaim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

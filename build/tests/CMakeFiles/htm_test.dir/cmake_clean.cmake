@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_test.dir/htm/granularity_test.cpp.o"
+  "CMakeFiles/htm_test.dir/htm/granularity_test.cpp.o.d"
+  "CMakeFiles/htm_test.dir/htm/serial_section_test.cpp.o"
+  "CMakeFiles/htm_test.dir/htm/serial_section_test.cpp.o.d"
+  "CMakeFiles/htm_test.dir/htm/stats_test.cpp.o"
+  "CMakeFiles/htm_test.dir/htm/stats_test.cpp.o.d"
+  "CMakeFiles/htm_test.dir/htm/strong_atomicity_test.cpp.o"
+  "CMakeFiles/htm_test.dir/htm/strong_atomicity_test.cpp.o.d"
+  "CMakeFiles/htm_test.dir/htm/tle_test.cpp.o"
+  "CMakeFiles/htm_test.dir/htm/tle_test.cpp.o.d"
+  "CMakeFiles/htm_test.dir/htm/txn_atomicity_test.cpp.o"
+  "CMakeFiles/htm_test.dir/htm/txn_atomicity_test.cpp.o.d"
+  "CMakeFiles/htm_test.dir/htm/txn_basic_test.cpp.o"
+  "CMakeFiles/htm_test.dir/htm/txn_basic_test.cpp.o.d"
+  "CMakeFiles/htm_test.dir/htm/txn_overflow_test.cpp.o"
+  "CMakeFiles/htm_test.dir/htm/txn_overflow_test.cpp.o.d"
+  "CMakeFiles/htm_test.dir/htm/txn_property_test.cpp.o"
+  "CMakeFiles/htm_test.dir/htm/txn_property_test.cpp.o.d"
+  "htm_test"
+  "htm_test.pdb"
+  "htm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memory/pool_test.cpp" "tests/CMakeFiles/memory_test.dir/memory/pool_test.cpp.o" "gcc" "tests/CMakeFiles/memory_test.dir/memory/pool_test.cpp.o.d"
+  "/root/repo/tests/memory/sandbox_test.cpp" "tests/CMakeFiles/memory_test.dir/memory/sandbox_test.cpp.o" "gcc" "tests/CMakeFiles/memory_test.dir/memory/sandbox_test.cpp.o.d"
+  "/root/repo/tests/memory/txn_alloc_test.cpp" "tests/CMakeFiles/memory_test.dir/memory/txn_alloc_test.cpp.o" "gcc" "tests/CMakeFiles/memory_test.dir/memory/txn_alloc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/dc_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/dc_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/reclaim/CMakeFiles/dc_reclaim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

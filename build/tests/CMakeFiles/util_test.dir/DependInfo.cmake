@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/backoff_barrier_test.cpp" "tests/CMakeFiles/util_test.dir/util/backoff_barrier_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/backoff_barrier_test.cpp.o.d"
+  "/root/repo/tests/util/cycles_test.cpp" "tests/CMakeFiles/util_test.dir/util/cycles_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/cycles_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_id_test.cpp" "tests/CMakeFiles/util_test.dir/util/thread_id_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/thread_id_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/dc_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/dc_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/reclaim/CMakeFiles/dc_reclaim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
