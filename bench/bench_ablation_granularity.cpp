@@ -64,5 +64,9 @@ int main(int argc, char** argv) {
         "\n(line granularity: a slot update dooms transactions reading any "
         "of the ~4 slots sharing its cache line)\n");
   }
+  if (!opts.json_path.empty()) {
+    bench::write_json_report(opts.json_path, "ablation_granularity", table,
+                             opts);
+  }
   return 0;
 }

@@ -51,5 +51,8 @@ int main(int argc, char** argv) {
   } else {
     table.print();
   }
+  if (!opts.json_path.empty()) {
+    bench::write_json_report(opts.json_path, "ablation_serial", table, opts);
+  }
   return 0;
 }

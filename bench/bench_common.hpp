@@ -1,7 +1,10 @@
 // Helpers shared by the figure-reproduction benchmark binaries.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,7 +44,8 @@ inline void print_htm_diagnostics() {
   const htm::TxnStats s = htm::aggregate_stats();
   std::printf(
       "\n[htm] commits=%llu aborts=%llu (conflict=%llu overflow=%llu "
-      "explicit=%llu) abort-rate=%.1f%% tle-fallbacks=%llu\n",
+      "explicit=%llu) abort-rate=%.1f%% tle-fallbacks=%llu\n"
+      "[htm] clock-bumps=%llu read-set-hwm=%llu write-set-hwm=%llu\n",
       static_cast<unsigned long long>(s.commits),
       static_cast<unsigned long long>(s.aborts),
       static_cast<unsigned long long>(
@@ -51,7 +55,130 @@ inline void print_htm_diagnostics() {
       static_cast<unsigned long long>(
           s.aborts_by_code[static_cast<int>(htm::AbortCode::kExplicit)]),
       100.0 * s.abort_rate(),
-      static_cast<unsigned long long>(s.lock_fallbacks));
+      static_cast<unsigned long long>(s.lock_fallbacks),
+      static_cast<unsigned long long>(s.clock_bumps),
+      static_cast<unsigned long long>(s.max_read_set),
+      static_cast<unsigned long long>(s.max_write_set));
+}
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+// Table cells are produced by util::Table::fmt, so most are plain numbers;
+// emit those unquoted so consumers get JSON numbers, not strings.
+inline bool is_json_number(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+inline void write_json_cell(std::FILE* f, const std::string& cell) {
+  if (is_json_number(cell)) {
+    std::fprintf(f, "%s", cell.c_str());
+  } else {
+    std::fprintf(f, "\"%s\"", json_escape(cell).c_str());
+  }
+}
+
+}  // namespace detail
+
+// Writes one benchmark's results as a JSON report (--json PATH): the swept
+// table, the run options, and the HTM substrate counters accumulated over
+// the run. The stable schema lets successive PRs track the performance
+// trajectory (e.g. BENCH_fig3.json at the repo root) without scraping
+// the human-readable tables.
+inline void write_json_report(const std::string& path,
+                              const std::string& bench_name,
+                              const util::Table& table,
+                              const sim::Options& opts) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
+    return;
+  }
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (struct tm tmv; gmtime_r(&now, &tmv) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tmv);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n",
+               detail::json_escape(bench_name).c_str());
+  std::fprintf(f, "  \"generated_utc\": \"%s\",\n", stamp);
+  std::fprintf(f,
+               "  \"options\": {\"duration_ms\": %g, \"repeats\": %d, "
+               "\"max_threads\": %u},\n",
+               opts.duration_ms, opts.repeats, opts.max_threads);
+  const htm::TxnStats s = htm::aggregate_stats();
+  std::fprintf(
+      f,
+      "  \"htm\": {\"commits\": %llu, \"aborts\": %llu, "
+      "\"abort_rate\": %.4f, \"lock_fallbacks\": %llu, "
+      "\"nontxn_stores\": %llu, \"clock_bumps\": %llu, "
+      "\"max_read_set\": %llu, \"max_write_set\": %llu},\n",
+      static_cast<unsigned long long>(s.commits),
+      static_cast<unsigned long long>(s.aborts), s.abort_rate(),
+      static_cast<unsigned long long>(s.lock_fallbacks),
+      static_cast<unsigned long long>(s.nontxn_stores),
+      static_cast<unsigned long long>(s.clock_bumps),
+      static_cast<unsigned long long>(s.max_read_set),
+      static_cast<unsigned long long>(s.max_write_set));
+  std::fprintf(f, "  \"columns\": [");
+  const auto& headers = table.headers();
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                 detail::json_escape(headers[i]).c_str());
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  const auto& rows = table.rows();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(f, "    [");
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      if (c != 0) std::fprintf(f, ", ");
+      detail::write_json_cell(f, rows[r][c]);
+    }
+    std::fprintf(f, "]%s\n", r + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+// Shared tail of every table-driven figure benchmark: print (CSV or aligned
+// + diagnostics) and, when requested, drop the JSON report.
+inline void report(const util::Table& table, const sim::Options& opts,
+                   const std::string& bench_name) {
+  if (opts.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+    print_htm_diagnostics();
+  }
+  if (!opts.json_path.empty()) {
+    write_json_report(opts.json_path, bench_name, table, opts);
+  }
 }
 
 inline void print_host_caveat() {

@@ -133,5 +133,8 @@ int main(int argc, char** argv) {
         kPrefill);
     dc::bench::print_htm_diagnostics();
   }
+  if (!opts.json_path.empty()) {
+    dc::bench::write_json_report(opts.json_path, "fig1_queue", table, opts);
+  }
   return 0;
 }

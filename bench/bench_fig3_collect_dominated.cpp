@@ -56,11 +56,6 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  if (opts.csv) {
-    table.print_csv();
-  } else {
-    table.print();
-    bench::print_htm_diagnostics();
-  }
+  bench::report(table, opts, "fig3_collect_dominated");
   return 0;
 }

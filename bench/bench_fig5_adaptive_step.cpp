@@ -68,11 +68,6 @@ int main(int argc, char** argv) {
                    util::Table::fmt(s16), util::Table::fmt(s32),
                    util::Table::fmt(best_cost), util::Table::fmt(adaptive)});
   }
-  if (opts.csv) {
-    table.print_csv();
-  } else {
-    table.print();
-    bench::print_htm_diagnostics();
-  }
+  bench::report(table, opts, "fig5_adaptive_step");
   return 0;
 }

@@ -51,5 +51,9 @@ int main(int argc, char** argv) {
   } else {
     table.print();
   }
+  if (!opts.json_path.empty()) {
+    bench::write_json_report(opts.json_path, "fig6_step_distribution", table,
+                             opts);
+  }
   return 0;
 }

@@ -52,11 +52,6 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  if (opts.csv) {
-    table.print_csv();
-  } else {
-    table.print();
-    bench::print_htm_diagnostics();
-  }
+  bench::report(table, opts, "fig7_collect_dereg");
   return 0;
 }

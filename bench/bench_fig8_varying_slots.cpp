@@ -60,5 +60,9 @@ int main(int argc, char** argv) {
   } else {
     table.print();
   }
+  if (!opts.json_path.empty()) {
+    bench::write_json_report(opts.json_path, "fig8_varying_slots", table,
+                             opts);
+  }
   return 0;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Standard verification pass (see README "Testing"):
+#   1. tier-1: default build + full ctest suite
+#   2. ThreadSanitizer pass of the HTM substrate and Collect tests
+#      (-DDC_SANITIZE=thread)
+#
+# Usage: scripts/check.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+skip_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) skip_tsan=1 ;;
+    *) echo "unknown option: $arg (supported: --skip-tsan)" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [[ "$skip_tsan" == 1 ]]; then
+  echo "== TSan pass skipped (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== ThreadSanitizer pass: tests/htm + tests/collect =="
+cmake -B build-tsan -S . -DDC_SANITIZE=thread
+cmake --build build-tsan -j "$jobs" --target htm_test collect_test
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" ./build-tsan/tests/htm_test
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" ./build-tsan/tests/collect_test
+
+echo "== all checks passed =="

@@ -8,7 +8,7 @@ namespace dc::collect {
 using htm::Txn;
 
 ArrayDynAppendDeregUpdateOpt::ArrayDynAppendDeregUpdateOpt(int32_t min_size)
-    : array_(mem::create_array<Slot>(static_cast<std::size_t>(
+    : array_(mem::create_array_atomic_init<Slot>(static_cast<std::size_t>(
           min_size < 1 ? 1 : min_size))),
       capacity_(min_size < 1 ? 1 : min_size),
       min_size_(min_size < 1 ? 1 : min_size) {}
@@ -20,7 +20,10 @@ ArrayDynAppendDeregUpdateOpt::~ArrayDynAppendDeregUpdateOpt() {
 
 Handle ArrayDynAppendDeregUpdateOpt::register_handle(Value v) {
   auto* cell = static_cast<Cell*>(mem::pool_allocate(sizeof(Cell)));
-  cell->val = v;  // private until published
+  // Private until published, but the block may be recycled memory that a
+  // doomed transaction still reads — atomic init (see mem::init_store).
+  mem::init_store(&cell->val, v);
+  mem::init_store(&cell->slot, static_cast<Slot*>(nullptr));
   for (;;) {
     int32_t count_l = 0;
     const Action action = htm::atomic([&](Txn& txn) -> Action {
@@ -162,7 +165,8 @@ void ArrayDynAppendDeregUpdateOpt::collect(std::vector<Value>& out) {
 void ArrayDynAppendDeregUpdateOpt::attempt_resize(int32_t count_l,
                                                   int32_t capacity_l) {
   const int32_t new_cap = count_l * 2;
-  Slot* tmp = mem::create_array<Slot>(static_cast<std::size_t>(new_cap));
+  Slot* tmp =
+      mem::create_array_atomic_init<Slot>(static_cast<std::size_t>(new_cap));
   const bool free_tmp = htm::atomic([&](Txn& txn) -> bool {
     if (txn.load(&array_new_) == nullptr && txn.load(&count_) == count_l &&
         txn.load(&capacity_) == capacity_l) {

@@ -8,7 +8,7 @@ namespace dc::collect {
 using htm::Txn;
 
 ArrayDynSearchResize::ArrayDynSearchResize(int32_t min_size)
-    : array_(mem::create_array<Slot>(static_cast<std::size_t>(
+    : array_(mem::create_array_atomic_init<Slot>(static_cast<std::size_t>(
           min_size < 1 ? 1 : min_size))),
       capacity_(min_size < 1 ? 1 : min_size),
       min_size_(min_size < 1 ? 1 : min_size) {}
@@ -161,7 +161,8 @@ void ArrayDynSearchResize::attempt_resize(int32_t count_l,
                                           int32_t capacity_l) {
   const int32_t new_cap = count_l * 2;
   if (new_cap < 1) return;  // nothing registered; capacity floor holds
-  Slot* tmp = mem::create_array<Slot>(static_cast<std::size_t>(new_cap));
+  Slot* tmp =
+      mem::create_array_atomic_init<Slot>(static_cast<std::size_t>(new_cap));
   const bool free_tmp = htm::atomic([&](Txn& txn) -> bool {
     if (txn.load(&array_new_) == nullptr && txn.load(&count_) == count_l &&
         txn.load(&capacity_) == capacity_l) {

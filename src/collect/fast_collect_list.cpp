@@ -7,8 +7,22 @@ namespace dc::collect {
 
 using htm::Txn;
 
+// Nodes are freed while concurrent (doomed) Collects may still read them, so
+// a recycled block handed back by the pool can be under concurrent atomic
+// loads the moment we get it. Initialize through mem::init_store rather than
+// constructor writes to keep that overlap a defined-behaviour race (the
+// readers are aborted by validation either way).
+FastCollectList::Node* FastCollectList::make_node(Value v, Node* prev,
+                                                  Node* next) {
+  auto* n = static_cast<Node*>(mem::pool_allocate(sizeof(Node)));
+  mem::init_store(&n->val, v);
+  mem::init_store(&n->prev, prev);
+  mem::init_store(&n->next, next);
+  return n;
+}
+
 FastCollectList::FastCollectList(bool defer_frees)
-    : head_(mem::create<Node>()), defer_frees_(defer_frees) {}
+    : head_(make_node(0, nullptr, nullptr)), defer_frees_(defer_frees) {}
 
 FastCollectList::~FastCollectList() {
   Node* cur = head_->next;
@@ -25,13 +39,11 @@ FastCollectList::~FastCollectList() {
 }
 
 Handle FastCollectList::register_handle(Value v) {
-  Node* n = mem::create<Node>();
-  n->val = v;
+  Node* n = make_node(v, head_, nullptr);
   nodes_.fetch_add(1, std::memory_order_relaxed);
   htm::atomic([&](Txn& txn) {
     Node* first = txn.load(&head_->next);
-    n->next = first;  // private until published
-    n->prev = head_;
+    mem::init_store(&n->next, first);  // private until published
     if (first != nullptr) txn.store(&first->prev, n);
     txn.store(&head_->next, n);
   });

@@ -59,11 +59,16 @@ class FastCollectList final : public TelescopedBase {
   std::size_t node_count() const;
 
  private:
+  // No field initializers: nodes are recycled pool blocks that doomed
+  // transactions may still be reading, so every initializing write (including
+  // construction) must go through mem::init_store — see make_node().
   struct Node {
-    Value val = 0;
-    Node* prev = nullptr;
-    Node* next = nullptr;
+    Value val;
+    Node* prev;
+    Node* next;
   };
+
+  static Node* make_node(Value v, Node* prev, Node* next);
 
   void collect_deferred(std::vector<Value>& out);
   void collect_serialized(std::vector<Value>& out);

@@ -7,7 +7,21 @@ namespace dc::collect {
 
 using htm::Txn;
 
-HohrcList::HohrcList() : head_(mem::create<Node>()) {}
+// Nodes are freed while doomed transactions (whose pins never committed) may
+// still read them, so a recycled block can be under concurrent atomic loads
+// the moment the pool hands it back. Initialize through mem::init_store
+// rather than constructor writes to keep that overlap defined behaviour.
+HohrcList::Node* HohrcList::make_node(Value v, Node* prev, Node* next) {
+  auto* n = static_cast<Node*>(mem::pool_allocate(sizeof(Node)));
+  mem::init_store(&n->val, v);
+  mem::init_store(&n->refcount, int32_t{0});
+  mem::init_store(&n->del, uint32_t{0});
+  mem::init_store(&n->prev, prev);
+  mem::init_store(&n->next, next);
+  return n;
+}
+
+HohrcList::HohrcList() : head_(make_node(0, nullptr, nullptr)) {}
 
 HohrcList::~HohrcList() {
   // Quiesced: free whatever is still linked, then the sentinel.
@@ -28,14 +42,13 @@ void HohrcList::unlink_in_txn(Txn& txn, Node* n) {
 }
 
 Handle HohrcList::register_handle(Value v) {
-  Node* n = mem::create<Node>();
-  n->val = v;
+  Node* n = make_node(v, head_, nullptr);
   nodes_.fetch_add(1, std::memory_order_relaxed);
   htm::atomic([&](Txn& txn) {
     Node* first = txn.load(&head_->next);
-    // n is private until the commit publishes it; plain initialization.
-    n->next = first;
-    n->prev = head_;
+    // n is private until the commit publishes it, but the block may be a
+    // recycled one with doomed readers attached — atomic init (see make_node).
+    mem::init_store(&n->next, first);
     if (first != nullptr) txn.store(&first->prev, n);
     txn.store(&head_->next, n);
   });

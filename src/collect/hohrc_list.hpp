@@ -38,13 +38,18 @@ class HohrcList final : public TelescopedBase {
   std::size_t node_count() const;
 
  private:
+  // No field initializers: nodes are recycled pool blocks that doomed
+  // transactions may still be reading, so every initializing write (including
+  // construction) must go through mem::init_store — see make_node().
   struct Node {
-    Value val = 0;
-    int32_t refcount = 0;
-    uint32_t del = 0;  // delete marker (§3.1.1)
-    Node* prev = nullptr;
-    Node* next = nullptr;
+    Value val;
+    int32_t refcount;
+    uint32_t del;  // delete marker (§3.1.1)
+    Node* prev;
+    Node* next;
   };
+
+  static Node* make_node(Value v, Node* prev, Node* next);
 
   // Unlinks n (inside txn); caller frees after commit.
   static void unlink_in_txn(htm::Txn& txn, Node* n);

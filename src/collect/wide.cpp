@@ -90,7 +90,7 @@ void WideArrayStatSearchNo::collect(std::vector<WideValue>& out) {
 // ------------------------------------------------------------ AppendDereg
 
 WideArrayDynAppendDereg::WideArrayDynAppendDereg(int32_t min_size)
-    : array_(mem::create_array<Slot>(static_cast<std::size_t>(
+    : array_(mem::create_array_atomic_init<Slot>(static_cast<std::size_t>(
           min_size < 1 ? 1 : min_size))),
       capacity_(min_size < 1 ? 1 : min_size),
       min_size_(min_size < 1 ? 1 : min_size) {}
@@ -221,7 +221,8 @@ void WideArrayDynAppendDereg::collect(std::vector<WideValue>& out) {
 void WideArrayDynAppendDereg::attempt_resize(int32_t count_l,
                                              int32_t capacity_l) {
   const int32_t new_cap = count_l * 2;
-  Slot* tmp = mem::create_array<Slot>(static_cast<std::size_t>(new_cap));
+  Slot* tmp =
+      mem::create_array_atomic_init<Slot>(static_cast<std::size_t>(new_cap));
   const bool free_tmp = htm::atomic([&](Txn& txn) -> bool {
     if (txn.load(&array_new_) == nullptr && txn.load(&count_) == count_l &&
         txn.load(&capacity_) == capacity_l) {

@@ -62,6 +62,7 @@ void invalidate_range(void* p, std::size_t bytes, bool poison) noexcept {
     const uint64_t wv =
         global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
     o.value.store(make_version(wv), std::memory_order_release);
+    local_stats().clock_bumps++;
   }
 }
 

@@ -59,7 +59,9 @@ void nontxn_store(T* addr, T value) noexcept {
   const uint64_t wv =
       global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
   o.value.store(make_version(wv), std::memory_order_release);
-  local_stats().nontxn_stores++;
+  TxnStats& st = local_stats();
+  st.nontxn_stores++;
+  st.clock_bumps++;
 }
 
 // Non-transactional compare-and-swap with the same conflict visibility as
@@ -89,6 +91,7 @@ bool nontxn_cas(T* addr, T expected, T desired) noexcept {
     const uint64_t wv =
         global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
     o.value.store(make_version(wv), std::memory_order_release);
+    local_stats().clock_bumps++;
   } else {
     o.value.store(cur, std::memory_order_release);
   }

@@ -47,14 +47,22 @@ inline constexpr uint64_t kOrecCount = 1ULL << kOrecCountLog2;
 
 Orec* orec_table() noexcept;
 
+// Table index of the orec guarding the conflict-granule containing `addr`,
+// for a given granularity. Factored out so the transaction hot path can use
+// a per-attempt snapshot of the granularity instead of re-reading config().
+inline uint64_t orec_index(uintptr_t addr,
+                           uint32_t conflict_granularity_log2) noexcept {
+  const uintptr_t a = addr >> conflict_granularity_log2;
+  // Mix in higher bits so that same-offset words of page-aligned
+  // allocations do not systematically collide.
+  return (a ^ (a >> kOrecCountLog2)) & (kOrecCount - 1);
+}
+
 // The orec guarding the conflict-granule (word or cache line, per
 // Config::conflict_granularity_log2) containing `addr`.
 inline Orec& orec_for(const void* addr) noexcept {
-  const auto a = reinterpret_cast<uintptr_t>(addr) >>
-                 config().conflict_granularity_log2;
-  // Mix in higher bits so that same-offset words of page-aligned
-  // allocations do not systematically collide.
-  const uint64_t idx = (a ^ (a >> kOrecCountLog2)) & (kOrecCount - 1);
+  const auto idx = orec_index(reinterpret_cast<uintptr_t>(addr),
+                              config().conflict_granularity_log2);
   return orec_table()[idx];
 }
 

@@ -20,6 +20,16 @@ struct TxnStats {
       aborts_by_code{};
   uint64_t lock_fallbacks = 0;  // atomic blocks completed under the TLE lock
   uint64_t nontxn_stores = 0;   // strong-atomicity stores
+  // Global version-clock advances performed by this thread (writing commits,
+  // lock-mode/strong-atomicity stores, range invalidations). Read-only and
+  // unchanged-value commits do not bump the clock, so this counter makes the
+  // commit fast paths observable.
+  uint64_t clock_bumps = 0;
+  // High-water marks of per-attempt read-set / write-set entries *after*
+  // dedup (a repeated load or store of one word counts once). These expose
+  // the load-time read-set dedup and store-time write dedup directly.
+  uint64_t max_read_set = 0;
+  uint64_t max_write_set = 0;
 
   TxnStats& operator+=(const TxnStats& o) noexcept {
     commits += o.commits;
@@ -28,6 +38,9 @@ struct TxnStats {
       aborts_by_code[i] += o.aborts_by_code[i];
     lock_fallbacks += o.lock_fallbacks;
     nontxn_stores += o.nontxn_stores;
+    clock_bumps += o.clock_bumps;
+    if (o.max_read_set > max_read_set) max_read_set = o.max_read_set;
+    if (o.max_write_set > max_write_set) max_write_set = o.max_write_set;
     return *this;
   }
 

@@ -1,8 +1,8 @@
 #include "htm/txn.hpp"
 
-#include <algorithm>
 #include <thread>
 
+#include "htm/stats.hpp"
 #include "util/backoff.hpp"
 #include "util/thread_id.hpp"
 
@@ -22,67 +22,50 @@ namespace detail {
 void set_in_transaction(bool v) noexcept { t_in_transaction = v; }
 }  // namespace detail
 
-std::vector<Orec*>& Txn::scratch_read_set() noexcept {
-  thread_local std::vector<Orec*> v = [] {
-    std::vector<Orec*> init;
-    init.reserve(256);
-    return init;
-  }();
-  return v;
+Txn::Scratch& Txn::Scratch::get() noexcept {
+  thread_local Scratch s;
+  return s;
 }
 
-std::vector<Txn::WriteEntry>& Txn::scratch_write_set() noexcept {
-  thread_local std::vector<WriteEntry> v = [] {
-    std::vector<WriteEntry> init;
-    init.reserve(64);
-    return init;
-  }();
-  return v;
-}
+Txn::Txn(bool lock_mode) : Txn(lock_mode, config(), Scratch::get()) {}
 
-std::vector<Txn::LockedOrec>& Txn::scratch_locked() noexcept {
-  thread_local std::vector<LockedOrec> v = [] {
-    std::vector<LockedOrec> init;
-    init.reserve(64);
-    return init;
-  }();
-  return v;
-}
-
-std::vector<Txn::AbortHook>& Txn::scratch_abort_hooks() noexcept {
-  thread_local std::vector<AbortHook> v;
-  return v;
-}
-
-Txn::Txn(bool lock_mode)
+Txn::Txn(bool lock_mode, const Config& cfg, Scratch& s)
     : rv_(global_clock().load(std::memory_order_acquire)),
       my_token_(static_cast<uint64_t>(util::thread_id()) + 1),
+      orec_table_(orec_table()),
+      store_capacity_(cfg.store_buffer_capacity),
+      yield_every_(cfg.txn_yield_every_loads),
+      granularity_log2_(cfg.conflict_granularity_log2),
+      extension_enabled_(cfg.enable_extension),
       lock_mode_(lock_mode),
-      read_set_(scratch_read_set()),
-      write_set_(scratch_write_set()),
-      locked_(scratch_locked()),
-      abort_hooks_(scratch_abort_hooks()) {
+      s_(s),
+      epoch_(++s.epoch) {
   assert(!t_in_transaction && "nested atomic blocks are not supported");
   t_in_transaction = true;
-  read_set_.clear();
-  write_set_.clear();
-  locked_.clear();
-  abort_hooks_.clear();
+  s_.read_set.clear();
+  s_.write_set.clear();
+  s_.locked.clear();
+  s_.abort_hooks.clear();
 }
 
 Txn::~Txn() {
   // Leave the transaction context first: abort hooks (e.g. a TM-aware
   // allocator returning a block) are entitled to use the allocator.
   t_in_transaction = false;
-  if (!committed_) {
-    for (const AbortHook& h : abort_hooks_) h.fn(h.p, h.bytes);
+  TxnStats& st = local_stats();
+  if (s_.read_set.size() > st.max_read_set) st.max_read_set = s_.read_set.size();
+  if (s_.write_set.size() > st.max_write_set) {
+    st.max_write_set = s_.write_set.size();
   }
-  abort_hooks_.clear();
+  if (!committed_) {
+    for (const AbortHook& h : s_.abort_hooks) h.fn(h.p, h.bytes);
+  }
+  s_.abort_hooks.clear();
 }
 
 void Txn::on_abort(void (*fn)(void*, std::size_t), void* p,
                    std::size_t bytes) {
-  abort_hooks_.push_back(AbortHook{fn, p, bytes});
+  s_.abort_hooks.push_back(AbortHook{fn, p, bytes});
 }
 
 void Txn::abort(AbortCode code) {
@@ -91,11 +74,11 @@ void Txn::abort(AbortCode code) {
 }
 
 bool Txn::try_extend() noexcept {
-  if (!config().enable_extension) return false;
+  if (!extension_enabled_) return false;
   const uint64_t new_rv = global_clock().load(std::memory_order_acquire);
   // Extension is sound only if nothing already read has changed since it
   // was read, i.e. every read orec is still unlocked at a version <= rv_.
-  for (const Orec* o : read_set_) {
+  for (const Orec* o : s_.read_set) {
     const OrecValue v = o->value.load(std::memory_order_acquire);
     if (orec_is_locked(v) || orec_version(v) > rv_) return false;
   }
@@ -105,7 +88,7 @@ bool Txn::try_extend() noexcept {
 
 bool Txn::validate_read_set() const noexcept {
   const OrecValue mine = make_locked(my_token_);
-  for (const Orec* o : read_set_) {
+  for (const Orec* o : s_.read_set) {
     const OrecValue v = o->value.load(std::memory_order_acquire);
     if (v == mine) {
       // Read-write overlap: this transaction holds the lock, so the live
@@ -123,9 +106,9 @@ bool Txn::validate_read_set() const noexcept {
 }
 
 OrecValue Txn::pre_lock_version(const Orec* o) const noexcept {
-  // locked_ is sorted by orec pointer (see acquire_write_locks).
-  auto lo = locked_.begin();
-  auto hi = locked_.end();
+  // s_.locked is sorted by orec pointer (maintained by note_write_orec).
+  auto lo = s_.locked.begin();
+  auto hi = s_.locked.end();
   while (lo < hi) {
     auto mid = lo + (hi - lo) / 2;
     if (mid->orec < o) {
@@ -134,8 +117,8 @@ OrecValue Txn::pre_lock_version(const Orec* o) const noexcept {
       hi = mid;
     }
   }
-  if (lo == locked_.end() || lo->orec != o) {
-    // Cannot happen (every orec locked with my token is in locked_), but
+  if (lo == s_.locked.end() || lo->orec != o) {
+    // Cannot happen (every orec locked with my token is in s_.locked), but
     // fail safe by reporting an impossible version so validation aborts.
     assert(false && "orec locked by this txn missing from lock list");
     return make_version(~0ULL >> 1);
@@ -144,33 +127,19 @@ OrecValue Txn::pre_lock_version(const Orec* o) const noexcept {
 }
 
 void Txn::acquire_write_locks() {
-  // Gather the distinct orecs covering the write set, in a global order
-  // (table address) so concurrent committers cannot deadlock.
-  locked_.clear();
-  for (const WriteEntry& w : write_set_) {
-    Orec* o = &orec_for(reinterpret_cast<void*>(w.addr));
-    locked_.push_back(LockedOrec{o, 0});
-  }
-  std::sort(locked_.begin(), locked_.end(),
-            [](const LockedOrec& a, const LockedOrec& b) {
-              return a.orec < b.orec;
-            });
-  locked_.erase(std::unique(locked_.begin(), locked_.end(),
-                            [](const LockedOrec& a, const LockedOrec& b) {
-                              return a.orec == b.orec;
-                            }),
-                locked_.end());
-
+  // s_.locked already holds the distinct orecs covering the write set in a
+  // global order (table address, maintained at store() time), so concurrent
+  // committers cannot deadlock and no commit-time sort is needed.
   const OrecValue mine = make_locked(my_token_);
-  for (std::size_t i = 0; i < locked_.size(); ++i) {
-    Orec* o = locked_[i].orec;
+  for (std::size_t i = 0; i < s_.locked.size(); ++i) {
+    Orec* o = s_.locked[i].orec;
     util::Backoff backoff(2, 64);
     for (int spin = 0;; ++spin) {
       OrecValue cur = o->value.load(std::memory_order_relaxed);
       if (!orec_is_locked(cur)) {
         if (o->value.compare_exchange_weak(cur, mine,
                                            std::memory_order_acq_rel)) {
-          locked_[i].previous = cur;
+          s_.locked[i].previous = cur;
           break;
         }
         continue;
@@ -179,34 +148,36 @@ void Txn::acquire_write_locks() {
         // Give up rather than wait on another committer: best-effort HTM
         // resolves conflicts by aborting, not blocking.
         for (std::size_t j = 0; j < i; ++j) {
-          locked_[j].orec->value.store(locked_[j].previous,
-                                       std::memory_order_release);
+          s_.locked[j].orec->value.store(s_.locked[j].previous,
+                                         std::memory_order_release);
         }
-        locked_.clear();
+        locks_held_ = 0;
         throw TxnAbort{AbortCode::kConflict};
       }
       backoff.pause();
     }
   }
+  locks_held_ = static_cast<uint32_t>(s_.locked.size());
 }
 
 void Txn::rollback_locks() noexcept {
-  for (const LockedOrec& l : locked_) {
-    l.orec->value.store(l.previous, std::memory_order_release);
+  for (uint32_t i = 0; i < locks_held_; ++i) {
+    s_.locked[i].orec->value.store(s_.locked[i].previous,
+                                   std::memory_order_release);
   }
-  locked_.clear();
+  locks_held_ = 0;
 }
 
 void Txn::release_locks_to(uint64_t version) noexcept {
   const OrecValue v = make_version(version);
-  for (const LockedOrec& l : locked_) {
-    l.orec->value.store(v, std::memory_order_release);
+  for (uint32_t i = 0; i < locks_held_; ++i) {
+    s_.locked[i].orec->value.store(v, std::memory_order_release);
   }
-  locked_.clear();
+  locks_held_ = 0;
 }
 
 void Txn::write_back() noexcept {
-  for (const WriteEntry& w : write_set_) {
+  for (const WriteEntry& w : s_.write_set) {
     void* p = reinterpret_cast<void*>(w.addr);
     switch (w.size) {
       case 1:
@@ -228,20 +199,43 @@ void Txn::write_back() noexcept {
   }
 }
 
+bool Txn::writes_unchanged() const noexcept {
+  for (const WriteEntry& w : s_.write_set) {
+    const void* p = reinterpret_cast<const void*>(w.addr);
+    uint64_t cur;
+    switch (w.size) {
+      case 1:
+        cur = detail::atomic_word_load(static_cast<const uint8_t*>(p));
+        break;
+      case 2:
+        cur = detail::atomic_word_load(static_cast<const uint16_t*>(p));
+        break;
+      case 4:
+        cur = detail::atomic_word_load(static_cast<const uint32_t*>(p));
+        break;
+      default:
+        cur = detail::atomic_word_load(static_cast<const uint64_t*>(p));
+        break;
+    }
+    if (cur != w.value) return false;
+  }
+  return true;
+}
+
 void Txn::commit() {
   if (lock_mode_) {
     // Under the TLE lock the transaction is exclusive; apply the buffered
     // stores through the orec-bumping path so doomed speculative readers
     // observe the conflict.
-    for (const WriteEntry& w : write_set_) {
+    for (const WriteEntry& w : s_.write_set) {
       lock_mode_store(reinterpret_cast<void*>(w.addr), w.value, w.size);
     }
     committed_ = true;
     return;
   }
-  if (write_set_.empty()) {
+  if (s_.write_set.empty()) {
     // Read-only transactions are already serializable at rv_: every load
-    // validated its orec against rv_ at read time.
+    // validated its orec against rv_ at read time. No lock, no clock bump.
     committed_ = true;
     return;
   }
@@ -255,7 +249,25 @@ void Txn::commit() {
     }
   } scope;
   acquire_write_locks();
-  const uint64_t wv = global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (writes_unchanged()) {
+    // Every buffered store would write back the value already in memory, so
+    // the write-back is invisible to concurrent readers and the commit is
+    // observably read-only. Serialize it at this instant — all written words
+    // are locked with their values in place, and the reads are consistent
+    // here iff nothing read changed since rv_ — and skip the global-clock
+    // fetch_add, the main cross-thread contention point of a TL2 commit.
+    const uint64_t now = global_clock().load(std::memory_order_acquire);
+    if (now == rv_ || validate_read_set()) {
+      rollback_locks();  // restore pre-lock orec versions; nothing changed
+      committed_ = true;
+      return;
+    }
+    rollback_locks();
+    throw TxnAbort{AbortCode::kConflict};
+  }
+  const uint64_t wv =
+      global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  local_stats().clock_bumps++;
   // TL2 fast path: if nothing committed between begin and lock acquisition,
   // the read set cannot have changed.
   if (wv != rv_ + 1 && !validate_read_set()) {
@@ -267,7 +279,7 @@ void Txn::commit() {
   committed_ = true;
 }
 
-void Txn::lock_mode_store(void* addr, uint64_t bits, uint8_t size) noexcept {
+void Txn::lock_mode_store(void* addr, uint64_t bits, uint32_t size) noexcept {
   // Under the TLE lock, stores still go through the word's orec so that
   // doomed concurrent transactions observe the conflict (strong atomicity).
   Orec& o = orec_for(addr);
@@ -301,6 +313,7 @@ void Txn::lock_mode_store(void* addr, uint64_t bits, uint8_t size) noexcept {
   }
   const uint64_t wv =
       global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  local_stats().clock_bumps++;
   o.value.store(make_version(wv), std::memory_order_release);
 }
 

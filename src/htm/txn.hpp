@@ -18,6 +18,21 @@
 //    telescoping step sizes cap at 32 — so algorithms account for them via
 //    charge_store().
 //
+// Hot-path structure (see DESIGN.md "HTM hot-path design"):
+//  * config() fields and the orec table pointer are snapshotted once per
+//    attempt, so load()/store() never call through to the out-of-line
+//    config()/orec_table() accessors.
+//  * The read set is deduplicated at load time through a direct-mapped
+//    per-thread filter of (orec, attempt-epoch) pairs: N loads of one hot
+//    word cost one read-set entry, so try_extend()/validate_read_set() stay
+//    proportional to the *distinct* words read.
+//  * store() resolves and caches the covering Orec* in the WriteEntry and
+//    maintains the commit lock list sorted and deduplicated incrementally,
+//    so acquire_write_locks() is a straight walk — no orec_for
+//    recomputation, no sort, no unique at commit time.
+//  * All scratch buffers use inline small-buffer storage sized to the
+//    32-entry store buffer (util/small_vector.hpp).
+//
 // Usage: via htm::atomic() / htm::try_once() in htm/htm.hpp; Txn is not
 // created directly by algorithm code.
 #pragma once
@@ -28,11 +43,11 @@
 #include <cstdint>
 #include <cstring>
 #include <type_traits>
-#include <vector>
 
 #include "htm/abort.hpp"
 #include "htm/config.hpp"
 #include "htm/orec.hpp"
+#include "util/small_vector.hpp"
 
 namespace dc::htm {
 
@@ -94,10 +109,10 @@ class Txn {
     const auto a = reinterpret_cast<uintptr_t>(addr);
     // Read-own-writes: the write set is at most store-buffer sized, so a
     // linear scan is cheaper than any indexed structure.
-    for (const WriteEntry& w : write_set_) {
+    for (const WriteEntry& w : s_.write_set) {
       if (w.addr == a) return detail::from_bits<T>(w.value);
     }
-    Orec& o = orec_for(addr);
+    Orec& o = orec_table_[orec_index(a, granularity_log2_)];
     for (int tries = 0; tries < kLoadRetries; ++tries) {
       OrecValue v1 = o.value.load(std::memory_order_acquire);
       if (orec_is_locked(v1)) {
@@ -111,7 +126,7 @@ class Txn {
       const T value = detail::atomic_word_load(addr);
       const OrecValue v2 = o.value.load(std::memory_order_acquire);
       if (v1 == v2) {
-        read_set_.push_back(&o);
+        note_read(&o);
         return value;
       }
       // The word changed between the two orec samples; retry the sandwich.
@@ -132,25 +147,28 @@ class Txn {
   template <TxnWord T>
   void store(T* addr, T value) {
     const auto a = reinterpret_cast<uintptr_t>(addr);
-    for (WriteEntry& w : write_set_) {
+    const uint64_t bits = detail::to_bits(value);
+    for (WriteEntry& w : s_.write_set) {
       if (w.addr == a) {
         assert(w.size == sizeof(T) && "mixed-size stores to one address");
-        w.value = detail::to_bits(value);
+        w.value = bits;
         return;
       }
     }
-    if (!lock_mode_ && stores_used() >= config().store_buffer_capacity) {
+    if (!lock_mode_ && stores_used() >= store_capacity_) {
       abort(AbortCode::kOverflow);
     }
-    write_set_.push_back(WriteEntry{a, detail::to_bits(value),
-                                    static_cast<uint8_t>(sizeof(T))});
+    Orec* o = &orec_table_[orec_index(a, granularity_log2_)];
+    s_.write_set.push_back(
+        WriteEntry{a, bits, o, static_cast<uint32_t>(sizeof(T))});
+    note_write_orec(o);
   }
 
   // Accounts for `n` stores to transaction-private memory (result-set
   // recording). They consume store-buffer budget but need no write-back.
   void charge_store(uint32_t n = 1) {
     if (lock_mode_) return;
-    if (stores_used() + n > config().store_buffer_capacity) {
+    if (stores_used() + n > store_capacity_) {
       abort(AbortCode::kOverflow);
     }
     charged_stores_ += n;
@@ -158,9 +176,8 @@ class Txn {
 
   // Remaining store budget; telescoped Collect uses it to clamp step size.
   uint32_t store_budget_left() const noexcept {
-    const uint32_t cap = config().store_buffer_capacity;
     const uint32_t used = stores_used();
-    return cap > used ? cap - used : 0;
+    return store_capacity_ > used ? store_capacity_ - used : 0;
   }
 
   // Registers a cleanup to run iff this attempt aborts (after the
@@ -183,7 +200,8 @@ class Txn {
   struct WriteEntry {
     uintptr_t addr;
     uint64_t value;
-    uint8_t size;
+    Orec* orec;  // resolved at store() time; commit never recomputes it
+    uint32_t size;
   };
   struct LockedOrec {
     Orec* orec;
@@ -195,17 +213,71 @@ class Txn {
     std::size_t bytes;
   };
 
+  // Per-thread scratch reused across attempts: the read/write/lock buffers
+  // (inline small-buffer storage; no allocation in the steady state) and the
+  // read-set dedup filter. The filter is direct-mapped by orec address and
+  // stamped with a per-attempt epoch, so "clearing" it per attempt is one
+  // counter increment; a collision merely costs a duplicate read-set entry.
+  struct Scratch {
+    static constexpr std::size_t kFilterSizeLog2 = 8;
+    static constexpr std::size_t kFilterSize = std::size_t{1}
+                                               << kFilterSizeLog2;
+    struct FilterSlot {
+      const Orec* orec;
+      uint64_t epoch;
+    };
+
+    util::SmallVector<Orec*, 128> read_set;
+    util::SmallVector<WriteEntry, 40> write_set;
+    // Distinct orecs covering the write set, kept sorted by table address
+    // (the deadlock-free global lock order) and deduplicated as stores are
+    // inserted; `previous` is filled in by acquire_write_locks().
+    util::SmallVector<LockedOrec, 40> locked;
+    util::SmallVector<AbortHook, 8> abort_hooks;
+    FilterSlot filter[kFilterSize] = {};
+    uint64_t epoch = 0;
+
+    static Scratch& get() noexcept;  // thread-local (txn.cpp)
+  };
+
   static constexpr int kLoadRetries = 64;
 
+  Txn(bool lock_mode, const Config& cfg, Scratch& s);
+
   uint32_t stores_used() const noexcept {
-    return static_cast<uint32_t>(write_set_.size()) + charged_stores_;
+    return static_cast<uint32_t>(s_.write_set.size()) + charged_stores_;
+  }
+
+  // Records `o` in the read set unless this attempt already did.
+  void note_read(Orec* o) {
+    Scratch::FilterSlot& slot =
+        s_.filter[(reinterpret_cast<uintptr_t>(o) / sizeof(Orec)) &
+                  (Scratch::kFilterSize - 1)];
+    if (slot.orec == o && slot.epoch == epoch_) return;
+    slot.orec = o;
+    slot.epoch = epoch_;
+    s_.read_set.push_back(o);
+  }
+
+  // Inserts `o` into the sorted, deduplicated commit lock list.
+  void note_write_orec(Orec* o) {
+    std::size_t lo = 0, hi = s_.locked.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (s_.locked[mid].orec < o) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < s_.locked.size() && s_.locked[lo].orec == o) return;
+    s_.locked.insert_at(lo, LockedOrec{o, 0});
   }
 
   // See Config::txn_yield_every_loads (txn.cpp; out of line so the hot path
   // stays a counter bump and a predictable branch).
   void maybe_yield() {
-    const uint32_t every = config().txn_yield_every_loads;
-    if (every != 0 && ++loads_since_yield_ >= every) {
+    if (yield_every_ != 0 && ++loads_since_yield_ >= yield_every_) {
       loads_since_yield_ = 0;
       yield_now();
     }
@@ -220,29 +292,31 @@ class Txn {
   void release_locks_to(uint64_t version) noexcept;
   void rollback_locks() noexcept;
   void write_back() noexcept;
+  bool writes_unchanged() const noexcept;
   bool validate_read_set() const noexcept;
   OrecValue pre_lock_version(const Orec* o) const noexcept;
 
-  void lock_mode_store(void* addr, uint64_t bits, uint8_t size) noexcept;
-
-  // Per-thread scratch buffers reused across attempts (txn.cpp).
-  static std::vector<Orec*>& scratch_read_set() noexcept;
-  static std::vector<WriteEntry>& scratch_write_set() noexcept;
-  static std::vector<LockedOrec>& scratch_locked() noexcept;
-  static std::vector<AbortHook>& scratch_abort_hooks() noexcept;
+  void lock_mode_store(void* addr, uint64_t bits, uint32_t size) noexcept;
 
   uint64_t rv_;              // read version (TL2)
   const uint64_t my_token_;  // lock ownership token
+  // Per-attempt snapshots: load()/store() must not call through to the
+  // out-of-line config()/orec_table() accessors (config changes mid-
+  // transaction are documented as unsupported, so snapshotting is sound).
+  Orec* const orec_table_;
+  const uint32_t store_capacity_;
+  const uint32_t yield_every_;
+  const uint32_t granularity_log2_;
+  const bool extension_enabled_;
   const bool lock_mode_;
   bool committed_ = false;
   uint32_t charged_stores_ = 0;
   uint32_t loads_since_yield_ = 0;
-  std::vector<AbortHook>& abort_hooks_;
-  // Thread-local scratch vectors, cleared per attempt (no allocation in the
-  // steady state).
-  std::vector<Orec*>& read_set_;
-  std::vector<WriteEntry>& write_set_;
-  std::vector<LockedOrec>& locked_;
+  // Number of entries of s_.locked actually holding their orec lock; only
+  // the prefix [0, locks_held_) may be released on rollback.
+  uint32_t locks_held_ = 0;
+  Scratch& s_;
+  const uint64_t epoch_;  // this attempt's read-set dedup epoch
 };
 
 // True while the calling thread is inside an atomic block (used to reject

@@ -66,11 +66,29 @@ void pool_flush_thread_cache() noexcept;
 
 // Allocate + construct. Construction happens before the block is published
 // to any shared structure, so plain (non-transactional) initialization is
-// safe.
+// safe — UNLESS the block may be a recycled one that a doomed transaction
+// (holding a stale pointer from before the previous free) is still reading
+// through std::atomic_ref. The sandboxing contract makes such reads benign
+// at the protocol level (validation aborts the reader), but a plain store
+// racing with an atomic load is still a C++ data race. Structures whose
+// freed nodes can be observed by in-flight transactions must initialize
+// recycled blocks with init_store() below instead of constructor writes.
 template <class T, class... Args>
 T* create(Args&&... args) {
   void* p = pool_allocate(sizeof(T));
   return ::new (p) T(static_cast<Args&&>(args)...);
+}
+
+// Initializing store into freshly allocated (possibly recycled) pool
+// memory. Relaxed is enough: the only concurrent readers are doomed
+// transactions about to fail validation, so no ordering is communicated —
+// the atomicity alone keeps the overlap defined behaviour. Compiles to a
+// plain store on mainstream hardware.
+template <class T>
+void init_store(T* addr, T v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "init_store covers word-sized fields only");
+  std::atomic_ref<T>(*addr).store(v, std::memory_order_relaxed);
 }
 
 // Destroy + free. See the correct-use contract above.
@@ -111,6 +129,28 @@ T* create_array(std::size_t n) {
   T* a = static_cast<T*>(p);
   for (std::size_t i = 0; i < n; ++i) ::new (a + i) T();
   return a;
+}
+
+// create_array for arrays that are freed and recycled while doomed
+// transactions may still be reading the previous incarnation of the block
+// (the resizable Collect arrays): zero-initialization happens through
+// word-granularity atomic stores instead of constructor writes, for the
+// same reason as init_store above. The layout constraints keep those
+// stores aligned with how transactional readers access the fields.
+template <class T>
+T* create_array_atomic_init(std::size_t n) {
+  // All-zero bytes must be a valid default state for T (the stores below
+  // replace value-initialization; zero-valued field initializers are fine).
+  static_assert(std::is_trivially_copyable_v<T>,
+                "atomic zero-init replaces the constructor");
+  static_assert(sizeof(T) % sizeof(uint64_t) == 0 &&
+                    alignof(T) >= alignof(uint64_t),
+                "blocks must split into aligned words");
+  void* p = pool_allocate(sizeof(T) * n);
+  auto* words = static_cast<uint64_t*>(p);
+  const std::size_t nwords = sizeof(T) * n / sizeof(uint64_t);
+  for (std::size_t i = 0; i < nwords; ++i) init_store(&words[i], uint64_t{0});
+  return static_cast<T*>(p);
 }
 
 template <class T>

@@ -26,6 +26,8 @@ Options Options::parse(int argc, char** argv) {
     };
     if (std::strcmp(arg, "--csv") == 0) {
       opts.csv = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      opts.json_path = next_value();
     } else if (std::strcmp(arg, "--duration-ms") == 0) {
       opts.duration_ms = std::atof(next_value());
     } else if (std::strcmp(arg, "--repeats") == 0) {
@@ -51,8 +53,8 @@ Options Options::parse(int argc, char** argv) {
 
 void Options::print_help(const char* prog) {
   std::printf(
-      "usage: %s [--csv] [--duration-ms N] [--repeats N] [--max-threads N] "
-      "[--full]\n",
+      "usage: %s [--csv] [--json PATH] [--duration-ms N] [--repeats N] "
+      "[--max-threads N] [--full]\n",
       prog);
 }
 

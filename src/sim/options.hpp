@@ -3,6 +3,7 @@
 // Every bench runs with sane quick defaults (so `for b in build/bench/*; do
 // $b; done` completes in minutes on a small host) and accepts:
 //   --csv             machine-readable output
+//   --json PATH       additionally write a JSON report to PATH (bench_common)
 //   --duration-ms N   measurement window per point (default 50)
 //   --repeats N       repetitions averaged per point (default 3)
 //   --max-threads N   cap on swept thread counts (default: min(16, 4x cores))
@@ -17,6 +18,7 @@ namespace dc::sim {
 
 struct Options {
   bool csv = false;
+  std::string json_path;  // empty = no JSON report
   double duration_ms = 50.0;
   int repeats = 3;
   uint32_t max_threads = 16;  // parse() lowers this on small hosts

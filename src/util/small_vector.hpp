@@ -1,0 +1,106 @@
+// SmallVector: a vector with inline storage for the first N elements.
+//
+// The HTM substrate's per-attempt scratch buffers (read set, write set,
+// commit lock list) are bounded in the common case by the simulated 32-entry
+// store buffer, so heap-backed std::vector pays indirection on every access
+// for capacity it almost never needs. SmallVector keeps the first N elements
+// in the object itself (for the thread-local scratch blocks that means: in
+// one TLS-adjacent allocation, no pointer chase) and spills to the heap only
+// past N. The spill buffer is kept on clear(), so steady-state reuse never
+// allocates — the property the old reserve()d thread_local vectors relied on.
+//
+// Restricted to trivially copyable T: growth is a memcpy and clear() needs
+// no destructor sweep, which keeps push_back a two-instruction fast path.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace dc::util {
+
+template <class T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(N > 0);
+
+ public:
+  SmallVector() noexcept : data_(inline_), capacity_(N) {}
+  ~SmallVector() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  SmallVector(const SmallVector&) = delete;
+  SmallVector& operator=(const SmallVector&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+  static constexpr std::size_t inline_capacity() noexcept { return N; }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& back() noexcept {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+  const T& back() const noexcept {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  // Drops the elements but keeps any heap spill buffer for reuse.
+  void clear() noexcept { size_ = 0; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow();
+    data_[size_++] = v;
+  }
+
+  // Inserts `v` before index `pos` (<= size()), shifting the tail up.
+  void insert_at(std::size_t pos, const T& v) {
+    assert(pos <= size_);
+    if (size_ == capacity_) grow();
+    std::memmove(data_ + pos + 1, data_ + pos, (size_ - pos) * sizeof(T));
+    data_[pos] = v;
+    ++size_;
+  }
+
+  void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    T* heap = new T[new_cap];
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (data_ != inline_) delete[] data_;
+    data_ = heap;
+    capacity_ = new_cap;
+  }
+
+  T* data_;
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+  T inline_[N];
+};
+
+}  // namespace dc::util

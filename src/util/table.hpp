@@ -27,6 +27,12 @@ class Table {
   // Machine-readable output.
   void print_csv(std::FILE* out = stdout) const;
 
+  // Raw access for external reporters (e.g. the benchmark JSON writer).
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -92,6 +92,52 @@ TEST_F(Stats, TryOnceRecordsOutcome) {
   EXPECT_EQ(s.aborts, 1u);
 }
 
+TEST_F(Stats, HighWaterMarksTrackDedupedSetSizes) {
+  uint64_t words[8] = {};
+  atomic([&](Txn& txn) {
+    uint64_t sum = 0;
+    for (auto& w : words) sum += txn.load(&w);
+    txn.store(&words[0], sum + 1);
+    txn.store(&words[1], uint64_t{2});
+  });
+  const TxnStats s = aggregate_stats();
+  // 8 distinct words + the TLE lock word read at transaction begin.
+  EXPECT_EQ(s.max_read_set, 9u);
+  EXPECT_EQ(s.max_write_set, 2u);
+}
+
+TEST_F(Stats, ClockBumpsCountOnlyVisibleWritingCommits) {
+  uint64_t w = 0;
+  atomic([&](Txn& t) { t.store(&w, uint64_t{1}); });  // visible write: bump
+  atomic([&](Txn& t) { (void)t.load(&w); });          // read-only: no bump
+  atomic([&](Txn& t) { t.store(&w, uint64_t{1}); });  // unchanged: no bump
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.commits, 3u);
+  EXPECT_EQ(s.clock_bumps, 1u);
+}
+
+TEST_F(Stats, NontxnStoreBumpsClockCounter) {
+  uint64_t w = 0;
+  nontxn_store(&w, uint64_t{5});
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.nontxn_stores, 1u);
+  EXPECT_EQ(s.clock_bumps, 1u);
+}
+
+TEST_F(Stats, AggregationTakesMaxOfHighWaterMarks) {
+  TxnStats a, b;
+  a.max_read_set = 5;
+  a.max_write_set = 3;
+  a.clock_bumps = 2;
+  b.max_read_set = 9;
+  b.max_write_set = 2;
+  b.clock_bumps = 4;
+  a += b;
+  EXPECT_EQ(a.max_read_set, 9u);
+  EXPECT_EQ(a.max_write_set, 3u);
+  EXPECT_EQ(a.clock_bumps, 6u);
+}
+
 TEST_F(Stats, AbortCodeNames) {
   EXPECT_STREQ(to_string(AbortCode::kConflict), "conflict");
   EXPECT_STREQ(to_string(AbortCode::kOverflow), "overflow");

@@ -1,0 +1,195 @@
+// Covers the transaction hot-path fast paths: load-time read-set dedup,
+// store-time write dedup with the precomputed commit lock list, and the
+// clock-skipping read-only / unchanged-value commit paths. Each fast path
+// must keep the substrate's conflict detection and serializability intact —
+// these tests pin the tricky interleavings deterministically (same-thread
+// strong-atomicity stores play the "concurrent writer") plus one threaded
+// stress for the silent-commit path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "htm/htm.hpp"
+
+namespace dc::htm {
+namespace {
+
+class TxnHotPath : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    reset_stats();
+  }
+  void TearDown() override { config() = saved_; }
+  Config saved_;
+};
+
+TEST_F(TxnHotPath, RepeatedLoadsDedupToOneReadSetEntry) {
+  uint64_t word = 7;
+  {
+    Txn txn;
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(txn.load(&word), 7u);
+    txn.commit();
+  }
+  // 100 loads of one word must occupy exactly one read-set slot.
+  EXPECT_EQ(aggregate_stats().max_read_set, 1u);
+}
+
+TEST_F(TxnHotPath, DedupedReadStillConflictsWithWriter) {
+  // The dedup filter must not swallow conflict detection: once a writer
+  // bumps the word's orec, the next (deduplicated) load has to abort.
+  uint64_t word = 1;
+  bool aborted = false;
+  try {
+    Txn txn;
+    EXPECT_EQ(txn.load(&word), 1u);
+    EXPECT_EQ(txn.load(&word), 1u);  // deduped: read set still has 1 entry
+    nontxn_store(&word, uint64_t{2});
+    (void)txn.load(&word);  // version moved past rv_, extension must fail
+    txn.commit();
+  } catch (const TxnAbort& a) {
+    aborted = true;
+    EXPECT_EQ(a.code, AbortCode::kConflict);
+  }
+  EXPECT_TRUE(aborted);
+}
+
+TEST_F(TxnHotPath, CommitValidationCatchesWriterAfterDedupedReads) {
+  // Same conflict, but detected at commit time: the single deduplicated
+  // read-set entry must still fail validation for a writing commit.
+  uint64_t a = 1, b = 2;
+  bool aborted = false;
+  try {
+    Txn txn;
+    (void)txn.load(&a);
+    (void)txn.load(&a);
+    nontxn_store(&a, uint64_t{5});
+    txn.store(&b, uint64_t{9});
+    txn.commit();
+  } catch (const TxnAbort& e) {
+    aborted = true;
+    EXPECT_EQ(e.code, AbortCode::kConflict);
+  }
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(b, 2u);  // the buffered store was discarded
+}
+
+TEST_F(TxnHotPath, RepeatedStoresDedupToOneWriteSetEntry) {
+  // 100 stores to one word consume one store-buffer slot, not 100.
+  config().store_buffer_capacity = 4;
+  uint64_t word = 0;
+  atomic([&](Txn& txn) {
+    for (int i = 0; i < 100; ++i) txn.store(&word, uint64_t(i));
+  });
+  EXPECT_EQ(word, 99u);
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.max_write_set, 1u);
+  EXPECT_EQ(s.aborts_by_code[static_cast<int>(AbortCode::kOverflow)], 0u);
+}
+
+TEST_F(TxnHotPath, DistinctWordsStillOverflow) {
+  config().store_buffer_capacity = 8;
+  uint64_t words[16] = {};
+  const TryResult r = try_once([&](Txn& txn) {
+    for (auto& w : words) txn.store(&w, uint64_t{1});
+  });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.code, AbortCode::kOverflow);
+}
+
+TEST_F(TxnHotPath, ReadOnlyCommitLeavesClockUntouched) {
+  uint64_t word = 3;
+  const uint64_t clock_before =
+      global_clock().load(std::memory_order_acquire);
+  const uint64_t bumps_before = aggregate_stats().clock_bumps;
+  const uint64_t got = atomic([&](Txn& txn) { return txn.load(&word); });
+  EXPECT_EQ(got, 3u);
+  EXPECT_EQ(global_clock().load(std::memory_order_acquire), clock_before);
+  EXPECT_EQ(aggregate_stats().clock_bumps, bumps_before);
+}
+
+TEST_F(TxnHotPath, UnchangedValueCommitLeavesClockUntouched) {
+  uint64_t word = 42;
+  const uint64_t clock_before =
+      global_clock().load(std::memory_order_acquire);
+  atomic([&](Txn& txn) { txn.store(&word, txn.load(&word)); });
+  EXPECT_EQ(word, 42u);
+  EXPECT_EQ(global_clock().load(std::memory_order_acquire), clock_before);
+  EXPECT_EQ(aggregate_stats().clock_bumps, 0u);
+  EXPECT_EQ(aggregate_stats().commits, 1u);  // it still commits
+}
+
+TEST_F(TxnHotPath, ChangedValueCommitBumpsClock) {
+  uint64_t word = 1;
+  const uint64_t clock_before =
+      global_clock().load(std::memory_order_acquire);
+  atomic([&](Txn& txn) { txn.store(&word, txn.load(&word) + 1); });
+  EXPECT_EQ(word, 2u);
+  EXPECT_GT(global_clock().load(std::memory_order_acquire), clock_before);
+  EXPECT_EQ(aggregate_stats().clock_bumps, 1u);
+}
+
+TEST_F(TxnHotPath, UnchangedValueCommitStillValidatesReads) {
+  // A silent (no-op-value) commit is serialized at its lock point, so a
+  // write that invalidated this transaction's reads must still abort it —
+  // otherwise the silent path would admit lost updates.
+  uint64_t a = 1, b = 7;
+  bool aborted = false;
+  try {
+    Txn txn;
+    (void)txn.load(&a);
+    nontxn_store(&a, uint64_t{2});
+    txn.store(&b, uint64_t{7});  // value already in memory
+    txn.commit();
+  } catch (const TxnAbort& e) {
+    aborted = true;
+    EXPECT_EQ(e.code, AbortCode::kConflict);
+  }
+  EXPECT_TRUE(aborted);
+}
+
+TEST_F(TxnHotPath, SilentCommitsPreserveInvariantUnderContention) {
+  // One writer keeps x == y; a "pinner" rewrites x with the value it just
+  // read (usually a silent commit); a reader checks the invariant. The
+  // silent path must neither tear the invariant nor swallow the pinner's
+  // obligation to abort when its read of x went stale.
+  constexpr int kWriterOps = 2000;
+  uint64_t x = 0, y = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> mismatches{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kWriterOps; ++i) {
+      atomic([&](Txn& t) {
+        t.store(&x, t.load(&x) + 1);
+        t.store(&y, t.load(&y) + 1);
+      });
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread pinner([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      atomic([&](Txn& t) { t.store(&x, t.load(&x)); });
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto seen = atomic([&](Txn& t) {
+        return std::pair<uint64_t, uint64_t>(t.load(&x), t.load(&y));
+      });
+      if (seen.first != seen.second) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  writer.join();
+  pinner.join();
+  reader.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(x, uint64_t{kWriterOps});  // no lost updates via the silent path
+  EXPECT_EQ(y, uint64_t{kWriterOps});
+}
+
+}  // namespace
+}  // namespace dc::htm

@@ -1,0 +1,93 @@
+#include "util/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace dc::util {
+namespace {
+
+TEST(SmallVector, StartsInlineAndEmpty) {
+  SmallVector<uint64_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_EQ(decltype(v)::inline_capacity(), 4u);
+}
+
+TEST(SmallVector, PushBackWithinInlineStorage) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // no spill yet
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, GrowthSpillsToHeapPreservingContents) {
+  SmallVector<uint64_t, 4> v;
+  for (uint64_t i = 0; i < 100; ++i) v.push_back(i * 3);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i * 3);
+  EXPECT_EQ(v.back(), 99u * 3);
+}
+
+TEST(SmallVector, ClearKeepsSpillCapacityForReuse) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const std::size_t grown = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), grown);  // steady-state reuse never reallocates
+  for (int i = 0; i < 50; ++i) v.push_back(-i);
+  EXPECT_EQ(v.capacity(), grown);
+  EXPECT_EQ(v[49], -49);
+}
+
+TEST(SmallVector, InsertAtKeepsOrder) {
+  SmallVector<int, 4> v;
+  v.push_back(10);
+  v.push_back(30);
+  v.insert_at(1, 20);  // middle
+  v.insert_at(0, 5);   // front
+  v.insert_at(4, 40);  // end (== size)
+  ASSERT_EQ(v.size(), 5u);
+  const int expect[] = {5, 10, 20, 30, 40};
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], expect[i]);
+}
+
+TEST(SmallVector, InsertAtGrowsAcrossInlineBoundary) {
+  SmallVector<int, 2> v;
+  // Always insert at the front so every element shifts on every insert.
+  for (int i = 0; i < 20; ++i) v.insert_at(0, i);
+  ASSERT_EQ(v.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(v[static_cast<std::size_t>(i)], 19 - i);
+  }
+}
+
+TEST(SmallVector, IterationAndPopBack) {
+  SmallVector<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVector, HoldsTrivialStructs) {
+  struct Entry {
+    uintptr_t addr;
+    uint64_t value;
+  };
+  SmallVector<Entry, 2> v;
+  for (uint64_t i = 0; i < 10; ++i) v.push_back(Entry{i, i * i});
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[7].addr, 7u);
+  EXPECT_EQ(v[7].value, 49u);
+}
+
+}  // namespace
+}  // namespace dc::util
