@@ -11,6 +11,10 @@
 
 #include "collect/registry.hpp"
 #include "htm/stats.hpp"
+#include "obs/conflict_map.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -38,6 +42,71 @@ inline const collect::AlgoInfo& algo(const std::string& name) {
   std::abort();
 }
 
+// Applies the obs-layer runtime switches implied by the options for the
+// lifetime of one benchmark run, and exports the Chrome trace on exit.
+// Declare one at the top of every bench main, after Options::parse:
+//   --trace PATH  opens every switch (event trace + conflict attribution +
+//                 latency timing) and writes PATH at the end;
+//   --hist        opens only the latency-timing switch.
+class ObsSession {
+ public:
+  explicit ObsSession(const sim::Options& opts) : opts_(opts) {
+    if (!opts_.trace_path.empty()) {
+      obs::set_all(true);
+      if (!obs::kTraceCompiled) {
+        std::fprintf(stderr,
+                     "# --trace: event-trace hooks are compiled out; rebuild "
+                     "with -DDC_TRACE=ON for transaction events (the trace "
+                     "file will still be valid, but sparse)\n");
+      }
+    } else if (opts_.hist) {
+      obs::set_timing(true);
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    if (!opts_.trace_path.empty()) {
+      if (obs::export_chrome_trace(opts_.trace_path)) {
+        std::fprintf(stderr, "# trace written to %s (%llu events retained)\n",
+                     opts_.trace_path.c_str(),
+                     static_cast<unsigned long long>(
+                         obs::snapshot_events().size()));
+      }
+      obs::set_all(false);
+    } else if (opts_.hist) {
+      obs::set_timing(false);
+    }
+  }
+
+ private:
+  sim::Options opts_;
+};
+
+// google-benchmark rejects flags it does not know, so the two benches built
+// on it peel the obs options out of argv before benchmark::Initialize sees
+// it. Returns an Options carrying only trace_path/hist; argc/argv are
+// rewritten in place without the consumed arguments.
+inline sim::Options extract_obs_options(int& argc, char** argv) {
+  sim::Options opts;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      opts.trace_path = argv[++i];
+    } else if (arg == "--hist") {
+      opts.hist = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return opts;
+}
+
 // Prints the HTM substrate's commit/abort counters accumulated since the
 // last reset — the diagnostics behind the figures' abort-rate narratives.
 inline void print_htm_diagnostics() {
@@ -59,6 +128,33 @@ inline void print_htm_diagnostics() {
       static_cast<unsigned long long>(s.clock_bumps),
       static_cast<unsigned long long>(s.max_read_set),
       static_cast<unsigned long long>(s.max_write_set));
+  // Per-operation latency quantiles — populated only on --hist/--trace runs
+  // (or in DC_TRACE builds for the commit path).
+  for (int op = 0; op < static_cast<int>(obs::OpKind::kNumOps); ++op) {
+    const auto kind = static_cast<obs::OpKind>(op);
+    const obs::OpSummary lat = obs::summarize_op(kind);
+    if (lat.count == 0) continue;
+    std::printf(
+        "[obs] %-10s n=%-9llu p50=%.0fns p90=%.0fns p99=%.0fns max=%.0fns\n",
+        obs::to_string(kind), static_cast<unsigned long long>(lat.count),
+        lat.p50_ns, lat.p90_ns, lat.p99_ns, lat.max_ns);
+  }
+  // Conflict attribution — populated only when the conflict switch was open
+  // in a DC_TRACE build (or when tests feed the table directly).
+  const std::vector<obs::ConflictEntry> hot = obs::top_conflicts(5);
+  if (!hot.empty()) {
+    std::printf("[obs] hottest orecs by conflict aborts:\n");
+    for (const obs::ConflictEntry& e : hot) {
+      std::size_t dominant = 0;
+      for (std::size_t c = 1; c < e.by_context.size(); ++c) {
+        if (e.by_context[c] > e.by_context[dominant]) dominant = c;
+      }
+      std::printf("[obs]   orec %-10llu aborts=%-8llu top-algo=%s\n",
+                  static_cast<unsigned long long>(e.orec_index),
+                  static_cast<unsigned long long>(e.count),
+                  obs::context_name(static_cast<uint8_t>(dominant)).c_str());
+    }
+  }
 }
 
 namespace detail {
@@ -105,10 +201,15 @@ inline void write_json_cell(std::FILE* f, const std::string& cell) {
 }  // namespace detail
 
 // Writes one benchmark's results as a JSON report (--json PATH): the swept
-// table, the run options, and the HTM substrate counters accumulated over
-// the run. The stable schema lets successive PRs track the performance
-// trajectory (e.g. BENCH_fig3.json at the repo root) without scraping
-// the human-readable tables.
+// table, the run options, the HTM substrate counters accumulated over the
+// run, and the obs layer's latency/conflict/trace summaries. The versioned
+// schema lets successive PRs track the performance trajectory (e.g.
+// BENCH_fig3.json at the repo root) without scraping the human tables.
+//
+// schema_version history:
+//   1  bench/generated_utc/options/htm/columns/rows (implicit, pre-field)
+//   2  adds "schema_version", htm.aborts_by_code, op_latency_ns, conflicts,
+//      trace sections
 inline void write_json_report(const std::string& path,
                               const std::string& bench_name,
                               const util::Table& table,
@@ -124,20 +225,24 @@ inline void write_json_report(const std::string& path,
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tmv);
   }
   std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n",
                detail::json_escape(bench_name).c_str());
   std::fprintf(f, "  \"generated_utc\": \"%s\",\n", stamp);
   std::fprintf(f,
                "  \"options\": {\"duration_ms\": %g, \"repeats\": %d, "
-               "\"max_threads\": %u},\n",
-               opts.duration_ms, opts.repeats, opts.max_threads);
+               "\"max_threads\": %u, \"hist\": %s, \"trace\": %s},\n",
+               opts.duration_ms, opts.repeats, opts.max_threads,
+               opts.hist ? "true" : "false",
+               opts.trace_path.empty() ? "false" : "true");
   const htm::TxnStats s = htm::aggregate_stats();
   std::fprintf(
       f,
       "  \"htm\": {\"commits\": %llu, \"aborts\": %llu, "
       "\"abort_rate\": %.4f, \"lock_fallbacks\": %llu, "
       "\"nontxn_stores\": %llu, \"clock_bumps\": %llu, "
-      "\"max_read_set\": %llu, \"max_write_set\": %llu},\n",
+      "\"max_read_set\": %llu, \"max_write_set\": %llu,\n"
+      "    \"aborts_by_code\": {",
       static_cast<unsigned long long>(s.commits),
       static_cast<unsigned long long>(s.aborts), s.abort_rate(),
       static_cast<unsigned long long>(s.lock_fallbacks),
@@ -145,6 +250,57 @@ inline void write_json_report(const std::string& path,
       static_cast<unsigned long long>(s.clock_bumps),
       static_cast<unsigned long long>(s.max_read_set),
       static_cast<unsigned long long>(s.max_write_set));
+  for (int c = 0; c < static_cast<int>(htm::AbortCode::kNumCodes); ++c) {
+    std::fprintf(f, "%s\"%s\": %llu", c == 0 ? "" : ", ",
+                 htm::to_string(static_cast<htm::AbortCode>(c)),
+                 static_cast<unsigned long long>(s.aborts_by_code[c]));
+  }
+  std::fprintf(f, "}},\n");
+  // Per-operation latency quantiles (empty histograms report count 0).
+  std::fprintf(f, "  \"op_latency_ns\": {\n");
+  for (int op = 0; op < static_cast<int>(obs::OpKind::kNumOps); ++op) {
+    const auto kind = static_cast<obs::OpKind>(op);
+    const obs::OpSummary lat = obs::summarize_op(kind);
+    std::fprintf(f,
+                 "    \"%s\": {\"count\": %llu, \"p50\": %.1f, \"p90\": %.1f, "
+                 "\"p99\": %.1f, \"max\": %.1f, \"mean\": %.1f}%s\n",
+                 obs::to_string(kind),
+                 static_cast<unsigned long long>(lat.count), lat.p50_ns,
+                 lat.p90_ns, lat.p99_ns, lat.max_ns, lat.mean_ns,
+                 op + 1 == static_cast<int>(obs::OpKind::kNumOps) ? "" : ",");
+  }
+  std::fprintf(f, "  },\n");
+  // Conflict attribution: the hottest orecs and the algorithm that owned
+  // the aborting transactions.
+  const std::vector<obs::ConflictEntry> hot = obs::top_conflicts(5);
+  std::fprintf(f,
+               "  \"conflicts\": {\"recorded\": %llu, \"dropped\": %llu, "
+               "\"top\": [",
+               static_cast<unsigned long long>(obs::conflicts_recorded()),
+               static_cast<unsigned long long>(obs::conflicts_dropped()));
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    const obs::ConflictEntry& e = hot[i];
+    std::fprintf(f, "%s\n    {\"orec\": %llu, \"count\": %llu, \"by_algo\": {",
+                 i == 0 ? "" : ",",
+                 static_cast<unsigned long long>(e.orec_index),
+                 static_cast<unsigned long long>(e.count));
+    bool first = true;
+    for (std::size_t c = 0; c < e.by_context.size(); ++c) {
+      if (e.by_context[c] == 0) continue;
+      std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ",
+                   detail::json_escape(
+                       obs::context_name(static_cast<uint8_t>(c)))
+                       .c_str(),
+                   static_cast<unsigned long long>(e.by_context[c]));
+      first = false;
+    }
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "%s]},\n", hot.empty() ? "" : "\n  ");
+  std::fprintf(f,
+               "  \"trace\": {\"compiled\": %s, \"events_emitted\": %llu},\n",
+               obs::kTraceCompiled ? "true" : "false",
+               static_cast<unsigned long long>(obs::events_emitted()));
   std::fprintf(f, "  \"columns\": [");
   const auto& headers = table.headers();
   for (std::size_t i = 0; i < headers.size(); ++i) {

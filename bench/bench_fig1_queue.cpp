@@ -89,6 +89,7 @@ RunResult run_queue(uint32_t threads, double duration_ms) {
 
 int main(int argc, char** argv) {
   const auto opts = dc::sim::Options::parse(argc, argv);
+  const dc::bench::ObsSession obs_session(opts);
   if (!opts.csv) {
     std::printf("== Figure 1: queue throughput [ops/us] vs threads ==\n");
     dc::bench::print_host_caveat();

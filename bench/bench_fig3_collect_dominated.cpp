@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace dc;
   const auto opts = sim::Options::parse(argc, argv);
+  const bench::ObsSession obs_session(opts);
   if (!opts.csv) {
     std::printf(
         "== Figure 3: collect-dominated workload [ops/us] vs threads ==\n"

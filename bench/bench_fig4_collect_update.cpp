@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   }
   const auto opts =
       sim::Options::parse(static_cast<int>(args.size()), args.data());
+  const bench::ObsSession obs_session(opts);
   htm::config().enable_extension = !no_extension;
   // Restore multicore-style transaction/writer overlap (see Config).
   htm::config().txn_yield_every_loads = 48;

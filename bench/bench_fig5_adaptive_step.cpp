@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace dc;
   const auto opts = sim::Options::parse(argc, argv);
+  const bench::ObsSession obs_session(opts);
   const uint32_t updaters = opts.max_threads > 1 ? opts.max_threads - 1 : 1;
   if (!opts.csv) {
     std::printf(

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace dc;
   const auto opts = sim::Options::parse(argc, argv);
+  const bench::ObsSession obs_session(opts);
   if (!opts.csv) {
     std::printf(
         "== Space: quiescent shared memory vs registration history ==\n"

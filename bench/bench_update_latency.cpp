@@ -54,6 +54,9 @@ void bm_collect64(benchmark::State& state, const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel --trace/--hist off before google-benchmark sees (and rejects) them.
+  const dc::sim::Options obs_opts = dc::bench::extract_obs_options(argc, argv);
+  const dc::bench::ObsSession obs_session(obs_opts);
   for (const auto& info : dc::collect::all_algorithms()) {
     benchmark::RegisterBenchmark(("Update/" + info.name).c_str(), bm_update,
                                  info.name);

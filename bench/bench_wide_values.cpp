@@ -7,6 +7,7 @@
 // representative (ArrayDynAppendDereg).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "collect/array_dyn_append_dereg.hpp"
 #include "collect/array_stat_search_no.hpp"
 #include "collect/wide.hpp"
@@ -60,6 +61,9 @@ BENCHMARK(bm_wide_append_dereg)->Name("Update/Wide/ArrayDynAppendDereg");
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel --trace/--hist off before google-benchmark sees (and rejects) them.
+  const dc::sim::Options obs_opts = dc::bench::extract_obs_options(argc, argv);
+  const dc::bench::ObsSession obs_session(obs_opts);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   std::printf(

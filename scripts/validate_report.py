@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a benchmark --json report (schema_version 2) and, optionally, a
+Chrome trace-event file produced by --trace.
+
+Usage: scripts/validate_report.py REPORT.json [TRACE.json [--expect-events]]
+
+The C++ unit tests (tests/obs/export_schema_test.cpp) validate the same
+schemas in-process; this script is the out-of-process check CI runs against
+a real benchmark binary's output, so a packaging or flushing bug that the
+in-process test cannot see still fails the pipeline. --expect-events makes
+an empty trace an error (used by the DC_TRACE=ON smoke leg).
+"""
+import json
+import sys
+
+OPS = ("register", "update", "deregister", "collect", "commit")
+ABORT_CODES = ("none", "conflict", "overflow", "explicit", "illegal-access")
+
+
+def fail(msg):
+    print(f"validate_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate_report(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    require(doc.get("schema_version") == 2, "schema_version must be 2")
+    require(isinstance(doc.get("bench"), str), "bench must be a string")
+    opts = doc.get("options")
+    require(isinstance(opts, dict), "options must be an object")
+    for key in ("duration_ms", "repeats", "max_threads"):
+        require(isinstance(opts.get(key), (int, float)), f"options.{key}")
+    htm = doc.get("htm")
+    require(isinstance(htm, dict), "htm must be an object")
+    for key in ("commits", "aborts", "abort_rate", "lock_fallbacks"):
+        require(isinstance(htm.get(key), (int, float)), f"htm.{key}")
+    by_code = htm.get("aborts_by_code")
+    require(isinstance(by_code, dict), "htm.aborts_by_code must be an object")
+    for code in ABORT_CODES:
+        require(isinstance(by_code.get(code), int), f"aborts_by_code.{code}")
+    require(sum(by_code.values()) == htm["aborts"],
+            "aborts_by_code must sum to htm.aborts")
+    lat = doc.get("op_latency_ns")
+    require(isinstance(lat, dict), "op_latency_ns must be an object")
+    for op in OPS:
+        entry = lat.get(op)
+        require(isinstance(entry, dict), f"op_latency_ns.{op}")
+        for key in ("count", "p50", "p90", "p99", "max", "mean"):
+            require(isinstance(entry.get(key), (int, float)),
+                    f"op_latency_ns.{op}.{key}")
+        if entry["count"] > 0:
+            require(entry["p50"] <= entry["p90"] <= entry["p99"],
+                    f"op_latency_ns.{op} quantiles out of order")
+    conflicts = doc.get("conflicts")
+    require(isinstance(conflicts, dict), "conflicts must be an object")
+    require(isinstance(conflicts.get("recorded"), int), "conflicts.recorded")
+    require(isinstance(conflicts.get("top"), list), "conflicts.top")
+    for entry in conflicts["top"]:
+        require(isinstance(entry.get("orec"), int), "conflicts.top[].orec")
+        require(isinstance(entry.get("count"), int), "conflicts.top[].count")
+        require(isinstance(entry.get("by_algo"), dict),
+                "conflicts.top[].by_algo")
+    trace = doc.get("trace")
+    require(isinstance(trace, dict), "trace must be an object")
+    require(isinstance(trace.get("compiled"), bool), "trace.compiled")
+    require(isinstance(trace.get("events_emitted"), int),
+            "trace.events_emitted")
+    require(isinstance(doc.get("columns"), list), "columns must be an array")
+    rows = doc.get("rows")
+    require(isinstance(rows, list) and rows, "rows must be non-empty")
+    for row in rows:
+        require(len(row) == len(doc["columns"]), "row width != column count")
+    return doc
+
+
+def validate_trace(path, expect_events):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    require(isinstance(events, list), "traceEvents must be an array")
+    if expect_events:
+        require(events, "trace has no events (DC_TRACE build expected)")
+        require(any(e.get("ph") == "X" for e in events),
+                "trace has no complete ('X') transaction spans")
+    for e in events:
+        require(e.get("ph") in ("X", "i"), f"unexpected phase {e.get('ph')}")
+        require(isinstance(e.get("ts"), (int, float)), "event missing ts")
+        require(isinstance(e.get("tid"), int), "event missing tid")
+        require(isinstance(e.get("name"), str), "event missing name")
+        if e["ph"] == "X":
+            require(isinstance(e.get("dur"), (int, float)), "X event dur")
+            require(e.get("args", {}).get("outcome") in ("commit", "abort"),
+                    "X event outcome")
+    return events
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    report = validate_report(argv[1])
+    summary = [f"report ok (bench={report['bench']}, "
+               f"commits={report['htm']['commits']})"]
+    args = argv[2:]
+    expect_events = "--expect-events" in args
+    trace_paths = [a for a in args if not a.startswith("--")]
+    if trace_paths:
+        events = validate_trace(trace_paths[0], expect_events)
+        summary.append(f"trace ok ({len(events)} events)")
+    print("validate_report: " + "; ".join(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

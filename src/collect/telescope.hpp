@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace dc::collect {
 
 enum class StepMode : uint8_t {
@@ -44,7 +46,11 @@ class StepController {
   uint32_t step() const noexcept { return step_; }
 
   void set_step(uint32_t s) noexcept {
+    const uint32_t old = step_;
     step_ = s < 1 ? 1 : (s > kMaxStep ? kMaxStep : s);
+    if (step_ != old) {
+      obs::trace_step_change(obs::StepChange::kSet, old, step_);
+    }
     reset_history();
   }
 
@@ -56,6 +62,7 @@ class StepController {
     record(true);
     if (mode == StepMode::kAdaptive && counter() > grow_threshold &&
         step_ < kMaxStep) {
+      obs::trace_step_change(obs::StepChange::kGrow, step_, step_ * 2);
       step_ *= 2;
       reset_history();
     }
@@ -66,6 +73,7 @@ class StepController {
     record(false);
     if (mode == StepMode::kAdaptive && counter() < shrink_threshold &&
         step_ > 1) {
+      obs::trace_step_change(obs::StepChange::kShrink, step_, step_ / 2);
       step_ /= 2;
       reset_history();
     }

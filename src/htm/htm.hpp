@@ -23,7 +23,10 @@
 #include "htm/config.hpp"
 #include "htm/stats.hpp"
 #include "htm/txn.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "util/backoff.hpp"
+#include "util/cycles.hpp"
 
 namespace dc::htm {
 
@@ -35,6 +38,21 @@ namespace detail {
 uint64_t* tle_lock_word() noexcept;
 void tle_acquire() noexcept;
 void tle_release() noexcept;
+
+// Commit with the obs commit-duration histogram around it (DC_TRACE builds
+// only; otherwise exactly txn.commit()). Only committing attempts record —
+// a validation failure unwinds past the sample.
+inline void commit_timed(Txn& txn) {
+#if defined(DC_TRACE)
+  if (obs::timing_enabled()) {
+    const uint64_t c0 = util::rdcycles();
+    txn.commit();
+    obs::record_op(obs::OpKind::kCommit, util::rdcycles() - c0);
+    return;
+  }
+#endif
+  txn.commit();
+}
 
 }  // namespace detail
 
@@ -154,6 +172,7 @@ TryResult try_once(F&& body) {
     try {
       Txn txn(/*lock_mode=*/true);
       local_stats().lock_fallbacks++;
+      obs::trace_tle_fallback(0);
       body(txn);
       txn.commit();
       local_stats().commits++;
@@ -177,7 +196,7 @@ TryResult try_once(F&& body) {
       txn.abort(AbortCode::kConflict);
     }
     body(txn);
-    txn.commit();
+    detail::commit_timed(txn);
     local_stats().commits++;
     return TryResult{true, AbortCode::kNone};
   } catch (const TxnAbort& a) {
@@ -209,6 +228,10 @@ decltype(auto) atomic(F&& body) {
         TleGuard guard;
         Txn txn(/*lock_mode=*/true);
         local_stats().lock_fallbacks++;
+        obs::trace_tle_fallback(attempt);
+#if defined(DC_TRACE)
+        txn.set_trace_attempt(attempt);
+#endif
         if constexpr (std::is_void_v<Result>) {
           body(txn);
           txn.commit();
@@ -227,17 +250,20 @@ decltype(auto) atomic(F&& body) {
     }
     try {
       Txn txn;
+#if defined(DC_TRACE)
+      txn.set_trace_attempt(attempt);
+#endif
       if (txn.load(detail::tle_lock_word()) != 0) {
         txn.abort(AbortCode::kConflict);
       }
       if constexpr (std::is_void_v<Result>) {
         body(txn);
-        txn.commit();
+        detail::commit_timed(txn);
         local_stats().commits++;
         return;
       } else {
         Result r = body(txn);
-        txn.commit();
+        detail::commit_timed(txn);
         local_stats().commits++;
         return r;
       }

@@ -46,7 +46,15 @@ TxnStats aggregate_stats() noexcept {
 void reset_stats() noexcept {
   Registry& r = registry();
   std::lock_guard lock(r.mu);
+  // Zero in place — never free: exited threads' blocks stay registered for
+  // the process lifetime (see the contract in stats.hpp).
   for (TxnStats* b : r.blocks) *b = TxnStats{};
+}
+
+std::size_t registered_thread_count() noexcept {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  return r.blocks.size();
 }
 
 const char* to_string(AbortCode code) noexcept {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "htm/abort.hpp"
@@ -54,12 +55,32 @@ struct TxnStats {
 
 // The calling thread's counters (registered in a global registry on first
 // use so aggregate_stats can sum across threads, including exited ones).
+//
+// Registry retention contract: each thread's block is heap-allocated on the
+// thread's first transaction and *retained for the process lifetime* — it
+// is deliberately never freed when the thread exits. This is what lets
+// benchmarks join their workers and then read aggregate_stats() without a
+// torn sum, and it means:
+//   * registered_thread_count() grows monotonically (thread-id recycling
+//     does not reclaim blocks: a reused util::thread_id registers a fresh
+//     block for the new thread);
+//   * memory grows by sizeof(TxnStats) per distinct thread ever running a
+//     transaction — bounded in practice, but do not spawn unbounded
+//     short-lived transactional threads expecting the registry to shrink;
+//   * reset_stats() ZEROES every block, including exited threads', and
+//     frees none of them.
 TxnStats& local_stats() noexcept;
 
 // Sum of all threads' counters since the last reset.
 TxnStats aggregate_stats() noexcept;
 
-// Zeroes all threads' counters. Call only while no transactions run.
+// Zeroes all threads' counters (exited threads' blocks included — see the
+// retention contract above). Call only while no transactions run.
 void reset_stats() noexcept;
+
+// Number of per-thread blocks ever registered (live + exited threads).
+// Monotonic; exposed so tests and diagnostics can observe the retention
+// contract.
+std::size_t registered_thread_count() noexcept;
 
 }  // namespace dc::htm

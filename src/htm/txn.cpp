@@ -3,6 +3,8 @@
 #include <thread>
 
 #include "htm/stats.hpp"
+#include "obs/conflict_map.hpp"
+#include "obs/trace.hpp"
 #include "util/backoff.hpp"
 #include "util/thread_id.hpp"
 
@@ -46,6 +48,7 @@ Txn::Txn(bool lock_mode, const Config& cfg, Scratch& s)
   s_.write_set.clear();
   s_.locked.clear();
   s_.abort_hooks.clear();
+  obs::trace_txn_begin(lock_mode);
 }
 
 Txn::~Txn() {
@@ -57,7 +60,21 @@ Txn::~Txn() {
   if (s_.write_set.size() > st.max_write_set) {
     st.max_write_set = s_.write_set.size();
   }
-  if (!committed_) {
+  if (committed_) {
+    obs::trace_txn_commit(read_set_size(), write_set_size(), trace_attempt_);
+  } else {
+    obs::trace_txn_abort(static_cast<uint8_t>(last_abort_), read_set_size(),
+                         write_set_size(), trace_attempt_);
+#if defined(DC_TRACE)
+    // Conflict attribution: charge the abort to the culprit orec under the
+    // recording thread's context (the benchmark driver labels it with the
+    // running Collect algorithm).
+    if (last_abort_ == AbortCode::kConflict && conflict_orec_ != nullptr &&
+        obs::conflicts_enabled()) {
+      obs::record_conflict(
+          static_cast<uint64_t>(conflict_orec_ - orec_table_));
+    }
+#endif
     for (const AbortHook& h : s_.abort_hooks) h.fn(h.p, h.bytes);
   }
   s_.abort_hooks.clear();
@@ -69,6 +86,7 @@ void Txn::on_abort(void (*fn)(void*, std::size_t), void* p,
 }
 
 void Txn::abort(AbortCode code) {
+  last_abort_ = code;
   rollback_locks();
   throw TxnAbort{code};
 }
@@ -86,9 +104,9 @@ bool Txn::try_extend() noexcept {
   return true;
 }
 
-bool Txn::validate_read_set() const noexcept {
+Orec* Txn::validate_read_set() const noexcept {
   const OrecValue mine = make_locked(my_token_);
-  for (const Orec* o : s_.read_set) {
+  for (Orec* o : s_.read_set) {
     const OrecValue v = o->value.load(std::memory_order_acquire);
     if (v == mine) {
       // Read-write overlap: this transaction holds the lock, so the live
@@ -97,12 +115,12 @@ bool Txn::validate_read_set() const noexcept {
       // that slipped in between our read and our lock acquisition be
       // silently overwritten — a lost update.)
       const OrecValue before = pre_lock_version(o);
-      if (orec_version(before) > rv_) return false;
+      if (orec_version(before) > rv_) return o;
       continue;
     }
-    if (orec_is_locked(v) || orec_version(v) > rv_) return false;
+    if (orec_is_locked(v) || orec_version(v) > rv_) return o;
   }
-  return true;
+  return nullptr;
 }
 
 OrecValue Txn::pre_lock_version(const Orec* o) const noexcept {
@@ -152,6 +170,8 @@ void Txn::acquire_write_locks() {
                                          std::memory_order_release);
         }
         locks_held_ = 0;
+        last_abort_ = AbortCode::kConflict;
+        conflict_orec_ = o;
         throw TxnAbort{AbortCode::kConflict};
       }
       backoff.pause();
@@ -257,12 +277,15 @@ void Txn::commit() {
     // here iff nothing read changed since rv_ — and skip the global-clock
     // fetch_add, the main cross-thread contention point of a TL2 commit.
     const uint64_t now = global_clock().load(std::memory_order_acquire);
-    if (now == rv_ || validate_read_set()) {
+    Orec* bad = nullptr;
+    if (now == rv_ || (bad = validate_read_set()) == nullptr) {
       rollback_locks();  // restore pre-lock orec versions; nothing changed
       committed_ = true;
       return;
     }
     rollback_locks();
+    last_abort_ = AbortCode::kConflict;
+    conflict_orec_ = bad;
     throw TxnAbort{AbortCode::kConflict};
   }
   const uint64_t wv =
@@ -270,9 +293,13 @@ void Txn::commit() {
   local_stats().clock_bumps++;
   // TL2 fast path: if nothing committed between begin and lock acquisition,
   // the read set cannot have changed.
-  if (wv != rv_ + 1 && !validate_read_set()) {
-    rollback_locks();
-    throw TxnAbort{AbortCode::kConflict};
+  if (wv != rv_ + 1) {
+    if (Orec* bad = validate_read_set()) {
+      rollback_locks();
+      last_abort_ = AbortCode::kConflict;
+      conflict_orec_ = bad;
+      throw TxnAbort{AbortCode::kConflict};
+    }
   }
   write_back();
   release_locks_to(wv);

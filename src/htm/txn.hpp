@@ -117,10 +117,10 @@ class Txn {
       OrecValue v1 = o.value.load(std::memory_order_acquire);
       if (orec_is_locked(v1)) {
         // A commit's write-back or a strong-atomicity store is in flight.
-        abort(AbortCode::kConflict);
+        abort_conflict(o);
       }
       if (orec_version(v1) > rv_) {
-        if (!try_extend()) abort(AbortCode::kConflict);
+        if (!try_extend()) abort_conflict(o);
         continue;  // re-examine the orec under the extended read version
       }
       const T value = detail::atomic_word_load(addr);
@@ -131,7 +131,7 @@ class Txn {
       }
       // The word changed between the two orec samples; retry the sandwich.
     }
-    abort(AbortCode::kConflict);
+    abort_conflict(o);
   }
 
   // Non-mutating overload so `txn.load(&count)` works on non-const lvalues.
@@ -195,6 +195,20 @@ class Txn {
   // Attempts to commit; called by the htm::atomic()/try_once() wrappers.
   // Throws TxnAbort on validation failure.
   void commit();
+
+  // --- Observability surface (src/obs) ---
+  // Distinct orecs read / words written so far this attempt (post-dedup).
+  uint32_t read_set_size() const noexcept {
+    return static_cast<uint32_t>(s_.read_set.size());
+  }
+  uint32_t write_set_size() const noexcept {
+    return static_cast<uint32_t>(s_.write_set.size());
+  }
+  // Retry index of this attempt within its atomic block, stamped into the
+  // lifecycle trace events by the htm::atomic() wrapper (DC_TRACE builds).
+  void set_trace_attempt(uint32_t attempt) noexcept {
+    trace_attempt_ = attempt;
+  }
 
  private:
   struct WriteEntry {
@@ -287,13 +301,22 @@ class Txn {
   // Revalidates the read set and advances rv_ to the current clock.
   bool try_extend() noexcept;
 
+  // Conflict abort that remembers the culprit orec, so the destructor can
+  // attribute the abort (obs/conflict_map) in DC_TRACE builds.
+  [[noreturn]] void abort_conflict(Orec& o) {
+    conflict_orec_ = &o;
+    abort(AbortCode::kConflict);
+  }
+
   // Commit helpers (txn.cpp).
   void acquire_write_locks();
   void release_locks_to(uint64_t version) noexcept;
   void rollback_locks() noexcept;
   void write_back() noexcept;
   bool writes_unchanged() const noexcept;
-  bool validate_read_set() const noexcept;
+  // nullptr when the read set validates; otherwise the first orec whose
+  // version check failed (the conflict culprit).
+  Orec* validate_read_set() const noexcept;
   OrecValue pre_lock_version(const Orec* o) const noexcept;
 
   void lock_mode_store(void* addr, uint64_t bits, uint32_t size) noexcept;
@@ -310,6 +333,12 @@ class Txn {
   const bool extension_enabled_;
   const bool lock_mode_;
   bool committed_ = false;
+  // Abort forensics, read by the destructor's obs hooks: the code of the
+  // abort in flight, the orec it conflicted on (conflict aborts only), and
+  // the retry index assigned by the atomic() wrapper.
+  AbortCode last_abort_ = AbortCode::kNone;
+  Orec* conflict_orec_ = nullptr;
+  uint32_t trace_attempt_ = 0;
   uint32_t charged_stores_ = 0;
   uint32_t loads_since_yield_ = 0;
   // Number of entries of s_.locked actually holding their orec lock; only

@@ -10,6 +10,7 @@
 
 #include "htm/htm.hpp"
 #include "htm/txn.hpp"
+#include "obs/trace.hpp"
 
 namespace dc::mem {
 
@@ -123,6 +124,8 @@ void* pool_allocate(std::size_t bytes) {
   g.live_bytes.fetch_add(class_bytes(cls), std::memory_order_relaxed);
   g.live_blocks.fetch_add(1, std::memory_order_relaxed);
   g.allocations.fetch_add(1, std::memory_order_relaxed);
+  obs::trace_pool_event(/*is_alloc=*/true,
+                        static_cast<uint32_t>(class_bytes(cls)));
   return p;
 }
 
@@ -147,6 +150,8 @@ void pool_deallocate(void* p, std::size_t bytes) noexcept {
   g.live_bytes.fetch_sub(class_bytes(cls), std::memory_order_relaxed);
   g.live_blocks.fetch_sub(1, std::memory_order_relaxed);
   g.deallocations.fetch_add(1, std::memory_order_relaxed);
+  obs::trace_pool_event(/*is_alloc=*/false,
+                        static_cast<uint32_t>(class_bytes(cls)));
 }
 
 void* pool_allocate_in_txn(dc::htm::Txn& txn, std::size_t bytes) {
@@ -180,6 +185,8 @@ void* pool_allocate_in_txn(dc::htm::Txn& txn, std::size_t bytes) {
   g.live_bytes.fetch_add(class_bytes(cls), std::memory_order_relaxed);
   g.live_blocks.fetch_add(1, std::memory_order_relaxed);
   g.allocations.fetch_add(1, std::memory_order_relaxed);
+  obs::trace_pool_event(/*is_alloc=*/true,
+                        static_cast<uint32_t>(class_bytes(cls)));
   txn.on_abort(
       [](void* block, std::size_t sz) { pool_deallocate(block, sz); }, p,
       bytes);

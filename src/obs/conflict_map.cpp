@@ -1,0 +1,146 @@
+#include "obs/conflict_map.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace dc::obs {
+
+namespace {
+
+constexpr std::size_t kSlots = 4096;  // power of two
+constexpr std::size_t kProbe = 8;     // linear-probe window
+
+struct Slot {
+  // orec_index + 1; 0 = empty. Claimed once with CAS, never reclaimed
+  // until reset.
+  std::atomic<uint64_t> key{0};
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> by_context[kMaxConflictContexts]{};
+};
+
+struct Table {
+  Slot slots[kSlots];
+  std::atomic<uint64_t> recorded{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint32_t> sample_shift{0};
+
+  std::mutex names_mu;
+  std::vector<std::string> names{"other"};
+};
+
+Table& table() noexcept {
+  static Table* t = new Table;
+  return *t;
+}
+
+thread_local uint8_t t_context = 0;
+thread_local uint64_t t_sample_tick = 0;
+
+uint64_t slot_hash(uint64_t orec_index) noexcept {
+  // Fibonacci mix; orec indices are already well-spread but cheap to be
+  // safe.
+  return (orec_index * 0x9E3779B97F4A7C15ULL) >> 32;
+}
+
+}  // namespace
+
+uint8_t register_context(const std::string& name) {
+  Table& t = table();
+  std::lock_guard lock(t.names_mu);
+  for (std::size_t i = 0; i < t.names.size(); ++i) {
+    if (t.names[i] == name) return static_cast<uint8_t>(i);
+  }
+  if (t.names.size() >= kMaxConflictContexts) return 0;
+  t.names.push_back(name);
+  return static_cast<uint8_t>(t.names.size() - 1);
+}
+
+std::string context_name(uint8_t id) {
+  Table& t = table();
+  std::lock_guard lock(t.names_mu);
+  if (id >= t.names.size()) return "other";
+  return t.names[id];
+}
+
+void set_thread_context(uint8_t id) noexcept {
+  t_context = id < kMaxConflictContexts ? id : 0;
+}
+
+uint8_t thread_context() noexcept { return t_context; }
+
+void set_conflict_sample_shift(uint32_t shift) noexcept {
+  table().sample_shift.store(shift > 16 ? 16 : shift,
+                             std::memory_order_relaxed);
+}
+
+void record_conflict(uint64_t orec_index) noexcept {
+  Table& t = table();
+  const uint32_t shift = t.sample_shift.load(std::memory_order_relaxed);
+  if (shift != 0 && (t_sample_tick++ & ((uint64_t{1} << shift) - 1)) != 0) {
+    return;
+  }
+  const uint64_t weight = uint64_t{1} << shift;
+  const uint64_t key = orec_index + 1;
+  const uint64_t base = slot_hash(orec_index);
+  for (std::size_t p = 0; p < kProbe; ++p) {
+    Slot& s = t.slots[(base + p) & (kSlots - 1)];
+    uint64_t cur = s.key.load(std::memory_order_acquire);
+    if (cur == 0) {
+      if (!s.key.compare_exchange_strong(cur, key,
+                                         std::memory_order_acq_rel)) {
+        if (cur != key) continue;  // lost the claim to a different orec
+      }
+      cur = key;
+    }
+    if (cur != key) continue;
+    s.count.fetch_add(weight, std::memory_order_relaxed);
+    s.by_context[t_context].fetch_add(weight, std::memory_order_relaxed);
+    t.recorded.fetch_add(weight, std::memory_order_relaxed);
+    return;
+  }
+  t.dropped.fetch_add(weight, std::memory_order_relaxed);
+}
+
+std::vector<ConflictEntry> top_conflicts(std::size_t k) {
+  Table& t = table();
+  std::vector<ConflictEntry> all;
+  for (const Slot& s : t.slots) {
+    const uint64_t key = s.key.load(std::memory_order_acquire);
+    if (key == 0) continue;
+    ConflictEntry e;
+    e.orec_index = key - 1;
+    e.count = s.count.load(std::memory_order_relaxed);
+    for (std::size_t c = 0; c < kMaxConflictContexts; ++c) {
+      e.by_context[c] = s.by_context[c].load(std::memory_order_relaxed);
+    }
+    if (e.count != 0) all.push_back(e);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ConflictEntry& a, const ConflictEntry& b) {
+              return a.count > b.count ||
+                     (a.count == b.count && a.orec_index < b.orec_index);
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+uint64_t conflicts_recorded() noexcept {
+  return table().recorded.load(std::memory_order_relaxed);
+}
+
+uint64_t conflicts_dropped() noexcept {
+  return table().dropped.load(std::memory_order_relaxed);
+}
+
+void reset_conflicts() noexcept {
+  Table& t = table();
+  for (Slot& s : t.slots) {
+    s.key.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    for (auto& c : s.by_context) c.store(0, std::memory_order_relaxed);
+  }
+  t.recorded.store(0, std::memory_order_relaxed);
+  t.dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dc::obs

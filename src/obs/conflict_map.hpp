@@ -1,0 +1,74 @@
+// Per-orec conflict attribution.
+//
+// When a transaction aborts with kConflict, the substrate knows *which*
+// ownership record carried the conflicting version (the orec whose load
+// failed validation, whose commit-lock was contended, or whose version
+// advanced past the read version). This module counts those aborts per
+// orec index in a fixed-size table, additionally split by an
+// application-assigned *context* (benchmarks register one context per
+// Collect algorithm), so a report can say "orec #12345 caused 80% of
+// aborts, all from ListFastCollect" — the per-cause breakdown related HTM
+// studies use to separate capacity from conflict pathologies.
+//
+// The table is approximate by design (it is written from the abort path):
+//  * fixed kSlots entries, keyed by orec index with linear probing over
+//    kProbe slots; conflicts that find no slot are counted in dropped();
+//  * sampling: record_conflict keeps only every 2^sample_shift-th call
+//    per thread (default 0 = every conflict) to bound abort-storm cost.
+//
+// Counters are atomics, so recording is thread-safe; readers see
+// monotonically growing approximate counts.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace dc::obs {
+
+inline constexpr std::size_t kMaxConflictContexts = 16;
+
+// Registers (or looks up) a context label, returning its dense id in
+// [0, kMaxConflictContexts). Ids are process-lifetime; once the table is
+// full, further names map to id 0 ("other").
+uint8_t register_context(const std::string& name);
+
+// Label for a context id ("other" for 0 / unknown).
+std::string context_name(uint8_t id);
+
+// Sets the calling thread's current context (attached to conflicts this
+// thread records). Benchmark drivers set this to the running algorithm.
+void set_thread_context(uint8_t id) noexcept;
+uint8_t thread_context() noexcept;
+
+// Counts one conflict abort attributed to `orec_index` under the calling
+// thread's context. Callers gate on conflicts_enabled(); subject to
+// sampling (see set_conflict_sample_shift).
+void record_conflict(uint64_t orec_index) noexcept;
+
+// Keep every 2^shift-th conflict per thread (0 = all). Reported counts are
+// scaled back up by 2^shift so they stay comparable across settings.
+void set_conflict_sample_shift(uint32_t shift) noexcept;
+
+struct ConflictEntry {
+  uint64_t orec_index = 0;
+  uint64_t count = 0;  // sampled counts scaled to estimated totals
+  std::array<uint64_t, kMaxConflictContexts> by_context{};
+};
+
+// The `k` hottest orecs by estimated conflict count, hottest first.
+std::vector<ConflictEntry> top_conflicts(std::size_t k);
+
+// Estimated conflicts recorded / dropped for lack of a free slot.
+uint64_t conflicts_recorded() noexcept;
+uint64_t conflicts_dropped() noexcept;
+
+// Zeroes the table (quiescent-only: concurrent record_conflict calls may
+// survive the reset).
+void reset_conflicts() noexcept;
+
+}  // namespace dc::obs

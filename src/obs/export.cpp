@@ -1,0 +1,170 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/cycles.hpp"
+
+namespace dc::obs {
+
+namespace {
+
+// Mirror of htm::AbortCode (obs deliberately does not depend on htm; the
+// trace stores the raw code byte). Keep in sync with htm/abort.hpp.
+const char* abort_code_name(uint8_t code) noexcept {
+  switch (code) {
+    case 0:
+      return "none";
+    case 1:
+      return "conflict";
+    case 2:
+      return "overflow";
+    case 3:
+      return "explicit";
+    case 4:
+      return "illegal-access";
+    default:
+      return "?";
+  }
+}
+
+const char* step_change_name(uint8_t code) noexcept {
+  switch (static_cast<StepChange>(code)) {
+    case StepChange::kSet:
+      return "set";
+    case StepChange::kGrow:
+      return "grow";
+    case StepChange::kShrink:
+      return "shrink";
+  }
+  return "?";
+}
+
+double to_us(uint64_t tsc, uint64_t t0) noexcept {
+  return util::cycles_to_ns(tsc - t0) / 1000.0;
+}
+
+}  // namespace
+
+OpSummary summarize_op(OpKind op) noexcept {
+  const LogHistogram h = aggregate_histogram(op);
+  OpSummary s;
+  s.count = h.count();
+  if (s.count == 0) return s;
+  s.p50_ns = util::cycles_to_ns(h.percentile(0.50));
+  s.p90_ns = util::cycles_to_ns(h.percentile(0.90));
+  s.p99_ns = util::cycles_to_ns(h.percentile(0.99));
+  s.max_ns = util::cycles_to_ns(h.max());
+  s.mean_ns = h.mean() / util::cycles_per_ns();
+  return s;
+}
+
+bool export_chrome_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  const std::vector<TraceEvent> events = snapshot_events();
+  uint64_t t0 = ~uint64_t{0};
+  for (const TraceEvent& e : events) {
+    if (e.tsc < t0) t0 = e.tsc;
+  }
+  if (events.empty()) t0 = 0;
+
+  // Per-tid pending transaction begin, so a begin..commit/abort pair folds
+  // into one "X" complete event (transactions never nest, txn.hpp).
+  struct Pending {
+    bool active = false;
+    uint64_t tsc = 0;
+    bool lock_mode = false;
+  };
+  std::vector<Pending> pending;
+
+  std::fprintf(f, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+  bool first = true;
+  auto sep = [&] {
+    std::fprintf(f, "%s", first ? "  " : ",\n  ");
+    first = false;
+  };
+  for (const TraceEvent& e : events) {
+    if (e.tid >= pending.size()) pending.resize(e.tid + 1);
+    Pending& p = pending[e.tid];
+    switch (e.kind) {
+      case EventKind::kTxnBegin:
+        // An unpaired earlier begin (ring wrap ate its end) is dropped.
+        p.active = true;
+        p.tsc = e.tsc;
+        p.lock_mode = e.a != 0;
+        break;
+      case EventKind::kTxnCommit:
+      case EventKind::kTxnAbort: {
+        const bool committed = e.kind == EventKind::kTxnCommit;
+        if (p.active) {
+          sep();
+          std::fprintf(
+              f,
+              "{\"name\": \"%s\", \"cat\": \"htm\", \"ph\": \"X\", "
+              "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %u, "
+              "\"args\": {\"outcome\": \"%s\", \"abort\": \"%s\", "
+              "\"read_set\": %u, \"write_set\": %u, \"attempt\": %u, "
+              "\"lock_mode\": %s}}",
+              committed ? "txn" : "txn(abort)", to_us(p.tsc, t0),
+              to_us(e.tsc, t0) - to_us(p.tsc, t0), e.tid,
+              committed ? "commit" : "abort", abort_code_name(e.code), e.a,
+              e.b, e.c, p.lock_mode ? "true" : "false");
+          p.active = false;
+        } else {
+          // End without a retained begin (ring wrap): emit an instant so
+          // the outcome is still visible.
+          sep();
+          std::fprintf(f,
+                       "{\"name\": \"%s\", \"cat\": \"htm\", \"ph\": \"i\", "
+                       "\"s\": \"t\", \"ts\": %.3f, \"pid\": 0, \"tid\": %u, "
+                       "\"args\": {\"abort\": \"%s\", \"read_set\": %u, "
+                       "\"write_set\": %u, \"attempt\": %u}}",
+                       committed ? "txn_commit" : "txn_abort", to_us(e.tsc, t0),
+                       e.tid, abort_code_name(e.code), e.a, e.b, e.c);
+        }
+        break;
+      }
+      case EventKind::kTleFallback:
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"tle_fallback\", \"cat\": \"htm\", "
+                     "\"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 0, "
+                     "\"tid\": %u, \"args\": {\"attempt\": %u}}",
+                     to_us(e.tsc, t0), e.tid, e.a);
+        break;
+      case EventKind::kStepChange:
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"step_change\", \"cat\": \"collect\", "
+                     "\"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 0, "
+                     "\"tid\": %u, \"args\": {\"reason\": \"%s\", "
+                     "\"from\": %u, \"to\": %u}}",
+                     to_us(e.tsc, t0), e.tid, step_change_name(e.code), e.a,
+                     e.b);
+        break;
+      case EventKind::kPoolAlloc:
+      case EventKind::kPoolRecycle:
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"%s\", \"cat\": \"pool\", \"ph\": \"i\", "
+                     "\"s\": \"t\", \"ts\": %.3f, \"pid\": 0, \"tid\": %u, "
+                     "\"args\": {\"bytes\": %u}}",
+                     e.kind == EventKind::kPoolAlloc ? "pool_alloc"
+                                                     : "pool_recycle",
+                     to_us(e.tsc, t0), e.tid, e.a);
+        break;
+      case EventKind::kNumKinds:
+        break;
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace dc::obs

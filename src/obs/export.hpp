@@ -1,0 +1,40 @@
+// Exporters over the obs layer's raw data.
+//
+//  * export_chrome_trace: dumps the retained event trace as Chrome
+//    trace-event JSON (the "traceEvents" array format), loadable directly
+//    in Perfetto (ui.perfetto.dev) or chrome://tracing. Transaction
+//    begin/commit/abort pairs become "X" (complete) spans with read/write-
+//    set sizes and abort codes in args; TLE fallbacks, step changes, and
+//    pool events become instant events.
+//
+//  * summarize_op: p50/p90/p99/max/mean of one operation's merged latency
+//    histogram, converted to nanoseconds — the figures print_htm_diagnostics
+//    and the --json reports surface.
+//
+// Both read cross-thread state and are quiescent-only (obs.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace dc::obs {
+
+struct OpSummary {
+  uint64_t count = 0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
+  double mean_ns = 0.0;
+};
+
+OpSummary summarize_op(OpKind op) noexcept;
+
+// Writes the retained trace to `path`. Returns false (with a message on
+// stderr) if the file cannot be written. A build without DC_TRACE produces
+// a valid-but-empty trace.
+bool export_chrome_trace(const std::string& path);
+
+}  // namespace dc::obs

@@ -1,0 +1,81 @@
+#include "obs/histogram.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace dc::obs {
+
+namespace {
+
+constexpr std::size_t kNumOps = static_cast<std::size_t>(OpKind::kNumOps);
+
+// Per-thread recorder block; retained after thread exit (htm::stats
+// contract) so joined workers' samples stay aggregatable.
+struct Recorder {
+  LogHistogram per_op[kNumOps];
+};
+
+struct RecorderRegistry {
+  std::mutex mu;
+  std::vector<Recorder*> recorders;
+};
+
+RecorderRegistry& registry() noexcept {
+  static RecorderRegistry* r = new RecorderRegistry;
+  return *r;
+}
+
+Recorder& local_recorder() noexcept {
+  thread_local Recorder* rec = [] {
+    auto* r = new Recorder;
+    RecorderRegistry& reg = registry();
+    std::lock_guard lock(reg.mu);
+    reg.recorders.push_back(r);
+    return r;
+  }();
+  return *rec;
+}
+
+}  // namespace
+
+void record_op(OpKind op, uint64_t cycles) noexcept {
+  local_recorder().per_op[static_cast<std::size_t>(op)].record(cycles);
+}
+
+LogHistogram aggregate_histogram(OpKind op) noexcept {
+  LogHistogram total;
+  RecorderRegistry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (const Recorder* r : reg.recorders) {
+    total.merge(r->per_op[static_cast<std::size_t>(op)]);
+  }
+  return total;
+}
+
+void reset_histograms() noexcept {
+  RecorderRegistry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (Recorder* r : reg.recorders) {
+    for (auto& h : r->per_op) h.reset();
+  }
+}
+
+const char* to_string(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::kRegister:
+      return "register";
+    case OpKind::kUpdate:
+      return "update";
+    case OpKind::kDeRegister:
+      return "deregister";
+    case OpKind::kCollect:
+      return "collect";
+    case OpKind::kCommit:
+      return "commit";
+    case OpKind::kNumOps:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace dc::obs

@@ -1,0 +1,55 @@
+// Observability subsystem — runtime switches.
+//
+// The obs layer has two gates, layered so the substrate's hot paths pay
+// nothing unless both are open:
+//
+//  * Compile-time: the hot-path hooks (transaction lifecycle events,
+//    conflict attribution, commit-duration timing) are emitted only when the
+//    build defines DC_TRACE (CMake option -DDC_TRACE=ON). Without it, the
+//    inline emit wrappers in trace.hpp compile to nothing — the substrate's
+//    generated code is identical to an uninstrumented build.
+//
+//  * Runtime: even in a DC_TRACE build, recording is off until a switch
+//    below is flipped (benchmarks flip them from --trace/--hist; tests flip
+//    them directly). The closed-switch cost on an instrumented path is one
+//    relaxed atomic load and a predictable branch.
+//
+// Driver-level operation timing (sim/drivers.cpp wrapping whole
+// Register/Update/DeRegister/Collect calls) sits *outside* the transaction
+// hot path, so it is always compiled and gated by set_timing() alone: a
+// default build can still produce per-operation latency histograms.
+//
+// Aggregation (histogram merge, trace snapshot) reads other threads'
+// unsynchronized thread-local buffers and must run while they are quiescent
+// — the same contract as htm::aggregate_stats, which every benchmark
+// already honours by joining workers before reporting.
+#pragma once
+
+namespace dc::obs {
+
+#if defined(DC_TRACE)
+inline constexpr bool kTraceCompiled = true;
+#else
+inline constexpr bool kTraceCompiled = false;
+#endif
+
+// Event-trace recording (trace.hpp): transaction lifecycle, TLE fallbacks,
+// step-size changes, pool events. Effective only in DC_TRACE builds.
+bool tracing_enabled() noexcept;
+void set_tracing(bool on) noexcept;
+
+// Latency-histogram recording (histogram.hpp). Driver-level operation
+// timing works in any build; commit-path timing needs DC_TRACE.
+bool timing_enabled() noexcept;
+void set_timing(bool on) noexcept;
+
+// Per-orec conflict attribution (conflict_map.hpp). The substrate-side
+// recording hook is DC_TRACE-gated; direct record_conflict() calls work in
+// any build.
+bool conflicts_enabled() noexcept;
+void set_conflicts(bool on) noexcept;
+
+// Convenience: flip every switch at once (what --trace does).
+void set_all(bool on) noexcept;
+
+}  // namespace dc::obs

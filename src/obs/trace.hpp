@@ -1,0 +1,152 @@
+// Per-thread transaction-lifecycle event trace.
+//
+// Each thread records into its own fixed-capacity ring buffer (kRingSize
+// events, overwriting the oldest), so a long run keeps the *most recent*
+// window — the part that matters when diagnosing an abort storm after the
+// fact. Events are 24-byte PODs stamped with the TSC; the exporter
+// (export.hpp) pairs begin/end events into Chrome trace-event "complete"
+// spans loadable in Perfetto / chrome://tracing.
+//
+// Emission is through the inline wrappers at the bottom of this header;
+// they compile to nothing unless the build defines DC_TRACE (see obs.hpp
+// for the gating story). The wrappers are what the instrumented layers
+// (htm/, collect/telescope.hpp, memory/pool.cpp) call; detail::emit is the
+// always-compiled core that tests drive directly.
+//
+// Threading contract: a ring is written only by its owning thread.
+// snapshot_events()/clear_trace() read/write all rings and must run while
+// recording threads are quiescent (benchmarks join workers first).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace dc::obs {
+
+enum class EventKind : uint8_t {
+  kTxnBegin = 0,   // a = 1 if lock-mode (TLE/serial) attempt
+  kTxnCommit,      // a = read-set size, b = write-set size, c = attempt #
+  kTxnAbort,       // code = AbortCode, a/b/c as for kTxnCommit
+  kTleFallback,    // a = attempt # at which the block fell back to the lock
+  kStepChange,     // code = StepChange reason, a = old step, b = new step
+  kPoolAlloc,      // a = block bytes (size class)
+  kPoolRecycle,    // a = block bytes (size class)
+  kNumKinds,
+};
+
+const char* to_string(EventKind kind) noexcept;
+
+// Reasons carried in TraceEvent::code for kStepChange events.
+enum class StepChange : uint8_t {
+  kSet = 0,  // explicit set_step (benchmark configuration)
+  kGrow,     // adaptive doubling (§3.4: counter > grow_threshold)
+  kShrink,   // adaptive halving (§3.4: counter < shrink_threshold)
+};
+
+struct TraceEvent {
+  uint64_t tsc;    // util::rdcycles() at emission
+  uint32_t a = 0;  // payload, per EventKind above
+  uint32_t b = 0;
+  uint32_t c = 0;
+  EventKind kind = EventKind::kTxnBegin;
+  uint8_t code = 0;  // AbortCode / StepChange reason
+  uint16_t tid = 0;  // util::thread_id() of the recording thread
+};
+static_assert(sizeof(TraceEvent) == 24);
+
+// Events retained per thread (ring capacity). 2^15 events = 768 KiB per
+// recording thread; at benchmark op rates this is the last ~10-100 ms of
+// activity, which comfortably covers an abort storm's onset.
+inline constexpr std::size_t kRingSizeLog2 = 15;
+inline constexpr std::size_t kRingSize = std::size_t{1} << kRingSizeLog2;
+
+namespace detail {
+
+// Records one event into the calling thread's ring (always compiled; the
+// DC_TRACE gate lives in the inline wrappers below). Does not check
+// tracing_enabled() — callers gate first so the closed-switch path stays
+// a load and a branch.
+void emit(EventKind kind, uint8_t code, uint32_t a, uint32_t b,
+          uint32_t c) noexcept;
+
+}  // namespace detail
+
+// All retained events across all threads (including exited ones), in
+// per-ring emission order, merged by timestamp. Quiescent-only.
+std::vector<TraceEvent> snapshot_events();
+
+// Total events ever emitted (monotonic; exceeds the snapshot size once any
+// ring has wrapped). Quiescent-only.
+uint64_t events_emitted() noexcept;
+
+// Discards all retained events and zeroes the emission counter.
+// Quiescent-only.
+void clear_trace() noexcept;
+
+// ---- DC_TRACE-gated emission wrappers (the substrate's call sites) ----
+//
+// Each compiles to nothing without DC_TRACE; with it, the closed-switch
+// cost is tracing_enabled() + branch.
+
+inline void trace_txn_begin([[maybe_unused]] bool lock_mode) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kTxnBegin, 0, lock_mode ? 1u : 0u, 0, 0);
+  }
+#endif
+}
+
+inline void trace_txn_commit([[maybe_unused]] uint32_t read_set,
+                             [[maybe_unused]] uint32_t write_set,
+                             [[maybe_unused]] uint32_t attempt) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kTxnCommit, 0, read_set, write_set, attempt);
+  }
+#endif
+}
+
+inline void trace_txn_abort([[maybe_unused]] uint8_t abort_code,
+                            [[maybe_unused]] uint32_t read_set,
+                            [[maybe_unused]] uint32_t write_set,
+                            [[maybe_unused]] uint32_t attempt) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kTxnAbort, abort_code, read_set, write_set,
+                 attempt);
+  }
+#endif
+}
+
+inline void trace_tle_fallback([[maybe_unused]] uint32_t attempt) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kTleFallback, 0, attempt, 0, 0);
+  }
+#endif
+}
+
+inline void trace_step_change([[maybe_unused]] StepChange reason,
+                              [[maybe_unused]] uint32_t old_step,
+                              [[maybe_unused]] uint32_t new_step) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kStepChange, static_cast<uint8_t>(reason),
+                 old_step, new_step, 0);
+  }
+#endif
+}
+
+inline void trace_pool_event([[maybe_unused]] bool is_alloc,
+                             [[maybe_unused]] uint32_t bytes) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(is_alloc ? EventKind::kPoolAlloc : EventKind::kPoolRecycle,
+                 0, bytes, 0, 0);
+  }
+#endif
+}
+
+}  // namespace dc::obs

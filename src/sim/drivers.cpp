@@ -3,7 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <type_traits>
 
+#include "obs/conflict_map.hpp"
+#include "obs/histogram.hpp"
+#include "obs/obs.hpp"
 #include "sim/pacing.hpp"
 #include "util/barrier.hpp"
 #include "util/cycles.hpp"
@@ -25,6 +29,29 @@ void sleep_ms(double ms) {
 
 uint32_t share_of(uint32_t total, uint32_t parties, uint32_t index) {
   return total / parties + (index < total % parties ? 1 : 0);
+}
+
+// Observation plumbing. Every worker (including the collector threads) tags
+// itself with the algorithm's name so conflict attribution can report which
+// algorithm owned an aborting transaction. Per-operation latency timing is
+// runtime-gated: the switch is read once per thread before the measurement
+// barrier, so an untimed run pays nothing inside the loop.
+void tag_thread(const DynamicCollect& obj) {
+  obs::set_thread_context(obs::register_context(obj.name()));
+}
+
+template <typename F>
+decltype(auto) timed(bool on, obs::OpKind op, F&& f) {
+  if (!on) return f();
+  const uint64_t c0 = util::rdcycles();
+  if constexpr (std::is_void_v<std::invoke_result_t<F&>>) {
+    f();
+    obs::record_op(op, util::rdcycles() - c0);
+  } else {
+    auto r = f();
+    obs::record_op(op, util::rdcycles() - c0);
+    return r;
+  }
 }
 
 }  // namespace
@@ -49,25 +76,33 @@ double run_mixed(DynamicCollect& obj, uint32_t threads, uint32_t total_slots,
       }
       std::vector<Value> buf;
       buf.reserve(total_slots * 2);
+      tag_thread(obj);
+      const bool timing = obs::timing_enabled();
       barrier.arrive_and_wait();
       uint64_t local_ops = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         const uint64_t dice = rng.next_below(100);
         if (dice < mix.collect_pct) {
-          obj.collect(buf);
+          timed(timing, obs::OpKind::kCollect, [&] { obj.collect(buf); });
         } else if (dice < mix.collect_pct + mix.update_pct) {
           if (!queue.empty()) {
-            obj.update(queue[lru % queue.size()], next_value++);
+            timed(timing, obs::OpKind::kUpdate, [&] {
+              obj.update(queue[lru % queue.size()], next_value);
+            });
+            ++next_value;
             ++lru;
           }
         } else if (dice < mix.collect_pct + mix.update_pct +
                               mix.register_pct) {
           if (queue.size() < max_mine) {
-            queue.push_back(obj.register_handle(next_value++));
+            queue.push_back(timed(timing, obs::OpKind::kRegister, [&] {
+              return obj.register_handle(next_value++);
+            }));
           }
         } else {
           if (!queue.empty()) {
-            obj.deregister(queue.front());
+            timed(timing, obs::OpKind::kDeRegister,
+                  [&] { obj.deregister(queue.front()); });
             queue.erase(queue.begin());
           }
         }
@@ -109,12 +144,16 @@ CollectorResult run_collect_update(DynamicCollect& obj, uint32_t updaters,
       for (uint32_t i = 0; i < mine; ++i) {
         handles.push_back(obj.register_handle(v++));
       }
+      tag_thread(obj);
+      const bool timing = obs::timing_enabled();
       barrier.arrive_and_wait();
       if (!handles.empty()) {
         uint64_t mark = util::rdcycles();
         while (!stop.load(std::memory_order_relaxed)) {
           mark = pace_until(mark, update_period_cycles);
-          obj.update(handles[0], v++);
+          timed(timing, obs::OpKind::kUpdate,
+                [&] { obj.update(handles[0], v); });
+          ++v;
         }
       } else {
         while (!stop.load(std::memory_order_relaxed)) {
@@ -128,6 +167,8 @@ CollectorResult run_collect_update(DynamicCollect& obj, uint32_t updaters,
   std::thread collector([&] {
     std::vector<Value> buf;
     buf.reserve(handles_total * 2);
+    tag_thread(obj);
+    const bool timing = obs::timing_enabled();
     barrier.arrive_and_wait();
     const uint64_t t0 = util::rdcycles();
     const uint64_t budget = util::ns_to_cycles(
@@ -135,7 +176,7 @@ CollectorResult run_collect_update(DynamicCollect& obj, uint32_t updaters,
     uint64_t collects = 0;
     uint64_t slots = 0;
     while (util::rdcycles() - t0 < budget) {
-      obj.collect(buf);
+      timed(timing, obs::OpKind::kCollect, [&] { obj.collect(buf); });
       ++collects;
       slots += buf.size();
     }
@@ -167,6 +208,8 @@ CollectorResult run_collect_dereg(DynamicCollect& obj, uint32_t churners,
       for (uint32_t i = 0; i < mine; ++i) {
         handles.push_back(obj.register_handle(v++));
       }
+      tag_thread(obj);
+      const bool timing = obs::timing_enabled();
       barrier.arrive_and_wait();
       std::size_t rr = 0;
       while (!handles.empty() && !stop.load(std::memory_order_relaxed)) {
@@ -174,9 +217,11 @@ CollectorResult run_collect_dereg(DynamicCollect& obj, uint32_t churners,
         // period) -> next handle (§5.4).
         const std::size_t i = rr % handles.size();
         uint64_t mark = util::rdcycles();
-        obj.deregister(handles[i]);
+        timed(timing, obs::OpKind::kDeRegister,
+              [&] { obj.deregister(handles[i]); });
         mark = pace_until(mark, register_period_cycles);
-        handles[i] = obj.register_handle(v++);
+        handles[i] = timed(timing, obs::OpKind::kRegister,
+                           [&] { return obj.register_handle(v++); });
         pace_until(mark, dereg_period_cycles);
         ++rr;
       }
@@ -190,6 +235,8 @@ CollectorResult run_collect_dereg(DynamicCollect& obj, uint32_t churners,
   std::thread collector([&] {
     std::vector<Value> buf;
     buf.reserve(total_slots * 2);
+    tag_thread(obj);
+    const bool timing = obs::timing_enabled();
     barrier.arrive_and_wait();
     const uint64_t t0 = util::rdcycles();
     const uint64_t budget = util::ns_to_cycles(
@@ -197,7 +244,7 @@ CollectorResult run_collect_dereg(DynamicCollect& obj, uint32_t churners,
     uint64_t collects = 0;
     uint64_t slots = 0;
     while (util::rdcycles() - t0 < budget) {
-      obj.collect(buf);
+      timed(timing, obs::OpKind::kCollect, [&] { obj.collect(buf); });
       ++collects;
       slots += buf.size();
     }
@@ -232,6 +279,8 @@ std::vector<TimePoint> run_varying_slots(DynamicCollect& obj,
       for (uint32_t i = 0; i < low_mine; ++i) {
         handles.push_back(obj.register_handle(v++));
       }
+      tag_thread(obj);
+      const bool timing = obs::timing_enabled();
       barrier.arrive_and_wait();
       uint64_t mark = util::rdcycles();
       while (!stop.load(std::memory_order_relaxed)) {
@@ -242,12 +291,17 @@ std::vector<TimePoint> run_varying_slots(DynamicCollect& obj,
             (phase.load(std::memory_order_acquire) % 2 == 0) ? low_mine
                                                              : high_mine;
         if (handles.size() < target) {
-          handles.push_back(obj.register_handle(v++));
+          handles.push_back(timed(timing, obs::OpKind::kRegister, [&] {
+            return obj.register_handle(v++);
+          }));
         } else if (handles.size() > target) {
-          obj.deregister(handles.back());
+          timed(timing, obs::OpKind::kDeRegister,
+                [&] { obj.deregister(handles.back()); });
           handles.pop_back();
         } else if (!handles.empty()) {
-          obj.update(handles[0], v++);
+          timed(timing, obs::OpKind::kUpdate,
+                [&] { obj.update(handles[0], v); });
+          ++v;
         }
       }
       for (Handle h : handles) obj.deregister(h);
@@ -257,6 +311,8 @@ std::vector<TimePoint> run_varying_slots(DynamicCollect& obj,
   std::thread collector([&] {
     std::vector<Value> buf;
     buf.reserve(high_slots * 2);
+    tag_thread(obj);
+    const bool timing = obs::timing_enabled();
     barrier.arrive_and_wait();
     const uint64_t t0 = util::rdcycles();
     const uint64_t total_budget = util::ns_to_cycles(
@@ -280,7 +336,7 @@ std::vector<TimePoint> run_varying_slots(DynamicCollect& obj,
         bucket_start = now;
         collects_in_bucket = 0;
       }
-      obj.collect(buf);
+      timed(timing, obs::OpKind::kCollect, [&] { obj.collect(buf); });
       ++collects_in_bucket;
     }
     stop.store(true, std::memory_order_release);

@@ -28,6 +28,10 @@ Options Options::parse(int argc, char** argv) {
       opts.csv = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       opts.json_path = next_value();
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      opts.trace_path = next_value();
+    } else if (std::strcmp(arg, "--hist") == 0) {
+      opts.hist = true;
     } else if (std::strcmp(arg, "--duration-ms") == 0) {
       opts.duration_ms = std::atof(next_value());
     } else if (std::strcmp(arg, "--repeats") == 0) {
@@ -53,8 +57,8 @@ Options Options::parse(int argc, char** argv) {
 
 void Options::print_help(const char* prog) {
   std::printf(
-      "usage: %s [--csv] [--json PATH] [--duration-ms N] [--repeats N] "
-      "[--max-threads N] [--full]\n",
+      "usage: %s [--csv] [--json PATH] [--trace PATH] [--hist] "
+      "[--duration-ms N] [--repeats N] [--max-threads N] [--full]\n",
       prog);
 }
 

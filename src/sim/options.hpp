@@ -8,6 +8,12 @@
 //   --repeats N       repetitions averaged per point (default 3)
 //   --max-threads N   cap on swept thread counts (default: min(16, 4x cores))
 //   --full            paper-scale durations (10 runs, 200 ms windows)
+//   --hist            record per-operation latency histograms (obs layer);
+//                     p50/p90/p99 appear in the diagnostics and --json
+//   --trace PATH      enable the full obs layer (event trace + conflict
+//                     attribution + histograms) and write a Chrome/Perfetto
+//                     trace to PATH on exit; the event trace itself needs a
+//                     -DDC_TRACE=ON build
 #pragma once
 
 #include <cstdint>
@@ -18,7 +24,9 @@ namespace dc::sim {
 
 struct Options {
   bool csv = false;
-  std::string json_path;  // empty = no JSON report
+  std::string json_path;   // empty = no JSON report
+  std::string trace_path;  // empty = no Chrome trace dump
+  bool hist = false;       // per-operation latency histograms
   double duration_ms = 50.0;
   int repeats = 3;
   uint32_t max_threads = 16;  // parse() lowers this on small hosts

@@ -1,0 +1,259 @@
+// Minimal JSON parser (header-only).
+//
+// Exists so the observability tests can *validate* what the exporters
+// write — the --json benchmark reports and the Chrome trace files — by
+// parsing them back rather than grepping for substrings, without taking a
+// dependency the container may not have. Strict enough for that job:
+// full JSON grammar, escape decoding (\uXXXX is decoded to UTF-8), a depth
+// limit, and trailing-garbage rejection. Not optimized; do not put it on a
+// hot path.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dc::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // nullopt on any syntax error (including trailing non-whitespace).
+  static std::optional<Json> parse(std::string_view text) {
+    Parser p{text, 0};
+    std::optional<Json> v = p.parse_value(0);
+    if (!v.has_value()) return std::nullopt;
+    p.skip_ws();
+    if (p.pos != text.size()) return std::nullopt;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool boolean() const noexcept { return bool_; }
+  double number() const noexcept { return number_; }
+  const std::string& str() const noexcept { return string_; }
+  const std::vector<Json>& items() const noexcept { return items_; }
+  const std::map<std::string, Json>& fields() const noexcept {
+    return fields_;
+  }
+
+  // Object member lookup; nullptr if absent or not an object.
+  const Json* find(const std::string& key) const noexcept {
+    if (type_ != Type::kObject) return nullptr;
+    const auto it = fields_.find(key);
+    return it == fields_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const noexcept {
+    return type_ == Type::kArray ? items_.size() : fields_.size();
+  }
+
+ private:
+  struct Parser {
+    std::string_view text;
+    std::size_t pos;
+    static constexpr int kMaxDepth = 64;
+
+    void skip_ws() {
+      while (pos < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+
+    bool eat(char c) {
+      if (pos < text.size() && text[pos] == c) {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+
+    bool eat_word(std::string_view w) {
+      if (text.substr(pos, w.size()) == w) {
+        pos += w.size();
+        return true;
+      }
+      return false;
+    }
+
+    std::optional<Json> parse_value(int depth) {
+      if (depth > kMaxDepth) return std::nullopt;
+      skip_ws();
+      if (pos >= text.size()) return std::nullopt;
+      const char c = text[pos];
+      if (c == '{') return parse_object(depth);
+      if (c == '[') return parse_array(depth);
+      if (c == '"') return parse_string_value();
+      if (eat_word("true")) return Json(true);
+      if (eat_word("false")) return Json(false);
+      if (eat_word("null")) return Json();
+      return parse_number();
+    }
+
+    std::optional<Json> parse_object(int depth) {
+      ++pos;  // '{'
+      Json v;
+      v.type_ = Type::kObject;
+      skip_ws();
+      if (eat('}')) return v;
+      for (;;) {
+        skip_ws();
+        std::optional<std::string> key = parse_string_raw();
+        if (!key.has_value()) return std::nullopt;
+        skip_ws();
+        if (!eat(':')) return std::nullopt;
+        std::optional<Json> member = parse_value(depth + 1);
+        if (!member.has_value()) return std::nullopt;
+        v.fields_.emplace(std::move(*key), std::move(*member));
+        skip_ws();
+        if (eat(',')) continue;
+        if (eat('}')) return v;
+        return std::nullopt;
+      }
+    }
+
+    std::optional<Json> parse_array(int depth) {
+      ++pos;  // '['
+      Json v;
+      v.type_ = Type::kArray;
+      skip_ws();
+      if (eat(']')) return v;
+      for (;;) {
+        std::optional<Json> item = parse_value(depth + 1);
+        if (!item.has_value()) return std::nullopt;
+        v.items_.push_back(std::move(*item));
+        skip_ws();
+        if (eat(',')) continue;
+        if (eat(']')) return v;
+        return std::nullopt;
+      }
+    }
+
+    std::optional<Json> parse_string_value() {
+      std::optional<std::string> s = parse_string_raw();
+      if (!s.has_value()) return std::nullopt;
+      Json v;
+      v.type_ = Type::kString;
+      v.string_ = std::move(*s);
+      return v;
+    }
+
+    std::optional<std::string> parse_string_raw() {
+      if (!eat('"')) return std::nullopt;
+      std::string out;
+      while (pos < text.size()) {
+        char c = text[pos++];
+        if (c == '"') return out;
+        if (c != '\\') {
+          out += c;
+          continue;
+        }
+        if (pos >= text.size()) return std::nullopt;
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out += esc;
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return std::nullopt;
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are passed
+            // through as two separate 3-byte sequences; good enough for
+            // validation).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      }
+      return std::nullopt;  // unterminated
+    }
+
+    std::optional<Json> parse_number() {
+      const std::size_t start = pos;
+      if (eat('-')) {
+      }
+      while (pos < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+              text[pos] == '+' || text[pos] == '-')) {
+        ++pos;
+      }
+      if (pos == start) return std::nullopt;
+      const std::string tok(text.substr(start, pos - start));
+      char* end = nullptr;
+      const double d = std::strtod(tok.c_str(), &end);
+      if (end == nullptr || *end != '\0') return std::nullopt;
+      Json v;
+      v.type_ = Type::kNumber;
+      v.number_ = d;
+      return v;
+    }
+  };
+
+  Json() = default;
+  explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::map<std::string, Json> fields_;
+};
+
+}  // namespace dc::util

@@ -1,0 +1,157 @@
+// Adaptive step-size controller transitions (paper §3.4), observed both
+// directly and through the obs step-change trace events. The event
+// assertions are conditional on kTraceCompiled so the same test validates
+// the trace channel in the DC_TRACE CI leg and the state machine alone in
+// the default build.
+#include "collect/telescope.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_id.hpp"
+
+namespace {
+
+using namespace dc;
+using collect::StepController;
+using collect::StepMode;
+
+// Step-change events emitted by this thread since the last clear.
+std::vector<obs::TraceEvent> step_events() {
+  std::vector<obs::TraceEvent> out;
+  const uint16_t me = static_cast<uint16_t>(util::thread_id());
+  for (const obs::TraceEvent& e : obs::snapshot_events()) {
+    if (e.tid == me && e.kind == obs::EventKind::kStepChange) out.push_back(e);
+  }
+  return out;
+}
+
+class TelescopeTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::clear_trace();
+    obs::set_tracing(true);
+  }
+  void TearDown() override {
+    obs::set_tracing(false);
+    obs::clear_trace();
+  }
+};
+
+TEST_F(TelescopeTrace, DoublesWhenCounterExceedsGrowThreshold) {
+  StepController c;
+  // counter after k straight commits is k; the doubling fires when it
+  // passes the paper's +6.
+  for (int i = 0; i < 6; ++i) c.on_commit(1);
+  EXPECT_EQ(c.step(), 1u);
+  c.on_commit(1);
+  EXPECT_EQ(c.step(), 2u);
+  const auto events = step_events();
+  if (obs::kTraceCompiled) {
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].code, static_cast<uint8_t>(obs::StepChange::kGrow));
+    EXPECT_EQ(events[0].a, 1u);  // old step
+    EXPECT_EQ(events[0].b, 2u);  // new step
+  } else {
+    EXPECT_EQ(events.size(), 0u);
+  }
+}
+
+TEST_F(TelescopeTrace, HalvesWhenCounterFallsBelowShrinkThreshold) {
+  StepController c;
+  c.set_step(8);
+  // counter after k straight aborts is -k; the halving fires below -2.
+  c.on_abort();
+  c.on_abort();
+  EXPECT_EQ(c.step(), 8u);
+  c.on_abort();
+  EXPECT_EQ(c.step(), 4u);
+  const auto events = step_events();
+  if (obs::kTraceCompiled) {
+    // set_step(8) emits a kSet 1->8, then the adaptive shrink 8->4.
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].code, static_cast<uint8_t>(obs::StepChange::kSet));
+    EXPECT_EQ(events[0].a, 1u);
+    EXPECT_EQ(events[0].b, 8u);
+    EXPECT_EQ(events[1].code, static_cast<uint8_t>(obs::StepChange::kShrink));
+    EXPECT_EQ(events[1].a, 8u);
+    EXPECT_EQ(events[1].b, 4u);
+  } else {
+    EXPECT_EQ(events.size(), 0u);
+  }
+}
+
+TEST_F(TelescopeTrace, StepIsCappedAtStoreBufferCapacity) {
+  StepController c;
+  c.set_step(64);  // clamped to the 32-entry store-buffer bound
+  EXPECT_EQ(c.step(), StepController::kMaxStep);
+  for (int i = 0; i < 10; ++i) c.on_commit(32);
+  EXPECT_EQ(c.step(), StepController::kMaxStep);  // no growth past the cap
+  if (obs::kTraceCompiled) {
+    // Only the initial kSet; growth at the cap emits nothing.
+    const auto events = step_events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].code, static_cast<uint8_t>(obs::StepChange::kSet));
+    EXPECT_EQ(events[0].b, StepController::kMaxStep);
+  }
+}
+
+TEST_F(TelescopeTrace, StepNeverShrinksBelowOne) {
+  StepController c;
+  for (int i = 0; i < 10; ++i) c.on_abort();
+  EXPECT_EQ(c.step(), 1u);
+  if (obs::kTraceCompiled) {
+    EXPECT_EQ(step_events().size(), 0u);
+  }
+}
+
+TEST_F(TelescopeTrace, HistoryResetsAfterResize) {
+  StepController c;
+  for (int i = 0; i < 7; ++i) c.on_commit(1);
+  ASSERT_EQ(c.step(), 2u);
+  // Only attempts since the resize count (§3.4): 6 more commits reach
+  // counter 6, which is not above the threshold, so no second doubling yet.
+  EXPECT_EQ(c.counter(), 0);
+  for (int i = 0; i < 6; ++i) c.on_commit(2);
+  EXPECT_EQ(c.step(), 2u);
+  c.on_commit(2);
+  EXPECT_EQ(c.step(), 4u);
+  if (obs::kTraceCompiled) {
+    EXPECT_EQ(step_events().size(), 2u);  // two grow events
+  }
+}
+
+TEST_F(TelescopeTrace, OldOutcomesAgeOutOfTheWindow) {
+  StepController c;
+  // 3 aborts at the floor (no shrink possible), then straight commits: the
+  // 8-bit window forgets the aborts, so the 8th commit pushes the counter
+  // past +6 and doubles the step — without age-out it would stay at -3+k.
+  for (int i = 0; i < 3; ++i) c.on_abort();
+  for (int i = 0; i < 7; ++i) c.on_commit(1);
+  EXPECT_EQ(c.step(), 1u);
+  c.on_commit(1);
+  EXPECT_EQ(c.step(), 2u);
+}
+
+TEST_F(TelescopeTrace, RecordOnlyModeNeverResizes) {
+  StepController c;
+  c.mode = StepMode::kFixedRecording;
+  for (int i = 0; i < 20; ++i) c.on_commit(1);
+  EXPECT_EQ(c.step(), 1u);
+  EXPECT_GT(c.counter(), 0);  // bookkeeping still runs ("adapt cost")
+  if (obs::kTraceCompiled) {
+    EXPECT_EQ(step_events().size(), 0u);
+  }
+}
+
+TEST_F(TelescopeTrace, RedundantSetStepEmitsNothing) {
+  StepController c;
+  c.set_step(1);  // already 1: no transition, no event
+  EXPECT_EQ(c.step(), 1u);
+  if (obs::kTraceCompiled) {
+    EXPECT_EQ(step_events().size(), 0u);
+  }
+}
+
+}  // namespace

@@ -138,6 +138,37 @@ TEST_F(Stats, AggregationTakesMaxOfHighWaterMarks) {
   EXPECT_EQ(a.clock_bumps, 6u);
 }
 
+TEST_F(Stats, RegisteredThreadCountIsMonotonic) {
+  // This thread's block registers on first use.
+  uint64_t x = 0;
+  atomic([&](Txn& txn) { txn.store(&x, uint64_t{1}); });
+  const std::size_t before = registered_thread_count();
+  EXPECT_GE(before, 1u);
+  std::thread([&] {
+    atomic([&](Txn& txn) { txn.store(&x, uint64_t{2}); });
+  }).join();
+  // The exited thread's block is retained, not reclaimed (retention
+  // contract in stats.hpp), so the count only ever grows.
+  const std::size_t after = registered_thread_count();
+  EXPECT_EQ(after, before + 1);
+  reset_stats();
+  EXPECT_EQ(registered_thread_count(), after);
+}
+
+TEST_F(Stats, ResetZeroesExitedThreadBlocksWithoutFreeing) {
+  uint64_t x = 0;
+  std::thread([&] {
+    atomic([&](Txn& txn) { txn.store(&x, uint64_t{1}); });
+  }).join();
+  const std::size_t registered = registered_thread_count();
+  EXPECT_EQ(aggregate_stats().commits, 1u);
+  reset_stats();
+  // Zeroed in place: the counters read 0 but the block count is unchanged,
+  // and the block keeps accumulating if aggregated again later.
+  EXPECT_EQ(aggregate_stats().commits, 0u);
+  EXPECT_EQ(registered_thread_count(), registered);
+}
+
 TEST_F(Stats, AbortCodeNames) {
   EXPECT_STREQ(to_string(AbortCode::kConflict), "conflict");
   EXPECT_STREQ(to_string(AbortCode::kOverflow), "overflow");

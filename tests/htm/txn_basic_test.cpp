@@ -135,9 +135,11 @@ TEST_F(TxnBasic, ReadOnlyTxnCommits) {
 
 TEST_F(TxnBasic, StoreBudgetVisible) {
   config().store_buffer_capacity = 32;
+  // Outside the lambda: buffered stores write back at commit, after the
+  // lambda's frame is gone, so the target must outlive the transaction.
+  uint64_t local = 0;
   atomic([&](Txn& txn) {
     EXPECT_EQ(txn.store_budget_left(), 32u);
-    uint64_t local = 0;
     txn.store(&local, uint64_t{1});
     EXPECT_EQ(txn.store_budget_left(), 31u);
     txn.charge_store(4);

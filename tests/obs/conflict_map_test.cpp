@@ -1,0 +1,100 @@
+// Conflict-attribution table: context registry, per-orec counting with
+// per-context split, top-K ordering, and sampling with weight scaling.
+#include "obs/conflict_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using namespace dc;
+
+TEST(ConflictMap, ContextRegistryIsIdempotent) {
+  const uint8_t a = obs::register_context("algo-a");
+  const uint8_t b = obs::register_context("algo-b");
+  EXPECT_NE(a, 0);  // 0 is reserved for "other"
+  EXPECT_NE(a, b);
+  EXPECT_EQ(obs::register_context("algo-a"), a);
+  EXPECT_EQ(obs::context_name(a), "algo-a");
+  EXPECT_EQ(obs::context_name(0), "other");
+  EXPECT_EQ(obs::context_name(255), "other");
+}
+
+TEST(ConflictMap, RecordsAttributedCounts) {
+  obs::reset_conflicts();
+  obs::set_conflict_sample_shift(0);
+  const uint8_t ctx = obs::register_context("algo-a");
+  obs::set_thread_context(ctx);
+  for (int i = 0; i < 5; ++i) obs::record_conflict(42);
+  obs::set_thread_context(0);
+  for (int i = 0; i < 2; ++i) obs::record_conflict(7);
+  const auto top = obs::top_conflicts(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].orec_index, 42u);  // hottest first
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].by_context[ctx], 5u);
+  EXPECT_EQ(top[0].by_context[0], 0u);
+  EXPECT_EQ(top[1].orec_index, 7u);
+  EXPECT_EQ(top[1].by_context[0], 2u);
+  EXPECT_EQ(obs::conflicts_recorded(), 7u);
+  EXPECT_EQ(obs::conflicts_dropped(), 0u);
+  // top_conflicts(k) truncates to the k hottest.
+  EXPECT_EQ(obs::top_conflicts(1).size(), 1u);
+  obs::reset_conflicts();
+  EXPECT_EQ(obs::top_conflicts(10).size(), 0u);
+  EXPECT_EQ(obs::conflicts_recorded(), 0u);
+}
+
+TEST(ConflictMap, ThreadContextIsThreadLocal) {
+  const uint8_t ctx = obs::register_context("algo-b");
+  obs::set_thread_context(ctx);
+  std::thread t([] { EXPECT_EQ(obs::thread_context(), 0); });
+  t.join();
+  EXPECT_EQ(obs::thread_context(), ctx);
+  obs::set_thread_context(0);
+}
+
+TEST(ConflictMap, SamplingScalesCountsBackUp) {
+  obs::reset_conflicts();
+  obs::set_conflict_sample_shift(2);  // keep every 4th, weight 4
+  // A fresh thread starts its sample tick at zero, so exactly 2 of 8 calls
+  // are kept, each weighted 4.
+  std::thread t([] {
+    obs::set_thread_context(0);
+    for (int i = 0; i < 8; ++i) obs::record_conflict(11);
+  });
+  t.join();
+  obs::set_conflict_sample_shift(0);
+  const auto top = obs::top_conflicts(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].orec_index, 11u);
+  EXPECT_EQ(top[0].count, 8u);  // 2 kept * weight 4
+  EXPECT_EQ(obs::conflicts_recorded(), 8u);
+  obs::reset_conflicts();
+}
+
+TEST(ConflictMap, ConcurrentRecordingLosesNothingUnsampled) {
+  obs::reset_conflicts();
+  obs::set_conflict_sample_shift(0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([t] {
+      obs::set_thread_context(0);
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::record_conflict(static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  EXPECT_EQ(obs::conflicts_recorded() + obs::conflicts_dropped(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t sum = 0;
+  for (const auto& e : obs::top_conflicts(kThreads)) sum += e.count;
+  EXPECT_EQ(sum, obs::conflicts_recorded());
+  obs::reset_conflicts();
+}
+
+}  // namespace

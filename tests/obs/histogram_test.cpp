@@ -1,0 +1,125 @@
+// Log-bucketed histogram: bucketing error bound, quantiles, merge, and the
+// per-thread recorder registry behind record_op/aggregate_histogram.
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace dc;
+using obs::LogHistogram;
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  for (uint64_t v = 0; v < LogHistogram::kSub; ++v) {
+    EXPECT_EQ(LogHistogram::index_of(v), v);
+    EXPECT_EQ(LogHistogram::bucket_low(static_cast<uint32_t>(v)), v);
+    EXPECT_EQ(LogHistogram::bucket_mid(static_cast<uint32_t>(v)), v);
+  }
+}
+
+TEST(LogHistogram, BucketBoundsContainValue) {
+  // The bucket's low edge must not exceed the value, and the midpoint must
+  // be within the sub-bucket's relative error (2^-kSubBits plus the
+  // half-width used for the midpoint).
+  for (uint64_t v : {16ull, 17ull, 100ull, 1000ull, 123456ull, 999999937ull,
+                     (1ull << 40) + 12345ull}) {
+    const uint32_t idx = LogHistogram::index_of(v);
+    const uint64_t low = LogHistogram::bucket_low(idx);
+    EXPECT_LE(low, v) << "v=" << v;
+    const double rel =
+        static_cast<double>(LogHistogram::bucket_mid(idx)) /
+        static_cast<double>(v);
+    EXPECT_GT(rel, 0.9) << "v=" << v;
+    EXPECT_LT(rel, 1.1) << "v=" << v;
+  }
+}
+
+TEST(LogHistogram, HugeValuesClampIntoLastBucket) {
+  const uint32_t idx = LogHistogram::index_of(~0ull);
+  EXPECT_LT(idx, LogHistogram::kBuckets);
+  EXPECT_EQ(idx, LogHistogram::index_of(uint64_t{1} << 60));
+}
+
+TEST(LogHistogram, CountMinMaxMean) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  h.record(10);
+  h.record(2);
+  h.record(6);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 2u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+}
+
+TEST(LogHistogram, PercentilesOnExactBuckets) {
+  // Values 0..15 land in identity buckets, so quantiles are exact.
+  LogHistogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.5), 7u);
+  EXPECT_EQ(h.percentile(0.25), 3u);
+  EXPECT_EQ(h.percentile(1.0), 15u);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+}
+
+TEST(LogHistogram, PercentileWithinRelativeErrorBound) {
+  LogHistogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  const double p99 = static_cast<double>(h.percentile(0.99));
+  EXPECT_GT(p99, 9900.0 * 0.93);
+  EXPECT_LT(p99, 9900.0 * 1.07);
+  EXPECT_EQ(h.percentile(1.0), 10000u);
+}
+
+TEST(LogHistogram, MergeCombines) {
+  LogHistogram a;
+  LogHistogram b;
+  a.record(5);
+  a.record(100);
+  b.record(1);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1000u);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+}
+
+TEST(OpHistograms, RecordAggregatesAcrossThreads) {
+  obs::reset_histograms();
+  obs::record_op(obs::OpKind::kRegister, 100);
+  std::thread t([] {
+    obs::record_op(obs::OpKind::kRegister, 200);
+    obs::record_op(obs::OpKind::kCollect, 300);
+  });
+  t.join();
+  // Exited threads' recorders are retained, like htm::stats blocks.
+  const LogHistogram reg = obs::aggregate_histogram(obs::OpKind::kRegister);
+  EXPECT_EQ(reg.count(), 2u);
+  EXPECT_EQ(reg.max(), 200u);
+  EXPECT_EQ(obs::aggregate_histogram(obs::OpKind::kCollect).count(), 1u);
+  EXPECT_EQ(obs::aggregate_histogram(obs::OpKind::kUpdate).count(), 0u);
+  obs::reset_histograms();
+  EXPECT_EQ(obs::aggregate_histogram(obs::OpKind::kRegister).count(), 0u);
+}
+
+TEST(OpHistograms, ScopedTimerHonoursRuntimeSwitch) {
+  obs::reset_histograms();
+  obs::set_timing(false);
+  { obs::ScopedOpTimer off(obs::OpKind::kDeRegister); }
+  EXPECT_EQ(obs::aggregate_histogram(obs::OpKind::kDeRegister).count(), 0u);
+  obs::set_timing(true);
+  { obs::ScopedOpTimer on(obs::OpKind::kDeRegister); }
+  obs::set_timing(false);
+  EXPECT_EQ(obs::aggregate_histogram(obs::OpKind::kDeRegister).count(), 1u);
+  obs::reset_histograms();
+}
+
+}  // namespace

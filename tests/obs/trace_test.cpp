@@ -1,0 +1,133 @@
+// Event-trace ring buffers: retention, wrap-around, cross-thread merge,
+// and the DC_TRACE/runtime gating of the emission wrappers.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "util/thread_id.hpp"
+
+namespace {
+
+using namespace dc;
+
+// Events emitted by the calling thread, oldest first (the snapshot also
+// contains rings left behind by other tests' threads).
+std::vector<obs::TraceEvent> my_events() {
+  std::vector<obs::TraceEvent> mine;
+  const uint16_t me = static_cast<uint16_t>(util::thread_id());
+  for (const obs::TraceEvent& e : obs::snapshot_events()) {
+    if (e.tid == me) mine.push_back(e);
+  }
+  return mine;
+}
+
+TEST(Trace, EmitRecordsPayloadAndTid) {
+  obs::clear_trace();
+  obs::detail::emit(obs::EventKind::kTxnCommit, 0, /*a=*/7, /*b=*/3,
+                    /*c=*/2);
+  obs::detail::emit(obs::EventKind::kTxnAbort, /*code=*/1, 5, 0, 4);
+  const auto mine = my_events();
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_EQ(mine[0].kind, obs::EventKind::kTxnCommit);
+  EXPECT_EQ(mine[0].a, 7u);
+  EXPECT_EQ(mine[0].b, 3u);
+  EXPECT_EQ(mine[0].c, 2u);
+  EXPECT_EQ(mine[1].kind, obs::EventKind::kTxnAbort);
+  EXPECT_EQ(mine[1].code, 1u);
+  EXPECT_LE(mine[0].tsc, mine[1].tsc);
+  EXPECT_GE(obs::events_emitted(), 2u);
+}
+
+TEST(Trace, RingKeepsMostRecentWindow) {
+  obs::clear_trace();
+  const uint32_t extra = 100;
+  for (uint32_t i = 0; i < obs::kRingSize + extra; ++i) {
+    obs::detail::emit(obs::EventKind::kPoolAlloc, 0, i, 0, 0);
+  }
+  const auto mine = my_events();
+  ASSERT_EQ(mine.size(), obs::kRingSize);
+  // The oldest retained event is the one emitted `kRingSize` from the end.
+  EXPECT_EQ(mine.front().a, extra);
+  EXPECT_EQ(mine.back().a, obs::kRingSize + extra - 1);
+  EXPECT_GE(obs::events_emitted(), obs::kRingSize + extra);
+}
+
+TEST(Trace, ClearDiscardsEverything) {
+  obs::detail::emit(obs::EventKind::kTleFallback, 0, 1, 0, 0);
+  obs::clear_trace();
+  EXPECT_EQ(obs::snapshot_events().size(), 0u);
+  EXPECT_EQ(obs::events_emitted(), 0u);
+}
+
+TEST(Trace, SnapshotMergesThreadsByTimestamp) {
+  obs::clear_trace();
+  std::thread t1([] {
+    for (int i = 0; i < 50; ++i) {
+      obs::detail::emit(obs::EventKind::kPoolAlloc, 0, 16, 0, 0);
+    }
+  });
+  t1.join();
+  std::thread t2([] {
+    for (int i = 0; i < 50; ++i) {
+      obs::detail::emit(obs::EventKind::kPoolRecycle, 0, 16, 0, 0);
+    }
+  });
+  t2.join();
+  const auto all = obs::snapshot_events();
+  ASSERT_EQ(all.size(), 100u);
+  // Exited threads' rings are retained; the merge is globally
+  // timestamp-ordered.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].tsc, all[i].tsc);
+  }
+  bool saw_alloc = false;
+  bool saw_recycle = false;
+  for (const auto& e : all) {
+    saw_alloc |= e.kind == obs::EventKind::kPoolAlloc;
+    saw_recycle |= e.kind == obs::EventKind::kPoolRecycle;
+  }
+  EXPECT_TRUE(saw_alloc);
+  EXPECT_TRUE(saw_recycle);
+}
+
+// The wrappers hold both gates: with the runtime switch closed they never
+// emit; with it open they emit exactly when the build compiled the hooks in
+// (kTraceCompiled), so this test is meaningful in both CI legs.
+TEST(Trace, WrappersRespectBothGates) {
+  obs::clear_trace();
+  obs::set_tracing(false);
+  obs::trace_txn_begin(false);
+  obs::trace_txn_commit(1, 2, 3);
+  EXPECT_EQ(my_events().size(), 0u);
+
+  obs::set_tracing(true);
+  obs::trace_txn_begin(true);
+  obs::trace_txn_abort(/*abort_code=*/2, 8, 4, 1);
+  obs::set_tracing(false);
+  const auto mine = my_events();
+  if (obs::kTraceCompiled) {
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0].kind, obs::EventKind::kTxnBegin);
+    EXPECT_EQ(mine[0].a, 1u);  // lock-mode flag
+    EXPECT_EQ(mine[1].kind, obs::EventKind::kTxnAbort);
+    EXPECT_EQ(mine[1].code, 2u);  // overflow
+  } else {
+    EXPECT_EQ(mine.size(), 0u);
+  }
+}
+
+TEST(Trace, RuntimeSwitchesRoundTrip) {
+  obs::set_all(true);
+  EXPECT_TRUE(obs::tracing_enabled());
+  EXPECT_TRUE(obs::timing_enabled());
+  EXPECT_TRUE(obs::conflicts_enabled());
+  obs::set_all(false);
+  EXPECT_FALSE(obs::tracing_enabled());
+  EXPECT_FALSE(obs::timing_enabled());
+  EXPECT_FALSE(obs::conflicts_enabled());
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// The minimal JSON parser exists to validate the exporters' output
+// (tests/obs/export_schema_test.cpp); these tests pin down the parser
+// itself so a schema failure over there means the *writer* broke.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using dc::util::Json;
+
+TEST(Json, ParsesScalars) {
+  auto v = Json::parse("42");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_number());
+  EXPECT_DOUBLE_EQ(v->number(), 42.0);
+
+  v = Json::parse("-3.5e2");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->number(), -350.0);
+
+  v = Json::parse("true");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_bool());
+  EXPECT_TRUE(v->boolean());
+
+  v = Json::parse("null");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_null());
+
+  v = Json::parse("\"hi\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->str(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const auto v = Json::parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": false}, "f": null})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->size(), 3u);
+  const Json* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].number(), 2.0);
+  const Json* b = a->items()[2].find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->str(), "c");
+  const Json* e = v->find("d")->find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->boolean());
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, DecodesEscapes) {
+  const auto v = Json::parse(R"("a\n\t\"\\\u0041\u00e9")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->str(), "a\n\t\"\\A\xC3\xA9");
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1, 2").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("\"bad \\q escape\"").has_value());
+  EXPECT_FALSE(Json::parse("1 trailing").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+  // Depth limit: 70 nested arrays exceed kMaxDepth = 64.
+  std::string deep(70, '[');
+  deep += std::string(70, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+TEST(Json, AcceptsWhitespaceAndEmptyContainers) {
+  const auto v = Json::parse("  { \"a\" : [ ] , \"b\" : { } }  ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("a")->size(), 0u);
+  EXPECT_EQ(v->find("b")->size(), 0u);
+}
+
+}  // namespace
