@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "collect/registry.hpp"
+#include "htm/config.hpp"
 #include "htm/stats.hpp"
 #include "obs/conflict_map.hpp"
 #include "obs/export.hpp"
@@ -47,10 +48,20 @@ inline const collect::AlgoInfo& algo(const std::string& name) {
 // Declare one at the top of every bench main, after Options::parse:
 //   --trace PATH  opens every switch (event trace + conflict attribution +
 //                 latency timing) and writes PATH at the end;
-//   --hist        opens only the latency-timing switch.
+//   --hist        opens only the latency-timing switch;
+//   --clock P     selects the global-clock policy before any worker starts.
 class ObsSession {
  public:
   explicit ObsSession(const sim::Options& opts) : opts_(opts) {
+    if (!opts_.clock.empty()) {
+      htm::ClockPolicy policy = htm::config().clock_policy;
+      if (!htm::parse_clock_policy(opts_.clock.c_str(), policy)) {
+        std::fprintf(stderr, "--clock: unknown policy '%s' (gv1|gv5)\n",
+                     opts_.clock.c_str());
+        std::exit(2);
+      }
+      htm::config().clock_policy = policy;
+    }
     if (!opts_.trace_path.empty()) {
       obs::set_all(true);
       if (!obs::kTraceCompiled) {
@@ -96,6 +107,8 @@ inline sim::Options extract_obs_options(int& argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
       opts.trace_path = argv[++i];
+    } else if (arg == "--clock" && i + 1 < argc) {
+      opts.clock = argv[++i];
     } else if (arg == "--hist") {
       opts.hist = true;
     } else {
@@ -114,7 +127,9 @@ inline void print_htm_diagnostics() {
   std::printf(
       "\n[htm] commits=%llu aborts=%llu (conflict=%llu overflow=%llu "
       "explicit=%llu) abort-rate=%.1f%% tle-fallbacks=%llu\n"
-      "[htm] clock-bumps=%llu read-set-hwm=%llu write-set-hwm=%llu\n",
+      "[htm] clock=%s writer-commits=%llu clock-bumps=%llu "
+      "sloppy-stamps=%llu resamples=%llu catchups=%llu\n"
+      "[htm] coalesced-stores=%llu read-set-hwm=%llu write-set-hwm=%llu\n",
       static_cast<unsigned long long>(s.commits),
       static_cast<unsigned long long>(s.aborts),
       static_cast<unsigned long long>(
@@ -125,7 +140,13 @@ inline void print_htm_diagnostics() {
           s.aborts_by_code[static_cast<int>(htm::AbortCode::kExplicit)]),
       100.0 * s.abort_rate(),
       static_cast<unsigned long long>(s.lock_fallbacks),
+      htm::to_string(htm::config().clock_policy),
+      static_cast<unsigned long long>(s.writer_commits),
       static_cast<unsigned long long>(s.clock_bumps),
+      static_cast<unsigned long long>(s.sloppy_stamps),
+      static_cast<unsigned long long>(s.clock_resamples),
+      static_cast<unsigned long long>(s.clock_catchups),
+      static_cast<unsigned long long>(s.coalesced_stores),
       static_cast<unsigned long long>(s.max_read_set),
       static_cast<unsigned long long>(s.max_write_set));
   // Per-operation latency quantiles — populated only on --hist/--trace runs
@@ -210,6 +231,9 @@ inline void write_json_cell(std::FILE* f, const std::string& cell) {
 //   1  bench/generated_utc/options/htm/columns/rows (implicit, pre-field)
 //   2  adds "schema_version", htm.aborts_by_code, op_latency_ns, conflicts,
 //      trace sections
+//   3  adds options.clock (active clock policy) and the clock/coalescing
+//      counters htm.writer_commits, htm.sloppy_stamps, htm.clock_resamples,
+//      htm.clock_catchups, htm.coalesced_stores
 inline void write_json_report(const std::string& path,
                               const std::string& bench_name,
                               const util::Table& table,
@@ -225,22 +249,27 @@ inline void write_json_report(const std::string& path,
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tmv);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n",
                detail::json_escape(bench_name).c_str());
   std::fprintf(f, "  \"generated_utc\": \"%s\",\n", stamp);
   std::fprintf(f,
                "  \"options\": {\"duration_ms\": %g, \"repeats\": %d, "
-               "\"max_threads\": %u, \"hist\": %s, \"trace\": %s},\n",
+               "\"max_threads\": %u, \"hist\": %s, \"trace\": %s, "
+               "\"clock\": \"%s\"},\n",
                opts.duration_ms, opts.repeats, opts.max_threads,
                opts.hist ? "true" : "false",
-               opts.trace_path.empty() ? "false" : "true");
+               opts.trace_path.empty() ? "false" : "true",
+               htm::to_string(htm::config().clock_policy));
   const htm::TxnStats s = htm::aggregate_stats();
   std::fprintf(
       f,
       "  \"htm\": {\"commits\": %llu, \"aborts\": %llu, "
       "\"abort_rate\": %.4f, \"lock_fallbacks\": %llu, "
       "\"nontxn_stores\": %llu, \"clock_bumps\": %llu, "
+      "\"writer_commits\": %llu, \"sloppy_stamps\": %llu, "
+      "\"clock_resamples\": %llu, \"clock_catchups\": %llu, "
+      "\"coalesced_stores\": %llu, "
       "\"max_read_set\": %llu, \"max_write_set\": %llu,\n"
       "    \"aborts_by_code\": {",
       static_cast<unsigned long long>(s.commits),
@@ -248,6 +277,11 @@ inline void write_json_report(const std::string& path,
       static_cast<unsigned long long>(s.lock_fallbacks),
       static_cast<unsigned long long>(s.nontxn_stores),
       static_cast<unsigned long long>(s.clock_bumps),
+      static_cast<unsigned long long>(s.writer_commits),
+      static_cast<unsigned long long>(s.sloppy_stamps),
+      static_cast<unsigned long long>(s.clock_resamples),
+      static_cast<unsigned long long>(s.clock_catchups),
+      static_cast<unsigned long long>(s.coalesced_stores),
       static_cast<unsigned long long>(s.max_read_set),
       static_cast<unsigned long long>(s.max_write_set));
   for (int c = 0; c < static_cast<int>(htm::AbortCode::kNumCodes); ++c) {

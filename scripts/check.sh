@@ -8,20 +8,41 @@
 #      the stats/trace registries intentionally never free — see
 #      src/htm/stats.hpp for the retention contract)
 #
-# Usage: scripts/check.sh [--skip-tsan] [--skip-asan]
+# Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--clock gv1|gv5]
+#
+# --clock pins the global-clock policy (DC_CLOCK) for every stage, so one
+# invocation verifies the whole suite under one policy; CI runs both.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
 skip_tsan=0
 skip_asan=0
+clock=""
+prev=""
 for arg in "$@"; do
+  if [[ "$prev" == "--clock" ]]; then
+    clock="$arg"
+    prev=""
+    continue
+  fi
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
     --skip-asan) skip_asan=1 ;;
-    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan)" >&2; exit 2 ;;
+    --clock) prev="--clock" ;;
+    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --clock gv1|gv5)" >&2; exit 2 ;;
   esac
 done
+if [[ -n "$prev" ]]; then
+  echo "missing value for --clock" >&2
+  exit 2
+fi
+if [[ -n "$clock" ]]; then
+  case "$clock" in
+    gv1|gv5) export DC_CLOCK="$clock"; echo "== clock policy pinned: DC_CLOCK=$clock ==" ;;
+    *) echo "unknown clock policy: $clock (gv1|gv5)" >&2; exit 2 ;;
+  esac
+fi
 
 echo "== tier-1: build + ctest =="
 cmake -B build -S .

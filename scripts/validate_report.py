@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a benchmark --json report (schema_version 2) and, optionally, a
+"""Validate a benchmark --json report (schema_version 3) and, optionally, a
 Chrome trace-event file produced by --trace.
 
 Usage: scripts/validate_report.py REPORT.json [TRACE.json [--expect-events]]
@@ -30,16 +30,22 @@ def require(cond, msg):
 def validate_report(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    require(doc.get("schema_version") == 2, "schema_version must be 2")
+    require(doc.get("schema_version") == 3, "schema_version must be 3")
     require(isinstance(doc.get("bench"), str), "bench must be a string")
     opts = doc.get("options")
     require(isinstance(opts, dict), "options must be an object")
     for key in ("duration_ms", "repeats", "max_threads"):
         require(isinstance(opts.get(key), (int, float)), f"options.{key}")
+    require(opts.get("clock") in ("gv1", "gv5"), "options.clock")
     htm = doc.get("htm")
     require(isinstance(htm, dict), "htm must be an object")
-    for key in ("commits", "aborts", "abort_rate", "lock_fallbacks"):
+    for key in ("commits", "aborts", "abort_rate", "lock_fallbacks",
+                "clock_bumps", "writer_commits", "sloppy_stamps",
+                "clock_resamples", "clock_catchups", "coalesced_stores"):
         require(isinstance(htm.get(key), (int, float)), f"htm.{key}")
+    if opts["clock"] == "gv5":
+        require(htm["clock_bumps"] == 0,
+                "gv5 run performed shared-clock fetch_adds")
     by_code = htm.get("aborts_by_code")
     require(isinstance(by_code, dict), "htm.aborts_by_code must be an object")
     for code in ABORT_CODES:

@@ -1,0 +1,101 @@
+// Pluggable global-version-clock policies (Config::clock_policy).
+//
+// Every site that releases an ownership record at a fresh version — a
+// writing commit, a lock-mode store, a strong-atomicity store, a range
+// invalidation — obtains that version from writer_stamp(); every reader
+// that observes a version ahead of its snapshot recovers through
+// resample_clock(). Concentrating both rules here is what makes the policy
+// pluggable: the substrate never touches the global clock directly.
+//
+// Safety contract (the TL2 argument, restated for sloppy stamps):
+//
+//  1. Per-orec versions never decrease. writer_stamp() floors the new
+//     version at one past the highest version being replaced, so even a
+//     blind overwrite of a sloppily-stamped word keeps the orec monotone
+//     (and a GV1 run following a GV5 run cannot step versions backwards).
+//
+//  2. A transaction's read version never exceeds the shared clock at the
+//     moment it was adopted. Begin samples the clock; resample_clock()
+//     CAS-maxes the clock up to any observed sloppy version *before* the
+//     reader adopts it. Hence for any writer, stamp > clock-sample >= the
+//     snapshot of every transaction that began (or extended) earlier, so no
+//     reader can mix pre- and post-commit values of one writer's write set
+//     without its validation noticing.
+//
+//  3. Readers that observe a version ahead of their snapshot revalidate
+//     their entire read set at the old snapshot before adopting the new one
+//     (Txn::try_extend), which closes the window between rules 1 and 2.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/config.hpp"
+#include "htm/orec.hpp"
+#include "htm/stats.hpp"
+
+namespace dc::htm {
+
+// Result of writer_stamp(): the version to release the written orecs at,
+// and whether the clock proves the read set cannot have changed since the
+// snapshot was taken (GV1's wv == rv+1 fast path; never true under GV5,
+// where sloppy stamps advance versions invisibly to the shared clock).
+struct ClockStamp {
+  uint64_t wv;
+  bool read_set_unchanged;
+};
+
+// Advances the shared clock to at least `v`. Returns true iff this call's
+// CAS performed the advance (a racing winner covering `v` returns false).
+inline bool clock_catch_up(uint64_t v) noexcept {
+  std::atomic<uint64_t>& gv = global_clock();
+  uint64_t cur = gv.load(std::memory_order_acquire);
+  while (cur < v) {
+    if (gv.compare_exchange_weak(cur, v, std::memory_order_acq_rel,
+                                 std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The version a visible write releases its orecs at.
+//   snapshot:  the writer's read version.
+//   prev_max:  highest version among the orecs being released (their
+//              pre-lock values; 0 when unknown sites pass a single prev).
+//   stride:    the writer's nonzero per-thread stride (dense thread id + 1);
+//              GV5 stamps from different threads land on disjoint residues,
+//              so concurrent disjoint commits rarely share a stamp.
+inline ClockStamp writer_stamp(ClockPolicy policy, uint64_t snapshot,
+                               uint64_t prev_max, uint64_t stride) noexcept {
+  TxnStats& st = local_stats();
+  if (policy == ClockPolicy::kGv1) {
+    const uint64_t raw =
+        global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    st.clock_bumps++;
+    // raw == snapshot+1 proves no commit (GV1 or catch-up) intervened since
+    // the snapshot; prev_max <= snapshot additionally rules out sloppy
+    // residue from an earlier GV5 run hiding behind an unchanged clock.
+    const bool unchanged = raw == snapshot + 1 && prev_max <= snapshot;
+    return ClockStamp{raw > prev_max ? raw : prev_max + 1, unchanged};
+  }
+  uint64_t base = global_clock().load(std::memory_order_acquire);
+  if (snapshot > base) base = snapshot;
+  if (prev_max > base) base = prev_max;
+  st.sloppy_stamps++;
+  return ClockStamp{base + stride, false};
+}
+
+// The read version a transaction adopts after observing `observed` ahead of
+// its snapshot. Keeps rule 2: the clock is raised to cover `observed`
+// before the caller may adopt it. The caller must still revalidate its read
+// set at the *old* snapshot before using the returned value.
+inline uint64_t resample_clock(uint64_t observed) noexcept {
+  uint64_t now = global_clock().load(std::memory_order_acquire);
+  if (observed > now) {
+    if (clock_catch_up(observed)) local_stats().clock_catchups++;
+    now = observed;
+  }
+  return now;
+}
+
+}  // namespace dc::htm

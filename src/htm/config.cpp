@@ -1,6 +1,44 @@
 #include "htm/config.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace dc::htm {
+
+const char* to_string(ClockPolicy policy) noexcept {
+  switch (policy) {
+    case ClockPolicy::kGv1:
+      return "gv1";
+    case ClockPolicy::kGv5:
+      return "gv5";
+  }
+  return "?";
+}
+
+bool parse_clock_policy(const char* name, ClockPolicy& out) noexcept {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "gv1") == 0) {
+    out = ClockPolicy::kGv1;
+    return true;
+  }
+  if (std::strcmp(name, "gv5") == 0) {
+    out = ClockPolicy::kGv5;
+    return true;
+  }
+  return false;
+}
+
+ClockPolicy default_clock_policy() noexcept {
+  // Read once: the CI matrix (and scripts/check.sh --clock) pins the whole
+  // test run to one policy without a rebuild. Tests that need a specific
+  // policy set Config::clock_policy explicitly instead.
+  static const ClockPolicy def = [] {
+    ClockPolicy p = ClockPolicy::kGv5;
+    parse_clock_policy(std::getenv("DC_CLOCK"), p);
+    return p;
+  }();
+  return def;
+}
 
 Config& config() noexcept {
   static Config cfg;

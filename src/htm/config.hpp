@@ -11,6 +11,38 @@
 
 namespace dc::htm {
 
+// Global-version-clock policy (TL2 "GV" variants).
+//
+//   kGv1  The textbook shared counter: every visible writing commit (and
+//         every strong-atomicity store) performs one fetch_add on the global
+//         clock. Simple, totally ordered, and the reference against which
+//         the sloppy clock is validated — but that fetch_add is the last
+//         shared write left on the commit fast path.
+//
+//   kGv5  Sloppy clock: a committing writer never writes the shared counter.
+//         It stamps its orecs with
+//             max(clock sample, snapshot, released orecs' versions) + stride
+//         where stride is the thread's nonzero dense id, so stamps run
+//         *ahead* of the shared clock. A reader that observes a version
+//         ahead of its snapshot does not abort: it advances the shared clock
+//         to the observed version (CAS-max; the only shared-clock write this
+//         policy performs, proportional to real data freshness rather than
+//         to commit rate), revalidates its read set, and adopts the new
+//         snapshot. See DESIGN.md §7 for the safety argument.
+enum class ClockPolicy : uint8_t {
+  kGv1 = 0,
+  kGv5,
+};
+
+const char* to_string(ClockPolicy policy) noexcept;
+
+// Parses "gv1"/"gv5" (case-sensitive). Returns false on anything else.
+bool parse_clock_policy(const char* name, ClockPolicy& out) noexcept;
+
+// Process default: ClockPolicy::kGv5, overridable by the DC_CLOCK
+// environment variable ("gv1" or "gv5"; read once, at first use).
+ClockPolicy default_clock_policy() noexcept;
+
 struct Config {
   // Maximum number of transactional stores per transaction (unique words
   // written plus explicit charges for stores to private memory, which Rock's
@@ -39,6 +71,20 @@ struct Config {
   // which is how real HTMs (Rock included) actually detect conflicts —
   // adjacent data false-shares. Change only while no transactions run.
   uint32_t conflict_granularity_log2 = 3;
+
+  // Which global-clock policy commits and strong-atomicity stores use; see
+  // ClockPolicy above. Change only while no transactions run (each attempt
+  // snapshots it; mixing policies across *runs* is safe because both stamp
+  // rules enforce per-orec version monotonicity).
+  ClockPolicy clock_policy = default_clock_policy();
+
+  // Commit-time write coalescing: runs of buffered stores that exactly tile
+  // one aligned 8-byte word (they necessarily share an ownership record) are
+  // written back — and pre-checked by the silent-commit scan — as a single
+  // 8-byte access instead of one access per entry. Keeps the write-back of a
+  // field-by-field struct update atomic at word grain even for sub-word
+  // fields. Little-endian hosts only (disabled automatically elsewhere).
+  bool enable_write_coalescing = true;
 
   // Single-core fidelity knob: yield to the scheduler every N transactional
   // loads (0 = never). On the paper's 16-core machine a transaction's whole

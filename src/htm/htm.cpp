@@ -1,7 +1,9 @@
 #include "htm/htm.hpp"
 
+#include "htm/clock.hpp"
 #include "util/backoff.hpp"
 #include "util/padded.hpp"
+#include "util/thread_id.hpp"
 
 namespace dc::htm {
 
@@ -42,6 +44,8 @@ void invalidate_range(void* p, std::size_t bytes, bool poison) noexcept {
   const auto start = reinterpret_cast<uintptr_t>(p) & ~uintptr_t{7};
   const auto end = reinterpret_cast<uintptr_t>(p) + bytes;
   const OrecValue mine = make_locked(~0ULL >> 1);
+  const ClockPolicy policy = config().clock_policy;
+  const uint64_t stride = util::thread_id() + 1;
   for (uintptr_t word = start; word < end; word += 8) {
     Orec& o = orec_for(reinterpret_cast<const void*>(word));
     util::Backoff backoff(2, 64);
@@ -59,10 +63,9 @@ void invalidate_range(void* p, std::size_t bytes, bool poison) noexcept {
       detail::atomic_word_store(reinterpret_cast<uint64_t*>(word),
                                 kPoisonWord);
     }
-    const uint64_t wv =
-        global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
-    o.value.store(make_version(wv), std::memory_order_release);
-    local_stats().clock_bumps++;
+    const ClockStamp stamp =
+        writer_stamp(policy, orec_version(cur), orec_version(cur), stride);
+    o.value.store(make_version(stamp.wv), std::memory_order_release);
   }
 }
 

@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "htm/abort.hpp"
+#include "htm/clock.hpp"
 #include "htm/config.hpp"
 #include "htm/stats.hpp"
 #include "htm/txn.hpp"
@@ -27,6 +28,7 @@
 #include "obs/trace.hpp"
 #include "util/backoff.hpp"
 #include "util/cycles.hpp"
+#include "util/thread_id.hpp"
 
 namespace dc::htm {
 
@@ -74,12 +76,14 @@ void nontxn_store(T* addr, T value) noexcept {
     cur = o.value.load(std::memory_order_relaxed);
   }
   detail::atomic_word_store(addr, value);
-  const uint64_t wv =
-      global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
-  o.value.store(make_version(wv), std::memory_order_release);
-  TxnStats& st = local_stats();
-  st.nontxn_stores++;
-  st.clock_bumps++;
+  // Release at a policy-stamped fresh version: under GV1 this is the
+  // classic fetch_add; under GV5 the store stays off the shared clock and
+  // stamps past the replaced version instead.
+  const ClockStamp stamp =
+      writer_stamp(config().clock_policy, orec_version(cur),
+                   orec_version(cur), util::thread_id() + 1);
+  o.value.store(make_version(stamp.wv), std::memory_order_release);
+  local_stats().nontxn_stores++;
 }
 
 // Non-transactional compare-and-swap with the same conflict visibility as
@@ -106,10 +110,10 @@ bool nontxn_cas(T* addr, T expected, T desired) noexcept {
     success = true;
   }
   if (success) {
-    const uint64_t wv =
-        global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
-    o.value.store(make_version(wv), std::memory_order_release);
-    local_stats().clock_bumps++;
+    const ClockStamp stamp =
+        writer_stamp(config().clock_policy, orec_version(cur),
+                     orec_version(cur), util::thread_id() + 1);
+    o.value.store(make_version(stamp.wv), std::memory_order_release);
   } else {
     o.value.store(cur, std::memory_order_release);
   }

@@ -21,11 +21,34 @@ struct TxnStats {
       aborts_by_code{};
   uint64_t lock_fallbacks = 0;  // atomic blocks completed under the TLE lock
   uint64_t nontxn_stores = 0;   // strong-atomicity stores
-  // Global version-clock advances performed by this thread (writing commits,
+  // Shared-clock fetch_adds performed by this thread (GV1 writing commits,
   // lock-mode/strong-atomicity stores, range invalidations). Read-only and
-  // unchanged-value commits do not bump the clock, so this counter makes the
-  // commit fast paths observable.
+  // unchanged-value commits never bump the clock, and under
+  // ClockPolicy::kGv5 neither do writing commits (they stamp sloppily; see
+  // sloppy_stamps), so this counter makes the commit fast paths — and the
+  // shared-write reduction the sloppy clock exists for — observable.
   uint64_t clock_bumps = 0;
+  // Commits whose write-back changed memory (the transactions that pay a
+  // clock bump under GV1). clock_bumps / writer_commits is the shared-write
+  // cost per visible writing commit: ~1 under GV1, 0 under GV5.
+  uint64_t writer_commits = 0;
+  // GV5 stamps taken without touching the shared clock (writing commits,
+  // lock-mode/strong-atomicity stores, range invalidations under kGv5).
+  uint64_t sloppy_stamps = 0;
+  // Successful read-version re-samples: loads that observed a version ahead
+  // of the transaction's snapshot, revalidated the read set, and continued
+  // instead of aborting (TL2 timestamp extension; under GV5 this is the
+  // normal way readers absorb sloppy stamps).
+  uint64_t clock_resamples = 0;
+  // Re-samples that had to advance the shared clock to the observed sloppy
+  // version (CAS-max). The only shared-clock *write* GV5 performs — counted
+  // separately from clock_bumps so the zero-shared-write commit property
+  // stays assertable.
+  uint64_t clock_catchups = 0;
+  // Write-back stores saved by commit-time coalescing of adjacent sub-word
+  // runs (a run of k entries tiling one aligned word costs 1 store, saving
+  // k-1).
+  uint64_t coalesced_stores = 0;
   // High-water marks of per-attempt read-set / write-set entries *after*
   // dedup (a repeated load or store of one word counts once). These expose
   // the load-time read-set dedup and store-time write dedup directly.
@@ -40,6 +63,11 @@ struct TxnStats {
     lock_fallbacks += o.lock_fallbacks;
     nontxn_stores += o.nontxn_stores;
     clock_bumps += o.clock_bumps;
+    writer_commits += o.writer_commits;
+    sloppy_stamps += o.sloppy_stamps;
+    clock_resamples += o.clock_resamples;
+    clock_catchups += o.clock_catchups;
+    coalesced_stores += o.coalesced_stores;
     if (o.max_read_set > max_read_set) max_read_set = o.max_read_set;
     if (o.max_write_set > max_write_set) max_write_set = o.max_write_set;
     return *this;

@@ -1,7 +1,9 @@
 #include "htm/txn.hpp"
 
+#include <bit>
 #include <thread>
 
+#include "htm/clock.hpp"
 #include "htm/stats.hpp"
 #include "obs/conflict_map.hpp"
 #include "obs/trace.hpp"
@@ -38,7 +40,10 @@ Txn::Txn(bool lock_mode, const Config& cfg, Scratch& s)
       store_capacity_(cfg.store_buffer_capacity),
       yield_every_(cfg.txn_yield_every_loads),
       granularity_log2_(cfg.conflict_granularity_log2),
+      clock_policy_(cfg.clock_policy),
       extension_enabled_(cfg.enable_extension),
+      coalesce_(cfg.enable_write_coalescing &&
+                std::endian::native == std::endian::little),
       lock_mode_(lock_mode),
       s_(s),
       epoch_(++s.epoch) {
@@ -91,15 +96,21 @@ void Txn::abort(AbortCode code) {
   throw TxnAbort{code};
 }
 
-bool Txn::try_extend() noexcept {
+bool Txn::try_extend(uint64_t observed) noexcept {
   if (!extension_enabled_) return false;
-  const uint64_t new_rv = global_clock().load(std::memory_order_acquire);
+  // Re-sample rule: raise the shared clock to cover the observed version
+  // (GV5 sloppy stamps run ahead of it) before this snapshot may adopt it.
+  const uint64_t new_rv = resample_clock(observed);
   // Extension is sound only if nothing already read has changed since it
   // was read, i.e. every read orec is still unlocked at a version <= rv_.
   for (const Orec* o : s_.read_set) {
     const OrecValue v = o->value.load(std::memory_order_acquire);
     if (orec_is_locked(v) || orec_version(v) > rv_) return false;
   }
+  local_stats().clock_resamples++;
+  obs::trace_clock_resample(static_cast<uint32_t>(rv_),
+                            static_cast<uint32_t>(new_rv),
+                            read_set_size());
   rv_ = new_rv;
   return true;
 }
@@ -149,6 +160,7 @@ void Txn::acquire_write_locks() {
   // global order (table address, maintained at store() time), so concurrent
   // committers cannot deadlock and no commit-time sort is needed.
   const OrecValue mine = make_locked(my_token_);
+  max_prev_ = 0;
   for (std::size_t i = 0; i < s_.locked.size(); ++i) {
     Orec* o = s_.locked[i].orec;
     util::Backoff backoff(2, 64);
@@ -158,6 +170,7 @@ void Txn::acquire_write_locks() {
         if (o->value.compare_exchange_weak(cur, mine,
                                            std::memory_order_acq_rel)) {
           s_.locked[i].previous = cur;
+          if (orec_version(cur) > max_prev_) max_prev_ = orec_version(cur);
           break;
         }
         continue;
@@ -196,8 +209,48 @@ void Txn::release_locks_to(uint64_t version) noexcept {
   locks_held_ = 0;
 }
 
+std::size_t Txn::coalesce_run(std::size_t i, uint64_t* packed) const
+    noexcept {
+  // The write set is sorted by address and duplicate-free, so a run of
+  // sub-word entries that exactly tiles one aligned 8-byte word — and
+  // therefore shares that word's ownership record — is contiguous here.
+  // Only exact tiling coalesces: a gap would force a read-modify-write of
+  // bytes this transaction never stored.
+  const WriteEntry& first = s_.write_set[i];
+  if (first.size == 8) return 1;
+  const uintptr_t word = first.addr & ~uintptr_t{7};
+  if (first.addr != word) return 1;
+  uint64_t value = 0;
+  uintptr_t next = word;
+  std::size_t j = i;
+  while (j < s_.write_set.size() && s_.write_set[j].addr == next &&
+         next + s_.write_set[j].size <= word + 8) {
+    // to_bits zero-fills past the entry's size, so packing is a shift-or
+    // (little-endian byte order; coalesce_ is off on big-endian hosts).
+    value |= s_.write_set[j].value << ((next - word) * 8);
+    next += s_.write_set[j].size;
+    ++j;
+  }
+  if (next != word + 8 || j - i < 2) return 1;
+  *packed = value;
+  return j - i;
+}
+
 void Txn::write_back() noexcept {
-  for (const WriteEntry& w : s_.write_set) {
+  TxnStats& st = local_stats();
+  for (std::size_t i = 0; i < s_.write_set.size();) {
+    if (coalesce_) {
+      uint64_t packed;
+      const std::size_t run = coalesce_run(i, &packed);
+      if (run > 1) {
+        detail::atomic_word_store(
+            reinterpret_cast<uint64_t*>(s_.write_set[i].addr), packed);
+        st.coalesced_stores += run - 1;
+        i += run;
+        continue;
+      }
+    }
+    const WriteEntry& w = s_.write_set[i++];
     void* p = reinterpret_cast<void*>(w.addr);
     switch (w.size) {
       case 1:
@@ -220,7 +273,22 @@ void Txn::write_back() noexcept {
 }
 
 bool Txn::writes_unchanged() const noexcept {
-  for (const WriteEntry& w : s_.write_set) {
+  for (std::size_t i = 0; i < s_.write_set.size();) {
+    if (coalesce_) {
+      // One 8-byte load checks a whole tiled run (same single version check
+      // granularity as the coalesced write-back).
+      uint64_t packed;
+      const std::size_t run = coalesce_run(i, &packed);
+      if (run > 1) {
+        if (detail::atomic_word_load(reinterpret_cast<const uint64_t*>(
+                s_.write_set[i].addr)) != packed) {
+          return false;
+        }
+        i += run;
+        continue;
+      }
+    }
+    const WriteEntry& w = s_.write_set[i++];
     const void* p = reinterpret_cast<const void*>(w.addr);
     uint64_t cur;
     switch (w.size) {
@@ -274,11 +342,15 @@ void Txn::commit() {
     // the write-back is invisible to concurrent readers and the commit is
     // observably read-only. Serialize it at this instant — all written words
     // are locked with their values in place, and the reads are consistent
-    // here iff nothing read changed since rv_ — and skip the global-clock
-    // fetch_add, the main cross-thread contention point of a TL2 commit.
+    // here iff nothing read changed since rv_ — and skip the clock stamp
+    // entirely. Under GV1 an unchanged clock proves the read set unchanged
+    // (every visible write bumps it); under GV5 sloppy stamps advance
+    // versions invisibly to the clock, so the silent path always validates.
     const uint64_t now = global_clock().load(std::memory_order_acquire);
+    const bool provably_unchanged = clock_policy_ == ClockPolicy::kGv1 &&
+                                    now == rv_ && max_prev_ <= rv_;
     Orec* bad = nullptr;
-    if (now == rv_ || (bad = validate_read_set()) == nullptr) {
+    if (provably_unchanged || (bad = validate_read_set()) == nullptr) {
       rollback_locks();  // restore pre-lock orec versions; nothing changed
       committed_ = true;
       return;
@@ -288,12 +360,13 @@ void Txn::commit() {
     conflict_orec_ = bad;
     throw TxnAbort{AbortCode::kConflict};
   }
-  const uint64_t wv =
-      global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
-  local_stats().clock_bumps++;
-  // TL2 fast path: if nothing committed between begin and lock acquisition,
-  // the read set cannot have changed.
-  if (wv != rv_ + 1) {
+  // GV1: one shared fetch_add, with TL2's wv == rv+1 validation skip.
+  // GV5: no shared-clock write at all — stamp past everything this commit
+  // can see (clock sample, snapshot, replaced versions), and always
+  // validate, because sloppy stamps make the clock blind to recent writes.
+  const ClockStamp stamp =
+      writer_stamp(clock_policy_, rv_, max_prev_, my_token_);
+  if (!stamp.read_set_unchanged) {
     if (Orec* bad = validate_read_set()) {
       rollback_locks();
       last_abort_ = AbortCode::kConflict;
@@ -302,7 +375,8 @@ void Txn::commit() {
     }
   }
   write_back();
-  release_locks_to(wv);
+  release_locks_to(stamp.wv);
+  local_stats().writer_commits++;
   committed_ = true;
 }
 
@@ -338,10 +412,9 @@ void Txn::lock_mode_store(void* addr, uint64_t bits, uint32_t size) noexcept {
       detail::atomic_word_store(static_cast<uint64_t*>(addr), bits);
       break;
   }
-  const uint64_t wv =
-      global_clock().fetch_add(1, std::memory_order_acq_rel) + 1;
-  local_stats().clock_bumps++;
-  o.value.store(make_version(wv), std::memory_order_release);
+  const ClockStamp stamp =
+      writer_stamp(clock_policy_, rv_, orec_version(cur), my_token_);
+  o.value.store(make_version(stamp.wv), std::memory_order_release);
 }
 
 }  // namespace dc::htm

@@ -29,7 +29,16 @@
 //  * store() resolves and caches the covering Orec* in the WriteEntry and
 //    maintains the commit lock list sorted and deduplicated incrementally,
 //    so acquire_write_locks() is a straight walk — no orec_for
-//    recomputation, no sort, no unique at commit time.
+//    recomputation, no sort, no unique at commit time. The write set itself
+//    is kept sorted by address, so commit can coalesce runs of adjacent
+//    sub-word stores that tile one aligned word into a single write-back
+//    (Config::enable_write_coalescing), and read-own-writes is a binary
+//    search.
+//  * The global-clock interaction is behind Config::clock_policy
+//    (htm/clock.hpp): GV1 pays one fetch_add per visible writing commit;
+//    GV5 stamps sloppily and commits perform no shared-clock write at all,
+//    with readers absorbing ahead-of-clock versions via the re-sample rule
+//    in try_extend().
 //  * All scratch buffers use inline small-buffer storage sized to the
 //    32-entry store buffer (util/small_vector.hpp).
 //
@@ -107,10 +116,13 @@ class Txn {
     if (lock_mode_) return detail::atomic_word_load(addr);
     maybe_yield();
     const auto a = reinterpret_cast<uintptr_t>(addr);
-    // Read-own-writes: the write set is at most store-buffer sized, so a
-    // linear scan is cheaper than any indexed structure.
-    for (const WriteEntry& w : s_.write_set) {
-      if (w.addr == a) return detail::from_bits<T>(w.value);
+    // Read-own-writes: the write set is kept sorted by address (for commit
+    // coalescing), so the buffered value is a binary search away.
+    {
+      const std::size_t i = write_lower_bound(a);
+      if (i < s_.write_set.size() && s_.write_set[i].addr == a) {
+        return detail::from_bits<T>(s_.write_set[i].value);
+      }
     }
     Orec& o = orec_table_[orec_index(a, granularity_log2_)];
     for (int tries = 0; tries < kLoadRetries; ++tries) {
@@ -120,7 +132,11 @@ class Txn {
         abort_conflict(o);
       }
       if (orec_version(v1) > rv_) {
-        if (!try_extend()) abort_conflict(o);
+        // The version is ahead of this transaction's snapshot. Under GV1
+        // that means a commit since begin; under GV5 it may simply be a
+        // sloppy stamp the shared clock has not caught up with. Either way:
+        // re-sample the clock and revalidate instead of aborting.
+        if (!try_extend(orec_version(v1))) abort_conflict(o);
         continue;  // re-examine the orec under the extended read version
       }
       const T value = detail::atomic_word_load(addr);
@@ -144,23 +160,26 @@ class Txn {
   // the store budget is exhausted (speculative mode only: the lock-mode
   // fallback runs non-speculatively, so the store buffer does not apply,
   // but stores stay buffered so an explicit abort still discards them).
+  // Stores to *overlapping* byte ranges at distinct addresses (e.g. a
+  // uint64 store over a uint8 store) have unspecified write-back order —
+  // the write set is applied in address order, not program order.
   template <TxnWord T>
   void store(T* addr, T value) {
     const auto a = reinterpret_cast<uintptr_t>(addr);
     const uint64_t bits = detail::to_bits(value);
-    for (WriteEntry& w : s_.write_set) {
-      if (w.addr == a) {
-        assert(w.size == sizeof(T) && "mixed-size stores to one address");
-        w.value = bits;
-        return;
-      }
+    const std::size_t i = write_lower_bound(a);
+    if (i < s_.write_set.size() && s_.write_set[i].addr == a) {
+      assert(s_.write_set[i].size == sizeof(T) &&
+             "mixed-size stores to one address");
+      s_.write_set[i].value = bits;
+      return;
     }
     if (!lock_mode_ && stores_used() >= store_capacity_) {
       abort(AbortCode::kOverflow);
     }
     Orec* o = &orec_table_[orec_index(a, granularity_log2_)];
-    s_.write_set.push_back(
-        WriteEntry{a, bits, o, static_cast<uint32_t>(sizeof(T))});
+    s_.write_set.insert_at(
+        i, WriteEntry{a, bits, o, static_cast<uint32_t>(sizeof(T))});
     note_write_orec(o);
   }
 
@@ -196,7 +215,10 @@ class Txn {
   // Throws TxnAbort on validation failure.
   void commit();
 
-  // --- Observability surface (src/obs) ---
+  // --- Observability surface (src/obs, tests) ---
+  // The snapshot this attempt currently validates reads against (TL2 read
+  // version; advances on successful re-sample).
+  uint64_t read_version() const noexcept { return rv_; }
   // Distinct orecs read / words written so far this attempt (post-dedup).
   uint32_t read_set_size() const noexcept {
     return static_cast<uint32_t>(s_.read_set.size());
@@ -273,6 +295,21 @@ class Txn {
     s_.read_set.push_back(o);
   }
 
+  // Index of the first write-set entry with address >= a (the write set is
+  // kept sorted by address; see store()).
+  std::size_t write_lower_bound(uintptr_t a) const noexcept {
+    std::size_t lo = 0, hi = s_.write_set.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (s_.write_set[mid].addr < a) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
   // Inserts `o` into the sorted, deduplicated commit lock list.
   void note_write_orec(Orec* o) {
     std::size_t lo = 0, hi = s_.locked.size();
@@ -298,8 +335,11 @@ class Txn {
   }
   static void yield_now();
 
-  // Revalidates the read set and advances rv_ to the current clock.
-  bool try_extend() noexcept;
+  // Re-sample: revalidates the read set at the current rv_ and, on success,
+  // advances rv_ to cover both the shared clock and `observed` (a version
+  // seen ahead of the snapshot; under GV5 the clock is CAS-maxed up to it
+  // first — see clock.hpp rule 2).
+  bool try_extend(uint64_t observed) noexcept;
 
   // Conflict abort that remembers the culprit orec, so the destructor can
   // attribute the abort (obs/conflict_map) in DC_TRACE builds.
@@ -308,12 +348,17 @@ class Txn {
     abort(AbortCode::kConflict);
   }
 
-  // Commit helpers (txn.cpp).
+  // Commit helpers (txn.cpp). acquire_write_locks also records the highest
+  // pre-lock version into max_prev_ (the stamp's monotonicity floor).
   void acquire_write_locks();
   void release_locks_to(uint64_t version) noexcept;
   void rollback_locks() noexcept;
   void write_back() noexcept;
   bool writes_unchanged() const noexcept;
+  // Length of the coalescable run starting at write-set index i (entries
+  // exactly tiling one aligned 8-byte word), with the packed word value in
+  // *packed; 1 when no coalescing applies.
+  std::size_t coalesce_run(std::size_t i, uint64_t* packed) const noexcept;
   // nullptr when the read set validates; otherwise the first orec whose
   // version check failed (the conflict culprit).
   Orec* validate_read_set() const noexcept;
@@ -330,7 +375,9 @@ class Txn {
   const uint32_t store_capacity_;
   const uint32_t yield_every_;
   const uint32_t granularity_log2_;
+  const ClockPolicy clock_policy_;
   const bool extension_enabled_;
+  const bool coalesce_;
   const bool lock_mode_;
   bool committed_ = false;
   // Abort forensics, read by the destructor's obs hooks: the code of the
@@ -341,6 +388,9 @@ class Txn {
   uint32_t trace_attempt_ = 0;
   uint32_t charged_stores_ = 0;
   uint32_t loads_since_yield_ = 0;
+  // Highest pre-lock version among the locked orecs (acquire_write_locks);
+  // the commit stamp must exceed it so per-orec versions stay monotone.
+  uint64_t max_prev_ = 0;
   // Number of entries of s_.locked actually holding their orec lock; only
   // the prefix [0, locks_held_) may be released on rollback.
   uint32_t locks_held_ = 0;

@@ -147,6 +147,15 @@ bool export_chrome_trace(const std::string& path) {
                      to_us(e.tsc, t0), e.tid, step_change_name(e.code), e.a,
                      e.b);
         break;
+      case EventKind::kClockResample:
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"clock_resample\", \"cat\": \"htm\", "
+                     "\"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 0, "
+                     "\"tid\": %u, \"args\": {\"from_rv\": %u, \"to_rv\": %u, "
+                     "\"read_set\": %u}}",
+                     to_us(e.tsc, t0), e.tid, e.a, e.b, e.c);
+        break;
       case EventKind::kPoolAlloc:
       case EventKind::kPoolRecycle:
         sep();

@@ -144,6 +144,8 @@ const char* to_string(EventKind kind) noexcept {
       return "pool_alloc";
     case EventKind::kPoolRecycle:
       return "pool_recycle";
+    case EventKind::kClockResample:
+      return "clock_resample";
     case EventKind::kNumKinds:
       break;
   }

@@ -33,6 +33,8 @@ enum class EventKind : uint8_t {
   kStepChange,     // code = StepChange reason, a = old step, b = new step
   kPoolAlloc,      // a = block bytes (size class)
   kPoolRecycle,    // a = block bytes (size class)
+  kClockResample,  // a = old read version (low 32 bits), b = new read
+                   // version (low 32 bits), c = read-set size revalidated
   kNumKinds,
 };
 
@@ -135,6 +137,19 @@ inline void trace_step_change([[maybe_unused]] StepChange reason,
   if (tracing_enabled()) {
     detail::emit(EventKind::kStepChange, static_cast<uint8_t>(reason),
                  old_step, new_step, 0);
+  }
+#endif
+}
+
+// A load observed a version ahead of the snapshot and the transaction
+// re-sampled + revalidated instead of aborting (GV5's absorb path; TL2
+// timestamp extension under GV1).
+inline void trace_clock_resample([[maybe_unused]] uint32_t old_rv,
+                                 [[maybe_unused]] uint32_t new_rv,
+                                 [[maybe_unused]] uint32_t read_set) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kClockResample, 0, old_rv, new_rv, read_set);
   }
 #endif
 }

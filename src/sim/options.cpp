@@ -30,6 +30,8 @@ Options Options::parse(int argc, char** argv) {
       opts.json_path = next_value();
     } else if (std::strcmp(arg, "--trace") == 0) {
       opts.trace_path = next_value();
+    } else if (std::strcmp(arg, "--clock") == 0) {
+      opts.clock = next_value();
     } else if (std::strcmp(arg, "--hist") == 0) {
       opts.hist = true;
     } else if (std::strcmp(arg, "--duration-ms") == 0) {
@@ -57,8 +59,8 @@ Options Options::parse(int argc, char** argv) {
 
 void Options::print_help(const char* prog) {
   std::printf(
-      "usage: %s [--csv] [--json PATH] [--trace PATH] [--hist] "
-      "[--duration-ms N] [--repeats N] [--max-threads N] [--full]\n",
+      "usage: %s [--csv] [--json PATH] [--trace PATH] [--clock gv1|gv5] "
+      "[--hist] [--duration-ms N] [--repeats N] [--max-threads N] [--full]\n",
       prog);
 }
 

@@ -14,6 +14,8 @@
 //                     attribution + histograms) and write a Chrome/Perfetto
 //                     trace to PATH on exit; the event trace itself needs a
 //                     -DDC_TRACE=ON build
+//   --clock POLICY    global-clock policy: gv5 (sloppy, default) or gv1
+//                     (shared fetch_add reference)
 #pragma once
 
 #include <cstdint>
@@ -26,6 +28,7 @@ struct Options {
   bool csv = false;
   std::string json_path;   // empty = no JSON report
   std::string trace_path;  // empty = no Chrome trace dump
+  std::string clock;       // empty = keep the process default (gv5/DC_CLOCK)
   bool hist = false;       // per-operation latency histograms
   double duration_ms = 50.0;
   int repeats = 3;

@@ -5,7 +5,9 @@
 //
 // This is the broadest net for spec violations: slot moves, compaction,
 // resizing, node reuse, handle recycling, and telescoping boundaries all
-// get exercised by the random walks.
+// get exercised by the random walks. The whole matrix runs under both
+// global-clock policies (htm/clock.hpp): the walks are the broadest
+// coverage of GV5's sloppy stamps and re-sample rule too.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "collect/registry.hpp"
+#include "htm/config.hpp"
 #include "util/rng.hpp"
 
 namespace dc::collect {
@@ -22,9 +25,18 @@ struct FuzzCase {
   std::string algorithm;
   uint64_t seed;
   int ops;
+  htm::ClockPolicy clock;
 };
 
-class CollectModelFuzz : public ::testing::TestWithParam<FuzzCase> {};
+class CollectModelFuzz : public ::testing::TestWithParam<FuzzCase> {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config().clock_policy;
+    htm::config().clock_policy = GetParam().clock;
+  }
+  void TearDown() override { htm::config().clock_policy = saved_; }
+  htm::ClockPolicy saved_;
+};
 
 TEST_P(CollectModelFuzz, AgreesWithReferenceModel) {
   const FuzzCase& fc = GetParam();
@@ -99,7 +111,10 @@ std::vector<FuzzCase> make_cases() {
     for (uint64_t seed : {11ull, 222ull, 3333ull}) {
       // Static algorithms get shorter walks (bounded capacity).
       const int ops = info.is_dynamic ? 4000 : 1500;
-      cases.push_back({info.name, seed, ops});
+      for (htm::ClockPolicy clock :
+           {htm::ClockPolicy::kGv1, htm::ClockPolicy::kGv5}) {
+        cases.push_back({info.name, seed, ops, clock});
+      }
     }
   }
   return cases;
@@ -110,7 +125,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::ValuesIn(make_cases()),
     [](const ::testing::TestParamInfo<FuzzCase>& info) {
       return info.param.algorithm + "_seed" +
-             std::to_string(info.param.seed);
+             std::to_string(info.param.seed) + "_" +
+             htm::to_string(info.param.clock);
     });
 
 }  // namespace

@@ -1,12 +1,15 @@
 // Failure injection: maximum-interleaving stress. With
 // txn_yield_every_loads=3 every transaction hands the core to its rivals
 // mid-flight, forcing the cross-thread interleavings a single-core host
-// would otherwise never produce. The spec invariants must survive.
+// would otherwise never produce. The spec invariants must survive — under
+// both global-clock policies, since the forced preemption is also the
+// sharpest concurrent exercise of GV5's re-sample rule.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <set>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "collect/registry.hpp"
@@ -17,15 +20,17 @@
 namespace dc::collect {
 namespace {
 
-class CollectYieldStress : public ::testing::TestWithParam<AlgoInfo> {
+class CollectYieldStress
+    : public ::testing::TestWithParam<std::tuple<AlgoInfo, htm::ClockPolicy>> {
  protected:
   void SetUp() override {
     saved_ = htm::config();
     htm::config().txn_yield_every_loads = 3;
+    htm::config().clock_policy = std::get<1>(GetParam());
     MakeParams params;
     params.static_capacity = 256;
     params.max_threads = 8;
-    obj_ = GetParam().make(params);
+    obj_ = std::get<0>(GetParam()).make(params);
   }
   void TearDown() override { htm::config() = saved_; }
   std::unique_ptr<DynamicCollect> obj_;
@@ -94,9 +99,13 @@ TEST_P(CollectYieldStress, InvariantsUnderForcedPreemption) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllAlgorithms, CollectYieldStress, ::testing::ValuesIn(all_algorithms()),
-    [](const ::testing::TestParamInfo<AlgoInfo>& info) {
-      return info.param.name;
+    AllAlgorithms, CollectYieldStress,
+    ::testing::Combine(::testing::ValuesIn(all_algorithms()),
+                       ::testing::Values(htm::ClockPolicy::kGv1,
+                                         htm::ClockPolicy::kGv5)),
+    [](const ::testing::TestParamInfo<CollectYieldStress::ParamType>& info) {
+      return std::string(std::get<0>(info.param).name) + "_" +
+             htm::to_string(std::get<1>(info.param));
     });
 
 }  // namespace

@@ -1,0 +1,234 @@
+// Commit-time write coalescing (Config::enable_write_coalescing): runs of
+// buffered sub-word stores that exactly tile one aligned 8-byte word are
+// written back — and pre-checked by the silent-commit scan — as a single
+// 8-byte access. These tests pin the stat's exact accounting, the
+// word-atomicity the single store buys (a non-transactional reader of the
+// containing word can never see a half-applied run), that transactional
+// readers see whole runs or nothing with coalescing on or off, and that
+// aborts discard buffered runs untouched.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <thread>
+
+#include "htm/htm.hpp"
+
+namespace dc::htm {
+namespace {
+
+// Coalescing is compiled-in but disabled on big-endian hosts (the packer
+// shifts little-endian); the byte-level expectations below assume it too.
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
+
+class Coalesce : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kLittleEndian) GTEST_SKIP() << "coalescing is little-endian only";
+    saved_ = config();
+    config().enable_write_coalescing = true;
+    reset_stats();
+  }
+  void TearDown() override { config() = saved_; }
+  Config saved_;
+};
+
+TEST_F(Coalesce, ExactlyTiledByteRunCountsAsOneStore) {
+  struct alignas(8) Buf {
+    uint8_t b[8];
+  } buf = {};
+  atomic([&](Txn& t) {
+    for (int i = 0; i < 8; ++i) t.store(&buf.b[i], uint8_t(i + 1));
+  });
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf.b[i], uint8_t(i + 1));
+  // 8 entries folded into one 8-byte store: 7 saved.
+  EXPECT_EQ(aggregate_stats().coalesced_stores, 7u);
+}
+
+TEST_F(Coalesce, MixedSizeTilingCoalesces) {
+  struct alignas(8) Mixed {
+    uint32_t a;
+    uint16_t b;
+    uint16_t c;
+  } m = {};
+  atomic([&](Txn& t) {
+    t.store(&m.c, uint16_t{0x7788});  // insertion order is irrelevant:
+    t.store(&m.a, 0x11223344u);       // the write set sorts by address
+    t.store(&m.b, uint16_t{0x5566});
+  });
+  EXPECT_EQ(m.a, 0x11223344u);
+  EXPECT_EQ(m.b, 0x5566u);
+  EXPECT_EQ(m.c, 0x7788u);
+  EXPECT_EQ(aggregate_stats().coalesced_stores, 2u);
+}
+
+TEST_F(Coalesce, GappedRunDoesNotCoalesce) {
+  // A gap would force a read-modify-write of bytes the transaction never
+  // stored, so only exact tiling may fold.
+  struct alignas(8) Buf {
+    uint8_t b[8];
+  } buf = {};
+  atomic([&](Txn& t) {
+    t.store(&buf.b[0], uint8_t{1});
+    t.store(&buf.b[2], uint8_t{2});
+    t.store(&buf.b[4], uint8_t{3});
+  });
+  EXPECT_EQ(buf.b[0], 1u);
+  EXPECT_EQ(buf.b[1], 0u);
+  EXPECT_EQ(buf.b[2], 2u);
+  EXPECT_EQ(buf.b[4], 3u);
+  EXPECT_EQ(aggregate_stats().coalesced_stores, 0u);
+}
+
+TEST_F(Coalesce, DisabledConfigCoalescesNothing) {
+  config().enable_write_coalescing = false;
+  struct alignas(8) Buf {
+    uint8_t b[8];
+  } buf = {};
+  atomic([&](Txn& t) {
+    for (int i = 0; i < 8; ++i) t.store(&buf.b[i], uint8_t(i + 1));
+  });
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf.b[i], uint8_t(i + 1));
+  EXPECT_EQ(aggregate_stats().coalesced_stores, 0u);
+}
+
+TEST_F(Coalesce, ReadOwnWritesWithOutOfOrderSubWordStores) {
+  struct alignas(8) Buf {
+    uint8_t b[8];
+  } buf = {};
+  atomic([&](Txn& t) {
+    t.store(&buf.b[6], uint8_t{7});
+    t.store(&buf.b[0], uint8_t{1});
+    t.store(&buf.b[3], uint8_t{4});
+    EXPECT_EQ(t.load(&buf.b[6]), 7u);
+    EXPECT_EQ(t.load(&buf.b[0]), 1u);
+    EXPECT_EQ(t.load(&buf.b[3]), 4u);
+    t.store(&buf.b[0], uint8_t{9});  // overwrite dedups in place
+    EXPECT_EQ(t.load(&buf.b[0]), 9u);
+  });
+  EXPECT_EQ(buf.b[0], 9u);
+  EXPECT_EQ(buf.b[1], 0u);
+  EXPECT_EQ(buf.b[3], 4u);
+  EXPECT_EQ(buf.b[6], 7u);
+}
+
+TEST_F(Coalesce, TiledSilentCommitStaysSilent) {
+  // A run whose packed value equals memory is a silent commit: the packed
+  // single-load compare must not misread it as a visible write.
+  struct alignas(8) Buf {
+    uint8_t b[8];
+  } buf;
+  for (int i = 0; i < 8; ++i) buf.b[i] = uint8_t(0xA0 + i);
+  atomic([&](Txn& t) {
+    for (int i = 0; i < 8; ++i) t.store(&buf.b[i], uint8_t(0xA0 + i));
+  });
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.writer_commits, 0u);   // observably read-only
+  EXPECT_EQ(s.coalesced_stores, 0u);  // no write-back ran at all
+}
+
+TEST_F(Coalesce, NontxnReaderNeverSeesTornRun) {
+  // The atomicity coalescing buys: an uncoalesced write-back applies a
+  // tiled run as 8 separate byte stores, which a nontxn_load of the
+  // containing word may observe half-done; the coalesced write-back is one
+  // 8-byte store, so the word can only flicker between whole run values.
+  alignas(8) static uint8_t bytes[8] = {};
+  constexpr uint64_t kPatternA = 0x1111111111111111ULL;
+  constexpr uint64_t kPatternB = 0x2222222222222222ULL;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 4000; ++i) {
+      const uint8_t v = (i & 1) != 0 ? 0x22 : 0x11;
+      atomic([&](Txn& t) {
+        for (int b = 0; b < 8; ++b) t.store(&bytes[b], v);
+      });
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t v =
+          nontxn_load(reinterpret_cast<const uint64_t*>(bytes));
+      if (v != 0 && v != kPatternA && v != kPatternB) {
+        torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(aggregate_stats().coalesced_stores, 0u);
+}
+
+// Per-orec atomicity must hold with coalescing on AND off — transactional
+// readers go through the orec version sandwich, so they may never observe a
+// partially applied run either way. Parameterized to catch a regression
+// where coalescing writes back outside the lock window.
+class CoalesceAtomicity : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (!kLittleEndian) GTEST_SKIP() << "coalescing is little-endian only";
+    saved_ = config();
+    config().enable_write_coalescing = GetParam();
+    reset_stats();
+  }
+  void TearDown() override { config() = saved_; }
+  Config saved_;
+};
+
+TEST_P(CoalesceAtomicity, TxnReaderSeesWholeRunOrNothing) {
+  alignas(8) static uint8_t bytes[8];
+  for (auto& b : bytes) b = 0x33;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> mismatches{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 3000; ++i) {
+      const uint8_t v = (i & 1) != 0 ? 0x44 : 0x33;
+      atomic([&](Txn& t) {
+        for (int b = 0; b < 8; ++b) t.store(&bytes[b], v);
+      });
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      atomic([&](Txn& t) {
+        const uint8_t first = t.load(&bytes[0]);
+        for (int b = 1; b < 8; ++b) {
+          if (t.load(&bytes[b]) != first) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST_P(CoalesceAtomicity, AbortDiscardsBufferedRun) {
+  struct alignas(8) Buf {
+    uint8_t b[8];
+  } buf;
+  for (auto& b : buf.b) b = 0xAA;
+  const TryResult r = try_once([&](Txn& t) {
+    for (int i = 0; i < 8; ++i) t.store(&buf.b[i], uint8_t(i));
+    t.abort(AbortCode::kExplicit);
+  });
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.code, AbortCode::kExplicit);
+  for (const uint8_t b : buf.b) EXPECT_EQ(b, 0xAAu);
+  EXPECT_EQ(aggregate_stats().coalesced_stores, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(OnOff, CoalesceAtomicity, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Coalesced" : "PerEntry";
+                         });
+
+}  // namespace
+}  // namespace dc::htm

@@ -107,21 +107,39 @@ TEST_F(Stats, HighWaterMarksTrackDedupedSetSizes) {
 }
 
 TEST_F(Stats, ClockBumpsCountOnlyVisibleWritingCommits) {
-  uint64_t w = 0;
-  atomic([&](Txn& t) { t.store(&w, uint64_t{1}); });  // visible write: bump
-  atomic([&](Txn& t) { (void)t.load(&w); });          // read-only: no bump
-  atomic([&](Txn& t) { t.store(&w, uint64_t{1}); });  // unchanged: no bump
-  const TxnStats s = aggregate_stats();
-  EXPECT_EQ(s.commits, 3u);
-  EXPECT_EQ(s.clock_bumps, 1u);
+  for (const ClockPolicy policy : {ClockPolicy::kGv1, ClockPolicy::kGv5}) {
+    SCOPED_TRACE(to_string(policy));
+    config().clock_policy = policy;
+    reset_stats();
+    uint64_t w = 0;
+    atomic([&](Txn& t) { t.store(&w, uint64_t{1}); });  // visible write
+    atomic([&](Txn& t) { (void)t.load(&w); });          // read-only
+    atomic([&](Txn& t) { t.store(&w, uint64_t{1}); });  // unchanged: silent
+    const TxnStats s = aggregate_stats();
+    EXPECT_EQ(s.commits, 3u);
+    EXPECT_EQ(s.writer_commits, 1u);
+    if (policy == ClockPolicy::kGv1) {
+      EXPECT_EQ(s.clock_bumps, 1u);  // only the visible writing commit
+      EXPECT_EQ(s.sloppy_stamps, 0u);
+    } else {
+      EXPECT_EQ(s.clock_bumps, 0u);  // GV5 never touches the shared clock
+      EXPECT_EQ(s.sloppy_stamps, 1u);
+    }
+  }
 }
 
 TEST_F(Stats, NontxnStoreBumpsClockCounter) {
-  uint64_t w = 0;
-  nontxn_store(&w, uint64_t{5});
-  const TxnStats s = aggregate_stats();
-  EXPECT_EQ(s.nontxn_stores, 1u);
-  EXPECT_EQ(s.clock_bumps, 1u);
+  for (const ClockPolicy policy : {ClockPolicy::kGv1, ClockPolicy::kGv5}) {
+    SCOPED_TRACE(to_string(policy));
+    config().clock_policy = policy;
+    reset_stats();
+    uint64_t w = 0;
+    nontxn_store(&w, uint64_t{5});
+    const TxnStats s = aggregate_stats();
+    EXPECT_EQ(s.nontxn_stores, 1u);
+    EXPECT_EQ(s.clock_bumps, policy == ClockPolicy::kGv1 ? 1u : 0u);
+    EXPECT_EQ(s.sloppy_stamps, policy == ClockPolicy::kGv1 ? 0u : 1u);
+  }
 }
 
 TEST_F(Stats, AggregationTakesMaxOfHighWaterMarks) {
@@ -129,13 +147,28 @@ TEST_F(Stats, AggregationTakesMaxOfHighWaterMarks) {
   a.max_read_set = 5;
   a.max_write_set = 3;
   a.clock_bumps = 2;
+  a.writer_commits = 1;
+  a.sloppy_stamps = 3;
+  a.clock_resamples = 1;
+  a.clock_catchups = 1;
+  a.coalesced_stores = 2;
   b.max_read_set = 9;
   b.max_write_set = 2;
   b.clock_bumps = 4;
+  b.writer_commits = 2;
+  b.sloppy_stamps = 5;
+  b.clock_resamples = 2;
+  b.clock_catchups = 3;
+  b.coalesced_stores = 4;
   a += b;
   EXPECT_EQ(a.max_read_set, 9u);
   EXPECT_EQ(a.max_write_set, 3u);
   EXPECT_EQ(a.clock_bumps, 6u);
+  EXPECT_EQ(a.writer_commits, 3u);
+  EXPECT_EQ(a.sloppy_stamps, 8u);
+  EXPECT_EQ(a.clock_resamples, 3u);
+  EXPECT_EQ(a.clock_catchups, 4u);
+  EXPECT_EQ(a.coalesced_stores, 6u);
 }
 
 TEST_F(Stats, RegisteredThreadCountIsMonotonic) {

@@ -100,35 +100,69 @@ TEST_F(TxnHotPath, DistinctWordsStillOverflow) {
 }
 
 TEST_F(TxnHotPath, ReadOnlyCommitLeavesClockUntouched) {
-  uint64_t word = 3;
-  const uint64_t clock_before =
-      global_clock().load(std::memory_order_acquire);
-  const uint64_t bumps_before = aggregate_stats().clock_bumps;
-  const uint64_t got = atomic([&](Txn& txn) { return txn.load(&word); });
-  EXPECT_EQ(got, 3u);
-  EXPECT_EQ(global_clock().load(std::memory_order_acquire), clock_before);
-  EXPECT_EQ(aggregate_stats().clock_bumps, bumps_before);
+  for (const ClockPolicy policy : {ClockPolicy::kGv1, ClockPolicy::kGv5}) {
+    SCOPED_TRACE(to_string(policy));
+    config().clock_policy = policy;
+    uint64_t word = 3;
+    // Absorb any ahead-of-clock stamp a prior gv5 transaction left on this
+    // stack word's orec: the first load may legitimately raise the clock
+    // (reader catch-up), which must not count against the read-only commit.
+    atomic([&](Txn& txn) { (void)txn.load(&word); });
+    reset_stats();
+    const uint64_t clock_before =
+        global_clock().load(std::memory_order_acquire);
+    const uint64_t got = atomic([&](Txn& txn) { return txn.load(&word); });
+    EXPECT_EQ(got, 3u);
+    EXPECT_EQ(global_clock().load(std::memory_order_acquire), clock_before);
+    EXPECT_EQ(aggregate_stats().clock_bumps, 0u);
+  }
 }
 
 TEST_F(TxnHotPath, UnchangedValueCommitLeavesClockUntouched) {
-  uint64_t word = 42;
-  const uint64_t clock_before =
-      global_clock().load(std::memory_order_acquire);
-  atomic([&](Txn& txn) { txn.store(&word, txn.load(&word)); });
-  EXPECT_EQ(word, 42u);
-  EXPECT_EQ(global_clock().load(std::memory_order_acquire), clock_before);
-  EXPECT_EQ(aggregate_stats().clock_bumps, 0u);
-  EXPECT_EQ(aggregate_stats().commits, 1u);  // it still commits
+  for (const ClockPolicy policy : {ClockPolicy::kGv1, ClockPolicy::kGv5}) {
+    SCOPED_TRACE(to_string(policy));
+    config().clock_policy = policy;
+    uint64_t word = 42;
+    // Settle the orec first — see ReadOnlyCommitLeavesClockUntouched.
+    atomic([&](Txn& txn) { (void)txn.load(&word); });
+    reset_stats();
+    const uint64_t clock_before =
+        global_clock().load(std::memory_order_acquire);
+    atomic([&](Txn& txn) { txn.store(&word, txn.load(&word)); });
+    EXPECT_EQ(word, 42u);
+    EXPECT_EQ(global_clock().load(std::memory_order_acquire), clock_before);
+    EXPECT_EQ(aggregate_stats().clock_bumps, 0u);
+    EXPECT_EQ(aggregate_stats().writer_commits, 0u);  // silent, not a writer
+    EXPECT_EQ(aggregate_stats().commits, 1u);         // it still commits
+  }
 }
 
-TEST_F(TxnHotPath, ChangedValueCommitBumpsClock) {
-  uint64_t word = 1;
-  const uint64_t clock_before =
-      global_clock().load(std::memory_order_acquire);
-  atomic([&](Txn& txn) { txn.store(&word, txn.load(&word) + 1); });
-  EXPECT_EQ(word, 2u);
-  EXPECT_GT(global_clock().load(std::memory_order_acquire), clock_before);
-  EXPECT_EQ(aggregate_stats().clock_bumps, 1u);
+TEST_F(TxnHotPath, ChangedValueCommitStampsPerPolicy) {
+  // GV1 advances the shared clock with one fetch_add; GV5 leaves the shared
+  // clock alone and stamps the orec past it instead.
+  for (const ClockPolicy policy : {ClockPolicy::kGv1, ClockPolicy::kGv5}) {
+    SCOPED_TRACE(to_string(policy));
+    config().clock_policy = policy;
+    uint64_t word = 1;
+    // Settle the orec first — see ReadOnlyCommitLeavesClockUntouched.
+    atomic([&](Txn& txn) { (void)txn.load(&word); });
+    reset_stats();
+    const uint64_t clock_before =
+        global_clock().load(std::memory_order_acquire);
+    atomic([&](Txn& txn) { txn.store(&word, txn.load(&word) + 1); });
+    EXPECT_EQ(word, 2u);
+    const TxnStats s = aggregate_stats();
+    EXPECT_EQ(s.writer_commits, 1u);
+    if (policy == ClockPolicy::kGv1) {
+      EXPECT_GT(global_clock().load(std::memory_order_acquire), clock_before);
+      EXPECT_EQ(s.clock_bumps, 1u);
+      EXPECT_EQ(s.sloppy_stamps, 0u);
+    } else {
+      EXPECT_EQ(global_clock().load(std::memory_order_acquire), clock_before);
+      EXPECT_EQ(s.clock_bumps, 0u);
+      EXPECT_EQ(s.sloppy_stamps, 1u);
+    }
+  }
 }
 
 TEST_F(TxnHotPath, UnchangedValueCommitStillValidatesReads) {

@@ -1,7 +1,8 @@
 // Validates the two exporter schemas by parsing what they write:
 //  * export_chrome_trace — Chrome trace-event JSON (Perfetto-loadable);
 //  * bench::write_json_report — the versioned --json benchmark report
-//    (schema_version 2: aborts_by_code, op_latency_ns, conflicts, trace).
+//    (schema_version 3: aborts_by_code, op_latency_ns, conflicts, trace,
+//    clock-policy option + clock/coalescing counters).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -139,7 +140,7 @@ TEST(OpSummary, QuantilesAreOrderedAndInNanoseconds) {
   EXPECT_EQ(obs::summarize_op(obs::OpKind::kUpdate).count, 0u);
 }
 
-TEST(JsonReport, SchemaV2CarriesObsSections) {
+TEST(JsonReport, SchemaV3CarriesObsSections) {
   obs::reset_histograms();
   obs::reset_conflicts();
   // Populate every op histogram plus the conflict table with known data.
@@ -163,16 +164,23 @@ TEST(JsonReport, SchemaV2CarriesObsSections) {
   const auto doc = Json::parse(read_file(path));
   ASSERT_TRUE(doc.has_value()) << "report is not valid JSON";
   EXPECT_DOUBLE_EQ(field(*doc, "schema_version", Json::Type::kNumber)->number(),
-                   2.0);
+                   3.0);
   EXPECT_EQ(field(*doc, "bench", Json::Type::kString)->str(), "schema_test");
 
   const Json* options = field(*doc, "options", Json::Type::kObject);
   EXPECT_TRUE(options->find("hist")->boolean());
   EXPECT_FALSE(options->find("trace")->boolean());
+  const std::string clock = field(*options, "clock", Json::Type::kString)->str();
+  EXPECT_TRUE(clock == "gv1" || clock == "gv5") << clock;
 
   // HTM counters with the per-code abort breakdown.
   const Json* htm = field(*doc, "htm", Json::Type::kObject);
   field(*htm, "commits", Json::Type::kNumber);
+  for (const char* counter :
+       {"writer_commits", "clock_bumps", "sloppy_stamps", "clock_resamples",
+        "clock_catchups", "coalesced_stores"}) {
+    field(*htm, counter, Json::Type::kNumber);
+  }
   const Json* by_code = field(*htm, "aborts_by_code", Json::Type::kObject);
   for (const char* code :
        {"none", "conflict", "overflow", "explicit", "illegal-access"}) {
