@@ -15,6 +15,7 @@
 #include "obs/conflict_map.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "obs/retry_stats.hpp"
 #include "obs/trace.hpp"
 #include "sim/options.hpp"
 #include "util/stats.hpp"
@@ -49,7 +50,9 @@ inline const collect::AlgoInfo& algo(const std::string& name) {
 //   --trace PATH  opens every switch (event trace + conflict attribution +
 //                 latency timing) and writes PATH at the end;
 //   --hist        opens only the latency-timing switch;
-//   --clock P     selects the global-clock policy before any worker starts.
+//   --clock P     selects the global-clock policy before any worker starts;
+//   --retry P     selects the retry policy (cause-aware vs fixed-threshold);
+//   --fault-rate  arms the spurious-abort injector before any worker starts.
 class ObsSession {
  public:
   explicit ObsSession(const sim::Options& opts) : opts_(opts) {
@@ -61,6 +64,19 @@ class ObsSession {
         std::exit(2);
       }
       htm::config().clock_policy = policy;
+    }
+    if (!opts_.retry.empty()) {
+      htm::RetryPolicy policy = htm::config().retry_policy;
+      if (!htm::parse_retry_policy(opts_.retry.c_str(), policy)) {
+        std::fprintf(stderr, "--retry: unknown policy '%s' (cause|fixed)\n",
+                     opts_.retry.c_str());
+        std::exit(2);
+      }
+      htm::config().retry_policy = policy;
+    }
+    if (opts_.fault_rate >= 0.0) {
+      htm::config().fault.rate = opts_.fault_rate > 1.0 ? 1.0
+                                                        : opts_.fault_rate;
     }
     if (!opts_.trace_path.empty()) {
       obs::set_all(true);
@@ -109,6 +125,10 @@ inline sim::Options extract_obs_options(int& argc, char** argv) {
       opts.trace_path = argv[++i];
     } else if (arg == "--clock" && i + 1 < argc) {
       opts.clock = argv[++i];
+    } else if (arg == "--retry" && i + 1 < argc) {
+      opts.retry = argv[++i];
+    } else if (arg == "--fault-rate" && i + 1 < argc) {
+      opts.fault_rate = std::atof(argv[++i]);
     } else if (arg == "--hist") {
       opts.hist = true;
     } else {
@@ -149,6 +169,27 @@ inline void print_htm_diagnostics() {
       static_cast<unsigned long long>(s.coalesced_stores),
       static_cast<unsigned long long>(s.max_read_set),
       static_cast<unsigned long long>(s.max_write_set));
+  std::printf(
+      "[htm] retry=%s faults-injected=%llu tle-entries=%llu "
+      "storm-enter/exit=%llu/%llu max-consec-aborts=%llu\n",
+      htm::to_string(htm::config().retry_policy),
+      static_cast<unsigned long long>(s.faults_injected),
+      static_cast<unsigned long long>(s.tle_entries),
+      static_cast<unsigned long long>(s.storm_entries),
+      static_cast<unsigned long long>(s.storm_exits),
+      static_cast<unsigned long long>(s.max_consec_aborts));
+  // Per-cause retry depth quantiles — which abort attempt number each cause
+  // was recorded at (attempt 0 = first try); populated whenever aborts occur.
+  for (std::size_t c = 0; c < obs::kNumRetryCauses; ++c) {
+    const obs::RetrySummary rs = obs::summarize_retries(c);
+    if (rs.count == 0) continue;
+    std::printf(
+        "[obs] retry %-12s n=%-9llu p50-attempt=%.0f p99-attempt=%.0f "
+        "max-attempt=%llu\n",
+        obs::retry_cause_name(static_cast<uint8_t>(c)),
+        static_cast<unsigned long long>(rs.count), rs.p50_attempt,
+        rs.p99_attempt, static_cast<unsigned long long>(rs.max_attempt));
+  }
   // Per-operation latency quantiles — populated only on --hist/--trace runs
   // (or in DC_TRACE builds for the commit path).
   for (int op = 0; op < static_cast<int>(obs::OpKind::kNumOps); ++op) {
@@ -234,6 +275,11 @@ inline void write_json_cell(std::FILE* f, const std::string& cell) {
 //   3  adds options.clock (active clock policy) and the clock/coalescing
 //      counters htm.writer_commits, htm.sloppy_stamps, htm.clock_resamples,
 //      htm.clock_catchups, htm.coalesced_stores
+//   4  adds options.retry + options.fault_rate, the robustness counters
+//      htm.faults_injected, htm.tle_entries, htm.storm_entries,
+//      htm.storm_exits, htm.max_consec_aborts, the three spurious
+//      aborts_by_code entries (interrupt/tlb-miss/save-restore), and a
+//      top-level "retry" section with per-cause attempt-depth quantiles
 inline void write_json_report(const std::string& path,
                               const std::string& bench_name,
                               const util::Table& table,
@@ -249,18 +295,20 @@ inline void write_json_report(const std::string& path,
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tmv);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": 3,\n");
+  std::fprintf(f, "  \"schema_version\": 4,\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n",
                detail::json_escape(bench_name).c_str());
   std::fprintf(f, "  \"generated_utc\": \"%s\",\n", stamp);
   std::fprintf(f,
                "  \"options\": {\"duration_ms\": %g, \"repeats\": %d, "
                "\"max_threads\": %u, \"hist\": %s, \"trace\": %s, "
-               "\"clock\": \"%s\"},\n",
+               "\"clock\": \"%s\", \"retry\": \"%s\", \"fault_rate\": %g},\n",
                opts.duration_ms, opts.repeats, opts.max_threads,
                opts.hist ? "true" : "false",
                opts.trace_path.empty() ? "false" : "true",
-               htm::to_string(htm::config().clock_policy));
+               htm::to_string(htm::config().clock_policy),
+               htm::to_string(htm::config().retry_policy),
+               htm::config().fault.rate);
   const htm::TxnStats s = htm::aggregate_stats();
   std::fprintf(
       f,
@@ -270,7 +318,10 @@ inline void write_json_report(const std::string& path,
       "\"writer_commits\": %llu, \"sloppy_stamps\": %llu, "
       "\"clock_resamples\": %llu, \"clock_catchups\": %llu, "
       "\"coalesced_stores\": %llu, "
-      "\"max_read_set\": %llu, \"max_write_set\": %llu,\n"
+      "\"max_read_set\": %llu, \"max_write_set\": %llu, "
+      "\"faults_injected\": %llu, \"tle_entries\": %llu, "
+      "\"storm_entries\": %llu, \"storm_exits\": %llu, "
+      "\"max_consec_aborts\": %llu,\n"
       "    \"aborts_by_code\": {",
       static_cast<unsigned long long>(s.commits),
       static_cast<unsigned long long>(s.aborts), s.abort_rate(),
@@ -283,13 +334,33 @@ inline void write_json_report(const std::string& path,
       static_cast<unsigned long long>(s.clock_catchups),
       static_cast<unsigned long long>(s.coalesced_stores),
       static_cast<unsigned long long>(s.max_read_set),
-      static_cast<unsigned long long>(s.max_write_set));
+      static_cast<unsigned long long>(s.max_write_set),
+      static_cast<unsigned long long>(s.faults_injected),
+      static_cast<unsigned long long>(s.tle_entries),
+      static_cast<unsigned long long>(s.storm_entries),
+      static_cast<unsigned long long>(s.storm_exits),
+      static_cast<unsigned long long>(s.max_consec_aborts));
   for (int c = 0; c < static_cast<int>(htm::AbortCode::kNumCodes); ++c) {
     std::fprintf(f, "%s\"%s\": %llu", c == 0 ? "" : ", ",
                  htm::to_string(static_cast<htm::AbortCode>(c)),
                  static_cast<unsigned long long>(s.aborts_by_code[c]));
   }
   std::fprintf(f, "}},\n");
+  // Per-cause retry depth: at which attempt index each abort cause struck.
+  std::fprintf(f, "  \"retry\": {\"policy\": \"%s\", \"by_cause\": {\n",
+               htm::to_string(htm::config().retry_policy));
+  for (std::size_t c = 0; c < obs::kNumRetryCauses; ++c) {
+    const obs::RetrySummary rs = obs::summarize_retries(static_cast<uint8_t>(c));
+    std::fprintf(f,
+                 "    \"%s\": {\"count\": %llu, \"p50_attempt\": %.1f, "
+                 "\"p99_attempt\": %.1f, \"max_attempt\": %llu}%s\n",
+                 obs::retry_cause_name(static_cast<uint8_t>(c)),
+                 static_cast<unsigned long long>(rs.count), rs.p50_attempt,
+                 rs.p99_attempt,
+                 static_cast<unsigned long long>(rs.max_attempt),
+                 c + 1 == obs::kNumRetryCauses ? "" : ",");
+  }
+  std::fprintf(f, "  }},\n");
   // Per-operation latency quantiles (empty histograms report count 0).
   std::fprintf(f, "  \"op_latency_ns\": {\n");
   for (int op = 0; op < static_cast<int>(obs::OpKind::kNumOps); ++op) {

@@ -7,8 +7,13 @@
 #      (-DDC_SANITIZE=address; leak detection is off because the pool and
 #      the stats/trace registries intentionally never free — see
 #      src/htm/stats.hpp for the retention contract)
+#   4. (--fault) fault-injection smoke: reruns the robustness suite and the
+#      nondeterministic collect stress tests with DC_FAULT=0.1, i.e. 10% of
+#      transaction attempts killed by Rock-style spurious aborts. Only
+#      suites that assert invariants (not exact abort counts) are eligible.
 #
-# Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--clock gv1|gv5]
+# Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--fault]
+#                         [--clock gv1|gv5]
 #
 # --clock pins the global-clock policy (DC_CLOCK) for every stage, so one
 # invocation verifies the whole suite under one policy; CI runs both.
@@ -18,6 +23,7 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
 skip_tsan=0
 skip_asan=0
+fault=0
 clock=""
 prev=""
 for arg in "$@"; do
@@ -29,8 +35,9 @@ for arg in "$@"; do
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
     --skip-asan) skip_asan=1 ;;
+    --fault) fault=1 ;;
     --clock) prev="--clock" ;;
-    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --clock gv1|gv5)" >&2; exit 2 ;;
+    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --clock gv1|gv5)" >&2; exit 2 ;;
   esac
 done
 if [[ -n "$prev" ]]; then
@@ -68,6 +75,16 @@ else
   ASAN_OPTIONS="detect_leaks=0" ./build-asan/tests/htm_test
   ASAN_OPTIONS="detect_leaks=0" ./build-asan/tests/memory_test
   ASAN_OPTIONS="detect_leaks=0" ./build-asan/tests/obs_test
+fi
+
+if [[ "$fault" == 1 ]]; then
+  echo "== fault-injection smoke: DC_FAULT=0.1 (10% spurious aborts) =="
+  # robust_test is built for this (it also exercises rate 1.0 internally);
+  # the collect fuzz/stress filters assert model equivalence and liveness
+  # invariants, so they must hold under any interleaving of spurious aborts.
+  DC_FAULT=0.1 ./build/tests/robust_test
+  DC_FAULT=0.1 ./build/tests/collect_test \
+    --gtest_filter='*CollectModelFuzz*:*CollectYieldStress*'
 fi
 
 echo "== all checks passed =="

@@ -1,20 +1,28 @@
 #!/usr/bin/env python3
-"""Validate a benchmark --json report (schema_version 3) and, optionally, a
+"""Validate a benchmark --json report (schema_version 4) and, optionally, a
 Chrome trace-event file produced by --trace.
 
-Usage: scripts/validate_report.py REPORT.json [TRACE.json [--expect-events]]
+Usage: scripts/validate_report.py REPORT.json [TRACE.json] [--expect-events]
+           [--expect-faults]
 
 The C++ unit tests (tests/obs/export_schema_test.cpp) validate the same
 schemas in-process; this script is the out-of-process check CI runs against
 a real benchmark binary's output, so a packaging or flushing bug that the
 in-process test cannot see still fails the pipeline. --expect-events makes
-an empty trace an error (used by the DC_TRACE=ON smoke leg).
+an empty trace an error (used by the DC_TRACE=ON smoke leg);
+--expect-faults makes htm.faults_injected == 0 an error (used by the fault
+smoke leg, which runs with --fault-rate > 0). Without --expect-faults and
+with options.fault_rate == 0 the validator enforces the converse: a run
+with injection off must report zero injected faults and zero spurious
+aborts.
 """
 import json
 import sys
 
 OPS = ("register", "update", "deregister", "collect", "commit")
-ABORT_CODES = ("none", "conflict", "overflow", "explicit", "illegal-access")
+ABORT_CODES = ("none", "conflict", "overflow", "explicit", "illegal-access",
+               "interrupt", "tlb-miss", "save-restore")
+SPURIOUS_CODES = ("interrupt", "tlb-miss", "save-restore")
 
 
 def fail(msg):
@@ -27,21 +35,24 @@ def require(cond, msg):
         fail(msg)
 
 
-def validate_report(path):
+def validate_report(path, expect_faults=False):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    require(doc.get("schema_version") == 3, "schema_version must be 3")
+    require(doc.get("schema_version") == 4, "schema_version must be 4")
     require(isinstance(doc.get("bench"), str), "bench must be a string")
     opts = doc.get("options")
     require(isinstance(opts, dict), "options must be an object")
-    for key in ("duration_ms", "repeats", "max_threads"):
+    for key in ("duration_ms", "repeats", "max_threads", "fault_rate"):
         require(isinstance(opts.get(key), (int, float)), f"options.{key}")
     require(opts.get("clock") in ("gv1", "gv5"), "options.clock")
+    require(opts.get("retry") in ("cause", "fixed"), "options.retry")
     htm = doc.get("htm")
     require(isinstance(htm, dict), "htm must be an object")
     for key in ("commits", "aborts", "abort_rate", "lock_fallbacks",
                 "clock_bumps", "writer_commits", "sloppy_stamps",
-                "clock_resamples", "clock_catchups", "coalesced_stores"):
+                "clock_resamples", "clock_catchups", "coalesced_stores",
+                "faults_injected", "tle_entries", "storm_entries",
+                "storm_exits", "max_consec_aborts"):
         require(isinstance(htm.get(key), (int, float)), f"htm.{key}")
     if opts["clock"] == "gv5":
         require(htm["clock_bumps"] == 0,
@@ -52,6 +63,29 @@ def validate_report(path):
         require(isinstance(by_code.get(code), int), f"aborts_by_code.{code}")
     require(sum(by_code.values()) == htm["aborts"],
             "aborts_by_code must sum to htm.aborts")
+    if expect_faults:
+        require(htm["faults_injected"] > 0,
+                "--expect-faults: no faults were injected")
+    elif opts["fault_rate"] == 0:
+        require(htm["faults_injected"] == 0,
+                "injection off but htm.faults_injected != 0")
+        for code in SPURIOUS_CODES:
+            require(by_code[code] == 0,
+                    f"injection off but aborts_by_code.{code} != 0")
+    retry = doc.get("retry")
+    require(isinstance(retry, dict), "retry must be an object")
+    require(retry.get("policy") in ("cause", "fixed"), "retry.policy")
+    by_cause = retry.get("by_cause")
+    require(isinstance(by_cause, dict), "retry.by_cause must be an object")
+    for cause in ABORT_CODES:
+        entry = by_cause.get(cause)
+        require(isinstance(entry, dict), f"retry.by_cause.{cause}")
+        for key in ("count", "p50_attempt", "p99_attempt", "max_attempt"):
+            require(isinstance(entry.get(key), (int, float)),
+                    f"retry.by_cause.{cause}.{key}")
+        if entry["count"] > 0:
+            require(entry["p50_attempt"] <= entry["p99_attempt"],
+                    f"retry.by_cause.{cause} quantiles out of order")
     lat = doc.get("op_latency_ns")
     require(isinstance(lat, dict), "op_latency_ns must be an object")
     for op in OPS:
@@ -110,11 +144,13 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    report = validate_report(argv[1])
-    summary = [f"report ok (bench={report['bench']}, "
-               f"commits={report['htm']['commits']})"]
     args = argv[2:]
     expect_events = "--expect-events" in args
+    expect_faults = "--expect-faults" in args
+    report = validate_report(argv[1], expect_faults)
+    summary = [f"report ok (bench={report['bench']}, "
+               f"commits={report['htm']['commits']}, "
+               f"faults={report['htm']['faults_injected']})"]
     trace_paths = [a for a in args if not a.startswith("--")]
     if trace_paths:
         events = validate_trace(trace_paths[0], expect_events)

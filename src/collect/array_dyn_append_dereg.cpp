@@ -149,8 +149,11 @@ void ArrayDynAppendDereg::collect(std::vector<Value>& out) {
       continue;
     }
     ctl.on_abort();
-    if (++failures >= 128 && ctl.step() == 1) {
+    if (++failures >= 128 && (ctl.step() == 1 || failures >= 512)) {
       // Liveness escape hatch: one slot via the full retry/TLE wrapper.
+      // A fixed step > 1 must not disable it — under a sustained
+      // spurious-abort storm the multi-slot read never commits, so after
+      // a larger budget burns the escape opens regardless of step size.
       Value val = 0;
       bool got = false;
       htm::atomic([&](Txn& txn) {

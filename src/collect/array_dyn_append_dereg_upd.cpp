@@ -136,7 +136,11 @@ void ArrayDynAppendDeregUpdateOpt::collect(std::vector<Value>& out) {
       continue;
     }
     ctl.on_abort();
-    if (++failures >= 128 && ctl.step() == 1) {
+    if (++failures >= 128 && (ctl.step() == 1 || failures >= 512)) {
+      // A fixed step > 1 must not disable the liveness escape: under a
+      // sustained spurious-abort storm the multi-slot read never commits,
+      // so after a larger budget burns we drop to the one-slot path
+      // (TLE-backstopped) regardless of step size.
       Value val = 0;
       bool got = false;
       htm::atomic([&](Txn& txn) {

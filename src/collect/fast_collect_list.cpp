@@ -192,15 +192,28 @@ void FastCollectList::collect_deferred(std::vector<Value>& out) {
   std::vector<Value> scratch;
   scratch.reserve(StepController::kMaxStep);
   util::Backoff backoff(4, 1024);
+  // Graceful degradation: a Collect that keeps restarting (sustained
+  // conflicts, or a spurious-abort storm killing every try_once attempt)
+  // must eventually serialize rather than spin — try_once has no TLE
+  // backstop of its own. Traversal is safe under the serial section here
+  // for the same reason it needs no validation counter: this Collect is
+  // announced, so nothing is freed until it retires below.
+  static constexpr uint32_t kSerializeAfterRestarts = 64;
+  uint32_t total_restarts = 0;
   Node* resume = head_;
   uint32_t failures = 0;
   for (bool done = false; !done;) {
     const uint32_t step = ctl.step();
     Node* next_resume = nullptr;
+    // reached_end is only trusted from a *committed* attempt: an attempt
+    // can abort at commit (validation failure, or an injected fault firing
+    // there) after the body already saw the end of the list, and honoring
+    // its flag would truncate the Collect.
+    bool reached_end = false;
     const htm::TryResult r = htm::try_once([&](Txn& txn) {
       scratch.clear();
       next_resume = nullptr;
-      done = false;
+      reached_end = false;
       Node* cur = txn.load(&resume->next);
       for (uint32_t k = 0;
            k < step && cur != nullptr && txn.store_budget_left() > 0; ++k) {
@@ -209,12 +222,13 @@ void FastCollectList::collect_deferred(std::vector<Value>& out) {
         next_resume = cur;
         cur = txn.load(&cur->next);
       }
-      if (cur == nullptr) done = true;
+      if (cur == nullptr) reached_end = true;
     });
     if (r.committed) {
       out.insert(out.end(), scratch.begin(), scratch.end());
       ctl.on_commit(static_cast<uint32_t>(scratch.size()));
       if (next_resume != nullptr) resume = next_resume;
+      done = reached_end;
       failures = 0;
       backoff.reset();
       continue;
@@ -227,6 +241,11 @@ void FastCollectList::collect_deferred(std::vector<Value>& out) {
       resume = head_;
       out.clear();
       failures = 0;
+      if (++total_restarts >= kSerializeAfterRestarts) {
+        collect_serialized(out);
+        done = true;
+        continue;
+      }
     }
     backoff.pause();
   }

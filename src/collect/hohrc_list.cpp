@@ -148,8 +148,11 @@ void HohrcList::collect(std::vector<Value>& out) {
     }
     ctl.on_abort();
     ++failures;
-    if (failures >= 128 && ctl.step() == 1) {
+    if (failures >= 128 && (ctl.step() == 1 || failures >= 512)) {
       // Liveness escape hatch: single step via the retrying wrapper.
+      // A fixed step > 1 must not disable it — after a larger failure
+      // budget burns the escape opens regardless of step size, or a
+      // sustained spurious-abort storm would livelock the walk.
       htm::atomic([&](Txn& txn) {
         scratch.clear();
         new_pin = nullptr;

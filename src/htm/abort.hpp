@@ -2,9 +2,16 @@
 //
 // The set of causes mirrors what Rock's checkpoint-status register reported
 // to software [Dice et al., ASPLOS'09]: conflicts, store-buffer overflow
-// ("size"), explicit aborts, and illegal accesses. The adaptive telescoping
-// controller (paper §3.4) keys off commit-vs-abort outcomes; tests and
-// benchmark diagnostics key off the specific cause.
+// ("size"), explicit aborts, illegal accesses, and the *spurious* causes
+// (interrupts, TLB misses, register-window save/restore) that make Rock
+// best-effort — a transaction can fail for reasons unrelated to the data it
+// touched, and re-executing it unchanged usually succeeds. The simulator
+// never hits those conditions on its own; the fault injector (htm/fault.hpp)
+// raises them deliberately so the retry/TLE machinery is exercised the way
+// real Rock software exercised it. The adaptive telescoping controller
+// (paper §3.4) keys off commit-vs-abort outcomes; tests, the cause-aware
+// retry policy (htm/retry.hpp), and benchmark diagnostics key off the
+// specific cause.
 #pragma once
 
 #include <cstdint>
@@ -27,10 +34,27 @@ enum class AbortCode : uint8_t {
   // by the allocator's ownership-record bump, tagged distinctly when the
   // allocator's debug poison detects it.
   kIllegalAccess,
+  // Spurious causes (fault injection only). Rock aborted a transaction on
+  // any interrupt delivered to the strand, on an ITLB/DTLB miss taken inside
+  // the transaction, and on register-window save/restore traps. All three
+  // are transient: the same attempt re-executed unchanged is expected to
+  // succeed, which is exactly what distinguishes them from kConflict
+  // (contention — back off) and kOverflow (deterministic — escalate).
+  kInterrupt,
+  kTlbMiss,
+  kSaveRestore,
   kNumCodes,
 };
 
 const char* to_string(AbortCode code) noexcept;
+
+// True for the transient Rock-style causes a cause-aware retry policy may
+// re-execute immediately: the condition that killed the attempt is not a
+// property of the data the transaction touched.
+constexpr bool is_spurious(AbortCode code) noexcept {
+  return code == AbortCode::kInterrupt || code == AbortCode::kTlbMiss ||
+         code == AbortCode::kSaveRestore;
+}
 
 // Thrown by Txn to unwind out of the transaction body. User code must never
 // catch this type (catching it would break the retry loop); catch clauses in

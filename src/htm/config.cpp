@@ -40,6 +40,60 @@ ClockPolicy default_clock_policy() noexcept {
   return def;
 }
 
+const char* to_string(RetryPolicy policy) noexcept {
+  switch (policy) {
+    case RetryPolicy::kFixed:
+      return "fixed";
+    case RetryPolicy::kCauseAware:
+      return "cause";
+  }
+  return "?";
+}
+
+bool parse_retry_policy(const char* name, RetryPolicy& out) noexcept {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "fixed") == 0) {
+    out = RetryPolicy::kFixed;
+    return true;
+  }
+  if (std::strcmp(name, "cause") == 0) {
+    out = RetryPolicy::kCauseAware;
+    return true;
+  }
+  return false;
+}
+
+RetryPolicy default_retry_policy() noexcept {
+  // Read once, like DC_CLOCK: scripts/check.sh and CI pin the whole run to
+  // one policy without a rebuild; tests that need a specific policy set
+  // Config::retry_policy explicitly.
+  static const RetryPolicy def = [] {
+    RetryPolicy p = RetryPolicy::kCauseAware;
+    parse_retry_policy(std::getenv("DC_RETRY"), p);
+    return p;
+  }();
+  return def;
+}
+
+FaultConfig default_fault_config() noexcept {
+  // DC_FAULT="RATE" or "RATE:SEED". Out-of-range rates clamp to [0, 1];
+  // unparsable values leave injection off.
+  static const FaultConfig def = [] {
+    FaultConfig f;
+    const char* env = std::getenv("DC_FAULT");
+    if (env == nullptr) return f;
+    char* end = nullptr;
+    const double rate = std::strtod(env, &end);
+    if (end == env) return f;
+    f.rate = rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate);
+    if (*end == ':') {
+      f.seed = std::strtoull(end + 1, nullptr, 0);
+    }
+    return f;
+  }();
+  return def;
+}
+
 Config& config() noexcept {
   static Config cfg;
   return cfg;

@@ -43,6 +43,49 @@ bool parse_clock_policy(const char* name, ClockPolicy& out) noexcept;
 // environment variable ("gv1" or "gv5"; read once, at first use).
 ClockPolicy default_clock_policy() noexcept;
 
+// Retry policy of htm::atomic() (htm/retry.hpp).
+//
+//   kFixed  The pre-fault-model behaviour, kept as the reference: every
+//           abort — whatever its cause — pays one backoff pause, and the
+//           block escalates to the TLE lock after Config::tle_after_aborts
+//           consecutive failures.
+//
+//   kCause  Cause-aware (default). Spurious Rock-style aborts (interrupt /
+//           TLB miss / save-restore) are re-executed immediately — the
+//           condition was transient, waiting buys nothing; conflicts pay a
+//           jittered capped backoff; deterministic capacity overflows
+//           escalate straight to TLE instead of burning tle_after_aborts
+//           futile re-executions. Every abort still counts toward the TLE
+//           backstop, so a 100% fault storm cannot livelock a block.
+enum class RetryPolicy : uint8_t {
+  kFixed = 0,
+  kCauseAware,
+};
+
+const char* to_string(RetryPolicy policy) noexcept;
+
+// Parses "fixed"/"cause" (case-sensitive). Returns false on anything else.
+bool parse_retry_policy(const char* name, RetryPolicy& out) noexcept;
+
+// Process default: RetryPolicy::kCauseAware, overridable by the DC_RETRY
+// environment variable ("fixed" or "cause"; read once, at first use).
+RetryPolicy default_retry_policy() noexcept;
+
+// Fault-injection knobs (htm/fault.hpp). Defaults: injection off.
+struct FaultConfig {
+  // Probability in [0, 1] that one speculative attempt is hit by a spurious
+  // abort (drawn per attempt from a seeded per-thread stream, so a given
+  // (seed, thread, attempt sequence) always faults at the same points).
+  double rate = 0.0;
+  // Seed of the injector's random stream; mixed with the dense thread id so
+  // threads draw independently but reproducibly.
+  uint64_t seed = 0x5eedfau;
+};
+
+// Process default: injection off, overridable by the DC_FAULT environment
+// variable ("RATE" or "RATE:SEED", e.g. "0.1" or "0.1:42"; read once).
+FaultConfig default_fault_config() noexcept;
+
 struct Config {
   // Maximum number of transactional stores per transaction (unique words
   // written plus explicit charges for stores to private memory, which Rock's
@@ -85,6 +128,27 @@ struct Config {
   // field-by-field struct update atomic at word grain even for sub-word
   // fields. Little-endian hosts only (disabled automatically elsewhere).
   bool enable_write_coalescing = true;
+
+  // How htm::atomic() reacts to each abort cause; see RetryPolicy above.
+  // Change only while no transactions run.
+  RetryPolicy retry_policy = default_retry_policy();
+
+  // Spurious-abort injection; see FaultConfig and htm/fault.hpp. Scripted
+  // schedules (fault::set_script) are configured separately and override
+  // the rate for matching attempts.
+  FaultConfig fault = default_fault_config();
+
+  // Abort-storm graceful degradation (htm/retry.hpp): each atomic call-site
+  // keeps a contention score (+2 per conflict abort, -1 per commit, capped).
+  // When the score reaches storm_enter_score the site enters a sticky
+  // serialized (TLE) mode — every block at that site runs under the
+  // fallback lock — and it leaves the mode once commits drain the score to
+  // storm_exit_score (hysteresis, so the site does not flap at the
+  // boundary). Requires TLE (tle_after_aborts != 0); disabled under
+  // serialize_all (everything is already serial).
+  bool storm_detection = true;
+  uint32_t storm_enter_score = 32;
+  uint32_t storm_exit_score = 8;
 
   // Single-core fidelity knob: yield to the scheduler every N transactional
   // loads (0 = never). On the paper's 16-core machine a transaction's whole

@@ -1,0 +1,102 @@
+#include "htm/fault.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "htm/config.hpp"
+#include "util/rng.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::htm::fault {
+
+namespace {
+
+// The script lives behind one atomic flag: the retry hot path reads only
+// `script_on` (relaxed) when deciding whether to scan; installation is
+// quiescent-only (documented in fault.hpp), so the vector itself needs no
+// lock.
+std::vector<ScriptedAbort>& script_storage() noexcept {
+  static std::vector<ScriptedAbort>* s = new std::vector<ScriptedAbort>;
+  return *s;
+}
+
+std::atomic<bool> g_script_on{false};
+
+struct ThreadFaultState {
+  uint64_t blocks = 0;
+  bool seeded = false;
+  util::Xoshiro256 rng{0};
+};
+
+ThreadFaultState& state() noexcept {
+  thread_local ThreadFaultState s;
+  return s;
+}
+
+void seed_stream(ThreadFaultState& s) noexcept {
+  // Expand the config seed with the dense thread id through SplitMix64 so
+  // adjacent ids do not draw correlated streams.
+  util::SplitMix64 mix(config().fault.seed ^
+                       (0x9e3779b97f4a7c15ULL *
+                        (static_cast<uint64_t>(util::thread_id()) + 1)));
+  s.rng = util::Xoshiro256(mix.next());
+  s.seeded = true;
+}
+
+}  // namespace
+
+bool injection_enabled() noexcept {
+  return config().fault.rate > 0.0 ||
+         g_script_on.load(std::memory_order_relaxed);
+}
+
+uint64_t begin_block() noexcept { return state().blocks++; }
+
+Decision plan(uint64_t block, uint32_t attempt) noexcept {
+  Decision d;
+  if (g_script_on.load(std::memory_order_relaxed)) {
+    const uint32_t tid = util::thread_id();
+    for (const ScriptedAbort& e : script_storage()) {
+      if ((e.tid == kAnyThread || e.tid == tid) &&
+          (e.block == kAnyBlock || e.block == block) &&
+          e.attempt == attempt) {
+        d.fire = true;
+        d.code = e.code;
+        d.after_ops = e.after_ops;
+        return d;
+      }
+    }
+  }
+  const double rate = config().fault.rate;
+  if (rate > 0.0) {
+    ThreadFaultState& s = state();
+    if (!s.seeded) seed_stream(s);
+    if (s.rng.next_double() < rate) {
+      d.fire = true;
+      // Rock's spurious causes, drawn uniformly; the op countdown spreads
+      // the abort point across the attempt (0..23 ops in — past the body's
+      // op count it fires at commit, modelling an interrupt landing between
+      // the last access and the commit instruction).
+      static constexpr AbortCode kSpurious[3] = {
+          AbortCode::kInterrupt, AbortCode::kTlbMiss, AbortCode::kSaveRestore};
+      d.code = kSpurious[s.rng.next_below(3)];
+      d.after_ops = static_cast<uint32_t>(s.rng.next_below(24));
+    }
+  }
+  return d;
+}
+
+void set_script(std::vector<ScriptedAbort> script) {
+  script_storage() = std::move(script);
+  g_script_on.store(!script_storage().empty(), std::memory_order_relaxed);
+}
+
+void clear_script() { set_script({}); }
+
+void reset_thread() noexcept {
+  ThreadFaultState& s = state();
+  s.blocks = 0;
+  s.seeded = false;  // re-seed lazily from the current Config::fault.seed
+}
+
+}  // namespace dc::htm::fault

@@ -1,0 +1,96 @@
+// Deterministic spurious-abort injection (the Rock best-effort fault model).
+//
+// The paper's substrate is *best-effort*: Rock transactions failed for
+// reasons unrelated to the data they touched — interrupts, TLB misses,
+// register-window save/restore traps [Dice et al., ASPLOS'09 §4] — and the
+// software layers above (retry loops, backoff, the §6 TLE fallback) exist
+// precisely to absorb those failures. This simulator never hits such
+// conditions on its own, so without injection those layers are dead code.
+//
+// Two injection modes, combinable:
+//
+//  * Rate-based: Config::fault.rate gives the per-speculative-attempt
+//    probability of a spurious abort. Draws come from a per-thread
+//    util::Xoshiro256 stream seeded with Config::fault.seed mixed with the
+//    dense thread id, so a given (seed, thread, attempt sequence) faults at
+//    the same points on every run. The injected cause (kInterrupt /
+//    kTlbMiss / kSaveRestore) and the number of transactional ops the
+//    attempt survives before the abort fires are drawn from the same
+//    stream.
+//
+//  * Scripted: set_script() installs an explicit schedule — "abort attempt
+//    k of the n-th transaction on thread t after m ops with cause c" — for
+//    reproducible unit tests of exact retry behaviour. Scripted entries are
+//    matched before the rate draw.
+//
+// Mechanics: htm::atomic()/try_once() consult plan() once per speculative
+// attempt and, if it fires, *arm* the Txn (Txn::arm_fault). The armed
+// attempt raises the fault from its next transactional load/store once the
+// op countdown expires, or at commit() entry if the body issued fewer ops —
+// so an armed attempt always aborts, making the per-attempt rate exact.
+// Lock-mode (TLE) attempts are never armed: the fallback path models
+// non-speculative execution, which Rock's checkpoint machinery did not
+// cover.
+//
+// Thread attribution uses util::thread_id(); the per-thread transaction
+// counter read by scripts advances only while injection is enabled, and
+// reset_thread() rezeroes the calling thread's counter and re-seeds its
+// stream (tests call it to make block numbering start at 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/abort.hpp"
+
+namespace dc::htm::fault {
+
+// Matches any thread / any block in a ScriptedAbort.
+inline constexpr uint32_t kAnyThread = ~0u;
+inline constexpr uint64_t kAnyBlock = ~0ull;
+
+// One scripted injection: abort attempt `attempt` of the `block`-th atomic
+// block begun on thread `tid` (both counted from the last reset_thread()
+// on that thread), with cause `code`, after the attempt has issued
+// `after_ops` transactional loads/stores (0 = the first op aborts; larger
+// than the body's op count = the abort fires at commit).
+struct ScriptedAbort {
+  uint32_t tid = kAnyThread;
+  uint64_t block = kAnyBlock;
+  uint32_t attempt = 0;
+  AbortCode code = AbortCode::kInterrupt;
+  uint32_t after_ops = 0;
+};
+
+// What plan() decided for one attempt.
+struct Decision {
+  bool fire = false;
+  AbortCode code = AbortCode::kNone;
+  uint32_t after_ops = 0;
+};
+
+// True when any injection source is active (rate > 0 or a script is
+// installed). The retry loop snapshots this once per block so the
+// injection-off hot path costs one predictable branch.
+bool injection_enabled() noexcept;
+
+// Returns the calling thread's atomic-block index (post-incrementing the
+// per-thread counter). Called once per atomic block while injection is
+// enabled.
+uint64_t begin_block() noexcept;
+
+// Decides whether attempt `attempt` of block `block` on the calling thread
+// should be hit. Scripted entries match first; otherwise the rate draw.
+Decision plan(uint64_t block, uint32_t attempt) noexcept;
+
+// Installs (replaces) the scripted schedule. Quiescent-only, like config():
+// set while no transactions run. An empty vector clears the script.
+void set_script(std::vector<ScriptedAbort> script);
+void clear_script();
+
+// Rezeroes the calling thread's block counter and re-seeds its draw stream
+// from the current Config::fault.seed. Tests call this so scripts can
+// address blocks relative to the test's start.
+void reset_thread() noexcept;
+
+}  // namespace dc::htm::fault

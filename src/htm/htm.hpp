@@ -22,9 +22,12 @@
 #include "htm/abort.hpp"
 #include "htm/clock.hpp"
 #include "htm/config.hpp"
+#include "htm/fault.hpp"
+#include "htm/retry.hpp"
 #include "htm/stats.hpp"
 #include "htm/txn.hpp"
 #include "obs/histogram.hpp"
+#include "obs/retry_stats.hpp"
 #include "obs/trace.hpp"
 #include "util/backoff.hpp"
 #include "util/cycles.hpp"
@@ -164,7 +167,9 @@ struct TryResult {
 };
 
 // Runs `body` as exactly one transaction attempt (no retry, no TLE).
-// `body` must be void(Txn&).
+// `body` must be void(Txn&). Callers drive their own retry loops, so the
+// fault injector treats each call as a one-attempt block, and a non-TxnAbort
+// exception escaping the body dooms the attempt before propagating.
 template <class F>
 TryResult try_once(F&& body) {
   if (config().serialize_all) {
@@ -177,13 +182,21 @@ TryResult try_once(F&& body) {
       Txn txn(/*lock_mode=*/true);
       local_stats().lock_fallbacks++;
       obs::trace_tle_fallback(0);
-      body(txn);
+      try {
+        body(txn);
+      } catch (const TxnAbort&) {
+        throw;
+      } catch (...) {
+        txn.doom();
+        throw;
+      }
       txn.commit();
       local_stats().commits++;
       return TryResult{true, AbortCode::kNone};
     } catch (const TxnAbort& a) {  // explicit abort under the lock
       local_stats().aborts++;
       local_stats().aborts_by_code[static_cast<std::size_t>(a.code)]++;
+      obs::record_retry(static_cast<uint8_t>(a.code), 0);
       return TryResult{false, a.code};
     }
   }
@@ -196,34 +209,54 @@ TryResult try_once(F&& body) {
   }
   try {
     Txn txn;
+    if (fault::injection_enabled()) [[unlikely]] {
+      const fault::Decision d = fault::plan(fault::begin_block(), 0);
+      if (d.fire) txn.arm_fault(d.code, d.after_ops);
+    }
     if (txn.load(detail::tle_lock_word()) != 0) {
       txn.abort(AbortCode::kConflict);
     }
-    body(txn);
+    try {
+      body(txn);
+    } catch (const TxnAbort&) {
+      throw;
+    } catch (...) {
+      txn.doom();
+      throw;
+    }
     detail::commit_timed(txn);
     local_stats().commits++;
     return TryResult{true, AbortCode::kNone};
   } catch (const TxnAbort& a) {
     local_stats().aborts++;
     local_stats().aborts_by_code[static_cast<std::size_t>(a.code)]++;
+    obs::record_retry(static_cast<uint8_t>(a.code), 0);
     return TryResult{false, a.code};
   }
 }
 
-// Runs `body` atomically, retrying with backoff until it commits (or, after
-// Config::tle_after_aborts failures, under the fallback lock). Returns the
-// body's return value. This is the `atomic { ... }` of the paper's
-// pseudocode.
+// Runs `body` atomically, retrying until it commits. How each failed
+// attempt is retried — immediately, after jittered backoff, or escalated to
+// the fallback lock — is decided by the cause-aware retry controller
+// (htm/retry.hpp; Config::retry_policy selects the legacy fixed behaviour).
+// Each call-site additionally owns a sticky abort-storm state: under
+// sustained conflict the whole site degrades to serialized (TLE) execution
+// and recovers once commits return. Returns the body's return value. This
+// is the `atomic { ... }` of the paper's pseudocode.
+//
+// A non-TxnAbort exception thrown by the body dooms the attempt (orec locks
+// released, buffered stores discarded, abort hooks run) and then propagates
+// to the caller — the block is NOT retried; rethrowing out of an atomic
+// block is the supported way to bail out with a user error.
 template <class F>
 decltype(auto) atomic(F&& body) {
   using Result = std::invoke_result_t<F&, Txn&>;
-  util::Backoff backoff(4, 2048);
-  const uint32_t tle_threshold = config().tle_after_aborts;
-  const bool serialize = config().serialize_all;
-  for (uint32_t attempt = 0;; ++attempt) {
-    const bool use_lock =
-        serialize || (tle_threshold != 0 && attempt >= tle_threshold);
-    if (use_lock) {
+  // One storm state per call-site: each distinct body lambda instantiates
+  // its own copy of this template, so the static is per-source-location.
+  static detail::StormState storm;
+  detail::RetryController rc(config(), storm);
+  for (;;) {
+    if (rc.use_lock()) {
       struct TleGuard {
         TleGuard() { detail::tle_acquire(); }
         ~TleGuard() { detail::tle_release(); }
@@ -232,49 +265,90 @@ decltype(auto) atomic(F&& body) {
         TleGuard guard;
         Txn txn(/*lock_mode=*/true);
         local_stats().lock_fallbacks++;
-        obs::trace_tle_fallback(attempt);
+        obs::trace_tle_fallback(rc.attempt());
 #if defined(DC_TRACE)
-        txn.set_trace_attempt(attempt);
+        txn.set_trace_attempt(rc.attempt());
 #endif
         if constexpr (std::is_void_v<Result>) {
-          body(txn);
+          try {
+            body(txn);
+          } catch (const TxnAbort&) {
+            throw;
+          } catch (...) {
+            txn.doom();
+            throw;
+          }
           txn.commit();
+          local_stats().commits++;
+          rc.on_commit();
           return;
         } else {
-          Result r = body(txn);
+          Result r = [&]() -> Result {
+            try {
+              return body(txn);
+            } catch (const TxnAbort&) {
+              throw;
+            } catch (...) {
+              txn.doom();
+              throw;
+            }
+          }();
           txn.commit();
+          local_stats().commits++;
+          rc.on_commit();
           return r;
         }
-      } catch (const TxnAbort&) {
-        // An explicit abort under the lock: release and retry (still in
-        // lock mode on the next iteration, since attempt keeps growing).
-        backoff.pause();
+      } catch (const TxnAbort& a) {
+        // An explicit abort under the lock: release, pause, retry (the
+        // block stays in lock mode — escalation is sticky).
+        local_stats().aborts++;
+        local_stats().aborts_by_code[static_cast<std::size_t>(a.code)]++;
+        rc.on_lock_abort(a.code);
         continue;
       }
     }
     try {
       Txn txn;
 #if defined(DC_TRACE)
-      txn.set_trace_attempt(attempt);
+      txn.set_trace_attempt(rc.attempt());
 #endif
+      rc.arm_fault(txn);
       if (txn.load(detail::tle_lock_word()) != 0) {
         txn.abort(AbortCode::kConflict);
       }
       if constexpr (std::is_void_v<Result>) {
-        body(txn);
+        try {
+          body(txn);
+        } catch (const TxnAbort&) {
+          throw;
+        } catch (...) {
+          txn.doom();
+          throw;
+        }
         detail::commit_timed(txn);
         local_stats().commits++;
+        rc.on_commit();
         return;
       } else {
-        Result r = body(txn);
+        Result r = [&]() -> Result {
+          try {
+            return body(txn);
+          } catch (const TxnAbort&) {
+            throw;
+          } catch (...) {
+            txn.doom();
+            throw;
+          }
+        }();
         detail::commit_timed(txn);
         local_stats().commits++;
+        rc.on_commit();
         return r;
       }
     } catch (const TxnAbort& a) {
       local_stats().aborts++;
       local_stats().aborts_by_code[static_cast<std::size_t>(a.code)]++;
-      backoff.pause();
+      rc.on_abort(a.code);
     }
   }
 }

@@ -1,0 +1,54 @@
+#include "htm/retry.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace dc::htm {
+
+// The obs layer's cause dimension must track the AbortCode enum (obs does
+// not include htm headers; see obs/retry_stats.hpp).
+static_assert(obs::kNumRetryCauses ==
+              static_cast<std::size_t>(AbortCode::kNumCodes));
+
+namespace detail {
+
+namespace {
+
+// Storm states are function-local statics inside the atomic() template —
+// immortal by construction — so raw pointers in a never-freed registry are
+// safe, mirroring the stats-block retention contract.
+struct SiteRegistry {
+  std::mutex mu;
+  std::vector<StormState*> sites;
+};
+
+SiteRegistry& site_registry() noexcept {
+  static SiteRegistry* r = new SiteRegistry;
+  return *r;
+}
+
+}  // namespace
+
+void StormState::register_site(StormState* s) {
+  SiteRegistry& r = site_registry();
+  std::lock_guard lock(r.mu);
+  r.sites.push_back(s);
+}
+
+}  // namespace detail
+
+void reset_storm_sites() noexcept {
+  detail::SiteRegistry& r = detail::site_registry();
+  std::lock_guard lock(r.mu);
+  for (detail::StormState* s : r.sites) s->reset();
+}
+
+std::size_t storm_serialized_sites() noexcept {
+  detail::SiteRegistry& r = detail::site_registry();
+  std::lock_guard lock(r.mu);
+  std::size_t n = 0;
+  for (const detail::StormState* s : r.sites) n += s->serialized() ? 1 : 0;
+  return n;
+}
+
+}  // namespace dc::htm

@@ -69,6 +69,12 @@ const char* to_string(AbortCode code) noexcept {
       return "explicit";
     case AbortCode::kIllegalAccess:
       return "illegal-access";
+    case AbortCode::kInterrupt:
+      return "interrupt";
+    case AbortCode::kTlbMiss:
+      return "tlb-miss";
+    case AbortCode::kSaveRestore:
+      return "save-restore";
     case AbortCode::kNumCodes:
       break;
   }

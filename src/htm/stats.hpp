@@ -49,6 +49,23 @@ struct TxnStats {
   // runs (a run of k entries tiling one aligned word costs 1 store, saving
   // k-1).
   uint64_t coalesced_stores = 0;
+  // Spurious aborts raised by the fault injector (htm/fault.hpp). Included
+  // in aborts/aborts_by_code too; kept separately so "injection off" is a
+  // checkable invariant (faults_injected must be 0).
+  uint64_t faults_injected = 0;
+  // Atomic blocks that escalated from speculation to the TLE lock (counted
+  // once per block, at the first lock-mode attempt; serialize_all blocks —
+  // which never intended to speculate — do not count). lock_fallbacks, by
+  // contrast, counts lock-mode *attempts* including serialize_all.
+  uint64_t tle_entries = 0;
+  // Abort-storm detector transitions (htm/retry.hpp): call-sites entering /
+  // leaving the sticky serialized mode.
+  uint64_t storm_entries = 0;
+  uint64_t storm_exits = 0;
+  // Starvation accounting: the largest number of consecutive aborts any one
+  // atomic block on this thread suffered before finally committing
+  // (high-water mark; aggregated by max).
+  uint64_t max_consec_aborts = 0;
   // High-water marks of per-attempt read-set / write-set entries *after*
   // dedup (a repeated load or store of one word counts once). These expose
   // the load-time read-set dedup and store-time write dedup directly.
@@ -68,6 +85,13 @@ struct TxnStats {
     clock_resamples += o.clock_resamples;
     clock_catchups += o.clock_catchups;
     coalesced_stores += o.coalesced_stores;
+    faults_injected += o.faults_injected;
+    tle_entries += o.tle_entries;
+    storm_entries += o.storm_entries;
+    storm_exits += o.storm_exits;
+    if (o.max_consec_aborts > max_consec_aborts) {
+      max_consec_aborts = o.max_consec_aborts;
+    }
     if (o.max_read_set > max_read_set) max_read_set = o.max_read_set;
     if (o.max_write_set > max_write_set) max_write_set = o.max_write_set;
     return *this;

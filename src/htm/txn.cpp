@@ -96,6 +96,30 @@ void Txn::abort(AbortCode code) {
   throw TxnAbort{code};
 }
 
+void Txn::fire_fault() {
+  // The armed spurious abort strikes: disarm first (abort() must not
+  // re-enter), account it, and unwind like any other abort.
+  fault_armed_ = false;
+  local_stats().faults_injected++;
+  obs::trace_fault_injected(static_cast<uint8_t>(fault_code_),
+                            trace_attempt_, fault_ops_done_);
+  abort(fault_code_);
+}
+
+void Txn::doom() noexcept {
+  // A user exception is unwinding through the wrapper: release held orec
+  // locks (a commit-time validation failure may have left none, but the
+  // body could also have been interrupted mid-acquire in a future
+  // refactor — rollback_locks is idempotent) and record the attempt as an
+  // explicit abort so the destructor's trace/abort-hook path runs and the
+  // aborts_by_code sum stays equal to aborts.
+  rollback_locks();
+  last_abort_ = AbortCode::kExplicit;
+  TxnStats& st = local_stats();
+  st.aborts++;
+  st.aborts_by_code[static_cast<std::size_t>(AbortCode::kExplicit)]++;
+}
+
 bool Txn::try_extend(uint64_t observed) noexcept {
   if (!extension_enabled_) return false;
   // Re-sample rule: raise the shared clock to cover the observed version
@@ -311,6 +335,11 @@ bool Txn::writes_unchanged() const noexcept {
 }
 
 void Txn::commit() {
+  if (fault_armed_) {
+    // The body issued fewer ops than the fault's countdown: the spurious
+    // abort lands between the last access and the commit instruction.
+    fire_fault();
+  }
   if (lock_mode_) {
     // Under the TLE lock the transaction is exclusive; apply the buffered
     // stores through the orec-bumping path so doomed speculative readers

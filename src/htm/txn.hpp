@@ -113,7 +113,19 @@ class Txn {
   // read version; aborts (throws TxnAbort) on conflict.
   template <TxnWord T>
   T load(const T* addr) {
-    if (lock_mode_) return detail::atomic_word_load(addr);
+    if (lock_mode_) {
+      // Lock-mode stores stay buffered until commit (so an explicit abort
+      // or a user exception can still discard them), so read-own-writes
+      // must consult the write set here too — a raw memory load would
+      // return the pre-store value of a word this block already wrote.
+      const auto a = reinterpret_cast<uintptr_t>(addr);
+      const std::size_t i = write_lower_bound(a);
+      if (i < s_.write_set.size() && s_.write_set[i].addr == a) {
+        return detail::from_bits<T>(s_.write_set[i].value);
+      }
+      return detail::atomic_word_load(addr);
+    }
+    maybe_fault();
     maybe_yield();
     const auto a = reinterpret_cast<uintptr_t>(addr);
     // Read-own-writes: the write set is kept sorted by address (for commit
@@ -165,6 +177,7 @@ class Txn {
   // the write set is applied in address order, not program order.
   template <TxnWord T>
   void store(T* addr, T value) {
+    maybe_fault();  // armed only on speculative attempts (fault.hpp)
     const auto a = reinterpret_cast<uintptr_t>(addr);
     const uint64_t bits = detail::to_bits(value);
     const std::size_t i = write_lower_bound(a);
@@ -210,6 +223,24 @@ class Txn {
 
   // Request an abort of this attempt (retried by htm::atomic()).
   [[noreturn]] void abort(AbortCode code);
+
+  // Fault injection (htm/fault.hpp): dooms this speculative attempt to
+  // raise a spurious abort of cause `code` after `after_ops` further
+  // transactional loads/stores — or at commit() entry, if the body issues
+  // fewer. Called by the atomic()/try_once() wrappers before the body runs;
+  // never on lock-mode attempts.
+  void arm_fault(AbortCode code, uint32_t after_ops) noexcept {
+    fault_code_ = code;
+    fault_ops_left_ = after_ops;
+    fault_armed_ = true;
+  }
+
+  // A non-TxnAbort exception escaped the body: release any held orec locks
+  // and mark the attempt aborted (counted as kExplicit — the body, not the
+  // substrate, terminated it) so the destructor runs the abort hooks and
+  // the buffered stores are discarded. The wrappers call this before
+  // rethrowing the user's exception.
+  void doom() noexcept;
 
   // Attempts to commit; called by the htm::atomic()/try_once() wrappers.
   // Throws TxnAbort on validation failure.
@@ -325,6 +356,18 @@ class Txn {
     s_.locked.insert_at(lo, LockedOrec{o, 0});
   }
 
+  // Injected-fault countdown: one predictable not-taken branch per
+  // transactional op when no fault is armed (the common case even during
+  // injection runs — most attempts draw no fault).
+  void maybe_fault() {
+    if (fault_armed_) [[unlikely]] {
+      if (fault_ops_left_ == 0) fire_fault();
+      --fault_ops_left_;
+      ++fault_ops_done_;
+    }
+  }
+  [[noreturn]] void fire_fault();  // txn.cpp: stats + trace + abort
+
   // See Config::txn_yield_every_loads (txn.cpp; out of line so the hot path
   // stays a counter bump and a predictable branch).
   void maybe_yield() {
@@ -388,6 +431,11 @@ class Txn {
   uint32_t trace_attempt_ = 0;
   uint32_t charged_stores_ = 0;
   uint32_t loads_since_yield_ = 0;
+  // Injected-fault arming (arm_fault/maybe_fault/fire_fault).
+  bool fault_armed_ = false;
+  AbortCode fault_code_ = AbortCode::kNone;
+  uint32_t fault_ops_left_ = 0;
+  uint32_t fault_ops_done_ = 0;  // ops survived, for the trace event
   // Highest pre-lock version among the locked orecs (acquire_write_locks);
   // the commit stamp must exceed it so per-orec versions stay monotone.
   uint64_t max_prev_ = 0;

@@ -24,6 +24,12 @@ const char* abort_code_name(uint8_t code) noexcept {
       return "explicit";
     case 4:
       return "illegal-access";
+    case 5:
+      return "interrupt";
+    case 6:
+      return "tlb-miss";
+    case 7:
+      return "save-restore";
     default:
       return "?";
   }
@@ -155,6 +161,27 @@ bool export_chrome_trace(const std::string& path) {
                      "\"tid\": %u, \"args\": {\"from_rv\": %u, \"to_rv\": %u, "
                      "\"read_set\": %u}}",
                      to_us(e.tsc, t0), e.tid, e.a, e.b, e.c);
+        break;
+      case EventKind::kFaultInjected:
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"fault_injected\", \"cat\": \"htm\", "
+                     "\"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 0, "
+                     "\"tid\": %u, \"args\": {\"cause\": \"%s\", "
+                     "\"attempt\": %u, \"ops_survived\": %u}}",
+                     to_us(e.tsc, t0), e.tid, abort_code_name(e.code), e.a,
+                     e.b);
+        break;
+      case EventKind::kStormEnter:
+      case EventKind::kStormExit:
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"%s\", \"cat\": \"htm\", \"ph\": \"i\", "
+                     "\"s\": \"t\", \"ts\": %.3f, \"pid\": 0, \"tid\": %u, "
+                     "\"args\": {\"score\": %u}}",
+                     e.kind == EventKind::kStormEnter ? "storm_enter"
+                                                      : "storm_exit",
+                     to_us(e.tsc, t0), e.tid, e.a);
         break;
       case EventKind::kPoolAlloc:
       case EventKind::kPoolRecycle:

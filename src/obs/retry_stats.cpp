@@ -1,0 +1,96 @@
+#include "obs/retry_stats.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace dc::obs {
+
+namespace {
+
+// Same retention scheme as the latency histograms and htm::stats: each
+// thread's block is heap-allocated on first use and retained for the
+// process lifetime, so aggregation after a join never reads freed memory.
+struct RetryBlock {
+  LogHistogram by_cause[kNumRetryCauses];
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<RetryBlock*> blocks;
+};
+
+Registry& registry() noexcept {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+RetryBlock* make_local_block() {
+  auto* block = new RetryBlock;
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  r.blocks.push_back(block);
+  return block;
+}
+
+RetryBlock& local_block() noexcept {
+  thread_local RetryBlock* block = make_local_block();
+  return *block;
+}
+
+}  // namespace
+
+const char* retry_cause_name(uint8_t cause) noexcept {
+  switch (cause) {
+    case 0:
+      return "none";
+    case 1:
+      return "conflict";
+    case 2:
+      return "overflow";
+    case 3:
+      return "explicit";
+    case 4:
+      return "illegal-access";
+    case 5:
+      return "interrupt";
+    case 6:
+      return "tlb-miss";
+    case 7:
+      return "save-restore";
+    default:
+      return "?";
+  }
+}
+
+void record_retry(uint8_t cause, uint32_t attempt) noexcept {
+  if (cause >= kNumRetryCauses) return;
+  local_block().by_cause[cause].record(attempt);
+}
+
+LogHistogram aggregate_retry_histogram(uint8_t cause) noexcept {
+  LogHistogram total;
+  if (cause >= kNumRetryCauses) return total;
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (const RetryBlock* b : r.blocks) total.merge(b->by_cause[cause]);
+  return total;
+}
+
+RetrySummary summarize_retries(uint8_t cause) noexcept {
+  const LogHistogram h = aggregate_retry_histogram(cause);
+  RetrySummary s;
+  s.count = h.count();
+  if (s.count == 0) return s;
+  s.p50_attempt = static_cast<double>(h.percentile(0.50));
+  s.p99_attempt = static_cast<double>(h.percentile(0.99));
+  s.max_attempt = h.max();
+  return s;
+}
+
+void reset_retry_stats() noexcept {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (RetryBlock* b : r.blocks) *b = RetryBlock{};
+}
+
+}  // namespace dc::obs

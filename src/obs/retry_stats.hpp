@@ -1,0 +1,54 @@
+// Per-cause retry histograms: how deep into its retry sequence an atomic
+// block was when each abort cause struck.
+//
+// The retry loop (htm/retry.hpp) records one sample per abort — the cause
+// byte and the 0-based attempt index the abort killed — into thread-local
+// per-cause LogHistograms. Unlike the latency histograms this is always on
+// (no timing_enabled() gate): the record happens on the abort path only, so
+// its cost is invisible next to the re-execution it accompanies, and the
+// resulting distribution ("conflicts die at attempt 0-2, overflows would
+// have burned all 64" pre-escalation) is the evidence the cause-aware
+// policy's decisions are judged by. Quantiles surface in the benchmark
+// diagnostics and in the JSON report's `retry` section (schema v4).
+//
+// obs deliberately does not depend on htm (see export.cpp), so the cause is
+// a raw byte; kNumRetryCauses mirrors htm::AbortCode::kNumCodes and a
+// static_assert in htm/retry.cpp keeps them in sync.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/histogram.hpp"
+
+namespace dc::obs {
+
+// Mirror of htm::AbortCode::kNumCodes (keep in sync; asserted in
+// htm/retry.cpp).
+inline constexpr std::size_t kNumRetryCauses = 8;
+
+// Human-readable name for a raw abort-cause byte ("conflict", "overflow",
+// "interrupt", ...; "?" when out of range). Mirrors htm::to_string(AbortCode)
+// without the dependency.
+const char* retry_cause_name(uint8_t cause) noexcept;
+
+// Records that an attempt at retry index `attempt` (0-based) aborted with
+// `cause`. Out-of-range causes are dropped.
+void record_retry(uint8_t cause, uint32_t attempt) noexcept;
+
+// Merged histogram of attempt indices for `cause` across all threads
+// (including exited ones) since the last reset. Quiescent-only.
+LogHistogram aggregate_retry_histogram(uint8_t cause) noexcept;
+
+// Quantiles of the attempt-index distribution for one cause.
+struct RetrySummary {
+  uint64_t count = 0;       // aborts recorded with this cause
+  double p50_attempt = 0;   // attempt index quantiles (0-based)
+  double p99_attempt = 0;
+  uint64_t max_attempt = 0;
+};
+RetrySummary summarize_retries(uint8_t cause) noexcept;
+
+// Zeroes all threads' retry histograms. Quiescent-only.
+void reset_retry_stats() noexcept;
+
+}  // namespace dc::obs

@@ -146,6 +146,12 @@ const char* to_string(EventKind kind) noexcept {
       return "pool_recycle";
     case EventKind::kClockResample:
       return "clock_resample";
+    case EventKind::kFaultInjected:
+      return "fault_injected";
+    case EventKind::kStormEnter:
+      return "storm_enter";
+    case EventKind::kStormExit:
+      return "storm_exit";
     case EventKind::kNumKinds:
       break;
   }

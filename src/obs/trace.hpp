@@ -35,6 +35,10 @@ enum class EventKind : uint8_t {
   kPoolRecycle,    // a = block bytes (size class)
   kClockResample,  // a = old read version (low 32 bits), b = new read
                    // version (low 32 bits), c = read-set size revalidated
+  kFaultInjected,  // code = injected AbortCode, a = attempt #, b = ops
+                   // survived before the abort fired
+  kStormEnter,     // a = contention score at entry (htm/retry.hpp)
+  kStormExit,      // a = contention score at exit
   kNumKinds,
 };
 
@@ -150,6 +154,32 @@ inline void trace_clock_resample([[maybe_unused]] uint32_t old_rv,
 #if defined(DC_TRACE)
   if (tracing_enabled()) {
     detail::emit(EventKind::kClockResample, 0, old_rv, new_rv, read_set);
+  }
+#endif
+}
+
+// The fault injector (htm/fault.hpp) hit this attempt with a spurious abort
+// `code` after it had issued `ops_survived` transactional loads/stores.
+inline void trace_fault_injected([[maybe_unused]] uint8_t code,
+                                 [[maybe_unused]] uint32_t attempt,
+                                 [[maybe_unused]] uint32_t ops_survived)
+    noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kFaultInjected, code, attempt, ops_survived, 0);
+  }
+#endif
+}
+
+// An atomic call-site crossed the abort-storm detector's hysteresis band
+// (htm/retry.hpp): entered the sticky serialized mode (enter=true) or left
+// it after commits drained the contention score.
+inline void trace_storm([[maybe_unused]] bool enter,
+                        [[maybe_unused]] uint32_t score) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(enter ? EventKind::kStormEnter : EventKind::kStormExit, 0,
+                 score, 0, 0);
   }
 #endif
 }

@@ -32,6 +32,10 @@ Options Options::parse(int argc, char** argv) {
       opts.trace_path = next_value();
     } else if (std::strcmp(arg, "--clock") == 0) {
       opts.clock = next_value();
+    } else if (std::strcmp(arg, "--retry") == 0) {
+      opts.retry = next_value();
+    } else if (std::strcmp(arg, "--fault-rate") == 0) {
+      opts.fault_rate = std::atof(next_value());
     } else if (std::strcmp(arg, "--hist") == 0) {
       opts.hist = true;
     } else if (std::strcmp(arg, "--duration-ms") == 0) {
@@ -54,13 +58,15 @@ Options Options::parse(int argc, char** argv) {
   if (opts.repeats < 1) opts.repeats = 1;
   if (opts.duration_ms < 1.0) opts.duration_ms = 1.0;
   if (opts.max_threads < 1) opts.max_threads = 1;
+  if (opts.fault_rate > 1.0) opts.fault_rate = 1.0;
   return opts;
 }
 
 void Options::print_help(const char* prog) {
   std::printf(
       "usage: %s [--csv] [--json PATH] [--trace PATH] [--clock gv1|gv5] "
-      "[--hist] [--duration-ms N] [--repeats N] [--max-threads N] [--full]\n",
+      "[--retry cause|fixed] [--fault-rate P] [--hist] [--duration-ms N] "
+      "[--repeats N] [--max-threads N] [--full]\n",
       prog);
 }
 

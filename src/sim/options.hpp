@@ -16,6 +16,12 @@
 //                     -DDC_TRACE=ON build
 //   --clock POLICY    global-clock policy: gv5 (sloppy, default) or gv1
 //                     (shared fetch_add reference)
+//   --retry POLICY    retry policy: cause (cause-aware triage, default) or
+//                     fixed (legacy fixed-threshold backoff)
+//   --fault-rate P    inject Rock-style spurious aborts into a fraction P of
+//                     transaction attempts (0..1, default 0 = off); benches
+//                     use this to demonstrate graceful degradation, never
+//                     for the published figures
 #pragma once
 
 #include <cstdint>
@@ -29,6 +35,8 @@ struct Options {
   std::string json_path;   // empty = no JSON report
   std::string trace_path;  // empty = no Chrome trace dump
   std::string clock;       // empty = keep the process default (gv5/DC_CLOCK)
+  std::string retry;       // empty = keep the process default (cause/DC_RETRY)
+  double fault_rate = -1.0;  // negative = keep the process default (DC_FAULT)
   bool hist = false;       // per-operation latency histograms
   double duration_ms = 50.0;
   int repeats = 3;

@@ -24,27 +24,59 @@ inline void cpu_relax() noexcept {
 
 class Backoff {
  public:
-  // `min_spins`/`max_spins` bound the pause-loop length; the loop doubles on
-  // every call. On a machine with fewer cores than runnable threads the
-  // yield threshold matters far more than the pause count, so after the
-  // spin budget is exhausted we yield to the scheduler.
+  // `min_spins`/`max_spins` bound the pause-loop length. Each pause() draws
+  // the next window with *decorrelated jitter* — uniform in
+  // [min, min(max, 3 * previous)] — so the expected window still grows
+  // ~1.5x per round toward the cap, but contending threads desynchronize
+  // instead of marching in lock step, and a lucky short draw shrinks the
+  // window again (the pre-jitter doubling policy pinned at max forever once
+  // saturated, yielding with no jitter at all). On a machine with fewer
+  // cores than runnable threads the yield matters far more than the pause
+  // count, so a round whose window could reach the cap also yields to the
+  // scheduler.
   explicit Backoff(uint32_t min_spins = 4, uint32_t max_spins = 1024) noexcept
-      : current_(min_spins), max_(max_spins) {}
-
-  void pause() noexcept {
-    if (current_ >= max_) {
-      std::this_thread::yield();
-      return;
-    }
-    for (uint32_t i = 0; i < current_; ++i) cpu_relax();
-    current_ *= 2;
+      : min_(min_spins == 0 ? 1 : min_spins),
+        max_(max_spins < min_ ? min_ : max_spins),
+        current_(min_),
+        // Per-instance stream: the object address decorrelates two threads
+        // that constructed with identical arguments at the same time. |1
+        // keeps the xorshift state nonzero (zero is its fixed point).
+        rng_((0x9e3779b97f4a7c15ULL ^ reinterpret_cast<uintptr_t>(this)) | 1) {
   }
 
-  void reset(uint32_t min_spins = 4) noexcept { current_ = min_spins; }
+  void pause() noexcept {
+    const uint64_t cap3 = static_cast<uint64_t>(current_) * 3;
+    const uint32_t cap =
+        cap3 >= max_ ? max_ : static_cast<uint32_t>(cap3 < min_ ? min_ : cap3);
+    current_ = min_ + static_cast<uint32_t>(next_rand() % (cap - min_ + 1));
+    for (uint32_t i = 0; i < current_; ++i) cpu_relax();
+    if (cap >= max_) std::this_thread::yield();
+  }
+
+  // Re-arms the window to the minimum. The htm::atomic() retry loop calls
+  // this after a commit so one contended episode does not tax the next.
+  void reset() noexcept { current_ = min_; }
+
+  // The spin count of the most recent window (tests; bounded by
+  // [min_spins, max_spins]).
+  uint32_t last_window() const noexcept { return current_; }
 
  private:
-  uint32_t current_;
+  // xorshift64: two adds and three shifts per draw — jitter must not cost
+  // more than the spin it randomizes.
+  uint64_t next_rand() noexcept {
+    uint64_t x = rng_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_ = x;
+    return x;
+  }
+
+  uint32_t min_;
   uint32_t max_;
+  uint32_t current_;
+  uint64_t rng_;
 };
 
 }  // namespace dc::util

@@ -1,0 +1,179 @@
+// Direct coverage of the TLE fallback path (paper §6) under both global
+// clock policies: scripted faults force the lock deterministically, the
+// acquirer dooms in-flight speculation and drains write-backs, and strong
+// atomicity (nontxn_store) composes with lock-mode execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "htm/fault.hpp"
+#include "htm/htm.hpp"
+#include "util/barrier.hpp"
+
+namespace dc::htm {
+namespace {
+
+class TleFallback : public ::testing::TestWithParam<ClockPolicy> {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    config().clock_policy = GetParam();
+    fault::clear_script();
+    reset_stats();
+    reset_storm_sites();
+    fault::reset_thread();
+  }
+  void TearDown() override {
+    fault::clear_script();
+    config() = saved_;
+    reset_storm_sites();
+    fault::reset_thread();
+  }
+  Config saved_;
+};
+
+TEST_P(TleFallback, ScriptedFaultForcesFallbackAtThresholdOne) {
+  // tle_after_aborts=1: one spurious abort exhausts the budget, so the
+  // retry must run under the lock — and commit there, because lock-mode
+  // attempts are never armed.
+  config().tle_after_aborts = 1;
+  fault::set_script({{fault::kAnyThread, 0, 0, AbortCode::kInterrupt, 0}});
+  fault::reset_thread();
+  uint64_t word = 0;
+  atomic([&](Txn& txn) { txn.store(&word, uint64_t{42}); });
+  EXPECT_EQ(word, 42u);
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.faults_injected, 1u);
+  EXPECT_EQ(s.tle_entries, 1u);
+  EXPECT_EQ(s.lock_fallbacks, 1u);
+  EXPECT_EQ(s.commits, 1u);
+}
+
+TEST_P(TleFallback, RateOneStormAlwaysCompletesViaLock) {
+  // The acceptance-criteria shape: injection at rate 1.0 kills every
+  // speculative attempt, yet every block completes and tle_entries > 0.
+  config().tle_after_aborts = 3;
+  config().fault.rate = 1.0;
+  fault::reset_thread();
+  uint64_t word = 0;
+  for (int i = 0; i < 20; ++i) {
+    atomic([&](Txn& txn) { txn.store(&word, txn.load(&word) + 1); });
+  }
+  EXPECT_EQ(word, 20u);
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.commits, 20u);
+  EXPECT_EQ(s.tle_entries, 20u);
+  EXPECT_EQ(s.faults_injected, 20u * 3u);
+}
+
+TEST_P(TleFallback, LockAcquirerDoomsInFlightSpeculation) {
+  // A transaction that read the lock word before the acquirer bumped it
+  // must not commit afterward: the worker's increments land either wholly
+  // before the section (impossible here: it starts inside) or after it.
+  uint64_t counter = 0;
+  util::SpinBarrier barrier(2);
+  std::atomic<bool> section_done{false};
+  std::thread worker([&] {
+    barrier.arrive_and_wait();
+    for (int i = 0; i < 50; ++i) {
+      atomic([&](Txn& txn) { txn.store(&counter, txn.load(&counter) + 1); });
+    }
+  });
+  {
+    SerialSection section;
+    barrier.arrive_and_wait();
+    // The worker is now spinning against the held lock: its transactions
+    // read the lock word and abort. Nothing can commit into `counter`.
+    const uint64_t before = nontxn_load(&counter);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(nontxn_load(&counter), before);
+    EXPECT_EQ(before, 0u);
+    section_done.store(true);
+  }
+  worker.join();
+  EXPECT_TRUE(section_done.load());
+  EXPECT_EQ(counter, 50u);
+}
+
+TEST_P(TleFallback, MixedSpeculativeAndFallbackUpdatesStayAtomic) {
+  // Write-back drain: lock acquirers must wait for in-flight speculative
+  // write-backs, or a fallback block could interleave with a half-applied
+  // commit. Faults at 30% force constant speculation/lock transitions; the
+  // counter total proves mutual atomicity.
+  config().tle_after_aborts = 2;
+  config().fault.rate = 0.3;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  uint64_t counter = 0;
+  std::vector<uint64_t> spread(8, 0);
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      fault::reset_thread();
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        atomic([&](Txn& txn) {
+          const uint64_t c = txn.load(&counter);
+          // Touch several words so write-back is multi-store and a torn
+          // drain would be visible as a mismatched spread sum.
+          for (auto& w : spread) txn.store(&w, c + 1);
+          txn.store(&counter, c + 1);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<uint64_t>(kThreads) * kIters);
+  for (const uint64_t w : spread) EXPECT_EQ(w, counter);
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.commits, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_GT(s.faults_injected, 0u);
+}
+
+TEST_P(TleFallback, LockModeLoadsSeeOwnBufferedStores) {
+  // Lock-mode stores stay buffered until commit; a load of a word the
+  // block already stored must return the buffered value, not memory.
+  // (Regression: raw lock-mode loads turned self-transfers into money
+  // printers — load v, buffer v-1, re-load saw v again, buffer v+1.)
+  config().serialize_all = true;
+  uint64_t word = 100;
+  atomic([&](Txn& txn) {
+    const uint64_t v = txn.load(&word);
+    txn.store(&word, v - 1);
+    txn.store(&word, txn.load(&word) + 1);
+  });
+  EXPECT_EQ(word, 100u);
+}
+
+TEST_P(TleFallback, NontxnStoreComposesWithLockModeBlocks) {
+  // Strong atomicity while the block itself runs under the lock: the
+  // nontxn_store targets a word outside the transaction's sets, acquires
+  // that word's orec, and must neither deadlock against the held TLE lock
+  // nor be lost.
+  config().tle_after_aborts = 1;
+  config().fault.rate = 1.0;  // every block escalates to the lock
+  fault::reset_thread();
+  uint64_t txn_word = 0;
+  uint64_t flag = 0;
+  atomic([&](Txn& txn) {
+    txn.store(&txn_word, uint64_t{1});
+    if (txn.in_lock_mode()) nontxn_store(&flag, uint64_t{0xF1A6});
+  });
+  EXPECT_EQ(txn_word, 1u);
+  EXPECT_EQ(flag, 0xF1A6u);
+  EXPECT_GE(aggregate_stats().tle_entries, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothClocks, TleFallback,
+                         ::testing::Values(ClockPolicy::kGv1,
+                                           ClockPolicy::kGv5),
+                         [](const ::testing::TestParamInfo<ClockPolicy>& i) {
+                           return std::string(to_string(i.param));
+                         });
+
+}  // namespace
+}  // namespace dc::htm

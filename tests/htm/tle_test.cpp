@@ -32,6 +32,11 @@ TEST_F(Tle, OverflowingBlockCompletesViaLock) {
 }
 
 TEST_F(Tle, LockFallbackRecordsAborts) {
+  // Pin the legacy fixed-threshold policy: the cause-aware default
+  // escalates deterministic overflows to the lock after a single abort
+  // (covered by retry_policy_test), so the exact count of 5 burned
+  // attempts only holds under RetryPolicy::kFixed.
+  config().retry_policy = RetryPolicy::kFixed;
   config().store_buffer_capacity = 2;
   config().tle_after_aborts = 5;
   reset_stats();

@@ -1,8 +1,9 @@
 // Validates the two exporter schemas by parsing what they write:
 //  * export_chrome_trace — Chrome trace-event JSON (Perfetto-loadable);
 //  * bench::write_json_report — the versioned --json benchmark report
-//    (schema_version 3: aborts_by_code, op_latency_ns, conflicts, trace,
-//    clock-policy option + clock/coalescing counters).
+//    (schema_version 4: aborts_by_code incl. spurious causes, op_latency_ns,
+//    conflicts, trace, retry policy/fault-rate options, robustness counters,
+//    per-cause retry quantiles).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -140,14 +141,18 @@ TEST(OpSummary, QuantilesAreOrderedAndInNanoseconds) {
   EXPECT_EQ(obs::summarize_op(obs::OpKind::kUpdate).count, 0u);
 }
 
-TEST(JsonReport, SchemaV3CarriesObsSections) {
+TEST(JsonReport, SchemaV4CarriesObsSections) {
   obs::reset_histograms();
   obs::reset_conflicts();
+  obs::reset_retry_stats();
   // Populate every op histogram plus the conflict table with known data.
   for (int op = 0; op < static_cast<int>(obs::OpKind::kNumOps); ++op) {
     obs::record_op(static_cast<obs::OpKind>(op), 1000 + 100 * op);
     obs::record_op(static_cast<obs::OpKind>(op), 2000 + 100 * op);
   }
+  // Two conflict retries at attempts 0 and 3 for the retry section.
+  obs::record_retry(/*cause=conflict*/ 1, 0);
+  obs::record_retry(1, 3);
   const uint8_t ctx = obs::register_context("SchemaAlgo");
   obs::set_thread_context(ctx);
   for (int i = 0; i < 3; ++i) obs::record_conflict(99);
@@ -164,7 +169,7 @@ TEST(JsonReport, SchemaV3CarriesObsSections) {
   const auto doc = Json::parse(read_file(path));
   ASSERT_TRUE(doc.has_value()) << "report is not valid JSON";
   EXPECT_DOUBLE_EQ(field(*doc, "schema_version", Json::Type::kNumber)->number(),
-                   3.0);
+                   4.0);
   EXPECT_EQ(field(*doc, "bench", Json::Type::kString)->str(), "schema_test");
 
   const Json* options = field(*doc, "options", Json::Type::kObject);
@@ -172,20 +177,45 @@ TEST(JsonReport, SchemaV3CarriesObsSections) {
   EXPECT_FALSE(options->find("trace")->boolean());
   const std::string clock = field(*options, "clock", Json::Type::kString)->str();
   EXPECT_TRUE(clock == "gv1" || clock == "gv5") << clock;
+  const std::string retry_opt =
+      field(*options, "retry", Json::Type::kString)->str();
+  EXPECT_TRUE(retry_opt == "cause" || retry_opt == "fixed") << retry_opt;
+  field(*options, "fault_rate", Json::Type::kNumber);
 
   // HTM counters with the per-code abort breakdown.
   const Json* htm = field(*doc, "htm", Json::Type::kObject);
   field(*htm, "commits", Json::Type::kNumber);
   for (const char* counter :
        {"writer_commits", "clock_bumps", "sloppy_stamps", "clock_resamples",
-        "clock_catchups", "coalesced_stores"}) {
+        "clock_catchups", "coalesced_stores", "faults_injected",
+        "tle_entries", "storm_entries", "storm_exits", "max_consec_aborts"}) {
     field(*htm, counter, Json::Type::kNumber);
   }
   const Json* by_code = field(*htm, "aborts_by_code", Json::Type::kObject);
   for (const char* code :
-       {"none", "conflict", "overflow", "explicit", "illegal-access"}) {
+       {"none", "conflict", "overflow", "explicit", "illegal-access",
+        "interrupt", "tlb-miss", "save-restore"}) {
     field(*by_code, code, Json::Type::kNumber);
   }
+
+  // Per-cause retry quantiles, with the two conflict samples we recorded.
+  const Json* retry = field(*doc, "retry", Json::Type::kObject);
+  const std::string policy =
+      field(*retry, "policy", Json::Type::kString)->str();
+  EXPECT_TRUE(policy == "cause" || policy == "fixed") << policy;
+  const Json* by_cause = field(*retry, "by_cause", Json::Type::kObject);
+  for (const char* cause :
+       {"none", "conflict", "overflow", "explicit", "illegal-access",
+        "interrupt", "tlb-miss", "save-restore"}) {
+    const Json* entry = field(*by_cause, cause, Json::Type::kObject);
+    field(*entry, "count", Json::Type::kNumber);
+    field(*entry, "p50_attempt", Json::Type::kNumber);
+    field(*entry, "p99_attempt", Json::Type::kNumber);
+    field(*entry, "max_attempt", Json::Type::kNumber);
+  }
+  const Json* conflict_retry = by_cause->find("conflict");
+  EXPECT_DOUBLE_EQ(conflict_retry->find("count")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(conflict_retry->find("max_attempt")->number(), 3.0);
 
   // Per-operation latency quantiles for every op, with our recorded counts.
   const Json* lat = field(*doc, "op_latency_ns", Json::Type::kObject);
@@ -230,6 +260,7 @@ TEST(JsonReport, SchemaV3CarriesObsSections) {
 
   obs::reset_histograms();
   obs::reset_conflicts();
+  obs::reset_retry_stats();
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,189 @@
+// Fault-crossed robustness tier: every Dynamic Collect algorithm must stay
+// correct AND live when 10% of all transaction attempts are killed by
+// Rock-style spurious aborts, under both global-clock policies. Liveness is
+// structural: every worker runs a *bounded* operation count with no stop
+// flag, so a livelocked retry loop hangs the test instead of passing
+// vacuously. Correctness is the Dynamic Collect spec: stable handles are
+// always collected, foreign values never appear, and after full
+// deregistration a Collect returns empty.
+//
+// This suite is also the DC_FAULT smoke target: scripts/check.sh --fault
+// and the CI fault-smoke job run it with DC_FAULT=0.1 exported, which
+// layers the process-default injection on top of the fixture's own.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "collect/registry.hpp"
+#include "htm/fault.hpp"
+#include "htm/htm.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+
+namespace dc::collect {
+namespace {
+
+// The fault model only exercises algorithms that run transactions; the two
+// non-transactional baselines (StaticBaseline, DynamicBaseline) would
+// trivially see zero injected faults and zero TLE entries.
+std::vector<AlgoInfo> htm_algorithms() {
+  std::vector<AlgoInfo> algos;
+  for (const AlgoInfo& info : all_algorithms()) {
+    if (info.uses_htm) algos.push_back(info);
+  }
+  return algos;
+}
+
+class FaultRobustness
+    : public ::testing::TestWithParam<std::tuple<AlgoInfo, htm::ClockPolicy>> {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::config().clock_policy = std::get<1>(GetParam());
+    htm::config().fault.rate = 0.10;
+    htm::config().fault.seed = 0xB0B0;
+    htm::reset_stats();
+    htm::reset_storm_sites();
+    htm::fault::reset_thread();
+    MakeParams params;
+    params.static_capacity = 256;
+    params.max_threads = 8;
+    obj_ = std::get<0>(GetParam()).make(params);
+  }
+  void TearDown() override {
+    htm::config() = saved_;
+    htm::reset_storm_sites();
+    htm::fault::reset_thread();
+  }
+  std::unique_ptr<DynamicCollect> obj_;
+  htm::Config saved_;
+};
+
+TEST_P(FaultRobustness, SpecHoldsUnderTenPercentSpuriousAborts) {
+  constexpr int kWorkers = 3;
+  constexpr int kOpsPerWorker = 1500;
+  constexpr Value kStableTag = 0xABCull << 52;
+  constexpr Value kChurnTag = 0xDEFull << 52;
+  std::vector<Handle> stable;
+  for (int i = 0; i < 8; ++i) {
+    stable.push_back(
+        obj_->register_handle(kStableTag | static_cast<Value>(i)));
+  }
+  util::SpinBarrier barrier(kWorkers + 1);
+  std::vector<std::thread> workers;
+  std::atomic<int> workers_done{0};
+  const bool fast_collect_eager =
+      std::string(obj_->name()) == "ListFastCollect";
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      htm::fault::reset_thread();
+      barrier.arrive_and_wait();
+      util::Xoshiro256 rng(static_cast<uint64_t>(w) * 104729 + 13);
+      std::vector<Handle> mine;
+      uint64_t seq = 0;
+      // Bounded loop, no stop flag: finishing all kOpsPerWorker operations
+      // under injected faults IS the liveness assertion.
+      for (int op = 0; op < kOpsPerWorker; ++op) {
+        const uint64_t dice = rng.next_below(10);
+        const bool may_churn = !fast_collect_eager || (op % 8 == 0);
+        if (dice < 4 && mine.size() < 20 && may_churn) {
+          mine.push_back(obj_->register_handle(kChurnTag | ++seq));
+        } else if (dice < 6 && !mine.empty() && may_churn) {
+          obj_->deregister(mine.back());
+          mine.pop_back();
+        } else if (!mine.empty()) {
+          obj_->update(mine[rng.next_below(mine.size())],
+                       kChurnTag | ++seq);
+        }
+      }
+      for (Handle h : mine) obj_->deregister(h);
+      workers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  barrier.arrive_and_wait();
+  std::vector<Value> out;
+  int rounds = 0;
+  do {
+    ++rounds;
+    obj_->collect(out);
+    std::set<Value> stable_seen;
+    for (const Value v : out) {
+      const bool is_stable =
+          (v >> 52) == (kStableTag >> 52) && (v & ((1ULL << 52) - 1)) < 8;
+      const bool is_churn = (v >> 52) == (kChurnTag >> 52);
+      ASSERT_TRUE(is_stable || is_churn)
+          << obj_->name() << ": foreign value 0x" << std::hex << v;
+      if (is_stable) stable_seen.insert(v);
+    }
+    ASSERT_EQ(stable_seen.size(), 8u) << obj_->name() << " round " << rounds;
+  } while (workers_done.load(std::memory_order_acquire) < kWorkers &&
+           rounds < 100000);
+  for (auto& t : workers) t.join();
+  for (Handle h : stable) obj_->deregister(h);
+  obj_->collect(out);
+  EXPECT_TRUE(out.empty()) << obj_->name();
+
+  // The run must actually have exercised the fault model, and progress must
+  // have flowed through commits (spurious aborts are retried or escalated,
+  // never silently dropped). The commit count is not tied to the op count:
+  // some algorithms are transactional only on register/deregister, with
+  // Update and Collect running non-transactionally.
+  const htm::TxnStats s = htm::aggregate_stats();
+  EXPECT_GT(s.faults_injected, 0u) << "injection armed but no faults fired";
+  EXPECT_GT(s.commits, 0u);
+  EXPECT_EQ(s.aborts_by_code[static_cast<int>(htm::AbortCode::kInterrupt)] +
+                s.aborts_by_code[static_cast<int>(htm::AbortCode::kTlbMiss)] +
+                s.aborts_by_code[static_cast<int>(
+                    htm::AbortCode::kSaveRestore)],
+            s.faults_injected)
+      << "every injected fault must surface as a spurious abort";
+}
+
+TEST_P(FaultRobustness, ForcedFallbackStormUsesTheLockAndStaysCorrect) {
+  // Rate 1.0: no speculative attempt can ever commit. Every block must
+  // degrade to the TLE lock (tle_entries > 0) and the spec must still hold.
+  htm::config().fault.rate = 1.0;
+  htm::config().tle_after_aborts = 2;
+  htm::fault::reset_thread();
+  std::vector<Handle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(obj_->register_handle(0x100 + static_cast<Value>(i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    obj_->update(handles[static_cast<std::size_t>(i)],
+                 0x200 + static_cast<Value>(i));
+  }
+  std::vector<Value> out;
+  obj_->collect(out);
+  std::set<Value> seen(out.begin(), out.end());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(seen.count(0x200 + static_cast<Value>(i)))
+        << obj_->name() << " lost an update under forced fallback";
+  }
+  for (Handle h : handles) obj_->deregister(h);
+  obj_->collect(out);
+  EXPECT_TRUE(out.empty());
+  const htm::TxnStats s = htm::aggregate_stats();
+  EXPECT_GT(s.tle_entries, 0u);
+  EXPECT_GT(s.faults_injected, 0u);
+  EXPECT_EQ(s.aborts_by_code[static_cast<int>(htm::AbortCode::kConflict)], 0u)
+      << "single-threaded run must see only injected aborts";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, FaultRobustness,
+    ::testing::Combine(::testing::ValuesIn(htm_algorithms()),
+                       ::testing::Values(htm::ClockPolicy::kGv1,
+                                         htm::ClockPolicy::kGv5)),
+    [](const ::testing::TestParamInfo<FaultRobustness::ParamType>& info) {
+      return std::string(std::get<0>(info.param).name) + "_" +
+             htm::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dc::collect

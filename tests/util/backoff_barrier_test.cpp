@@ -20,6 +20,54 @@ TEST(Backoff, PauseTerminatesAndGrows) {
   SUCCEED();
 }
 
+TEST(Backoff, WindowStaysWithinBounds) {
+  // Decorrelated jitter: every drawn window must land in [min, max], no
+  // matter how long the pause sequence runs (the old implementation
+  // saturated at max and stayed there; the jittered one keeps drawing but
+  // must never exceed the cap or undershoot the floor).
+  Backoff b(4, 64);
+  for (int i = 0; i < 200; ++i) {
+    b.pause();
+    EXPECT_GE(b.last_window(), 4u);
+    EXPECT_LE(b.last_window(), 64u);
+  }
+}
+
+TEST(Backoff, ResetReturnsWindowToMinimum) {
+  Backoff b(4, 1024);
+  for (int i = 0; i < 50; ++i) b.pause();  // drive the window up
+  b.reset();
+  // After reset the next draw is bounded by 3x the minimum (the
+  // decorrelated-jitter growth cap), not by wherever the previous episode
+  // left the window.
+  b.pause();
+  EXPECT_LE(b.last_window(), 12u);
+}
+
+TEST(Backoff, WindowsAreJittered) {
+  // Two distinct instances must not walk identical deterministic ladders —
+  // that lockstep is what the jitter exists to break. With a 512-wide range
+  // and 32 draws each, identical sequences are vanishingly unlikely.
+  Backoff a(4, 2048);
+  Backoff b(4, 2048);
+  bool differed = false;
+  for (int i = 0; i < 32; ++i) {
+    a.pause();
+    b.pause();
+    if (a.last_window() != b.last_window()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(Backoff, DegenerateBoundsClamp) {
+  Backoff zero(0, 0);  // min clamps to 1, max clamps up to min
+  for (int i = 0; i < 10; ++i) zero.pause();
+  EXPECT_EQ(zero.last_window(), 1u);
+  Backoff inverted(16, 4);  // max < min clamps to min: fixed window
+  for (int i = 0; i < 10; ++i) inverted.pause();
+  EXPECT_EQ(inverted.last_window(), 16u);
+}
+
 TEST(SpinBarrier, SynchronizesPhases) {
   constexpr int kThreads = 4;
   constexpr int kPhases = 50;
