@@ -52,7 +52,9 @@ inline const collect::AlgoInfo& algo(const std::string& name) {
 //   --hist        opens only the latency-timing switch;
 //   --clock P     selects the global-clock policy before any worker starts;
 //   --retry P     selects the retry policy (cause-aware vs fixed-threshold);
-//   --fault-rate  arms the spurious-abort injector before any worker starts.
+//   --fault-rate  arms the spurious-abort injector before any worker starts;
+//   --crash-rate  arms the thread-death injector before any worker starts
+//                 (worker bodies must run under crash::run_victim to opt in).
 class ObsSession {
  public:
   explicit ObsSession(const sim::Options& opts) : opts_(opts) {
@@ -77,6 +79,10 @@ class ObsSession {
     if (opts_.fault_rate >= 0.0) {
       htm::config().fault.rate = opts_.fault_rate > 1.0 ? 1.0
                                                         : opts_.fault_rate;
+    }
+    if (opts_.crash_rate >= 0.0) {
+      htm::config().crash.rate = opts_.crash_rate > 1.0 ? 1.0
+                                                        : opts_.crash_rate;
     }
     if (!opts_.trace_path.empty()) {
       obs::set_all(true);
@@ -129,6 +135,8 @@ inline sim::Options extract_obs_options(int& argc, char** argv) {
       opts.retry = argv[++i];
     } else if (arg == "--fault-rate" && i + 1 < argc) {
       opts.fault_rate = std::atof(argv[++i]);
+    } else if (arg == "--crash-rate" && i + 1 < argc) {
+      opts.crash_rate = std::atof(argv[++i]);
     } else if (arg == "--hist") {
       opts.hist = true;
     } else {
@@ -178,6 +186,15 @@ inline void print_htm_diagnostics() {
       static_cast<unsigned long long>(s.storm_entries),
       static_cast<unsigned long long>(s.storm_exits),
       static_cast<unsigned long long>(s.max_consec_aborts));
+  if (s.crashes_injected != 0 || s.lock_recoveries != 0 ||
+      s.orphans_reaped != 0) {
+    std::printf(
+        "[htm] crashes-injected=%llu lock-recoveries=%llu "
+        "orphans-reaped=%llu\n",
+        static_cast<unsigned long long>(s.crashes_injected),
+        static_cast<unsigned long long>(s.lock_recoveries),
+        static_cast<unsigned long long>(s.orphans_reaped));
+  }
   // Per-cause retry depth quantiles — which abort attempt number each cause
   // was recorded at (attempt 0 = first try); populated whenever aborts occur.
   for (std::size_t c = 0; c < obs::kNumRetryCauses; ++c) {
@@ -280,6 +297,10 @@ inline void write_json_cell(std::FILE* f, const std::string& cell) {
 //      htm.storm_exits, htm.max_consec_aborts, the three spurious
 //      aborts_by_code entries (interrupt/tlb-miss/save-restore), and a
 //      top-level "retry" section with per-cause attempt-depth quantiles
+//   5  adds options.crash_rate and the crash-tolerance counters
+//      htm.crashes_injected, htm.lock_recoveries, htm.orphans_reaped
+//      (all three must be 0 when crash_rate is 0 — the zero-overhead
+//      guard scripts/validate_report.py enforces)
 inline void write_json_report(const std::string& path,
                               const std::string& bench_name,
                               const util::Table& table,
@@ -295,20 +316,21 @@ inline void write_json_report(const std::string& path,
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tmv);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": 4,\n");
+  std::fprintf(f, "  \"schema_version\": 5,\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n",
                detail::json_escape(bench_name).c_str());
   std::fprintf(f, "  \"generated_utc\": \"%s\",\n", stamp);
   std::fprintf(f,
                "  \"options\": {\"duration_ms\": %g, \"repeats\": %d, "
                "\"max_threads\": %u, \"hist\": %s, \"trace\": %s, "
-               "\"clock\": \"%s\", \"retry\": \"%s\", \"fault_rate\": %g},\n",
+               "\"clock\": \"%s\", \"retry\": \"%s\", \"fault_rate\": %g, "
+               "\"crash_rate\": %g},\n",
                opts.duration_ms, opts.repeats, opts.max_threads,
                opts.hist ? "true" : "false",
                opts.trace_path.empty() ? "false" : "true",
                htm::to_string(htm::config().clock_policy),
                htm::to_string(htm::config().retry_policy),
-               htm::config().fault.rate);
+               htm::config().fault.rate, htm::config().crash.rate);
   const htm::TxnStats s = htm::aggregate_stats();
   std::fprintf(
       f,
@@ -321,7 +343,9 @@ inline void write_json_report(const std::string& path,
       "\"max_read_set\": %llu, \"max_write_set\": %llu, "
       "\"faults_injected\": %llu, \"tle_entries\": %llu, "
       "\"storm_entries\": %llu, \"storm_exits\": %llu, "
-      "\"max_consec_aborts\": %llu,\n"
+      "\"max_consec_aborts\": %llu, "
+      "\"crashes_injected\": %llu, \"lock_recoveries\": %llu, "
+      "\"orphans_reaped\": %llu,\n"
       "    \"aborts_by_code\": {",
       static_cast<unsigned long long>(s.commits),
       static_cast<unsigned long long>(s.aborts), s.abort_rate(),
@@ -339,7 +363,10 @@ inline void write_json_report(const std::string& path,
       static_cast<unsigned long long>(s.tle_entries),
       static_cast<unsigned long long>(s.storm_entries),
       static_cast<unsigned long long>(s.storm_exits),
-      static_cast<unsigned long long>(s.max_consec_aborts));
+      static_cast<unsigned long long>(s.max_consec_aborts),
+      static_cast<unsigned long long>(s.crashes_injected),
+      static_cast<unsigned long long>(s.lock_recoveries),
+      static_cast<unsigned long long>(s.orphans_reaped));
   for (int c = 0; c < static_cast<int>(htm::AbortCode::kNumCodes); ++c) {
     std::fprintf(f, "%s\"%s\": %llu", c == 0 ? "" : ", ",
                  htm::to_string(static_cast<htm::AbortCode>(c)),

@@ -1,0 +1,118 @@
+// Crash-recovery storm — thread death under load and what it costs to
+// survive it.
+//
+// Victim threads hammer a CrashTolerantCollect (register/update/deregister
+// churn over a few persistent handles) while the crash injector kills them:
+// one scripted death *while holding the TLE fallback lock* per round, plus
+// rate-based deaths everywhere else (--crash-rate). The immortal main
+// thread then plays survivor: it steals the abandoned lock (implicitly, the
+// first time one of its transactions escalates), reaps the dead threads'
+// orphaned handles, and verifies the Collect shrinks back to zero.
+//
+// With --crash-rate 0 the run is completely clean — no kills are scheduled
+// and the three crash counters must stay zero. CI uses both modes: the
+// injected run is validated with validate_report.py --expect-crashes, the
+// clean run doubles as the zero-overhead guard.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "collect/lease.hpp"
+#include "collect/registry.hpp"
+#include "htm/crash.hpp"
+#include "util/cycles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const auto opts = sim::Options::parse(argc, argv);
+  const bench::ObsSession obs_session(opts);
+
+  const double rate = htm::config().crash.rate;
+  const bool injecting = rate > 0.0;
+  const uint32_t victims =
+      opts.max_threads > 4 ? 4 : (opts.max_threads < 2 ? 2 : opts.max_threads);
+  const int rounds = opts.repeats;
+  constexpr uint32_t kPersistentHandles = 4;
+  constexpr uint32_t kChurnIters = 400;
+
+  if (!opts.csv) {
+    std::printf(
+        "== Crash recovery: thread death, lock steal, orphan reap ==\n"
+        "(%u victims x %d rounds, crash rate %g%s)\n",
+        victims, rounds, rate,
+        injecting ? ", one scripted lock-held kill per round" : "");
+    bench::print_host_caveat();
+  }
+  htm::reset_stats();
+  htm::crash::reset_all();
+
+  util::Table table({"round", "victims", "crashed", "survived",
+                     "orphans_reaped", "leases_left", "collect_size",
+                     "reap_us"});
+
+  for (int round = 0; round < rounds; ++round) {
+    collect::CrashTolerantCollect col(collect::make_algorithm(
+        "ListFastCollect", bench::params_for(victims * kPersistentHandles + 8,
+                                             victims + 1)));
+    std::atomic<uint32_t> crashed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(victims);
+    for (uint32_t v = 0; v < victims; ++v) {
+      threads.emplace_back([&, v] {
+        htm::crash::reset_thread();
+        const bool survived = htm::crash::run_victim([&] {
+          std::vector<collect::Handle> mine;
+          mine.reserve(kPersistentHandles);
+          for (uint32_t h = 0; h < kPersistentHandles; ++h) {
+            mine.push_back(col.register_handle((uint64_t{v} << 32) | h));
+          }
+          if (injecting && v == 0) {
+            // Die a few atomic blocks from now, forced onto — and holding —
+            // the TLE fallback lock. The handles above stay orphaned.
+            htm::crash::schedule_self(htm::crash::Point::kLockHeld,
+                                      /*blocks_from_now=*/2);
+          }
+          for (uint32_t i = 0; i < kChurnIters; ++i) {
+            col.update(mine[i % kPersistentHandles], i);
+            collect::Handle h = col.register_handle(~uint64_t{i});
+            col.deregister(h);
+          }
+          for (collect::Handle h : mine) col.deregister(h);
+        });
+        if (!survived) crashed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Survivor's duty: reap until no orphan remains (one pass suffices when
+    // no reaper dies, but the loop is the honest protocol).
+    const uint64_t reap_start = util::rdcycles();
+    std::size_t reaped = 0;
+    while (col.orphan_count() != 0) reaped += col.reap_orphans();
+    const double reap_us =
+        util::cycles_to_ns(util::rdcycles() - reap_start) / 1000.0;
+    std::vector<collect::Value> out;
+    col.collect(out);
+
+    table.add_row({util::Table::fmt(uint64_t{static_cast<uint32_t>(round)}),
+                   util::Table::fmt(uint64_t{victims}),
+                   util::Table::fmt(uint64_t{crashed.load()}),
+                   util::Table::fmt(uint64_t{victims - crashed.load()}),
+                   util::Table::fmt(uint64_t{reaped}),
+                   util::Table::fmt(uint64_t{col.lease_count()}),
+                   util::Table::fmt(uint64_t{out.size()}),
+                   util::Table::fmt(reap_us)});
+    if (out.size() != 0 || col.lease_count() != 0) {
+      std::fprintf(stderr,
+                   "crash_recovery: round %d left %zu values / %zu leases "
+                   "after reap\n",
+                   round, out.size(), col.lease_count());
+      return 1;
+    }
+  }
+
+  bench::report(table, opts, "crash_recovery");
+  return 0;
+}

@@ -11,8 +11,14 @@
 #      nondeterministic collect stress tests with DC_FAULT=0.1, i.e. 10% of
 #      transaction attempts killed by Rock-style spurious aborts. Only
 #      suites that assert invariants (not exact abort counts) are eligible.
+#   5. (--crash) thread-death smoke: reruns the robustness suite with
+#      DC_CRASH exported (scripted + seeded kills of opted-in victim
+#      threads, including deaths while holding the TLE lock), then runs
+#      bench_crash_recovery twice — injected, validated with
+#      --expect-crashes, and clean at --crash-rate 0, where the validator
+#      enforces the zero-overhead guard (all crash counters exactly zero).
 #
-# Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--fault]
+# Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--fault] [--crash]
 #                         [--clock gv1|gv5]
 #
 # --clock pins the global-clock policy (DC_CLOCK) for every stage, so one
@@ -24,6 +30,7 @@ jobs=$(nproc 2>/dev/null || echo 2)
 skip_tsan=0
 skip_asan=0
 fault=0
+crash=0
 clock=""
 prev=""
 for arg in "$@"; do
@@ -36,8 +43,9 @@ for arg in "$@"; do
     --skip-tsan) skip_tsan=1 ;;
     --skip-asan) skip_asan=1 ;;
     --fault) fault=1 ;;
+    --crash) crash=1 ;;
     --clock) prev="--clock" ;;
-    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --clock gv1|gv5)" >&2; exit 2 ;;
+    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --crash --clock gv1|gv5)" >&2; exit 2 ;;
   esac
 done
 if [[ -n "$prev" ]]; then
@@ -85,6 +93,24 @@ if [[ "$fault" == 1 ]]; then
   DC_FAULT=0.1 ./build/tests/robust_test
   DC_FAULT=0.1 ./build/tests/collect_test \
     --gtest_filter='*CollectModelFuzz*:*CollectYieldStress*'
+fi
+
+if [[ "$crash" == 1 ]]; then
+  echo "== thread-death smoke: DC_CRASH=0.005 (crash-crossed robustness) =="
+  # Rate kills land only on opted-in victim threads, so the fault tier runs
+  # unchanged alongside; the crash tier additionally scripts one death while
+  # holding the TLE fallback lock per run.
+  DC_CRASH=0.005 ./build/tests/robust_test
+  echo "== bench_crash_recovery: injected run must trip every counter =="
+  ./build/bench/bench_crash_recovery \
+    --duration-ms 50 --repeats 2 --max-threads 4 \
+    --crash-rate 0.05 --json crash-report.json
+  python3 scripts/validate_report.py crash-report.json --expect-crashes
+  echo "== bench_crash_recovery: clean run must keep every counter at 0 =="
+  ./build/bench/bench_crash_recovery \
+    --duration-ms 50 --repeats 2 --max-threads 4 \
+    --crash-rate 0 --json crash-clean-report.json
+  python3 scripts/validate_report.py crash-clean-report.json
 fi
 
 echo "== all checks passed =="

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Validate a benchmark --json report (schema_version 4) and, optionally, a
-Chrome trace-event file produced by --trace.
+"""Validate a benchmark --json report (schema_version 4 or 5) and,
+optionally, a Chrome trace-event file produced by --trace.
 
 Usage: scripts/validate_report.py REPORT.json [TRACE.json] [--expect-events]
-           [--expect-faults]
+           [--expect-faults] [--expect-crashes]
 
 The C++ unit tests (tests/obs/export_schema_test.cpp) validate the same
 schemas in-process; this script is the out-of-process check CI runs against
@@ -14,7 +14,12 @@ an empty trace an error (used by the DC_TRACE=ON smoke leg);
 smoke leg, which runs with --fault-rate > 0). Without --expect-faults and
 with options.fault_rate == 0 the validator enforces the converse: a run
 with injection off must report zero injected faults and zero spurious
-aborts.
+aborts. --expect-crashes (v5 reports only) makes all three of
+htm.crashes_injected / htm.lock_recoveries / htm.orphans_reaped == 0 an
+error (the crash smoke leg, which runs with --crash-rate > 0); without it
+and with options.crash_rate == 0 all three counters must be exactly zero —
+the zero-overhead guard that proves the injector is fully dormant on clean
+runs.
 """
 import json
 import sys
@@ -35,24 +40,31 @@ def require(cond, msg):
         fail(msg)
 
 
-def validate_report(path, expect_faults=False):
+def validate_report(path, expect_faults=False, expect_crashes=False):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    require(doc.get("schema_version") == 4, "schema_version must be 4")
+    version = doc.get("schema_version")
+    require(version in (4, 5), "schema_version must be 4 or 5")
     require(isinstance(doc.get("bench"), str), "bench must be a string")
     opts = doc.get("options")
     require(isinstance(opts, dict), "options must be an object")
-    for key in ("duration_ms", "repeats", "max_threads", "fault_rate"):
+    opt_keys = ["duration_ms", "repeats", "max_threads", "fault_rate"]
+    if version >= 5:
+        opt_keys.append("crash_rate")
+    for key in opt_keys:
         require(isinstance(opts.get(key), (int, float)), f"options.{key}")
     require(opts.get("clock") in ("gv1", "gv5"), "options.clock")
     require(opts.get("retry") in ("cause", "fixed"), "options.retry")
     htm = doc.get("htm")
     require(isinstance(htm, dict), "htm must be an object")
-    for key in ("commits", "aborts", "abort_rate", "lock_fallbacks",
+    htm_keys = ["commits", "aborts", "abort_rate", "lock_fallbacks",
                 "clock_bumps", "writer_commits", "sloppy_stamps",
                 "clock_resamples", "clock_catchups", "coalesced_stores",
                 "faults_injected", "tle_entries", "storm_entries",
-                "storm_exits", "max_consec_aborts"):
+                "storm_exits", "max_consec_aborts"]
+    if version >= 5:
+        htm_keys += ["crashes_injected", "lock_recoveries", "orphans_reaped"]
+    for key in htm_keys:
         require(isinstance(htm.get(key), (int, float)), f"htm.{key}")
     if opts["clock"] == "gv5":
         require(htm["clock_bumps"] == 0,
@@ -72,6 +84,14 @@ def validate_report(path, expect_faults=False):
         for code in SPURIOUS_CODES:
             require(by_code[code] == 0,
                     f"injection off but aborts_by_code.{code} != 0")
+    if expect_crashes:
+        require(version >= 5, "--expect-crashes needs a v5 report")
+        for key in ("crashes_injected", "lock_recoveries", "orphans_reaped"):
+            require(htm[key] > 0, f"--expect-crashes: htm.{key} == 0")
+    elif version >= 5 and opts["crash_rate"] == 0:
+        for key in ("crashes_injected", "lock_recoveries", "orphans_reaped"):
+            require(htm[key] == 0,
+                    f"crash injection off but htm.{key} != 0")
     retry = doc.get("retry")
     require(isinstance(retry, dict), "retry must be an object")
     require(retry.get("policy") in ("cause", "fixed"), "retry.policy")
@@ -147,10 +167,12 @@ def main(argv):
     args = argv[2:]
     expect_events = "--expect-events" in args
     expect_faults = "--expect-faults" in args
-    report = validate_report(argv[1], expect_faults)
+    expect_crashes = "--expect-crashes" in args
+    report = validate_report(argv[1], expect_faults, expect_crashes)
     summary = [f"report ok (bench={report['bench']}, "
                f"commits={report['htm']['commits']}, "
-               f"faults={report['htm']['faults_injected']})"]
+               f"faults={report['htm']['faults_injected']}, "
+               f"crashes={report['htm'].get('crashes_injected', 'n/a')})"]
     trace_paths = [a for a in args if not a.startswith("--")]
     if trace_paths:
         events = validate_trace(trace_paths[0], expect_events)

@@ -1,0 +1,108 @@
+// Lease-based orphan-handle reclamation: the crash-tolerant Collect
+// decorator.
+//
+// A Dynamic Collect object assumes well-formed callers: every Register is
+// eventually matched by a DeRegister from the same thread. A thread killed
+// by the crash injector (htm/crash.hpp) breaks that contract — its handles
+// stay registered forever and Collect grows without bound. Robust SMR
+// schemes (Hyaline; the broader safe-memory-reclamation literature) treat
+// exactly this as the bar: garbage stays bounded despite stalled or dead
+// threads.
+//
+// CrashTolerantCollect wraps any DynamicCollect and restores the bound:
+//
+//  * Register/Update refresh a *lease* on the handle — the owner's
+//    (tid, epoch) liveness token plus a monotonically increasing stamp.
+//  * A survivor calls reap_orphans(): every lease whose owner token is
+//    orphaned (dead flag set, or the dense id was recycled by a new
+//    incarnation) is claimed and its handle DeRegistered *on the inner
+//    object* — batching the dead thread's DeRegisters through the normal
+//    transactional deregister path. Collect size returns to the live-thread
+//    count.
+//
+// Crash-safety argument (why a reaper completing a dead thread's half-done
+// DeRegister is sound): every inner algorithm's deregister consists of
+// retryable helper transactions followed by ONE claiming transaction, after
+// which the call runs no further atomic blocks (audited across all eight
+// algorithms). A crash therefore either fired before the claiming commit —
+// the handle is still fully registered and deregister(h) can simply be run
+// again from scratch — or after it, in which case the owner also finished
+// erasing its lease (no crash points exist outside atomic blocks), so the
+// reaper never sees the handle at all. The same argument covers a crashing
+// *reaper*: it claims leases under the table mutex, then per handle runs
+// the inner deregister and immediately erases the lease, so a reaper that
+// dies mid-batch leaves the remaining claims re-claimable (claims by dead
+// claimants are ignored) and never a half-deregistered handle.
+//
+// The lease table itself is a mutex-protected map on the non-transactional
+// side: crash points only fire inside atomic blocks, so table updates are
+// atomic with respect to thread death by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "collect/collect.hpp"
+#include "htm/crash.hpp"
+
+namespace dc::collect {
+
+class CrashTolerantCollect final : public DynamicCollect {
+ public:
+  explicit CrashTolerantCollect(std::unique_ptr<DynamicCollect> inner);
+
+  Handle register_handle(Value v) override;
+  void update(Handle h, Value v) override;
+  void deregister(Handle h) override;
+  void collect(std::vector<Value>& out) override;
+
+  const char* name() const override { return name_.c_str(); }
+  bool is_dynamic() const override { return inner_->is_dynamic(); }
+  bool uses_htm() const override { return inner_->uses_htm(); }
+  void set_step_size(uint32_t step) override { inner_->set_step_size(step); }
+  void set_adaptive(bool on) override { inner_->set_adaptive(on); }
+  void set_record_only(bool on) override { inner_->set_record_only(on); }
+  std::vector<uint64_t> slots_by_step() const override {
+    return inner_->slots_by_step();
+  }
+  void reset_step_stats() override { inner_->reset_step_stats(); }
+  std::size_t footprint_bytes() const override;
+
+  // DeRegisters (on the inner object) every handle whose lease owner is
+  // orphaned. Returns the number of handles reaped; bumps the
+  // orphans_reaped stat and emits one kOrphanReap trace event per dead
+  // owner. Any live thread may call this; concurrent reapers partition the
+  // orphans via claims.
+  std::size_t reap_orphans();
+
+  // Current number of leases (== handles registered through this wrapper
+  // and not yet deregistered or reaped).
+  std::size_t lease_count() const;
+
+  // Leases whose owner is orphaned right now (not yet reaped).
+  std::size_t orphan_count() const;
+
+  DynamicCollect& inner() noexcept { return *inner_; }
+
+ private:
+  struct Lease {
+    htm::crash::Token owner;
+    uint64_t stamp = 0;      // lease clock at the last Register/Update
+    bool claimed = false;    // a reaper owns this orphan
+    htm::crash::Token claimant;
+  };
+
+  // Refreshes (or installs) the calling thread's lease on `h`.
+  void stamp_lease(Handle h);
+
+  std::unique_ptr<DynamicCollect> inner_;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::unordered_map<Handle, Lease> leases_;
+};
+
+}  // namespace dc::collect

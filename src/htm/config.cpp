@@ -94,6 +94,24 @@ FaultConfig default_fault_config() noexcept {
   return def;
 }
 
+CrashConfig default_crash_config() noexcept {
+  // DC_CRASH="RATE" or "RATE:SEED", same grammar as DC_FAULT.
+  static const CrashConfig def = [] {
+    CrashConfig c;
+    const char* env = std::getenv("DC_CRASH");
+    if (env == nullptr) return c;
+    char* end = nullptr;
+    const double rate = std::strtod(env, &end);
+    if (end == env) return c;
+    c.rate = rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate);
+    if (*end == ':') {
+      c.seed = std::strtoull(end + 1, nullptr, 0);
+    }
+    return c;
+  }();
+  return def;
+}
+
 Config& config() noexcept {
   static Config cfg;
   return cfg;

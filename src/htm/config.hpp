@@ -86,6 +86,21 @@ struct FaultConfig {
 // variable ("RATE" or "RATE:SEED", e.g. "0.1" or "0.1:42"; read once).
 FaultConfig default_fault_config() noexcept;
 
+// Thread-death injection knobs (htm/crash.hpp). Defaults: injection off.
+struct CrashConfig {
+  // Probability in [0, 1] that one atomic block kills its (opted-in) thread,
+  // drawn per block from a seeded per-thread stream. Which crash point fires
+  // (mid-transaction / commit entry / holding the TLE lock) is drawn from
+  // the same stream.
+  double rate = 0.0;
+  // Seed of the injector's random stream; mixed with the dense thread id.
+  uint64_t seed = 0xdeadf0u;
+};
+
+// Process default: injection off, overridable by the DC_CRASH environment
+// variable ("RATE" or "RATE:SEED", e.g. "0.02" or "0.02:7"; read once).
+CrashConfig default_crash_config() noexcept;
+
 struct Config {
   // Maximum number of transactional stores per transaction (unique words
   // written plus explicit charges for stores to private memory, which Rock's
@@ -137,6 +152,11 @@ struct Config {
   // schedules (fault::set_script) are configured separately and override
   // the rate for matching attempts.
   FaultConfig fault = default_fault_config();
+
+  // Thread-death injection; see CrashConfig and htm/crash.hpp. Scripted
+  // schedules (crash::set_script) and per-thread one-shots
+  // (crash::schedule_self) are configured separately.
+  CrashConfig crash = default_crash_config();
 
   // Abort-storm graceful degradation (htm/retry.hpp): each atomic call-site
   // keeps a contention score (+2 per conflict abort, -1 per commit, capped).

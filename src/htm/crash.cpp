@@ -1,0 +1,257 @@
+#include "htm/crash.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "htm/config.hpp"
+#include "util/rng.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::htm::crash {
+
+namespace {
+
+// Same storage discipline as fault.cpp: the hot path reads one relaxed
+// atomic; script installation is quiescent-only.
+std::vector<ScriptedCrash>& script_storage() noexcept {
+  static std::vector<ScriptedCrash>* s = new std::vector<ScriptedCrash>;
+  return *s;
+}
+
+std::atomic<bool> g_script_on{false};
+
+// Number of armed self-schedules across all threads. Nonzero turns
+// injection_enabled() on so that *other* threads' lock-recovery paths are
+// active before the scheduled death happens.
+std::atomic<uint32_t> g_self_pending{0};
+
+// Number of currently-dead incarnations. Keeps recovery enabled after the
+// last kill fires (a waiter may reach the dead owner's lock long after the
+// rate/script sources went quiet); reset_all()/reset_thread() drain it.
+std::atomic<uint32_t> g_dead_count{0};
+
+struct alignas(64) LivenessSlot {
+  std::atomic<uint64_t> heartbeat{0};
+  std::atomic<uint64_t> epoch{0};
+  std::atomic<uint32_t> dead{0};
+};
+
+LivenessSlot* slots() noexcept {
+  static LivenessSlot* s = new LivenessSlot[util::kMaxThreads];
+  return s;
+}
+
+struct ThreadCrashState {
+  bool registered = false;  // slot epoch bumped for this incarnation
+  bool opted_in = false;
+  bool dead = false;
+  uint32_t tid = 0;
+  uint64_t epoch = 0;
+  uint64_t blocks = 0;
+  bool seeded = false;
+  util::Xoshiro256 rng{0};
+  // One-shot self-schedule (valid while self_armed).
+  bool self_armed = false;
+  uint64_t self_block = 0;
+  Point self_point = Point::kTxnOp;
+  uint32_t self_after_ops = 0;
+};
+
+ThreadCrashState& state() noexcept {
+  thread_local ThreadCrashState s;
+  return s;
+}
+
+// Binds the calling thread to its liveness slot: a fresh incarnation epoch
+// is taken and the dead flag cleared, so tokens held by a previous owner of
+// the same dense id stay orphaned.
+void ensure_registered(ThreadCrashState& s) noexcept {
+  if (s.registered) return;
+  s.tid = util::thread_id();
+  LivenessSlot& slot = slots()[s.tid];
+  if (slot.dead.exchange(0, std::memory_order_relaxed) != 0) {
+    g_dead_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  s.epoch = slot.epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  s.dead = false;
+  s.registered = true;
+}
+
+void seed_stream(ThreadCrashState& s) noexcept {
+  util::SplitMix64 mix(config().crash.seed ^
+                       (0x9e3779b97f4a7c15ULL *
+                        (static_cast<uint64_t>(util::thread_id()) + 1)));
+  s.rng = util::Xoshiro256(mix.next());
+  s.seeded = true;
+}
+
+}  // namespace
+
+const char* to_string(Point p) noexcept {
+  switch (p) {
+    case Point::kTxnOp:
+      return "txn_op";
+    case Point::kCommitEntry:
+      return "commit_entry";
+    case Point::kLockHeld:
+      return "lock_held";
+  }
+  return "?";
+}
+
+bool injection_enabled() noexcept {
+  return config().crash.rate > 0.0 ||
+         g_script_on.load(std::memory_order_relaxed) ||
+         g_self_pending.load(std::memory_order_relaxed) != 0 ||
+         g_dead_count.load(std::memory_order_relaxed) != 0;
+}
+
+uint64_t begin_block() noexcept {
+  ThreadCrashState& s = state();
+  ensure_registered(s);
+  return s.blocks++;
+}
+
+Decision plan(uint64_t block) noexcept {
+  Decision d;
+  ThreadCrashState& s = state();
+  if (s.dead) return d;  // a dead thread cannot die twice
+  if (s.self_armed && block >= s.self_block) {
+    d.fire = true;
+    d.point = s.self_point;
+    d.after_ops = s.self_after_ops;
+    s.self_armed = false;
+    g_self_pending.fetch_sub(1, std::memory_order_relaxed);
+    return d;
+  }
+  if (!s.opted_in) return d;  // scripted + rate kills need opt-in
+  if (g_script_on.load(std::memory_order_relaxed)) {
+    const uint32_t tid = util::thread_id();
+    for (const ScriptedCrash& e : script_storage()) {
+      if ((e.tid == kAnyThread || e.tid == tid) &&
+          (e.block == kAnyBlock || e.block == block)) {
+        d.fire = true;
+        d.point = e.point;
+        d.after_ops = e.after_ops;
+        return d;
+      }
+    }
+  }
+  const double rate = config().crash.rate;
+  if (rate > 0.0) {
+    if (!s.seeded) seed_stream(s);
+    if (s.rng.next_double() < rate) {
+      d.fire = true;
+      // Spread deaths across the three points: mostly mid-transaction, with
+      // a steady trickle of commit-entry and lock-held kills so every
+      // recovery path is exercised by a plain rate run.
+      const uint64_t r = s.rng.next_below(8);
+      d.point = r < 5 ? Point::kTxnOp
+                      : (r < 7 ? Point::kCommitEntry : Point::kLockHeld);
+      d.after_ops = static_cast<uint32_t>(s.rng.next_below(24));
+    }
+  }
+  return d;
+}
+
+void set_script(std::vector<ScriptedCrash> script) {
+  script_storage() = std::move(script);
+  g_script_on.store(!script_storage().empty(), std::memory_order_relaxed);
+}
+
+void clear_script() { set_script({}); }
+
+void schedule_self(Point point, uint64_t blocks_from_now,
+                   uint32_t after_ops) noexcept {
+  ThreadCrashState& s = state();
+  ensure_registered(s);
+  if (!s.self_armed) g_self_pending.fetch_add(1, std::memory_order_relaxed);
+  s.self_armed = true;
+  s.self_block = s.blocks + blocks_from_now;
+  s.self_point = point;
+  s.self_after_ops = after_ops;
+}
+
+void enable_self() noexcept {
+  ThreadCrashState& s = state();
+  ensure_registered(s);
+  s.opted_in = true;
+}
+
+void heartbeat() noexcept {
+  ThreadCrashState& s = state();
+  ensure_registered(s);
+  slots()[s.tid].heartbeat.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t heartbeat_of(uint32_t tid) noexcept {
+  return tid < util::kMaxThreads
+             ? slots()[tid].heartbeat.load(std::memory_order_relaxed)
+             : 0;
+}
+
+uint64_t epoch_of(uint32_t tid) noexcept {
+  return tid < util::kMaxThreads
+             ? slots()[tid].epoch.load(std::memory_order_relaxed)
+             : 0;
+}
+
+Token self_token() noexcept {
+  ThreadCrashState& s = state();
+  ensure_registered(s);
+  return Token{s.tid, s.epoch};
+}
+
+bool token_orphaned(Token t) noexcept {
+  if (t.tid >= util::kMaxThreads) return true;
+  LivenessSlot& slot = slots()[t.tid];
+  if (slot.epoch.load(std::memory_order_relaxed) != t.epoch) return true;
+  return slot.dead.load(std::memory_order_relaxed) != 0;
+}
+
+bool is_dead(uint32_t tid) noexcept {
+  return tid < util::kMaxThreads &&
+         slots()[tid].dead.load(std::memory_order_relaxed) != 0;
+}
+
+void mark_dead() noexcept {
+  ThreadCrashState& s = state();
+  ensure_registered(s);
+  if (s.dead) return;
+  s.dead = true;
+  if (slots()[s.tid].dead.exchange(1, std::memory_order_relaxed) == 0) {
+    g_dead_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool self_dead() noexcept { return state().dead; }
+
+void reset_thread() noexcept {
+  ThreadCrashState& s = state();
+  if (s.self_armed) {
+    s.self_armed = false;
+    g_self_pending.fetch_sub(1, std::memory_order_relaxed);
+  }
+  s.blocks = 0;
+  s.seeded = false;  // re-seed lazily from the current Config::crash.seed
+  s.opted_in = false;
+  s.dead = false;
+  s.registered = false;  // re-register: fresh epoch, dead flag cleared
+  ensure_registered(s);
+}
+
+void reset_all() noexcept {
+  clear_script();
+  for (uint32_t tid = 0; tid < util::kMaxThreads; ++tid) {
+    LivenessSlot& slot = slots()[tid];
+    if (slot.dead.exchange(0, std::memory_order_relaxed) != 0) {
+      g_dead_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    slot.epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Pending self-schedules on other threads stay armed (they own their
+  // counters); the calling thread clears its own via reset_thread().
+  reset_thread();
+}
+
+}  // namespace dc::htm::crash

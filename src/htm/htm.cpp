@@ -1,6 +1,7 @@
 #include "htm/htm.hpp"
 
 #include "htm/clock.hpp"
+#include "htm/crash.hpp"
 #include "util/backoff.hpp"
 #include "util/padded.hpp"
 #include "util/thread_id.hpp"
@@ -14,17 +15,81 @@ uint64_t* tle_lock_word() noexcept {
   return &word;
 }
 
+namespace {
+
+// Owner-stamped lock encoding: free = 0, held = (epoch << 16) | (tid + 1).
+// Every pre-existing "lock word != 0" check keeps working; the stamp names
+// the holder so waiters can interrogate its liveness. tid + 1 keeps the
+// word nonzero even for dense id 0 (kMaxThreads = 256 fits comfortably in
+// 16 bits), and the incarnation epoch makes a stamp left by a dead thread
+// recognizably orphaned even after the dense id is recycled.
+uint64_t make_owner_word(crash::Token t) noexcept {
+  return (t.epoch << 16) | (static_cast<uint64_t>(t.tid) + 1);
+}
+
+crash::Token owner_of(uint64_t word) noexcept {
+  return crash::Token{static_cast<uint32_t>((word & 0xffffu) - 1),
+                      word >> 16};
+}
+
+// Backoff rounds a waiter must observe an unchanged (stamp, heartbeat)
+// pair before it treats the timeout as validated and consults the
+// authoritative dead flag. Small: the flag check makes a premature timeout
+// harmless, the rounds only exist so waiters do not hammer the registry.
+constexpr uint32_t kRecoveryRounds = 4;
+
+}  // namespace
+
 void tle_acquire() noexcept {
   // Acquire the word with full conflict visibility (nontxn_cas bumps the
   // orec and global clock), then wait for in-flight commit write-backs to
   // drain. After the bump, no transaction can begin a new write-back:
-  //  - transactions begun after the bump read the lock word as 1 at begin
-  //    and abort;
+  //  - transactions begun after the bump read the lock word as nonzero at
+  //    begin and abort;
   //  - transactions begun before have the lock word's orec in their read
   //    set at a version now older than the bump, so commit validation (and
   //    load-time extension) fails.
+  //
+  // Recovery (htm/crash.hpp): when crash injection is (or recently was)
+  // active, a waiter that watches the same owner stamp with an unmoving
+  // heartbeat across kRecoveryRounds jittered-backoff rounds — a validated
+  // timeout — checks the owner's authoritative dead flag and, if the owner
+  // is gone, steals the lock by CASing the dead stamp back to 0. The dead
+  // owner's buffered write set needs no undo: a crash always fires before
+  // commit write-back, so nothing of it ever reached memory — discarding
+  // it is exactly the hardware-checkpoint rollback the paper's substrate
+  // provides. The steal CAS is ABA-safe: a dead incarnation can never
+  // re-acquire (acquisition stamps a live token and death is permanent for
+  // an epoch), so a word still equal to the orphaned stamp *is* the
+  // abandoned lock.
+  const bool recovery = crash::injection_enabled();
+  const uint64_t mine = make_owner_word(crash::self_token());
   util::Backoff backoff(8, 1024);
-  while (!nontxn_cas(tle_lock_word(), uint64_t{0}, uint64_t{1})) {
+  uint64_t watched = 0;       // owner stamp under observation
+  uint64_t watched_hb = 0;    // its heartbeat when observation began
+  uint32_t rounds_same = 0;   // backoff rounds with no movement
+  for (;;) {
+    if (nontxn_cas(tle_lock_word(), uint64_t{0}, mine)) break;
+    if (recovery) [[unlikely]] {
+      crash::heartbeat();  // waiters stay visibly alive while spinning
+      const uint64_t cur = nontxn_load(tle_lock_word());
+      if (cur == 0) continue;  // freed under us: re-contend immediately
+      const crash::Token owner = owner_of(cur);
+      const uint64_t hb = crash::heartbeat_of(owner.tid);
+      if (cur != watched || hb != watched_hb) {
+        watched = cur;
+        watched_hb = hb;
+        rounds_same = 0;
+      } else if (++rounds_same >= kRecoveryRounds) {
+        rounds_same = 0;
+        if (crash::token_orphaned(owner) &&
+            nontxn_cas(tle_lock_word(), cur, uint64_t{0})) {
+          local_stats().lock_recoveries++;
+          obs::trace_lock_recovery(owner.tid, owner.epoch);
+          continue;  // stolen back to free: re-contend immediately
+        }
+      }
+    }
     backoff.pause();
   }
   backoff.reset();
@@ -33,7 +98,13 @@ void tle_acquire() noexcept {
   }
 }
 
-void tle_release() noexcept { nontxn_store(tle_lock_word(), uint64_t{0}); }
+void tle_release() noexcept {
+  // CAS of our own stamp rather than a blind store of 0: if a waiter stole
+  // the lock (only possible when the holder is dead — and dead threads
+  // skip release), a blind store would stomp the thief's ownership.
+  const uint64_t mine = make_owner_word(crash::self_token());
+  (void)nontxn_cas(tle_lock_word(), mine, uint64_t{0});
+}
 
 }  // namespace detail
 

@@ -22,6 +22,7 @@
 #include "htm/abort.hpp"
 #include "htm/clock.hpp"
 #include "htm/config.hpp"
+#include "htm/crash.hpp"
 #include "htm/fault.hpp"
 #include "htm/retry.hpp"
 #include "htm/stats.hpp"
@@ -154,7 +155,12 @@ inline constexpr uint64_t kPoisonWord = 0xDDDDDDDDDDDDDDDDULL;
 class SerialSection {
  public:
   SerialSection() { detail::tle_acquire(); }
-  ~SerialSection() { detail::tle_release(); }
+  // A thread killed by the crash injector abandons, not releases, the lock
+  // (survivors steal it via the recoverable-lock protocol); releasing here
+  // would hand the thief's ownership away.
+  ~SerialSection() {
+    if (!crash::self_dead()) detail::tle_release();
+  }
   SerialSection(const SerialSection&) = delete;
   SerialSection& operator=(const SerialSection&) = delete;
 };
@@ -176,16 +182,27 @@ TryResult try_once(F&& body) {
     // Serial-execution ablation: no speculation, always under the lock.
     detail::tle_acquire();
     struct Release {
-      ~Release() { detail::tle_release(); }
+      // Abandon (do not release) the lock if the crash injector killed us
+      // inside the section; a survivor steals it.
+      ~Release() {
+        if (!crash::self_dead()) detail::tle_release();
+      }
     } release;
     try {
       Txn txn(/*lock_mode=*/true);
+      if (crash::injection_enabled()) [[unlikely]] {
+        crash::heartbeat();
+        const crash::Decision cd = crash::plan(crash::begin_block());
+        if (cd.fire) txn.arm_crash(cd.point, cd.after_ops);
+      }
       local_stats().lock_fallbacks++;
       obs::trace_tle_fallback(0);
       try {
         body(txn);
       } catch (const TxnAbort&) {
         throw;
+      } catch (const crash::ThreadCrash&) {
+        throw;  // a dying thread is not a doomed attempt: no abort ledger
       } catch (...) {
         txn.doom();
         throw;
@@ -213,6 +230,19 @@ TryResult try_once(F&& body) {
       const fault::Decision d = fault::plan(fault::begin_block(), 0);
       if (d.fire) txn.arm_fault(d.code, d.after_ops);
     }
+    if (crash::injection_enabled()) [[unlikely]] {
+      crash::heartbeat();
+      crash::Decision cd = crash::plan(crash::begin_block());
+      if (cd.fire) {
+        // try_once never escalates to the fallback lock, so a kLockHeld
+        // plan degenerates to a commit-entry death of this attempt.
+        if (cd.point == crash::Point::kLockHeld) {
+          cd.point = crash::Point::kCommitEntry;
+          cd.after_ops = ~0u;
+        }
+        txn.arm_crash(cd.point, cd.after_ops);
+      }
+    }
     if (txn.load(detail::tle_lock_word()) != 0) {
       txn.abort(AbortCode::kConflict);
     }
@@ -220,6 +250,8 @@ TryResult try_once(F&& body) {
       body(txn);
     } catch (const TxnAbort&) {
       throw;
+    } catch (const crash::ThreadCrash&) {
+      throw;  // a dying thread is not a doomed attempt: no abort ledger
     } catch (...) {
       txn.doom();
       throw;
@@ -259,11 +291,16 @@ decltype(auto) atomic(F&& body) {
     if (rc.use_lock()) {
       struct TleGuard {
         TleGuard() { detail::tle_acquire(); }
-        ~TleGuard() { detail::tle_release(); }
+        // A crash inside the section abandons the lock for a survivor to
+        // steal; releasing a stamp that is no longer ours would be wrong.
+        ~TleGuard() {
+          if (!crash::self_dead()) detail::tle_release();
+        }
       };
       try {
         TleGuard guard;
         Txn txn(/*lock_mode=*/true);
+        rc.arm_crash(txn);  // a kLockHeld plan dies right here, lock held
         local_stats().lock_fallbacks++;
         obs::trace_tle_fallback(rc.attempt());
 #if defined(DC_TRACE)
@@ -274,6 +311,8 @@ decltype(auto) atomic(F&& body) {
             body(txn);
           } catch (const TxnAbort&) {
             throw;
+          } catch (const crash::ThreadCrash&) {
+            throw;  // dying thread, not a doomed attempt: no abort ledger
           } catch (...) {
             txn.doom();
             throw;
@@ -287,6 +326,8 @@ decltype(auto) atomic(F&& body) {
             try {
               return body(txn);
             } catch (const TxnAbort&) {
+              throw;
+            } catch (const crash::ThreadCrash&) {
               throw;
             } catch (...) {
               txn.doom();
@@ -313,6 +354,7 @@ decltype(auto) atomic(F&& body) {
       txn.set_trace_attempt(rc.attempt());
 #endif
       rc.arm_fault(txn);
+      rc.arm_crash(txn);
       if (txn.load(detail::tle_lock_word()) != 0) {
         txn.abort(AbortCode::kConflict);
       }
@@ -321,6 +363,8 @@ decltype(auto) atomic(F&& body) {
           body(txn);
         } catch (const TxnAbort&) {
           throw;
+        } catch (const crash::ThreadCrash&) {
+          throw;  // dying thread, not a doomed attempt: no abort ledger
         } catch (...) {
           txn.doom();
           throw;
@@ -334,6 +378,8 @@ decltype(auto) atomic(F&& body) {
           try {
             return body(txn);
           } catch (const TxnAbort&) {
+            throw;
+          } catch (const crash::ThreadCrash&) {
             throw;
           } catch (...) {
             txn.doom();

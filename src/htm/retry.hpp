@@ -39,6 +39,7 @@
 #include <cstdint>
 
 #include "htm/config.hpp"
+#include "htm/crash.hpp"
 #include "htm/fault.hpp"
 #include "htm/stats.hpp"
 #include "htm/txn.hpp"
@@ -136,7 +137,12 @@ class RetryController {
         fault_on_(fault::injection_enabled()),
         block_(fault_on_ ? fault::begin_block() : 0),
         storm_on_(cfg.storm_detection && cfg.tle_after_aborts != 0 &&
-                  !cfg.serialize_all) {}
+                  !cfg.serialize_all) {
+    if (crash::injection_enabled()) [[unlikely]] {
+      crash::heartbeat();  // liveness signal for lock-recovery waiters
+      crash_plan_ = crash::plan(crash::begin_block());
+    }
+  }
 
   uint32_t attempt() const noexcept { return attempt_; }
 
@@ -144,7 +150,11 @@ class RetryController {
   // block's tle_entries the first time an *escalation* (not serialize_all)
   // reaches the lock.
   bool use_lock() noexcept {
-    const bool lock = cfg_.serialize_all || escalated_ ||
+    // A kLockHeld crash plan forces the block onto the fallback lock so the
+    // thread deterministically dies while holding it.
+    const bool force_lock =
+        crash_plan_.fire && crash_plan_.point == crash::Point::kLockHeld;
+    const bool lock = cfg_.serialize_all || escalated_ || force_lock ||
                       (storm_on_ && storm_.serialized());
     if (lock && !cfg_.serialize_all && !counted_entry_) {
       counted_entry_ = true;
@@ -158,6 +168,15 @@ class RetryController {
     if (fault_on_) [[unlikely]] {
       const fault::Decision d = fault::plan(block_, attempt_);
       if (d.fire) txn.arm_fault(d.code, d.after_ops);
+    }
+  }
+
+  // Arms `txn` with this block's planned crash, if any. Called on both the
+  // speculative and lock-mode paths: unlike faults, a crash can strike a
+  // TLE holder (that case is the recoverable lock's whole reason to exist).
+  void arm_crash(Txn& txn) noexcept {
+    if (crash_plan_.fire) [[unlikely]] {
+      txn.arm_crash(crash_plan_.point, crash_plan_.after_ops);
     }
   }
 
@@ -218,6 +237,7 @@ class RetryController {
   const bool fault_on_;
   const uint64_t block_;
   const bool storm_on_;
+  crash::Decision crash_plan_{};
   bool escalated_ = false;
   bool counted_entry_ = false;
 };

@@ -62,6 +62,17 @@ struct TxnStats {
   // leaving the sticky serialized mode.
   uint64_t storm_entries = 0;
   uint64_t storm_exits = 0;
+  // Thread deaths raised by the crash injector (htm/crash.hpp). A crash is
+  // *not* an abort: the enclosing block never commits and never retries, so
+  // crashes appear in no other counter. "Injection off" stays a checkable
+  // invariant (crashes_injected must be 0).
+  uint64_t crashes_injected = 0;
+  // TLE fallback locks stolen from a dead owner after a validated timeout
+  // (htm/htm.cpp): the recoverable-lock protocol's success count.
+  uint64_t lock_recoveries = 0;
+  // Orphaned Collect handles of dead threads DeRegistered by a survivor-run
+  // reaper (collect/lease.hpp).
+  uint64_t orphans_reaped = 0;
   // Starvation accounting: the largest number of consecutive aborts any one
   // atomic block on this thread suffered before finally committing
   // (high-water mark; aggregated by max).
@@ -89,6 +100,9 @@ struct TxnStats {
     tle_entries += o.tle_entries;
     storm_entries += o.storm_entries;
     storm_exits += o.storm_exits;
+    crashes_injected += o.crashes_injected;
+    lock_recoveries += o.lock_recoveries;
+    orphans_reaped += o.orphans_reaped;
     if (o.max_consec_aborts > max_consec_aborts) {
       max_consec_aborts = o.max_consec_aborts;
     }

@@ -106,6 +106,21 @@ void Txn::fire_fault() {
   abort(fault_code_);
 }
 
+void Txn::fire_crash() {
+  // The thread dies here: no commit, no retry. Deliberately *not* counted
+  // as an abort (aborts/aborts_by_code stay the retry loop's ledger); the
+  // destructor still runs — modelling the hardware discarding the
+  // checkpoint — so buffered stores vanish and abort hooks return in-txn
+  // allocations that were never published.
+  crash_armed_ = false;
+  last_abort_ = AbortCode::kExplicit;  // forensics: attempt did not commit
+  local_stats().crashes_injected++;
+  obs::trace_crash_injected(static_cast<uint8_t>(crash_point_),
+                            crash_ops_done_, lock_mode_);
+  crash::mark_dead();
+  throw crash::ThreadCrash{crash_point_};
+}
+
 void Txn::doom() noexcept {
   // A user exception is unwinding through the wrapper: release held orec
   // locks (a commit-time validation failure may have left none, but the
@@ -335,6 +350,13 @@ bool Txn::writes_unchanged() const noexcept {
 }
 
 void Txn::commit() {
+  if (crash_armed_) {
+    // The body issued fewer ops than the crash's countdown (or the plan was
+    // kCommitEntry): the thread dies at the commit instruction, before any
+    // write-back — under the TLE lock this abandons the lock with the write
+    // set still buffered, the state the recoverable lock must discard.
+    fire_crash();
+  }
   if (fault_armed_) {
     // The body issued fewer ops than the fault's countdown: the spurious
     // abort lands between the last access and the commit instruction.

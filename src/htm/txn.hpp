@@ -55,7 +55,9 @@
 
 #include "htm/abort.hpp"
 #include "htm/config.hpp"
+#include "htm/crash.hpp"
 #include "htm/orec.hpp"
+#include "util/asan.hpp"
 #include "util/small_vector.hpp"
 
 namespace dc::htm {
@@ -70,15 +72,26 @@ concept TxnWord =
 
 namespace detail {
 
+// The substrate's word-access primitives are exempt from ASan
+// (DC_NO_SANITIZE_ADDRESS): with pool poisoning enabled, a transactional
+// load can race a concurrent free and touch a just-poisoned word between
+// its two orec samples — defined behaviour here (the v2 recheck or the
+// version bump dooms the reader; that is the sandboxing guarantee), so it
+// must not be reported. Raw accesses that bypass these primitives remain
+// fully instrumented. The bodies use the __atomic builtins rather than
+// std::atomic_ref: the attribute does not strip instrumentation from code
+// *inlined into* the exempt function, and atomic_ref::load carries an
+// instrumented read.
 template <TxnWord T>
-T atomic_word_load(const T* addr) noexcept {
-  return std::atomic_ref<T>(*const_cast<T*>(addr))
-      .load(std::memory_order_acquire);
+DC_NO_SANITIZE_ADDRESS T atomic_word_load(const T* addr) noexcept {
+  T value;
+  __atomic_load(addr, &value, __ATOMIC_ACQUIRE);
+  return value;
 }
 
 template <TxnWord T>
-void atomic_word_store(T* addr, T value) noexcept {
-  std::atomic_ref<T>(*addr).store(value, std::memory_order_release);
+DC_NO_SANITIZE_ADDRESS void atomic_word_store(T* addr, T value) noexcept {
+  __atomic_store(addr, &value, __ATOMIC_RELEASE);
 }
 
 template <TxnWord T>
@@ -113,6 +126,7 @@ class Txn {
   // read version; aborts (throws TxnAbort) on conflict.
   template <TxnWord T>
   T load(const T* addr) {
+    maybe_crash();  // fires in lock mode too (a TLE holder can die)
     if (lock_mode_) {
       // Lock-mode stores stay buffered until commit (so an explicit abort
       // or a user exception can still discard them), so read-own-writes
@@ -141,14 +155,14 @@ class Txn {
       OrecValue v1 = o.value.load(std::memory_order_acquire);
       if (orec_is_locked(v1)) {
         // A commit's write-back or a strong-atomicity store is in flight.
-        abort_conflict(o);
+        abort_load(o, addr);
       }
       if (orec_version(v1) > rv_) {
         // The version is ahead of this transaction's snapshot. Under GV1
         // that means a commit since begin; under GV5 it may simply be a
         // sloppy stamp the shared clock has not caught up with. Either way:
         // re-sample the clock and revalidate instead of aborting.
-        if (!try_extend(orec_version(v1))) abort_conflict(o);
+        if (!try_extend(orec_version(v1))) abort_load(o, addr);
         continue;  // re-examine the orec under the extended read version
       }
       const T value = detail::atomic_word_load(addr);
@@ -159,7 +173,7 @@ class Txn {
       }
       // The word changed between the two orec samples; retry the sandwich.
     }
-    abort_conflict(o);
+    abort_load(o, addr);
   }
 
   // Non-mutating overload so `txn.load(&count)` works on non-const lvalues.
@@ -177,6 +191,7 @@ class Txn {
   // the write set is applied in address order, not program order.
   template <TxnWord T>
   void store(T* addr, T value) {
+    maybe_crash();  // fires in lock mode too (a TLE holder can die)
     maybe_fault();  // armed only on speculative attempts (fault.hpp)
     const auto a = reinterpret_cast<uintptr_t>(addr);
     const uint64_t bits = detail::to_bits(value);
@@ -233,6 +248,18 @@ class Txn {
     fault_code_ = code;
     fault_ops_left_ = after_ops;
     fault_armed_ = true;
+  }
+
+  // Thread-death injection (htm/crash.hpp): dooms this attempt to kill its
+  // thread from the (`after_ops`+1)-th further transactional load/store — or
+  // at commit() entry, if the body issues fewer. Unlike arm_fault this also
+  // arms lock-mode attempts: dying while holding the TLE lock is precisely
+  // the failure the recoverable lock exists for. The crash always fires
+  // before commit write-back, so the enclosing block never commits.
+  void arm_crash(crash::Point point, uint32_t after_ops) noexcept {
+    crash_point_ = point;
+    crash_ops_left_ = after_ops;
+    crash_armed_ = true;
   }
 
   // A non-TxnAbort exception escaped the body: release any held orec locks
@@ -368,6 +395,19 @@ class Txn {
   }
   [[noreturn]] void fire_fault();  // txn.cpp: stats + trace + abort
 
+  // Injected-crash countdown, same shape as maybe_fault: one predictable
+  // not-taken branch per transactional op when no crash is armed.
+  void maybe_crash() {
+    if (crash_armed_) [[unlikely]] {
+      if (crash_ops_left_ == 0) fire_crash();
+      --crash_ops_left_;
+      ++crash_ops_done_;
+    }
+  }
+  // txn.cpp: stats + trace + mark dead + throw crash::ThreadCrash. The
+  // thrown crash is not a TxnAbort: wrappers rethrow it untouched.
+  [[noreturn]] void fire_crash();
+
   // See Config::txn_yield_every_loads (txn.cpp; out of line so the hot path
   // stays a counter bump and a predictable branch).
   void maybe_yield() {
@@ -389,6 +429,16 @@ class Txn {
   [[noreturn]] void abort_conflict(Orec& o) {
     conflict_orec_ = &o;
     abort(AbortCode::kConflict);
+  }
+
+  // Doomed-load abort: when the allocator's ASan poison identifies the
+  // target as freed memory, the abort gets the paper's distinct
+  // illegal-access tag (footnote 1's sandboxed dereference of a reclaimed
+  // block) instead of a generic conflict. Abort-path only — the check
+  // costs nothing on successful loads and is constant-false without ASan.
+  [[noreturn]] void abort_load(Orec& o, const void* addr) {
+    if (util::asan_is_poisoned(addr)) abort(AbortCode::kIllegalAccess);
+    abort_conflict(o);
   }
 
   // Commit helpers (txn.cpp). acquire_write_locks also records the highest
@@ -436,6 +486,11 @@ class Txn {
   AbortCode fault_code_ = AbortCode::kNone;
   uint32_t fault_ops_left_ = 0;
   uint32_t fault_ops_done_ = 0;  // ops survived, for the trace event
+  // Injected-crash arming (arm_crash/maybe_crash/fire_crash).
+  bool crash_armed_ = false;
+  crash::Point crash_point_ = crash::Point::kTxnOp;
+  uint32_t crash_ops_left_ = 0;
+  uint32_t crash_ops_done_ = 0;  // ops survived, for the trace event
   // Highest pre-lock version among the locked orecs (acquire_write_locks);
   // the commit stamp must exceed it so per-orec versions stay monotone.
   uint64_t max_prev_ = 0;

@@ -11,6 +11,7 @@
 #include "htm/htm.hpp"
 #include "htm/txn.hpp"
 #include "obs/trace.hpp"
+#include "util/asan.hpp"
 
 namespace dc::mem {
 
@@ -121,6 +122,7 @@ void* pool_allocate(std::size_t bytes) {
   }
   void* p = tc.lists[cls].back();
   tc.lists[cls].pop_back();
+  util::asan_unpoison(p, class_bytes(cls));  // recycled block: legal again
   g.live_bytes.fetch_add(class_bytes(cls), std::memory_order_relaxed);
   g.live_blocks.fetch_add(1, std::memory_order_relaxed);
   g.allocations.fetch_add(1, std::memory_order_relaxed);
@@ -135,8 +137,12 @@ void pool_deallocate(void* p, std::size_t bytes) noexcept {
          "deallocation inside a transaction (Rock could not either, §6)");
   const std::size_t cls = class_of(bytes);
   // Sandboxing: doom all speculative readers of this block and poison it,
-  // atomically per word (see htm::invalidate_range).
+  // atomically per word (see htm::invalidate_range). In ASan builds the
+  // freed block is additionally region-poisoned, so a *raw* read that
+  // bypasses the substrate trips ASan; substrate-mediated reads of freed
+  // memory stay sanctioned (defined to abort the reader) — see util/asan.hpp.
   dc::htm::invalidate_range(p, class_bytes(cls), /*poison=*/true);
+  util::asan_poison(p, class_bytes(cls));
   GlobalPool& g = global_pool();
   ThreadCache& tc = thread_cache();
   tc.lists[cls].push_back(p);
@@ -182,6 +188,7 @@ void* pool_allocate_in_txn(dc::htm::Txn& txn, std::size_t bytes) {
   }
   void* p = tc.lists[cls].back();
   tc.lists[cls].pop_back();
+  util::asan_unpoison(p, class_bytes(cls));  // recycled block: legal again
   g.live_bytes.fetch_add(class_bytes(cls), std::memory_order_relaxed);
   g.live_blocks.fetch_add(1, std::memory_order_relaxed);
   g.allocations.fetch_add(1, std::memory_order_relaxed);

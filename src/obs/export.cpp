@@ -47,6 +47,21 @@ const char* step_change_name(uint8_t code) noexcept {
   return "?";
 }
 
+// Mirror of htm::crash::Point (same raw-byte contract as abort_code_name).
+// Keep in sync with htm/crash.hpp.
+const char* crash_point_name(uint8_t point) noexcept {
+  switch (point) {
+    case 0:
+      return "txn-op";
+    case 1:
+      return "commit-entry";
+    case 2:
+      return "lock-held";
+    default:
+      return "?";
+  }
+}
+
 double to_us(uint64_t tsc, uint64_t t0) noexcept {
   return util::cycles_to_ns(tsc - t0) / 1000.0;
 }
@@ -182,6 +197,34 @@ bool export_chrome_trace(const std::string& path) {
                      e.kind == EventKind::kStormEnter ? "storm_enter"
                                                       : "storm_exit",
                      to_us(e.tsc, t0), e.tid, e.a);
+        break;
+      case EventKind::kCrashInjected:
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"crash_injected\", \"cat\": \"htm\", "
+                     "\"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 0, "
+                     "\"tid\": %u, \"args\": {\"point\": \"%s\", "
+                     "\"ops_survived\": %u, \"lock_held\": %u}}",
+                     to_us(e.tsc, t0), e.tid, crash_point_name(e.code), e.a,
+                     e.b);
+        break;
+      case EventKind::kLockRecovery:
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"lock_recovery\", \"cat\": \"htm\", "
+                     "\"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 0, "
+                     "\"tid\": %u, \"args\": {\"owner_tid\": %u, "
+                     "\"owner_epoch\": %u}}",
+                     to_us(e.tsc, t0), e.tid, e.a, e.b);
+        break;
+      case EventKind::kOrphanReap:
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"orphan_reap\", \"cat\": \"collect\", "
+                     "\"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 0, "
+                     "\"tid\": %u, \"args\": {\"count\": %u, "
+                     "\"owner_tid\": %u}}",
+                     to_us(e.tsc, t0), e.tid, e.a, e.b);
         break;
       case EventKind::kPoolAlloc:
       case EventKind::kPoolRecycle:

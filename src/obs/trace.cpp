@@ -152,6 +152,12 @@ const char* to_string(EventKind kind) noexcept {
       return "storm_enter";
     case EventKind::kStormExit:
       return "storm_exit";
+    case EventKind::kCrashInjected:
+      return "crash_injected";
+    case EventKind::kLockRecovery:
+      return "lock_recovery";
+    case EventKind::kOrphanReap:
+      return "orphan_reap";
     case EventKind::kNumKinds:
       break;
   }

@@ -39,6 +39,10 @@ enum class EventKind : uint8_t {
                    // survived before the abort fired
   kStormEnter,     // a = contention score at entry (htm/retry.hpp)
   kStormExit,      // a = contention score at exit
+  kCrashInjected,  // code = crash::Point, a = ops survived, b = 1 if the
+                   // dying attempt held the TLE lock
+  kLockRecovery,   // a = dead owner's dense tid, b = owner epoch (low 32)
+  kOrphanReap,     // a = handles reaped, b = dead owner's dense tid
   kNumKinds,
 };
 
@@ -180,6 +184,44 @@ inline void trace_storm([[maybe_unused]] bool enter,
   if (tracing_enabled()) {
     detail::emit(enter ? EventKind::kStormEnter : EventKind::kStormExit, 0,
                  score, 0, 0);
+  }
+#endif
+}
+
+// The crash injector (htm/crash.hpp) killed this thread: `point` is the
+// crash::Point, `ops_survived` how many transactional ops the dying attempt
+// issued, `lock_held` whether it died holding the TLE fallback lock.
+inline void trace_crash_injected([[maybe_unused]] uint8_t point,
+                                 [[maybe_unused]] uint32_t ops_survived,
+                                 [[maybe_unused]] bool lock_held) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kCrashInjected, point, ops_survived,
+                 lock_held ? 1u : 0u, 0);
+  }
+#endif
+}
+
+// A waiter stole the TLE fallback lock from a dead owner after a validated
+// timeout (htm/htm.cpp recoverable-lock protocol).
+inline void trace_lock_recovery([[maybe_unused]] uint32_t owner_tid,
+                                [[maybe_unused]] uint64_t owner_epoch)
+    noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kLockRecovery, 0, owner_tid,
+                 static_cast<uint32_t>(owner_epoch), 0);
+  }
+#endif
+}
+
+// A survivor-run reaper DeRegistered `count` orphaned handles left by the
+// dead incarnation of dense thread `owner_tid` (collect/lease.hpp).
+inline void trace_orphan_reap([[maybe_unused]] uint32_t count,
+                              [[maybe_unused]] uint32_t owner_tid) noexcept {
+#if defined(DC_TRACE)
+  if (tracing_enabled()) {
+    detail::emit(EventKind::kOrphanReap, 0, count, owner_tid, 0);
   }
 #endif
 }

@@ -36,6 +36,8 @@ Options Options::parse(int argc, char** argv) {
       opts.retry = next_value();
     } else if (std::strcmp(arg, "--fault-rate") == 0) {
       opts.fault_rate = std::atof(next_value());
+    } else if (std::strcmp(arg, "--crash-rate") == 0) {
+      opts.crash_rate = std::atof(next_value());
     } else if (std::strcmp(arg, "--hist") == 0) {
       opts.hist = true;
     } else if (std::strcmp(arg, "--duration-ms") == 0) {
@@ -59,14 +61,15 @@ Options Options::parse(int argc, char** argv) {
   if (opts.duration_ms < 1.0) opts.duration_ms = 1.0;
   if (opts.max_threads < 1) opts.max_threads = 1;
   if (opts.fault_rate > 1.0) opts.fault_rate = 1.0;
+  if (opts.crash_rate > 1.0) opts.crash_rate = 1.0;
   return opts;
 }
 
 void Options::print_help(const char* prog) {
   std::printf(
       "usage: %s [--csv] [--json PATH] [--trace PATH] [--clock gv1|gv5] "
-      "[--retry cause|fixed] [--fault-rate P] [--hist] [--duration-ms N] "
-      "[--repeats N] [--max-threads N] [--full]\n",
+      "[--retry cause|fixed] [--fault-rate P] [--crash-rate P] [--hist] "
+      "[--duration-ms N] [--repeats N] [--max-threads N] [--full]\n",
       prog);
 }
 

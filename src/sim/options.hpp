@@ -22,6 +22,10 @@
 //                     transaction attempts (0..1, default 0 = off); benches
 //                     use this to demonstrate graceful degradation, never
 //                     for the published figures
+//   --crash-rate P    kill a fraction P of atomic blocks mid-flight by
+//                     abandoning the simulated thread without cleanup (0..1,
+//                     default 0 = off); exercises the recoverable TLE lock
+//                     and the lease reaper, never the published figures
 #pragma once
 
 #include <cstdint>
@@ -37,6 +41,7 @@ struct Options {
   std::string clock;       // empty = keep the process default (gv5/DC_CLOCK)
   std::string retry;       // empty = keep the process default (cause/DC_RETRY)
   double fault_rate = -1.0;  // negative = keep the process default (DC_FAULT)
+  double crash_rate = -1.0;  // negative = keep the process default (DC_CRASH)
   bool hist = false;       // per-operation latency histograms
   double duration_ms = 50.0;
   int repeats = 3;

@@ -1,0 +1,59 @@
+// AddressSanitizer interop helpers.
+//
+// Under -DDC_SANITIZE=address the pool allocator poisons freed blocks
+// (ASAN_POISON_MEMORY_REGION) so stray *raw* reads of reclaimed memory —
+// plain pointer dereferences that bypass the HTM substrate — are caught by
+// ASan. Substrate-mediated accesses (Txn::load/store write-back,
+// nontxn_load/nontxn_store) are the sanctioned channel the paper's
+// sandboxing story covers: they stay exempt via DC_NO_SANITIZE_ADDRESS on
+// the word-access primitives, because a transactional read of freed memory
+// is *defined* behaviour here — the orec version bump dooms the reader,
+// which is the whole point (footnote 1).
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define DC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DC_ASAN 1
+#endif
+#endif
+
+#if defined(DC_ASAN)
+#include <sanitizer/asan_interface.h>
+#define DC_NO_SANITIZE_ADDRESS __attribute__((no_sanitize("address")))
+#else
+#define DC_NO_SANITIZE_ADDRESS
+#endif
+
+namespace dc::util {
+
+inline void asan_poison([[maybe_unused]] const void* p,
+                        [[maybe_unused]] std::size_t bytes) noexcept {
+#if defined(DC_ASAN)
+  ASAN_POISON_MEMORY_REGION(p, bytes);
+#endif
+}
+
+inline void asan_unpoison([[maybe_unused]] const void* p,
+                          [[maybe_unused]] std::size_t bytes) noexcept {
+#if defined(DC_ASAN)
+  ASAN_UNPOISON_MEMORY_REGION(p, bytes);
+#endif
+}
+
+// True when `p` lies in a region poisoned by asan_poison (always false in
+// non-ASan builds). Used by tests to assert the freed-block poisoning
+// contract, and by Txn::load's abort path to tag a doomed read of freed
+// memory as kIllegalAccess instead of a generic conflict.
+inline bool asan_is_poisoned([[maybe_unused]] const void* p) noexcept {
+#if defined(DC_ASAN)
+  return __asan_address_is_poisoned(p) != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace dc::util

@@ -1,0 +1,187 @@
+// Lease-based orphan reclamation (collect/lease.hpp): handles registered by
+// a thread that the crash injector killed must be reaped by survivors so
+// the Collect returns to the live-thread footprint; live leases must never
+// be touched; and a death *inside* a DeRegister must leave the handle in a
+// state the reaper can finish from scratch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "collect/lease.hpp"
+#include "collect/registry.hpp"
+#include "htm/crash.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::collect {
+namespace {
+
+class LeaseReaper : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::crash::reset_all();
+    htm::reset_stats();
+    htm::reset_storm_sites();
+    MakeParams params;
+    params.static_capacity = 1024;
+    params.max_threads = 16;
+    col_ = std::make_unique<CrashTolerantCollect>(
+        make_algorithm("ListFastCollect", params));
+  }
+  void TearDown() override {
+    htm::config() = saved_;
+    htm::crash::reset_all();
+  }
+
+  std::set<Value> collect_set() {
+    std::vector<Value> out;
+    col_->collect(out);
+    return {out.begin(), out.end()};
+  }
+
+  std::unique_ptr<CrashTolerantCollect> col_;
+  htm::Config saved_;
+};
+
+TEST_F(LeaseReaper, ForwardsTheCollectInterface) {
+  Handle h = col_->register_handle(41);
+  EXPECT_EQ(col_->lease_count(), 1u);
+  EXPECT_TRUE(collect_set().count(41));
+  col_->update(h, 42);
+  EXPECT_TRUE(collect_set().count(42));
+  col_->deregister(h);
+  EXPECT_EQ(col_->lease_count(), 0u);
+  EXPECT_TRUE(collect_set().empty());
+  EXPECT_TRUE(std::string(col_->name()).find("CrashTolerant") == 0);
+}
+
+TEST_F(LeaseReaper, LiveLeasesAreNeverReaped) {
+  Handle h = col_->register_handle(7);
+  EXPECT_EQ(col_->orphan_count(), 0u);
+  EXPECT_EQ(col_->reap_orphans(), 0u);
+  EXPECT_EQ(col_->lease_count(), 1u);
+  EXPECT_TRUE(collect_set().count(7));
+  col_->deregister(h);
+}
+
+TEST_F(LeaseReaper, DeadThreadsHandlesAreReaped) {
+  // A victim registers three handles, then dies mid-churn. The survivor
+  // must see three orphaned leases, reap them through the inner DeRegister
+  // path, and shrink the Collect back to its own footprint.
+  Handle mine = col_->register_handle(1000);
+  std::thread victim([&] {
+    htm::crash::reset_thread();
+    const bool survived = htm::crash::run_victim([&] {
+      col_->register_handle(1);
+      col_->register_handle(2);
+      col_->register_handle(3);
+      // Die in a later atomic block, mid-churn. (The churn must be
+      // register/deregister: FastCollect's Update is non-transactional, so
+      // an update-only loop would never cross a crash point.)
+      htm::crash::schedule_self(htm::crash::Point::kTxnOp,
+                                /*blocks_from_now=*/2, /*after_ops=*/0);
+      for (uint64_t i = 0;; ++i) {
+        Handle t = col_->register_handle(100 + i);
+        col_->deregister(t);
+      }
+    });
+    EXPECT_FALSE(survived);
+  });
+  victim.join();
+  EXPECT_EQ(col_->lease_count(), 4u);
+  EXPECT_EQ(col_->orphan_count(), 3u);
+  EXPECT_EQ(collect_set().size(), 4u);
+  const std::size_t reaped = col_->reap_orphans();
+  EXPECT_EQ(reaped, 3u);
+  EXPECT_EQ(col_->lease_count(), 1u);
+  EXPECT_EQ(col_->orphan_count(), 0u);
+  const auto after = collect_set();
+  EXPECT_EQ(after.size(), 1u);
+  EXPECT_TRUE(after.count(1000));
+  EXPECT_EQ(htm::aggregate_stats().orphans_reaped, 3u);
+  col_->deregister(mine);
+}
+
+TEST_F(LeaseReaper, DeathInsideDeregisterIsFinishedByTheReaper) {
+  // The victim dies at the commit entry of its DeRegister's claiming
+  // transaction: the deregister never took effect, the lease survives, and
+  // the reaper must be able to run the whole DeRegister again from scratch.
+  std::thread victim([&] {
+    htm::crash::reset_thread();
+    const bool survived = htm::crash::run_victim([&] {
+      Handle h = col_->register_handle(77);
+      htm::crash::schedule_self(htm::crash::Point::kCommitEntry,
+                                /*blocks_from_now=*/0, /*after_ops=*/~0u);
+      col_->deregister(h);
+    });
+    EXPECT_FALSE(survived);
+  });
+  victim.join();
+  EXPECT_EQ(col_->lease_count(), 1u);
+  EXPECT_EQ(col_->orphan_count(), 1u);
+  EXPECT_TRUE(collect_set().count(77)) << "the half-done deregister must not "
+                                          "have taken effect";
+  EXPECT_EQ(col_->reap_orphans(), 1u);
+  EXPECT_TRUE(collect_set().empty());
+  EXPECT_EQ(col_->lease_count(), 0u);
+}
+
+TEST_F(LeaseReaper, DeathWhileHoldingTheLockStillReapsClean) {
+  // The hardest composite: the victim dies holding the TLE fallback lock
+  // with registered handles outstanding. The reaper's own transactions must
+  // first steal the abandoned lock, then complete the orphan deregisters.
+  std::thread victim([&] {
+    htm::crash::reset_thread();
+    const bool survived = htm::crash::run_victim([&] {
+      col_->register_handle(5);
+      col_->register_handle(6);
+      htm::crash::schedule_self(htm::crash::Point::kLockHeld);
+      uint64_t w = 0;
+      htm::atomic([&](htm::Txn& txn) { txn.store(&w, uint64_t{1}); });
+    });
+    EXPECT_FALSE(survived);
+  });
+  victim.join();
+  EXPECT_NE(htm::nontxn_load(htm::detail::tle_lock_word()), 0u);
+  EXPECT_EQ(col_->reap_orphans(), 2u);
+  EXPECT_TRUE(collect_set().empty());
+  const htm::TxnStats s = htm::aggregate_stats();
+  EXPECT_GE(s.lock_recoveries, 1u);
+  EXPECT_EQ(s.orphans_reaped, 2u);
+  EXPECT_EQ(htm::nontxn_load(htm::detail::tle_lock_word()), 0u);
+}
+
+TEST_F(LeaseReaper, TwoVictimsOneSurvivorConverges) {
+  // Two victims with interleaved lifetimes; whatever they managed to
+  // register stays collectible until one reap pass returns the object to
+  // empty. Uses rate injection, so the death points vary run to run — the
+  // invariant may not.
+  htm::config().crash.rate = 0.05;
+  for (int v = 0; v < 2; ++v) {
+    std::thread victim([&] {
+      htm::crash::reset_thread();
+      (void)htm::crash::run_victim([&] {
+        std::vector<Handle> mine;
+        for (uint64_t i = 0; i < 4; ++i) {
+          mine.push_back(col_->register_handle(i));
+        }
+        for (uint64_t i = 0; i < 200; ++i) {
+          col_->update(mine[i % mine.size()], i);
+        }
+        for (Handle h : mine) col_->deregister(h);
+      });
+    });
+    victim.join();
+  }
+  htm::config().crash.rate = 0.0;
+  while (col_->orphan_count() != 0) col_->reap_orphans();
+  EXPECT_EQ(col_->lease_count(), 0u);
+  EXPECT_TRUE(collect_set().empty());
+}
+
+}  // namespace
+}  // namespace dc::collect

@@ -1,0 +1,194 @@
+// Thread-death injection (htm/crash.hpp): a killed thread abandons its
+// state without cleanup, and the substrate must make that invisible to
+// survivors — no partial commits, no stuck TLE lock, no abort-ledger
+// pollution. With injection off the crash layer must be provably dormant.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "htm/crash.hpp"
+#include "htm/htm.hpp"
+
+namespace dc::htm {
+namespace {
+
+class CrashInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    crash::reset_all();
+    reset_stats();
+    reset_storm_sites();
+  }
+  void TearDown() override {
+    config() = saved_;
+    crash::reset_all();
+  }
+  Config saved_;
+};
+
+TEST_F(CrashInjection, OffByDefault) {
+  EXPECT_FALSE(crash::injection_enabled());
+  EXPECT_FALSE(crash::self_dead());
+  uint64_t word = 0;
+  for (int i = 0; i < 100; ++i) {
+    atomic([&](Txn& txn) { txn.store(&word, txn.load(&word) + 1); });
+  }
+  EXPECT_EQ(word, 100u);
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.crashes_injected, 0u);
+  EXPECT_EQ(s.lock_recoveries, 0u);
+  EXPECT_EQ(s.orphans_reaped, 0u);
+}
+
+TEST_F(CrashInjection, MidTransactionDeathIsAllOrNothing) {
+  // Die on the second transactional op: the first buffered store must be
+  // discarded with the rest — nothing of the block reaches memory.
+  uint64_t a = 0, b = 0;
+  crash::schedule_self(crash::Point::kTxnOp, /*blocks_from_now=*/0,
+                       /*after_ops=*/1);
+  const bool survived = crash::run_victim([&] {
+    atomic([&](Txn& txn) {
+      txn.store(&a, uint64_t{1});
+      txn.store(&b, uint64_t{2});
+    });
+  });
+  EXPECT_FALSE(survived);
+  EXPECT_TRUE(crash::self_dead());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 0u);
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.crashes_injected, 1u);
+  EXPECT_EQ(s.commits, 0u);
+}
+
+TEST_F(CrashInjection, CommitEntryDeathDiscardsTheWriteSet) {
+  // The body runs to completion but the commit instruction never executes:
+  // the write set is still buffered and must vanish with the thread.
+  uint64_t word = 0;
+  crash::schedule_self(crash::Point::kCommitEntry, /*blocks_from_now=*/0,
+                       /*after_ops=*/~0u);
+  const bool survived = crash::run_victim(
+      [&] { atomic([&](Txn& txn) { txn.store(&word, uint64_t{7}); }); });
+  EXPECT_FALSE(survived);
+  EXPECT_EQ(word, 0u);
+  EXPECT_EQ(aggregate_stats().crashes_injected, 1u);
+}
+
+TEST_F(CrashInjection, CrashIsNotAnAbort) {
+  // A dying thread is not a doomed attempt: no abort is recorded, no retry
+  // runs, and the crash shows up only in crashes_injected.
+  uint64_t word = 0;
+  crash::schedule_self(crash::Point::kTxnOp);
+  (void)crash::run_victim(
+      [&] { atomic([&](Txn& txn) { txn.store(&word, uint64_t{1}); }); });
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.crashes_injected, 1u);
+  EXPECT_EQ(s.aborts, 0u);
+  EXPECT_EQ(s.commits, 0u);
+}
+
+TEST_F(CrashInjection, DeadThreadRunsNoFurtherKills) {
+  // After death the thread's plan() never fires again (the thread is gone;
+  // what runs afterwards is the test harness), and reset_thread revives it.
+  crash::schedule_self(crash::Point::kTxnOp);
+  (void)crash::run_victim([&] {
+    uint64_t w = 0;
+    atomic([&](Txn& txn) { txn.store(&w, uint64_t{1}); });
+  });
+  EXPECT_TRUE(crash::self_dead());
+  crash::reset_thread();
+  EXPECT_FALSE(crash::self_dead());
+  uint64_t word = 0;
+  atomic([&](Txn& txn) { txn.store(&word, uint64_t{3}); });
+  EXPECT_EQ(word, 3u);
+}
+
+TEST_F(CrashInjection, LockHeldDeathIsRecoveredByAWaiter) {
+  // The victim dies while holding the TLE fallback lock (the scripted
+  // kLockHeld point forces the block onto the lock first). The lock word
+  // must be left stamped with the dead owner, and the next thread that
+  // needs the lock must detect the orphan, steal it, and make progress.
+  uint64_t word = 0;
+  std::thread victim([&] {
+    crash::reset_thread();
+    crash::schedule_self(crash::Point::kLockHeld);
+    const bool survived = crash::run_victim(
+        [&] { atomic([&](Txn& txn) { txn.store(&word, uint64_t{1}); }); });
+    EXPECT_FALSE(survived);
+  });
+  victim.join();
+  EXPECT_EQ(word, 0u);
+  EXPECT_NE(nontxn_load(detail::tle_lock_word()), 0u)
+      << "the dead owner's stamp must remain on the lock word";
+  // Survivor: speculative attempts see the lock held and abort; the retry
+  // controller escalates to tle_acquire, which validates the owner's death
+  // and steals the stamp.
+  atomic([&](Txn& txn) { txn.store(&word, uint64_t{2}); });
+  EXPECT_EQ(word, 2u);
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.crashes_injected, 1u);
+  EXPECT_GE(s.lock_recoveries, 1u);
+  EXPECT_EQ(nontxn_load(detail::tle_lock_word()), 0u);
+}
+
+TEST_F(CrashInjection, RateKillsOnlyOptedInThreads) {
+  // rate = 1 kills every opted-in block, but the calling thread never opted
+  // in — it must be immortal. A run_victim body on the same thread dies on
+  // its first block.
+  config().crash.rate = 1.0;
+  uint64_t word = 0;
+  for (int i = 0; i < 10; ++i) {
+    atomic([&](Txn& txn) { txn.store(&word, txn.load(&word) + 1); });
+  }
+  EXPECT_EQ(word, 10u);
+  EXPECT_EQ(aggregate_stats().crashes_injected, 0u);
+  const bool survived = crash::run_victim(
+      [&] { atomic([&](Txn& txn) { txn.store(&word, uint64_t{0}); }); });
+  EXPECT_FALSE(survived);
+  EXPECT_EQ(word, 10u);
+  EXPECT_EQ(aggregate_stats().crashes_injected, 1u);
+}
+
+TEST_F(CrashInjection, ScriptedKillHitsTheNamedBlock) {
+  // Only block 2 (the third atomic call since reset) is scripted; the
+  // victim survives blocks 0 and 1 untouched.
+  crash::set_script({{crash::kAnyThread, /*block=*/2,
+                      crash::Point::kTxnOp, /*after_ops=*/0}});
+  crash::reset_thread();
+  uint64_t word = 0;
+  int completed = 0;
+  const bool survived = crash::run_victim([&] {
+    for (int i = 0; i < 4; ++i) {
+      atomic([&](Txn& txn) { txn.store(&word, txn.load(&word) + 1); });
+      ++completed;
+    }
+  });
+  EXPECT_FALSE(survived);
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(word, 2u);
+  EXPECT_EQ(aggregate_stats().crashes_injected, 1u);
+}
+
+TEST_F(CrashInjection, TokensOutliveIdRecycling) {
+  // A dead incarnation's token stays orphaned even after reset revives the
+  // slot with a fresh epoch — exactly the property the lock stamp and the
+  // lease table rely on.
+  crash::Token before{};
+  std::thread victim([&] {
+    crash::reset_thread();
+    before = crash::self_token();
+    EXPECT_FALSE(crash::token_orphaned(before));
+    crash::mark_dead();
+    EXPECT_TRUE(crash::token_orphaned(before));
+  });
+  victim.join();
+  EXPECT_TRUE(crash::token_orphaned(before));
+  crash::reset_all();  // revives the slot under a fresh epoch...
+  EXPECT_TRUE(crash::token_orphaned(before)) << "...which must not resurrect "
+                                                "the dead incarnation";
+}
+
+}  // namespace
+}  // namespace dc::htm

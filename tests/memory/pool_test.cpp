@@ -7,8 +7,15 @@
 #include <thread>
 #include <vector>
 
+#include "util/asan.hpp"
+
 namespace dc::mem {
 namespace {
+
+// Raw read of possibly-poisoned memory: legal for the test because the pool
+// keeps freed blocks mapped (sandboxing), but it must bypass ASan's checks
+// the same way the substrate's word primitives do.
+DC_NO_SANITIZE_ADDRESS uint64_t raw_word(const uint64_t* p) { return *p; }
 
 TEST(Pool, AllocateGivesWritableAlignedMemory) {
   void* p = pool_allocate(64);
@@ -33,9 +40,41 @@ TEST(Pool, DeallocatePoisons) {
   for (int i = 0; i < 4; ++i) words[i] = 0x1111111111111111ULL;
   pool_deallocate(words, 32);
   // The memory stays mapped (sandboxing) — reading it is safe — and it is
-  // poisoned so stale non-transactional readers are detectable.
-  for (int i = 0; i < 4; ++i) EXPECT_EQ(words[i], 0xDDDDDDDDDDDDDDDDULL);
+  // value-poisoned so stale non-transactional readers are detectable. The
+  // read must go through the exempt primitive: in ASan builds the block is
+  // also shadow-poisoned and a plain dereference would (correctly) trap.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(raw_word(words + i), 0xDDDDDDDDDDDDDDDDULL);
+  }
   // Note: the block is back in the thread cache; do not use it further.
+}
+
+TEST(Pool, AsanShadowPoisonTracksBlockLifetime) {
+  // The ASan contract: live blocks are never poisoned, freed blocks are
+  // poisoned exactly when the build sanitizes, and recycling a block lifts
+  // the poison before the caller sees it. In non-ASan builds
+  // asan_is_poisoned is constant false, so the same assertions document
+  // both configurations.
+  pool_flush_thread_cache();
+  auto* block = static_cast<uint64_t*>(pool_allocate(64));
+  EXPECT_FALSE(util::asan_is_poisoned(block));
+  block[0] = 1;
+  pool_deallocate(block, 64);
+#if defined(DC_ASAN)
+  EXPECT_TRUE(util::asan_is_poisoned(block));
+  EXPECT_TRUE(util::asan_is_poisoned(block + 7)) << "whole block, not just "
+                                                    "the first byte";
+#else
+  EXPECT_FALSE(util::asan_is_poisoned(block));
+#endif
+  // LIFO thread cache: the next same-class allocation returns this block,
+  // and it must come back unpoisoned and writable.
+  auto* again = static_cast<uint64_t*>(pool_allocate(64));
+  EXPECT_EQ(again, block);
+  EXPECT_FALSE(util::asan_is_poisoned(again));
+  again[0] = 2;
+  EXPECT_EQ(again[0], 2u);
+  pool_deallocate(again, 64);
 }
 
 TEST(Pool, LiveAccountingTracksAllocations) {
@@ -73,7 +112,9 @@ TEST(Pool, DistinctLiveBlocksDoNotOverlap) {
   // No two blocks within 32 bytes of each other.
   uintptr_t prev = 0;
   for (const uintptr_t s : starts) {
-    if (prev != 0) EXPECT_GE(s - prev, 32u);
+    if (prev != 0) {
+      EXPECT_GE(s - prev, 32u);
+    }
     prev = s;
   }
   for (void* p : blocks) pool_deallocate(p, 32);

@@ -10,6 +10,7 @@
 
 #include "htm/htm.hpp"
 #include "memory/pool.hpp"
+#include "util/asan.hpp"
 
 namespace dc::mem {
 namespace {
@@ -140,12 +141,18 @@ TEST_F(Sandbox, RecycledBlockCannotLeakIntoOldSnapshot) {
 }
 
 TEST_F(Sandbox, FreedMemoryStaysMapped) {
-  // The substitution's load-bearing property: stale *non-transactional*
-  // reads of freed memory do not fault (they see poison).
+  // The substitution's load-bearing property: stale *substrate-mediated*
+  // reads of freed memory do not fault (they see poison). In ASan builds
+  // the block is additionally shadow-poisoned, so the read must go through
+  // the exempt channel — a plain dereference here would (correctly) trip
+  // the sanitizer, which is the raw-access half of the same contract.
   auto* words = static_cast<uint64_t*>(pool_allocate(64));
   words[0] = 1;
   pool_deallocate(words, 64);
-  EXPECT_EQ(words[0], dc::htm::kPoisonWord);  // no SIGSEGV
+  EXPECT_EQ(dc::htm::nontxn_load(words), dc::htm::kPoisonWord);  // no SIGSEGV
+#if defined(DC_ASAN)
+  EXPECT_TRUE(util::asan_is_poisoned(words));
+#endif
 }
 
 }  // namespace

@@ -1,9 +1,9 @@
 // Validates the two exporter schemas by parsing what they write:
 //  * export_chrome_trace — Chrome trace-event JSON (Perfetto-loadable);
 //  * bench::write_json_report — the versioned --json benchmark report
-//    (schema_version 4: aborts_by_code incl. spurious causes, op_latency_ns,
-//    conflicts, trace, retry policy/fault-rate options, robustness counters,
-//    per-cause retry quantiles).
+//    (schema_version 5: aborts_by_code incl. spurious causes, op_latency_ns,
+//    conflicts, trace, retry policy/fault-rate/crash-rate options, robustness
+//    counters incl. the crash triple, per-cause retry quantiles).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -141,7 +141,7 @@ TEST(OpSummary, QuantilesAreOrderedAndInNanoseconds) {
   EXPECT_EQ(obs::summarize_op(obs::OpKind::kUpdate).count, 0u);
 }
 
-TEST(JsonReport, SchemaV4CarriesObsSections) {
+TEST(JsonReport, SchemaV5CarriesObsSections) {
   obs::reset_histograms();
   obs::reset_conflicts();
   obs::reset_retry_stats();
@@ -169,7 +169,7 @@ TEST(JsonReport, SchemaV4CarriesObsSections) {
   const auto doc = Json::parse(read_file(path));
   ASSERT_TRUE(doc.has_value()) << "report is not valid JSON";
   EXPECT_DOUBLE_EQ(field(*doc, "schema_version", Json::Type::kNumber)->number(),
-                   4.0);
+                   5.0);
   EXPECT_EQ(field(*doc, "bench", Json::Type::kString)->str(), "schema_test");
 
   const Json* options = field(*doc, "options", Json::Type::kObject);
@@ -181,6 +181,7 @@ TEST(JsonReport, SchemaV4CarriesObsSections) {
       field(*options, "retry", Json::Type::kString)->str();
   EXPECT_TRUE(retry_opt == "cause" || retry_opt == "fixed") << retry_opt;
   field(*options, "fault_rate", Json::Type::kNumber);
+  field(*options, "crash_rate", Json::Type::kNumber);
 
   // HTM counters with the per-code abort breakdown.
   const Json* htm = field(*doc, "htm", Json::Type::kObject);
@@ -188,9 +189,15 @@ TEST(JsonReport, SchemaV4CarriesObsSections) {
   for (const char* counter :
        {"writer_commits", "clock_bumps", "sloppy_stamps", "clock_resamples",
         "clock_catchups", "coalesced_stores", "faults_injected",
+        "crashes_injected", "lock_recoveries", "orphans_reaped",
         "tle_entries", "storm_entries", "storm_exits", "max_consec_aborts"}) {
     field(*htm, counter, Json::Type::kNumber);
   }
+  // This in-process run injected nothing: the crash triple must be exactly
+  // zero (the zero-overhead guard the validator enforces out of process).
+  EXPECT_DOUBLE_EQ(htm->find("crashes_injected")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(htm->find("lock_recoveries")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(htm->find("orphans_reaped")->number(), 0.0);
   const Json* by_code = field(*htm, "aborts_by_code", Json::Type::kObject);
   for (const char* code :
        {"none", "conflict", "overflow", "explicit", "illegal-access",

@@ -1,0 +1,211 @@
+// Crash-crossed robustness tier: every HTM-backed Dynamic Collect
+// algorithm, wrapped in the crash-tolerant lease decorator, must stay
+// correct AND live while victim threads are being *killed* — abandoned
+// mid-transaction, at commit entry, and (scripted, at least once per run)
+// while holding the TLE fallback lock. The immortal survivor thread runs
+// the Collect-spec oracle throughout, then reaps the dead threads' handles
+// and asserts the object shrinks back to exactly the live footprint.
+//
+// Liveness is structural, as in the fault tier: victims run bounded loops
+// and the survivor's final reap must terminate — a waiter that cannot
+// steal a dead thread's lock hangs the test (and trips its ctest TIMEOUT)
+// instead of passing vacuously.
+//
+// This suite is also the DC_CRASH smoke target: scripts/check.sh --crash
+// and the CI crash-smoke job run it with DC_CRASH exported.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "collect/lease.hpp"
+#include "collect/registry.hpp"
+#include "htm/crash.hpp"
+#include "htm/htm.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+
+namespace dc::collect {
+namespace {
+
+// Crash points only exist inside transactions; the two non-HTM baselines
+// have nothing to kill.
+std::vector<AlgoInfo> htm_algorithms() {
+  std::vector<AlgoInfo> algos;
+  for (const AlgoInfo& info : all_algorithms()) {
+    if (info.uses_htm) algos.push_back(info);
+  }
+  return algos;
+}
+
+class CrashRobustness
+    : public ::testing::TestWithParam<std::tuple<AlgoInfo, htm::ClockPolicy>> {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::config().clock_policy = std::get<1>(GetParam());
+    htm::config().crash.rate = 0.002;
+    htm::config().crash.seed = 0xC4A5;
+    htm::crash::reset_all();
+    htm::reset_stats();
+    htm::reset_storm_sites();
+    MakeParams params;
+    params.static_capacity = 256;
+    params.max_threads = 8;
+    col_ = std::make_unique<CrashTolerantCollect>(
+        std::get<0>(GetParam()).make(params));
+  }
+  void TearDown() override {
+    htm::config() = saved_;
+    htm::reset_storm_sites();
+    htm::crash::reset_all();
+  }
+  std::unique_ptr<CrashTolerantCollect> col_;
+  htm::Config saved_;
+};
+
+TEST_P(CrashRobustness, SpecHoldsAndOrphansAreReapedUnderThreadDeath) {
+  constexpr int kVictims = 3;
+  constexpr int kOpsPerVictim = 600;
+  constexpr Value kStableTag = 0xABCull << 52;
+  constexpr Value kChurnTag = 0xDEFull << 52;
+  // The survivor's stable handles: leased to a live owner, so no reap may
+  // ever touch them.
+  std::vector<Handle> stable;
+  for (int i = 0; i < 8; ++i) {
+    stable.push_back(
+        col_->register_handle(kStableTag | static_cast<Value>(i)));
+  }
+  util::SpinBarrier barrier(kVictims + 1);
+  std::vector<std::thread> victims;
+  std::atomic<int> victims_done{0};
+  std::atomic<int> victims_crashed{0};
+  const bool fast_collect_eager =
+      std::string(col_->inner().name()) == "ListFastCollect";
+  for (int w = 0; w < kVictims; ++w) {
+    victims.emplace_back([&, w] {
+      htm::crash::reset_thread();
+      barrier.arrive_and_wait();
+      const auto body = [&] {
+        util::Xoshiro256 rng(static_cast<uint64_t>(w) * 104729 + 13);
+        std::vector<Handle> mine;
+        uint64_t seq = 0;
+        // Every victim owns at least one handle before any kill can fire,
+        // so a death always leaves an orphan for the reaper.
+        mine.push_back(col_->register_handle(kChurnTag | ++seq));
+        if (w == 0) {
+          // Guarantee the hardest case once per run: die in the next atomic
+          // block, forced onto — and holding — the TLE fallback lock.
+          htm::crash::schedule_self(htm::crash::Point::kLockHeld);
+        }
+        for (int op = 0; op < kOpsPerVictim; ++op) {
+          const uint64_t dice = rng.next_below(10);
+          const bool may_churn = !fast_collect_eager || (op % 8 == 0);
+          if (dice < 4 && mine.size() < 20 && may_churn) {
+            mine.push_back(col_->register_handle(kChurnTag | ++seq));
+          } else if (dice < 6 && !mine.empty() && may_churn) {
+            col_->deregister(mine.back());
+            mine.pop_back();
+          } else if (!mine.empty()) {
+            col_->update(mine[rng.next_below(mine.size())],
+                         kChurnTag | ++seq);
+          }
+        }
+        for (Handle h : mine) col_->deregister(h);
+      };
+      bool survived;
+      if (w == 0) {
+        // Victim 0 is deterministic: not rate-eligible (no enable_self), so
+        // nothing can kill it before its scripted lock-held death — which
+        // always finds its first handle registered.
+        try {
+          body();
+          survived = true;
+        } catch (const htm::crash::ThreadCrash&) {
+          survived = false;
+        }
+      } else {
+        survived = htm::crash::run_victim(body);
+      }
+      if (!survived) victims_crashed.fetch_add(1, std::memory_order_relaxed);
+      victims_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  barrier.arrive_and_wait();
+  // Survivor loop: the Collect spec must hold at every instant — stable
+  // handles always contribute, foreign values never appear — while threads
+  // die around it. Reaping concurrently is legal (only orphaned leases are
+  // claimed), so exercise it.
+  std::vector<Value> out;
+  int rounds = 0;
+  do {
+    ++rounds;
+    if (rounds % 8 == 0) col_->reap_orphans();
+    col_->collect(out);
+    std::set<Value> stable_seen;
+    for (const Value v : out) {
+      const bool is_stable =
+          (v >> 52) == (kStableTag >> 52) && (v & ((1ULL << 52) - 1)) < 8;
+      const bool is_churn = (v >> 52) == (kChurnTag >> 52);
+      ASSERT_TRUE(is_stable || is_churn)
+          << col_->name() << ": foreign value 0x" << std::hex << v;
+      if (is_stable) stable_seen.insert(v);
+    }
+    ASSERT_EQ(stable_seen.size(), 8u) << col_->name() << " round " << rounds;
+  } while (victims_done.load(std::memory_order_acquire) < kVictims &&
+           rounds < 100000);
+  for (auto& t : victims) t.join();
+
+  // Force one transactional block through the substrate: victim 0 died
+  // holding the lock, and some algorithms (ArrayStatSearchNo) can reap and
+  // deregister without a single transaction — this probe is the waiter that
+  // must detect the dead owner and steal.
+  uint64_t probe = 0;
+  htm::atomic([&](htm::Txn& txn) { txn.store(&probe, uint64_t{1}); });
+  ASSERT_EQ(probe, 1u);
+
+  // Reap to convergence: every dead victim's handles leave the object, and
+  // the Collect returns to exactly the survivor's footprint.
+  while (col_->orphan_count() != 0) col_->reap_orphans();
+  col_->collect(out);
+  std::set<Value> final_set(out.begin(), out.end());
+  std::set<Value> want;
+  for (int i = 0; i < 8; ++i) want.insert(kStableTag | static_cast<Value>(i));
+  EXPECT_EQ(final_set, want) << col_->name();
+  EXPECT_EQ(col_->lease_count(), 8u) << "only the survivor's leases remain";
+
+  for (Handle h : stable) col_->deregister(h);
+  col_->collect(out);
+  EXPECT_TRUE(out.empty()) << col_->name();
+  EXPECT_EQ(col_->lease_count(), 0u);
+
+  // The run must have exercised the machinery it claims to test: victim 0's
+  // scripted kill guarantees at least one death while holding the lock, so
+  // at least one steal must have happened for the run to terminate at all.
+  const htm::TxnStats s = htm::aggregate_stats();
+  EXPECT_GE(victims_crashed.load(), 1);
+  EXPECT_GT(s.crashes_injected, 0u);
+  EXPECT_GE(s.lock_recoveries, 1u)
+      << "a thread died holding the TLE lock; someone must have stolen it";
+  EXPECT_GT(s.orphans_reaped, 0u);
+  EXPECT_EQ(htm::nontxn_load(htm::detail::tle_lock_word()), 0u)
+      << "the lock must end the run free";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CrashRobustness,
+    ::testing::Combine(::testing::ValuesIn(htm_algorithms()),
+                       ::testing::Values(htm::ClockPolicy::kGv1,
+                                         htm::ClockPolicy::kGv5)),
+    [](const ::testing::TestParamInfo<CrashRobustness::ParamType>& info) {
+      return std::string(std::get<0>(info.param).name) + "_" +
+             htm::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dc::collect

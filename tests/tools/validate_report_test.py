@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/validate_report.py.
+
+The validator guards CI's smoke legs: a bug that makes it accept a broken
+report — or reject a good one — is itself a CI escape, so it gets the same
+treatment as the C++ code: known-good and known-bad inputs with asserted
+exit codes, run out of process exactly as CI runs it.
+
+Usage: validate_report_test.py /path/to/validate_report.py
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ABORT_CODES = ("none", "conflict", "overflow", "explicit", "illegal-access",
+               "interrupt", "tlb-miss", "save-restore")
+OPS = ("register", "update", "deregister", "collect", "commit")
+
+
+def good_v5_report():
+    """A minimal report carrying every field the validator checks, shaped
+    like a real clean-run bench_crash_recovery --json output."""
+    return {
+        "schema_version": 5,
+        "bench": "self_test",
+        "generated_utc": "2026-01-01T00:00:00Z",
+        "options": {"duration_ms": 50, "repeats": 2, "max_threads": 4,
+                    "hist": False, "trace": False, "clock": "gv5",
+                    "retry": "cause", "fault_rate": 0, "crash_rate": 0},
+        "htm": {
+            "commits": 1000, "aborts": 3, "abort_rate": 0.003,
+            "lock_fallbacks": 1, "clock_bumps": 0, "writer_commits": 900,
+            "sloppy_stamps": 500, "clock_resamples": 10,
+            "clock_catchups": 10, "coalesced_stores": 0,
+            "faults_injected": 0, "tle_entries": 1, "storm_entries": 0,
+            "storm_exits": 0, "max_consec_aborts": 2,
+            "crashes_injected": 0, "lock_recoveries": 0,
+            "orphans_reaped": 0,
+            "aborts_by_code": {c: (3 if c == "conflict" else 0)
+                               for c in ABORT_CODES},
+        },
+        "retry": {
+            "policy": "cause",
+            "by_cause": {c: {"count": 0, "p50_attempt": 0.0,
+                             "p99_attempt": 0.0, "max_attempt": 0}
+                         for c in ABORT_CODES},
+        },
+        "op_latency_ns": {op: {"count": 2, "p50": 100.0, "p90": 150.0,
+                               "p99": 200.0, "max": 210.0, "mean": 120.0}
+                          for op in OPS},
+        "conflicts": {"recorded": 0, "dropped": 0, "top": []},
+        "trace": {"compiled": False, "events_emitted": 0},
+        "columns": ["threads", "algo"],
+        "rows": [[1, 2.5], [2, 4.75]],
+    }
+
+
+def good_v4_report():
+    """The pre-crash schema: no crash_rate option, no crash counters."""
+    doc = good_v5_report()
+    doc["schema_version"] = 4
+    del doc["options"]["crash_rate"]
+    for key in ("crashes_injected", "lock_recoveries", "orphans_reaped"):
+        del doc["htm"][key]
+    return doc
+
+
+def injected_v5_report():
+    """A v5 report from a run with crash injection on, all counters hot."""
+    doc = good_v5_report()
+    doc["options"]["crash_rate"] = 0.05
+    doc["htm"]["crashes_injected"] = 11
+    doc["htm"]["lock_recoveries"] = 3
+    doc["htm"]["orphans_reaped"] = 47
+    return doc
+
+
+def run_validator(validator, doc, flags=()):
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False,
+                                     encoding="utf-8") as f:
+        json.dump(doc, f)
+        path = f.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, validator, path, *flags],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        return proc.returncode, proc.stderr
+    finally:
+        os.unlink(path)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    validator = sys.argv[1]
+    failures = []
+
+    def expect(label, doc, want_code, flags=(), want_err=""):
+        code, err = run_validator(validator, doc, flags)
+        if code != want_code:
+            failures.append(f"{label}: exit {code}, wanted {want_code}"
+                            f" (stderr: {err.strip()})")
+        elif want_err and want_err not in err:
+            failures.append(f"{label}: stderr {err.strip()!r} lacks"
+                            f" {want_err!r}")
+        else:
+            print(f"  ok: {label}")
+
+    # --- Known-good inputs must pass. ---
+    expect("good v5 clean run", good_v5_report(), 0)
+    expect("good v4 report (back-compat)", good_v4_report(), 0)
+    expect("injected v5 with --expect-crashes", injected_v5_report(), 0,
+           ["--expect-crashes"])
+    expect("injected v5 without the flag", injected_v5_report(), 0)
+
+    # --- Known-bad inputs must fail with the right diagnostic. ---
+    bad = good_v5_report()
+    bad["schema_version"] = 3
+    expect("stale schema_version", bad, 1, (), "schema_version")
+
+    bad = good_v5_report()
+    del bad["htm"]["crashes_injected"]
+    expect("v5 missing a crash counter", bad, 1, (), "crashes_injected")
+
+    bad = good_v5_report()
+    del bad["options"]["crash_rate"]
+    expect("v5 missing options.crash_rate", bad, 1, (), "crash_rate")
+
+    # Zero-overhead guard: injection off but a crash counter is hot.
+    bad = good_v5_report()
+    bad["htm"]["orphans_reaped"] = 1
+    expect("clean run with nonzero orphans_reaped", bad, 1, (),
+           "crash injection off")
+
+    # --expect-crashes on an all-zero report must fail...
+    expect("--expect-crashes on a clean report", good_v5_report(), 1,
+           ["--expect-crashes"], "--expect-crashes")
+    # ...and is meaningless against a v4 report.
+    expect("--expect-crashes on a v4 report", good_v4_report(), 1,
+           ["--expect-crashes"], "v5")
+
+    # A partially-hot triple is suspicious under --expect-crashes: crashes
+    # happened but no orphan was ever reaped means the reaper never ran.
+    bad = injected_v5_report()
+    bad["htm"]["orphans_reaped"] = 0
+    expect("--expect-crashes with cold orphans_reaped", bad, 1,
+           ["--expect-crashes"], "orphans_reaped")
+
+    # Unrelated invariants must still hold in v5 (regression guard that the
+    # new version didn't loosen the old checks).
+    bad = good_v5_report()
+    bad["htm"]["aborts_by_code"]["conflict"] = 99
+    expect("aborts_by_code sum mismatch", bad, 1, (), "sum")
+
+    bad = good_v5_report()
+    bad["rows"] = []
+    expect("empty rows", bad, 1, (), "rows")
+
+    if failures:
+        print("validate_report_test: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("validate_report_test: all cases pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
