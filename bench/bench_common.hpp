@@ -52,6 +52,8 @@ inline const collect::AlgoInfo& algo(const std::string& name) {
 //   --hist        opens only the latency-timing switch;
 //   --clock P     selects the global-clock policy before any worker starts;
 //   --retry P     selects the retry policy (cause-aware vs fixed-threshold);
+//   --validate M  selects the conflict-validation backend (exact walk vs
+//                 Bloom signatures + commit ring) before any worker starts;
 //   --fault-rate  arms the spurious-abort injector before any worker starts;
 //   --crash-rate  arms the thread-death injector before any worker starts
 //                 (worker bodies must run under crash::run_victim to opt in).
@@ -75,6 +77,15 @@ class ObsSession {
         std::exit(2);
       }
       htm::config().retry_policy = policy;
+    }
+    if (!opts_.validate.empty()) {
+      htm::ValidationPolicy policy = htm::config().validation;
+      if (!htm::parse_validation_policy(opts_.validate.c_str(), policy)) {
+        std::fprintf(stderr, "--validate: unknown backend '%s' (exact|sig)\n",
+                     opts_.validate.c_str());
+        std::exit(2);
+      }
+      htm::config().validation = policy;
     }
     if (opts_.fault_rate >= 0.0) {
       htm::config().fault.rate = opts_.fault_rate > 1.0 ? 1.0
@@ -133,6 +144,8 @@ inline sim::Options extract_obs_options(int& argc, char** argv) {
       opts.clock = argv[++i];
     } else if (arg == "--retry" && i + 1 < argc) {
       opts.retry = argv[++i];
+    } else if (arg == "--validate" && i + 1 < argc) {
+      opts.validate = argv[++i];
     } else if (arg == "--fault-rate" && i + 1 < argc) {
       opts.fault_rate = std::atof(argv[++i]);
     } else if (arg == "--crash-rate" && i + 1 < argc) {
@@ -186,6 +199,17 @@ inline void print_htm_diagnostics() {
       static_cast<unsigned long long>(s.storm_entries),
       static_cast<unsigned long long>(s.storm_exits),
       static_cast<unsigned long long>(s.max_consec_aborts));
+  if (htm::config().validation == htm::ValidationPolicy::kSignature ||
+      s.sig_validations != 0 || s.sig_false_aborts != 0 ||
+      s.sig_ring_overflows != 0) {
+    std::printf(
+        "[htm] validation=%s sig-validations=%llu sig-false-aborts=%llu "
+        "sig-ring-overflows=%llu\n",
+        htm::to_string(htm::config().validation),
+        static_cast<unsigned long long>(s.sig_validations),
+        static_cast<unsigned long long>(s.sig_false_aborts),
+        static_cast<unsigned long long>(s.sig_ring_overflows));
+  }
   if (s.crashes_injected != 0 || s.lock_recoveries != 0 ||
       s.orphans_reaped != 0) {
     std::printf(
@@ -301,6 +325,11 @@ inline void write_json_cell(std::FILE* f, const std::string& cell) {
 //      htm.crashes_injected, htm.lock_recoveries, htm.orphans_reaped
 //      (all three must be 0 when crash_rate is 0 — the zero-overhead
 //      guard scripts/validate_report.py enforces)
+//   6  adds options.validation (active validation backend), the signature
+//      counters htm.sig_validations, htm.sig_false_aborts,
+//      htm.sig_ring_overflows (all three must be 0 when validation is
+//      "exact" — same zero-overhead guard), and the "validate" entry in
+//      op_latency_ns
 inline void write_json_report(const std::string& path,
                               const std::string& bench_name,
                               const util::Table& table,
@@ -316,20 +345,21 @@ inline void write_json_report(const std::string& path,
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tmv);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": 5,\n");
+  std::fprintf(f, "  \"schema_version\": 6,\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n",
                detail::json_escape(bench_name).c_str());
   std::fprintf(f, "  \"generated_utc\": \"%s\",\n", stamp);
   std::fprintf(f,
                "  \"options\": {\"duration_ms\": %g, \"repeats\": %d, "
                "\"max_threads\": %u, \"hist\": %s, \"trace\": %s, "
-               "\"clock\": \"%s\", \"retry\": \"%s\", \"fault_rate\": %g, "
-               "\"crash_rate\": %g},\n",
+               "\"clock\": \"%s\", \"retry\": \"%s\", \"validation\": \"%s\", "
+               "\"fault_rate\": %g, \"crash_rate\": %g},\n",
                opts.duration_ms, opts.repeats, opts.max_threads,
                opts.hist ? "true" : "false",
                opts.trace_path.empty() ? "false" : "true",
                htm::to_string(htm::config().clock_policy),
                htm::to_string(htm::config().retry_policy),
+               htm::to_string(htm::config().validation),
                htm::config().fault.rate, htm::config().crash.rate);
   const htm::TxnStats s = htm::aggregate_stats();
   std::fprintf(
@@ -345,7 +375,9 @@ inline void write_json_report(const std::string& path,
       "\"storm_entries\": %llu, \"storm_exits\": %llu, "
       "\"max_consec_aborts\": %llu, "
       "\"crashes_injected\": %llu, \"lock_recoveries\": %llu, "
-      "\"orphans_reaped\": %llu,\n"
+      "\"orphans_reaped\": %llu, "
+      "\"sig_validations\": %llu, \"sig_false_aborts\": %llu, "
+      "\"sig_ring_overflows\": %llu,\n"
       "    \"aborts_by_code\": {",
       static_cast<unsigned long long>(s.commits),
       static_cast<unsigned long long>(s.aborts), s.abort_rate(),
@@ -366,7 +398,10 @@ inline void write_json_report(const std::string& path,
       static_cast<unsigned long long>(s.max_consec_aborts),
       static_cast<unsigned long long>(s.crashes_injected),
       static_cast<unsigned long long>(s.lock_recoveries),
-      static_cast<unsigned long long>(s.orphans_reaped));
+      static_cast<unsigned long long>(s.orphans_reaped),
+      static_cast<unsigned long long>(s.sig_validations),
+      static_cast<unsigned long long>(s.sig_false_aborts),
+      static_cast<unsigned long long>(s.sig_ring_overflows));
   for (int c = 0; c < static_cast<int>(htm::AbortCode::kNumCodes); ++c) {
     std::fprintf(f, "%s\"%s\": %llu", c == 0 ? "" : ", ",
                  htm::to_string(static_cast<htm::AbortCode>(c)),

@@ -1,0 +1,212 @@
+// Validation-backend crossover: exact read-set walk vs Bloom signatures.
+//
+// The exact backend re-checks every read orec each time a transaction must
+// validate — O(|read set|) per validation. The signature backend replaces
+// each walk with one scan of the bounded commit-signature ring —
+// O(kRingSize), independent of the read set — after paying two bit-ORs
+// into an 8 KB filter per tracked read. One validation per transaction
+// therefore roughly trades the walk for the filter build; the backend pulls
+// ahead when a transaction validates repeatedly, which is exactly what
+// long reader transactions do under concurrent writers: every load that
+// trips over a freshly-stamped orec re-validates the whole read set so far
+// to extend the snapshot (try_extend), so a traversal racing W writers
+// validates O(W) times and the exact walk's cost compounds.
+//
+// This bench recreates that regime deterministically with one thread: a
+// transaction reads `rsize` words scattered over a 512 KB array (scattered,
+// because pointer-structure traversals are the workload this substrate
+// exists for, and because sequential reads map to consecutive orecs and
+// make the exact walk an unrealistically prefetch-friendly linear scan).
+// At kChurnStores evenly spaced points mid-pass it performs a
+// strong-atomicity store to an array word *ahead* of the read cursor — a
+// write the reader is about to run into, as if a concurrent writer had just
+// committed there. Loading that word then forces a snapshot extension in
+// both backends: the exact walk re-touches every orec read so far, the
+// signature backend scans the ring. (Under GV5 some consecutive stores
+// share a sloppy stamp the previous extension already absorbed, so the
+// effective validation count per transaction is a bit below
+// kChurnStores + 1.) The store target rotates every iteration so the
+// signature backend's false-positive rate is an average over many bit
+// patterns, not one fixed draw per sweep point.
+//
+// Reported latency is end-to-end per committed transaction, including
+// retries the backend causes: at large read sets the 65536-bit Bloom filter
+// saturates, ring entries collide with everything, and extensions turn into
+// (classified, counted) false aborts — the honest price of O(1)
+// validation, visible as the upper end of the sweep bending back toward
+// exact.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "htm/config.hpp"
+#include "htm/htm.hpp"
+#include "htm/valring.hpp"
+#include "util/cycles.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr uint32_t kMaxReads = 1u << 16;  // 512 KB of uint64_t
+constexpr uint32_t kChurnStores = 8;      // mid-pass writer interruptions per txn
+
+struct Workspace {
+  std::vector<uint64_t> arr;
+  // First rsize entries of one fixed shuffle = the scattered read set for
+  // that sweep point; identical for both backends by construction.
+  std::vector<uint32_t> perm;
+  uint64_t* sink;
+};
+
+// A commit target whose orec aliases none of the read array's, so the
+// commit itself can never be a real conflict.
+uint64_t g_sink_pool[1u << 17];
+
+Workspace make_workspace() {
+  using namespace dc;
+  Workspace ws;
+  ws.arr.assign(kMaxReads, 1);
+  ws.perm.resize(kMaxReads);
+  for (uint32_t i = 0; i < kMaxReads; ++i) ws.perm[i] = i;
+  util::Xoshiro256 rng(0xB10051);  // fixed: same read sets in every run
+  for (uint32_t i = kMaxReads - 1; i > 0; --i) {
+    std::swap(ws.perm[i], ws.perm[rng.next_below(i + 1)]);
+  }
+  std::vector<bool> used(htm::kOrecCount, false);
+  for (const uint64_t& w : ws.arr) {
+    used[static_cast<std::size_t>(&htm::orec_for(&w) - htm::orec_table())] =
+        true;
+  }
+  // orec_index is near-direct-mapped, so a small pool could land entirely
+  // inside the array's contiguous index window; a 2^17-word span always has
+  // words outside a 2^16-index window.
+  for (uint64_t& w : g_sink_pool) {
+    const auto idx =
+        static_cast<std::size_t>(&htm::orec_for(&w) - htm::orec_table());
+    if (used[idx]) continue;
+    ws.sink = &w;
+    return ws;
+  }
+  std::fprintf(stderr, "could not find an orec-disjoint sink word\n");
+  std::abort();
+}
+
+// Mean latency (us) of one committed reader transaction of `rsize` scattered
+// loads with kChurnStores mid-pass extension triggers, retries included,
+// measured over one ~duration_ms window.
+double run_window(Workspace& ws, uint32_t rsize, double duration_ms) {
+  using namespace dc;
+  const uint64_t budget =
+      static_cast<uint64_t>(duration_ms * 1e6 * util::cycles_per_ns());
+  uint64_t churn_val = 0;
+  uint64_t iters = 0;
+  const uint64_t t0 = util::rdcycles();
+  uint64_t elapsed = 0;
+  do {
+    // Each churn store happens once per iteration, not once per attempt: a
+    // store already issued before an abort must not be re-issued on the
+    // retry, or a saturated Bloom filter would re-collide with the same
+    // entry deterministically and retry forever. The retry's fresh snapshot
+    // covers the already-published stamps, so skipped stores cost nothing.
+    uint32_t stores_done = 0;
+    const uint32_t seg = rsize / (kChurnStores + 1) + 1;
+    for (;;) {
+      try {
+        htm::Txn txn;
+        uint64_t sum = 0;
+        uint32_t boundary = 0;
+        for (uint32_t i = 0; i < rsize; ++i) {
+          if (i > 0 && i % seg == 0 && i + 1 < rsize &&
+              boundary++ == stores_done && stores_done < kChurnStores) {
+            // "Concurrent writer" commits to a word strictly ahead of the
+            // read cursor; the position rotates per iteration. Loading it
+            // below forces a snapshot extension — a full validation in
+            // both backends.
+            const uint32_t ahead = static_cast<uint32_t>(
+                (iters * 7919 + i) % (rsize - i - 1));
+            ++stores_done;
+            htm::nontxn_store(&ws.arr[ws.perm[i + 1 + ahead]], ++churn_val);
+          }
+          sum += txn.load(&ws.arr[ws.perm[i]]);
+        }
+        txn.store(ws.sink, sum + iters);
+        txn.commit();
+        break;
+      } catch (const htm::TxnAbort&) {
+        // Bloom false positive (sig backend at saturation): retry, and let
+        // the retry's cost land in this iteration's latency.
+      }
+    }
+    ++iters;
+    elapsed = util::rdcycles() - t0;
+  } while (elapsed < budget || iters < 10);
+  return util::cycles_to_ns(elapsed) / 1000.0 / static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const auto opts = sim::Options::parse(argc, argv);
+  const bench::ObsSession obs_session(opts);
+  // The sweep flips between both backends regardless of what the session
+  // selected (--validate/DC_VALIDATE); the session's choice is restored on
+  // exit. The report is emitted as validation=sig because that is what the
+  // process's diagnostics show — sig counters are necessarily nonzero here,
+  // and the schema's zero-when-exact invariant must keep holding for every
+  // checked-in report.
+  const htm::ValidationPolicy session_mode = htm::config().validation;
+  if (!opts.csv) {
+    std::printf(
+        "== Validation backends: exact read-set walk vs Bloom signature "
+        "ring ==\n"
+        "(single reader, %u-word array, scattered reads, %u mid-pass "
+        "extension triggers per txn, clock=%s)\n",
+        kMaxReads, kChurnStores, htm::to_string(htm::config().clock_policy));
+    bench::print_host_caveat();
+  }
+
+  Workspace ws = make_workspace();
+  htm::reset_stats();
+  util::Table table({"rsize", "exact_us", "sig_us", "speedup"});
+  uint32_t crossover = 0;
+  for (uint32_t lg = 4; lg <= 16; ++lg) {
+    const uint32_t rsize = 1u << lg;
+    const htm::ValidationPolicy kModes[2] = {htm::ValidationPolicy::kExact,
+                                             htm::ValidationPolicy::kSignature};
+    util::RunningStats stats[2];
+    // Interleave the two backends repeat by repeat (A/B/A/B), so slow drift
+    // in host load lands on both series instead of biasing one.
+    for (int m = 0; m < 2; ++m) {
+      htm::config().validation = kModes[m];
+      run_window(ws, rsize, 2.0);  // warm-up: page in, settle the ring
+    }
+    for (int r = 0; r < opts.repeats; ++r) {
+      for (int m = 0; m < 2; ++m) {
+        htm::config().validation = kModes[m];
+        stats[m].add(run_window(ws, rsize, opts.duration_ms));
+      }
+    }
+    const double mean[2] = {stats[0].mean(), stats[1].mean()};
+    const double speedup = mean[1] > 0.0 ? mean[0] / mean[1] : 0.0;
+    if (crossover == 0 && speedup > 1.0) crossover = rsize;
+    table.add_row({util::Table::fmt(static_cast<uint64_t>(rsize)),
+                   util::Table::fmt(mean[0], 3),
+                   util::Table::fmt(mean[1], 3),
+                   util::Table::fmt(speedup, 2)});
+  }
+  htm::config().validation = htm::ValidationPolicy::kSignature;
+
+  if (!opts.csv) {
+    if (crossover != 0) {
+      std::printf(
+          "\n(signature backend first wins at rsize=%u; speedup > 1 means "
+          "sig is faster)\n",
+          crossover);
+    } else {
+      std::printf("\n(no crossover in this sweep — exact won throughout)\n");
+    }
+  }
+  bench::report(table, opts, "validation");
+  htm::config().validation = session_mode;
+  return 0;
+}

@@ -19,10 +19,16 @@
 #      enforces the zero-overhead guard (all crash counters exactly zero).
 #
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--fault] [--crash]
-#                         [--clock gv1|gv5]
+#                         [--clock gv1|gv5] [--validate exact|sig]
 #
 # --clock pins the global-clock policy (DC_CLOCK) for every stage, so one
 # invocation verifies the whole suite under one policy; CI runs both.
+# --validate pins the conflict-validation backend (DC_VALIDATE) the same
+# way: `--validate sig` runs every stage with Bloom-signature validation
+# admitting commits, which is how the backend's zero-false-negative claim
+# gets exercised against the entire suite, not just its own tests. CI
+# crosses it with both clock policies (the ring stamps entries with
+# whatever the active clock produced).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,10 +38,16 @@ skip_asan=0
 fault=0
 crash=0
 clock=""
+validate=""
 prev=""
 for arg in "$@"; do
   if [[ "$prev" == "--clock" ]]; then
     clock="$arg"
+    prev=""
+    continue
+  fi
+  if [[ "$prev" == "--validate" ]]; then
+    validate="$arg"
     prev=""
     continue
   fi
@@ -45,17 +57,24 @@ for arg in "$@"; do
     --fault) fault=1 ;;
     --crash) crash=1 ;;
     --clock) prev="--clock" ;;
-    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --crash --clock gv1|gv5)" >&2; exit 2 ;;
+    --validate) prev="--validate" ;;
+    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --crash --clock gv1|gv5 --validate exact|sig)" >&2; exit 2 ;;
   esac
 done
 if [[ -n "$prev" ]]; then
-  echo "missing value for --clock" >&2
+  echo "missing value for $prev" >&2
   exit 2
 fi
 if [[ -n "$clock" ]]; then
   case "$clock" in
     gv1|gv5) export DC_CLOCK="$clock"; echo "== clock policy pinned: DC_CLOCK=$clock ==" ;;
     *) echo "unknown clock policy: $clock (gv1|gv5)" >&2; exit 2 ;;
+  esac
+fi
+if [[ -n "$validate" ]]; then
+  case "$validate" in
+    exact|sig) export DC_VALIDATE="$validate"; echo "== validation backend pinned: DC_VALIDATE=$validate ==" ;;
+    *) echo "unknown validation backend: $validate (exact|sig)" >&2; exit 2 ;;
   esac
 fi
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a benchmark --json report (schema_version 4 or 5) and,
+"""Validate a benchmark --json report (schema_version 4 through 6) and,
 optionally, a Chrome trace-event file produced by --trace.
 
 Usage: scripts/validate_report.py REPORT.json [TRACE.json] [--expect-events]
@@ -19,12 +19,20 @@ htm.crashes_injected / htm.lock_recoveries / htm.orphans_reaped == 0 an
 error (the crash smoke leg, which runs with --crash-rate > 0); without it
 and with options.crash_rate == 0 all three counters must be exactly zero —
 the zero-overhead guard that proves the injector is fully dormant on clean
-runs.
+runs. v6 reports carry options.validation and the signature-validation
+counters htm.sig_validations / htm.sig_false_aborts /
+htm.sig_ring_overflows, which must all be exactly zero when validation is
+"exact" — the same dormancy guard applied to the signature backend.
 """
 import json
 import sys
 
+SCHEMA_VERSION_MIN = 4
+SCHEMA_VERSION_MAX = 6
+
 OPS = ("register", "update", "deregister", "collect", "commit")
+OPS_V6 = OPS + ("validate",)
+SIG_KEYS = ("sig_validations", "sig_false_aborts", "sig_ring_overflows")
 ABORT_CODES = ("none", "conflict", "overflow", "explicit", "illegal-access",
                "interrupt", "tlb-miss", "save-restore")
 SPURIOUS_CODES = ("interrupt", "tlb-miss", "save-restore")
@@ -44,7 +52,10 @@ def validate_report(path, expect_faults=False, expect_crashes=False):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     version = doc.get("schema_version")
-    require(version in (4, 5), "schema_version must be 4 or 5")
+    require(isinstance(version, int) and
+            SCHEMA_VERSION_MIN <= version <= SCHEMA_VERSION_MAX,
+            f"schema_version must be between {SCHEMA_VERSION_MIN} "
+            f"and {SCHEMA_VERSION_MAX}")
     require(isinstance(doc.get("bench"), str), "bench must be a string")
     opts = doc.get("options")
     require(isinstance(opts, dict), "options must be an object")
@@ -55,6 +66,9 @@ def validate_report(path, expect_faults=False, expect_crashes=False):
         require(isinstance(opts.get(key), (int, float)), f"options.{key}")
     require(opts.get("clock") in ("gv1", "gv5"), "options.clock")
     require(opts.get("retry") in ("cause", "fixed"), "options.retry")
+    if version >= 6:
+        require(opts.get("validation") in ("exact", "sig"),
+                "options.validation")
     htm = doc.get("htm")
     require(isinstance(htm, dict), "htm must be an object")
     htm_keys = ["commits", "aborts", "abort_rate", "lock_fallbacks",
@@ -64,6 +78,8 @@ def validate_report(path, expect_faults=False, expect_crashes=False):
                 "storm_exits", "max_consec_aborts"]
     if version >= 5:
         htm_keys += ["crashes_injected", "lock_recoveries", "orphans_reaped"]
+    if version >= 6:
+        htm_keys += list(SIG_KEYS)
     for key in htm_keys:
         require(isinstance(htm.get(key), (int, float)), f"htm.{key}")
     if opts["clock"] == "gv5":
@@ -92,6 +108,10 @@ def validate_report(path, expect_faults=False, expect_crashes=False):
         for key in ("crashes_injected", "lock_recoveries", "orphans_reaped"):
             require(htm[key] == 0,
                     f"crash injection off but htm.{key} != 0")
+    if version >= 6 and opts["validation"] == "exact":
+        for key in SIG_KEYS:
+            require(htm[key] == 0,
+                    f"validation is exact but htm.{key} != 0")
     retry = doc.get("retry")
     require(isinstance(retry, dict), "retry must be an object")
     require(retry.get("policy") in ("cause", "fixed"), "retry.policy")
@@ -108,7 +128,7 @@ def validate_report(path, expect_faults=False, expect_crashes=False):
                     f"retry.by_cause.{cause} quantiles out of order")
     lat = doc.get("op_latency_ns")
     require(isinstance(lat, dict), "op_latency_ns must be an object")
-    for op in OPS:
+    for op in (OPS_V6 if version >= 6 else OPS):
         entry = lat.get(op)
         require(isinstance(entry, dict), f"op_latency_ns.{op}")
         for key in ("count", "p50", "p90", "p99", "max", "mean"):

@@ -75,6 +75,42 @@ RetryPolicy default_retry_policy() noexcept {
   return def;
 }
 
+const char* to_string(ValidationPolicy policy) noexcept {
+  switch (policy) {
+    case ValidationPolicy::kExact:
+      return "exact";
+    case ValidationPolicy::kSignature:
+      return "sig";
+  }
+  return "?";
+}
+
+bool parse_validation_policy(const char* name,
+                             ValidationPolicy& out) noexcept {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "exact") == 0) {
+    out = ValidationPolicy::kExact;
+    return true;
+  }
+  if (std::strcmp(name, "sig") == 0) {
+    out = ValidationPolicy::kSignature;
+    return true;
+  }
+  return false;
+}
+
+ValidationPolicy default_validation_policy() noexcept {
+  // Read once, like DC_CLOCK/DC_RETRY: the CI matrix and scripts/check.sh
+  // --validate pin a whole run to one backend without a rebuild; tests that
+  // need a specific backend set Config::validation explicitly.
+  static const ValidationPolicy def = [] {
+    ValidationPolicy p = ValidationPolicy::kExact;
+    parse_validation_policy(std::getenv("DC_VALIDATE"), p);
+    return p;
+  }();
+  return def;
+}
+
 FaultConfig default_fault_config() noexcept {
   // DC_FAULT="RATE" or "RATE:SEED". Out-of-range rates clamp to [0, 1];
   // unparsable values leave injection off.

@@ -27,6 +27,7 @@
 #include "htm/retry.hpp"
 #include "htm/stats.hpp"
 #include "htm/txn.hpp"
+#include "htm/valring.hpp"
 #include "obs/histogram.hpp"
 #include "obs/retry_stats.hpp"
 #include "obs/trace.hpp"
@@ -68,6 +69,13 @@ inline void commit_timed(Txn& txn) {
 template <TxnWord T>
 void nontxn_store(T* addr, T value) noexcept {
   Orec& o = orec_for(addr);
+  // Signature-backend visibility (valring.hpp): a strong-atomicity store is
+  // a one-orec writing commit, so it follows the same protocol — in-flight
+  // before the lock CAS, ring publish before the orec release, in-flight
+  // end after it. The exact backend skips all of it (one branch).
+  const bool sig = config().validation == ValidationPolicy::kSignature;
+  const auto orec_idx = static_cast<uint64_t>(&o - orec_table());
+  if (sig) sigring::begin_inflight_single(orec_idx);
   const OrecValue mine = make_locked(~0ULL >> 1);  // anonymous owner token
   util::Backoff backoff(2, 64);
   OrecValue cur = o.value.load(std::memory_order_relaxed);
@@ -86,7 +94,9 @@ void nontxn_store(T* addr, T value) noexcept {
   const ClockStamp stamp =
       writer_stamp(config().clock_policy, orec_version(cur),
                    orec_version(cur), util::thread_id() + 1);
+  if (sig) sigring::publish_single(orec_idx, stamp.wv);
   o.value.store(make_version(stamp.wv), std::memory_order_release);
+  if (sig) sigring::end_inflight();
   local_stats().nontxn_stores++;
 }
 
@@ -96,6 +106,14 @@ void nontxn_store(T* addr, T value) noexcept {
 template <TxnWord T>
 bool nontxn_cas(T* addr, T expected, T desired) noexcept {
   Orec& o = orec_for(addr);
+  // Same signature-visibility protocol as nontxn_store. This is what keeps
+  // TLE exclusivity intact under the signature backend: the TLE lock is
+  // taken with nontxn_cas, and every speculative attempt reads the lock
+  // word, so the acquirer's in-flight entry / ring publish is what dooms
+  // in-flight readers that never load the lock orec at validation time.
+  const bool sig = config().validation == ValidationPolicy::kSignature;
+  const auto orec_idx = static_cast<uint64_t>(&o - orec_table());
+  if (sig) sigring::begin_inflight_single(orec_idx);
   const OrecValue mine = make_locked(~0ULL >> 1);
   util::Backoff backoff(2, 64);
   OrecValue cur = o.value.load(std::memory_order_relaxed);
@@ -117,10 +135,13 @@ bool nontxn_cas(T* addr, T expected, T desired) noexcept {
     const ClockStamp stamp =
         writer_stamp(config().clock_policy, orec_version(cur),
                      orec_version(cur), util::thread_id() + 1);
+    if (sig) sigring::publish_single(orec_idx, stamp.wv);
     o.value.store(make_version(stamp.wv), std::memory_order_release);
   } else {
+    // Failed CAS: memory unchanged, orec restored — nothing to publish.
     o.value.store(cur, std::memory_order_release);
   }
+  if (sig) sigring::end_inflight();
   return success;
 }
 

@@ -57,6 +57,7 @@
 #include "htm/config.hpp"
 #include "htm/crash.hpp"
 #include "htm/orec.hpp"
+#include "htm/sigset.hpp"
 #include "util/asan.hpp"
 #include "util/small_vector.hpp"
 
@@ -328,6 +329,11 @@ class Txn {
     // inserted; `previous` is filled in by acquire_write_locks().
     util::SmallVector<LockedOrec, 40> locked;
     util::SmallVector<AbortHook, 8> abort_hooks;
+    // Read-orec Bloom signature (ValidationPolicy::kSignature only). Unlike
+    // the dedup filter it cannot be epoch-cleared — Bloom bits are
+    // OR-accumulated with no per-slot stamp to invalidate — so attempts in
+    // sig mode memset it on begin (512 bytes; exact mode never touches it).
+    SigSet read_sig;
     FilterSlot filter[kFilterSize] = {};
     uint64_t epoch = 0;
 
@@ -351,6 +357,9 @@ class Txn {
     slot.orec = o;
     slot.epoch = epoch_;
     s_.read_set.push_back(o);
+    if (sig_mode_) {
+      s_.read_sig.add(static_cast<uint64_t>(o - orec_table_));
+    }
   }
 
   // Index of the first write-set entry with address >= a (the write set is
@@ -457,7 +466,19 @@ class Txn {
   Orec* validate_read_set() const noexcept;
   OrecValue pre_lock_version(const Orec* o) const noexcept;
 
-  void lock_mode_store(void* addr, uint64_t bits, uint32_t size) noexcept;
+  // Validation dispatcher over Config::validation: exact mode runs the
+  // read-set walk; sig mode scans the commit-signature ring (falling back
+  // to the walk on ring wrap) and maintains the sig_* counters. Returns
+  // true when the read set is valid at rv_; on false, *culprit carries the
+  // failing orec when the exact walk identified one (nullptr for a pure
+  // signature hit). Used by commit() and try_extend(); wrapped with the
+  // kValidate latency probe in DC_TRACE builds.
+  bool validate_reads(Orec** culprit) noexcept;
+  bool validate_reads_impl(Orec** culprit) noexcept;
+
+  // Returns the stamp the orec was released to (for the sig-mode ring
+  // publish, which wants the maximum across the block's stores).
+  uint64_t lock_mode_store(void* addr, uint64_t bits, uint32_t size) noexcept;
 
   uint64_t rv_;              // read version (TL2)
   const uint64_t my_token_;  // lock ownership token
@@ -471,6 +492,10 @@ class Txn {
   const ClockPolicy clock_policy_;
   const bool extension_enabled_;
   const bool coalesce_;
+  // Validation-backend snapshot (Config::validation /
+  // Config::validation_crosscheck at attempt begin).
+  const bool sig_mode_;
+  const bool sig_crosscheck_;
   const bool lock_mode_;
   bool committed_ = false;
   // Abort forensics, read by the destructor's obs hooks: the code of the

@@ -1,0 +1,301 @@
+#include "htm/valring.hpp"
+
+#include <bit>
+
+#include "util/padded.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::htm::sigring {
+namespace {
+
+// How many times a reader retries an unstable seqlock before degrading.
+// Writers hold a slot's seqlock only for the ~64-word signature copy, so a
+// handful of retries outwaits any single writer; repeated instability means
+// the slot is being republished under us and the conservative outcome is
+// taken instead of spinning unboundedly.
+constexpr int kSeqlockRetries = 64;
+
+// Signature payload words are atomics accessed relaxed under the seqlock:
+// the seqlock (acquire on seq, acquire fence before the re-check) provides
+// the ordering, the atomic type keeps torn reads defined and TSan quiet.
+//
+// Single-orec writers (strong-atomicity stores, one-orec commits) dominate
+// most workloads, and as degenerate Bloom signatures they would be both
+// expensive (a full kWords copy to park two bits) and noisy (the word-wise
+// AND fires on EITHER of the entry's two hash bits). Slots therefore carry
+// the raw orec index when the write set is a single orec (`single` !=
+// kNoSingle): publishing skips the signature copy entirely and the scan
+// tests it with SigSet::maybe_contains — BOTH bits must be set in the read
+// signature — which squares the false-positive rate at no soundness cost (a
+// genuinely-read orec always has both bits set).
+constexpr uint64_t kNoSingle = ~uint64_t{0};
+
+// Ring storage is split structure-of-arrays: the scan's hot loop reads only
+// the packed 24-byte headers (kRingSize of them span ~6 KB — a couple of
+// dozen cache lines), and the 2 KB signature payload of a slot is touched
+// only when its stamp beats the snapshot AND the entry is not in the
+// precise single-orec form. With payloads inline the same scan strides one
+// cache miss per slot across half a megabyte, which would tax every
+// validation for data it almost never needs.
+struct RingHdr {
+  std::atomic<uint64_t> seq{0};    // even = stable, odd = being written
+  std::atomic<uint64_t> stamp{0};  // commit version; 0 = never used
+  std::atomic<uint64_t> single{kNoSingle};  // orec idx, or kNoSingle => sig
+};
+
+struct alignas(util::kCacheLine) RingSig {
+  std::atomic<uint64_t> w[SigSet::kWords]{};
+};
+
+struct alignas(util::kCacheLine) InflightSlot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> single{kNoSingle};
+  std::atomic<uint64_t> sig[SigSet::kWords]{};
+};
+
+RingHdr g_hdr[kRingSize];
+RingSig g_payload[kRingSize];
+InflightSlot g_inflight[kInflightSlots];
+std::atomic<uint64_t> g_head{0};        // next ring sequence number
+std::atomic<uint64_t> g_watermark{0};   // max evicted stamp (CAS-max)
+std::atomic<uint64_t> g_occupancy{0};   // bit i = in-flight slot i active
+std::atomic<uint64_t> g_published{0};
+std::atomic<uint64_t> g_newest{0};      // max published stamp (CAS-max)
+std::atomic<uint64_t> g_crosscheck_fn{0};
+
+void cas_max(std::atomic<uint64_t>& a, uint64_t v) noexcept {
+  uint64_t cur = a.load(std::memory_order_acquire);
+  while (cur < v && !a.compare_exchange_weak(cur, v,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+  }
+}
+
+// Copies `sig` into `slot.sig` under its seqlock. Ring slots are claimed by
+// CAS (two publishers can race for one slot only after head wraps the whole
+// ring mid-copy); in-flight slots are owner-only, so their odd transition is
+// a plain store.
+void copy_words(std::atomic<uint64_t>* dst, const uint64_t* src) noexcept {
+  for (uint32_t i = 0; i < SigSet::kWords; ++i) {
+    dst[i].store(src[i], std::memory_order_relaxed);
+  }
+}
+
+// Reads a slot's signature words and returns whether any ANDs with rs.
+// Validity must be confirmed by the caller's seqlock re-check.
+bool words_intersect(const std::atomic<uint64_t>* words,
+                     const SigSet& rs) noexcept {
+  const uint64_t* r = rs.words();
+  for (uint32_t i = 0; i < SigSet::kWords; ++i) {
+    if ((r[i] & words[i].load(std::memory_order_relaxed)) != 0) return true;
+  }
+  return false;
+}
+
+// True when the entry described by (single, sig words) may share an orec
+// with rs. Validity must be confirmed by the caller's seqlock re-check.
+bool entry_hits(uint64_t single, const std::atomic<uint64_t>* words,
+                const SigSet& rs) noexcept {
+  if (single != kNoSingle) return rs.maybe_contains(single);
+  return words_intersect(words, rs);
+}
+
+// Parks an entry in the calling thread's in-flight slot. `sig` is null for
+// the precise single-orec form.
+void inflight_park(const SigSet* sig, uint64_t single) noexcept {
+  const uint32_t tid = util::thread_id();
+  if (tid >= kInflightSlots) {
+    // No slot to park in: pin the watermark so every scan from now on falls
+    // back to the exact walk. Permanent (until reset()) but sound, and loud
+    // in sig_ring_overflows.
+    cas_max(g_watermark, ~uint64_t{0});
+    return;
+  }
+  InflightSlot& s = g_inflight[tid];
+  const uint64_t s0 = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(s0 + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.single.store(single, std::memory_order_relaxed);
+  if (sig != nullptr) copy_words(s.sig, sig->words());
+  s.seq.store(s0 + 2, std::memory_order_release);
+  // acq_rel: the RMW's release side orders the entry copy before the bit
+  // for any reader that acquires the mask.
+  g_occupancy.fetch_or(uint64_t{1} << tid, std::memory_order_acq_rel);
+}
+
+}  // namespace
+
+void begin_inflight(const SigSet& write_sig) noexcept {
+  inflight_park(&write_sig, kNoSingle);
+}
+
+void begin_inflight_single(uint64_t orec_idx) noexcept {
+  inflight_park(nullptr, orec_idx);
+}
+
+void end_inflight() noexcept {
+  const uint32_t tid = util::thread_id();
+  if (tid >= kInflightSlots) return;
+  g_occupancy.fetch_and(~(uint64_t{1} << tid), std::memory_order_release);
+}
+
+namespace {
+
+void publish_entry(const SigSet* sig, uint64_t single,
+                   uint64_t stamp) noexcept {
+  const uint64_t idx =
+      g_head.fetch_add(1, std::memory_order_relaxed) & (kRingSize - 1);
+  RingHdr& hdr = g_hdr[idx];
+  uint64_t s0 = hdr.seq.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((s0 & 1) == 0 &&
+        hdr.seq.compare_exchange_weak(s0, s0 + 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      break;
+    }
+    s0 = hdr.seq.load(std::memory_order_relaxed);
+  }
+  // Raise the watermark over the entry being evicted BEFORE the slot
+  // reopens: a reader that misses the old entry either catches the seqlock
+  // odd/moved (and degrades) or runs its post-scan watermark check against
+  // a value already covering the eviction.
+  const uint64_t old_stamp = hdr.stamp.load(std::memory_order_relaxed);
+  if (old_stamp != 0) cas_max(g_watermark, old_stamp);
+  hdr.single.store(single, std::memory_order_relaxed);
+  if (sig != nullptr) copy_words(g_payload[idx].w, sig->words());
+  hdr.stamp.store(stamp, std::memory_order_relaxed);
+  hdr.seq.store(s0 + 2, std::memory_order_release);
+  g_published.fetch_add(1, std::memory_order_relaxed);
+  cas_max(g_newest, stamp);
+}
+
+}  // namespace
+
+void publish(const SigSet& write_sig, uint64_t stamp) noexcept {
+  publish_entry(&write_sig, kNoSingle, stamp);
+}
+
+void publish_single(uint64_t orec_idx, uint64_t stamp) noexcept {
+  publish_entry(nullptr, orec_idx, stamp);
+}
+
+ScanResult scan(const SigSet& read_sig, uint64_t rv) noexcept {
+  // Stage 1: in-flight writers. Their stamps are undrawn or unpublished, so
+  // the snapshot cannot filter them; an intersecting in-flight entry is a
+  // conflict regardless of rv — exactly the window in which the exact walk
+  // would find the orec locked. Skip the caller's own slot: a committing
+  // transaction that both read and wrote a word validates that overlap
+  // through pre-lock versions, not by conflicting with itself.
+  const uint32_t self = util::thread_id();
+  uint64_t mask = g_occupancy.load(std::memory_order_acquire);
+  if (self < kInflightSlots) mask &= ~(uint64_t{1} << self);
+  while (mask != 0) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    const InflightSlot& s = g_inflight[i];
+    for (int tries = 0;; ++tries) {
+      const uint64_t s1 = s.seq.load(std::memory_order_acquire);
+      if ((s1 & 1) == 0) {
+        const bool hit = entry_hits(
+            s.single.load(std::memory_order_relaxed), s.sig, read_sig);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_relaxed) == s1) {
+          if (hit) return {ScanOutcome::kConflict, 0};
+          break;
+        }
+      }
+      if (tries >= kSeqlockRetries) {
+        // Can't stabilize the slot: its owner is mid-republish, i.e. inside
+        // a lock window either way. Conservative conflict.
+        return {ScanOutcome::kConflict, 0};
+      }
+    }
+  }
+
+  // Stage 2: finalized ring entries newer than the snapshot. Publish order
+  // is not stamp order (GV5 stamps are sloppy and threads interleave), so
+  // every slot is examined — the stamp filter makes a stale slot one
+  // relaxed load. The scan completes before conflicts are reported so
+  // hit_stamp is the *maximum* offending stamp (one catch-up suffices).
+  uint64_t hit_stamp = 0;
+  for (uint32_t i = 0; i < kRingSize; ++i) {
+    const RingHdr& hdr = g_hdr[i];
+    for (int tries = 0;; ++tries) {
+      const uint64_t s1 = hdr.seq.load(std::memory_order_acquire);
+      if ((s1 & 1) == 0) {
+        const uint64_t stamp = hdr.stamp.load(std::memory_order_relaxed);
+        if (stamp <= rv) {
+          // At or below the snapshot: serialized before this transaction,
+          // skip. No seqlock re-check needed — if the slot is concurrently
+          // overwritten, the entry we might miss is covered either by its
+          // own publish (a later scan pass is not owed to us: the new
+          // entry's writer still holds its locks, so stage 1 or the
+          // post-scan watermark check covers it) or by the watermark the
+          // overwriter raised first.
+          break;
+        }
+        const bool hit =
+            entry_hits(hdr.single.load(std::memory_order_relaxed),
+                       g_payload[i].w, read_sig);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (hdr.seq.load(std::memory_order_relaxed) == s1) {
+          if (hit && stamp > hit_stamp) hit_stamp = stamp;
+          break;
+        }
+      }
+      if (tries >= kSeqlockRetries) return {ScanOutcome::kFallback, 0};
+    }
+  }
+  if (hit_stamp != 0) return {ScanOutcome::kConflict, hit_stamp};
+
+  // Stage 3: wrap check, deliberately AFTER the scan. An entry evicted
+  // before or during the scan raised the watermark before its slot
+  // reopened; if anything newer than the snapshot was evicted, the ring is
+  // not a complete record of (rv, now] and the exact walk must decide.
+  if (g_watermark.load(std::memory_order_acquire) > rv) {
+    return {ScanOutcome::kFallback, 0};
+  }
+  return {ScanOutcome::kValid, 0};
+}
+
+uint64_t evicted_watermark() noexcept {
+  return g_watermark.load(std::memory_order_acquire);
+}
+
+uint64_t published_count() noexcept {
+  return g_published.load(std::memory_order_relaxed);
+}
+
+uint64_t newest_stamp() noexcept {
+  return g_newest.load(std::memory_order_acquire);
+}
+
+std::atomic<uint64_t>& crosscheck_false_negatives() noexcept {
+  return g_crosscheck_fn;
+}
+
+void reset() noexcept {
+  for (RingHdr& hdr : g_hdr) {
+    hdr.seq.store(0, std::memory_order_relaxed);
+    hdr.stamp.store(0, std::memory_order_relaxed);
+    hdr.single.store(kNoSingle, std::memory_order_relaxed);
+  }
+  for (RingSig& p : g_payload) {
+    for (auto& w : p.w) w.store(0, std::memory_order_relaxed);
+  }
+  for (InflightSlot& s : g_inflight) {
+    s.seq.store(0, std::memory_order_relaxed);
+    s.single.store(kNoSingle, std::memory_order_relaxed);
+    for (auto& w : s.sig) w.store(0, std::memory_order_relaxed);
+  }
+  g_head.store(0, std::memory_order_relaxed);
+  g_watermark.store(0, std::memory_order_relaxed);
+  g_occupancy.store(0, std::memory_order_relaxed);
+  g_published.store(0, std::memory_order_relaxed);
+  g_newest.store(0, std::memory_order_relaxed);
+  g_crosscheck_fn.store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+}  // namespace dc::htm::sigring

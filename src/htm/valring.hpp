@@ -1,0 +1,135 @@
+// Commit-signature ring + in-flight writer table for the signature
+// validation backend (ValidationPolicy::kSignature; DESIGN.md §11).
+//
+// Writers that change memory — visible writing commits, lock-mode
+// write-backs, strong-atomicity stores, range invalidations — make their
+// write set observable to signature validation in two stages:
+//
+//   1. In-flight table: before acquiring its first orec lock the writer
+//      parks its write signature in a per-thread seqlocked slot and raises
+//      its bit in one shared occupancy mask; the bit drops only after the
+//      locks are released. An intersecting in-flight entry is a conflict
+//      regardless of the reader's snapshot — it is the signature analog of
+//      the exact walk's "orec locked ⇒ abort", covering the window in which
+//      the writer's stamp either does not exist yet or is not yet published.
+//   2. Ring: after write-back and before releasing its locks the writer
+//      publishes {write signature, commit stamp} into a bounded global ring.
+//      Validation intersects the read signature against every entry whose
+//      stamp exceeds the reader's snapshot. Publish-before-release is the
+//      linchpin: any reader that can observe a released orec version also
+//      observes the matching ring entry (the release store orders the
+//      publish before it), so a committed-but-unpublished write is never
+//      visible.
+//
+// Eviction is handled by a watermark: before overwriting a slot the
+// publisher raises a global CAS-max watermark over the evicted entry's
+// stamp, so a reader whose snapshot predates anything evicted sees
+// watermark > rv after its scan and falls back to the exact walk instead of
+// trusting an incomplete ring. Ordering: the watermark is raised before the
+// slot's seqlock reopens, and readers check it after scanning, so an entry
+// can never vanish into the gap between a reader's slot visit and its
+// watermark check.
+//
+// All signature payload words are relaxed atomics guarded by per-slot
+// seqlocks; a reader that cannot stabilize a slot degrades conservatively
+// (in-flight ⇒ conflict, ring ⇒ exact fallback). Nothing here blocks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "htm/sigset.hpp"
+
+namespace dc::htm::sigring {
+
+// Ring capacity. 256 entries cover the last 256 visible writes process-wide;
+// with the stamp filter a scan is one relaxed load per stale slot and a
+// word-wise AND (or one precise index probe) per fresh one. Sized so a scan
+// (~6KB of packed slot headers) stays cheap next to the O(|read set|) orec
+// walk it replaces, while keeping wrap — hence exact-walk fallback — rare
+// for read-mostly workloads.
+inline constexpr uint32_t kRingSize = 256;
+
+// One in-flight slot per dense thread id. Threads beyond the table (ids >=
+// kInflightSlots) cannot park a signature, so their first publish pins the
+// watermark at the maximum: every signature validation from then on falls
+// back to the exact walk. Correct, observable (sig_ring_overflows), merely
+// slow.
+inline constexpr uint32_t kInflightSlots = 64;
+
+enum class ScanOutcome : uint8_t {
+  kValid = 0,   // no intersection with any writer newer than the snapshot
+  kConflict,    // intersection (possibly a Bloom false positive) — abort
+  kFallback,    // ring cannot decide — rerun the exact walk
+};
+
+struct ScanResult {
+  ScanOutcome outcome;
+  // Largest stamp among intersecting ring entries (0 for in-flight hits and
+  // non-conflict outcomes). The abort path feeds it to clock_catch_up so the
+  // retry's fresh snapshot covers the entry instead of re-hitting it — the
+  // liveness valve under GV5, whose sloppy stamps can run arbitrarily far
+  // ahead of the shared clock.
+  uint64_t hit_stamp;
+};
+
+// Parks `write_sig` in the calling thread's in-flight slot and raises its
+// occupancy bit. Call before the first orec-lock CAS of the write-back;
+// pair with end_inflight() after the locks are released (on every path,
+// including aborts). Threads without a slot degrade as described above.
+void begin_inflight(const SigSet& write_sig) noexcept;
+
+// Single-orec form (strong-atomicity stores, one-orec commits): the entry
+// is stored as the raw orec index, not a degenerate signature. Publishing
+// skips the signature copy, and the scan tests it with maybe_contains (both
+// hash bits must appear in the read signature), squaring the false-positive
+// rate relative to the any-shared-bit signature intersection.
+void begin_inflight_single(uint64_t orec_idx) noexcept;
+
+// Drops the calling thread's occupancy bit. The parked signature stays in
+// the slot as garbage — masked off until the next begin_inflight.
+void end_inflight() noexcept;
+
+// Publishes {write_sig, stamp} into the ring. Call after write-back and
+// BEFORE releasing the orec locks (see the ordering argument above). stamp
+// must be the commit version the locks are about to be released to (the
+// maximum across orecs when they differ, as in lock mode and range
+// invalidation); stamps are never 0. The _single form uses the precise
+// one-orec representation described at begin_inflight_single.
+void publish(const SigSet& write_sig, uint64_t stamp) noexcept;
+void publish_single(uint64_t orec_idx, uint64_t stamp) noexcept;
+
+// Intersects `read_sig` against all in-flight writers (except the calling
+// thread's own slot — a committing transaction validating its own
+// read/write overlap must not self-abort) and against every ring entry with
+// stamp > rv. See ScanOutcome; never blocks.
+ScanResult scan(const SigSet& read_sig, uint64_t rv) noexcept;
+
+// Largest stamp ever evicted from the ring (0 = nothing evicted yet).
+uint64_t evicted_watermark() noexcept;
+
+// Largest stamp ever published (0 = nothing published yet). Signature-mode
+// transactions absorb this into the shared clock at begin: under GV5 the
+// ring fills with sloppy stamps that run arbitrarily far ahead of the clock
+// a reader samples its snapshot from, and a snapshot below the whole ring
+// makes every scan intersect every entry — all Bloom noise, no information.
+// Absorbing the newest published stamp (clock rule 2, the same catch-up
+// readers perform when they trip over a sloppy orec) restores the intended
+// regime: only writes that commit during the transaction look new.
+uint64_t newest_stamp() noexcept;
+
+// Total entries ever published (diagnostics/tests).
+uint64_t published_count() noexcept;
+
+// Differential-oracle ledger (Config::validation_crosscheck): number of
+// validations where the exact walk found a conflict but the signature scan
+// reported valid. Must stay 0 — a nonzero value is a soundness bug in the
+// backend, not a tunable. Process-global, reset only by reset().
+std::atomic<uint64_t>& crosscheck_false_negatives() noexcept;
+
+// Test-only: clears the ring, the in-flight table, the watermark, and the
+// crosscheck ledger. Call only while no transactions or strong-atomicity
+// operations run.
+void reset() noexcept;
+
+}  // namespace dc::htm::sigring

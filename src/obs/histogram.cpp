@@ -72,6 +72,8 @@ const char* to_string(OpKind op) noexcept {
       return "collect";
     case OpKind::kCommit:
       return "commit";
+    case OpKind::kValidate:
+      return "validate";
     case OpKind::kNumOps:
       break;
   }

@@ -34,6 +34,8 @@ Options Options::parse(int argc, char** argv) {
       opts.clock = next_value();
     } else if (std::strcmp(arg, "--retry") == 0) {
       opts.retry = next_value();
+    } else if (std::strcmp(arg, "--validate") == 0) {
+      opts.validate = next_value();
     } else if (std::strcmp(arg, "--fault-rate") == 0) {
       opts.fault_rate = std::atof(next_value());
     } else if (std::strcmp(arg, "--crash-rate") == 0) {
@@ -68,8 +70,9 @@ Options Options::parse(int argc, char** argv) {
 void Options::print_help(const char* prog) {
   std::printf(
       "usage: %s [--csv] [--json PATH] [--trace PATH] [--clock gv1|gv5] "
-      "[--retry cause|fixed] [--fault-rate P] [--crash-rate P] [--hist] "
-      "[--duration-ms N] [--repeats N] [--max-threads N] [--full]\n",
+      "[--retry cause|fixed] [--validate exact|sig] [--fault-rate P] "
+      "[--crash-rate P] [--hist] [--duration-ms N] [--repeats N] "
+      "[--max-threads N] [--full]\n",
       prog);
 }
 

@@ -18,6 +18,8 @@
 //                     (shared fetch_add reference)
 //   --retry POLICY    retry policy: cause (cause-aware triage, default) or
 //                     fixed (legacy fixed-threshold backoff)
+//   --validate MODE   conflict-validation backend: exact (read-set walk,
+//                     default) or sig (Bloom signatures + commit ring)
 //   --fault-rate P    inject Rock-style spurious aborts into a fraction P of
 //                     transaction attempts (0..1, default 0 = off); benches
 //                     use this to demonstrate graceful degradation, never
@@ -40,6 +42,8 @@ struct Options {
   std::string trace_path;  // empty = no Chrome trace dump
   std::string clock;       // empty = keep the process default (gv5/DC_CLOCK)
   std::string retry;       // empty = keep the process default (cause/DC_RETRY)
+  std::string validate;    // empty = keep the process default
+                           // (exact/DC_VALIDATE)
   double fault_rate = -1.0;  // negative = keep the process default (DC_FAULT)
   double crash_rate = -1.0;  // negative = keep the process default (DC_CRASH)
   bool hist = false;       // per-operation latency histograms

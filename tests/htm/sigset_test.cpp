@@ -1,0 +1,180 @@
+// Unit battery for the signature-validation building blocks: the SigSet
+// Bloom filter (htm/sigset.hpp) and the commit-signature ring + in-flight
+// writer table (htm/valring.hpp). The properties pinned here are the ones
+// the backend's soundness argument leans on:
+//  * Bloom no-false-negatives: a shared orec index always intersects;
+//  * the ring's stamp filter: entries at or below the reader's snapshot are
+//    invisible, entries above it conflict;
+//  * wrap safety: once any entry has been evicted, a reader whose snapshot
+//    predates the eviction watermark is refused a verdict (fallback), never
+//    handed a clean one;
+//  * in-flight writers conflict regardless of the snapshot — the signature
+//    analog of "orec locked => abort" — except against the scanning
+//    thread's own slot.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "htm/sigset.hpp"
+#include "htm/valring.hpp"
+
+namespace dc::htm {
+namespace {
+
+// Smallest index above `idx` whose two Bloom bits avoid both of idx's —
+// a guaranteed non-intersecting singleton for the tests below.
+uint64_t disjoint_from(uint64_t idx) {
+  const SigSet::Bits a = SigSet::bits_of(idx);
+  for (uint64_t j = idx + 1;; ++j) {
+    const SigSet::Bits b = SigSet::bits_of(j);
+    if (b.first != a.first && b.first != a.second && b.second != a.first &&
+        b.second != a.second) {
+      return j;
+    }
+  }
+}
+
+TEST(SigSet, AddContainsClear) {
+  SigSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.maybe_contains(3));
+  s.add(3);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.maybe_contains(3));
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.maybe_contains(3));
+}
+
+TEST(SigSet, NoFalseNegatives) {
+  // The load-bearing Bloom property: membership and intersection never
+  // under-report, for every element ever added.
+  SigSet reads;
+  for (uint64_t i = 0; i < 1000; ++i) reads.add(i * 7919);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(reads.maybe_contains(i * 7919)) << i;
+    SigSet single;
+    single.add(i * 7919);
+    EXPECT_TRUE(reads.intersects(single)) << i;
+  }
+}
+
+TEST(SigSet, DisjointBitsDoNotIntersect) {
+  const uint64_t a = 12345;
+  const uint64_t b = disjoint_from(a);
+  SigSet sa, sb;
+  sa.add(a);
+  sb.add(b);
+  EXPECT_FALSE(sa.intersects(sb));
+  EXPECT_FALSE(sb.intersects(sa));
+  EXPECT_FALSE(sa.maybe_contains(b));
+}
+
+TEST(SigSet, BitsOfSpreadsAdjacentIndices) {
+  // Adjacent orec indices differ in low bits only; the Fibonacci mix must
+  // still give them distinct signatures (else neighboring words in one
+  // cache line would permanently alias).
+  const SigSet::Bits b0 = SigSet::bits_of(0);
+  const SigSet::Bits b1 = SigSet::bits_of(1);
+  EXPECT_TRUE(b0.first != b1.first || b0.second != b1.second);
+  // Each index's two positions are drawn from disjoint runs of the product;
+  // they can coincide for some index, but not for these smoke values.
+  EXPECT_NE(b0.first, b0.second);
+  EXPECT_NE(b1.first, b1.second);
+}
+
+TEST(SigRing, StampFilterAgainstSnapshot) {
+  sigring::reset();
+  SigSet w;
+  w.add(42);
+  sigring::publish(w, 100);
+  EXPECT_EQ(sigring::published_count(), 1u);
+
+  SigSet r;
+  r.add(42);
+  // Snapshot covers the entry: invisible.
+  EXPECT_EQ(sigring::scan(r, 100).outcome, sigring::ScanOutcome::kValid);
+  // Snapshot predates it: conflict, carrying the stamp for clock catch-up.
+  const sigring::ScanResult hit = sigring::scan(r, 99);
+  EXPECT_EQ(hit.outcome, sigring::ScanOutcome::kConflict);
+  EXPECT_EQ(hit.hit_stamp, 100u);
+  // A disjoint read signature passes even against a newer entry.
+  SigSet disjoint;
+  disjoint.add(disjoint_from(42));
+  EXPECT_EQ(sigring::scan(disjoint, 0).outcome,
+            sigring::ScanOutcome::kValid);
+  sigring::reset();
+}
+
+TEST(SigRing, WrapForcesFallbackForPredatingSnapshots) {
+  sigring::reset();
+  SigSet w;
+  w.add(42);
+  // Fill every slot; overwriting the initial zero-stamp slots evicts
+  // nothing real, so the watermark stays at zero.
+  for (uint64_t i = 1; i <= sigring::kRingSize; ++i) sigring::publish(w, i);
+  EXPECT_EQ(sigring::evicted_watermark(), 0u);
+  // One more publish evicts the stamp-1 entry.
+  sigring::publish(w, sigring::kRingSize + 1);
+  EXPECT_GE(sigring::evicted_watermark(), 1u);
+  // A reader whose snapshot predates the eviction gets no verdict — even
+  // with a read signature disjoint from everything ever published.
+  SigSet disjoint;
+  disjoint.add(disjoint_from(42));
+  EXPECT_EQ(sigring::scan(disjoint, 0).outcome,
+            sigring::ScanOutcome::kFallback);
+  // A snapshot covering the watermark (and every live stamp) is fine.
+  EXPECT_EQ(sigring::scan(disjoint, sigring::kRingSize + 1).outcome,
+            sigring::ScanOutcome::kValid);
+  sigring::reset();
+}
+
+TEST(SigRing, InflightWriterConflictsRegardlessOfSnapshot) {
+  sigring::reset();
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  SigSet w;
+  w.add(5);
+  std::thread writer([&] {
+    sigring::begin_inflight(w);
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+    sigring::end_inflight();
+  });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  SigSet r;
+  r.add(5);
+  // The snapshot is irrelevant: the writer's stamp does not exist yet.
+  const sigring::ScanResult hit = sigring::scan(r, ~uint64_t{0} >> 1);
+  EXPECT_EQ(hit.outcome, sigring::ScanOutcome::kConflict);
+  EXPECT_EQ(hit.hit_stamp, 0u);  // in-flight hits carry no stamp
+  // Disjoint readers still pass.
+  SigSet disjoint;
+  disjoint.add(disjoint_from(5));
+  EXPECT_EQ(sigring::scan(disjoint, 0).outcome,
+            sigring::ScanOutcome::kValid);
+
+  release.store(true, std::memory_order_release);
+  writer.join();
+  // Occupancy bit dropped: the parked garbage is masked off.
+  EXPECT_EQ(sigring::scan(r, ~uint64_t{0} >> 1).outcome,
+            sigring::ScanOutcome::kValid);
+  sigring::reset();
+}
+
+TEST(SigRing, OwnInflightSlotIsSkipped) {
+  // A committing transaction whose write set overlaps its own read set must
+  // not abort on its own parked signature.
+  sigring::reset();
+  SigSet w;
+  w.add(9);
+  sigring::begin_inflight(w);
+  EXPECT_EQ(sigring::scan(w, 0).outcome, sigring::ScanOutcome::kValid);
+  sigring::end_inflight();
+  sigring::reset();
+}
+
+}  // namespace
+}  // namespace dc::htm

@@ -1,0 +1,263 @@
+// Behavior battery for the pluggable conflict-validation backends
+// (Config::validation, htm/sigset.hpp, htm/valring.hpp), run under both
+// clock policies — the signature ring stamps entries with whatever the
+// active policy produced, so every property must hold for GV1's dense
+// stamps and GV5's sloppy ones alike. Pinned here:
+//  * the signature backend preserves the substrate's serializability
+//    contract (strong-atomicity dooming, the x == y stress invariant);
+//  * ring wrap degrades to the exact walk (counted, never wrong);
+//  * a Bloom-collision abort is classified as a false positive, counted,
+//    and resolved by the normal retry — it can cost progress, not
+//    correctness;
+//  * the exact backend leaves every piece of signature machinery cold
+//    (the zero-overhead contract the schema validator enforces end to end).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "htm/htm.hpp"
+#include "htm/valring.hpp"
+
+namespace dc::htm {
+namespace {
+
+TEST(ValidationPolicyNames, ParseAndFormatRoundTrip) {
+  EXPECT_STREQ(to_string(ValidationPolicy::kExact), "exact");
+  EXPECT_STREQ(to_string(ValidationPolicy::kSignature), "sig");
+  ValidationPolicy p = ValidationPolicy::kExact;
+  EXPECT_TRUE(parse_validation_policy("sig", p));
+  EXPECT_EQ(p, ValidationPolicy::kSignature);
+  EXPECT_TRUE(parse_validation_policy("exact", p));
+  EXPECT_EQ(p, ValidationPolicy::kExact);
+  p = ValidationPolicy::kSignature;
+  EXPECT_FALSE(parse_validation_policy("bloom", p));
+  EXPECT_FALSE(parse_validation_policy("", p));
+  EXPECT_FALSE(parse_validation_policy(nullptr, p));
+  EXPECT_EQ(p, ValidationPolicy::kSignature);  // unchanged on failed parse
+}
+
+// Scratch words the collision/disjointness searches below index into.
+// Static so orec mapping is stable within a run.
+uint64_t g_scratch[16384];
+
+uint64_t orec_idx_of(const void* addr) {
+  return static_cast<uint64_t>(&orec_for(addr) - orec_table());
+}
+
+// A scratch word on a different orec than `anchor` whose singleton Bloom
+// signature is disjoint from the anchor's, so a write to it can never be
+// mistaken for a conflict with a reader of `anchor`.
+uint64_t* scratch_partner(const void* anchor) {
+  const uint64_t ia = orec_idx_of(anchor);
+  SigSet sa;
+  sa.add(ia);
+  for (uint64_t& w : g_scratch) {
+    const uint64_t ib = orec_idx_of(&w);
+    if (ib == ia) continue;
+    SigSet sb;
+    sb.add(ib);
+    if (!sa.intersects(sb)) return &w;
+  }
+  return nullptr;
+}
+
+class SigValidationTest : public ::testing::TestWithParam<ClockPolicy> {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    config().clock_policy = GetParam();
+    config().validation = ValidationPolicy::kSignature;
+    reset_stats();
+    sigring::reset();
+  }
+  void TearDown() override {
+    config() = saved_;
+    sigring::reset();
+  }
+  Config saved_;
+};
+
+TEST_P(SigValidationTest, ReadWriteCommitsValidateAndPublish) {
+  uint64_t w = 0;
+  const uint64_t published_before = sigring::published_count();
+  for (uint64_t i = 0; i < 8; ++i) {
+    atomic([&](Txn& t) { t.store(&w, t.load(&w) + 1); });
+  }
+  EXPECT_EQ(w, 8u);
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.commits, 8u);
+  // Every visible writing commit published exactly one ring entry.
+  EXPECT_EQ(sigring::published_count(), published_before + 8);
+  EXPECT_EQ(s.sig_false_aborts + s.sig_ring_overflows, 0u);
+}
+
+TEST_P(SigValidationTest, ReadOnlyAndSilentCommitsPublishNothing) {
+  uint64_t w = 7;
+  atomic([&](Txn& t) { t.store(&w, uint64_t{8}); });  // a settled version
+  atomic([&](Txn& t) { (void)t.load(&w); });  // absorb any sloppy stamp
+  const uint64_t published_before = sigring::published_count();
+  atomic([&](Txn& t) { (void)t.load(&w); });         // read-only
+  atomic([&](Txn& t) { t.store(&w, t.load(&w)); });  // silent write
+  EXPECT_EQ(sigring::published_count(), published_before);
+}
+
+TEST_P(SigValidationTest, StrongAtomicityCasDoomsInFlightReader) {
+  // Mirror of the clock-policy test of the same name: the signature scan
+  // must doom a reader whose word was CASed from outside, through the
+  // in-flight table or the ring entry the CAS published.
+  uint64_t w = 1, z = 0;
+  bool aborted = false;
+  try {
+    Txn txn;
+    EXPECT_EQ(txn.load(&w), 1u);
+    ASSERT_TRUE(nontxn_cas(&w, uint64_t{1}, uint64_t{2}));
+    txn.store(&z, uint64_t{1});
+    txn.commit();
+  } catch (const TxnAbort& e) {
+    aborted = true;
+    EXPECT_EQ(e.code, AbortCode::kConflict);
+  }
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(z, 0u);  // the buffered store was discarded
+}
+
+TEST_P(SigValidationTest, RingWrapFallsBackToExactWalkAndCommits) {
+  uint64_t reader_word = 0;
+  uint64_t* churn = scratch_partner(&reader_word);
+  ASSERT_NE(churn, nullptr);
+  int attempts = 0;
+  atomic([&](Txn& t) {
+    ++attempts;
+    const uint64_t v = t.load(&reader_word);
+    if (attempts == 1) {
+      // Wrap the whole ring after this transaction took its snapshot: the
+      // eviction watermark rises past rv, so the commit-time scan cannot
+      // decide — even though the churn word's signature is disjoint from
+      // the read signature.
+      for (uint64_t i = 0; i < sigring::kRingSize + 8; ++i) {
+        nontxn_store(churn, i);
+      }
+    }
+    t.store(&reader_word, v + 1);
+  });
+  EXPECT_EQ(reader_word, 1u);
+  const TxnStats s = aggregate_stats();
+  EXPECT_GE(s.sig_ring_overflows, 1u);
+  EXPECT_GE(s.sig_validations, 1u);
+  // The fallback exact walk found the read set intact: first attempt
+  // commits, no false abort charged.
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(s.sig_false_aborts, 0u);
+}
+
+TEST_P(SigValidationTest, BloomCollisionAbortsAreClassifiedAndRetried) {
+  // Build a wide read signature (the first half of the scratch array), then
+  // commit a strong-atomicity store to a word the reader never touched but
+  // whose precise ring entry still collides — both of its hash bits are
+  // already set in the read signature. The scan must report conflict (Bloom
+  // cannot prove innocence), the exact walk must classify it as a false
+  // positive, and the retry — whose fresh snapshot covers the colliding
+  // stamp — must sail through.
+  constexpr uint64_t kReads = 8192;
+  std::vector<bool> read_orec(kOrecCount, false);
+  SigSet expected_read_sig;
+  for (uint64_t i = 0; i < kReads; ++i) {
+    const uint64_t idx = orec_idx_of(&g_scratch[i]);
+    read_orec[idx] = true;
+    expected_read_sig.add(idx);
+  }
+  uint64_t* collider = nullptr;
+  for (uint64_t i = kReads; i < std::size(g_scratch); ++i) {
+    const uint64_t idx = orec_idx_of(&g_scratch[i]);
+    if (!read_orec[idx] && expected_read_sig.maybe_contains(idx)) {
+      collider = &g_scratch[i];
+      break;
+    }
+  }
+  // At ~22% filter fill, maybe_contains ≈ 0.05 per candidate over 8k words,
+  // so a collider exists with overwhelming probability.
+  ASSERT_NE(collider, nullptr);
+  *collider = 0;
+  static uint64_t sink;
+  int attempts = 0;
+  atomic([&](Txn& t) {
+    ++attempts;
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < kReads; ++i) sum += t.load(&g_scratch[i]);
+    if (attempts == 1) nontxn_store(collider, uint64_t{1});
+    t.store(&sink, sum);
+  });
+  EXPECT_EQ(*collider, 1u);
+  EXPECT_EQ(attempts, 2);
+  const TxnStats s = aggregate_stats();
+  EXPECT_GE(s.sig_false_aborts, 1u);
+  EXPECT_GE(s.aborts, 1u);
+}
+
+TEST_P(SigValidationTest, ExactModeLeavesSignatureMachineryCold) {
+  config().validation = ValidationPolicy::kExact;
+  const uint64_t published_before = sigring::published_count();
+  uint64_t w = 0;
+  for (uint64_t i = 0; i < 4; ++i) {
+    atomic([&](Txn& t) { t.store(&w, t.load(&w) + 1); });
+  }
+  nontxn_store(&w, uint64_t{99});
+  (void)nontxn_cas(&w, uint64_t{99}, uint64_t{100});
+  const TxnStats s = aggregate_stats();
+  EXPECT_EQ(s.sig_validations, 0u);
+  EXPECT_EQ(s.sig_false_aborts, 0u);
+  EXPECT_EQ(s.sig_ring_overflows, 0u);
+  EXPECT_EQ(sigring::published_count(), published_before);
+}
+
+TEST_P(SigValidationTest, InvariantPreservedUnderConcurrentWriters) {
+  // The clock battery's serializability stress, rerun with signature
+  // validation doing the admitting: no validated load pair may ever see
+  // x != y, and every increment lands exactly once.
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1200;
+  uint64_t x = 0, y = 0;
+  uint64_t churn[kThreads] = {};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        atomic([&](Txn& txn) {
+          const uint64_t vx = txn.load(&x);
+          const uint64_t vy = txn.load(&y);
+          if (vx != vy) mismatches.fetch_add(1, std::memory_order_relaxed);
+          if (i % 64 == 0) {
+            // Advance the clock mid-transaction so this commit cannot take
+            // the wv == rv + 1 validation skip: with the begin-time absorb
+            // of the ring's newest stamp, an uncontended GV1 run would
+            // otherwise never reach the scan at all.
+            nontxn_store(&churn[t], static_cast<uint64_t>(i) + 1);
+          }
+          txn.store(&x, vx + 1);
+          txn.store(&y, vy + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(x, uint64_t{kThreads} * kOps);
+  EXPECT_EQ(y, uint64_t{kThreads} * kOps);
+  EXPECT_GT(aggregate_stats().sig_validations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothClocks, SigValidationTest,
+    ::testing::Values(ClockPolicy::kGv1, ClockPolicy::kGv5),
+    [](const ::testing::TestParamInfo<ClockPolicy>& info) {
+      return std::string(to_string(info.param));
+    });
+
+}  // namespace
+}  // namespace dc::htm

@@ -1,9 +1,10 @@
 // Validates the two exporter schemas by parsing what they write:
 //  * export_chrome_trace — Chrome trace-event JSON (Perfetto-loadable);
 //  * bench::write_json_report — the versioned --json benchmark report
-//    (schema_version 5: aborts_by_code incl. spurious causes, op_latency_ns,
-//    conflicts, trace, retry policy/fault-rate/crash-rate options, robustness
-//    counters incl. the crash triple, per-cause retry quantiles).
+//    (schema_version 6: aborts_by_code incl. spurious causes, op_latency_ns
+//    incl. the validate op, conflicts, trace, retry/validation policy and
+//    fault-rate/crash-rate options, robustness counters incl. the crash
+//    triple and the signature-validation triple, per-cause retry quantiles).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -141,7 +142,7 @@ TEST(OpSummary, QuantilesAreOrderedAndInNanoseconds) {
   EXPECT_EQ(obs::summarize_op(obs::OpKind::kUpdate).count, 0u);
 }
 
-TEST(JsonReport, SchemaV5CarriesObsSections) {
+TEST(JsonReport, SchemaV6CarriesObsSections) {
   obs::reset_histograms();
   obs::reset_conflicts();
   obs::reset_retry_stats();
@@ -169,7 +170,7 @@ TEST(JsonReport, SchemaV5CarriesObsSections) {
   const auto doc = Json::parse(read_file(path));
   ASSERT_TRUE(doc.has_value()) << "report is not valid JSON";
   EXPECT_DOUBLE_EQ(field(*doc, "schema_version", Json::Type::kNumber)->number(),
-                   5.0);
+                   6.0);
   EXPECT_EQ(field(*doc, "bench", Json::Type::kString)->str(), "schema_test");
 
   const Json* options = field(*doc, "options", Json::Type::kObject);
@@ -182,6 +183,9 @@ TEST(JsonReport, SchemaV5CarriesObsSections) {
   EXPECT_TRUE(retry_opt == "cause" || retry_opt == "fixed") << retry_opt;
   field(*options, "fault_rate", Json::Type::kNumber);
   field(*options, "crash_rate", Json::Type::kNumber);
+  const std::string validation =
+      field(*options, "validation", Json::Type::kString)->str();
+  EXPECT_TRUE(validation == "exact" || validation == "sig") << validation;
 
   // HTM counters with the per-code abort breakdown.
   const Json* htm = field(*doc, "htm", Json::Type::kObject);
@@ -190,6 +194,7 @@ TEST(JsonReport, SchemaV5CarriesObsSections) {
        {"writer_commits", "clock_bumps", "sloppy_stamps", "clock_resamples",
         "clock_catchups", "coalesced_stores", "faults_injected",
         "crashes_injected", "lock_recoveries", "orphans_reaped",
+        "sig_validations", "sig_false_aborts", "sig_ring_overflows",
         "tle_entries", "storm_entries", "storm_exits", "max_consec_aborts"}) {
     field(*htm, counter, Json::Type::kNumber);
   }
@@ -198,6 +203,13 @@ TEST(JsonReport, SchemaV5CarriesObsSections) {
   EXPECT_DOUBLE_EQ(htm->find("crashes_injected")->number(), 0.0);
   EXPECT_DOUBLE_EQ(htm->find("lock_recoveries")->number(), 0.0);
   EXPECT_DOUBLE_EQ(htm->find("orphans_reaped")->number(), 0.0);
+  // Same dormancy contract for the signature backend: this run validated
+  // through the default exact walk, so the sig triple must be exactly zero.
+  if (validation == "exact") {
+    EXPECT_DOUBLE_EQ(htm->find("sig_validations")->number(), 0.0);
+    EXPECT_DOUBLE_EQ(htm->find("sig_false_aborts")->number(), 0.0);
+    EXPECT_DOUBLE_EQ(htm->find("sig_ring_overflows")->number(), 0.0);
+  }
   const Json* by_code = field(*htm, "aborts_by_code", Json::Type::kObject);
   for (const char* code :
        {"none", "conflict", "overflow", "explicit", "illegal-access",
@@ -227,7 +239,8 @@ TEST(JsonReport, SchemaV5CarriesObsSections) {
   // Per-operation latency quantiles for every op, with our recorded counts.
   const Json* lat = field(*doc, "op_latency_ns", Json::Type::kObject);
   for (const char* op :
-       {"register", "update", "deregister", "collect", "commit"}) {
+       {"register", "update", "deregister", "collect", "commit",
+        "validate"}) {
     const Json* entry = field(*lat, op, Json::Type::kObject);
     EXPECT_DOUBLE_EQ(field(*entry, "count", Json::Type::kNumber)->number(),
                      2.0);

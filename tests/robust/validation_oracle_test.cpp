@@ -1,0 +1,187 @@
+// Differential oracle for the signature validation backend: run with
+// Config::validation_crosscheck set, every signature validation is preceded
+// by the exact read-set walk and the two verdicts are compared. The one
+// outcome that must never occur — the signature scan reporting valid where
+// the exact walk found a real conflict — is a soundness bug (a Bloom filter
+// has no false negatives; the ring's stamp filter, in-flight table, and
+// eviction watermark exist precisely to preserve that property end to end),
+// and is tallied in sigring::crosscheck_false_negatives(). The exact walk's
+// verdict decides, so a divergence cannot corrupt the run that detected it.
+//
+// The stress is crossed with both clock policies (GV5's sloppy stamps run
+// ahead of the shared clock — the hardest regime for the stamp filter) and
+// with the fault and crash injectors, whose spurious aborts and abandoned
+// in-flight windows bend the commit path through its rarest interleavings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "htm/crash.hpp"
+#include "htm/fault.hpp"
+#include "htm/htm.hpp"
+#include "htm/valring.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+
+namespace dc::htm {
+namespace {
+
+class ValidationOracle : public ::testing::TestWithParam<ClockPolicy> {
+ protected:
+  void SetUp() override {
+    saved_ = config();
+    config().clock_policy = GetParam();
+    config().validation = ValidationPolicy::kSignature;
+    config().validation_crosscheck = true;
+    reset_stats();
+    reset_storm_sites();
+    fault::reset_thread();
+    crash::reset_all();
+    sigring::reset();
+  }
+  void TearDown() override {
+    config() = saved_;
+    reset_storm_sites();
+    fault::reset_thread();
+    crash::reset_all();
+    sigring::reset();
+  }
+  Config saved_;
+};
+
+// Shared stress body: kThreads workers over a hot invariant pair (x == y),
+// a churn array that keeps the ring turning over (forcing wrap fallbacks),
+// and deliberate yields inside transaction bodies to stretch the windows
+// the in-flight table and publish-before-release ordering protect.
+struct StressState {
+  uint64_t x = 0;
+  uint64_t y = 0;
+  uint64_t churn[512] = {};
+  std::atomic<uint64_t> mismatches{0};
+};
+
+void stress_op(StressState& st, util::Xoshiro256& rng, uint64_t op) {
+  const uint64_t dice = rng.next_below(10);
+  if (dice < 5) {
+    atomic([&](Txn& t) {
+      const uint64_t vx = t.load(&st.x);
+      if (op % 7 == 0) std::this_thread::yield();
+      const uint64_t vy = t.load(&st.y);
+      if (vx != vy) st.mismatches.fetch_add(1, std::memory_order_relaxed);
+      t.store(&st.x, vx + 1);
+      t.store(&st.y, vy + 1);
+    });
+  } else if (dice < 8) {
+    // Disjoint churn: each commit publishes a fresh ring entry, so long
+    // runs wrap the ring under the readers' feet.
+    const uint64_t i = rng.next_below(512);
+    atomic([&](Txn& t) { t.store(&st.churn[i], t.load(&st.churn[i]) + 1); });
+  } else {
+    atomic([&](Txn& t) {
+      const uint64_t vx = t.load(&st.x);
+      if (op % 5 == 0) std::this_thread::yield();
+      const uint64_t vy = t.load(&st.y);
+      if (vx != vy) st.mismatches.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+TEST_P(ValidationOracle, LockstepBackendsNeverDivergeUnderYieldStress) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2500;
+  StressState st;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      util::Xoshiro256 rng(static_cast<uint64_t>(w) * 7919 + 101);
+      barrier.arrive_and_wait();
+      for (uint64_t op = 0; op < kOps; ++op) stress_op(st, rng, op);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(st.mismatches.load(), 0u);
+  EXPECT_EQ(st.x, st.y);
+  const TxnStats s = aggregate_stats();
+  EXPECT_GT(s.sig_validations, 0u) << "oracle ran but never cross-checked";
+  EXPECT_EQ(sigring::crosscheck_false_negatives().load(), 0u)
+      << "signature backend reported valid where the exact walk saw a "
+         "conflict — soundness bug";
+}
+
+TEST_P(ValidationOracle, LockstepBackendsNeverDivergeUnderFaultInjection) {
+  // 10% spurious aborts re-enter the retry loop constantly, driving the
+  // commit path through storm-mode TLE fallbacks — lock-mode publishes and
+  // all.
+  config().fault.rate = 0.10;
+  config().fault.seed = 0x515;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1500;
+  StressState st;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      fault::reset_thread();
+      util::Xoshiro256 rng(static_cast<uint64_t>(w) * 104729 + 13);
+      barrier.arrive_and_wait();
+      for (uint64_t op = 0; op < kOps; ++op) stress_op(st, rng, op);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(st.mismatches.load(), 0u);
+  EXPECT_EQ(st.x, st.y);
+  const TxnStats s = aggregate_stats();
+  EXPECT_GT(s.faults_injected, 0u) << "injection armed but no faults fired";
+  EXPECT_GT(s.sig_validations, 0u);
+  EXPECT_EQ(sigring::crosscheck_false_negatives().load(), 0u);
+}
+
+TEST_P(ValidationOracle, LockstepBackendsNeverDivergeUnderThreadDeath) {
+  // Victims die mid-transaction and at commit entry, abandoning blocks
+  // whose in-flight windows must unwind cleanly; survivors keep validating
+  // against whatever the dead threads left behind.
+  config().crash.rate = 0.002;
+  config().crash.seed = 0xC4A5;
+  constexpr int kVictims = 3;
+  constexpr int kOps = 1200;
+  StressState st;
+  util::SpinBarrier barrier(kVictims + 1);
+  std::vector<std::thread> victims;
+  for (int w = 0; w < kVictims; ++w) {
+    victims.emplace_back([&, w] {
+      crash::reset_thread();
+      util::Xoshiro256 rng(static_cast<uint64_t>(w) * 31337 + 7);
+      barrier.arrive_and_wait();
+      for (uint64_t op = 0; op < kOps; ++op) {
+        const bool alive = crash::run_victim([&] { stress_op(st, rng, op); });
+        if (!alive) return;  // dead threads run no further operations
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+  // The survivor validates throughout the killing.
+  util::Xoshiro256 rng(0xABCDEF);
+  for (uint64_t op = 0; op < kOps; ++op) stress_op(st, rng, op);
+  for (auto& t : victims) t.join();
+  EXPECT_EQ(st.mismatches.load(), 0u);
+  EXPECT_EQ(st.x, st.y);  // dead threads' partial blocks rolled back whole
+  const TxnStats s = aggregate_stats();
+  EXPECT_GT(s.sig_validations, 0u);
+  EXPECT_EQ(sigring::crosscheck_false_negatives().load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothClocks, ValidationOracle,
+    ::testing::Values(ClockPolicy::kGv1, ClockPolicy::kGv5),
+    [](const ::testing::TestParamInfo<ClockPolicy>& info) {
+      return std::string(to_string(info.param));
+    });
+
+}  // namespace
+}  // namespace dc::htm

@@ -17,6 +17,7 @@ import tempfile
 ABORT_CODES = ("none", "conflict", "overflow", "explicit", "illegal-access",
                "interrupt", "tlb-miss", "save-restore")
 OPS = ("register", "update", "deregister", "collect", "commit")
+OPS_V6 = OPS + ("validate",)
 
 
 def good_v5_report():
@@ -77,6 +78,32 @@ def injected_v5_report():
     return doc
 
 
+def good_v6_report():
+    """The signature-validation schema: options.validation, the three sig
+    counters (all dormant on the default exact backend), and a "validate"
+    entry in op_latency_ns."""
+    doc = good_v5_report()
+    doc["schema_version"] = 6
+    doc["options"]["validation"] = "exact"
+    doc["htm"]["sig_validations"] = 0
+    doc["htm"]["sig_false_aborts"] = 0
+    doc["htm"]["sig_ring_overflows"] = 0
+    doc["op_latency_ns"] = {op: {"count": 2, "p50": 100.0, "p90": 150.0,
+                                 "p99": 200.0, "max": 210.0, "mean": 120.0}
+                            for op in OPS_V6}
+    return doc
+
+
+def sig_v6_report():
+    """A v6 report from a --validate sig run, signature counters hot."""
+    doc = good_v6_report()
+    doc["options"]["validation"] = "sig"
+    doc["htm"]["sig_validations"] = 950
+    doc["htm"]["sig_false_aborts"] = 2
+    doc["htm"]["sig_ring_overflows"] = 1
+    return doc
+
+
 def run_validator(validator, doc, flags=()):
     with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False,
                                      encoding="utf-8") as f:
@@ -115,6 +142,8 @@ def main():
     expect("injected v5 with --expect-crashes", injected_v5_report(), 0,
            ["--expect-crashes"])
     expect("injected v5 without the flag", injected_v5_report(), 0)
+    expect("good v6 exact run", good_v6_report(), 0)
+    expect("good v6 sig run", sig_v6_report(), 0)
 
     # --- Known-bad inputs must fail with the right diagnostic. ---
     bad = good_v5_report()
@@ -148,6 +177,32 @@ def main():
     bad["htm"]["orphans_reaped"] = 0
     expect("--expect-crashes with cold orphans_reaped", bad, 1,
            ["--expect-crashes"], "orphans_reaped")
+
+    # --- v6: signature-validation schema. ---
+    bad = good_v6_report()
+    del bad["options"]["validation"]
+    expect("v6 missing options.validation", bad, 1, (), "validation")
+
+    bad = good_v6_report()
+    bad["options"]["validation"] = "bloom"
+    expect("v6 unknown validation backend", bad, 1, (), "validation")
+
+    bad = good_v6_report()
+    del bad["htm"]["sig_ring_overflows"]
+    expect("v6 missing a sig counter", bad, 1, (), "sig_ring_overflows")
+
+    # Dormancy guard: exact backend but a signature counter is hot.
+    bad = good_v6_report()
+    bad["htm"]["sig_validations"] = 7
+    expect("exact run with nonzero sig_validations", bad, 1, (),
+           "validation is exact")
+
+    bad = good_v6_report()
+    del bad["op_latency_ns"]["validate"]
+    expect("v6 missing the validate op histogram", bad, 1, (), "validate")
+
+    # A v5 report need not carry the v6 fields (back-compat): good_v5_report
+    # already passes above without them.
 
     # Unrelated invariants must still hold in v5 (regression guard that the
     # new version didn't loosen the old checks).
