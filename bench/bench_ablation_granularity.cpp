@@ -16,6 +16,15 @@
 int main(int argc, char** argv) {
   using namespace dc;
   const auto opts = sim::Options::parse(argc, argv);
+  if (opts.sample_interval_ms > 0.0) {
+    // This ablation resets the substrate counters at every sweep point to
+    // attribute abort rates per configuration — incompatible with the
+    // sampler's monotonic-counter contract (stats.hpp: quiescent-only).
+    std::fprintf(stderr,
+                 "--sample-interval: not supported by this ablation (it "
+                 "resets counters per sweep point)\n");
+    return 2;
+  }
   const bench::ObsSession obs_session(opts);
   const uint32_t updaters = opts.max_threads > 1 ? opts.max_threads - 1 : 1;
   if (!opts.csv) {

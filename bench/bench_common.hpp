@@ -16,6 +16,8 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "obs/retry_stats.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/options.hpp"
 #include "util/stats.hpp"
@@ -44,6 +46,33 @@ inline const collect::AlgoInfo& algo(const std::string& name) {
   std::abort();
 }
 
+namespace detail {
+
+// Adapts the substrate's per-thread counters to the timeline sampler's
+// layering-neutral CounterSample (obs must not depend on htm, so the
+// sampler pulls through this callback). Safe while workers are hot:
+// TxnStats cells are single-writer RelaxedCounters.
+inline obs::timeline::CounterSample htm_counter_sample() {
+  const htm::TxnStats s = htm::aggregate_stats();
+  obs::timeline::CounterSample c;
+  c.commits = s.commits;
+  c.aborts = s.aborts;
+  c.lock_fallbacks = s.lock_fallbacks;
+  c.tle_entries = s.tle_entries;
+  c.faults_injected = s.faults_injected;
+  c.crashes_injected = s.crashes_injected;
+  c.storm_entries = s.storm_entries;
+  c.storm_exits = s.storm_exits;
+  c.lock_recoveries = s.lock_recoveries;
+  c.orphans_reaped = s.orphans_reaped;
+  c.sig_validations = s.sig_validations;
+  c.sig_false_aborts = s.sig_false_aborts;
+  c.sig_ring_overflows = s.sig_ring_overflows;
+  return c;
+}
+
+}  // namespace detail
+
 // Applies the obs-layer runtime switches implied by the options for the
 // lifetime of one benchmark run, and exports the Chrome trace on exit.
 // Declare one at the top of every bench main, after Options::parse:
@@ -56,7 +85,15 @@ inline const collect::AlgoInfo& algo(const std::string& name) {
 //                 Bloom signatures + commit ring) before any worker starts;
 //   --fault-rate  arms the spurious-abort injector before any worker starts;
 //   --crash-rate  arms the thread-death injector before any worker starts
-//                 (worker bodies must run under crash::run_victim to opt in).
+//                 (worker bodies must run under crash::run_victim to opt in);
+//   --sample-interval MS  starts the continuous-telemetry sampler
+//                 (obs/timeline.hpp) before any worker starts, with the
+//                 latency-timing switch opened so windows carry op
+//                 percentiles; --slo SPEC arms per-window SLO targets and
+//                 --metrics-out PATH writes the Prometheus exposition at
+//                 teardown. With the interval at 0 (the default) no
+//                 sampler thread is ever spawned — the zero-overhead
+//                 guard tests and the validator both check this.
 class ObsSession {
  public:
   explicit ObsSession(const sim::Options& opts) : opts_(opts) {
@@ -101,10 +138,33 @@ class ObsSession {
         std::fprintf(stderr,
                      "# --trace: event-trace hooks are compiled out; rebuild "
                      "with -DDC_TRACE=ON for transaction events (the trace "
-                     "file will still be valid, but sparse)\n");
+                     "file will still be valid, but sparse; the JSON "
+                     "report records trace.enabled=false)\n");
       }
     } else if (opts_.hist) {
       obs::set_timing(true);
+    }
+    if (opts_.sample_interval_ms > 0.0) {
+      obs::timeline::SamplerConfig cfg;
+      cfg.interval_ms = opts_.sample_interval_ms;
+      cfg.provider = &detail::htm_counter_sample;
+      if (!opts_.slo.empty()) {
+        std::string err;
+        if (!obs::slo::parse(opts_.slo, &cfg.slo, &err)) {
+          std::fprintf(stderr, "--slo: %s\n", err.c_str());
+          std::exit(2);
+        }
+      }
+      // Windows carry per-op latency percentiles only if the driver-level
+      // timers record; sampling implies the timing switch.
+      obs::set_timing(true);
+      if (!obs::timeline::start(cfg)) {
+        std::fprintf(stderr,
+                     "--sample-interval: sampler failed to start (already "
+                     "running?)\n");
+        std::exit(2);
+      }
+      sampling_ = true;
     }
   }
 
@@ -112,6 +172,16 @@ class ObsSession {
   ObsSession& operator=(const ObsSession&) = delete;
 
   ~ObsSession() {
+    // Close the final telemetry window before any exporter reads it
+    // (idempotent: bench::report already stopped the sampler on the
+    // normal path; this covers benches that exit without reporting).
+    obs::timeline::stop();
+    if (!opts_.metrics_path.empty()) {
+      if (obs::timeline::export_prometheus(opts_.metrics_path)) {
+        std::fprintf(stderr, "# metrics written to %s\n",
+                     opts_.metrics_path.c_str());
+      }
+    }
     if (!opts_.trace_path.empty()) {
       if (obs::export_chrome_trace(opts_.trace_path)) {
         std::fprintf(stderr, "# trace written to %s (%llu events retained)\n",
@@ -123,10 +193,12 @@ class ObsSession {
     } else if (opts_.hist) {
       obs::set_timing(false);
     }
+    if (sampling_) obs::set_timing(false);
   }
 
  private:
   sim::Options opts_;
+  bool sampling_ = false;
 };
 
 // google-benchmark rejects flags it does not know, so the two benches built
@@ -150,6 +222,12 @@ inline sim::Options extract_obs_options(int& argc, char** argv) {
       opts.fault_rate = std::atof(argv[++i]);
     } else if (arg == "--crash-rate" && i + 1 < argc) {
       opts.crash_rate = std::atof(argv[++i]);
+    } else if (arg == "--sample-interval" && i + 1 < argc) {
+      opts.sample_interval_ms = std::atof(argv[++i]);
+    } else if (arg == "--slo" && i + 1 < argc) {
+      opts.slo = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      opts.metrics_path = argv[++i];
     } else if (arg == "--hist") {
       opts.hist = true;
     } else {
@@ -158,6 +236,12 @@ inline sim::Options extract_obs_options(int& argc, char** argv) {
   }
   argc = out;
   argv[argc] = nullptr;
+  // Same implication sim::Options::parse applies: SLOs / the Prometheus
+  // exposition need the sampler, so default it to 10 ms windows.
+  if (opts.sample_interval_ms == 0.0 &&
+      (!opts.slo.empty() || !opts.metrics_path.empty())) {
+    opts.sample_interval_ms = 10.0;
+  }
   return opts;
 }
 
@@ -301,6 +385,120 @@ inline void write_json_cell(std::FILE* f, const std::string& cell) {
   }
 }
 
+// Emits a CounterSample as the body of a JSON object (no braces): the same
+// thirteen keys for the baseline and for every window's deltas, so
+// validators can difference them uniformly.
+inline void write_counter_fields(std::FILE* f,
+                                 const obs::timeline::CounterSample& c) {
+  std::fprintf(
+      f,
+      "\"commits\": %llu, \"aborts\": %llu, \"lock_fallbacks\": %llu, "
+      "\"tle_entries\": %llu, \"faults_injected\": %llu, "
+      "\"crashes_injected\": %llu, \"storm_entries\": %llu, "
+      "\"storm_exits\": %llu, \"lock_recoveries\": %llu, "
+      "\"orphans_reaped\": %llu, \"sig_validations\": %llu, "
+      "\"sig_false_aborts\": %llu, \"sig_ring_overflows\": %llu",
+      static_cast<unsigned long long>(c.commits),
+      static_cast<unsigned long long>(c.aborts),
+      static_cast<unsigned long long>(c.lock_fallbacks),
+      static_cast<unsigned long long>(c.tle_entries),
+      static_cast<unsigned long long>(c.faults_injected),
+      static_cast<unsigned long long>(c.crashes_injected),
+      static_cast<unsigned long long>(c.storm_entries),
+      static_cast<unsigned long long>(c.storm_exits),
+      static_cast<unsigned long long>(c.lock_recoveries),
+      static_cast<unsigned long long>(c.orphans_reaped),
+      static_cast<unsigned long long>(c.sig_validations),
+      static_cast<unsigned long long>(c.sig_false_aborts),
+      static_cast<unsigned long long>(c.sig_ring_overflows));
+}
+
+// The "timeline" section of the v7 report. Absent entirely when the sampler
+// never ran — its presence is itself the zero-overhead signal the validator
+// keys on. Call only after obs::timeline::stop() (bench::report does) so
+// the final partial window is included.
+inline void write_timeline_section(std::FILE* f) {
+  namespace tl = obs::timeline;
+  if (tl::interval_ms() <= 0.0) return;
+  const std::vector<tl::Window> wins = tl::windows();
+  const std::vector<tl::Event> events = tl::annotations();
+  std::fprintf(f,
+               "  \"timeline\": {\"sample_interval_ms\": %g, "
+               "\"windows_total\": %llu, \"windows_dropped\": %llu, "
+               "\"events_dropped\": %llu,\n",
+               tl::interval_ms(),
+               static_cast<unsigned long long>(tl::windows_total()),
+               static_cast<unsigned long long>(tl::windows_dropped()),
+               static_cast<unsigned long long>(tl::events_dropped()));
+  std::fprintf(f, "    \"baseline\": {");
+  write_counter_fields(f, tl::baseline());
+  std::fprintf(f, "},\n");
+  std::fprintf(f, "    \"windows\": [");
+  for (std::size_t i = 0; i < wins.size(); ++i) {
+    const tl::Window& w = wins[i];
+    std::fprintf(f,
+                 "%s\n      {\"i\": %llu, \"t_start_ms\": %.3f, "
+                 "\"t_end_ms\": %.3f, ",
+                 i == 0 ? "" : ",", static_cast<unsigned long long>(w.index),
+                 w.t_start_ms, w.t_end_ms);
+    write_counter_fields(f, w.delta);
+    std::fprintf(f, ", \"ops\": {");
+    bool first_op = true;
+    for (std::size_t op = 0; op < tl::kNumOps; ++op) {
+      const tl::OpWindow& ow = w.ops[op];
+      if (ow.count == 0) continue;  // quiet ops omitted: windows stay small
+      std::fprintf(f,
+                   "%s\"%s\": {\"count\": %llu, \"p50_ns\": %.1f, "
+                   "\"p90_ns\": %.1f, \"p99_ns\": %.1f, \"p999_ns\": %.1f}",
+                   first_op ? "" : ", ",
+                   obs::to_string(static_cast<obs::OpKind>(op)),
+                   static_cast<unsigned long long>(ow.count), ow.p50_ns,
+                   ow.p90_ns, ow.p99_ns, ow.p999_ns);
+      first_op = false;
+    }
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "%s],\n", wins.empty() ? "" : "\n    ");
+  std::fprintf(f, "    \"annotations\": [");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const tl::Event& e = events[i];
+    std::fprintf(f,
+                 "%s\n      {\"t_ms\": %.3f, \"window\": %llu, "
+                 "\"kind\": \"%s\", \"value\": %llu}",
+                 i == 0 ? "" : ",", e.t_ms,
+                 static_cast<unsigned long long>(e.window),
+                 tl::to_string(e.kind),
+                 static_cast<unsigned long long>(e.value));
+  }
+  std::fprintf(f, "%s],\n", events.empty() ? "" : "\n    ");
+  std::fprintf(f, "    \"annotation_totals\": {");
+  for (int k = 0; k < static_cast<int>(tl::Annotation::kNumKinds); ++k) {
+    std::fprintf(f, "%s\"%s\": %llu", k == 0 ? "" : ", ",
+                 tl::to_string(static_cast<tl::Annotation>(k)),
+                 static_cast<unsigned long long>(
+                     tl::annotation_sum(static_cast<tl::Annotation>(k))));
+  }
+  std::fprintf(f, "},\n");
+  const std::vector<obs::slo::TargetState> slo = tl::slo_results();
+  std::fprintf(f, "    \"slo\": {\"violations_total\": %llu, \"targets\": [",
+               static_cast<unsigned long long>(tl::slo_violations_total()));
+  for (std::size_t i = 0; i < slo.size(); ++i) {
+    const obs::slo::TargetState& ts = slo[i];
+    std::fprintf(f,
+                 "%s\n      {\"spec\": \"%s\", \"op\": \"%s\", "
+                 "\"quantile\": \"%s\", \"bound_ns\": %.1f, "
+                 "\"windows_evaluated\": %llu, \"violations\": %llu, "
+                 "\"worst_ns\": %.1f}",
+                 i == 0 ? "" : ",", json_escape(ts.target.spec).c_str(),
+                 obs::to_string(ts.target.op),
+                 obs::slo::to_string(ts.target.quantile), ts.target.bound_ns,
+                 static_cast<unsigned long long>(ts.windows_evaluated),
+                 static_cast<unsigned long long>(ts.violations),
+                 ts.worst_ns);
+  }
+  std::fprintf(f, "%s]}},\n", slo.empty() ? "" : "\n    ");
+}
+
 }  // namespace detail
 
 // Writes one benchmark's results as a JSON report (--json PATH): the swept
@@ -330,6 +528,16 @@ inline void write_json_cell(std::FILE* f, const std::string& cell) {
 //      htm.sig_ring_overflows (all three must be 0 when validation is
 //      "exact" — same zero-overhead guard), and the "validate" entry in
 //      op_latency_ns
+//   7  adds options.sample_interval_ms + options.slo, splits the trace
+//      section into requested/enabled/compiled (so "--trace without
+//      -DDC_TRACE" is distinguishable from "no events"), and — only when
+//      the continuous-telemetry sampler ran — a "timeline" section:
+//      tumbling windows (counter deltas + per-op interval percentiles),
+//      anomaly annotations whose per-kind value sums decompose the
+//      cumulative counters exactly, the baseline sample, and per-window
+//      SLO verdicts. With --sample-interval 0 the section is absent and
+//      the report is the v6 shape plus the three new scalar fields — the
+//      zero-overhead guard scripts/validate_report.py enforces
 inline void write_json_report(const std::string& path,
                               const std::string& bench_name,
                               const util::Table& table,
@@ -345,7 +553,7 @@ inline void write_json_report(const std::string& path,
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tmv);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": 6,\n");
+  std::fprintf(f, "  \"schema_version\": 7,\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n",
                detail::json_escape(bench_name).c_str());
   std::fprintf(f, "  \"generated_utc\": \"%s\",\n", stamp);
@@ -353,14 +561,17 @@ inline void write_json_report(const std::string& path,
                "  \"options\": {\"duration_ms\": %g, \"repeats\": %d, "
                "\"max_threads\": %u, \"hist\": %s, \"trace\": %s, "
                "\"clock\": \"%s\", \"retry\": \"%s\", \"validation\": \"%s\", "
-               "\"fault_rate\": %g, \"crash_rate\": %g},\n",
+               "\"fault_rate\": %g, \"crash_rate\": %g, "
+               "\"sample_interval_ms\": %g, \"slo\": \"%s\"},\n",
                opts.duration_ms, opts.repeats, opts.max_threads,
                opts.hist ? "true" : "false",
                opts.trace_path.empty() ? "false" : "true",
                htm::to_string(htm::config().clock_policy),
                htm::to_string(htm::config().retry_policy),
                htm::to_string(htm::config().validation),
-               htm::config().fault.rate, htm::config().crash.rate);
+               htm::config().fault.rate, htm::config().crash.rate,
+               opts.sample_interval_ms,
+               detail::json_escape(opts.slo).c_str());
   const htm::TxnStats s = htm::aggregate_stats();
   std::fprintf(
       f,
@@ -464,10 +675,18 @@ inline void write_json_report(const std::string& path,
     std::fprintf(f, "}}");
   }
   std::fprintf(f, "%s]},\n", hot.empty() ? "" : "\n  ");
+  // --trace without -DDC_TRACE used to only warn on stderr; requested vs
+  // enabled vs compiled lets the validator distinguish "no events because
+  // nothing was asked for" from "asked for but compiled out".
+  const bool trace_requested = obs::tracing_enabled();
   std::fprintf(f,
-               "  \"trace\": {\"compiled\": %s, \"events_emitted\": %llu},\n",
+               "  \"trace\": {\"compiled\": %s, \"requested\": %s, "
+               "\"enabled\": %s, \"events_emitted\": %llu},\n",
                obs::kTraceCompiled ? "true" : "false",
+               trace_requested ? "true" : "false",
+               trace_requested && obs::kTraceCompiled ? "true" : "false",
                static_cast<unsigned long long>(obs::events_emitted()));
+  detail::write_timeline_section(f);
   std::fprintf(f, "  \"columns\": [");
   const auto& headers = table.headers();
   for (std::size_t i = 0; i < headers.size(); ++i) {
@@ -489,19 +708,55 @@ inline void write_json_report(const std::string& path,
   std::fclose(f);
 }
 
-// Shared tail of every table-driven figure benchmark: print (CSV or aligned
-// + diagnostics) and, when requested, drop the JSON report.
-inline void report(const util::Table& table, const sim::Options& opts,
-                   const std::string& bench_name) {
+// Human diagnostics for the telemetry timeline: window/annotation tallies
+// and per-target SLO verdicts. No-op when the sampler never ran.
+inline void print_timeline_summary() {
+  namespace tl = obs::timeline;
+  if (tl::interval_ms() <= 0.0) return;
+  std::printf(
+      "[obs] timeline: %llu windows of %gms (%llu dropped), "
+      "%llu annotations%s\n",
+      static_cast<unsigned long long>(tl::windows_total()), tl::interval_ms(),
+      static_cast<unsigned long long>(tl::windows_dropped()),
+      static_cast<unsigned long long>(tl::annotations().size()),
+      tl::events_dropped() != 0 ? " (some dropped)" : "");
+  for (int k = 0; k < static_cast<int>(tl::Annotation::kNumKinds); ++k) {
+    const auto kind = static_cast<tl::Annotation>(k);
+    const uint64_t sum = tl::annotation_sum(kind);
+    if (sum == 0) continue;
+    std::printf("[obs]   %-14s total=%llu\n", tl::to_string(kind),
+                static_cast<unsigned long long>(sum));
+  }
+  for (const obs::slo::TargetState& ts : tl::slo_results()) {
+    std::printf(
+        "[obs]   slo %-24s windows=%-6llu violations=%-6llu worst=%.0fns "
+        "-> %s\n",
+        ts.target.spec.c_str(),
+        static_cast<unsigned long long>(ts.windows_evaluated),
+        static_cast<unsigned long long>(ts.violations), ts.worst_ns,
+        ts.violations == 0 ? "PASS" : "FAIL");
+  }
+}
+
+// Shared tail of every table-driven figure benchmark: stop the telemetry
+// sampler (closing its final partial window), print (CSV or aligned +
+// diagnostics), drop the JSON report when requested, and return the
+// process exit code (obs::slo::exit_code: 0 clean, 3 when any configured
+// SLO target was violated). Bench mains `return bench::report(...)`.
+inline int report(const util::Table& table, const sim::Options& opts,
+                  const std::string& bench_name) {
+  obs::timeline::stop();
   if (opts.csv) {
     table.print_csv();
   } else {
     table.print();
     print_htm_diagnostics();
+    print_timeline_summary();
   }
   if (!opts.json_path.empty()) {
     write_json_report(opts.json_path, bench_name, table, opts);
   }
+  return obs::slo::exit_code(obs::timeline::slo_violations_total());
 }
 
 inline void print_host_caveat() {

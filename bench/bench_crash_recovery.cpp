@@ -27,6 +27,9 @@
 int main(int argc, char** argv) {
   using namespace dc;
   const auto opts = sim::Options::parse(argc, argv);
+  // Quiescent-only: clear the counters before ObsSession may start the
+  // telemetry sampler (reset_stats aborts under a live sampler).
+  htm::reset_stats();
   const bench::ObsSession obs_session(opts);
 
   const double rate = htm::config().crash.rate;
@@ -45,7 +48,6 @@ int main(int argc, char** argv) {
         injecting ? ", one scripted lock-held kill per round" : "");
     bench::print_host_caveat();
   }
-  htm::reset_stats();
   htm::crash::reset_all();
 
   util::Table table({"round", "victims", "crashed", "survived",
@@ -113,6 +115,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::report(table, opts, "crash_recovery");
-  return 0;
+  return bench::report(table, opts, "crash_recovery");
 }

@@ -89,12 +89,14 @@ RunResult run_queue(uint32_t threads, double duration_ms) {
 
 int main(int argc, char** argv) {
   const auto opts = dc::sim::Options::parse(argc, argv);
+  // Quiescent-only: clear the counters before ObsSession may start the
+  // telemetry sampler (reset_stats aborts under a live sampler).
+  dc::htm::reset_stats();
   const dc::bench::ObsSession obs_session(opts);
   if (!opts.csv) {
     std::printf("== Figure 1: queue throughput [ops/us] vs threads ==\n");
     dc::bench::print_host_caveat();
   }
-  dc::htm::reset_stats();
   dc::util::Table table({"threads", "HTM", "Michael-Scott",
                          "Michael-Scott-ROP", "Michael-Scott-HP",
                          "HTM-quiescent-nodes", "MS-quiescent-nodes"});

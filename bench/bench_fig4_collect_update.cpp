@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   }
   const auto opts =
       sim::Options::parse(static_cast<int>(args.size()), args.data());
+  // Quiescent-only: clear the counters before ObsSession may start the
+  // telemetry sampler (reset_stats aborts under a live sampler).
+  htm::reset_stats();
   const bench::ObsSession obs_session(opts);
   htm::config().enable_extension = !no_extension;
   // Restore multicore-style transaction/writer overlap (see Config).
@@ -39,7 +42,6 @@ int main(int argc, char** argv) {
         updaters, no_extension ? ", timestamp extension DISABLED" : "");
     bench::print_host_caveat();
   }
-  htm::reset_stats();
 
   const std::vector<std::string> series = {
       "ArrayDynAppendDereg", "ArrayStatAppendDereg", "ListFastCollect",
@@ -69,6 +71,5 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  bench::report(table, opts, "fig4_collect_update");
-  return 0;
+  return bench::report(table, opts, "fig4_collect_update");
 }

@@ -14,6 +14,9 @@
 int main(int argc, char** argv) {
   using namespace dc;
   const auto opts = sim::Options::parse(argc, argv);
+  // Quiescent-only: clear the counters before ObsSession may start the
+  // telemetry sampler (reset_stats aborts under a live sampler).
+  htm::reset_stats();
   const bench::ObsSession obs_session(opts);
   const uint32_t updaters = opts.max_threads > 1 ? opts.max_threads - 1 : 1;
   if (!opts.csv) {
@@ -23,7 +26,6 @@ int main(int argc, char** argv) {
         updaters);
     bench::print_host_caveat();
   }
-  htm::reset_stats();
   // Restore multicore-style transaction/writer overlap on oversubscribed
   // hosts (see Config::txn_yield_every_loads).
   htm::config().txn_yield_every_loads = 16;
@@ -69,6 +71,5 @@ int main(int argc, char** argv) {
                    util::Table::fmt(s16), util::Table::fmt(s32),
                    util::Table::fmt(best_cost), util::Table::fmt(adaptive)});
   }
-  bench::report(table, opts, "fig5_adaptive_step");
-  return 0;
+  return bench::report(table, opts, "fig5_adaptive_step");
 }

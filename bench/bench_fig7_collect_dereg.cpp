@@ -10,6 +10,9 @@
 int main(int argc, char** argv) {
   using namespace dc;
   const auto opts = sim::Options::parse(argc, argv);
+  // Quiescent-only: clear the counters before ObsSession may start the
+  // telemetry sampler (reset_stats aborts under a live sampler).
+  htm::reset_stats();
   const bench::ObsSession obs_session(opts);
   const uint32_t churners = opts.max_threads > 1 ? opts.max_threads - 1 : 1;
   if (!opts.csv) {
@@ -20,7 +23,6 @@ int main(int argc, char** argv) {
         churners);
     bench::print_host_caveat();
   }
-  htm::reset_stats();
   // Restore multicore-style transaction/writer overlap on oversubscribed
   // hosts (see Config::txn_yield_every_loads).
   htm::config().txn_yield_every_loads = 16;
@@ -53,6 +55,5 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
   }
-  bench::report(table, opts, "fig7_collect_dereg");
-  return 0;
+  return bench::report(table, opts, "fig7_collect_dereg");
 }

@@ -147,6 +147,9 @@ double run_window(Workspace& ws, uint32_t rsize, double duration_ms) {
 int main(int argc, char** argv) {
   using namespace dc;
   const auto opts = sim::Options::parse(argc, argv);
+  // Quiescent-only: clear the counters before ObsSession may start the
+  // telemetry sampler (reset_stats aborts under a live sampler).
+  htm::reset_stats();
   const bench::ObsSession obs_session(opts);
   // The sweep flips between both backends regardless of what the session
   // selected (--validate/DC_VALIDATE); the session's choice is restored on
@@ -166,7 +169,6 @@ int main(int argc, char** argv) {
   }
 
   Workspace ws = make_workspace();
-  htm::reset_stats();
   util::Table table({"rsize", "exact_us", "sig_us", "speedup"});
   uint32_t crossover = 0;
   for (uint32_t lg = 4; lg <= 16; ++lg) {
@@ -206,7 +208,7 @@ int main(int argc, char** argv) {
       std::printf("\n(no crossover in this sweep — exact won throughout)\n");
     }
   }
-  bench::report(table, opts, "validation");
+  const int rc = bench::report(table, opts, "validation");
   htm::config().validation = session_mode;
-  return 0;
+  return rc;
 }

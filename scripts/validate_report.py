@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Validate a benchmark --json report (schema_version 4 through 6) and,
+"""Validate a benchmark --json report (schema_version 4 through 7) and,
 optionally, a Chrome trace-event file produced by --trace.
 
 Usage: scripts/validate_report.py REPORT.json [TRACE.json] [--expect-events]
-           [--expect-faults] [--expect-crashes]
+           [--expect-faults] [--expect-crashes] [--expect-storms]
+           [--expect-clean-timeline] [--schema N]
 
 The C++ unit tests (tests/obs/export_schema_test.cpp) validate the same
 schemas in-process; this script is the out-of-process check CI runs against
@@ -23,12 +24,26 @@ runs. v6 reports carry options.validation and the signature-validation
 counters htm.sig_validations / htm.sig_false_aborts /
 htm.sig_ring_overflows, which must all be exactly zero when validation is
 "exact" — the same dormancy guard applied to the signature backend.
+
+v7 reports carry options.sample_interval_ms / options.slo and the split
+trace.requested / trace.enabled booleans. When sample_interval_ms > 0 a
+"timeline" section is REQUIRED and fully checked: window shape and quantile
+ordering, the annotation-kind whitelist, and — whenever nothing was dropped
+— exact conservation (baseline + window deltas telescope to the htm
+counters; per-kind annotation totals equal the matching cumulative counter
+minus its baseline). With sampling off the section must be ABSENT — the
+zero-overhead guard for the sampler. --expect-storms additionally requires
+at least one storm_onset annotation (the metrics smoke leg, which runs
+fault-injected); --expect-clean-timeline requires a timeline with zero
+annotations of every kind (the clean smoke leg). --schema N pins the exact
+schema_version (CI legs assert the binary they just built emits the
+current version, not merely something in the accepted range).
 """
 import json
 import sys
 
 SCHEMA_VERSION_MIN = 4
-SCHEMA_VERSION_MAX = 6
+SCHEMA_VERSION_MAX = 7
 
 OPS = ("register", "update", "deregister", "collect", "commit")
 OPS_V6 = OPS + ("validate",)
@@ -36,6 +51,23 @@ SIG_KEYS = ("sig_validations", "sig_false_aborts", "sig_ring_overflows")
 ABORT_CODES = ("none", "conflict", "overflow", "explicit", "illegal-access",
                "interrupt", "tlb-miss", "save-restore")
 SPURIOUS_CODES = ("interrupt", "tlb-miss", "save-restore")
+
+# Timeline vocabulary (obs/timeline.hpp). Annotation kinds map 1:1 onto the
+# cumulative counter their per-window values decompose.
+COUNTER_KEYS = ("commits", "aborts", "lock_fallbacks", "tle_entries",
+                "faults_injected", "crashes_injected", "storm_entries",
+                "storm_exits", "lock_recoveries", "orphans_reaped",
+                "sig_validations", "sig_false_aborts", "sig_ring_overflows")
+ANNOTATION_COUNTER = {
+    "storm_onset": "storm_entries",
+    "storm_exit": "storm_exits",
+    "lock_recovery": "lock_recoveries",
+    "orphan_reap": "orphans_reaped",
+    "sig_saturation": "sig_ring_overflows",
+    "thread_crash": "crashes_injected",
+}
+QUANTILE_KEYS = ("p50_ns", "p90_ns", "p99_ns", "p999_ns")
+SLO_QUANTILES = ("p50", "p90", "p99", "p999")
 
 
 def fail(msg):
@@ -48,7 +80,126 @@ def require(cond, msg):
         fail(msg)
 
 
-def validate_report(path, expect_faults=False, expect_crashes=False):
+def validate_timeline(doc, expect_storms, expect_clean):
+    """Checks the v7 timeline section against the report's own htm counters.
+
+    The section is an exact decomposition, not a sketch: when nothing was
+    dropped, baseline + per-window deltas must telescope to the cumulative
+    counters, and per-kind annotation totals must equal the matching
+    counter minus its baseline (each annotation carries its window's
+    delta). Sampling skew is not tolerated because the sampler's final
+    tick runs after the workers join (bench::report stops it first)."""
+    htm = doc["htm"]
+    tl = doc.get("timeline")
+    require(isinstance(tl, dict), "timeline must be an object")
+    require(isinstance(tl.get("sample_interval_ms"), (int, float)) and
+            tl["sample_interval_ms"] > 0, "timeline.sample_interval_ms")
+    for key in ("windows_total", "windows_dropped", "events_dropped"):
+        require(isinstance(tl.get(key), int), f"timeline.{key}")
+    baseline = tl.get("baseline")
+    require(isinstance(baseline, dict), "timeline.baseline")
+    for key in COUNTER_KEYS:
+        require(isinstance(baseline.get(key), int),
+                f"timeline.baseline.{key}")
+    windows = tl.get("windows")
+    require(isinstance(windows, list) and windows,
+            "timeline.windows must be non-empty")
+    require(len(windows) ==
+            tl["windows_total"] - tl["windows_dropped"],
+            "retained window count != windows_total - windows_dropped")
+    sums = dict.fromkeys(COUNTER_KEYS, 0)
+    prev_index = None
+    prev_end = None
+    for w in windows:
+        require(isinstance(w.get("i"), int), "window.i")
+        for key in ("t_start_ms", "t_end_ms"):
+            require(isinstance(w.get(key), (int, float)), f"window.{key}")
+        require(w["t_end_ms"] >= w["t_start_ms"], "window time runs backward")
+        if prev_index is not None:
+            require(w["i"] == prev_index + 1, "window indices not contiguous")
+            require(abs(w["t_start_ms"] - prev_end) < 1e-6,
+                    "windows do not tile (t_start != previous t_end)")
+        prev_index, prev_end = w["i"], w["t_end_ms"]
+        for key in COUNTER_KEYS:
+            require(isinstance(w.get(key), int), f"window.{key}")
+            sums[key] += w[key]
+        ops = w.get("ops")
+        require(isinstance(ops, dict), "window.ops")
+        for op, entry in ops.items():
+            require(op in OPS_V6, f"window.ops has unknown op {op!r}")
+            require(isinstance(entry, dict), f"window.ops.{op}")
+            require(isinstance(entry.get("count"), int) and
+                    entry["count"] > 0,
+                    f"window.ops.{op}.count (quiet ops must be omitted)")
+            for q in QUANTILE_KEYS:
+                require(isinstance(entry.get(q), (int, float)),
+                        f"window.ops.{op}.{q}")
+            require(entry["p50_ns"] <= entry["p90_ns"] <= entry["p99_ns"]
+                    <= entry["p999_ns"],
+                    f"window.ops.{op} quantiles out of order")
+    if tl["windows_dropped"] == 0:
+        for key in COUNTER_KEYS:
+            require(baseline[key] + sums[key] == htm[key],
+                    f"timeline windows do not decompose htm.{key}: "
+                    f"{baseline[key]} + {sums[key]} != {htm[key]}")
+    totals = tl.get("annotation_totals")
+    require(isinstance(totals, dict), "timeline.annotation_totals")
+    require(set(totals) == set(ANNOTATION_COUNTER),
+            "annotation_totals kinds != the documented whitelist")
+    for kind, counter in ANNOTATION_COUNTER.items():
+        require(isinstance(totals[kind], int),
+                f"annotation_totals.{kind}")
+        require(totals[kind] == htm[counter] - baseline[counter],
+                f"annotation_totals.{kind} != htm.{counter} - baseline "
+                f"({totals[kind]} != {htm[counter]} - {baseline[counter]})")
+    events = tl.get("annotations")
+    require(isinstance(events, list), "timeline.annotations")
+    event_sums = dict.fromkeys(ANNOTATION_COUNTER, 0)
+    for e in events:
+        require(e.get("kind") in ANNOTATION_COUNTER,
+                f"annotation kind {e.get('kind')!r} not in whitelist")
+        require(isinstance(e.get("t_ms"), (int, float)), "annotation.t_ms")
+        require(isinstance(e.get("window"), int), "annotation.window")
+        require(isinstance(e.get("value"), int) and e["value"] > 0,
+                "annotation.value must be a positive delta")
+        event_sums[e["kind"]] += e["value"]
+    if tl["events_dropped"] == 0:
+        for kind in ANNOTATION_COUNTER:
+            require(event_sums[kind] == totals[kind],
+                    f"annotation event values for {kind} do not sum to "
+                    f"annotation_totals ({event_sums[kind]} != "
+                    f"{totals[kind]})")
+    slo = tl.get("slo")
+    require(isinstance(slo, dict), "timeline.slo")
+    require(isinstance(slo.get("violations_total"), int),
+            "timeline.slo.violations_total")
+    targets = slo.get("targets")
+    require(isinstance(targets, list), "timeline.slo.targets")
+    for t in targets:
+        require(isinstance(t.get("spec"), str), "slo target.spec")
+        require(t.get("op") in OPS_V6, "slo target.op")
+        require(t.get("quantile") in SLO_QUANTILES, "slo target.quantile")
+        for key in ("bound_ns", "worst_ns"):
+            require(isinstance(t.get(key), (int, float)), f"slo target.{key}")
+        for key in ("windows_evaluated", "violations"):
+            require(isinstance(t.get(key), int), f"slo target.{key}")
+        require(t["violations"] <= t["windows_evaluated"],
+                "slo target has more violations than evaluated windows")
+    require(sum(t["violations"] for t in targets) ==
+            slo["violations_total"],
+            "slo per-target violations do not sum to violations_total")
+    if expect_storms:
+        require(totals["storm_onset"] > 0,
+                "--expect-storms: no storm_onset annotations")
+    if expect_clean:
+        require(all(v == 0 for v in totals.values()),
+                "--expect-clean-timeline: annotations present "
+                f"({ {k: v for k, v in totals.items() if v} })")
+
+
+def validate_report(path, expect_faults=False, expect_crashes=False,
+                    expect_storms=False, expect_clean_timeline=False,
+                    exact_schema=None):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     version = doc.get("schema_version")
@@ -56,12 +207,17 @@ def validate_report(path, expect_faults=False, expect_crashes=False):
             SCHEMA_VERSION_MIN <= version <= SCHEMA_VERSION_MAX,
             f"schema_version must be between {SCHEMA_VERSION_MIN} "
             f"and {SCHEMA_VERSION_MAX}")
+    if exact_schema is not None:
+        require(version == exact_schema,
+                f"--schema {exact_schema}: report is v{version}")
     require(isinstance(doc.get("bench"), str), "bench must be a string")
     opts = doc.get("options")
     require(isinstance(opts, dict), "options must be an object")
     opt_keys = ["duration_ms", "repeats", "max_threads", "fault_rate"]
     if version >= 5:
         opt_keys.append("crash_rate")
+    if version >= 7:
+        opt_keys.append("sample_interval_ms")
     for key in opt_keys:
         require(isinstance(opts.get(key), (int, float)), f"options.{key}")
     require(opts.get("clock") in ("gv1", "gv5"), "options.clock")
@@ -69,6 +225,8 @@ def validate_report(path, expect_faults=False, expect_crashes=False):
     if version >= 6:
         require(opts.get("validation") in ("exact", "sig"),
                 "options.validation")
+    if version >= 7:
+        require(isinstance(opts.get("slo"), str), "options.slo")
     htm = doc.get("htm")
     require(isinstance(htm, dict), "htm must be an object")
     htm_keys = ["commits", "aborts", "abort_rate", "lock_fallbacks",
@@ -151,6 +309,27 @@ def validate_report(path, expect_faults=False, expect_crashes=False):
     require(isinstance(trace.get("compiled"), bool), "trace.compiled")
     require(isinstance(trace.get("events_emitted"), int),
             "trace.events_emitted")
+    if version >= 7:
+        require(isinstance(trace.get("requested"), bool), "trace.requested")
+        require(isinstance(trace.get("enabled"), bool), "trace.enabled")
+        require(trace["enabled"] ==
+                (trace["requested"] and trace["compiled"]),
+                "trace.enabled must be requested AND compiled")
+        if not trace["enabled"]:
+            require(trace["events_emitted"] == 0,
+                    "trace disabled but events were emitted")
+        if opts["sample_interval_ms"] > 0:
+            validate_timeline(doc, expect_storms, expect_clean_timeline)
+        else:
+            require("timeline" not in doc,
+                    "sampling off but a timeline section is present "
+                    "(zero-overhead guard)")
+            require(not (expect_storms or expect_clean_timeline),
+                    "--expect-storms/--expect-clean-timeline need a "
+                    "sampled run (options.sample_interval_ms > 0)")
+    else:
+        require(not (expect_storms or expect_clean_timeline),
+                "--expect-storms/--expect-clean-timeline need a v7 report")
     require(isinstance(doc.get("columns"), list), "columns must be an array")
     rows = doc.get("rows")
     require(isinstance(rows, list) and rows, "rows must be non-empty")
@@ -169,14 +348,23 @@ def validate_trace(path, expect_events):
         require(any(e.get("ph") == "X" for e in events),
                 "trace has no complete ('X') transaction spans")
     for e in events:
-        require(e.get("ph") in ("X", "i"), f"unexpected phase {e.get('ph')}")
+        # "C" = the telemetry sampler's per-window counter tracks (timeline
+        # overlay); counters are process-scoped, so they carry no tid.
+        require(e.get("ph") in ("X", "i", "C"),
+                f"unexpected phase {e.get('ph')}")
         require(isinstance(e.get("ts"), (int, float)), "event missing ts")
-        require(isinstance(e.get("tid"), int), "event missing tid")
         require(isinstance(e.get("name"), str), "event missing name")
+        if e["ph"] != "C":
+            require(isinstance(e.get("tid"), int), "event missing tid")
         if e["ph"] == "X":
             require(isinstance(e.get("dur"), (int, float)), "X event dur")
             require(e.get("args", {}).get("outcome") in ("commit", "abort"),
                     "X event outcome")
+        if e["ph"] == "C":
+            args = e.get("args")
+            require(isinstance(args, dict) and args and
+                    all(isinstance(v, (int, float)) for v in args.values()),
+                    "C event args must be a non-empty numeric series map")
     return events
 
 
@@ -188,12 +376,36 @@ def main(argv):
     expect_events = "--expect-events" in args
     expect_faults = "--expect-faults" in args
     expect_crashes = "--expect-crashes" in args
-    report = validate_report(argv[1], expect_faults, expect_crashes)
+    expect_storms = "--expect-storms" in args
+    expect_clean_timeline = "--expect-clean-timeline" in args
+    exact_schema = None
+    trace_paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--schema":
+            if i + 1 >= len(args) or not args[i + 1].isdigit():
+                print("validate_report: --schema needs an integer",
+                      file=sys.stderr)
+                return 2
+            exact_schema = int(args[i + 1])
+            i += 2
+            continue
+        if not args[i].startswith("--"):
+            trace_paths.append(args[i])
+        i += 1
+    report = validate_report(argv[1], expect_faults, expect_crashes,
+                             expect_storms, expect_clean_timeline,
+                             exact_schema)
     summary = [f"report ok (bench={report['bench']}, "
                f"commits={report['htm']['commits']}, "
                f"faults={report['htm']['faults_injected']}, "
                f"crashes={report['htm'].get('crashes_injected', 'n/a')})"]
-    trace_paths = [a for a in args if not a.startswith("--")]
+    if "timeline" in report:
+        tl = report["timeline"]
+        storms = tl["annotation_totals"]["storm_onset"]
+        summary.append(f"timeline ok ({tl['windows_total']} windows, "
+                       f"{storms} storm onsets, "
+                       f"{tl['slo']['violations_total']} SLO violations)")
     if trace_paths:
         events = validate_trace(trace_paths[0], expect_events)
         summary.append(f"trace ok ({len(events)} events)")

@@ -1,7 +1,11 @@
 #include "htm/stats.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <vector>
+
+#include "obs/timeline.hpp"
 
 namespace dc::htm {
 
@@ -44,6 +48,18 @@ TxnStats aggregate_stats() noexcept {
 }
 
 void reset_stats() noexcept {
+  // Same enforcement as obs::reset_histograms(): the timeline sampler
+  // differences consecutive aggregate_stats() samples, and a cross-thread
+  // zeroing under it would silently turn every subsequent window delta
+  // into garbage (saturating subtraction hides the wrap). Quiescent-only
+  // means the sampler too.
+  if (obs::timeline::running()) {
+    std::fprintf(stderr,
+                 "htm: reset_stats() while the obs timeline sampler is "
+                 "running violates the quiescent-only contract "
+                 "(stats.hpp); stop() the sampler first\n");
+    std::abort();
+  }
   Registry& r = registry();
   std::lock_guard lock(r.mu);
   // Zero in place — never free: exited threads' blocks stay registered for

@@ -4,6 +4,14 @@
 // adaptation, Figure 5/6) and we additionally surface commit/abort counts in
 // every benchmark for diagnosis. Counters are thread-local and aggregated on
 // demand, so the hot path is a plain increment.
+//
+// Counters are util::RelaxedCounter (single-writer cells with race-free
+// relaxed reads): each cell is written only by its owning thread, which
+// keeps the increment a plain add, while the continuous-telemetry sampler
+// (obs/timeline.hpp) may call aggregate_stats() every few milliseconds with
+// writers hot. Sums taken while threads run are per-cell-consistent, not
+// cross-cell-consistent (a sampler may see a commit whose aborts_by_code
+// entry lands in the next sample); window deltas absorb that skew.
 #pragma once
 
 #include <array>
@@ -11,94 +19,97 @@
 #include <cstdint>
 
 #include "htm/abort.hpp"
+#include "util/relaxed.hpp"
 
 namespace dc::htm {
 
+using Counter = util::RelaxedCounter;
+
 struct TxnStats {
-  uint64_t commits = 0;
-  uint64_t aborts = 0;
-  std::array<uint64_t, static_cast<std::size_t>(AbortCode::kNumCodes)>
+  Counter commits = 0;
+  Counter aborts = 0;
+  std::array<Counter, static_cast<std::size_t>(AbortCode::kNumCodes)>
       aborts_by_code{};
-  uint64_t lock_fallbacks = 0;  // atomic blocks completed under the TLE lock
-  uint64_t nontxn_stores = 0;   // strong-atomicity stores
+  Counter lock_fallbacks = 0;  // atomic blocks completed under the TLE lock
+  Counter nontxn_stores = 0;   // strong-atomicity stores
   // Shared-clock fetch_adds performed by this thread (GV1 writing commits,
   // lock-mode/strong-atomicity stores, range invalidations). Read-only and
   // unchanged-value commits never bump the clock, and under
   // ClockPolicy::kGv5 neither do writing commits (they stamp sloppily; see
   // sloppy_stamps), so this counter makes the commit fast paths — and the
   // shared-write reduction the sloppy clock exists for — observable.
-  uint64_t clock_bumps = 0;
+  Counter clock_bumps = 0;
   // Commits whose write-back changed memory (the transactions that pay a
   // clock bump under GV1). clock_bumps / writer_commits is the shared-write
   // cost per visible writing commit: ~1 under GV1, 0 under GV5.
-  uint64_t writer_commits = 0;
+  Counter writer_commits = 0;
   // GV5 stamps taken without touching the shared clock (writing commits,
   // lock-mode/strong-atomicity stores, range invalidations under kGv5).
-  uint64_t sloppy_stamps = 0;
+  Counter sloppy_stamps = 0;
   // Successful read-version re-samples: loads that observed a version ahead
   // of the transaction's snapshot, revalidated the read set, and continued
   // instead of aborting (TL2 timestamp extension; under GV5 this is the
   // normal way readers absorb sloppy stamps).
-  uint64_t clock_resamples = 0;
+  Counter clock_resamples = 0;
   // Re-samples that had to advance the shared clock to the observed sloppy
   // version (CAS-max). The only shared-clock *write* GV5 performs — counted
   // separately from clock_bumps so the zero-shared-write commit property
   // stays assertable.
-  uint64_t clock_catchups = 0;
+  Counter clock_catchups = 0;
   // Write-back stores saved by commit-time coalescing of adjacent sub-word
   // runs (a run of k entries tiling one aligned word costs 1 store, saving
   // k-1).
-  uint64_t coalesced_stores = 0;
+  Counter coalesced_stores = 0;
   // Spurious aborts raised by the fault injector (htm/fault.hpp). Included
   // in aborts/aborts_by_code too; kept separately so "injection off" is a
   // checkable invariant (faults_injected must be 0).
-  uint64_t faults_injected = 0;
+  Counter faults_injected = 0;
   // Atomic blocks that escalated from speculation to the TLE lock (counted
   // once per block, at the first lock-mode attempt; serialize_all blocks —
   // which never intended to speculate — do not count). lock_fallbacks, by
   // contrast, counts lock-mode *attempts* including serialize_all.
-  uint64_t tle_entries = 0;
+  Counter tle_entries = 0;
   // Abort-storm detector transitions (htm/retry.hpp): call-sites entering /
   // leaving the sticky serialized mode.
-  uint64_t storm_entries = 0;
-  uint64_t storm_exits = 0;
+  Counter storm_entries = 0;
+  Counter storm_exits = 0;
   // Thread deaths raised by the crash injector (htm/crash.hpp). A crash is
   // *not* an abort: the enclosing block never commits and never retries, so
   // crashes appear in no other counter. "Injection off" stays a checkable
   // invariant (crashes_injected must be 0).
-  uint64_t crashes_injected = 0;
+  Counter crashes_injected = 0;
   // TLE fallback locks stolen from a dead owner after a validated timeout
   // (htm/htm.cpp): the recoverable-lock protocol's success count.
-  uint64_t lock_recoveries = 0;
+  Counter lock_recoveries = 0;
   // Orphaned Collect handles of dead threads DeRegistered by a survivor-run
   // reaper (collect/lease.hpp).
-  uint64_t orphans_reaped = 0;
+  Counter orphans_reaped = 0;
   // Signature-backend validations (ValidationPolicy::kSignature) performed
   // by this thread: every commit-time validation and every timestamp-
   // extension revalidation that went through the signature scan, whatever
   // its outcome. Zero whenever the backend is kExact — a checkable
   // zero-overhead invariant, like faults_injected / crashes_injected.
-  uint64_t sig_validations = 0;
+  Counter sig_validations = 0;
   // Signature validations that aborted on a Bloom intersection the exact
   // walk (run once on that cold abort path, purely to classify) would have
   // passed: the backend's false-positive cost. Safe — the transaction just
   // retries — but the crossover measurement needs it observable.
-  uint64_t sig_false_aborts = 0;
+  Counter sig_false_aborts = 0;
   // Signature validations that could not be decided from the ring — the
   // ring wrapped past the snapshot (eviction watermark), a slot never
   // stabilized, or the thread had no in-flight slot — and fell back to the
   // exact walk. The conservative escape hatch, counted so ring-sizing
   // regressions are visible.
-  uint64_t sig_ring_overflows = 0;
+  Counter sig_ring_overflows = 0;
   // Starvation accounting: the largest number of consecutive aborts any one
   // atomic block on this thread suffered before finally committing
   // (high-water mark; aggregated by max).
-  uint64_t max_consec_aborts = 0;
+  Counter max_consec_aborts = 0;
   // High-water marks of per-attempt read-set / write-set entries *after*
   // dedup (a repeated load or store of one word counts once). These expose
   // the load-time read-set dedup and store-time write dedup directly.
-  uint64_t max_read_set = 0;
-  uint64_t max_write_set = 0;
+  Counter max_read_set = 0;
+  Counter max_write_set = 0;
 
   TxnStats& operator+=(const TxnStats& o) noexcept {
     commits += o.commits;

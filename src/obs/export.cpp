@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "util/cycles.hpp"
 
@@ -92,7 +93,11 @@ bool export_chrome_trace(const std::string& path) {
   for (const TraceEvent& e : events) {
     if (e.tsc < t0) t0 = e.tsc;
   }
-  if (events.empty()) t0 = 0;
+  // Timeline windows share the axis: their TSC origin is start_cycles(),
+  // so fold it into t0 and everything lines up in Perfetto.
+  const uint64_t tl_start = timeline::start_cycles();
+  if (tl_start != 0 && tl_start < t0) t0 = tl_start;
+  if (t0 == ~uint64_t{0}) t0 = 0;
 
   // Per-tid pending transaction begin, so a begin..commit/abort pair folds
   // into one "X" complete event (transactions never nest, txn.hpp).
@@ -248,6 +253,61 @@ bool export_chrome_trace(const std::string& path) {
         break;
       case EventKind::kNumKinds:
         break;
+    }
+  }
+  // Telemetry overlay (only when the sampler ran): per-window counter
+  // tracks ("C" phase — Perfetto renders them as stepped area charts above
+  // the transaction slices) and the anomaly annotations as global instants.
+  if (tl_start != 0) {
+    const double base_us = to_us(tl_start, t0);
+    for (const timeline::Window& w : timeline::windows()) {
+      const double ts = base_us + w.t_end_ms * 1000.0;
+      sep();
+      std::fprintf(f,
+                   "{\"name\": \"txn/window\", \"cat\": \"timeline\", "
+                   "\"ph\": \"C\", \"ts\": %.3f, \"pid\": 0, "
+                   "\"args\": {\"commits\": %llu, \"aborts\": %llu}}",
+                   ts, static_cast<unsigned long long>(w.delta.commits),
+                   static_cast<unsigned long long>(w.delta.aborts));
+      sep();
+      std::fprintf(
+          f,
+          "{\"name\": \"degradation/window\", \"cat\": \"timeline\", "
+          "\"ph\": \"C\", \"ts\": %.3f, \"pid\": 0, "
+          "\"args\": {\"lock_fallbacks\": %llu, \"faults\": %llu, "
+          "\"crashes\": %llu}}",
+          ts, static_cast<unsigned long long>(w.delta.lock_fallbacks),
+          static_cast<unsigned long long>(w.delta.faults_injected),
+          static_cast<unsigned long long>(w.delta.crashes_injected));
+      bool any_op = false;
+      for (std::size_t op = 0; op < timeline::kNumOps; ++op) {
+        if (w.ops[op].count != 0) any_op = true;
+      }
+      if (any_op) {
+        sep();
+        std::fprintf(f,
+                     "{\"name\": \"p99_ns\", \"cat\": \"timeline\", "
+                     "\"ph\": \"C\", \"ts\": %.3f, \"pid\": 0, \"args\": {",
+                     ts);
+        bool first_op = true;
+        for (std::size_t op = 0; op < timeline::kNumOps; ++op) {
+          if (w.ops[op].count == 0) continue;
+          std::fprintf(f, "%s\"%s\": %.1f", first_op ? "" : ", ",
+                       to_string(static_cast<OpKind>(op)), w.ops[op].p99_ns);
+          first_op = false;
+        }
+        std::fprintf(f, "}}");
+      }
+    }
+    for (const timeline::Event& e : timeline::annotations()) {
+      sep();
+      std::fprintf(f,
+                   "{\"name\": \"%s\", \"cat\": \"timeline\", \"ph\": \"i\", "
+                   "\"s\": \"g\", \"ts\": %.3f, \"pid\": 0, \"tid\": 0, "
+                   "\"args\": {\"window\": %llu, \"value\": %llu}}",
+                   timeline::to_string(e.kind), base_us + e.t_ms * 1000.0,
+                   static_cast<unsigned long long>(e.window),
+                   static_cast<unsigned long long>(e.value));
     }
   }
   std::fprintf(f, "\n]}\n");

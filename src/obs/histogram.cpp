@@ -1,7 +1,11 @@
 #include "obs/histogram.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <vector>
+
+#include "obs/timeline.hpp"
 
 namespace dc::obs {
 
@@ -53,6 +57,19 @@ LogHistogram aggregate_histogram(OpKind op) noexcept {
 }
 
 void reset_histograms() noexcept {
+  // Enforced contract (histogram.hpp): resetting zeroes other threads'
+  // recorders, which is only sound while nothing records — and the one
+  // background reader this library owns must not be differencing
+  // snapshots across the wipe. A sampler that wants per-interval data
+  // has interval_since(); racing a reset under it is always a bug, so
+  // fail loudly instead of corrupting every window that follows.
+  if (timeline::running()) {
+    std::fprintf(stderr,
+                 "obs: reset_histograms() while the timeline sampler is "
+                 "running violates the quiescent-only contract "
+                 "(histogram.hpp); stop() the sampler first\n");
+    std::abort();
+  }
   RecorderRegistry& reg = registry();
   std::lock_guard lock(reg.mu);
   for (Recorder* r : reg.recorders) {

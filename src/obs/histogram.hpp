@@ -8,8 +8,26 @@
 // claims are exactly such distributional facts).
 //
 // Recording is a bucket-index computation and one increment; no allocation,
-// no locking. Per-operation recorders are thread-local and merged on demand
-// (quiescent-only, like htm::aggregate_stats).
+// no locking. Per-operation recorders are thread-local.
+//
+// Concurrency contract (tightened for the continuous-telemetry sampler,
+// obs/timeline.hpp): every cell is a util::RelaxedCounter — written only by
+// the recorder's owning thread, readable by any thread at any time with
+// relaxed loads. That makes aggregate_histogram() and snapshots safe while
+// recorders are HOT: a concurrent reader sees each bucket's value at some
+// recent instant (bucket counts are monotonic between resets), though the
+// cross-cell view may be skewed by in-flight samples (count_ can briefly
+// disagree with the bucket sum by the samples being recorded). Quantile
+// queries tolerate that skew — percentile() falls back to max_ when the
+// rank overruns the buckets — and interval_since() recomputes its count
+// from the delta buckets, so window percentiles are internally consistent.
+//
+// reset() is the one remaining cross-thread WRITE and keeps the
+// quiescent-only contract: zeroing another thread's hot recorder would race
+// its unordered stores (a sample could straddle the wipe and resurrect a
+// stale count). The registry-level reset_histograms() enforces this at
+// runtime by refusing to run while the timeline sampler is live; samplers
+// never reset — they difference monotonic snapshots via interval_since().
 #pragma once
 
 #include <bit>
@@ -17,6 +35,7 @@
 
 #include "obs/obs.hpp"
 #include "util/cycles.hpp"
+#include "util/relaxed.hpp"
 
 namespace dc::obs {
 
@@ -47,11 +66,47 @@ class LogHistogram {
     sum_ += o.sum_;
   }
 
+  // Owner-or-quiescent only — see the concurrency contract above.
   void reset() noexcept { *this = LogHistogram{}; }
+
+  // The samples recorded since `prev` was copied from this (or an equal)
+  // histogram — the tumbling-window primitive. Both operands are plain
+  // value snapshots (LogHistogram copies relaxed-load every cell, so
+  // copying a hot recorder is safe). The interval's count/sum/min/max are
+  // recomputed from the delta buckets: count is exactly the bucket-sum
+  // (internally consistent for percentile()), min/max are the containing
+  // buckets' bounds (≈6% error, same as every other quantile). Subtraction
+  // saturates at 0 so a racing reset degrades to an empty window instead
+  // of underflowing.
+  LogHistogram interval_since(const LogHistogram& prev) const noexcept {
+    LogHistogram d;
+    uint64_t total = 0;
+    uint32_t lo = kBuckets;
+    uint32_t hi = 0;
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+      const uint64_t cur = counts_[i];
+      const uint64_t old = prev.counts_[i];
+      const uint64_t delta = cur > old ? cur - old : 0;
+      if (delta == 0) continue;
+      d.counts_[i] = delta;
+      total += delta;
+      if (i < lo) lo = i;
+      hi = i;
+    }
+    d.count_ = total;
+    if (total > 0) {
+      const uint64_t cs = sum_;
+      const uint64_t ps = prev.sum_;
+      d.sum_ = cs > ps ? cs - ps : 0;
+      d.min_ = bucket_low(lo);
+      d.max_ = bucket_mid(hi);
+    }
+    return d;
+  }
 
   uint64_t count() const noexcept { return count_; }
   uint64_t max() const noexcept { return max_; }
-  uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  uint64_t min() const noexcept { return count_ == 0 ? 0 : min_.load(); }
   double mean() const noexcept {
     return count_ == 0 ? 0.0
                        : static_cast<double>(sum_) /
@@ -106,11 +161,11 @@ class LogHistogram {
   }
 
  private:
-  uint64_t counts_[kBuckets] = {};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
+  util::RelaxedCounter counts_[kBuckets] = {};
+  util::RelaxedCounter count_ = 0;
+  util::RelaxedCounter sum_ = 0;
+  util::RelaxedCounter min_ = 0;
+  util::RelaxedCounter max_ = 0;
 };
 
 // The operations the obs layer keeps per-operation latency histograms for.
@@ -136,10 +191,16 @@ const char* to_string(OpKind op) noexcept;
 void record_op(OpKind op, uint64_t cycles) noexcept;
 
 // Merged histogram for `op` across all threads (including exited ones)
-// since the last reset. Quiescent-only.
+// since the last reset. Safe while recorders are hot (see the concurrency
+// contract at the top): the timeline sampler calls this every tick; the
+// merged cross-cell view may be skewed by in-flight samples.
 LogHistogram aggregate_histogram(OpKind op) noexcept;
 
-// Zeroes all threads' histograms. Quiescent-only.
+// Zeroes all threads' histograms. Quiescent-only — a hot recorder's owner
+// could resurrect pre-reset counts — and ENFORCED against the one
+// background reader we own: aborts (with a message) if the timeline
+// sampler is running. Samplers must difference snapshots via
+// interval_since() instead of resetting.
 void reset_histograms() noexcept;
 
 // RAII sample: times its scope and records into `op` iff timing was enabled

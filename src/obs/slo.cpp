@@ -1,0 +1,130 @@
+#include "obs/slo.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dc::obs::slo {
+
+namespace {
+
+// Strips whitespace in place while scanning; the grammar has no significant
+// spaces.
+std::string strip(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out += c;
+  }
+  return out;
+}
+
+bool parse_op(const std::string& name, OpKind* op) {
+  for (int i = 0; i < static_cast<int>(OpKind::kNumOps); ++i) {
+    const auto kind = static_cast<OpKind>(i);
+    if (name == to_string(kind)) {
+      *op = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_quantile(const std::string& name, Quantile* q) {
+  if (name == "p50") *q = Quantile::kP50;
+  else if (name == "p90") *q = Quantile::kP90;
+  else if (name == "p99") *q = Quantile::kP99;
+  else if (name == "p999") *q = Quantile::kP999;
+  else return false;
+  return true;
+}
+
+bool parse_one(const std::string& item, Target* t, std::string* err) {
+  const std::size_t us = item.rfind('_');
+  if (us == std::string::npos) {
+    if (err != nullptr) *err = "'" + item + "': expected OP_QUANTILE<BOUND";
+    return false;
+  }
+  if (!parse_op(item.substr(0, us), &t->op)) {
+    if (err != nullptr) {
+      *err = "'" + item + "': unknown operation '" + item.substr(0, us) +
+             "' (register|update|deregister|collect|commit|validate)";
+    }
+    return false;
+  }
+  std::size_t cmp = item.find_first_of('<', us);
+  if (cmp == std::string::npos) {
+    if (err != nullptr) *err = "'" + item + "': missing '<' bound";
+    return false;
+  }
+  if (!parse_quantile(item.substr(us + 1, cmp - us - 1), &t->quantile)) {
+    if (err != nullptr) {
+      *err = "'" + item + "': unknown quantile '" +
+             item.substr(us + 1, cmp - us - 1) + "' (p50|p90|p99|p999)";
+    }
+    return false;
+  }
+  t->inclusive = cmp + 1 < item.size() && item[cmp + 1] == '=';
+  std::size_t val = cmp + (t->inclusive ? 2 : 1);
+  char* end = nullptr;
+  const double value = std::strtod(item.c_str() + val, &end);
+  if (end == item.c_str() + val || value < 0.0) {
+    if (err != nullptr) *err = "'" + item + "': bad bound value";
+    return false;
+  }
+  const std::string unit(end);
+  double scale = 0.0;
+  if (unit == "ns") scale = 1.0;
+  else if (unit == "us") scale = 1e3;
+  else if (unit == "ms") scale = 1e6;
+  else if (unit == "s") scale = 1e9;
+  else {
+    if (err != nullptr) {
+      *err = "'" + item + "': bad unit '" + unit + "' (ns|us|ms|s)";
+    }
+    return false;
+  }
+  t->bound_ns = value * scale;
+  t->spec = item;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Quantile q) noexcept {
+  switch (q) {
+    case Quantile::kP50:
+      return "p50";
+    case Quantile::kP90:
+      return "p90";
+    case Quantile::kP99:
+      return "p99";
+    case Quantile::kP999:
+      return "p999";
+  }
+  return "?";
+}
+
+bool parse(const std::string& spec, std::vector<Target>* out,
+           std::string* err) {
+  out->clear();
+  const std::string clean = strip(spec);
+  if (clean.empty()) {
+    if (err != nullptr) *err = "empty SLO spec";
+    return false;
+  }
+  std::size_t pos = 0;
+  while (pos <= clean.size()) {
+    const std::size_t comma = clean.find(',', pos);
+    const std::string item =
+        clean.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+    Target t;
+    if (!parse_one(item, &t, err)) return false;
+    out->push_back(t);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace dc::obs::slo

@@ -1,0 +1,73 @@
+// Latency SLO targets evaluated per telemetry window.
+//
+// A target is a bound on one operation's windowed latency quantile, written
+// the way an operator would state it:
+//
+//     --slo "commit_p99<50us,update_p999<1ms"
+//
+// Grammar (comma-separated, whitespace ignored):
+//     target   := op '_' quantile cmp value unit
+//     op       := register | update | deregister | collect | commit
+//               | validate
+//     quantile := p50 | p90 | p99 | p999
+//     cmp      := '<' | '<='
+//     value    := decimal number
+//     unit     := ns | us | ms | s
+//
+// Targets are evaluated by the timeline sampler (obs/timeline.hpp) against
+// each tumbling window's per-operation interval percentiles: a window with
+// at least one sample of the target's operation either satisfies the bound
+// or counts one violation. Windows with no samples are vacuous (an idle
+// service is not in violation). The accumulated violation counts feed the
+// --json report's timeline.slo section, the Prometheus exposition, and the
+// benchmark exit code (nonzero on any violation — the CI chaos gate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace dc::obs::slo {
+
+enum class Quantile : uint8_t { kP50 = 0, kP90, kP99, kP999 };
+
+const char* to_string(Quantile q) noexcept;
+
+struct Target {
+  OpKind op = OpKind::kUpdate;
+  Quantile quantile = Quantile::kP99;
+  bool inclusive = false;  // true for '<=' (bound itself satisfies)
+  double bound_ns = 0.0;
+  std::string spec;  // normalized form, e.g. "commit_p99<50us"
+};
+
+// Evaluation state for one target, accumulated window by window.
+struct TargetState {
+  Target target;
+  uint64_t windows_evaluated = 0;  // windows with >= 1 sample of target.op
+  uint64_t violations = 0;
+  double worst_ns = 0.0;  // highest quantile value observed in any window
+};
+
+// Parses a comma-separated spec into targets. On failure returns false and
+// (if err != nullptr) describes the first offending target.
+bool parse(const std::string& spec, std::vector<Target>* out,
+           std::string* err);
+
+// One window's verdict for `target` given the windowed quantile value (ns)
+// of its operation. Call only when the window recorded samples of the op.
+inline bool violated(const Target& target, double quantile_ns) noexcept {
+  return target.inclusive ? quantile_ns > target.bound_ns
+                          : quantile_ns >= target.bound_ns;
+}
+
+// The process exit code a benchmark with `violations` accumulated SLO
+// violations should return: 0 when clean, 3 (distinct from the 2 used for
+// usage errors) when any window broke a target.
+inline int exit_code(uint64_t violations) noexcept {
+  return violations == 0 ? 0 : 3;
+}
+
+}  // namespace dc::obs::slo

@@ -1,0 +1,174 @@
+// Continuous telemetry: windowed time-series sampler + anomaly annotations.
+//
+// Everything else in the obs layer is post-mortem — counters and histograms
+// merged once, quiescently, after the workers join. That collapses a run's
+// *timeline*: a 10-second bench that spends 200 ms in a TLE storm and 9.8 s
+// healthy reports the same aggregate as one that degrades uniformly. This
+// module adds the always-on, low-overhead discipline SMR evaluations use to
+// separate steady-state from reclamation-stall phases: a background sampler
+// thread that, every interval_ms, takes race-free snapshots of the
+// substrate counters (htm::TxnStats cells are single-writer
+// util::RelaxedCounters — see stats.hpp) and of the per-operation latency
+// histograms (LogHistogram::interval_since differences two monotonic
+// snapshots), and turns the deltas into tumbling-window records:
+//
+//   Window = { t_start..t_end, per-window counter deltas,
+//              per-op interval count + p50/p90/p99/p999 }
+//
+// stored in a bounded ring (oldest windows overwritten; drops counted). On
+// top of the deltas a phase detector emits annotated timeline events —
+// storm onset/exit, lock recovery, orphan-reap bursts, signature-filter
+// saturation, injected thread deaths — whose per-kind value sums equal the
+// run's cumulative counters (each annotation carries the window's delta),
+// so the timeline is an exact decomposition of the post-mortem numbers,
+// not a lossy sketch. SLO targets (obs/slo.hpp) are evaluated per window
+// as they close.
+//
+// Layering: obs deliberately does not depend on htm, so the sampler pulls
+// counters through a CounterProvider callback the embedder registers
+// (bench_common.hpp adapts htm::aggregate_stats; tests feed synthetic
+// providers). Histograms are read directly — they live in this library.
+//
+// Zero-cost when off: start() is the only thing that spawns the thread; a
+// run that never calls it has no sampler thread, no ring allocation, and
+// unchanged counters (the RelaxedCounter cells compile to the same plain
+// adds either way).
+//
+// Threading: start/stop manage one background thread. The accessors copy
+// state under the sampler mutex and are safe at any time; for exact
+// end-of-run numbers call stop() first (it closes the final partial window
+// so the last deltas are never lost).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/slo.hpp"
+
+namespace dc::obs::timeline {
+
+// The substrate counters the sampler tracks per window. A provider returns
+// the *cumulative* values since process start / last reset; the sampler
+// differences consecutive samples itself.
+struct CounterSample {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t lock_fallbacks = 0;
+  uint64_t tle_entries = 0;
+  uint64_t faults_injected = 0;
+  uint64_t crashes_injected = 0;
+  uint64_t storm_entries = 0;
+  uint64_t storm_exits = 0;
+  uint64_t lock_recoveries = 0;
+  uint64_t orphans_reaped = 0;
+  uint64_t sig_validations = 0;
+  uint64_t sig_false_aborts = 0;
+  uint64_t sig_ring_overflows = 0;
+};
+
+using CounterProvider = CounterSample (*)();
+
+// One operation's interval latency digest inside a window.
+struct OpWindow {
+  uint64_t count = 0;
+  float p50_ns = 0.0f;
+  float p90_ns = 0.0f;
+  float p99_ns = 0.0f;
+  float p999_ns = 0.0f;
+};
+
+inline constexpr std::size_t kNumOps =
+    static_cast<std::size_t>(OpKind::kNumOps);
+
+struct Window {
+  uint64_t index = 0;       // monotonic window number (survives ring wrap)
+  double t_start_ms = 0.0;  // since sampler start
+  double t_end_ms = 0.0;
+  CounterSample delta;      // counter increments inside this window
+  OpWindow ops[kNumOps];    // per-op interval latency digests
+};
+
+// Anomaly kinds the phase detector annotates windows with. Each event's
+// `value` is the window's delta of the kind's counter, so the per-kind sum
+// over all events equals the cumulative counter (storm_onset ->
+// storm_entries, storm_exit -> storm_exits, lock_recovery ->
+// lock_recoveries, orphan_reap -> orphans_reaped, sig_saturation ->
+// sig_ring_overflows, thread_crash -> crashes_injected) whenever no events
+// were dropped.
+enum class Annotation : uint8_t {
+  kStormOnset = 0,
+  kStormExit,
+  kLockRecovery,
+  kOrphanReap,
+  kSigSaturation,
+  kThreadCrash,
+  kNumKinds,
+};
+
+const char* to_string(Annotation kind) noexcept;
+
+struct Event {
+  double t_ms = 0.0;    // window end time
+  uint64_t window = 0;  // Window::index the anomaly was detected in
+  Annotation kind = Annotation::kStormOnset;
+  uint64_t value = 0;   // the window's counter delta for this kind
+};
+
+struct SamplerConfig {
+  double interval_ms = 10.0;        // tumbling-window width
+  std::size_t window_capacity = 4096;   // ring: oldest overwritten
+  std::size_t event_capacity = 65536;   // annotation buffer: excess dropped
+  CounterProvider provider = nullptr;   // required
+  std::vector<slo::Target> slo;         // evaluated as each window closes
+};
+
+// Spawns the sampler thread. Returns false (no thread) if one is already
+// running, the provider is null, or interval_ms <= 0.
+bool start(const SamplerConfig& cfg);
+
+// Closes the final partial window, joins the thread. Idempotent; retained
+// windows/annotations/SLO state stay readable until reset().
+void stop() noexcept;
+
+bool running() noexcept;
+
+// Retained windows, oldest first. Safe at any time (copied under lock).
+std::vector<Window> windows();
+std::vector<Event> annotations();
+
+uint64_t windows_total() noexcept;    // produced, including overwritten
+uint64_t windows_dropped() noexcept;  // overwritten by ring wrap
+uint64_t events_dropped() noexcept;
+
+// Per-kind event-value sums (annotation conservation; cheap, no copy).
+uint64_t annotation_sum(Annotation kind) noexcept;
+
+// The interval the last (or current) sampler ran at; 0 if none ever ran.
+double interval_ms() noexcept;
+
+// TSC at sampler start — lets exporters place windows on the same time
+// axis as trace events. 0 if the sampler never ran.
+uint64_t start_cycles() noexcept;
+
+// The counter sample taken at start(): windows decompose the counters
+// accumulated AFTER this baseline (nonzero if the embedder ran work before
+// starting the sampler).
+CounterSample baseline();
+
+// SLO evaluation state (one entry per configured target, config order).
+std::vector<slo::TargetState> slo_results();
+uint64_t slo_violations_total() noexcept;
+
+// Prometheus-style text exposition of the end-of-run state: cumulative
+// substrate counters, per-op latency quantiles, annotation totals, window
+// bookkeeping, and SLO verdicts. Call after stop(). Returns false (with a
+// message on stderr) if the file cannot be written.
+bool export_prometheus(const std::string& path);
+
+// Drops all retained state (windows, annotations, SLO accumulators,
+// baseline). Quiescent-only; refuses (returning false) while running.
+bool reset() noexcept;
+
+}  // namespace dc::obs::timeline

@@ -40,6 +40,12 @@ Options Options::parse(int argc, char** argv) {
       opts.fault_rate = std::atof(next_value());
     } else if (std::strcmp(arg, "--crash-rate") == 0) {
       opts.crash_rate = std::atof(next_value());
+    } else if (std::strcmp(arg, "--sample-interval") == 0) {
+      opts.sample_interval_ms = std::atof(next_value());
+    } else if (std::strcmp(arg, "--slo") == 0) {
+      opts.slo = next_value();
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      opts.metrics_path = next_value();
     } else if (std::strcmp(arg, "--hist") == 0) {
       opts.hist = true;
     } else if (std::strcmp(arg, "--duration-ms") == 0) {
@@ -64,6 +70,14 @@ Options Options::parse(int argc, char** argv) {
   if (opts.max_threads < 1) opts.max_threads = 1;
   if (opts.fault_rate > 1.0) opts.fault_rate = 1.0;
   if (opts.crash_rate > 1.0) opts.crash_rate = 1.0;
+  if (opts.sample_interval_ms < 0.0) opts.sample_interval_ms = 0.0;
+  // SLO targets and the Prometheus exposition are computed by the sampler;
+  // asking for either without a sampling interval implies the 10 ms
+  // default rather than silently producing nothing.
+  if (opts.sample_interval_ms == 0.0 &&
+      (!opts.slo.empty() || !opts.metrics_path.empty())) {
+    opts.sample_interval_ms = 10.0;
+  }
   return opts;
 }
 
@@ -71,7 +85,8 @@ void Options::print_help(const char* prog) {
   std::printf(
       "usage: %s [--csv] [--json PATH] [--trace PATH] [--clock gv1|gv5] "
       "[--retry cause|fixed] [--validate exact|sig] [--fault-rate P] "
-      "[--crash-rate P] [--hist] [--duration-ms N] [--repeats N] "
+      "[--crash-rate P] [--sample-interval MS] [--slo SPEC] "
+      "[--metrics-out PATH] [--hist] [--duration-ms N] [--repeats N] "
       "[--max-threads N] [--full]\n",
       prog);
 }

@@ -28,6 +28,16 @@
 //                     abandoning the simulated thread without cleanup (0..1,
 //                     default 0 = off); exercises the recoverable TLE lock
 //                     and the lease reaper, never the published figures
+//   --sample-interval MS  run the continuous-telemetry sampler
+//                     (obs/timeline.hpp) with tumbling windows of MS
+//                     milliseconds; 0 (the default) spawns no sampler
+//                     thread at all. Implied at 10 ms by --slo or
+//                     --metrics-out when not given explicitly
+//   --slo SPEC        latency SLO targets evaluated per window, e.g.
+//                     "commit_p99<50us,update_p999<1ms" (obs/slo.hpp);
+//                     any violated window makes the bench exit 3
+//   --metrics-out PATH  write a Prometheus-style text exposition of the
+//                     end-of-run counters/quantiles/annotations to PATH
 #pragma once
 
 #include <cstdint>
@@ -46,6 +56,9 @@ struct Options {
                            // (exact/DC_VALIDATE)
   double fault_rate = -1.0;  // negative = keep the process default (DC_FAULT)
   double crash_rate = -1.0;  // negative = keep the process default (DC_CRASH)
+  double sample_interval_ms = 0.0;  // 0 = sampler off (no thread spawned)
+  std::string slo;          // empty = no SLO targets
+  std::string metrics_path; // empty = no Prometheus exposition
   bool hist = false;       // per-operation latency histograms
   double duration_ms = 50.0;
   int repeats = 3;

@@ -1,0 +1,71 @@
+// Single-writer counters a concurrent sampler may read.
+//
+// The per-thread stat blocks (htm::TxnStats) and latency-histogram cells
+// (obs::LogHistogram) are written only by their owning thread, but the
+// continuous-telemetry sampler (obs/timeline.hpp) reads them every few
+// milliseconds while writers are hot. A plain uint64_t would make every
+// such read a data race; a std::atomic fetch_add would put a `lock` prefix
+// on every hot-path increment. RelaxedCounter is the middle ground the
+// single-writer constraint makes sound: writes are expressed as
+// store(load()+1, relaxed), which the compiler folds to a plain `add
+// qword ptr` (no lock prefix, identical codegen to the pre-telemetry plain
+// field), while concurrent relaxed loads from the sampler are race-free
+// and — because only the owner ever writes — always observe a monotonic
+// value between resets.
+//
+// Contract: at most one thread writes a given counter at a time (++/+=/=);
+// any number of threads may read concurrently. Cross-thread *writes*
+// (reset_stats zeroing another thread's block) remain quiescent-only,
+// exactly as before — relaxed stores do not order against the owner's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dc::util {
+
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() noexcept = default;
+  constexpr RelaxedCounter(uint64_t v) noexcept : v_(v) {}  // NOLINT: implicit
+
+  // Copies snapshot the source with a relaxed load (used by value-type
+  // aggregation: htm::aggregate_stats / obs::aggregate_histogram return
+  // by value).
+  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    store(o.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) noexcept {
+    store(v);
+    return *this;
+  }
+
+  operator uint64_t() const noexcept { return load(); }
+  uint64_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void store(uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+
+  RelaxedCounter& operator++() noexcept {
+    store(load() + 1);
+    return *this;
+  }
+  uint64_t operator++(int) noexcept {
+    const uint64_t old = load();
+    store(old + 1);
+    return old;
+  }
+  RelaxedCounter& operator+=(uint64_t d) noexcept {
+    store(load() + d);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+}  // namespace dc::util

@@ -1,10 +1,13 @@
 // Validates the two exporter schemas by parsing what they write:
 //  * export_chrome_trace — Chrome trace-event JSON (Perfetto-loadable);
 //  * bench::write_json_report — the versioned --json benchmark report
-//    (schema_version 6: aborts_by_code incl. spurious causes, op_latency_ns
-//    incl. the validate op, conflicts, trace, retry/validation policy and
-//    fault-rate/crash-rate options, robustness counters incl. the crash
-//    triple and the signature-validation triple, per-cause retry quantiles).
+//    (schema_version 7: aborts_by_code incl. spurious causes, op_latency_ns
+//    incl. the validate op, conflicts, trace requested/enabled split,
+//    retry/validation policy and fault-rate/crash-rate/sample-interval/slo
+//    options, robustness counters incl. the crash triple and the
+//    signature-validation triple, per-cause retry quantiles, and — only
+//    when the telemetry sampler ran — the timeline section, whose shape is
+//    covered by tests/obs/timeline_test.cpp).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -142,7 +145,7 @@ TEST(OpSummary, QuantilesAreOrderedAndInNanoseconds) {
   EXPECT_EQ(obs::summarize_op(obs::OpKind::kUpdate).count, 0u);
 }
 
-TEST(JsonReport, SchemaV6CarriesObsSections) {
+TEST(JsonReport, SchemaV7CarriesObsSections) {
   obs::reset_histograms();
   obs::reset_conflicts();
   obs::reset_retry_stats();
@@ -170,7 +173,7 @@ TEST(JsonReport, SchemaV6CarriesObsSections) {
   const auto doc = Json::parse(read_file(path));
   ASSERT_TRUE(doc.has_value()) << "report is not valid JSON";
   EXPECT_DOUBLE_EQ(field(*doc, "schema_version", Json::Type::kNumber)->number(),
-                   6.0);
+                   7.0);
   EXPECT_EQ(field(*doc, "bench", Json::Type::kString)->str(), "schema_test");
 
   const Json* options = field(*doc, "options", Json::Type::kObject);
@@ -183,6 +186,12 @@ TEST(JsonReport, SchemaV6CarriesObsSections) {
   EXPECT_TRUE(retry_opt == "cause" || retry_opt == "fixed") << retry_opt;
   field(*options, "fault_rate", Json::Type::kNumber);
   field(*options, "crash_rate", Json::Type::kNumber);
+  // Telemetry off in this run: interval 0, empty SLO spec, and (checked
+  // below) no timeline section at all — the zero-overhead shape.
+  EXPECT_DOUBLE_EQ(
+      field(*options, "sample_interval_ms", Json::Type::kNumber)->number(),
+      0.0);
+  EXPECT_EQ(field(*options, "slo", Json::Type::kString)->str(), "");
   const std::string validation =
       field(*options, "validation", Json::Type::kString)->str();
   EXPECT_TRUE(validation == "exact" || validation == "sig") << validation;
@@ -265,10 +274,17 @@ TEST(JsonReport, SchemaV6CarriesObsSections) {
   ASSERT_NE(by_algo->find("SchemaAlgo"), nullptr);
   EXPECT_DOUBLE_EQ(by_algo->find("SchemaAlgo")->number(), 3.0);
 
-  // Trace section mirrors the build's compile-time gate.
+  // Trace section mirrors the build's compile-time gate and the runtime
+  // switch: no --trace here, so requested and enabled are both false
+  // regardless of how the binary was compiled.
   const Json* trace = field(*doc, "trace", Json::Type::kObject);
   EXPECT_EQ(trace->find("compiled")->boolean(), obs::kTraceCompiled);
+  EXPECT_FALSE(field(*trace, "requested", Json::Type::kBool)->boolean());
+  EXPECT_FALSE(field(*trace, "enabled", Json::Type::kBool)->boolean());
   field(*trace, "events_emitted", Json::Type::kNumber);
+
+  // Sampler never ran: the timeline section must be absent entirely.
+  EXPECT_EQ(doc->find("timeline"), nullptr);
 
   // The swept table survives unchanged, with numeric cells as numbers.
   const Json* columns = field(*doc, "columns", Json::Type::kArray);

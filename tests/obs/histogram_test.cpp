@@ -57,6 +57,25 @@ TEST(LogHistogram, CountMinMaxMean) {
   EXPECT_DOUBLE_EQ(h.mean(), 6.0);
 }
 
+TEST(LogHistogram, IntervalSinceIsBucketwiseDelta) {
+  // The hot-safe alternative to reset(): snapshot, keep recording, and
+  // difference the two monotonic snapshots. The delta must contain exactly
+  // the samples recorded in between and nothing from before the snapshot.
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(10);
+  const LogHistogram snap = h;  // copy is a consistent-enough snapshot
+  for (int i = 0; i < 50; ++i) h.record(10000);
+  const LogHistogram d = h.interval_since(snap);
+  EXPECT_EQ(d.count(), 50u);
+  // All 50 interval samples were 10000; the earlier 10s must not leak in.
+  EXPECT_GE(d.percentile(0.5), 1000u);
+  EXPECT_GE(d.min(), 1000u);
+  // An empty interval is a well-formed empty histogram.
+  const LogHistogram none = h.interval_since(h);
+  EXPECT_EQ(none.count(), 0u);
+  EXPECT_EQ(none.percentile(0.99), 0u);
+}
+
 TEST(LogHistogram, PercentilesOnExactBuckets) {
   // Values 0..15 land in identity buckets, so quantiles are exact.
   LogHistogram h;

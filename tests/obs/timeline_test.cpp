@@ -1,0 +1,369 @@
+// Continuous-telemetry sampler: lifecycle, window-delta conservation under
+// concurrent load, anomaly-annotation sums, ring/event-capacity bounds, SLO
+// parsing + per-window evaluation + exit codes, and the zero-overhead-off
+// guarantees. The sampler is a process singleton, so every test stops and
+// resets it on the way out (gtest runs these sequentially).
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/slo.hpp"
+#include "util/cycles.hpp"
+
+namespace {
+
+using namespace dc;
+namespace tl = obs::timeline;
+
+// Synthetic counter source (CounterProvider is a plain function pointer, so
+// the backing state is file-static). Tests bump the atomics; the sampler
+// reads them through the same callback seam bench_common wires to
+// htm::aggregate_stats.
+std::atomic<uint64_t> g_commits{0};
+std::atomic<uint64_t> g_aborts{0};
+std::atomic<uint64_t> g_storms{0};
+std::atomic<uint64_t> g_storm_exits{0};
+std::atomic<uint64_t> g_crashes{0};
+
+tl::CounterSample synthetic_provider() {
+  tl::CounterSample c;
+  c.commits = g_commits.load(std::memory_order_relaxed);
+  c.aborts = g_aborts.load(std::memory_order_relaxed);
+  c.storm_entries = g_storms.load(std::memory_order_relaxed);
+  c.storm_exits = g_storm_exits.load(std::memory_order_relaxed);
+  c.crashes_injected = g_crashes.load(std::memory_order_relaxed);
+  return c;
+}
+
+void zero_counters() {
+  g_commits = 0;
+  g_aborts = 0;
+  g_storms = 0;
+  g_storm_exits = 0;
+  g_crashes = 0;
+}
+
+tl::SamplerConfig config(double interval_ms = 1.0) {
+  tl::SamplerConfig cfg;
+  cfg.interval_ms = interval_ms;
+  cfg.provider = &synthetic_provider;
+  return cfg;
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zero_counters();
+    ASSERT_FALSE(tl::running());
+    ASSERT_TRUE(tl::reset());
+  }
+  void TearDown() override {
+    tl::stop();
+    tl::reset();
+  }
+};
+
+TEST_F(TimelineTest, LifecycleStartStopReset) {
+  EXPECT_FALSE(tl::running());
+  ASSERT_TRUE(tl::start(config()));
+  EXPECT_TRUE(tl::running());
+  EXPECT_FALSE(tl::start(config())) << "second start must be refused";
+  EXPECT_FALSE(tl::reset()) << "reset is quiescent-only";
+  EXPECT_DOUBLE_EQ(tl::interval_ms(), 1.0);
+  EXPECT_NE(tl::start_cycles(), 0u);
+  tl::stop();
+  EXPECT_FALSE(tl::running());
+  // Final partial window is closed by stop even if no interval elapsed.
+  EXPECT_GE(tl::windows_total(), 1u);
+  tl::stop();  // idempotent
+  EXPECT_TRUE(tl::reset());
+  EXPECT_EQ(tl::windows_total(), 0u);
+  EXPECT_DOUBLE_EQ(tl::interval_ms(), 0.0);
+  EXPECT_EQ(tl::start_cycles(), 0u);
+}
+
+TEST_F(TimelineTest, RejectsBadConfig) {
+  tl::SamplerConfig cfg = config();
+  cfg.provider = nullptr;
+  EXPECT_FALSE(tl::start(cfg));
+  cfg = config(0.0);
+  EXPECT_FALSE(tl::start(cfg));
+  cfg = config(-5.0);
+  EXPECT_FALSE(tl::start(cfg));
+  cfg = config();
+  cfg.window_capacity = 0;
+  EXPECT_FALSE(tl::start(cfg));
+  EXPECT_FALSE(tl::running());
+}
+
+TEST_F(TimelineTest, WindowDeltasTelescopeToFinalCounters) {
+  // Four writers hammer the counters while the sampler runs at 1 ms. The
+  // per-window deltas are saturating differences of monotonic samples, so
+  // they telescope: baseline + sum(deltas) == the provider's final value,
+  // exactly — the property that makes the timeline a decomposition of the
+  // post-mortem counters rather than an approximation of them.
+  ASSERT_TRUE(tl::start(config(1.0)));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 20000; ++i) {
+        g_commits.fetch_add(1, std::memory_order_relaxed);
+        if (i % 7 == 0) g_aborts.fetch_add(1, std::memory_order_relaxed);
+        if (i % 5000 == 0) sleep_ms(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  tl::stop();  // closes the final partial window AFTER the workers stopped
+
+  const std::vector<tl::Window> wins = tl::windows();
+  ASSERT_FALSE(wins.empty());
+  ASSERT_EQ(tl::windows_dropped(), 0u) << "capacity 4096 must not wrap here";
+  ASSERT_EQ(wins.size(), tl::windows_total());
+  uint64_t commits = tl::baseline().commits;
+  uint64_t aborts = tl::baseline().aborts;
+  double prev_end = 0.0;
+  uint64_t prev_index = 0;
+  for (std::size_t i = 0; i < wins.size(); ++i) {
+    const tl::Window& w = wins[i];
+    commits += w.delta.commits;
+    aborts += w.delta.aborts;
+    // Windows tile the run: contiguous, ordered, monotonically indexed.
+    EXPECT_DOUBLE_EQ(w.t_start_ms, prev_end);
+    EXPECT_GE(w.t_end_ms, w.t_start_ms);
+    if (i > 0) {
+      EXPECT_EQ(w.index, prev_index + 1);
+    }
+    prev_end = w.t_end_ms;
+    prev_index = w.index;
+  }
+  EXPECT_EQ(commits, g_commits.load());
+  EXPECT_EQ(aborts, g_aborts.load());
+  EXPECT_EQ(commits, 4u * 20000u);
+}
+
+TEST_F(TimelineTest, AnnotationSumsDecomposeCounters) {
+  ASSERT_TRUE(tl::start(config(1.0)));
+  // Anomalies in separate windows: 2 storm entries, later 1 exit, 3 crashes.
+  g_storms.fetch_add(2);
+  sleep_ms(4);
+  g_storm_exits.fetch_add(1);
+  g_crashes.fetch_add(3);
+  sleep_ms(4);
+  tl::stop();
+
+  EXPECT_EQ(tl::annotation_sum(tl::Annotation::kStormOnset), 2u);
+  EXPECT_EQ(tl::annotation_sum(tl::Annotation::kStormExit), 1u);
+  EXPECT_EQ(tl::annotation_sum(tl::Annotation::kThreadCrash), 3u);
+  EXPECT_EQ(tl::annotation_sum(tl::Annotation::kLockRecovery), 0u);
+  EXPECT_EQ(tl::events_dropped(), 0u);
+
+  // Every event's value is its window's delta; per-kind value sums must
+  // reproduce the totals, and each event must point at a window whose
+  // matching delta is the event's value.
+  uint64_t onset = 0, exits = 0, crashes = 0;
+  const std::vector<tl::Window> wins = tl::windows();
+  for (const tl::Event& e : tl::annotations()) {
+    ASSERT_LT(e.window, wins.size());
+    const tl::Window& w = wins[e.window];  // no drops: index == position
+    switch (e.kind) {
+      case tl::Annotation::kStormOnset:
+        onset += e.value;
+        EXPECT_EQ(w.delta.storm_entries, e.value);
+        break;
+      case tl::Annotation::kStormExit:
+        exits += e.value;
+        EXPECT_EQ(w.delta.storm_exits, e.value);
+        break;
+      case tl::Annotation::kThreadCrash:
+        crashes += e.value;
+        EXPECT_EQ(w.delta.crashes_injected, e.value);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected annotation kind";
+    }
+    EXPECT_DOUBLE_EQ(e.t_ms, w.t_end_ms);
+  }
+  EXPECT_EQ(onset, 2u);
+  EXPECT_EQ(exits, 1u);
+  EXPECT_EQ(crashes, 3u);
+}
+
+TEST_F(TimelineTest, RingWrapKeepsNewestWindowsAndCountsDrops) {
+  tl::SamplerConfig cfg = config(1.0);
+  cfg.window_capacity = 4;
+  ASSERT_TRUE(tl::start(cfg));
+  while (tl::windows_total() < 10) sleep_ms(2);
+  tl::stop();
+
+  const std::vector<tl::Window> wins = tl::windows();
+  ASSERT_EQ(wins.size(), 4u);
+  EXPECT_EQ(tl::windows_dropped(), tl::windows_total() - 4);
+  // Oldest-first, contiguous, ending at the last window produced.
+  for (std::size_t i = 1; i < wins.size(); ++i) {
+    EXPECT_EQ(wins[i].index, wins[i - 1].index + 1);
+  }
+  EXPECT_EQ(wins.back().index, tl::windows_total() - 1);
+}
+
+TEST_F(TimelineTest, EventCapacityDropsAreCountedButSumsStayExact) {
+  tl::SamplerConfig cfg = config(1.0);
+  cfg.event_capacity = 1;
+  ASSERT_TRUE(tl::start(cfg));
+  // One storm entry per window across four windows: waiting for a window
+  // to close between bumps guarantees each bump lands in its own window
+  // delta regardless of scheduler jitter (a loaded ctest host can stall
+  // the sampler arbitrarily). The first anomaly becomes an event, the
+  // remaining three are dropped — but the conservation sums keep
+  // counting, so the totals stay exact even when the event list lies.
+  for (int i = 0; i < 4; ++i) {
+    g_storms.fetch_add(1);
+    const uint64_t before = tl::windows_total();
+    while (tl::windows_total() == before) sleep_ms(1);
+  }
+  tl::stop();
+  EXPECT_EQ(tl::annotations().size(), 1u);
+  EXPECT_EQ(tl::events_dropped(), 3u);
+  EXPECT_EQ(tl::annotation_sum(tl::Annotation::kStormOnset), 4u);
+}
+
+TEST_F(TimelineTest, WindowsCarryIntervalLatencyPercentiles) {
+  obs::reset_histograms();  // sampler not running yet: allowed
+  ASSERT_TRUE(tl::start(config(2.0)));
+  // ~1µs-scale samples recorded while the sampler runs; some window must
+  // pick them up as interval percentiles for the update op.
+  const uint64_t cycles_1us = util::ns_to_cycles(1000);
+  for (int batch = 0; batch < 4; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      obs::record_op(obs::OpKind::kUpdate, cycles_1us);
+    }
+    // Force a window boundary between batches so the samples provably
+    // spread over several windows even on a stalled, loaded host.
+    const uint64_t before = tl::windows_total();
+    while (tl::windows_total() == before) sleep_ms(1);
+  }
+  tl::stop();
+  uint64_t total = 0;
+  int windows_with_updates = 0;
+  for (const tl::Window& w : tl::windows()) {
+    const tl::OpWindow& ow =
+        w.ops[static_cast<std::size_t>(obs::OpKind::kUpdate)];
+    total += ow.count;
+    if (ow.count == 0) continue;
+    ++windows_with_updates;
+    EXPECT_GT(ow.p50_ns, 0.0f);
+    EXPECT_LE(ow.p50_ns, ow.p90_ns);
+    EXPECT_LE(ow.p90_ns, ow.p99_ns);
+    EXPECT_LE(ow.p99_ns, ow.p999_ns);
+    // Interval percentiles must reflect the ~1µs samples, not be zero or
+    // wildly off (log-bucket midpoint error is <7%).
+    EXPECT_GT(ow.p50_ns, 800.0f);
+    EXPECT_LT(ow.p50_ns, 1300.0f);
+  }
+  EXPECT_EQ(total, 200u) << "interval counts must telescope to the total";
+  EXPECT_GT(windows_with_updates, 1)
+      << "samples spread over >=2 windows (sleeps straddle interval)";
+  obs::reset_histograms();
+}
+
+TEST_F(TimelineTest, SloViolationsAccumulateAndSetExitCode) {
+  obs::reset_histograms();
+  tl::SamplerConfig cfg = config(2.0);
+  std::string err;
+  // First target is impossible (every nonzero p99 >= 1ns); second is
+  // untestable here (no collect samples) and must stay vacuous.
+  ASSERT_TRUE(obs::slo::parse("update_p99<1ns,collect_p99<1ms", &cfg.slo,
+                              &err))
+      << err;
+  ASSERT_TRUE(tl::start(cfg));
+  const uint64_t cycles_1us = util::ns_to_cycles(1000);
+  for (int i = 0; i < 100; ++i) {
+    obs::record_op(obs::OpKind::kUpdate, cycles_1us);
+    if (i % 25 == 0) sleep_ms(3);
+  }
+  tl::stop();
+
+  const std::vector<obs::slo::TargetState> results = tl::slo_results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].windows_evaluated, 0u);
+  EXPECT_GT(results[0].violations, 0u);
+  EXPECT_GT(results[0].worst_ns, 0.0);
+  EXPECT_EQ(results[1].windows_evaluated, 0u) << "no collect samples";
+  EXPECT_EQ(results[1].violations, 0u);
+  EXPECT_EQ(tl::slo_violations_total(), results[0].violations);
+  EXPECT_EQ(obs::slo::exit_code(tl::slo_violations_total()), 3);
+  EXPECT_EQ(obs::slo::exit_code(0), 0);
+  obs::reset_histograms();
+}
+
+TEST_F(TimelineTest, ZeroOverheadWhenNeverStarted) {
+  // The off state the --sample-interval 0 path relies on: no thread, no
+  // retained data, interval/start_cycles zero (which is what gates the
+  // timeline JSON section and the trace overlay off).
+  EXPECT_FALSE(tl::running());
+  EXPECT_DOUBLE_EQ(tl::interval_ms(), 0.0);
+  EXPECT_EQ(tl::start_cycles(), 0u);
+  EXPECT_EQ(tl::windows_total(), 0u);
+  EXPECT_TRUE(tl::windows().empty());
+  EXPECT_TRUE(tl::annotations().empty());
+  EXPECT_EQ(tl::slo_violations_total(), 0u);
+  tl::stop();  // stopping a never-started sampler is a no-op, not a crash
+}
+
+TEST(SloParse, AcceptsTheDocumentedGrammar) {
+  std::vector<obs::slo::Target> targets;
+  std::string err;
+  ASSERT_TRUE(obs::slo::parse(
+      "commit_p99<50us, update_p999<=1ms,register_p50<800ns,collect_p90<2s",
+      &targets, &err))
+      << err;
+  ASSERT_EQ(targets.size(), 4u);
+  EXPECT_EQ(targets[0].op, obs::OpKind::kCommit);
+  EXPECT_EQ(targets[0].quantile, obs::slo::Quantile::kP99);
+  EXPECT_FALSE(targets[0].inclusive);
+  EXPECT_DOUBLE_EQ(targets[0].bound_ns, 50000.0);
+  EXPECT_EQ(targets[0].spec, "commit_p99<50us");
+  EXPECT_EQ(targets[1].op, obs::OpKind::kUpdate);
+  EXPECT_EQ(targets[1].quantile, obs::slo::Quantile::kP999);
+  EXPECT_TRUE(targets[1].inclusive);
+  EXPECT_DOUBLE_EQ(targets[1].bound_ns, 1e6);
+  EXPECT_DOUBLE_EQ(targets[2].bound_ns, 800.0);
+  EXPECT_DOUBLE_EQ(targets[3].bound_ns, 2e9);
+}
+
+TEST(SloParse, RejectsMalformedSpecs) {
+  std::vector<obs::slo::Target> targets;
+  std::string err;
+  for (const char* bad :
+       {"", "commit_p99", "commit<50us", "frobnicate_p99<50us",
+        "commit_p42<50us", "commit_p99<50parsecs", "commit_p99<-3us",
+        "commit_p99<us", "commit_p99<50us,,update_p50<1ms"}) {
+    err.clear();
+    EXPECT_FALSE(obs::slo::parse(bad, &targets, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(SloParse, ViolatedHonoursInclusiveness) {
+  obs::slo::Target strict;
+  strict.bound_ns = 100.0;
+  strict.inclusive = false;  // "< 100ns": quantile must be strictly below
+  EXPECT_FALSE(obs::slo::violated(strict, 99.9));
+  EXPECT_TRUE(obs::slo::violated(strict, 100.0));
+  obs::slo::Target lax = strict;
+  lax.inclusive = true;  // "<= 100ns": the bound itself is fine
+  EXPECT_FALSE(obs::slo::violated(lax, 100.0));
+  EXPECT_TRUE(obs::slo::violated(lax, 100.1));
+}
+
+}  // namespace

@@ -104,6 +104,90 @@ def sig_v6_report():
     return doc
 
 
+def good_v7_report():
+    """The telemetry schema with sampling OFF: the v6 shape plus the three
+    new scalars and the split trace booleans — and, critically, NO timeline
+    section (the zero-overhead guard)."""
+    doc = good_v6_report()
+    doc["schema_version"] = 7
+    doc["options"]["sample_interval_ms"] = 0
+    doc["options"]["slo"] = ""
+    doc["trace"] = {"compiled": False, "requested": False,
+                    "enabled": False, "events_emitted": 0}
+    return doc
+
+
+def sampled_v7_report():
+    """A v7 report from a sampled, stormy run: two tumbling windows whose
+    deltas telescope exactly to the htm counters, annotations whose
+    per-kind value sums decompose storm_entries/storm_exits, and one SLO
+    target with a violation."""
+    doc = good_v7_report()
+    doc["options"]["sample_interval_ms"] = 10
+    doc["options"]["slo"] = "update_p99<50us"
+    doc["htm"]["storm_entries"] = 2
+    doc["htm"]["storm_exits"] = 1
+
+    def counters(**kw):
+        base = {k: 0 for k in
+                ("commits", "aborts", "lock_fallbacks", "tle_entries",
+                 "faults_injected", "crashes_injected", "storm_entries",
+                 "storm_exits", "lock_recoveries", "orphans_reaped",
+                 "sig_validations", "sig_false_aborts",
+                 "sig_ring_overflows")}
+        base.update(kw)
+        return base
+
+    ops = {"update": {"count": 5, "p50_ns": 100.0, "p90_ns": 150.0,
+                      "p99_ns": 60000.0, "p999_ns": 61000.0}}
+    doc["timeline"] = {
+        "sample_interval_ms": 10,
+        "windows_total": 2, "windows_dropped": 0, "events_dropped": 0,
+        # The base fixture's lock_fallbacks/tle_entries predate the sampler
+        # here: counters accumulated before start() land in the baseline.
+        "baseline": counters(commits=100, lock_fallbacks=1, tle_entries=1),
+        "windows": [
+            dict(i=0, t_start_ms=0.0, t_end_ms=10.0,
+                 **counters(commits=400, aborts=2, storm_entries=2),
+                 ops=ops),
+            dict(i=1, t_start_ms=10.0, t_end_ms=20.0,
+                 **counters(commits=500, aborts=1, storm_exits=1),
+                 ops={}),
+        ],
+        "annotations": [
+            {"t_ms": 10.0, "window": 0, "kind": "storm_onset", "value": 2},
+            {"t_ms": 20.0, "window": 1, "kind": "storm_exit", "value": 1},
+        ],
+        "annotation_totals": {"storm_onset": 2, "storm_exit": 1,
+                              "lock_recovery": 0, "orphan_reap": 0,
+                              "sig_saturation": 0, "thread_crash": 0},
+        "slo": {"violations_total": 1, "targets": [
+            {"spec": "update_p99<50us", "op": "update", "quantile": "p99",
+             "bound_ns": 50000.0, "windows_evaluated": 2, "violations": 1,
+             "worst_ns": 60000.0},
+        ]},
+    }
+    return doc
+
+
+def clean_sampled_v7_report():
+    """A sampled run with no anomalies at all (the clean smoke leg)."""
+    doc = sampled_v7_report()
+    doc["htm"]["storm_entries"] = 0
+    doc["htm"]["storm_exits"] = 0
+    tl = doc["timeline"]
+    tl["windows"][0]["storm_entries"] = 0
+    tl["windows"][1]["storm_exits"] = 0
+    tl["annotations"] = []
+    tl["annotation_totals"] = {k: 0 for k in tl["annotation_totals"]}
+    tl["slo"] = {"violations_total": 0, "targets": [
+        {"spec": "update_p99<50us", "op": "update", "quantile": "p99",
+         "bound_ns": 50000.0, "windows_evaluated": 2, "violations": 0,
+         "worst_ns": 200.0},
+    ]}
+    return doc
+
+
 def run_validator(validator, doc, flags=()):
     with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False,
                                      encoding="utf-8") as f:
@@ -213,6 +297,95 @@ def main():
     bad = good_v5_report()
     bad["rows"] = []
     expect("empty rows", bad, 1, (), "rows")
+
+    # --- v7: continuous-telemetry schema. ---
+    expect("good v7 sampling off", good_v7_report(), 0)
+    expect("good v7 sampled stormy run", sampled_v7_report(), 0)
+    expect("good v7 sampled clean run", clean_sampled_v7_report(), 0)
+    expect("v7 exact --schema match", good_v7_report(), 0, ["--schema", "7"])
+    expect("--schema mismatch", good_v6_report(), 1, ["--schema", "7"],
+           "--schema 7")
+    expect("--expect-storms on a stormy run", sampled_v7_report(), 0,
+           ["--expect-storms"])
+    expect("--expect-storms on a clean run", clean_sampled_v7_report(), 1,
+           ["--expect-storms"], "--expect-storms")
+    expect("--expect-clean-timeline on a clean run",
+           clean_sampled_v7_report(), 0, ["--expect-clean-timeline"])
+    expect("--expect-clean-timeline on a stormy run", sampled_v7_report(), 1,
+           ["--expect-clean-timeline"], "--expect-clean-timeline")
+    expect("--expect-storms on an unsampled run", good_v7_report(), 1,
+           ["--expect-storms"], "sampled run")
+
+    bad = good_v7_report()
+    del bad["options"]["sample_interval_ms"]
+    expect("v7 missing options.sample_interval_ms", bad, 1, (),
+           "sample_interval_ms")
+
+    bad = good_v7_report()
+    del bad["options"]["slo"]
+    expect("v7 missing options.slo", bad, 1, (), "slo")
+
+    bad = good_v7_report()
+    del bad["trace"]["requested"]
+    expect("v7 missing trace.requested", bad, 1, (), "requested")
+
+    bad = good_v7_report()
+    bad["trace"]["enabled"] = True  # requested=False, compiled=False
+    expect("trace.enabled inconsistent with requested/compiled", bad, 1, (),
+           "enabled")
+
+    # Zero-overhead guard, both directions: a timeline on an unsampled run
+    # and a missing timeline on a sampled run are each an error.
+    bad = good_v7_report()
+    bad["timeline"] = sampled_v7_report()["timeline"]
+    expect("sampling off but timeline present", bad, 1, (),
+           "zero-overhead")
+
+    bad = sampled_v7_report()
+    del bad["timeline"]
+    expect("sampling on but timeline absent", bad, 1, (), "timeline")
+
+    # Conservation: window deltas must telescope to the htm counters...
+    bad = sampled_v7_report()
+    bad["timeline"]["windows"][1]["commits"] = 499
+    expect("window deltas do not decompose htm.commits", bad, 1, (),
+           "decompose")
+
+    # ...and annotation totals must equal counter minus baseline.
+    bad = sampled_v7_report()
+    bad["timeline"]["annotation_totals"]["storm_onset"] = 1
+    expect("annotation_totals mismatch", bad, 1, (), "storm_onset")
+
+    bad = sampled_v7_report()
+    bad["timeline"]["annotations"][0]["kind"] = "gremlin"
+    expect("unknown annotation kind", bad, 1, (), "whitelist")
+
+    bad = sampled_v7_report()
+    bad["timeline"]["annotations"][0]["value"] = 1  # sums no longer match
+    expect("annotation event values do not sum to totals", bad, 1, (),
+           "sum")
+
+    bad = sampled_v7_report()
+    ops = bad["timeline"]["windows"][0]["ops"]["update"]
+    ops["p99_ns"] = 10.0  # below p90
+    expect("window quantiles out of order", bad, 1, (), "out of order")
+
+    bad = sampled_v7_report()
+    bad["timeline"]["windows"][0]["ops"]["update"]["count"] = 0
+    expect("quiet op not omitted from window", bad, 1, (), "count")
+
+    bad = sampled_v7_report()
+    bad["timeline"]["windows"][1]["t_start_ms"] = 12.0
+    expect("windows do not tile", bad, 1, (), "tile")
+
+    bad = sampled_v7_report()
+    bad["timeline"]["slo"]["violations_total"] = 5
+    expect("slo violations_total mismatch", bad, 1, (), "violations_total")
+
+    bad = sampled_v7_report()
+    bad["timeline"]["slo"]["targets"][0]["violations"] = 99
+    expect("slo violations exceed evaluated windows", bad, 1, (),
+           "violations")
 
     if failures:
         print("validate_report_test: FAIL", file=sys.stderr)
