@@ -17,9 +17,15 @@
 #      bench_crash_recovery twice — injected, validated with
 #      --expect-crashes, and clean at --crash-rate 0, where the validator
 #      enforces the zero-overhead guard (all crash counters exactly zero).
+#   6. (--sched) deterministic-schedule stage: runs the scheduled suite
+#      (exploration batteries, exact-race scripts, the seed sweep, replay
+#      of the tests/schedules regression corpus) honoring DC_SCHED_SEEDS,
+#      then builds build-nosched/ with -DDC_SCHED=OFF and runs the
+#      substrate suite there, proving the checkpoint hooks are zero-cost
+#      when compiled out.
 #
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--fault] [--crash]
-#                         [--clock gv1|gv5] [--validate exact|sig]
+#                         [--sched] [--clock gv1|gv5] [--validate exact|sig]
 #
 # --clock pins the global-clock policy (DC_CLOCK) for every stage, so one
 # invocation verifies the whole suite under one policy; CI runs both.
@@ -37,6 +43,7 @@ skip_tsan=0
 skip_asan=0
 fault=0
 crash=0
+sched=0
 clock=""
 validate=""
 prev=""
@@ -56,9 +63,10 @@ for arg in "$@"; do
     --skip-asan) skip_asan=1 ;;
     --fault) fault=1 ;;
     --crash) crash=1 ;;
+    --sched) sched=1 ;;
     --clock) prev="--clock" ;;
     --validate) prev="--validate" ;;
-    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --crash --clock gv1|gv5 --validate exact|sig)" >&2; exit 2 ;;
+    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --crash --sched --clock gv1|gv5 --validate exact|sig)" >&2; exit 2 ;;
   esac
 done
 if [[ -n "$prev" ]]; then
@@ -130,6 +138,21 @@ if [[ "$crash" == 1 ]]; then
     --duration-ms 50 --repeats 2 --max-threads 4 \
     --crash-rate 0 --json crash-clean-report.json
   python3 scripts/validate_report.py crash-clean-report.json
+fi
+
+if [[ "$sched" == 1 ]]; then
+  echo "== deterministic-schedule stage: sched_test (DC_SCHED_SEEDS=${DC_SCHED_SEEDS:-default}) =="
+  # The scheduled suite: exploration batteries over the TLE steal/release
+  # and lease stamp/reap races, exact-race callback scripts, the seed
+  # sweep (width from DC_SCHED_SEEDS), and step-for-step replay of the
+  # checked-in tests/schedules corpus.
+  ./build/tests/sched_test
+  echo "== zero-cost check: -DDC_SCHED=OFF build + substrate suite =="
+  # With the gate off, sched::checkpoint must compile to nothing: the
+  # substrate suite has to pass in a build that has no scheduler at all.
+  cmake -B build-nosched -S . -DDC_SCHED=OFF
+  cmake --build build-nosched -j "$jobs" --target htm_test
+  ./build-nosched/tests/htm_test
 fi
 
 echo "== all checks passed =="

@@ -5,6 +5,7 @@
 
 #include "htm/stats.hpp"
 #include "obs/trace.hpp"
+#include "sched/checkpoint.hpp"
 
 namespace dc::collect {
 
@@ -23,6 +24,11 @@ CrashTolerantCollect::CrashTolerantCollect(
       name_(std::string("CrashTolerant(") + inner_->name() + ")") {}
 
 void CrashTolerantCollect::stamp_lease(Handle h) {
+  // The stamp/bind race window: the inner operation has committed but the
+  // lease does not exist (or carries the stale stamp) yet. Checkpoint
+  // before taking the table mutex — never inside it, or a preempted
+  // holder would wedge every other logical thread on an OS mutex.
+  sched::checkpoint(sched::Kind::kLeaseStamp);
   const htm::crash::Token me = htm::crash::self_token();
   const uint64_t stamp =
       g_lease_clock.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -76,6 +82,7 @@ std::size_t CrashTolerantCollect::footprint_bytes() const {
 }
 
 std::size_t CrashTolerantCollect::reap_orphans() {
+  sched::checkpoint(sched::Kind::kLeaseReap);
   const htm::crash::Token me = htm::crash::self_token();
   // Claim phase: under the mutex, mark every unclaimed orphan as ours.
   // Claims held by a claimant that later died are re-claimable, so a
@@ -97,6 +104,10 @@ std::size_t CrashTolerantCollect::reap_orphans() {
   // half-done one restarts from scratch; see lease.hpp) and erase the
   // lease immediately after, so our own death between handles leaves every
   // remaining claim re-claimable and no handle double-deregistered.
+  // Claim/reap phase boundary: a second reaper racing in here must skip
+  // every claimed lease (its claimant is alive) or the handle would be
+  // deregistered twice.
+  sched::checkpoint(sched::Kind::kLeaseReap);
   std::size_t reaped = 0;
   for (std::size_t i = 0; i < victims.size(); ++i) {
     inner_->deregister(victims[i]);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "htm/config.hpp"
+#include "sched/checkpoint.hpp"
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
 
@@ -36,9 +37,16 @@ ThreadFaultState& state() noexcept {
 void seed_stream(ThreadFaultState& s) noexcept {
   // Expand the config seed with the dense thread id through SplitMix64 so
   // adjacent ids do not draw correlated streams.
-  util::SplitMix64 mix(config().fault.seed ^
-                       (0x9e3779b97f4a7c15ULL *
-                        (static_cast<uint64_t>(util::thread_id()) + 1)));
+  // Under the deterministic scheduler the stream is a pure function of
+  // (config seed, schedule seed, logical thread index), so injected chaos
+  // is part of the schedule and replays with it. Outside a scheduled run
+  // run_seed() is 0 and the identity is the dense thread id — bit-for-bit
+  // the pre-scheduler stream.
+  const uint64_t who = sched::active()
+                           ? static_cast<uint64_t>(sched::self_index())
+                           : static_cast<uint64_t>(util::thread_id());
+  util::SplitMix64 mix(config().fault.seed ^ sched::run_seed() ^
+                       (0x9e3779b97f4a7c15ULL * (who + 1)));
   s.rng = util::Xoshiro256(mix.next());
   s.seeded = true;
 }

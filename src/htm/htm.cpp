@@ -38,9 +38,21 @@ crash::Token owner_of(uint64_t word) noexcept {
 // harmless, the rounds only exist so waiters do not hammer the registry.
 constexpr uint32_t kRecoveryRounds = 4;
 
+// Backoff rounds with a nonzero, unchanged lock word after which a waiter
+// arms recovery even though every injection source reads quiet. An
+// orphaned stamp can outlive the global dead count: the dead holder's
+// dense id — and with it its liveness slot — may be recycled by a fresh
+// thread before any waiter looks, and re-registration clears the slot's
+// dead flag. The stamp on the word is then the only remaining evidence,
+// so a validated stall must be allowed to arm the orphan check by itself.
+// Large enough that ordinary handoff never trips it; tripping is harmless
+// anyway (token_orphaned refuses to steal from the living).
+constexpr uint32_t kSelfArmRounds = 64;
+
 }  // namespace
 
 void tle_acquire() noexcept {
+  sched::checkpoint(sched::Kind::kLockAcquire);
   // Acquire the word with full conflict visibility (nontxn_cas bumps the
   // orec and global clock), then wait for in-flight commit write-backs to
   // drain. After the bump, no transaction can begin a new write-back:
@@ -62,7 +74,11 @@ void tle_acquire() noexcept {
   // re-acquire (acquisition stamps a live token and death is permanent for
   // an epoch), so a word still equal to the orphaned stamp *is* the
   // abandoned lock.
-  const bool recovery = crash::injection_enabled();
+  // Re-armed inside the loop, not latched at entry: a waiter that starts
+  // spinning before the process's first crash (rate 0, no scripted deaths
+  // yet) would otherwise never consult the dead flag, and a holder that
+  // dies mid-hold would wedge it forever.
+  bool recovery = crash::injection_enabled();
   const uint64_t mine = make_owner_word(crash::self_token());
   util::Backoff backoff(8, 1024);
   uint64_t watched = 0;       // owner stamp under observation
@@ -70,12 +86,35 @@ void tle_acquire() noexcept {
   uint32_t rounds_same = 0;   // backoff rounds with no movement
   for (;;) {
     if (nontxn_cas(tle_lock_word(), uint64_t{0}, mine)) break;
+    if (!recovery) {
+      recovery = crash::injection_enabled();
+      if (!recovery) {
+        // Quiet-world stall detection (see kSelfArmRounds).
+        const uint64_t cur = nontxn_load(tle_lock_word());
+        if (cur != 0 && cur == watched) {
+          if (++rounds_same >= kSelfArmRounds) {
+            recovery = true;
+            watched = 0;
+            rounds_same = 0;
+          }
+        } else {
+          watched = cur;
+          rounds_same = 0;
+        }
+      }
+    }
     if (recovery) [[unlikely]] {
       crash::heartbeat();  // waiters stay visibly alive while spinning
       const uint64_t cur = nontxn_load(tle_lock_word());
       if (cur == 0) continue;  // freed under us: re-contend immediately
       const crash::Token owner = owner_of(cur);
-      const uint64_t hb = crash::heartbeat_of(owner.tid);
+      // An epoch-mismatched stamp can never become live again (epochs only
+      // advance), and its slot's heartbeat now belongs to a *different*
+      // incarnation — possibly this very waiter, if it inherited the dead
+      // holder's recycled dense id. Treat such a stamp as frozen rather
+      // than letting the new incarnation's pulse mask the orphan.
+      const uint64_t hb =
+          crash::token_orphaned(owner) ? 0 : crash::heartbeat_of(owner.tid);
       if (cur != watched || hb != watched_hb) {
         watched = cur;
         watched_hb = hb;
@@ -84,6 +123,10 @@ void tle_acquire() noexcept {
         rounds_same = 0;
         if (crash::token_orphaned(owner) &&
             nontxn_cas(tle_lock_word(), cur, uint64_t{0})) {
+          // Decision point right after a successful steal: a replayed
+          // schedule re-interleaves the thief's re-contention against
+          // other waiters exactly.
+          sched::checkpoint(sched::Kind::kLockSteal);
           local_stats().lock_recoveries++;
           obs::trace_lock_recovery(owner.tid, owner.epoch);
           continue;  // stolen back to free: re-contend immediately
@@ -99,6 +142,10 @@ void tle_acquire() noexcept {
 }
 
 void tle_release() noexcept {
+  // Checkpoint *before* the CAS: the window where the holder has decided
+  // to release but the word still carries its stamp is exactly where a
+  // waiter's recovery logic must prove it cannot steal from the living.
+  sched::checkpoint(sched::Kind::kLockRelease);
   // CAS of our own stamp rather than a blind store of 0: if a waiter stole
   // the lock (only possible when the holder is dead — and dead threads
   // skip release), a blind store would stomp the thief's ownership.

@@ -23,7 +23,15 @@ thread_local bool t_in_transaction = false;
 
 bool in_transaction() noexcept { return t_in_transaction; }
 
-void Txn::yield_now() { std::this_thread::yield(); }
+void Txn::yield_now() {
+  // Under the deterministic scheduler an OS yield is meaningless (no
+  // other logical thread is runnable); hand the decision to the policy.
+  if (sched::active()) {
+    sched::checkpoint(sched::Kind::kYield);
+    return;
+  }
+  std::this_thread::yield();
+}
 
 namespace detail {
 void set_in_transaction(bool v) noexcept { t_in_transaction = v; }
@@ -38,7 +46,15 @@ Txn::Txn(bool lock_mode) : Txn(lock_mode, config(), Scratch::get()) {}
 
 Txn::Txn(bool lock_mode, const Config& cfg, Scratch& s)
     : rv_(global_clock().load(std::memory_order_acquire)),
-      my_token_(static_cast<uint64_t>(util::thread_id()) + 1),
+      // The token is the orec lock-owner id and the GV5 stamp stride;
+      // both only need uniqueness among concurrently running threads.
+      // Under the deterministic scheduler the run-local logical index is
+      // used instead of the dense thread id, whose assignment depends on
+      // process history — with it, GV5's tid-striped sloppy stamps would
+      // differ between a recording and its replay.
+      my_token_(sched::active()
+                    ? static_cast<uint64_t>(sched::self_index()) + 1
+                    : static_cast<uint64_t>(util::thread_id()) + 1),
       orec_table_(orec_table()),
       store_capacity_(cfg.store_buffer_capacity),
       yield_every_(cfg.txn_yield_every_loads),
@@ -118,6 +134,9 @@ void Txn::abort(AbortCode code) {
 }
 
 void Txn::fire_fault() {
+  // A schedule decision point: the injected abort is part of the recorded
+  // interleaving, so a replayed schedule re-fires it at the same step.
+  sched::checkpoint(sched::Kind::kFaultFire);
   // The armed spurious abort strikes: disarm first (abort() must not
   // re-enter), account it, and unwind like any other abort.
   fault_armed_ = false;
@@ -128,6 +147,7 @@ void Txn::fire_fault() {
 }
 
 void Txn::fire_crash() {
+  sched::checkpoint(sched::Kind::kCrashFire);
   // The thread dies here: no commit, no retry. Deliberately *not* counted
   // as an abort (aborts/aborts_by_code stay the retry loop's ledger); the
   // destructor still runs — modelling the hardware discarding the
@@ -442,6 +462,11 @@ bool Txn::writes_unchanged() const noexcept {
 }
 
 void Txn::commit() {
+  // Commit entry is the interleaving that matters most for conflict
+  // detection — the window between the body's last access and the
+  // write-lock acquisition — and was unreachable by the old
+  // load-only yield points.
+  sched::checkpoint(sched::Kind::kCommitEntry);
   if (crash_armed_) {
     // The body issued fewer ops than the crash's countdown (or the plan was
     // kCommitEntry): the thread dies at the commit instruction, before any

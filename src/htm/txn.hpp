@@ -55,6 +55,7 @@
 
 #include "htm/abort.hpp"
 #include "htm/config.hpp"
+#include "sched/checkpoint.hpp"
 #include "htm/crash.hpp"
 #include "htm/orec.hpp"
 #include "htm/sigset.hpp"
@@ -127,6 +128,10 @@ class Txn {
   // read version; aborts (throws TxnAbort) on conflict.
   template <TxnWord T>
   T load(const T* addr) {
+    // A real multicore can interleave another thread's commit anywhere
+    // relative to this load; under the deterministic scheduler this is
+    // where that interleaving gets decided.
+    sched::checkpoint(sched::Kind::kTxnLoad);
     maybe_crash();  // fires in lock mode too (a TLE holder can die)
     if (lock_mode_) {
       // Lock-mode stores stay buffered until commit (so an explicit abort
@@ -192,6 +197,7 @@ class Txn {
   // the write set is applied in address order, not program order.
   template <TxnWord T>
   void store(T* addr, T value) {
+    sched::checkpoint(sched::Kind::kTxnStore);
     maybe_crash();  // fires in lock mode too (a TLE holder can die)
     maybe_fault();  // armed only on speculative attempts (fault.hpp)
     const auto a = reinterpret_cast<uintptr_t>(addr);

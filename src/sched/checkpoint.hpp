@@ -1,0 +1,85 @@
+// sched::checkpoint — the preemption hook of the deterministic scheduler.
+//
+// The substrate calls checkpoint(kind) at every point where a real
+// multicore interleaving could place a context switch that matters:
+// transactional loads and stores, commit entry, the TLE lock protocol
+// (acquire / release / steal), every Backoff::pause (which covers all
+// spin loops in the substrate), injected fault/crash firing, and the
+// lease stamp/reap edges. When no scheduler is active the hook is one
+// thread-local load and a predicted-not-taken branch; when the library
+// is configured out (-DDC_SCHED=OFF) it compiles to nothing, mirroring
+// the DC_TRACE zero-overhead contract.
+//
+// This header is the only sched dependency the substrate needs, and it
+// depends on nothing but <cstdint> — dc_sched sits *below* dc_util so
+// that util::Backoff itself can checkpoint.
+#pragma once
+
+#include <cstdint>
+
+namespace dc::sched {
+
+// Checkpoint taxonomy (DESIGN.md §13). The kind is advisory for the
+// policies (PCT demotes spinners at kBackoff) and descriptive in the
+// trace; the scheduler may switch threads at any of them.
+enum class Kind : uint8_t {
+  kThreadStart = 0,  // logical thread first scheduled (harness-emitted)
+  kThreadExit,       // logical thread body returned (harness-emitted)
+  kTxnLoad,          // Txn::load entry
+  kTxnStore,         // Txn::store entry
+  kCommitEntry,      // Txn::commit entry
+  kLockAcquire,      // tle_acquire entry
+  kLockRelease,      // tle_release entry (before the owner-word CAS)
+  kLockSteal,        // a recovery steal of the TLE lock just succeeded
+  kBackoff,          // util::Backoff::pause (every spin loop)
+  kFaultFire,        // an armed spurious abort is about to fire
+  kCrashFire,        // an armed thread death is about to fire
+  kLeaseStamp,       // CrashTolerantCollect::stamp_lease entry
+  kLeaseReap,        // reap_orphans phase boundary
+  kYield,            // explicit sched::yield() / Txn::yield_now
+  kNumKinds,
+};
+
+const char* to_string(Kind k) noexcept;
+// One-letter codes used by the trace text format.
+char kind_code(Kind k) noexcept;
+bool kind_from_code(char c, Kind* out) noexcept;
+
+namespace detail {
+struct LogicalContext;  // defined in sched.cpp
+extern thread_local LogicalContext* t_ctx;
+void checkpoint_slow(Kind k);
+}  // namespace detail
+
+// True while the calling thread is a logical thread of an active run.
+inline bool active() noexcept {
+#if defined(DC_SCHED)
+  return detail::t_ctx != nullptr;
+#else
+  return false;
+#endif
+}
+
+inline void checkpoint(Kind k) {
+#if defined(DC_SCHED)
+  if (detail::t_ctx != nullptr) [[unlikely]] detail::checkpoint_slow(k);
+#else
+  (void)k;
+#endif
+}
+
+// Explicit preemption point for test bodies.
+inline void yield() { checkpoint(Kind::kYield); }
+
+inline constexpr uint32_t kNoThread = ~0u;
+
+// Seed of the active run (0 when the caller is not a logical thread).
+// The fault/crash injection layers mix this into their per-thread RNG
+// streams so injected chaos is part of the schedule and replays with it.
+uint64_t run_seed() noexcept;
+
+// Logical index of the calling thread within the active run, or
+// kNoThread when not under a scheduler.
+uint32_t self_index() noexcept;
+
+}  // namespace dc::sched

@@ -1,0 +1,73 @@
+#include "sched/explore.hpp"
+
+#include <vector>
+
+namespace dc::sched {
+
+ExploreResult explore(
+    const ExploreOptions& opts,
+    const std::function<std::vector<std::function<void()>>()>& make_bodies,
+    const std::function<bool()>& check) {
+  ExploreResult res;
+  std::vector<uint32_t> prefix;   // chosen option index per decision depth
+  std::vector<uint32_t> breadth;  // option count observed at that depth
+  while (res.schedules < opts.max_schedules) {
+    uint32_t depth = 0;
+    Options o;
+    o.policy = Policy::kCallback;
+    o.name = opts.name;
+    o.max_steps = opts.max_steps;
+    o.seed = res.schedules + 1;  // only labels the trace; decisions are ours
+    o.controller = [&](const Decision& d) -> int32_t {
+      // Option list: kStay first (when the thread can continue), then
+      // every other ready thread, ascending. Deterministic bodies give
+      // the same option count at the same depth for the same prefix.
+      const bool exiting = (d.kind == Kind::kThreadExit);
+      int32_t options[kMaxLogicalThreads + 1];
+      uint32_t count = 0;
+      if (!exiting) options[count++] = kStay;
+      for (uint32_t i = 0; i < d.ready_count; ++i) {
+        if (d.ready[i] != d.thread) {
+          options[count++] = static_cast<int32_t>(d.ready[i]);
+        }
+      }
+      if (count == 0) return kStay;
+      const uint32_t my_depth = depth++;
+      if (my_depth >= opts.depth_bound) return options[0];
+      if (my_depth == prefix.size()) {
+        prefix.push_back(0);
+        breadth.push_back(count);
+      } else {
+        breadth[my_depth] = count;
+      }
+      uint32_t choice = prefix[my_depth];
+      if (choice >= count) choice = count - 1;
+      return options[choice];
+    };
+    RunResult r = run(o, make_bodies());
+    ++res.schedules;
+    if (check && !check()) {
+      ++res.failures;
+      if (res.failures == 1) res.first_failure = std::move(r.trace);
+    }
+    // This run may have branched off earlier than the previous one and
+    // ended sooner; drop stale deeper entries before backtracking.
+    if (depth < prefix.size()) {
+      const uint32_t reached = depth < opts.depth_bound ? depth : opts.depth_bound;
+      prefix.resize(reached);
+      breadth.resize(reached);
+    }
+    while (!prefix.empty() && prefix.back() + 1 >= breadth.back()) {
+      prefix.pop_back();
+      breadth.pop_back();
+    }
+    if (prefix.empty()) {
+      res.complete = true;
+      break;
+    }
+    ++prefix.back();
+  }
+  return res;
+}
+
+}  // namespace dc::sched

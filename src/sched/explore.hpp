@@ -1,0 +1,42 @@
+// Exhaustive schedule enumeration for tiny tests (DESIGN.md §13).
+//
+// Depth-first search over the decision tree: at each checkpoint the
+// options are "stay" plus every other ready thread; the search replays
+// a decision prefix, extends it with default (stay) choices, and
+// backtracks through siblings until the frontier is exhausted or the
+// schedule budget runs out. Only feasible for bodies with a handful of
+// checkpoints each — branching is exponential — which is exactly the
+// shape of the exact race tests it exists for.
+#pragma once
+
+#include <functional>
+
+#include "sched/sched.hpp"
+
+namespace dc::sched {
+
+struct ExploreOptions {
+  uint64_t max_schedules = 10000;
+  // Decisions beyond this depth follow the default arm (no branching);
+  // bounds the tree for bodies with long deterministic tails.
+  uint32_t depth_bound = 64;
+  uint64_t max_steps = 1u << 16;
+  std::string name = "explore";
+};
+
+struct ExploreResult {
+  uint64_t schedules = 0;  // schedules actually executed
+  bool complete = false;   // the full bounded tree was covered
+  uint64_t failures = 0;   // schedules for which check() returned false
+  Trace first_failure;     // trace of the first failing schedule
+};
+
+// Runs every schedule of the bounded tree. make_bodies is called once
+// per schedule and must return bodies over fresh state; check (may be
+// null) runs after each schedule and returns false to flag it.
+ExploreResult explore(
+    const ExploreOptions& opts,
+    const std::function<std::vector<std::function<void()>>()>& make_bodies,
+    const std::function<bool()>& check);
+
+}  // namespace dc::sched

@@ -1,0 +1,113 @@
+// Deterministic cooperative scheduler (DESIGN.md §13).
+//
+// Runs N logical threads such that exactly one executes at any instant;
+// control moves between them only at sched::checkpoint sites, and every
+// decision about who runs next is drawn from a seeded policy. Same seed
+// in, byte-identical schedule trace and interleaving out — which turns
+// any red concurrency test into a one-command deterministic repro.
+//
+// Logical threads are real OS threads (the substrate leans on
+// thread_local state — dense thread ids, txn scratch, injection
+// streams — which fibers sharing one OS thread would alias), gated by
+// per-thread binary semaphores so only the chosen one is ever runnable.
+// Determinism therefore does not depend on the host scheduler at all:
+// the handoff is explicit.
+//
+// Policies:
+//   * kRandomWalk — at each checkpoint, switch with probability
+//     1/switch_denom to a uniformly chosen ready thread.
+//   * kPct — PCT-style priority preemption: random initial priorities,
+//     pct_depth change points at random step indices demote the running
+//     thread; the highest-priority ready thread always runs. Backoff
+//     and yield checkpoints also demote, so spin-waiters cannot starve
+//     the thread they are waiting on.
+//   * kReplay — follow a recorded Trace step-for-step; divergence (the
+//     observed (thread, kind) no longer matches the recording) is
+//     flagged and the run continues under the seeded random walk.
+//   * kCallback — a user controller decides every switch; used by the
+//     exact race tests ("preempt thread 0 at its second kCommitEntry").
+//
+// Livelock containment: after max_steps decisions the run is declared
+// budget-exhausted. Threads at throw-safe checkpoints (txn load/store/
+// commit entry — paths the htm wrappers unwind correctly) unwind via
+// BudgetExceeded; threads at noexcept checkpoints (backoff, the lock
+// protocol) are round-robined so lock holders can finish and release.
+// A hard secondary bound dumps the trace to stderr and aborts, so a
+// wedged schedule can never hang CI silently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/checkpoint.hpp"
+#include "sched/trace.hpp"
+
+namespace dc::sched {
+
+enum class Policy : uint8_t { kRandomWalk, kPct, kReplay, kCallback };
+const char* to_string(Policy p) noexcept;
+
+// Thrown out of a logical thread's body when the schedule budget is
+// exhausted (livelock containment). Deliberately not derived from
+// std::exception so substrate catch blocks cannot swallow it; the
+// scheduler's body wrapper catches it.
+struct BudgetExceeded {};
+
+// Context handed to a kCallback controller at every checkpoint.
+struct Decision {
+  uint32_t thread;       // who is at the checkpoint
+  Kind kind;             // what kind
+  uint64_t step;         // global decision index (1-based)
+  uint64_t seen;         // 1-based count of this (thread, kind) pair
+  const uint32_t* ready; // indices of schedulable threads, ascending
+  uint32_t ready_count;  // (excludes `thread` itself for kThreadExit)
+};
+
+// Controller return value meaning "stay on the current thread".
+inline constexpr int32_t kStay = -1;
+
+struct Options {
+  uint64_t seed = 1;
+  Policy policy = Policy::kRandomWalk;
+  std::string name = "run";
+
+  // kRandomWalk: P(switch) = 1/switch_denom at each checkpoint.
+  uint32_t switch_denom = 2;
+
+  // kPct: number of priority change points and the step horizon they
+  // are drawn from.
+  uint32_t pct_depth = 3;
+  uint64_t pct_horizon = 4096;
+
+  // Budget: decisions before the run is declared livelocked.
+  uint64_t max_steps = 1u << 20;
+  // Trace log cap; past it the run continues untraced (truncated=1).
+  uint64_t max_trace_steps = 1u << 22;
+
+  // kReplay: the recording to follow. Not owned; must outlive run().
+  const Trace* replay = nullptr;
+
+  // kCallback: the controller. Returns a thread index or kStay;
+  // out-of-range / not-ready results mean kStay.
+  std::function<int32_t(const Decision&)> controller;
+};
+
+struct RunResult {
+  uint64_t steps = 0;
+  bool budget_exhausted = false;
+  bool replay_diverged = false;
+  uint64_t divergence_step = 0;  // first mismatching step (1-based)
+  Trace trace;
+};
+
+inline constexpr uint32_t kMaxLogicalThreads = 64;
+
+// Runs the bodies to completion under a deterministic schedule and
+// returns the decision trace. Bodies run on fresh OS threads; any
+// exception other than BudgetExceeded escaping a body is rethrown to
+// the caller after all threads are joined. Runs must not nest.
+RunResult run(const Options& opts, std::vector<std::function<void()>> bodies);
+
+}  // namespace dc::sched

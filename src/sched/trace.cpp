@@ -1,0 +1,153 @@
+#include "sched/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dc::sched {
+
+const char* to_string(Kind k) noexcept {
+  switch (k) {
+    case Kind::kThreadStart: return "thread_start";
+    case Kind::kThreadExit: return "thread_exit";
+    case Kind::kTxnLoad: return "txn_load";
+    case Kind::kTxnStore: return "txn_store";
+    case Kind::kCommitEntry: return "commit_entry";
+    case Kind::kLockAcquire: return "lock_acquire";
+    case Kind::kLockRelease: return "lock_release";
+    case Kind::kLockSteal: return "lock_steal";
+    case Kind::kBackoff: return "backoff";
+    case Kind::kFaultFire: return "fault_fire";
+    case Kind::kCrashFire: return "crash_fire";
+    case Kind::kLeaseStamp: return "lease_stamp";
+    case Kind::kLeaseReap: return "lease_reap";
+    case Kind::kYield: return "yield";
+    case Kind::kNumKinds: break;
+  }
+  return "?";
+}
+
+char kind_code(Kind k) noexcept {
+  switch (k) {
+    case Kind::kThreadStart: return 'S';
+    case Kind::kThreadExit: return 'X';
+    case Kind::kTxnLoad: return 'L';
+    case Kind::kTxnStore: return 'W';
+    case Kind::kCommitEntry: return 'C';
+    case Kind::kLockAcquire: return 'A';
+    case Kind::kLockRelease: return 'R';
+    case Kind::kLockSteal: return 'T';
+    case Kind::kBackoff: return 'B';
+    case Kind::kFaultFire: return 'F';
+    case Kind::kCrashFire: return 'K';
+    case Kind::kLeaseStamp: return 'E';
+    case Kind::kLeaseReap: return 'P';
+    case Kind::kYield: return 'Y';
+    case Kind::kNumKinds: break;
+  }
+  return '?';
+}
+
+bool kind_from_code(char c, Kind* out) noexcept {
+  for (uint8_t i = 0; i < static_cast<uint8_t>(Kind::kNumKinds); ++i) {
+    const Kind k = static_cast<Kind>(i);
+    if (kind_code(k) == c) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Trace::serialize() const {
+  std::ostringstream os;
+  os << "# dc-sched-trace v1\n";
+  os << "name " << (name.empty() ? "run" : name) << "\n";
+  os << "seed " << seed << "\n";
+  os << "policy " << (policy.empty() ? "?" : policy) << "\n";
+  os << "threads " << threads << "\n";
+  if (truncated) os << "truncated 1\n";
+  os << "steps " << steps.size() << "\n";
+  os << "trace\n";
+  for (const TraceStep& s : steps) {
+    os << s.thread << ' ' << kind_code(s.kind) << ' ' << s.next << '\n';
+  }
+  os << "end\n";
+  return os.str();
+}
+
+bool Trace::parse(const std::string& text, Trace* out) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("# dc-sched-trace v1", 0) != 0) {
+    return false;
+  }
+  Trace t;
+  bool in_steps = false;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!in_steps) {
+      std::istringstream ls(line);
+      std::string key;
+      ls >> key;
+      if (key == "trace") {
+        in_steps = true;
+      } else if (key == "name") {
+        ls >> t.name;
+      } else if (key == "seed") {
+        ls >> t.seed;
+      } else if (key == "policy") {
+        ls >> t.policy;
+      } else if (key == "threads") {
+        ls >> t.threads;
+      } else if (key == "truncated") {
+        int v = 0;
+        ls >> v;
+        t.truncated = (v != 0);
+      } else if (key == "steps") {
+        uint64_t n = 0;
+        ls >> n;
+        t.steps.reserve(n);
+      } else {
+        return false;  // unknown header key: refuse rather than misparse
+      }
+    } else {
+      if (line == "end") {
+        saw_end = true;
+        break;
+      }
+      std::istringstream ls(line);
+      uint32_t thread = 0, next = 0;
+      char code = 0;
+      if (!(ls >> thread >> code >> next)) return false;
+      Kind k;
+      if (!kind_from_code(code, &k)) return false;
+      t.steps.push_back(TraceStep{thread, k, next});
+    }
+  }
+  if (!saw_end) return false;
+  *out = std::move(t);
+  return true;
+}
+
+bool Trace::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = serialize();
+  const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  return n == text.size() && rc == 0;
+}
+
+bool Trace::read_file(const std::string& path, Trace* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse(text, out);
+}
+
+}  // namespace dc::sched

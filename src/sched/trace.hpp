@@ -1,0 +1,55 @@
+// Schedule traces: the decision log of one deterministic run.
+//
+// A trace is the complete record of scheduling decisions — one step per
+// checkpoint, `(thread, kind, next)` — plus the header needed to
+// reconstitute the run (seed, policy, thread count). Serialized as a
+// small line-oriented text format (DESIGN.md §13) so failing schedules
+// can be checked into the repo and diffed:
+//
+//   # dc-sched-trace v1
+//   name tle_steal
+//   seed 42
+//   policy pct
+//   threads 3
+//   steps 137
+//   trace
+//   0 S 0
+//   0 L 1
+//   1 B 0
+//   ...
+//   end
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/checkpoint.hpp"
+
+namespace dc::sched {
+
+struct TraceStep {
+  uint32_t thread;  // who hit the checkpoint
+  Kind kind;        // what kind of checkpoint
+  uint32_t next;    // who was scheduled next (== thread means "stayed")
+};
+
+inline bool operator==(const TraceStep& a, const TraceStep& b) {
+  return a.thread == b.thread && a.kind == b.kind && a.next == b.next;
+}
+
+struct Trace {
+  std::string name;
+  uint64_t seed = 0;
+  std::string policy;
+  uint32_t threads = 0;
+  bool truncated = false;  // step log hit max_trace_steps; header-only tail
+  std::vector<TraceStep> steps;
+
+  std::string serialize() const;
+  static bool parse(const std::string& text, Trace* out);
+  bool write_file(const std::string& path) const;
+  static bool read_file(const std::string& path, Trace* out);
+};
+
+}  // namespace dc::sched

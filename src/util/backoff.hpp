@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "sched/checkpoint.hpp"
+
 #if defined(__x86_64__) || defined(_M_X64)
 #include <x86intrin.h>
 #endif
@@ -45,6 +47,13 @@ class Backoff {
   }
 
   void pause() noexcept {
+    // Every spin loop in the substrate waits through here (TLE acquire,
+    // write-lock acquisition, strong-atomicity CAS loops, barriers), so
+    // this one checkpoint makes all of them preemption points for the
+    // deterministic scheduler. Under a scheduler the pause itself is
+    // pointless — no other thread is running — so skip the spin.
+    sched::checkpoint(sched::Kind::kBackoff);
+    if (sched::active()) return;
     const uint64_t cap3 = static_cast<uint64_t>(current_) * 3;
     const uint32_t cap =
         cap3 >= max_ ? max_ : static_cast<uint32_t>(cap3 < min_ ? min_ : cap3);

@@ -17,6 +17,13 @@
 #include "util/barrier.hpp"
 #include "util/rng.hpp"
 
+#if defined(DC_SCHED)
+#include <functional>
+
+#include "sched/sched.hpp"
+#include "tests/support/sched_harness.hpp"
+#endif
+
 namespace dc::collect {
 namespace {
 
@@ -97,6 +104,85 @@ TEST_P(CollectYieldStress, InvariantsUnderForcedPreemption) {
   obj_->collect(out);
   EXPECT_TRUE(out.empty()) << obj_->name();
 }
+
+#if defined(DC_SCHED)
+TEST_P(CollectYieldStress, InvariantsUnderScheduledPreemption) {
+  // The scheduled counterpart of the free-running stress above: the same
+  // stable-set invariant, but the preemption points are chosen by the
+  // deterministic scheduler (the txn_yield_every_loads hook is one of its
+  // checkpoint kinds), so a violating interleaving becomes a replayable
+  // schedule instead of a once-in-a-blue-moon flake. Bounded bodies: three
+  // churn workers with fixed op streams and a checker that collects until
+  // the workers are done.
+  constexpr Value kStableTag = 0xABCull << 52;
+  constexpr Value kChurnTag = 0xDEFull << 52;
+  std::vector<Handle> stable;
+  for (int i = 0; i < 4; ++i) {
+    stable.push_back(
+        obj_->register_handle(kStableTag | static_cast<Value>(i)));
+  }
+  const bool fast_collect_eager =
+      std::string(obj_->name()) == "ListFastCollect";
+  std::atomic<uint32_t> workers_left{3};
+  std::atomic<uint32_t> violations{0};
+  std::vector<std::function<void()>> bodies;
+  for (int w = 0; w < 3; ++w) {
+    bodies.push_back([&, w] {
+      util::Xoshiro256 rng(static_cast<uint64_t>(w) * 7919 + 1);
+      std::vector<Handle> mine;
+      uint64_t seq = 0;
+      for (int iters = 1; iters <= 25; ++iters) {
+        const uint64_t dice = rng.next_below(10);
+        const bool may_churn = !fast_collect_eager || (iters % 8 == 0);
+        if (dice < 4 && mine.size() < 8 && may_churn) {
+          mine.push_back(obj_->register_handle(kChurnTag | ++seq));
+        } else if (dice < 6 && !mine.empty() && may_churn) {
+          obj_->deregister(mine.back());
+          mine.pop_back();
+        } else if (!mine.empty()) {
+          obj_->update(mine[rng.next_below(mine.size())],
+                       kChurnTag | ++seq);
+        }
+      }
+      for (Handle h : mine) obj_->deregister(h);
+      workers_left.fetch_sub(1);
+    });
+  }
+  bodies.push_back([&] {
+    std::vector<Value> out;
+    do {
+      obj_->collect(out);
+      std::set<Value> stable_seen;
+      for (const Value v : out) {
+        const bool is_stable =
+            (v >> 52) == (kStableTag >> 52) && (v & ((1ULL << 52) - 1)) < 4;
+        const bool is_churn = (v >> 52) == (kChurnTag >> 52);
+        if (!is_stable && !is_churn) violations.fetch_add(1);
+        if (is_stable) stable_seen.insert(v);
+      }
+      if (stable_seen.size() != 4u) violations.fetch_add(1);
+      sched::yield();
+    } while (workers_left.load() != 0);
+  });
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    workers_left = 3;
+    violations = 0;
+    sched::Options o;
+    o.seed = seed;
+    o.policy = sched::Policy::kPct;
+    o.name = "collect_yield_sched";
+    auto copy = bodies;
+    schedtest::run_scheduled(std::move(o), std::move(copy));
+    EXPECT_EQ(violations.load(), 0u)
+        << obj_->name() << " seed=" << seed
+        << ": a scheduled Collect saw a torn stable set or foreign value";
+  }
+  std::vector<Value> out;
+  for (Handle h : stable) obj_->deregister(h);
+  obj_->collect(out);
+  EXPECT_TRUE(out.empty()) << obj_->name();
+}
+#endif  // DC_SCHED
 
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, CollectYieldStress,

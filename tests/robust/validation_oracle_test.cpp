@@ -26,6 +26,13 @@
 #include "util/barrier.hpp"
 #include "util/rng.hpp"
 
+#if defined(DC_SCHED)
+#include <functional>
+
+#include "sched/sched.hpp"
+#include "tests/support/sched_harness.hpp"
+#endif
+
 namespace dc::htm {
 namespace {
 
@@ -182,6 +189,154 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ClockPolicy>& info) {
       return std::string(to_string(info.param));
     });
+
+#if defined(DC_SCHED)
+
+// ---------------------------------------------------------------------------
+// Schedule-replay differential oracle. The free-running tests above show
+// the backends agree under whatever interleavings the host happens to
+// produce; these pin the interleaving itself. Every admitted effect is a
+// pure function of the operation streams (each op retries to commit), so
+// across seeds, clock policies, and validation backends the final (x, y)
+// must be identical — the backends may disagree only in *classified false
+// positives* (sig_false_aborts: extra retries, never extra admissions),
+// and with the crosscheck armed a single unclassified divergence (a
+// signature pass where the exact walk sees a conflict) trips the
+// false-negative counter.
+// ---------------------------------------------------------------------------
+
+struct OracleRun {
+  sched::RunResult result;
+  uint64_t x = 0;
+  uint64_t y = 0;
+  uint64_t mismatches = 0;
+  uint64_t sig_validations = 0;
+  uint64_t sig_false_aborts = 0;
+};
+
+OracleRun scheduled_oracle(sched::Options o) {
+  // Static state: stable addresses, so one process's schedules replay
+  // within the same process regardless of run order.
+  static StressState st;
+  st.x = 0;
+  st.y = 0;
+  for (uint64_t& c : st.churn) c = 0;
+  st.mismatches = 0;
+  reset_stats();
+  reset_storm_sites();
+  sigring::reset();
+  std::vector<std::function<void()>> bodies;
+  for (uint64_t t = 0; t < 3; ++t) {
+    bodies.push_back([t, seed = o.seed] {
+      util::Xoshiro256 rng(seed * 1000003 + t * 7919 + 101);
+      for (uint64_t op = 0; op < 25; ++op) stress_op(st, rng, op);
+    });
+  }
+  OracleRun r;
+  r.result = schedtest::run_scheduled(std::move(o), std::move(bodies));
+  r.x = st.x;
+  r.y = st.y;
+  r.mismatches = st.mismatches.load();
+  const TxnStats s = aggregate_stats();
+  r.sig_validations = s.sig_validations;
+  r.sig_false_aborts = s.sig_false_aborts;
+  return r;
+}
+
+TEST_P(ValidationOracle, ScheduledSweepKeepsBackendsInLockstep) {
+  // Random-walk-explored schedules with the crosscheck armed: on every
+  // schedule the two backends must issue identical admit verdicts modulo
+  // classified false positives. (Random walk, not PCT: the sweep needs
+  // dense interleaving so gv1 commits actually have to validate; PCT's
+  // priority runs leave most schedules conflict-free under gv1.)
+  uint64_t total_sig_validations = 0;
+  for (uint64_t seed = 1; seed <= schedtest::sweep_seed_count(3); ++seed) {
+    sched::Options o;
+    o.seed = seed;
+    o.policy = sched::Policy::kRandomWalk;
+    o.name = "oracle_sweep";
+    const OracleRun r = scheduled_oracle(o);
+    EXPECT_EQ(r.mismatches, 0u) << "seed=" << seed;
+    EXPECT_EQ(r.x, r.y) << "seed=" << seed;
+    EXPECT_EQ(sigring::crosscheck_false_negatives().load(), 0u)
+        << "seed=" << seed;
+    total_sig_validations += r.sig_validations;
+  }
+  EXPECT_GT(total_sig_validations, 0u) << "sweep never cross-checked";
+}
+
+TEST_P(ValidationOracle, RecordedScheduleReplaysIdenticalVerdicts) {
+  // A recorded schedule replays to the same admitted state AND the same
+  // classified-false-positive count: the backend differential is itself a
+  // deterministic function of the schedule.
+  sched::Options o;
+  o.seed = 7;
+  o.policy = sched::Policy::kPct;
+  o.name = "oracle_replay";
+  OracleRun a = scheduled_oracle(o);
+  EXPECT_EQ(a.mismatches, 0u);
+  EXPECT_EQ(a.x, a.y);
+
+  sched::Options rep;
+  rep.policy = sched::Policy::kReplay;
+  rep.replay = &a.result.trace;
+  rep.seed = a.result.trace.seed;
+  rep.name = "oracle_replay";
+  OracleRun b = scheduled_oracle(rep);
+  EXPECT_FALSE(b.result.replay_diverged)
+      << "diverged at step " << b.result.divergence_step;
+  EXPECT_EQ(b.x, a.x);
+  EXPECT_EQ(b.y, a.y);
+  EXPECT_EQ(b.sig_validations, a.sig_validations);
+  EXPECT_EQ(b.sig_false_aborts, a.sig_false_aborts);
+  b.result.trace.policy = a.result.trace.policy;  // header differs by design
+  EXPECT_EQ(b.result.trace.serialize(), a.result.trace.serialize());
+}
+
+TEST(ValidationOracleScheduled, ClocksAndBackendsAdmitIdenticalEffects) {
+  // The gv1-vs-gv5 (and exact-vs-sig) leg: same operation streams, all
+  // four (clock, backend) combinations — every run must land on the same
+  // final invariant pair. Schedules differ (checkpoint sequences depend on
+  // the abort pattern), admitted effects must not.
+  Config saved = config();
+  crash::reset_all();
+  uint64_t expect_x = 0;
+  bool first = true;
+  for (const ClockPolicy clock : {ClockPolicy::kGv1, ClockPolicy::kGv5}) {
+    for (const ValidationPolicy val :
+         {ValidationPolicy::kExact, ValidationPolicy::kSignature}) {
+      config() = saved;
+      config().clock_policy = clock;
+      config().validation = val;
+      config().validation_crosscheck = (val == ValidationPolicy::kSignature);
+      sched::Options o;
+      o.seed = 5;
+      o.policy = sched::Policy::kPct;
+      o.name = "oracle_clocks";
+      const OracleRun r = scheduled_oracle(o);
+      SCOPED_TRACE(std::string(to_string(clock)) + "/" +
+                   (val == ValidationPolicy::kSignature ? "sig" : "exact"));
+      EXPECT_EQ(r.mismatches, 0u);
+      EXPECT_EQ(r.x, r.y);
+      if (first) {
+        expect_x = r.x;
+        first = false;
+      } else {
+        EXPECT_EQ(r.x, expect_x)
+            << "clock/backend changed the admitted effects";
+      }
+      if (val == ValidationPolicy::kSignature) {
+        EXPECT_EQ(sigring::crosscheck_false_negatives().load(), 0u);
+      }
+    }
+  }
+  config() = saved;
+  reset_storm_sites();
+  sigring::reset();
+  crash::reset_all();
+}
+
+#endif  // DC_SCHED
 
 }  // namespace
 }  // namespace dc::htm

@@ -1,0 +1,249 @@
+// Scheduled HTM substrate tests: the checkpoint instrumentation must make
+// every protocol-level decision point of the transactional hot path a
+// preemption point (loads, stores, commit entry, TLE lock acquisition and
+// release — the old yield hook fired on loads only), conservation must hold
+// under adversarial schedules across policies and seeds, and injected
+// faults must be a pure function of the schedule seed so a recorded chaos
+// run replays bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "htm/htm.hpp"
+#include "htm/retry.hpp"
+#include "htm/stats.hpp"
+#include "sched/sched.hpp"
+#include "tests/support/sched_harness.hpp"
+
+namespace dc::sched {
+namespace {
+
+class SchedHtm : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::crash::reset_all();
+    htm::reset_stats();
+    htm::reset_storm_sites();
+  }
+  void TearDown() override {
+    htm::config() = saved_;
+    htm::crash::reset_all();
+  }
+  htm::Config saved_;
+};
+
+// Each thread t adds (t + 1) per op, so a single lost update changes the
+// total — an unchanged-value silent commit cannot mask it.
+RunResult weighted_run(Options o, uint64_t* counter, uint32_t threads,
+                       int ops) {
+  *counter = 0;
+  std::vector<std::function<void()>> bodies;
+  for (uint32_t t = 0; t < threads; ++t) {
+    bodies.push_back([counter, t, ops] {
+      for (int i = 0; i < ops; ++i) {
+        htm::atomic([&](htm::Txn& txn) {
+          txn.store(counter, txn.load(counter) + (t + 1));
+        });
+      }
+    });
+  }
+  return schedtest::run_scheduled(std::move(o), std::move(bodies));
+}
+
+TEST_F(SchedHtm, ConservationHoldsAcrossPoliciesAndSeeds) {
+  uint64_t counter = 0;
+  const uint32_t threads = 3;
+  const int ops = 20;
+  const uint64_t expected = uint64_t{ops} * (1 + 2 + 3);
+  for (const Policy p : {Policy::kRandomWalk, Policy::kPct}) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      Options o;
+      o.seed = seed;
+      o.policy = p;
+      o.name = "htm_conservation";
+      RunResult r = weighted_run(o, &counter, threads, ops);
+      EXPECT_EQ(counter, expected)
+          << "policy=" << to_string(p) << " seed=" << seed;
+      EXPECT_FALSE(r.budget_exhausted);
+    }
+  }
+  EXPECT_GE(htm::aggregate_stats().commits, uint64_t{threads} * ops * 8);
+}
+
+// The new preemption points must be able to *force* a conflict: preempt
+// thread 0 exactly at the given checkpoint of its first atomic block, run
+// thread 1's conflicting block to completion inside the window, and thread
+// 0's commit-time validation must abort and retry. Before this PR only
+// loads yielded, so no schedule could split a block between its last load
+// and its commit.
+void preempt_once_at(Kind where, uint64_t* counter, TraceStep* decision,
+                     uint64_t* aborts_delta) {
+  *counter = 0;
+  const uint64_t aborts_before = htm::aggregate_stats().aborts;
+  Options o;
+  o.policy = Policy::kCallback;
+  o.name = std::string("preempt_") + to_string(where);
+  o.controller = [where](const Decision& d) -> int32_t {
+    if (d.thread == 0 && d.kind == where && d.seen == 1) return 1;
+    return kStay;
+  };
+  RunResult r = schedtest::run_scheduled(
+      o, {[counter] {
+            htm::atomic([&](htm::Txn& txn) {
+              txn.store(counter, txn.load(counter) + 1);
+            });
+          },
+          [counter] {
+            htm::atomic([&](htm::Txn& txn) {
+              txn.store(counter, txn.load(counter) + 2);
+            });
+          }});
+  *aborts_delta = htm::aggregate_stats().aborts - aborts_before;
+  *decision = TraceStep{};
+  for (const TraceStep& s : r.trace.steps) {
+    if (s.thread == 0 && s.kind == where) {
+      *decision = s;
+      break;
+    }
+  }
+}
+
+TEST_F(SchedHtm, CommitEntryIsAPreemptionPoint) {
+  uint64_t counter = 0, aborts = 0;
+  TraceStep d{};
+  preempt_once_at(Kind::kCommitEntry, &counter, &d, &aborts);
+  EXPECT_EQ(counter, 3u);  // both increments survived the forced conflict
+  EXPECT_GE(aborts, 1u);   // thread 0's first commit was invalidated
+  EXPECT_EQ(d.kind, Kind::kCommitEntry);
+  EXPECT_EQ(d.next, 1u);   // the handoff happened at commit entry
+}
+
+TEST_F(SchedHtm, TxnStoreIsAPreemptionPoint) {
+  uint64_t counter = 0, aborts = 0;
+  TraceStep d{};
+  preempt_once_at(Kind::kTxnStore, &counter, &d, &aborts);
+  EXPECT_EQ(counter, 3u);
+  EXPECT_GE(aborts, 1u);
+  EXPECT_EQ(d.kind, Kind::kTxnStore);
+  EXPECT_EQ(d.next, 1u);
+}
+
+TEST_F(SchedHtm, LockAcquisitionIsAPreemptionPoint) {
+  // Thread 0 reaches tle_acquire first but is preempted at the
+  // kLockAcquire checkpoint — before its CAS — so thread 1 wins the lock
+  // and runs its whole serial section inside the window. The acquisition
+  // order inverts relative to the arrival order, which only a preemption
+  // point *inside* lock acquisition can make happen deterministically.
+  std::vector<int> order;
+  Options o;
+  o.policy = Policy::kCallback;
+  o.name = "preempt_lock_acquire";
+  o.controller = [](const Decision& d) -> int32_t {
+    if (d.thread == 0 && d.kind == Kind::kLockAcquire && d.seen == 1) {
+      return 1;
+    }
+    return kStay;
+  };
+  schedtest::run_scheduled(o, {[&] {
+                                 htm::SerialSection s;
+                                 order.push_back(10);
+                               },
+                               [&] {
+                                 htm::SerialSection s;
+                                 order.push_back(20);
+                               }});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 20);
+  EXPECT_EQ(order[1], 10);
+  EXPECT_EQ(htm::nontxn_load(htm::detail::tle_lock_word()), 0u);
+}
+
+TEST_F(SchedHtm, ForcedTleScheduleCoversTheWholeProtocol) {
+  // Escalate after a single abort and inject a heavy fault rate: across a
+  // small seed sweep the recorded schedules must exercise every hot-path
+  // checkpoint kind — speculative loads/stores, commit entry, the TLE
+  // lock's acquire and release, backoff, and fault firing — while
+  // conservation still holds on every schedule.
+  htm::config().tle_after_aborts = 1;
+  htm::config().fault.rate = 0.5;
+  htm::config().fault.seed = 0xfeedu;
+  uint64_t counter = 0;
+  std::set<Kind> seen;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Options o;
+    o.seed = seed;
+    o.policy = Policy::kRandomWalk;
+    o.name = "tle_coverage";
+    RunResult r = weighted_run(o, &counter, 3, 12);
+    EXPECT_EQ(counter, uint64_t{12} * (1 + 2 + 3)) << "seed=" << seed;
+    for (const TraceStep& s : r.trace.steps) seen.insert(s.kind);
+  }
+  for (const Kind k :
+       {Kind::kTxnLoad, Kind::kTxnStore, Kind::kCommitEntry,
+        Kind::kLockAcquire, Kind::kLockRelease, Kind::kBackoff,
+        Kind::kFaultFire}) {
+    EXPECT_TRUE(seen.count(k)) << "no schedule reached " << to_string(k);
+  }
+  const htm::TxnStats agg = htm::aggregate_stats();
+  EXPECT_GT(agg.tle_entries, 0u);
+  EXPECT_GT(agg.faults_injected, 0u);
+}
+
+TEST_F(SchedHtm, InjectedFaultsAreAPureFunctionOfTheScheduleSeed) {
+  // Same schedule seed => identical trace AND identical fault stream; a
+  // replayed recording re-fires the same faults. This is the property that
+  // makes a recorded chaos failure reproducible at all: the injector draws
+  // from (config seed, run seed, logical index) — nothing wall-clock.
+  htm::config().fault.rate = 0.3;
+  htm::config().fault.seed = 0x5eedfau;
+  uint64_t counter = 0;
+
+  auto faulted_run = [&](const Options& o) {
+    htm::reset_stats();
+    RunResult r = weighted_run(o, &counter, 3, 20);
+    return std::pair<RunResult, uint64_t>(
+        std::move(r), htm::aggregate_stats().faults_injected);
+  };
+
+  Options o;
+  o.seed = 11;
+  o.policy = Policy::kRandomWalk;
+  o.name = "fault_replay";
+  auto [a, faults_a] = faulted_run(o);
+  const uint64_t total_a = counter;
+  auto [b, faults_b] = faulted_run(o);
+
+  EXPECT_EQ(a.trace.serialize(), b.trace.serialize());
+  EXPECT_EQ(faults_a, faults_b);
+  EXPECT_GT(faults_a, 0u);
+
+  // Every fault fire is a recorded decision: the trace itself carries the
+  // chaos, which is why replaying the trace replays the chaos.
+  uint64_t fire_steps = 0;
+  for (const TraceStep& s : a.trace.steps) {
+    if (s.kind == Kind::kFaultFire) ++fire_steps;
+  }
+  EXPECT_EQ(fire_steps, faults_a);
+
+  Options rep;
+  rep.policy = Policy::kReplay;
+  rep.replay = &a.trace;
+  rep.seed = a.trace.seed;
+  rep.name = "fault_replay";
+  auto [c, faults_c] = faulted_run(rep);
+  EXPECT_FALSE(c.replay_diverged) << "diverged at step " << c.divergence_step;
+  EXPECT_EQ(faults_c, faults_a);
+  EXPECT_EQ(counter, total_a);
+  c.trace.policy = a.trace.policy;  // header differs by design
+  EXPECT_EQ(c.trace.serialize(), a.trace.serialize());
+}
+
+}  // namespace
+}  // namespace dc::sched

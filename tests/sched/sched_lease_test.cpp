@@ -1,0 +1,294 @@
+// Exact scheduled reproductions of the PR 5 lease/steal races. These are
+// the interleavings the yield-stress tiers could only hope to hit; under
+// the callback policy each one is pinned step-for-step:
+//
+//  * lock steal vs. in-flight release — a waiter that watches a live
+//    holder's frozen (stamp, heartbeat) across a validated timeout, with
+//    the release *pending*, must not steal from the living;
+//  * a dead lock holder must still be stolen from, on every seed;
+//  * death between a handle's inner commit and its lease bind — the
+//    stamp/bind window — must leave nothing a reaper can corrupt, and the
+//    lease must become reapable once bound;
+//  * a reaper preempted between its claim and reap phases must tolerate a
+//    live owner refreshing its own lease inside the window;
+//  * two reapers racing over one orphan set must never double-deregister.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "collect/lease.hpp"
+#include "collect/registry.hpp"
+#include "htm/crash.hpp"
+#include "htm/htm.hpp"
+#include "htm/retry.hpp"
+#include "htm/stats.hpp"
+#include "sched/sched.hpp"
+#include "tests/support/sched_harness.hpp"
+
+namespace dc::sched {
+namespace {
+
+class SchedLease : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::crash::reset_all();
+    htm::reset_stats();
+    htm::reset_storm_sites();
+    collect::MakeParams params;
+    params.static_capacity = 1024;
+    params.max_threads = 16;
+    col_ = std::make_unique<collect::CrashTolerantCollect>(
+        collect::make_algorithm("ListFastCollect", params));
+  }
+  void TearDown() override {
+    htm::config() = saved_;
+    htm::crash::reset_all();
+  }
+
+  std::set<collect::Value> collect_set() {
+    std::vector<collect::Value> out;
+    col_->collect(out);
+    return {out.begin(), out.end()};
+  }
+
+  std::unique_ptr<collect::CrashTolerantCollect> col_;
+  htm::Config saved_;
+};
+
+TEST_F(SchedLease, NoStealFromALivingHolderInTheReleaseWindow) {
+  // Thread 0 holds the TLE lock and is preempted at the kLockRelease
+  // checkpoint — it has *decided* to release but its stamp is still on the
+  // word. Thread 1 then spins in tle_acquire's recovery branch long enough
+  // to take the validated-timeout path many times over (the holder's
+  // heartbeat is frozen, so rounds_same keeps reaching kRecoveryRounds);
+  // every time, token_orphaned must say "alive" and refuse the steal.
+  htm::config().crash.rate = 0.25;  // arms recovery; nobody opts in, so
+                                    // nobody dies
+  std::vector<int> order;
+  Options o;
+  o.policy = Policy::kCallback;
+  o.name = "steal_vs_release";
+  o.controller = [](const Decision& d) -> int32_t {
+    if (d.thread == 0 && d.kind == Kind::kLockRelease && d.seen == 1) {
+      return 1;  // open the release window and hand it to the waiter
+    }
+    if (d.thread == 1 && d.kind == Kind::kBackoff && d.seen >= 48) {
+      return 0;  // finally let the holder finish its release
+    }
+    return kStay;
+  };
+  RunResult r =
+      schedtest::run_scheduled(o, {[&] {
+                                     htm::SerialSection s;
+                                     order.push_back(10);
+                                   },
+                                   [&] {
+                                     htm::SerialSection s;
+                                     order.push_back(20);
+                                   }});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 10);  // holder's section ran first...
+  EXPECT_EQ(order[1], 20);  // ...and the waiter only entered after release
+  EXPECT_EQ(htm::nontxn_load(htm::detail::tle_lock_word()), 0u);
+  EXPECT_EQ(htm::aggregate_stats().lock_recoveries, 0u)
+      << "a waiter stole the lock from a living holder";
+  // The window really was open: the holder's release decision handed
+  // control to the waiter, which then burned >= 48 backoff rounds staring
+  // at the frozen stamp.
+  uint64_t waiter_backoffs = 0;
+  bool window_opened = false;
+  for (const TraceStep& s : r.trace.steps) {
+    if (s.thread == 0 && s.kind == Kind::kLockRelease && s.next == 1) {
+      window_opened = true;
+    }
+    if (s.thread == 1 && s.kind == Kind::kBackoff) ++waiter_backoffs;
+  }
+  EXPECT_TRUE(window_opened);
+  EXPECT_GE(waiter_backoffs, 48u);
+}
+
+TEST_F(SchedLease, DeadLockHolderIsStolenOnEverySeed) {
+  // The complementary case: the holder dies while holding the lock
+  // (Point::kLockHeld), and on every schedule the waiter's validated
+  // timeout must end in a successful steal and full progress.
+  htm::config().tle_after_aborts = 2;
+  static uint64_t cell;
+  static uint64_t counter;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    htm::crash::reset_all();
+    htm::reset_stats();
+    cell = 0;
+    counter = 0;
+    std::atomic<bool> victim_survived{true};
+    Options o;
+    o.seed = seed;
+    o.policy = Policy::kRandomWalk;
+    o.name = "dead_holder_steal";
+    schedtest::run_scheduled(
+        o, {[&] {
+              htm::crash::schedule_self(htm::crash::Point::kLockHeld);
+              victim_survived = htm::crash::run_victim([] {
+                htm::atomic([](htm::Txn& txn) { txn.store(&cell, uint64_t{1}); });
+              });
+            },
+            [] {
+              for (int i = 0; i < 6; ++i) {
+                htm::atomic([](htm::Txn& txn) {
+                  txn.store(&counter, txn.load(&counter) + 1);
+                });
+              }
+            }});
+    EXPECT_FALSE(victim_survived.load()) << "seed=" << seed;
+    EXPECT_EQ(counter, 6u) << "seed=" << seed;
+    EXPECT_EQ(cell, 0u);  // the dead block never committed
+    EXPECT_EQ(htm::nontxn_load(htm::detail::tle_lock_word()), 0u);
+    const htm::TxnStats agg = htm::aggregate_stats();
+    EXPECT_EQ(agg.crashes_injected, 1u) << "seed=" << seed;
+    EXPECT_GE(agg.lock_recoveries, 1u)
+        << "seed=" << seed << ": the abandoned lock was never stolen";
+  }
+}
+
+TEST_F(SchedLease, DeathBetweenStampAndBindIsHarmless) {
+  // The stamp/bind window: the inner Register has committed but the lease
+  // is not in the table yet. A reaper running inside that window sees a
+  // handle with no lease — it must touch nothing. Once the victim binds
+  // the lease and then dies, the same lease must be reapable.
+  std::atomic<bool> victim_dead{false};
+  std::atomic<bool> victim_survived{true};
+  std::size_t in_window_leases = 99, in_window_values = 0,
+              in_window_reaped = 99, final_reaped = 99;
+  Options o;
+  o.policy = Policy::kCallback;
+  o.name = "stamp_bind_window";
+  o.controller = [](const Decision& d) -> int32_t {
+    if (d.thread == 0 && d.kind == Kind::kLeaseStamp && d.seen == 1) {
+      return 1;  // inner commit done, lease unbound: run the reaper here
+    }
+    if (d.thread == 1 && d.kind == Kind::kYield) return 0;
+    return kStay;
+  };
+  schedtest::run_scheduled(
+      o, {[&] {
+            victim_survived = htm::crash::run_victim([&] {
+              col_->register_handle(7);
+              htm::crash::schedule_self(htm::crash::Point::kTxnOp,
+                                        /*blocks_from_now=*/0,
+                                        /*after_ops=*/0);
+              col_->register_handle(8);  // dies inside the inner Register
+            });
+            victim_dead = true;
+          },
+          [&] {
+            in_window_leases = col_->lease_count();
+            in_window_values = collect_set().size();
+            in_window_reaped = col_->reap_orphans();
+            while (!victim_dead.load()) yield();
+            final_reaped = col_->reap_orphans();
+          }});
+  EXPECT_FALSE(victim_survived.load());
+  // Inside the window: the handle is visible to Collect but carries no
+  // lease, and the reaper correctly kept its hands off.
+  EXPECT_EQ(in_window_leases, 0u);
+  EXPECT_EQ(in_window_values, 1u);
+  EXPECT_EQ(in_window_reaped, 0u);
+  // After the bind + death: exactly the bound lease is reaped; the
+  // half-registered handle 8 never produced a lease or a Collect slot.
+  EXPECT_EQ(final_reaped, 1u);
+  EXPECT_EQ(col_->lease_count(), 0u);
+  EXPECT_TRUE(collect_set().empty());
+  EXPECT_EQ(htm::aggregate_stats().orphans_reaped, 1u);
+}
+
+TEST_F(SchedLease, OwnerRefreshInsideTheReapersClaimWindowSurvives) {
+  // A reaper is preempted exactly between its claim phase and its reap
+  // phase (the second kLeaseReap checkpoint). A live owner refreshes its
+  // own lease inside that window. The reaper must then deregister only
+  // the claimed orphan — never the freshly restamped live handle.
+  std::atomic<std::size_t> reaped{99};
+  std::atomic<bool> victim_survived{true};
+  collect::Handle live_handle{};
+  Options o;
+  o.policy = Policy::kCallback;
+  o.name = "claim_vs_refresh";
+  o.controller = [](const Decision& d) -> int32_t {
+    if (d.thread == 1 && d.kind == Kind::kYield && d.seen == 1) {
+      return 2;  // owner pauses; start the reaper
+    }
+    if (d.thread == 2 && d.kind == Kind::kLeaseReap && d.seen == 2) {
+      return 1;  // claim done, reap pending: let the owner refresh now
+    }
+    return kStay;
+  };
+  schedtest::run_scheduled(
+      o, {[&] {
+            victim_survived = htm::crash::run_victim([&] {
+              col_->register_handle(7);
+              htm::crash::schedule_self(htm::crash::Point::kTxnOp,
+                                        /*blocks_from_now=*/0,
+                                        /*after_ops=*/0);
+              col_->register_handle(8);
+            });
+          },
+          [&] {
+            live_handle = col_->register_handle(9);
+            yield();
+            col_->update(live_handle, 10);
+          },
+          [&] { reaped = col_->reap_orphans(); }});
+  EXPECT_FALSE(victim_survived.load());
+  EXPECT_EQ(reaped.load(), 1u);
+  EXPECT_EQ(col_->lease_count(), 1u);
+  EXPECT_EQ(col_->orphan_count(), 0u);
+  const std::set<collect::Value> vals = collect_set();
+  EXPECT_EQ(vals.size(), 1u);
+  EXPECT_TRUE(vals.count(10)) << "the live handle lost its refresh";
+  col_->deregister(live_handle);
+}
+
+TEST_F(SchedLease, TwoReapersNeverDoubleReap) {
+  // Reaper A claims both orphans, then is preempted before the reap
+  // phase. Reaper B runs a *complete* reap_orphans inside the window and
+  // must walk away empty-handed: the leases are claimed and the claimant
+  // is alive. A then finishes its batch. One deregister per orphan, ever.
+  std::atomic<std::size_t> reaped_a{99}, reaped_b{99};
+  std::atomic<bool> victim_survived{true};
+  Options o;
+  o.policy = Policy::kCallback;
+  o.name = "two_reapers";
+  o.controller = [](const Decision& d) -> int32_t {
+    if (d.thread == 1 && d.kind == Kind::kLeaseReap && d.seen == 2) {
+      return 2;  // A is preempted between claim and reap; B races in
+    }
+    return kStay;
+  };
+  schedtest::run_scheduled(
+      o, {[&] {
+            victim_survived = htm::crash::run_victim([&] {
+              col_->register_handle(7);
+              col_->register_handle(8);
+              htm::crash::schedule_self(htm::crash::Point::kTxnOp,
+                                        /*blocks_from_now=*/0,
+                                        /*after_ops=*/0);
+              col_->register_handle(9);
+            });
+          },
+          [&] { reaped_a = col_->reap_orphans(); },
+          [&] { reaped_b = col_->reap_orphans(); }});
+  EXPECT_FALSE(victim_survived.load());
+  EXPECT_EQ(reaped_b.load(), 0u)
+      << "reaper B deregistered leases claimed by a living reaper";
+  EXPECT_EQ(reaped_a.load(), 2u);
+  EXPECT_EQ(col_->lease_count(), 0u);
+  EXPECT_TRUE(collect_set().empty());
+  EXPECT_EQ(htm::aggregate_stats().orphans_reaped, 2u);
+}
+
+}  // namespace
+}  // namespace dc::sched

@@ -1,0 +1,114 @@
+// Custom gtest main for the concurrency suites: parses the scheduler
+// flags and installs a failure listener that prints every seed needed
+// to re-run a red test deterministically — the schedule seed and trace
+// path when the failure happened under the deterministic scheduler,
+// and the fault/crash injection seeds either way (before this, a
+// failed txn_property_test or robustness-tier run gave no way to
+// reproduce the same interleaving).
+//
+// Flags (also as environment variables, for ctest-driven runs):
+//   --replay-schedule=PATH   (DC_SCHED_REPLAY)  replay a recorded trace
+//   --sched-seed=N           (DC_SCHED_SEED)    override the run seed
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "htm/config.hpp"
+#include "tests/support/sched_harness.hpp"
+
+namespace dc::schedtest {
+namespace {
+ActiveRun g_last_run;
+std::string g_replay_path;
+bool g_have_seed = false;
+uint64_t g_seed = 0;
+std::string g_binary_name = "<test-binary>";
+}  // namespace
+
+ActiveRun& last_run() { return g_last_run; }
+const std::string& replay_path() { return g_replay_path; }
+bool seed_override(uint64_t* out) {
+  if (g_have_seed) *out = g_seed;
+  return g_have_seed;
+}
+const std::string& test_binary_name() { return g_binary_name; }
+
+namespace {
+
+class ReproListener : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() == nullptr || !info.result()->Failed()) return;
+    const ActiveRun& ar = g_last_run;
+    if (ar.valid) {
+      std::fprintf(stderr,
+                   "[repro] %s.%s failed; last scheduled run '%s' "
+                   "seed=%llu policy=%s%s%s\n",
+                   info.test_suite_name(), info.name(), ar.name.c_str(),
+                   static_cast<unsigned long long>(ar.seed),
+                   ar.policy.c_str(),
+                   ar.trace_path.empty() ? "" : " trace=",
+                   ar.trace_path.c_str());
+      if (!ar.trace_path.empty()) {
+        std::fprintf(stderr,
+                     "[repro] replay: %s --gtest_filter=%s.%s "
+                     "--replay-schedule=%s\n",
+                     g_binary_name.c_str(), info.test_suite_name(),
+                     info.name(), ar.trace_path.c_str());
+      }
+    }
+    const auto& cfg = dc::htm::config();
+    std::fprintf(stderr,
+                 "[repro] injection streams: fault seed=0x%llx rate=%g, "
+                 "crash seed=0x%llx rate=%g (DC_FAULT/DC_CRASH env)\n",
+                 static_cast<unsigned long long>(cfg.fault.seed),
+                 cfg.fault.rate,
+                 static_cast<unsigned long long>(cfg.crash.seed),
+                 cfg.crash.rate);
+  }
+};
+
+}  // namespace
+}  // namespace dc::schedtest
+
+int main(int argc, char** argv) {
+  using dc::schedtest::g_binary_name;
+  using dc::schedtest::g_have_seed;
+  using dc::schedtest::g_replay_path;
+  using dc::schedtest::g_seed;
+
+  if (argc > 0) g_binary_name = argv[0];
+  if (const char* e = std::getenv("DC_SCHED_REPLAY")) g_replay_path = e;
+  if (const char* e = std::getenv("DC_SCHED_SEED")) {
+    g_seed = std::strtoull(e, nullptr, 0);
+    g_have_seed = true;
+  }
+
+  // Strip our flags before gtest sees argv (it rejects unknown flags in
+  // --gtest_* form only, but keeping argv clean avoids surprises).
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--replay-schedule=", 18) == 0) {
+      g_replay_path = a + 18;
+    } else if (std::strcmp(a, "--replay-schedule") == 0 && i + 1 < argc) {
+      g_replay_path = argv[++i];
+    } else if (std::strncmp(a, "--sched-seed=", 13) == 0) {
+      g_seed = std::strtoull(a + 13, nullptr, 0);
+      g_have_seed = true;
+    } else if (std::strcmp(a, "--sched-seed") == 0 && i + 1 < argc) {
+      g_seed = std::strtoull(argv[++i], nullptr, 0);
+      g_have_seed = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new dc::schedtest::ReproListener);
+  return RUN_ALL_TESTS();
+}

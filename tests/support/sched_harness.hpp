@@ -1,0 +1,158 @@
+// Test-side glue for the deterministic scheduler (src/sched).
+//
+// run_scheduled() is the one entry point the scheduled suites use: it
+// wraps each logical-thread body with the per-thread injection-stream
+// reset the scheduler's determinism contract needs, honours the
+// --replay-schedule / --sched-seed flags and their environment
+// equivalents (DC_SCHED_REPLAY, DC_SCHED_SEED), and — on a gtest
+// failure inside the run — writes the schedule trace to disk and
+// prints the exact command that replays it. The companion gtest main
+// (tests/support/sched_gtest_main.cpp) defines the globals and the
+// failure listener.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "htm/clock.hpp"
+#include "htm/crash.hpp"
+#include "htm/fault.hpp"
+#include "htm/orec.hpp"
+#include "sched/sched.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::schedtest {
+
+// What the failure listener reports. Updated by run_scheduled; `valid`
+// stays false in suites that never schedule (they still get the
+// fault/crash seed report).
+struct ActiveRun {
+  bool valid = false;
+  std::string name;
+  uint64_t seed = 0;
+  std::string policy;
+  std::string trace_path;  // set once a failing trace has been written
+};
+
+// Defined in sched_gtest_main.cpp.
+ActiveRun& last_run();
+const std::string& replay_path();       // --replay-schedule PATH
+bool seed_override(uint64_t* out);      // --sched-seed N
+const std::string& test_binary_name();  // argv[0]
+
+// Seed-sweep width for the exploration battery: DC_SCHED_SEEDS=N
+// overrides (the CI sched-sweep leg and its nightly-scale input).
+inline uint64_t sweep_seed_count(uint64_t dflt) {
+  if (const char* e = std::getenv("DC_SCHED_SEEDS")) {
+    const uint64_t v = std::strtoull(e, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return dflt;
+}
+
+inline std::string trace_dir() {
+  if (const char* e = std::getenv("DC_SCHED_TRACE_DIR")) return e;
+  return "sched-traces";
+}
+
+// Runs bodies under the scheduler with the test contract applied:
+//  * each logical thread re-seeds its fault/crash streams lazily, so
+//    injected chaos is a pure function of (config, schedule seed,
+//    logical index) — see fault.cpp/crash.cpp seed_stream;
+//  * when --replay-schedule names a trace whose `name` matches this
+//    run, the options are overridden to replay it exactly;
+//  * when --sched-seed is given, it replaces opts.seed;
+//  * if the run produced a new gtest failure, the trace is written to
+//    DC_SCHED_TRACE_DIR (default ./sched-traces) and the repro command
+//    is printed.
+// Determinism prerequisite: catch the shared clock up to every residual
+// orec version before the run starts. GV5 leaves sloppy stamps above the
+// clock; how far above depends on process history, and that gap leaks
+// into extension decisions and GV5 stamp arithmetic — the one
+// environmental input that could make a replay diverge from its
+// recording. After this, all in-run version arithmetic is relative to
+// the run-start clock.
+inline void quiesce_clock() {
+  uint64_t maxv = 0;
+  const htm::Orec* table = htm::orec_table();
+  for (uint64_t i = 0; i < htm::kOrecCount; ++i) {
+    const uint64_t v = table[i].value.load(std::memory_order_relaxed);
+    if (!htm::orec_is_locked(v) && htm::orec_version(v) > maxv) {
+      maxv = htm::orec_version(v);
+    }
+  }
+  htm::clock_catch_up(maxv);
+}
+
+inline sched::RunResult run_scheduled(
+    sched::Options opts, std::vector<std::function<void()>> bodies) {
+  quiesce_clock();
+  uint64_t forced_seed;
+  if (seed_override(&forced_seed)) opts.seed = forced_seed;
+
+  sched::Trace recorded;
+  if (!replay_path().empty() &&
+      sched::Trace::read_file(replay_path(), &recorded) &&
+      recorded.name == opts.name) {
+    opts.policy = sched::Policy::kReplay;
+    opts.replay = &recorded;
+    opts.seed = recorded.seed;
+    std::fprintf(stderr, "[sched] replaying %s (name=%s seed=%llu)\n",
+                 replay_path().c_str(), recorded.name.c_str(),
+                 static_cast<unsigned long long>(recorded.seed));
+  }
+
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(bodies.size());
+  for (auto& body : bodies) {
+    wrapped.push_back([b = std::move(body)] {
+      util::thread_id();  // claim the dense id before the body runs
+      htm::fault::reset_thread();
+      htm::crash::reset_thread();
+      b();
+    });
+  }
+
+  const bool failed_before = ::testing::Test::HasFailure();
+  sched::RunResult r = sched::run(opts, std::move(wrapped));
+
+  ActiveRun& ar = last_run();
+  ar.valid = true;
+  ar.name = opts.name;
+  ar.seed = opts.seed;
+  ar.policy = sched::to_string(opts.policy);
+  ar.trace_path.clear();
+
+  if (!failed_before && ::testing::Test::HasFailure()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir(), ec);
+    const std::string path = trace_dir() + "/" + opts.name + "-seed" +
+                             std::to_string(opts.seed) + ".trace";
+    if (r.trace.write_file(path)) {
+      ar.trace_path = path;
+      const ::testing::TestInfo* ti =
+          ::testing::UnitTest::GetInstance()->current_test_info();
+      std::fprintf(stderr,
+                   "[sched] FAILURE under scheduled run '%s' seed=%llu "
+                   "policy=%s\n[sched] schedule trace written to %s\n"
+                   "[sched] replay: %s --gtest_filter=%s.%s "
+                   "--replay-schedule=%s\n",
+                   opts.name.c_str(),
+                   static_cast<unsigned long long>(opts.seed),
+                   ar.policy.c_str(), path.c_str(),
+                   test_binary_name().c_str(),
+                   ti != nullptr ? ti->test_suite_name() : "*",
+                   ti != nullptr ? ti->name() : "*", path.c_str());
+    }
+  }
+  return r;
+}
+
+}  // namespace dc::schedtest
