@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -96,7 +97,14 @@ inline obs::timeline::CounterSample htm_counter_sample() {
 //                 guard tests and the validator both check this.
 class ObsSession {
  public:
-  explicit ObsSession(const sim::Options& opts) : opts_(opts) {
+  // `provider` feeds the timeline sampler; benches with harness-level
+  // counters of their own (bench_service merges sessions_shed/chaos_phases
+  // into the substrate sample) pass a merged provider, everyone else takes
+  // the default htm-only one.
+  explicit ObsSession(const sim::Options& opts,
+                      obs::timeline::CounterProvider provider =
+                          &detail::htm_counter_sample)
+      : opts_(opts), provider_(provider) {
     if (!opts_.clock.empty()) {
       htm::ClockPolicy policy = htm::config().clock_policy;
       if (!htm::parse_clock_policy(opts_.clock.c_str(), policy)) {
@@ -147,7 +155,7 @@ class ObsSession {
     if (opts_.sample_interval_ms > 0.0) {
       obs::timeline::SamplerConfig cfg;
       cfg.interval_ms = opts_.sample_interval_ms;
-      cfg.provider = &detail::htm_counter_sample;
+      cfg.provider = provider_;
       if (!opts_.slo.empty()) {
         std::string err;
         if (!obs::slo::parse(opts_.slo, &cfg.slo, &err)) {
@@ -198,6 +206,7 @@ class ObsSession {
 
  private:
   sim::Options opts_;
+  obs::timeline::CounterProvider provider_;
   bool sampling_ = false;
 };
 
@@ -386,8 +395,10 @@ inline void write_json_cell(std::FILE* f, const std::string& cell) {
 }
 
 // Emits a CounterSample as the body of a JSON object (no braces): the same
-// thirteen keys for the baseline and for every window's deltas, so
-// validators can difference them uniformly.
+// fifteen keys for the baseline and for every window's deltas, so
+// validators can difference them uniformly. The two service-tier keys are
+// all-zero outside service runs (validator-enforced against the presence
+// of the "service" section).
 inline void write_counter_fields(std::FILE* f,
                                  const obs::timeline::CounterSample& c) {
   std::fprintf(
@@ -397,7 +408,8 @@ inline void write_counter_fields(std::FILE* f,
       "\"crashes_injected\": %llu, \"storm_entries\": %llu, "
       "\"storm_exits\": %llu, \"lock_recoveries\": %llu, "
       "\"orphans_reaped\": %llu, \"sig_validations\": %llu, "
-      "\"sig_false_aborts\": %llu, \"sig_ring_overflows\": %llu",
+      "\"sig_false_aborts\": %llu, \"sig_ring_overflows\": %llu, "
+      "\"sessions_shed\": %llu, \"chaos_phases\": %llu",
       static_cast<unsigned long long>(c.commits),
       static_cast<unsigned long long>(c.aborts),
       static_cast<unsigned long long>(c.lock_fallbacks),
@@ -410,7 +422,9 @@ inline void write_counter_fields(std::FILE* f,
       static_cast<unsigned long long>(c.orphans_reaped),
       static_cast<unsigned long long>(c.sig_validations),
       static_cast<unsigned long long>(c.sig_false_aborts),
-      static_cast<unsigned long long>(c.sig_ring_overflows));
+      static_cast<unsigned long long>(c.sig_ring_overflows),
+      static_cast<unsigned long long>(c.sessions_shed),
+      static_cast<unsigned long long>(c.chaos_phases));
 }
 
 // The "timeline" section of the v7 report. Absent entirely when the sampler
@@ -480,8 +494,11 @@ inline void write_timeline_section(std::FILE* f) {
   }
   std::fprintf(f, "},\n");
   const std::vector<obs::slo::TargetState> slo = tl::slo_results();
-  std::fprintf(f, "    \"slo\": {\"violations_total\": %llu, \"targets\": [",
-               static_cast<unsigned long long>(tl::slo_violations_total()));
+  std::fprintf(f,
+               "    \"slo\": {\"violations_total\": %llu, "
+               "\"reattainments\": %llu, \"targets\": [",
+               static_cast<unsigned long long>(tl::slo_violations_total()),
+               static_cast<unsigned long long>(tl::slo_reattainments()));
   for (std::size_t i = 0; i < slo.size(); ++i) {
     const obs::slo::TargetState& ts = slo[i];
     std::fprintf(f,
@@ -496,7 +513,24 @@ inline void write_timeline_section(std::FILE* f) {
                  static_cast<unsigned long long>(ts.violations),
                  ts.worst_ns);
   }
-  std::fprintf(f, "%s]}},\n", slo.empty() ? "" : "\n    ");
+  std::fprintf(f, "%s],\n", slo.empty() ? "" : "\n    ");
+  // Violation episodes: contiguous runs of violating windows and whether
+  // (and when) the SLO was re-attained — the raw material for MTTR.
+  const std::vector<tl::SloEpisode> eps = tl::slo_episodes();
+  std::fprintf(f, "    \"episodes\": [");
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    const tl::SloEpisode& e = eps[i];
+    std::fprintf(f,
+                 "%s\n      {\"start_window\": %llu, \"t_start_ms\": %.3f, "
+                 "\"end_window\": %llu, \"t_end_ms\": %.3f, "
+                 "\"recovered\": %s, \"violating_windows\": %llu}",
+                 i == 0 ? "" : ",",
+                 static_cast<unsigned long long>(e.start_window),
+                 e.t_start_ms, static_cast<unsigned long long>(e.end_window),
+                 e.t_end_ms, e.recovered ? "true" : "false",
+                 static_cast<unsigned long long>(e.violating_windows));
+  }
+  std::fprintf(f, "%s]}},\n", eps.empty() ? "" : "\n    ");
 }
 
 }  // namespace detail
@@ -538,10 +572,26 @@ inline void write_timeline_section(std::FILE* f) {
 //      SLO verdicts. With --sample-interval 0 the section is absent and
 //      the report is the v6 shape plus the three new scalar fields — the
 //      zero-overhead guard scripts/validate_report.py enforces
-inline void write_json_report(const std::string& path,
-                              const std::string& bench_name,
-                              const util::Table& table,
-                              const sim::Options& opts) {
+//   8  adds options.slo_observe, two service-tier keys to every counter
+//      block (sessions_shed, chaos_phases — all-zero outside service
+//      runs), the shed_onset/chaos_phase annotation kinds, the slo
+//      section's reattainments count + episodes list (violation episodes
+//      and whether the SLO was re-attained — the raw material for MTTR),
+//      and — only for the service harness (bench_service) — a "service"
+//      section: session accounting (conservation-checked: generated ==
+//      accepted + shed, accepted == completed + killed), harness config,
+//      and per-chaos-phase recovery reports. Non-service reports must not
+//      have the key — the same both-directions zero guard as every other
+//      schema tier
+//
+// `extra_section` (may be null) is invoked where optional sections live —
+// after the timeline section, before "columns" — and must emit either
+// nothing or one complete `  "key": {...},\n` entry; bench_service uses it
+// for the "service" section.
+inline void write_json_report(
+    const std::string& path, const std::string& bench_name,
+    const util::Table& table, const sim::Options& opts,
+    const std::function<void(std::FILE*)>& extra_section = nullptr) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
@@ -553,7 +603,7 @@ inline void write_json_report(const std::string& path,
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tmv);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": 7,\n");
+  std::fprintf(f, "  \"schema_version\": 8,\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n",
                detail::json_escape(bench_name).c_str());
   std::fprintf(f, "  \"generated_utc\": \"%s\",\n", stamp);
@@ -562,7 +612,8 @@ inline void write_json_report(const std::string& path,
                "\"max_threads\": %u, \"hist\": %s, \"trace\": %s, "
                "\"clock\": \"%s\", \"retry\": \"%s\", \"validation\": \"%s\", "
                "\"fault_rate\": %g, \"crash_rate\": %g, "
-               "\"sample_interval_ms\": %g, \"slo\": \"%s\"},\n",
+               "\"sample_interval_ms\": %g, \"slo\": \"%s\", "
+               "\"slo_observe\": %s},\n",
                opts.duration_ms, opts.repeats, opts.max_threads,
                opts.hist ? "true" : "false",
                opts.trace_path.empty() ? "false" : "true",
@@ -571,7 +622,8 @@ inline void write_json_report(const std::string& path,
                htm::to_string(htm::config().validation),
                htm::config().fault.rate, htm::config().crash.rate,
                opts.sample_interval_ms,
-               detail::json_escape(opts.slo).c_str());
+               detail::json_escape(opts.slo).c_str(),
+               opts.slo_observe ? "true" : "false");
   const htm::TxnStats s = htm::aggregate_stats();
   std::fprintf(
       f,
@@ -687,6 +739,7 @@ inline void write_json_report(const std::string& path,
                trace_requested && obs::kTraceCompiled ? "true" : "false",
                static_cast<unsigned long long>(obs::events_emitted()));
   detail::write_timeline_section(f);
+  if (extra_section) extra_section(f);
   std::fprintf(f, "  \"columns\": [");
   const auto& headers = table.headers();
   for (std::size_t i = 0; i < headers.size(); ++i) {
@@ -736,15 +789,31 @@ inline void print_timeline_summary() {
         static_cast<unsigned long long>(ts.violations), ts.worst_ns,
         ts.violations == 0 ? "PASS" : "FAIL");
   }
+  const std::vector<tl::SloEpisode> eps = tl::slo_episodes();
+  if (!eps.empty()) {
+    std::printf("[obs]   slo episodes=%zu re-attained=%llu\n", eps.size(),
+                static_cast<unsigned long long>(tl::slo_reattainments()));
+    for (const tl::SloEpisode& e : eps) {
+      std::printf(
+          "[obs]     episode @%.1fms %s after %.1fms (%llu bad windows)\n",
+          e.t_start_ms, e.recovered ? "re-attained" : "NOT re-attained",
+          e.t_end_ms - e.t_start_ms,
+          static_cast<unsigned long long>(e.violating_windows));
+    }
+  }
 }
 
 // Shared tail of every table-driven figure benchmark: stop the telemetry
 // sampler (closing its final partial window), print (CSV or aligned +
 // diagnostics), drop the JSON report when requested, and return the
 // process exit code (obs::slo::exit_code: 0 clean, 3 when any configured
-// SLO target was violated). Bench mains `return bench::report(...)`.
-inline int report(const util::Table& table, const sim::Options& opts,
-                  const std::string& bench_name) {
+// SLO target was violated — unless --slo-observe turned violations into
+// report-only facts). Bench mains `return bench::report(...)`;
+// `extra_section` flows through to write_json_report.
+inline int report(
+    const util::Table& table, const sim::Options& opts,
+    const std::string& bench_name,
+    const std::function<void(std::FILE*)>& extra_section = nullptr) {
   obs::timeline::stop();
   if (opts.csv) {
     table.print_csv();
@@ -754,8 +823,10 @@ inline int report(const util::Table& table, const sim::Options& opts,
     print_timeline_summary();
   }
   if (!opts.json_path.empty()) {
-    write_json_report(opts.json_path, bench_name, table, opts);
+    write_json_report(opts.json_path, bench_name, table, opts,
+                      extra_section);
   }
+  if (opts.slo_observe) return 0;
   return obs::slo::exit_code(obs::timeline::slo_violations_total());
 }
 

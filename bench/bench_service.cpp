@@ -1,0 +1,202 @@
+// Open-loop session service under chaos — holding a latency SLO through
+// fault storms, worker kills, and overload spikes.
+//
+// This is the robustness capstone over the whole stack: an arrival process
+// (Poisson or bursty MMPP, --arrival-rate/--burstiness) generates sessions
+// that Register on connect, issue Updates, and DeRegister on disconnect,
+// dispatched through a bounded accept queue to a worker pool driving a
+// CrashTolerantCollect. Latency is charged from *intended* arrival
+// instants (coordinated-omission-safe); overload sheds connects (counted,
+// annotated, never silent); admitted sessions always finish — or die with
+// a chaos-killed worker, whose handles the lease reaper recovers while a
+// fresh thread respawns onto the same worker index.
+//
+// --chaos SCRIPT runs a timed phase script (src/service/chaos.hpp) against
+// the live service; per-phase recovery metrics (MTTR to SLO re-attainment,
+// shed volume, orphan-reap latency) land in the "service" section of the
+// v8 JSON report alongside the timeline's chaos_phase/shed_onset
+// annotations. A clean run at a sustainable rate exits 0 with zero sheds;
+// an SLO-violating run exits 3 unless --slo-observe.
+//
+// Session accounting is conservation-checked before reporting:
+//     generated == accepted + shed,  accepted == completed + killed
+// and the process exits 1 if either fails — that is a harness bug, not a
+// robustness finding.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "htm/crash.hpp"
+#include "service/chaos.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+// Merged CounterProvider: the substrate sample plus the service tier's
+// shed/chaos counters, so timeline windows decompose both worlds on one
+// axis. Must be stateless (plain function pointer) — service counters are
+// file-static inside dc_service.
+dc::obs::timeline::CounterSample service_counter_sample() {
+  dc::obs::timeline::CounterSample c = dc::bench::detail::htm_counter_sample();
+  const dc::service::Counters sc = dc::service::counters();
+  c.sessions_shed = sc.shed;
+  c.chaos_phases = sc.chaos_phases;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  auto opts = sim::Options::parse(argc, argv);
+  // The service is a timed run, not a sweep: give it a usable default
+  // window (the figure benches' 50 ms is too short for chaos phases).
+  if (opts.duration_ms <= 50.0) opts.duration_ms = 500.0;
+  htm::reset_stats();
+  service::reset_counters();
+  const bench::ObsSession obs_session(opts, &service_counter_sample);
+  htm::crash::reset_all();
+
+  service::ServiceConfig cfg;
+  cfg.arrival_rate = opts.arrival_rate > 0.0 ? opts.arrival_rate : 2000.0;
+  cfg.burstiness = opts.burstiness;
+  cfg.workers = opts.workers > 0 ? opts.workers : 2;
+  cfg.queue_capacity = opts.queue_capacity > 0 ? opts.queue_capacity : 64;
+  cfg.duration_ms = opts.duration_ms;
+  cfg.seed = 1;
+
+  std::vector<service::ChaosPhase> phases;
+  if (!opts.chaos_path.empty()) {
+    std::string err;
+    if (!service::load_script(opts.chaos_path, &phases, &err)) {
+      std::fprintf(stderr, "--chaos: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  std::vector<obs::slo::Target> targets;
+  if (!opts.slo.empty()) {
+    std::string err;
+    if (!obs::slo::parse(opts.slo, &targets, &err)) {
+      std::fprintf(stderr, "--slo: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  if (!opts.csv) {
+    std::printf(
+        "== Open-loop session service: shedding, chaos, recovery ==\n"
+        "(%.0f sessions/s%s, %u workers, queue %u, %.0f ms%s)\n",
+        cfg.arrival_rate,
+        cfg.burstiness > 0.0 ? " bursty" : " Poisson", cfg.workers,
+        cfg.queue_capacity, cfg.duration_ms,
+        phases.empty() ? ""
+                       : (", " + std::to_string(phases.size()) +
+                          " chaos phases")
+                             .c_str());
+    bench::print_host_caveat();
+  }
+
+  service::Service svc(cfg);
+  service::ChaosOrchestrator chaos(phases, &svc);
+  svc.start();
+  if (!phases.empty()) chaos.start();
+  svc.run_generator();
+  if (!phases.empty()) chaos.stop();
+  svc.stop();
+
+  // Close the final telemetry window before computing phase recovery
+  // metrics from the retained windows (bench::report's stop() is
+  // idempotent).
+  obs::timeline::stop();
+  const std::vector<service::PhaseReport> reports = chaos.reports(targets);
+  const service::Counters c = service::counters();
+
+  // Conservation: every generated session is accounted for exactly once.
+  if (c.generated != c.accepted + c.shed ||
+      c.accepted != c.completed + c.killed) {
+    std::fprintf(stderr,
+                 "service: session accounting broken: generated=%llu "
+                 "accepted=%llu shed=%llu completed=%llu killed=%llu\n",
+                 static_cast<unsigned long long>(c.generated),
+                 static_cast<unsigned long long>(c.accepted),
+                 static_cast<unsigned long long>(c.shed),
+                 static_cast<unsigned long long>(c.completed),
+                 static_cast<unsigned long long>(c.killed));
+    return 1;
+  }
+
+  util::Table table({"arrival_rate", "burstiness", "workers", "generated",
+                     "accepted", "shed", "completed", "killed", "requests",
+                     "worker_deaths", "respawns"});
+  table.add_row({util::Table::fmt(cfg.arrival_rate),
+                 util::Table::fmt(cfg.burstiness),
+                 util::Table::fmt(uint64_t{cfg.workers}),
+                 util::Table::fmt(c.generated), util::Table::fmt(c.accepted),
+                 util::Table::fmt(c.shed), util::Table::fmt(c.completed),
+                 util::Table::fmt(c.killed), util::Table::fmt(c.requests),
+                 util::Table::fmt(c.worker_deaths),
+                 util::Table::fmt(c.respawns)});
+
+  if (!opts.csv && !reports.empty()) {
+    std::printf("\n[chaos] phase recovery (MTTR = time to SLO re-attainment; "
+                "0 = never violated, -1 = never recovered):\n");
+    for (const service::PhaseReport& r : reports) {
+      std::printf(
+          "[chaos]   %-40s onset=%.1fms mttr=%.1fms shed=%llu%s\n",
+          r.phase.spec.c_str(), r.onset_ms, r.mttr_ms,
+          static_cast<unsigned long long>(r.shed_during),
+          r.phase.kind == service::ChaosPhase::Kind::kKill
+              ? (" orphans=" + std::to_string(r.orphans_reaped) +
+                 " reap_latency=" + std::to_string(r.reap_latency_ms) + "ms")
+                    .c_str()
+              : "");
+    }
+  }
+
+  // The v8 "service" section: config, conservation-checked session
+  // accounting, and per-phase recovery reports.
+  auto service_section = [&](std::FILE* f) {
+    std::fprintf(
+        f,
+        "  \"service\": {\"arrival_rate\": %g, \"burstiness\": %g, "
+        "\"workers\": %u, \"queue_capacity\": %u, \"duration_ms\": %g, "
+        "\"chaos_script\": \"%s\",\n"
+        "    \"sessions_generated\": %llu, \"sessions_accepted\": %llu, "
+        "\"sessions_shed\": %llu, \"sessions_completed\": %llu, "
+        "\"sessions_killed\": %llu, \"requests\": %llu, "
+        "\"worker_deaths\": %llu, \"worker_respawns\": %llu, "
+        "\"reap_batches\": %llu, \"chaos_phases\": %llu,\n"
+        "    \"phases\": [",
+        cfg.arrival_rate, cfg.burstiness, cfg.workers, cfg.queue_capacity,
+        cfg.duration_ms,
+        bench::detail::json_escape(opts.chaos_path).c_str(),
+        static_cast<unsigned long long>(c.generated),
+        static_cast<unsigned long long>(c.accepted),
+        static_cast<unsigned long long>(c.shed),
+        static_cast<unsigned long long>(c.completed),
+        static_cast<unsigned long long>(c.killed),
+        static_cast<unsigned long long>(c.requests),
+        static_cast<unsigned long long>(c.worker_deaths),
+        static_cast<unsigned long long>(c.respawns),
+        static_cast<unsigned long long>(c.reap_batches),
+        static_cast<unsigned long long>(c.chaos_phases));
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const service::PhaseReport& r = reports[i];
+      std::fprintf(
+          f,
+          "%s\n      {\"spec\": \"%s\", \"kind\": \"%s\", \"at_ms\": %g, "
+          "\"onset_ms\": %.3f, \"mttr_ms\": %.3f, \"shed_during\": %llu, "
+          "\"orphans_reaped\": %llu, \"reap_latency_ms\": %.3f}",
+          i == 0 ? "" : ",",
+          bench::detail::json_escape(r.phase.spec).c_str(),
+          service::to_string(r.phase.kind), r.phase.at_ms, r.onset_ms,
+          r.mttr_ms, static_cast<unsigned long long>(r.shed_during),
+          static_cast<unsigned long long>(r.orphans_reaped),
+          r.reap_latency_ms);
+    }
+    std::fprintf(f, "%s]},\n", reports.empty() ? "" : "\n    ");
+  };
+
+  return bench::report(table, opts, "service", service_section);
+}

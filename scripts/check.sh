@@ -17,7 +17,16 @@
 #      bench_crash_recovery twice — injected, validated with
 #      --expect-crashes, and clean at --crash-rate 0, where the validator
 #      enforces the zero-overhead guard (all crash counters exactly zero).
-#   6. (--sched) deterministic-schedule stage: runs the scheduled suite
+#   6. (--service) open-loop service smoke: runs bench_service three ways —
+#      a sustainable-rate clean run (exit 0, zero sheds), an over-rate run
+#      against a tiny queue (must shed, still exit 0 — shedding is the
+#      designed overload response, never an error), and a chaos run
+#      (fault storm + worker kills + rate spike) against an unmeetable SLO
+#      that must exit 3 (violated) while the report still validates with
+#      finite recovery bookkeeping. Every report goes through
+#      validate_report.py --schema 8 with the matching --expect-* flags,
+#      which re-prove the session conservation laws offline.
+#   7. (--sched) deterministic-schedule stage: runs the scheduled suite
 #      (exploration batteries, exact-race scripts, the seed sweep, replay
 #      of the tests/schedules regression corpus) honoring DC_SCHED_SEEDS,
 #      then builds build-nosched/ with -DDC_SCHED=OFF and runs the
@@ -25,7 +34,8 @@
 #      when compiled out.
 #
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--fault] [--crash]
-#                         [--sched] [--clock gv1|gv5] [--validate exact|sig]
+#                         [--service] [--sched] [--clock gv1|gv5]
+#                         [--validate exact|sig]
 #
 # --clock pins the global-clock policy (DC_CLOCK) for every stage, so one
 # invocation verifies the whole suite under one policy; CI runs both.
@@ -43,6 +53,7 @@ skip_tsan=0
 skip_asan=0
 fault=0
 crash=0
+service=0
 sched=0
 clock=""
 validate=""
@@ -63,10 +74,11 @@ for arg in "$@"; do
     --skip-asan) skip_asan=1 ;;
     --fault) fault=1 ;;
     --crash) crash=1 ;;
+    --service) service=1 ;;
     --sched) sched=1 ;;
     --clock) prev="--clock" ;;
     --validate) prev="--validate" ;;
-    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --crash --sched --clock gv1|gv5 --validate exact|sig)" >&2; exit 2 ;;
+    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --crash --service --sched --clock gv1|gv5 --validate exact|sig)" >&2; exit 2 ;;
   esac
 done
 if [[ -n "$prev" ]]; then
@@ -138,6 +150,64 @@ if [[ "$crash" == 1 ]]; then
     --duration-ms 50 --repeats 2 --max-threads 4 \
     --crash-rate 0 --json crash-clean-report.json
   python3 scripts/validate_report.py crash-clean-report.json
+fi
+
+if [[ "$service" == 1 ]]; then
+  echo "== service smoke: sustainable rate must hold with zero sheds =="
+  ./build/bench/bench_service \
+    --arrival-rate 1000 --workers 2 --duration-ms 500 \
+    --sample-interval 25 --json service-clean-report.json
+  python3 scripts/validate_report.py service-clean-report.json \
+    --schema 8 --expect-service
+  python3 - service-clean-report.json <<'EOF'
+import json, sys
+svc = json.load(open(sys.argv[1]))["service"]
+assert svc["sessions_shed"] == 0, f"clean run shed {svc['sessions_shed']}"
+EOF
+  echo "== service smoke: over-rate run must shed, not block or fail =="
+  ./build/bench/bench_service \
+    --arrival-rate 50000 --workers 2 --queue-capacity 16 --duration-ms 500 \
+    --json service-shed-report.json
+  python3 scripts/validate_report.py service-shed-report.json \
+    --schema 8 --expect-service --expect-shed
+  echo "== service smoke: chaos run vs an unmeetable SLO must exit 3 =="
+  # update_p999<1us is unattainable (a software-TM update alone costs more):
+  # every window violates, the bench reports the breach via exit 3, and the
+  # orchestrated chaos (storm + kills + spike) must still leave a validating
+  # report — conservation intact, every death respawned, phases annotated.
+  rc=0
+  ./build/bench/bench_service \
+    --arrival-rate 1000 --workers 2 --duration-ms 2000 \
+    --sample-interval 25 --slo "update_p999<1us" \
+    --chaos bench/chaos_service.txt --json service-chaos-report.json || rc=$?
+  if [[ "$rc" != 3 ]]; then
+    echo "expected exit 3 (SLO violated) from the chaos run, got $rc" >&2
+    exit 1
+  fi
+  python3 scripts/validate_report.py service-chaos-report.json \
+    --schema 8 --expect-service
+  python3 - service-chaos-report.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+tot = doc["timeline"]["annotation_totals"]
+assert tot["chaos_phase"] >= 1, "no chaos_phase annotation on the timeline"
+svc = doc["service"]
+assert svc["worker_deaths"] > 0 and \
+    svc["worker_respawns"] == svc["worker_deaths"], \
+    f"kill recovery broken: {svc['worker_deaths']} deaths, " \
+    f"{svc['worker_respawns']} respawns"
+EOF
+  echo "== service smoke: chaos run with headroom SLO must recover (exit 0) =="
+  # Same chaos script, but an SLO the service can actually re-attain between
+  # phases; --slo-observe keeps baseline scheduling noise from failing the
+  # run. --expect-chaos then requires a finite MTTR for every applied phase
+  # — the "survived the storm and the kills" acceptance check.
+  ./build/bench/bench_service \
+    --arrival-rate 1000 --workers 2 --duration-ms 2000 \
+    --sample-interval 25 --slo "update_p999<2ms" --slo-observe \
+    --chaos bench/chaos_service.txt --json service-recovery-report.json
+  python3 scripts/validate_report.py service-recovery-report.json \
+    --schema 8 --expect-service --expect-chaos
 fi
 
 if [[ "$sched" == 1 ]]; then

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Validate a benchmark --json report (schema_version 4 through 7) and,
+"""Validate a benchmark --json report (schema_version 4 through 8) and,
 optionally, a Chrome trace-event file produced by --trace.
 
 Usage: scripts/validate_report.py REPORT.json [TRACE.json] [--expect-events]
            [--expect-faults] [--expect-crashes] [--expect-storms]
-           [--expect-clean-timeline] [--schema N]
+           [--expect-clean-timeline] [--expect-service] [--expect-shed]
+           [--expect-chaos] [--schema N]
 
 The C++ unit tests (tests/obs/export_schema_test.cpp) validate the same
 schemas in-process; this script is the out-of-process check CI runs against
@@ -38,12 +39,30 @@ fault-injected); --expect-clean-timeline requires a timeline with zero
 annotations of every kind (the clean smoke leg). --schema N pins the exact
 schema_version (CI legs assert the binary they just built emits the
 current version, not merely something in the accepted range).
+
+v8 reports add options.slo_observe, the service-level timeline counters
+sessions_shed / chaos_phases (plus the shed_onset / chaos_phase annotation
+kinds), the SLO episode ledger (timeline.slo.reattainments and
+timeline.slo.episodes), and — for bench_service ONLY — a top-level
+"service" section. The validator re-proves the service harness's
+conservation laws offline: sessions_generated == sessions_accepted +
+sessions_shed and sessions_accepted == sessions_completed +
+sessions_killed (shedding is never silent, admitted sessions never
+vanish). The section must be present iff bench == "service"; on every
+other v8 report the timeline's service counters and their annotation
+kinds must be exactly zero — and when the section IS present they must
+telescope to the service totals, the same both-directions dormancy guard
+the fault/crash/signature layers get. --expect-service requires the
+section with nonzero traffic; --expect-shed requires sessions_shed > 0
+(the overload leg); --expect-chaos requires at least one fault-storm AND
+one kill phase survived with every worker death recovered (the chaos
+leg).
 """
 import json
 import sys
 
 SCHEMA_VERSION_MIN = 4
-SCHEMA_VERSION_MAX = 7
+SCHEMA_VERSION_MAX = 8
 
 OPS = ("register", "update", "deregister", "collect", "commit")
 OPS_V6 = OPS + ("validate",)
@@ -53,11 +72,14 @@ ABORT_CODES = ("none", "conflict", "overflow", "explicit", "illegal-access",
 SPURIOUS_CODES = ("interrupt", "tlb-miss", "save-restore")
 
 # Timeline vocabulary (obs/timeline.hpp). Annotation kinds map 1:1 onto the
-# cumulative counter their per-window values decompose.
+# cumulative counter their per-window values decompose. v8 widens both with
+# the service pair; those two counters live in the service section (or are
+# implicitly zero when the report is not from bench_service), not in htm.
 COUNTER_KEYS = ("commits", "aborts", "lock_fallbacks", "tle_entries",
                 "faults_injected", "crashes_injected", "storm_entries",
                 "storm_exits", "lock_recoveries", "orphans_reaped",
                 "sig_validations", "sig_false_aborts", "sig_ring_overflows")
+SERVICE_COUNTER_KEYS = ("sessions_shed", "chaos_phases")
 ANNOTATION_COUNTER = {
     "storm_onset": "storm_entries",
     "storm_exit": "storm_exits",
@@ -66,8 +88,24 @@ ANNOTATION_COUNTER = {
     "sig_saturation": "sig_ring_overflows",
     "thread_crash": "crashes_injected",
 }
+SERVICE_ANNOTATION_COUNTER = {
+    "shed_onset": "sessions_shed",
+    "chaos_phase": "chaos_phases",
+}
 QUANTILE_KEYS = ("p50_ns", "p90_ns", "p99_ns", "p999_ns")
 SLO_QUANTILES = ("p50", "p90", "p99", "p999")
+CHAOS_KINDS = ("fault-storm", "kill", "rate-spike")
+
+
+def counter_keys(version):
+    return COUNTER_KEYS + (SERVICE_COUNTER_KEYS if version >= 8 else ())
+
+
+def annotation_counter(version):
+    m = dict(ANNOTATION_COUNTER)
+    if version >= 8:
+        m.update(SERVICE_ANNOTATION_COUNTER)
+    return m
 
 
 def fail(msg):
@@ -80,16 +118,29 @@ def require(cond, msg):
         fail(msg)
 
 
-def validate_timeline(doc, expect_storms, expect_clean):
-    """Checks the v7 timeline section against the report's own htm counters.
+def validate_timeline(doc, version, expect_storms, expect_clean):
+    """Checks the v7+ timeline section against the report's own counters.
 
     The section is an exact decomposition, not a sketch: when nothing was
     dropped, baseline + per-window deltas must telescope to the cumulative
     counters, and per-kind annotation totals must equal the matching
     counter minus its baseline (each annotation carries its window's
     delta). Sampling skew is not tolerated because the sampler's final
-    tick runs after the workers join (bench::report stops it first)."""
+    tick runs after the workers join (bench::report stops it first).
+
+    v8's service counters (sessions_shed, chaos_phases) have no htm
+    counterpart: they telescope to the service section's totals when the
+    report carries one, and to exactly zero otherwise — the dormancy
+    guard that proves non-service benchmarks never tick them."""
     htm = doc["htm"]
+    keys = counter_keys(version)
+    ann_counter = annotation_counter(version)
+    # The cumulative reference each counter must telescope to.
+    ref = {key: htm[key] for key in COUNTER_KEYS}
+    if version >= 8:
+        svc = doc.get("service")
+        ref["sessions_shed"] = svc["sessions_shed"] if svc else 0
+        ref["chaos_phases"] = svc["chaos_phases"] if svc else 0
     tl = doc.get("timeline")
     require(isinstance(tl, dict), "timeline must be an object")
     require(isinstance(tl.get("sample_interval_ms"), (int, float)) and
@@ -98,7 +149,7 @@ def validate_timeline(doc, expect_storms, expect_clean):
         require(isinstance(tl.get(key), int), f"timeline.{key}")
     baseline = tl.get("baseline")
     require(isinstance(baseline, dict), "timeline.baseline")
-    for key in COUNTER_KEYS:
+    for key in keys:
         require(isinstance(baseline.get(key), int),
                 f"timeline.baseline.{key}")
     windows = tl.get("windows")
@@ -107,7 +158,7 @@ def validate_timeline(doc, expect_storms, expect_clean):
     require(len(windows) ==
             tl["windows_total"] - tl["windows_dropped"],
             "retained window count != windows_total - windows_dropped")
-    sums = dict.fromkeys(COUNTER_KEYS, 0)
+    sums = dict.fromkeys(keys, 0)
     prev_index = None
     prev_end = None
     for w in windows:
@@ -120,7 +171,7 @@ def validate_timeline(doc, expect_storms, expect_clean):
             require(abs(w["t_start_ms"] - prev_end) < 1e-6,
                     "windows do not tile (t_start != previous t_end)")
         prev_index, prev_end = w["i"], w["t_end_ms"]
-        for key in COUNTER_KEYS:
+        for key in keys:
             require(isinstance(w.get(key), int), f"window.{key}")
             sums[key] += w[key]
         ops = w.get("ops")
@@ -138,25 +189,25 @@ def validate_timeline(doc, expect_storms, expect_clean):
                     <= entry["p999_ns"],
                     f"window.ops.{op} quantiles out of order")
     if tl["windows_dropped"] == 0:
-        for key in COUNTER_KEYS:
-            require(baseline[key] + sums[key] == htm[key],
-                    f"timeline windows do not decompose htm.{key}: "
-                    f"{baseline[key]} + {sums[key]} != {htm[key]}")
+        for key in keys:
+            require(baseline[key] + sums[key] == ref[key],
+                    f"timeline windows do not decompose {key}: "
+                    f"{baseline[key]} + {sums[key]} != {ref[key]}")
     totals = tl.get("annotation_totals")
     require(isinstance(totals, dict), "timeline.annotation_totals")
-    require(set(totals) == set(ANNOTATION_COUNTER),
+    require(set(totals) == set(ann_counter),
             "annotation_totals kinds != the documented whitelist")
-    for kind, counter in ANNOTATION_COUNTER.items():
+    for kind, counter in ann_counter.items():
         require(isinstance(totals[kind], int),
                 f"annotation_totals.{kind}")
-        require(totals[kind] == htm[counter] - baseline[counter],
-                f"annotation_totals.{kind} != htm.{counter} - baseline "
-                f"({totals[kind]} != {htm[counter]} - {baseline[counter]})")
+        require(totals[kind] == ref[counter] - baseline[counter],
+                f"annotation_totals.{kind} != {counter} - baseline "
+                f"({totals[kind]} != {ref[counter]} - {baseline[counter]})")
     events = tl.get("annotations")
     require(isinstance(events, list), "timeline.annotations")
-    event_sums = dict.fromkeys(ANNOTATION_COUNTER, 0)
+    event_sums = dict.fromkeys(ann_counter, 0)
     for e in events:
-        require(e.get("kind") in ANNOTATION_COUNTER,
+        require(e.get("kind") in ann_counter,
                 f"annotation kind {e.get('kind')!r} not in whitelist")
         require(isinstance(e.get("t_ms"), (int, float)), "annotation.t_ms")
         require(isinstance(e.get("window"), int), "annotation.window")
@@ -164,7 +215,7 @@ def validate_timeline(doc, expect_storms, expect_clean):
                 "annotation.value must be a positive delta")
         event_sums[e["kind"]] += e["value"]
     if tl["events_dropped"] == 0:
-        for kind in ANNOTATION_COUNTER:
+        for kind in ann_counter:
             require(event_sums[kind] == totals[kind],
                     f"annotation event values for {kind} do not sum to "
                     f"annotation_totals ({event_sums[kind]} != "
@@ -188,6 +239,34 @@ def validate_timeline(doc, expect_storms, expect_clean):
     require(sum(t["violations"] for t in targets) ==
             slo["violations_total"],
             "slo per-target violations do not sum to violations_total")
+    if version >= 8:
+        # The episode ledger: contiguous violation runs and whether each
+        # re-attained the SLO. Reattainments must count exactly the
+        # recovered episodes — the scalar MTTR feeds on.
+        require(isinstance(slo.get("reattainments"), int),
+                "timeline.slo.reattainments")
+        episodes = slo.get("episodes")
+        require(isinstance(episodes, list), "timeline.slo.episodes")
+        recovered = 0
+        for e in episodes:
+            for key in ("start_window", "end_window", "violating_windows"):
+                require(isinstance(e.get(key), int), f"episode.{key}")
+            for key in ("t_start_ms", "t_end_ms"):
+                require(isinstance(e.get(key), (int, float)),
+                        f"episode.{key}")
+            require(isinstance(e.get("recovered"), bool),
+                    "episode.recovered")
+            require(e["violating_windows"] >= 1,
+                    "episode with zero violating windows")
+            require(e["end_window"] >= e["start_window"] and
+                    e["t_end_ms"] >= e["t_start_ms"],
+                    "episode runs backward")
+            recovered += e["recovered"]
+        require(recovered == slo["reattainments"],
+                f"recovered episodes != slo.reattainments "
+                f"({recovered} != {slo['reattainments']})")
+        require(not episodes or slo["violations_total"] > 0,
+                "episodes present but violations_total == 0")
     if expect_storms:
         require(totals["storm_onset"] > 0,
                 "--expect-storms: no storm_onset annotations")
@@ -197,9 +276,103 @@ def validate_timeline(doc, expect_storms, expect_clean):
                 f"({ {k: v for k, v in totals.items() if v} })")
 
 
+def validate_service(doc, expect_service, expect_shed, expect_chaos):
+    """Checks the v8 service section: harness config, session accounting,
+    and per-chaos-phase recovery reports.
+
+    The two conservation laws are the section's whole point — an open-loop
+    harness that loses track of a session under overload or chaos would
+    silently understate latency and overstate availability. Both must hold
+    exactly, in every run, chaos or not."""
+    svc = doc["service"]
+    require(isinstance(svc, dict), "service must be an object")
+    for key in ("arrival_rate", "burstiness", "duration_ms"):
+        require(isinstance(svc.get(key), (int, float)), f"service.{key}")
+    for key in ("workers", "queue_capacity"):
+        require(isinstance(svc.get(key), int) and svc[key] > 0,
+                f"service.{key}")
+    require(isinstance(svc.get("chaos_script"), str), "service.chaos_script")
+    for key in ("sessions_generated", "sessions_accepted", "sessions_shed",
+                "sessions_completed", "sessions_killed", "requests",
+                "worker_deaths", "worker_respawns", "reap_batches",
+                "chaos_phases"):
+        require(isinstance(svc.get(key), int), f"service.{key}")
+    require(svc["sessions_generated"] ==
+            svc["sessions_accepted"] + svc["sessions_shed"],
+            "service conservation broken: generated != accepted + shed "
+            f"({svc['sessions_generated']} != {svc['sessions_accepted']} + "
+            f"{svc['sessions_shed']})")
+    require(svc["sessions_accepted"] ==
+            svc["sessions_completed"] + svc["sessions_killed"],
+            "service conservation broken: accepted != completed + killed "
+            f"({svc['sessions_accepted']} != {svc['sessions_completed']} + "
+            f"{svc['sessions_killed']})")
+    require(svc["sessions_killed"] == svc["worker_deaths"],
+            "each worker death must take exactly its in-flight session "
+            f"({svc['sessions_killed']} killed, {svc['worker_deaths']} "
+            "deaths)")
+    require(svc["worker_respawns"] <= svc["worker_deaths"],
+            "more respawns than deaths")
+    phases = svc.get("phases")
+    require(isinstance(phases, list), "service.phases")
+    kinds = set()
+    applied = 0
+    for p in phases:
+        require(isinstance(p.get("spec"), str), "phase.spec")
+        require(p.get("kind") in CHAOS_KINDS,
+                f"phase.kind {p.get('kind')!r} not in {CHAOS_KINDS}")
+        for key in ("at_ms", "onset_ms", "mttr_ms", "reap_latency_ms"):
+            require(isinstance(p.get(key), (int, float)), f"phase.{key}")
+        for key in ("shed_during", "orphans_reaped"):
+            require(isinstance(p.get(key), int), f"phase.{key}")
+        # onset_ms < 0 is the "never applied" sentinel (the run ended
+        # before the phase's @<ms>); such a phase can have no recovery.
+        if p["onset_ms"] < 0:
+            require(p["mttr_ms"] < 0 and p["shed_during"] == 0 and
+                    p["orphans_reaped"] == 0,
+                    "unapplied phase reports recovery activity")
+            continue
+        applied += 1
+        kinds.add(p["kind"])
+        if expect_chaos:
+            # The survival criterion: every applied phase must have a
+            # finite MTTR — 0 if the SLO never buckled, positive if it
+            # buckled and was re-attained. -1 (never re-attained) is a
+            # legal report (e.g. an unmeetable-SLO run) but fails the
+            # chaos leg, whose whole point is proven recovery.
+            require(p["mttr_ms"] >= 0,
+                    "--expect-chaos: SLO never re-attained after "
+                    f"{p['spec']!r}")
+    require(applied == svc["chaos_phases"],
+            f"phases with an onset ({applied}) != service.chaos_phases "
+            f"({svc['chaos_phases']})")
+    if expect_service:
+        require(svc["sessions_generated"] > 0,
+                "--expect-service: no sessions were generated")
+        require(svc["sessions_completed"] > 0,
+                "--expect-service: no session ever completed")
+    if expect_shed:
+        require(svc["sessions_shed"] > 0,
+                "--expect-shed: overload run shed nothing")
+    if expect_chaos:
+        require(svc["chaos_phases"] > 0, "--expect-chaos: no phase applied")
+        require("fault-storm" in kinds and "kill" in kinds,
+                "--expect-chaos: need at least one fault-storm and one "
+                f"kill phase (got {sorted(kinds)})")
+        require(svc["worker_deaths"] > 0,
+                "--expect-chaos: kill phase but no worker died")
+        require(svc["worker_respawns"] == svc["worker_deaths"],
+                "--expect-chaos: a dead worker slot was never respawned "
+                f"({svc['worker_respawns']} respawns, "
+                f"{svc['worker_deaths']} deaths)")
+        require(svc["sessions_completed"] > 0,
+                "--expect-chaos: the pool never served through the chaos")
+
+
 def validate_report(path, expect_faults=False, expect_crashes=False,
                     expect_storms=False, expect_clean_timeline=False,
-                    exact_schema=None):
+                    expect_service=False, expect_shed=False,
+                    expect_chaos=False, exact_schema=None):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     version = doc.get("schema_version")
@@ -227,6 +400,36 @@ def validate_report(path, expect_faults=False, expect_crashes=False,
                 "options.validation")
     if version >= 7:
         require(isinstance(opts.get("slo"), str), "options.slo")
+    if version >= 8:
+        require(isinstance(opts.get("slo_observe"), bool),
+                "options.slo_observe")
+    # The service section is bench_service's alone: present iff this is a
+    # service report, and only the v8 schema knows it at all.
+    if version >= 8:
+        require(("service" in doc) == (doc["bench"] == "service"),
+                "service section present iff bench == \"service\"")
+    else:
+        require("service" not in doc,
+                f"v{version} report carries a v8 service section")
+        require(not (expect_service or expect_shed or expect_chaos),
+                "--expect-service/--expect-shed/--expect-chaos need a "
+                "v8 bench_service report")
+    if "service" in doc:
+        validate_service(doc, expect_service, expect_shed, expect_chaos)
+    else:
+        require(not (expect_service or expect_shed or expect_chaos),
+                "--expect-service/--expect-shed/--expect-chaos need a "
+                "v8 bench_service report")
+    # Chaos phases are the one legitimate way fault/crash counters go hot
+    # while the --fault-rate/--crash-rate options stay 0: a fault-storm
+    # flips the injector's override, a kill phase injects a thread death.
+    # The dormancy guards below must not misread orchestrated chaos as a
+    # counter leak — but only the kinds that actually fired get a pass.
+    chaos_storm = chaos_kill = False
+    for p in doc.get("service", {}).get("phases", []):
+        if p.get("onset_ms", -1) >= 0:
+            chaos_storm |= p.get("kind") == "fault-storm"
+            chaos_kill |= p.get("kind") == "kill"
     htm = doc.get("htm")
     require(isinstance(htm, dict), "htm must be an object")
     htm_keys = ["commits", "aborts", "abort_rate", "lock_fallbacks",
@@ -252,7 +455,7 @@ def validate_report(path, expect_faults=False, expect_crashes=False,
     if expect_faults:
         require(htm["faults_injected"] > 0,
                 "--expect-faults: no faults were injected")
-    elif opts["fault_rate"] == 0:
+    elif opts["fault_rate"] == 0 and not chaos_storm:
         require(htm["faults_injected"] == 0,
                 "injection off but htm.faults_injected != 0")
         for code in SPURIOUS_CODES:
@@ -262,7 +465,7 @@ def validate_report(path, expect_faults=False, expect_crashes=False,
         require(version >= 5, "--expect-crashes needs a v5 report")
         for key in ("crashes_injected", "lock_recoveries", "orphans_reaped"):
             require(htm[key] > 0, f"--expect-crashes: htm.{key} == 0")
-    elif version >= 5 and opts["crash_rate"] == 0:
+    elif version >= 5 and opts["crash_rate"] == 0 and not chaos_kill:
         for key in ("crashes_injected", "lock_recoveries", "orphans_reaped"):
             require(htm[key] == 0,
                     f"crash injection off but htm.{key} != 0")
@@ -319,7 +522,8 @@ def validate_report(path, expect_faults=False, expect_crashes=False,
             require(trace["events_emitted"] == 0,
                     "trace disabled but events were emitted")
         if opts["sample_interval_ms"] > 0:
-            validate_timeline(doc, expect_storms, expect_clean_timeline)
+            validate_timeline(doc, version, expect_storms,
+                              expect_clean_timeline)
         else:
             require("timeline" not in doc,
                     "sampling off but a timeline section is present "
@@ -378,6 +582,9 @@ def main(argv):
     expect_crashes = "--expect-crashes" in args
     expect_storms = "--expect-storms" in args
     expect_clean_timeline = "--expect-clean-timeline" in args
+    expect_service = "--expect-service" in args
+    expect_shed = "--expect-shed" in args
+    expect_chaos = "--expect-chaos" in args
     exact_schema = None
     trace_paths = []
     i = 0
@@ -395,6 +602,7 @@ def main(argv):
         i += 1
     report = validate_report(argv[1], expect_faults, expect_crashes,
                              expect_storms, expect_clean_timeline,
+                             expect_service, expect_shed, expect_chaos,
                              exact_schema)
     summary = [f"report ok (bench={report['bench']}, "
                f"commits={report['htm']['commits']}, "
@@ -406,6 +614,12 @@ def main(argv):
         summary.append(f"timeline ok ({tl['windows_total']} windows, "
                        f"{storms} storm onsets, "
                        f"{tl['slo']['violations_total']} SLO violations)")
+    if "service" in report:
+        svc = report["service"]
+        summary.append(f"service ok (generated={svc['sessions_generated']}, "
+                       f"shed={svc['sessions_shed']}, "
+                       f"killed={svc['sessions_killed']}, "
+                       f"chaos_phases={svc['chaos_phases']})")
     if trace_paths:
         events = validate_trace(trace_paths[0], expect_events)
         summary.append(f"trace ok ({len(events)} events)")

@@ -31,6 +31,29 @@ std::atomic<uint32_t> g_self_pending{0};
 // rate/script sources went quiet); reset_all()/reset_thread() drain it.
 std::atomic<uint32_t> g_dead_count{0};
 
+// Runtime kill mailbox: one slot per logical worker index, armed by
+// request_worker_kill() from any thread and consumed (exchange-to-zero) by
+// the bound worker in plan(). Encoding: bit 0 = armed, bits 1..2 = Point,
+// bits 8.. = after_ops. g_worker_kills_pending mirrors the number of armed
+// slots so injection_enabled() stays one relaxed load.
+std::atomic<uint64_t>* kill_mailbox() noexcept {
+  static std::atomic<uint64_t>* m = new std::atomic<uint64_t>[kMaxWorkers];
+  return m;
+}
+
+std::atomic<uint32_t> g_worker_kills_pending{0};
+
+// Mailbox word layout: bit 0 armed, bits 1-2 point, bits 8-23 after_ops,
+// bits 24-39 after_blocks (0 = fire at the consuming block; >0 = convert
+// to a deferred self-arm so the kill lands that many atomic blocks into
+// the victim's current work — past a session's admission block, say).
+uint64_t encode_kill(Point point, uint32_t after_ops,
+                     uint32_t after_blocks) noexcept {
+  return 1ull | (static_cast<uint64_t>(point) << 1) |
+         (static_cast<uint64_t>(after_ops & 0xffff) << 8) |
+         (static_cast<uint64_t>(after_blocks & 0xffff) << 24);
+}
+
 struct alignas(64) LivenessSlot {
   std::atomic<uint64_t> heartbeat{0};
   std::atomic<uint64_t> epoch{0};
@@ -46,6 +69,7 @@ struct ThreadCrashState {
   bool registered = false;  // slot epoch bumped for this incarnation
   bool opted_in = false;
   bool dead = false;
+  uint32_t worker = kAnyWorker;  // logical worker index (bind_worker)
   uint32_t tid = 0;
   uint64_t epoch = 0;
   uint64_t blocks = 0;
@@ -111,7 +135,8 @@ bool injection_enabled() noexcept {
   return config().crash.rate > 0.0 ||
          g_script_on.load(std::memory_order_relaxed) ||
          g_self_pending.load(std::memory_order_relaxed) != 0 ||
-         g_dead_count.load(std::memory_order_relaxed) != 0;
+         g_dead_count.load(std::memory_order_relaxed) != 0 ||
+         g_worker_kills_pending.load(std::memory_order_relaxed) != 0;
 }
 
 uint64_t begin_block() noexcept {
@@ -132,11 +157,38 @@ Decision plan(uint64_t block) noexcept {
     g_self_pending.fetch_sub(1, std::memory_order_relaxed);
     return d;
   }
-  if (!s.opted_in) return d;  // scripted + rate kills need opt-in
+  if (!s.opted_in) return d;  // scripted + rate + mailbox kills need opt-in
+  if (s.worker != kAnyWorker &&
+      g_worker_kills_pending.load(std::memory_order_relaxed) != 0) {
+    const uint64_t m =
+        kill_mailbox()[s.worker].exchange(0, std::memory_order_relaxed);
+    if (m != 0) {
+      g_worker_kills_pending.fetch_sub(1, std::memory_order_relaxed);
+      const uint32_t after_blocks = static_cast<uint32_t>((m >> 24) & 0xffff);
+      if (after_blocks == 0) {
+        d.fire = true;
+        d.point = static_cast<Point>((m >> 1) & 0x3);
+        d.after_ops = static_cast<uint32_t>((m >> 8) & 0xffff);
+        return d;
+      }
+      // Deferred kill: re-arm as a self-schedule so it fires a few atomic
+      // blocks from now — e.g. past a session's admission block, where the
+      // victim actually holds a lease worth orphaning. Overwrites any
+      // pending self-schedule (same rule as schedule_self re-arming).
+      if (!s.self_armed) {
+        g_self_pending.fetch_add(1, std::memory_order_relaxed);
+      }
+      s.self_armed = true;
+      s.self_block = block + after_blocks;
+      s.self_point = static_cast<Point>((m >> 1) & 0x3);
+      s.self_after_ops = static_cast<uint32_t>((m >> 8) & 0xffff);
+    }
+  }
   if (g_script_on.load(std::memory_order_relaxed)) {
     const uint32_t tid = util::thread_id();
     for (const ScriptedCrash& e : script_storage()) {
       if ((e.tid == kAnyThread || e.tid == tid) &&
+          (e.worker == kAnyWorker || e.worker == s.worker) &&
           (e.block == kAnyBlock || e.block == block)) {
         d.fire = true;
         d.point = e.point;
@@ -184,6 +236,30 @@ void enable_self() noexcept {
   ThreadCrashState& s = state();
   ensure_registered(s);
   s.opted_in = true;
+}
+
+void bind_worker(uint32_t widx) noexcept {
+  ThreadCrashState& s = state();
+  ensure_registered(s);
+  s.worker = widx < kMaxWorkers ? widx : kAnyWorker;
+  s.opted_in = true;  // pool-construction-time opt-in
+}
+
+uint32_t bound_worker() noexcept { return state().worker; }
+
+bool request_worker_kill(uint32_t widx, Point point, uint32_t after_ops,
+                         uint32_t after_blocks) noexcept {
+  if (widx >= kMaxWorkers) return false;
+  const uint64_t prev = kill_mailbox()[widx].exchange(
+      encode_kill(point, after_ops, after_blocks), std::memory_order_relaxed);
+  if (prev == 0) {
+    g_worker_kills_pending.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+uint32_t worker_kills_pending() noexcept {
+  return g_worker_kills_pending.load(std::memory_order_relaxed);
 }
 
 void heartbeat() noexcept {
@@ -243,6 +319,7 @@ void reset_thread() noexcept {
   s.blocks = 0;
   s.seeded = false;  // re-seed lazily from the current Config::crash.seed
   s.opted_in = false;
+  s.worker = kAnyWorker;
   s.dead = false;
   s.registered = false;  // re-register: fresh epoch, dead flag cleared
   ensure_registered(s);
@@ -250,6 +327,11 @@ void reset_thread() noexcept {
 
 void reset_all() noexcept {
   clear_script();
+  for (uint32_t w = 0; w < kMaxWorkers; ++w) {
+    if (kill_mailbox()[w].exchange(0, std::memory_order_relaxed) != 0) {
+      g_worker_kills_pending.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
   for (uint32_t tid = 0; tid < util::kMaxThreads; ++tid) {
     LivenessSlot& slot = slots()[tid];
     if (slot.dead.exchange(0, std::memory_order_relaxed) != 0) {

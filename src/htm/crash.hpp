@@ -48,9 +48,10 @@
 
 namespace dc::htm::crash {
 
-// Matches any thread / any block in a ScriptedCrash.
+// Matches any thread / any block / any worker in a ScriptedCrash.
 inline constexpr uint32_t kAnyThread = ~0u;
 inline constexpr uint64_t kAnyBlock = ~0ull;
+inline constexpr uint32_t kAnyWorker = ~0u;
 
 // Where inside the atomic block the thread dies.
 enum class Point : uint8_t {
@@ -79,11 +80,20 @@ struct ThreadCrash {
 // `tid` (counted from the last reset_thread() there) at `point`, after the
 // block has issued `after_ops` transactional ops. Matches opted-in
 // (run_victim/enable_self) threads only.
+//
+// `worker` addresses the kill by *logical worker index* instead of (or in
+// addition to) the dense thread id: a service worker pool binds each
+// member to a stable index via bind_worker(), and that binding survives the
+// OS thread being respawned after a death — so "kill worker 3" stays
+// meaningful across incarnations, which raw thread ids (recycled at thread
+// exit) cannot promise. kAnyWorker (the default) keeps the pre-existing
+// tid/block addressing semantics unchanged.
 struct ScriptedCrash {
   uint32_t tid = kAnyThread;
   uint64_t block = kAnyBlock;
   Point point = Point::kTxnOp;
   uint32_t after_ops = 0;
+  uint32_t worker = kAnyWorker;
 };
 
 // What plan() decided for one atomic block.
@@ -132,6 +142,44 @@ void schedule_self(Point point, uint64_t blocks_from_now = 0,
 // Marks the calling thread kill-eligible for rate/scripted draws until it
 // dies or reset_thread() runs.
 void enable_self() noexcept;
+
+// ----- Worker addressing + runtime kill mailbox ----------------------------
+// set_script() is quiescent-only, which is fine for tests but useless to a
+// chaos orchestrator that wants to kill a worker *while the service runs*.
+// The mailbox is the runtime-safe alternative: one atomic slot per logical
+// worker index, armed by any thread at any time and consumed by the bound
+// worker at its next atomic block. Pending kills turn injection_enabled()
+// on, so an otherwise-injection-free run still takes the instrumented path
+// the moment a kill is requested.
+
+// Binds the calling thread to logical worker index `widx` (< kMaxWorkers)
+// AND marks it kill-eligible — the pool-construction-time opt-in: call once
+// when the worker starts instead of threading run_victim's per-call opt-in
+// through every operation. The binding is thread-local and cleared by
+// reset_thread(); a respawned worker re-binds the same index.
+inline constexpr uint32_t kMaxWorkers = 256;
+void bind_worker(uint32_t widx) noexcept;
+
+// The calling thread's bound worker index, or kAnyWorker if unbound.
+uint32_t bound_worker() noexcept;
+
+// Arms a one-shot kill for whichever opted-in thread is currently bound to
+// `widx`: it fires at that worker's next atomic block, at `point`, after
+// `after_ops` transactional ops. `after_blocks` defers the death: the
+// consuming block converts the kill into a self-schedule that fires that
+// many atomic blocks later (an idle worker consumes the mailbox on its
+// next session's first block — admission — where death orphans nothing;
+// a small deferral lands the kill mid-session with a lease held). Both
+// counts are truncated to 16 bits. Safe from any thread while the victim
+// runs (one relaxed exchange on the victim's slot). Re-arming an already
+// armed slot overwrites the pending kill. Returns false for an
+// out-of-range index.
+bool request_worker_kill(uint32_t widx, Point point = Point::kTxnOp,
+                         uint32_t after_ops = 0,
+                         uint32_t after_blocks = 0) noexcept;
+
+// Number of armed worker kills not yet consumed.
+uint32_t worker_kills_pending() noexcept;
 
 // Runs `body` on the calling thread with kill-eligibility enabled and
 // absorbs a ThreadCrash: returns true if the body completed, false if it

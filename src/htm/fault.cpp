@@ -23,6 +23,13 @@ std::vector<ScriptedAbort>& script_storage() noexcept {
 
 std::atomic<bool> g_script_on{false};
 
+// Runtime storm override (see fault.hpp). Negative = inactive. Relaxed is
+// enough: the injector is probabilistic, so the exact attempt at which a
+// worker observes the new rate is immaterial — what matters is that the
+// read itself is race-free, which Config::fault.rate (a plain double)
+// cannot offer mid-run.
+std::atomic<double> g_rate_override{-1.0};
+
 struct ThreadFaultState {
   uint64_t blocks = 0;
   bool seeded = false;
@@ -54,7 +61,7 @@ void seed_stream(ThreadFaultState& s) noexcept {
 }  // namespace
 
 bool injection_enabled() noexcept {
-  return config().fault.rate > 0.0 ||
+  return effective_rate() > 0.0 ||
          g_script_on.load(std::memory_order_relaxed);
 }
 
@@ -75,7 +82,7 @@ Decision plan(uint64_t block, uint32_t attempt) noexcept {
       }
     }
   }
-  const double rate = config().fault.rate;
+  const double rate = effective_rate();
   if (rate > 0.0) {
     ThreadFaultState& s = state();
     if (!s.seeded) seed_stream(s);
@@ -92,6 +99,21 @@ Decision plan(uint64_t block, uint32_t attempt) noexcept {
     }
   }
   return d;
+}
+
+void set_rate_override(double rate) noexcept {
+  if (rate > 1.0) rate = 1.0;
+  g_rate_override.store(rate < 0.0 ? -1.0 : rate,
+                        std::memory_order_relaxed);
+}
+
+double rate_override() noexcept {
+  return g_rate_override.load(std::memory_order_relaxed);
+}
+
+double effective_rate() noexcept {
+  const double o = g_rate_override.load(std::memory_order_relaxed);
+  return o >= 0.0 ? o : config().fault.rate;
 }
 
 void set_script(std::vector<ScriptedAbort> script) {

@@ -88,6 +88,20 @@ Decision plan(uint64_t block, uint32_t attempt) noexcept;
 void set_script(std::vector<ScriptedAbort> script);
 void clear_script();
 
+// Runtime rate override for externally-orchestrated fault storms. The base
+// Config::fault.rate is a plain double and therefore quiescent-only; a
+// chaos orchestrator that wants to raise the spurious-abort rate for a
+// timed window *while workers run* sets the override instead (one atomic,
+// read per attempt). A negative value (the default) clears the override
+// and falls back to Config::fault.rate; values are clamped to [0, 1].
+// The per-thread draw streams are unaffected — only the threshold moves.
+void set_rate_override(double rate) noexcept;
+double rate_override() noexcept;  // negative when no override is active
+
+// The rate plan() is currently drawing against (override if set, else
+// Config::fault.rate).
+double effective_rate() noexcept;
+
 // Rezeroes the calling thread's block counter and re-seeds its draw stream
 // from the current Config::fault.seed. Tests call this so scripts can
 // address blocks relative to the test's start.

@@ -29,6 +29,8 @@ CounterSample diff(const CounterSample& cur, const CounterSample& prev) {
   d.sig_false_aborts = sub(cur.sig_false_aborts, prev.sig_false_aborts);
   d.sig_ring_overflows =
       sub(cur.sig_ring_overflows, prev.sig_ring_overflows);
+  d.sessions_shed = sub(cur.sessions_shed, prev.sessions_shed);
+  d.chaos_phases = sub(cur.chaos_phases, prev.chaos_phases);
   return d;
 }
 
@@ -55,6 +57,9 @@ struct State {
   uint64_t kind_sums[static_cast<std::size_t>(Annotation::kNumKinds)] = {};
   std::vector<slo::TargetState> slo;
   uint64_t slo_violations = 0;
+  std::vector<SloEpisode> episodes;  // back() is open iff episode_open
+  bool episode_open = false;
+  uint64_t reattainments = 0;
 
   // Sampler-thread-only cursor state (no lock needed).
   CounterSample base;      // sample at start()
@@ -82,6 +87,8 @@ void annotate(State& s, const Window& w) {
       {Annotation::kOrphanReap, w.delta.orphans_reaped},
       {Annotation::kSigSaturation, w.delta.sig_ring_overflows},
       {Annotation::kThreadCrash, w.delta.crashes_injected},
+      {Annotation::kShedOnset, w.delta.sessions_shed},
+      {Annotation::kChaosPhase, w.delta.chaos_phases},
   };
   for (const Rule& r : rules) {
     if (r.value == 0) continue;
@@ -94,31 +101,68 @@ void annotate(State& s, const Window& w) {
   }
 }
 
+// The window's quantile for one target; false when the target's op had no
+// samples in the window (the vacuous case — it neither violates nor counts
+// as evaluated).
+bool target_quantile_ns(const Window& w, const slo::Target& t,
+                        double* q_out) {
+  const OpWindow& op = w.ops[static_cast<std::size_t>(t.op)];
+  if (op.count == 0) return false;
+  switch (t.quantile) {
+    case slo::Quantile::kP50:
+      *q_out = op.p50_ns;
+      break;
+    case slo::Quantile::kP90:
+      *q_out = op.p90_ns;
+      break;
+    case slo::Quantile::kP99:
+      *q_out = op.p99_ns;
+      break;
+    case slo::Quantile::kP999:
+      *q_out = op.p999_ns;
+      break;
+  }
+  return true;
+}
+
 void evaluate_slo(State& s, const Window& w) {
+  bool evaluated = false;  // >= 1 target had samples this window
+  bool violating = false;
   for (slo::TargetState& ts : s.slo) {
-    const OpWindow& op = w.ops[static_cast<std::size_t>(ts.target.op)];
-    if (op.count == 0) continue;  // vacuous: no samples this window
     double q = 0.0;
-    switch (ts.target.quantile) {
-      case slo::Quantile::kP50:
-        q = op.p50_ns;
-        break;
-      case slo::Quantile::kP90:
-        q = op.p90_ns;
-        break;
-      case slo::Quantile::kP99:
-        q = op.p99_ns;
-        break;
-      case slo::Quantile::kP999:
-        q = op.p999_ns;
-        break;
-    }
+    if (!target_quantile_ns(w, ts.target, &q)) continue;
+    evaluated = true;
     ++ts.windows_evaluated;
     if (q > ts.worst_ns) ts.worst_ns = q;
     if (slo::violated(ts.target, q)) {
+      violating = true;
       ++ts.violations;
       ++s.slo_violations;
     }
+  }
+  // Episode tracking: a violating window opens (or extends) an episode; the
+  // first *evaluated* clean window after it closes the episode — that close
+  // is the re-attainment MTTR measures against. Windows with no samples at
+  // all are skipped: an idle gap proves nothing about recovery.
+  if (violating) {
+    if (!s.episode_open) {
+      SloEpisode e;
+      e.start_window = w.index;
+      e.t_start_ms = w.t_end_ms;
+      s.episodes.push_back(e);
+      s.episode_open = true;
+    }
+    SloEpisode& e = s.episodes.back();
+    e.end_window = w.index;  // last violation so far (frozen if never clean)
+    e.t_end_ms = w.t_end_ms;
+    ++e.violating_windows;
+  } else if (evaluated && s.episode_open) {
+    SloEpisode& e = s.episodes.back();
+    e.end_window = w.index;
+    e.t_end_ms = w.t_end_ms;
+    e.recovered = true;
+    s.episode_open = false;
+    ++s.reattainments;
   }
 }
 
@@ -196,6 +240,10 @@ const char* to_string(Annotation kind) noexcept {
       return "sig_saturation";
     case Annotation::kThreadCrash:
       return "thread_crash";
+    case Annotation::kShedOnset:
+      return "shed_onset";
+    case Annotation::kChaosPhase:
+      return "chaos_phase";
     case Annotation::kNumKinds:
       break;
   }
@@ -223,6 +271,9 @@ bool start(const SamplerConfig& cfg) {
   s.slo.clear();
   for (const slo::Target& t : cfg.slo) s.slo.push_back(slo::TargetState{t});
   s.slo_violations = 0;
+  s.episodes.clear();
+  s.episode_open = false;
+  s.reattainments = 0;
   s.base = cfg.provider();
   s.last = s.base;
   for (std::size_t op = 0; op < kNumOps; ++op) {
@@ -330,6 +381,27 @@ uint64_t slo_violations_total() noexcept {
   return s.slo_violations;
 }
 
+std::vector<SloEpisode> slo_episodes() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  return s.episodes;
+}
+
+uint64_t slo_reattainments() noexcept {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  return s.reattainments;
+}
+
+bool window_violates_slo(const Window& w,
+                         const std::vector<slo::Target>& targets) {
+  for (const slo::Target& t : targets) {
+    double q = 0.0;
+    if (target_quantile_ns(w, t, &q) && slo::violated(t, q)) return true;
+  }
+  return false;
+}
+
 bool reset() noexcept {
   State& s = state();
   std::lock_guard lock(s.mu);
@@ -343,6 +415,9 @@ bool reset() noexcept {
   for (uint64_t& k : s.kind_sums) k = 0;
   s.slo.clear();
   s.slo_violations = 0;
+  s.episodes.clear();
+  s.episode_open = false;
+  s.reattainments = 0;
   s.base = CounterSample{};
   s.last = CounterSample{};
   s.effective_interval_ms = 0.0;
@@ -393,6 +468,9 @@ bool export_prometheus(const std::string& path) {
        c.sig_false_aborts},
       {"dc_sig_ring_overflows_total", "Signature-ring exact fallbacks",
        c.sig_ring_overflows},
+      {"dc_sessions_shed_total", "Service sessions shed at admission",
+       c.sessions_shed},
+      {"dc_chaos_phases_total", "Chaos phases applied", c.chaos_phases},
   };
   for (const Row& r : counters) {
     std::fprintf(f, "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", r.name,
@@ -450,6 +528,12 @@ bool export_prometheus(const std::string& path) {
                  ts.target.spec.c_str(),
                  static_cast<unsigned long long>(ts.violations));
   }
+  std::fprintf(f,
+               "# HELP dc_slo_reattainments_total Violation episodes that "
+               "closed with a clean window\n"
+               "# TYPE dc_slo_reattainments_total counter\n"
+               "dc_slo_reattainments_total %llu\n",
+               static_cast<unsigned long long>(s.reattainments));
   std::fclose(f);
   return true;
 }

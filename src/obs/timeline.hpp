@@ -66,6 +66,12 @@ struct CounterSample {
   uint64_t sig_validations = 0;
   uint64_t sig_false_aborts = 0;
   uint64_t sig_ring_overflows = 0;
+  // Service-tier counters (src/service). Zero outside service runs: the
+  // default htm-only provider never sets them, so closed-loop reports stay
+  // byte-identical in shape and the validator can enforce all-zero when no
+  // "service" section is present.
+  uint64_t sessions_shed = 0;
+  uint64_t chaos_phases = 0;
 };
 
 using CounterProvider = CounterSample (*)();
@@ -95,8 +101,9 @@ struct Window {
 // over all events equals the cumulative counter (storm_onset ->
 // storm_entries, storm_exit -> storm_exits, lock_recovery ->
 // lock_recoveries, orphan_reap -> orphans_reaped, sig_saturation ->
-// sig_ring_overflows, thread_crash -> crashes_injected) whenever no events
-// were dropped.
+// sig_ring_overflows, thread_crash -> crashes_injected, shed_onset ->
+// sessions_shed, chaos_phase -> chaos_phases) whenever no events were
+// dropped.
 enum class Annotation : uint8_t {
   kStormOnset = 0,
   kStormExit,
@@ -104,6 +111,8 @@ enum class Annotation : uint8_t {
   kOrphanReap,
   kSigSaturation,
   kThreadCrash,
+  kShedOnset,
+  kChaosPhase,
   kNumKinds,
 };
 
@@ -160,6 +169,37 @@ CounterSample baseline();
 // SLO evaluation state (one entry per configured target, config order).
 std::vector<slo::TargetState> slo_results();
 uint64_t slo_violations_total() noexcept;
+
+// One contiguous run of SLO-violating windows. Episodes make *recovery*
+// first-class: a chaos phase that pushes latency over target opens an
+// episode at the first violating window, and the episode closes — the SLO
+// is re-attained — at the first later window that was evaluated (had op
+// samples for at least one target) and violated nothing. MTTR for a phase
+// is then t_end_ms of its episode minus the phase onset. An episode still
+// open at stop() has recovered == false and t_end_ms/end_window frozen at
+// the last violating window seen.
+struct SloEpisode {
+  uint64_t start_window = 0;  // Window::index of the first violation
+  double t_start_ms = 0.0;    // that window's t_end_ms (detection time)
+  uint64_t end_window = 0;    // first clean evaluated window (if recovered)
+  double t_end_ms = 0.0;      // re-attainment time; last-violation if not
+  bool recovered = false;
+  uint64_t violating_windows = 0;
+};
+
+// All episodes, oldest first (copied under lock; safe at any time).
+std::vector<SloEpisode> slo_episodes();
+
+// Number of closed (recovered) episodes.
+uint64_t slo_reattainments() noexcept;
+
+// True if `w` violates any of `targets` — the same per-window test the
+// sampler applies, exposed so embedders (the chaos orchestrator's MTTR
+// computation) can re-run it over retained windows without duplicating the
+// quantile-picking logic. A window with no samples for a target does not
+// violate it.
+bool window_violates_slo(const Window& w,
+                         const std::vector<slo::Target>& targets);
 
 // Prometheus-style text exposition of the end-of-run state: cumulative
 // substrate counters, per-op latency quantiles, annotation totals, window

@@ -1,0 +1,53 @@
+#include "service/arrival.hpp"
+
+#include <cmath>
+
+namespace dc::service {
+
+namespace {
+
+// Mean dwell per modulation state, expressed in base-rate arrivals: long
+// enough that the arrival-boundary switching approximation is immaterial,
+// short enough that a 500 ms run still sees several hot/cold alternations
+// at the rates the benches use.
+constexpr double kDwellArrivals = 64.0;
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.rate_per_sec <= 0.0) cfg_.rate_per_sec = 1.0;
+  if (cfg_.burstiness < 0.0) cfg_.burstiness = 0.0;
+  if (cfg_.burstiness >= 1.0) cfg_.burstiness = 0.95;
+  if (cfg_.burstiness > 0.0) {
+    dwell_left_ns_ =
+        draw_exponential(kDwellArrivals * 1e9 / cfg_.rate_per_sec);
+  }
+}
+
+double ArrivalProcess::current_rate_per_ns() const noexcept {
+  const double base = cfg_.rate_per_sec / 1e9;
+  if (cfg_.burstiness == 0.0) return base;
+  return hot_ ? base * (1.0 + cfg_.burstiness)
+              : base * (1.0 - cfg_.burstiness);
+}
+
+double ArrivalProcess::draw_exponential(double mean) {
+  // next_double() is in [0, 1), so 1-u is in (0, 1] and the log is finite.
+  return -std::log(1.0 - rng_.next_double()) * mean;
+}
+
+uint64_t ArrivalProcess::next_gap_ns() {
+  const double gap = draw_exponential(1.0 / current_rate_per_ns());
+  if (cfg_.burstiness > 0.0) {
+    dwell_left_ns_ -= gap;
+    if (dwell_left_ns_ <= 0.0) {
+      hot_ = !hot_;
+      dwell_left_ns_ =
+          draw_exponential(kDwellArrivals * 1e9 / cfg_.rate_per_sec);
+    }
+  }
+  return static_cast<uint64_t>(gap);
+}
+
+}  // namespace dc::service

@@ -1,0 +1,68 @@
+// Open-loop arrival processes for the session service harness.
+//
+// Closed-loop drivers (every bench so far) issue the next operation only
+// after the previous one returns, so a stall in the substrate slows the
+// *load generator* down and the measured latencies silently omit the
+// requests that would have arrived during the stall — the coordinated-
+// omission trap. An open-loop process fixes the arrival times in advance:
+// sessions arrive when the process says they arrive, whether or not the
+// service kept up, and latency is charged from the intended arrival
+// instant (service.cpp).
+//
+// Two processes, selected by the burstiness knob:
+//
+//  * burstiness == 0: homogeneous Poisson — i.i.d. exponential gaps with
+//    rate `rate_per_sec`.
+//  * burstiness b in (0, 1): a two-state Markov-modulated Poisson process
+//    (MMPP-2). The process alternates between a hot state at rate
+//    lambda*(1+b) and a cold state at rate lambda*(1-b), dwelling in each
+//    for an exponential time long enough to cover ~64 base-rate arrivals.
+//    Equal expected dwell in both states keeps the time-average rate at
+//    lambda exactly, while the mixture makes gap variance super-
+//    exponential (CV > 1) — the bursty traffic that stresses the bounded
+//    accept queue and the shedding policy.
+//
+// Approximation (documented, deliberate): the state dwell clock is
+// decremented by the drawn gaps, so state switches take effect at arrival
+// boundaries rather than mid-gap. At >= 64 arrivals per dwell the bias on
+// both the mean and the burst structure is negligible, and the process
+// stays a pure function of the seed — a given (rate, burstiness, seed)
+// replays the same arrival schedule on every run, which the determinism
+// tests rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace dc::service {
+
+struct ArrivalConfig {
+  double rate_per_sec = 1000.0;
+  double burstiness = 0.0;  // [0, 1); 0 = pure Poisson
+  uint64_t seed = 1;
+};
+
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& cfg);
+
+  // Nanoseconds from the previous arrival to the next one. Deterministic
+  // given the config seed.
+  uint64_t next_gap_ns();
+
+  // True while the modulating chain is in its hot state (always false for
+  // pure Poisson). Exposed for the burst-structure tests.
+  bool hot() const noexcept { return hot_; }
+
+ private:
+  double current_rate_per_ns() const noexcept;
+  double draw_exponential(double mean);
+
+  ArrivalConfig cfg_;
+  util::Xoshiro256 rng_;
+  bool hot_ = false;
+  double dwell_left_ns_ = 0.0;
+};
+
+}  // namespace dc::service

@@ -1,0 +1,389 @@
+#include "service/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "htm/fault.hpp"
+#include "service/service.hpp"
+#include "util/cycles.hpp"
+
+namespace dc::service {
+
+namespace tl = obs::timeline;
+
+const char* to_string(ChaosPhase::Kind k) noexcept {
+  switch (k) {
+    // Matches the script grammar's verbs so a phase's JSON "kind" is the
+    // word the operator wrote.
+    case ChaosPhase::Kind::kFaultStorm:
+      return "fault-storm";
+    case ChaosPhase::Kind::kKill:
+      return "kill";
+    case ChaosPhase::Kind::kRateSpike:
+      return "rate-spike";
+  }
+  return "?";
+}
+
+namespace {
+
+bool fail(std::string* err, int line_no, const std::string& why) {
+  if (err != nullptr) {
+    *err = "chaos script line " + std::to_string(line_no) + ": " + why;
+  }
+  return false;
+}
+
+bool parse_point(const std::string& v, htm::crash::Point* out) {
+  if (v == "txn_op") {
+    *out = htm::crash::Point::kTxnOp;
+  } else if (v == "commit_entry") {
+    *out = htm::crash::Point::kCommitEntry;
+  } else if (v == "lock_held") {
+    *out = htm::crash::Point::kLockHeld;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_script(const std::string& text, std::vector<ChaosPhase>* out,
+                  std::string* err) {
+  out->clear();
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // blank / comment-only
+    if (tok.size() < 2 || tok[0] != '@') {
+      return fail(err, line_no, "expected '@<ms>', got '" + tok + "'");
+    }
+    ChaosPhase p;
+    p.at_ms = std::atof(tok.c_str() + 1);
+    if (p.at_ms < 0.0) return fail(err, line_no, "negative onset time");
+    std::string verb;
+    if (!(ls >> verb)) return fail(err, line_no, "missing phase verb");
+    if (verb == "fault-storm") {
+      p.kind = ChaosPhase::Kind::kFaultStorm;
+    } else if (verb == "kill") {
+      p.kind = ChaosPhase::Kind::kKill;
+    } else if (verb == "rate-spike") {
+      p.kind = ChaosPhase::Kind::kRateSpike;
+    } else {
+      return fail(err, line_no, "unknown verb '" + verb + "'");
+    }
+    bool have_rate = false, have_for = false, have_worker = false,
+         have_spike = false;
+    while (ls >> tok) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) {
+        return fail(err, line_no, "expected key=value, got '" + tok + "'");
+      }
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "rate") {
+        p.rate = std::atof(val.c_str());
+        if (p.rate < 0.0 || p.rate > 1.0) {
+          return fail(err, line_no, "rate must be in [0,1]");
+        }
+        have_rate = true;
+      } else if (key == "for") {
+        p.for_ms = std::atof(val.c_str());
+        if (p.for_ms <= 0.0) return fail(err, line_no, "for= must be > 0");
+        have_for = true;
+      } else if (key == "worker") {
+        if (val == "any") {
+          p.worker = htm::crash::kAnyWorker;
+        } else {
+          p.worker = static_cast<uint32_t>(std::atoi(val.c_str()));
+        }
+        have_worker = true;
+      } else if (key == "point") {
+        if (!parse_point(val, &p.point)) {
+          return fail(err, line_no,
+                      "point must be txn_op|commit_entry|lock_held");
+        }
+      } else if (key == "after") {
+        const int blocks = std::atoi(val.c_str());
+        if (blocks < 0 || blocks > 0xffff) {
+          return fail(err, line_no, "after= must be in [0,65535]");
+        }
+        p.after_blocks = static_cast<uint32_t>(blocks);
+      } else if (key == "x") {
+        p.spike = std::atof(val.c_str());
+        if (p.spike <= 0.0) return fail(err, line_no, "x= must be > 0");
+        have_spike = true;
+      } else {
+        return fail(err, line_no, "unknown key '" + key + "'");
+      }
+    }
+    switch (p.kind) {
+      case ChaosPhase::Kind::kFaultStorm:
+        if (!have_rate || !have_for) {
+          return fail(err, line_no, "fault-storm needs rate= and for=");
+        }
+        break;
+      case ChaosPhase::Kind::kKill:
+        if (!have_worker) return fail(err, line_no, "kill needs worker=");
+        break;
+      case ChaosPhase::Kind::kRateSpike:
+        if (!have_spike || !have_for) {
+          return fail(err, line_no, "rate-spike needs x= and for=");
+        }
+        break;
+    }
+    // Reconstruct a canonical spec for reports (whitespace-normalized).
+    char head[64];
+    std::snprintf(head, sizeof head, "@%g ", p.at_ms);
+    std::string spec = std::string(head) + verb;
+    {
+      char buf[96];
+      switch (p.kind) {
+        case ChaosPhase::Kind::kFaultStorm:
+          std::snprintf(buf, sizeof buf, " rate=%g for=%g", p.rate, p.for_ms);
+          break;
+        case ChaosPhase::Kind::kKill:
+          if (p.worker == htm::crash::kAnyWorker) {
+            std::snprintf(buf, sizeof buf, " worker=any point=%s after=%u",
+                          htm::crash::to_string(p.point), p.after_blocks);
+          } else {
+            std::snprintf(buf, sizeof buf, " worker=%u point=%s after=%u",
+                          p.worker, htm::crash::to_string(p.point),
+                          p.after_blocks);
+          }
+          break;
+        case ChaosPhase::Kind::kRateSpike:
+          std::snprintf(buf, sizeof buf, " x=%g for=%g", p.spike, p.for_ms);
+          break;
+      }
+      spec += buf;
+    }
+    p.spec = spec;
+    out->push_back(std::move(p));
+  }
+  std::stable_sort(out->begin(), out->end(),
+                   [](const ChaosPhase& a, const ChaosPhase& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return true;
+}
+
+bool load_script(const std::string& path, std::vector<ChaosPhase>* out,
+                 std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open chaos script " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_script(text, out, err);
+}
+
+ChaosOrchestrator::ChaosOrchestrator(std::vector<ChaosPhase> phases,
+                                     Service* svc)
+    : phases_(std::move(phases)),
+      svc_(svc),
+      onset_ms_(phases_.size(), -1.0) {}
+
+ChaosOrchestrator::~ChaosOrchestrator() {
+  if (started_ && !stopped_) stop();
+}
+
+void ChaosOrchestrator::start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void ChaosOrchestrator::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  // Safety net: whatever the thread was in the middle of, leave the
+  // process with no chaos overrides active.
+  htm::fault::set_rate_override(-1.0);
+  if (svc_ != nullptr) svc_->set_rate_multiplier(1.0);
+}
+
+void ChaosOrchestrator::thread_main() {
+  // Flatten phases into a time-ordered action list: an onset per phase,
+  // plus a revert at the end of each windowed phase. Overlapping windows
+  // of the SAME kind are not composed — the later revert wins — which the
+  // scripts we ship avoid; kills are point events and never revert.
+  struct Action {
+    double t_ms;
+    std::size_t phase;
+    bool onset;
+  };
+  std::vector<Action> actions;
+  actions.reserve(phases_.size() * 2);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    actions.push_back({phases_[i].at_ms, i, true});
+    if (phases_[i].kind != ChaosPhase::Kind::kKill) {
+      actions.push_back({phases_[i].at_ms + phases_[i].for_ms, i, false});
+    }
+  }
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const Action& a, const Action& b) {
+                     return a.t_ms < b.t_ms;
+                   });
+
+  const uint64_t t0 = util::rdcycles();
+  const uint64_t tl0 = tl::start_cycles();  // 0 when no sampler ran
+  for (const Action& a : actions) {
+    for (;;) {
+      if (stop_requested_.load(std::memory_order_relaxed)) return;
+      const double now_ms = util::cycles_to_ns(util::rdcycles() - t0) / 1e6;
+      if (now_ms >= a.t_ms) break;
+      const double left = a.t_ms - now_ms;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          left > 1.0 ? 1.0 : left));
+    }
+    ChaosPhase& p = phases_[a.phase];
+    if (a.onset) {
+      switch (p.kind) {
+        case ChaosPhase::Kind::kFaultStorm:
+          htm::fault::set_rate_override(p.rate);
+          break;
+        case ChaosPhase::Kind::kKill: {
+          uint32_t target = p.worker;
+          if (target == htm::crash::kAnyWorker) {
+            const uint32_t pool =
+                svc_ != nullptr ? svc_->config().workers : 1;
+            target = rr_next_++ % (pool == 0 ? 1 : pool);
+          }
+          htm::crash::request_worker_kill(target, p.point, /*after_ops=*/0,
+                                          p.after_blocks);
+          break;
+        }
+        case ChaosPhase::Kind::kRateSpike:
+          if (svc_ != nullptr) svc_->set_rate_multiplier(p.spike);
+          break;
+      }
+      note_chaos_phase();
+      const uint64_t base = tl0 != 0 ? tl0 : t0;
+      onset_ms_[a.phase] =
+          util::cycles_to_ns(util::rdcycles() - base) / 1e6;
+    } else {
+      switch (p.kind) {
+        case ChaosPhase::Kind::kFaultStorm:
+          htm::fault::set_rate_override(-1.0);
+          break;
+        case ChaosPhase::Kind::kRateSpike:
+          if (svc_ != nullptr) svc_->set_rate_multiplier(1.0);
+          break;
+        case ChaosPhase::Kind::kKill:
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+// A window "evaluated" a target set when at least one target's op had
+// samples — the same vacuity rule the sampler's episode tracker applies.
+bool window_evaluated(const tl::Window& w,
+                      const std::vector<obs::slo::Target>& targets) {
+  for (const obs::slo::Target& t : targets) {
+    if (w.ops[static_cast<std::size_t>(t.op)].count > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PhaseReport> ChaosOrchestrator::reports(
+    const std::vector<obs::slo::Target>& targets) const {
+  const std::vector<tl::Window> wins = tl::windows();
+  std::vector<PhaseReport> out;
+  out.reserve(phases_.size());
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    PhaseReport r;
+    r.phase = phases_[i];
+    r.onset_ms = onset_ms_[i];
+    if (r.onset_ms < 0.0) {  // never applied (run ended first)
+      out.push_back(std::move(r));
+      continue;
+    }
+    // MTTR: first violating window at/after onset, then the first clean
+    // evaluated window after that. No violation at all -> 0 (the SLO rode
+    // the phase out); violation with no clean window before the run ended
+    // -> -1 (never re-attained). Violations are attributed to the most
+    // recent chaos onset: the search for the *first* violation stops at
+    // the next phase's onset (recovery may still land after it).
+    double attrib_end_ms = 1e18;
+    for (std::size_t j = 0; j < phases_.size(); ++j) {
+      if (onset_ms_[j] > r.onset_ms && onset_ms_[j] < attrib_end_ms) {
+        attrib_end_ms = onset_ms_[j];
+      }
+    }
+    double recovery_end_ms = -1.0;
+    bool saw_violation = false;
+    for (const tl::Window& w : wins) {
+      if (w.t_end_ms < r.onset_ms) continue;
+      if (!saw_violation) {
+        if (w.t_start_ms >= attrib_end_ms) break;
+        if (!targets.empty() && tl::window_violates_slo(w, targets)) {
+          saw_violation = true;
+        }
+        continue;
+      }
+      if (window_evaluated(w, targets) &&
+          !tl::window_violates_slo(w, targets)) {
+        recovery_end_ms = w.t_end_ms;
+        break;
+      }
+    }
+    if (!saw_violation) {
+      r.mttr_ms = 0.0;
+    } else if (recovery_end_ms >= 0.0) {
+      r.mttr_ms = recovery_end_ms - r.onset_ms;
+    }  // else stays -1: never re-attained
+    // Shed volume and (for kills) orphan-reap latency, accumulated from
+    // onset until recovery. When the SLO never broke, the horizon is the
+    // phase's own window (onset + for_ms) for windowed phases and the
+    // next phase's onset for kills (reap latency trails the point event);
+    // either way it is capped at the next onset so one phase's fallout is
+    // never double-booked to an earlier one.
+    double until_ms = recovery_end_ms;
+    if (until_ms < 0.0) {
+      until_ms = r.phase.kind == ChaosPhase::Kind::kKill
+                     ? attrib_end_ms
+                     : r.onset_ms + r.phase.for_ms;
+    }
+    if (until_ms > attrib_end_ms) until_ms = attrib_end_ms;
+    for (const tl::Window& w : wins) {
+      // A window counts if it overlaps [onset, until): straddling windows
+      // are included rather than dropped (10 ms granularity).
+      if (w.t_end_ms < r.onset_ms || w.t_start_ms >= until_ms) continue;
+      r.shed_during += w.delta.sessions_shed;
+      if (r.phase.kind == ChaosPhase::Kind::kKill) {
+        r.orphans_reaped += w.delta.orphans_reaped;
+        if (r.reap_latency_ms < 0.0 && w.delta.orphans_reaped > 0) {
+          r.reap_latency_ms = w.t_end_ms - r.onset_ms;
+        }
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace dc::service

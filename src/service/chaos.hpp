@@ -1,0 +1,134 @@
+// Chaos orchestration: a timed phase script driven against a live Service,
+// and the per-phase recovery metrics (MTTR, shed volume, reap latency)
+// computed from the telemetry timeline afterwards.
+//
+// Script grammar — one phase per line, `#` starts a comment, blank lines
+// ignored; times are milliseconds from orchestrator start:
+//
+//   @<ms> fault-storm rate=<p> for=<ms>
+//       Raise the spurious-abort injection rate to p (htm/fault.hpp
+//       runtime override) for the window, then restore the configured
+//       rate. Models a Rock-style interference burst.
+//
+//   @<ms> kill worker=<idx>|any [point=txn_op|commit_entry|lock_held]
+//                                [after=<blocks>]   (default 1: defer the
+//                                death past the block that consumes the
+//                                kill — an idle worker consumes it at its
+//                                next session's admission txn, where dying
+//                                orphans nothing; one block later is that
+//                                session's disconnect txn, which dies with
+//                                the lease held. after=0 = die at the very
+//                                next block.)
+//       Arm a one-shot kill for the worker bound to logical index idx
+//       (htm::crash::request_worker_kill) — `any` rotates over the pool.
+//       The victim dies at its next atomic block; lock_held forces it onto
+//       the TLE fallback lock first, so survivors must steal the lock.
+//       Recovery (supervisor respawn + lease reap) is the service's job;
+//       this phase only injects.
+//
+//   @<ms> rate-spike x=<mult> for=<ms>
+//       Multiply the open-loop arrival rate by mult for the window — the
+//       overload phase that exercises admission shedding.
+//
+// Phases execute on a dedicated orchestrator thread; each onset bumps the
+// service chaos_phases counter, which the timeline sampler turns into a
+// `chaos_phase` annotation — so every phase is visible, timestamped, on
+// the same axis as the latency windows and SLO verdicts.
+//
+// Recovery metrics (reports()): for each phase, MTTR is measured on the
+// retained windows as (first SLO-clean *evaluated* window after the first
+// violating window at/after onset) minus onset — i.e. time to SLO
+// re-attainment, the same episode semantics obs/timeline.hpp tracks
+// globally. A phase the SLO rode out unviolated has MTTR 0; one that never
+// re-attained before the run ended has MTTR -1 (the bench treats that as
+// failure). Kill phases additionally report orphan-reap latency: the first
+// window after onset with orphans_reaped > 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "htm/crash.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeline.hpp"
+
+namespace dc::service {
+
+class Service;
+
+struct ChaosPhase {
+  enum class Kind : uint8_t { kFaultStorm = 0, kKill, kRateSpike };
+  Kind kind = Kind::kFaultStorm;
+  double at_ms = 0.0;
+  double for_ms = 0.0;  // 0 for kill (a point event)
+  double rate = 0.0;    // fault-storm injection rate
+  uint32_t worker = htm::crash::kAnyWorker;  // kill target; kAny = rotate
+  htm::crash::Point point = htm::crash::Point::kTxnOp;
+  uint32_t after_blocks = 1;  // kill deferral (see grammar note above)
+  double spike = 1.0;   // rate-spike multiplier
+  std::string spec;     // the source line, for reports
+};
+
+const char* to_string(ChaosPhase::Kind k) noexcept;
+
+// Parses the script grammar above. On failure returns false and sets *err
+// to a message naming the offending line.
+bool parse_script(const std::string& text, std::vector<ChaosPhase>* out,
+                  std::string* err);
+
+// Reads `path` and parses it.
+bool load_script(const std::string& path, std::vector<ChaosPhase>* out,
+                 std::string* err);
+
+// Post-run recovery report for one phase. Times are on the telemetry
+// timeline's axis (ms since sampler start).
+struct PhaseReport {
+  ChaosPhase phase;
+  double onset_ms = -1.0;       // when the orchestrator applied it
+  double mttr_ms = -1.0;        // 0 = SLO never violated; -1 = no re-attain
+  uint64_t shed_during = 0;     // sessions shed from onset to recovery
+  uint64_t orphans_reaped = 0;  // kill phases: orphans reaped from onset on
+  double reap_latency_ms = -1.0;  // kill phases: onset -> first reap window
+};
+
+class ChaosOrchestrator {
+ public:
+  // `svc` must outlive the orchestrator and be started before start().
+  ChaosOrchestrator(std::vector<ChaosPhase> phases, Service* svc);
+  ~ChaosOrchestrator();
+
+  ChaosOrchestrator(const ChaosOrchestrator&) = delete;
+  ChaosOrchestrator& operator=(const ChaosOrchestrator&) = delete;
+
+  // Spawns the orchestrator thread; phase times are measured from this
+  // call. Call after Service::start() (and after the telemetry sampler
+  // started, so onsets land on the timeline axis).
+  void start();
+
+  // Joins the thread (waiting for remaining phases' reverts to run — call
+  // while the generator still has time left, or after it returned) and
+  // restores every override it set. Idempotent.
+  void stop();
+
+  // Computes per-phase recovery metrics from the retained timeline windows
+  // against `targets`. Call after Service::stop() / timeline stop.
+  std::vector<PhaseReport> reports(
+      const std::vector<obs::slo::Target>& targets) const;
+
+ private:
+  void thread_main();
+
+  std::vector<ChaosPhase> phases_;
+  Service* svc_;
+  std::vector<double> onset_ms_;  // per phase, timeline axis; -1 = not run
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  uint32_t rr_next_ = 0;  // rotation cursor for kill worker=any
+};
+
+}  // namespace dc::service

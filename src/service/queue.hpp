@@ -1,0 +1,96 @@
+// The bounded accept queue between the open-loop generator and the worker
+// pool — where load shedding happens.
+//
+// An open-loop generator cannot block: blocking would re-couple arrivals to
+// service capacity and resurrect coordinated omission. So admission is
+// try_push — a full queue means the *connect* is refused and the session is
+// shed, counted by the caller (service.cpp: sessions_shed; never a silent
+// drop). Sessions that were admitted are never abandoned: pop() drains the
+// queue even after close(), so in-flight work always completes and the
+// conservation law accepted == completed + killed holds at shutdown.
+//
+// Plain mutex + condvar on purpose: admission happens thousands of times a
+// second, not millions — this queue is control plane, and the substrate
+// under test (the Collect operations the workers run) is where the cycles
+// should go.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace dc::service {
+
+// One client session: Register on connect, `requests` Updates separated by
+// the session's think time, DeRegister on disconnect. Latency is charged
+// from intended (not actual) issue instants — see service.cpp.
+struct Session {
+  uint64_t id = 0;
+  uint64_t intended_arrival_cycles = 0;
+  uint32_t requests = 1;
+  uint64_t think_cycles = 0;
+  bool persistent = false;  // long-tail session (many requests)
+};
+
+class BoundedSessionQueue {
+ public:
+  explicit BoundedSessionQueue(std::size_t capacity)
+      : cap_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedSessionQueue(const BoundedSessionQueue&) = delete;
+  BoundedSessionQueue& operator=(const BoundedSessionQueue&) = delete;
+
+  // Admits the session unless the queue is full or closed. Never blocks
+  // (the open-loop generator must not be back-pressured). Returns false on
+  // refusal — the caller counts the shed.
+  bool try_push(const Session& s) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || q_.size() >= cap_) return false;
+      q_.push_back(s);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks for the next session. Returns false only when the queue is
+  // closed AND drained — admitted sessions are always handed to a worker.
+  bool pop(Session* out) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return false;
+    *out = q_.front();
+    q_.pop_front();
+    return true;
+  }
+
+  // Stops admission; blocked poppers drain the remainder and then get
+  // false. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return q_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Session> q_;
+  std::size_t cap_;
+  bool closed_ = false;
+};
+
+}  // namespace dc::service

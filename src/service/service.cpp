@@ -1,0 +1,310 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "collect/registry.hpp"
+#include "htm/crash.hpp"
+#include "obs/histogram.hpp"
+#include "obs/obs.hpp"
+#include "util/cycles.hpp"
+#include "util/rng.hpp"
+
+namespace dc::service {
+
+namespace {
+
+// Harness counters: multi-writer (workers bump completed/killed/requests
+// concurrently), so plain relaxed fetch_adds — these are control-plane
+// events at session granularity, not per-transaction hot path.
+struct AtomicCounters {
+  std::atomic<uint64_t> generated{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> killed{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> worker_deaths{0};
+  std::atomic<uint64_t> respawns{0};
+  std::atomic<uint64_t> reap_batches{0};
+  std::atomic<uint64_t> chaos_phases{0};
+};
+
+AtomicCounters& ctrs() noexcept {
+  static AtomicCounters* c = new AtomicCounters;
+  return *c;
+}
+
+inline void bump(std::atomic<uint64_t>& c, uint64_t d = 1) noexcept {
+  c.fetch_add(d, std::memory_order_relaxed);
+}
+
+// Waits until the TSC reaches `target`: sleeps while comfortably early
+// (leaving ~100 us of slack for wakeup jitter), spins the rest. Returns
+// immediately when the target is already past — the open-loop backlog case.
+void wait_until_cycle(uint64_t target) {
+  for (;;) {
+    const uint64_t now = util::rdcycles();
+    if (now >= target) return;
+    const double ahead_ns = util::cycles_to_ns(target - now);
+    if (ahead_ns > 200000.0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(static_cast<int64_t>(ahead_ns - 100000.0)));
+    } else {
+      util::spin_until(now, target - now);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Counters counters() noexcept {
+  const AtomicCounters& c = ctrs();
+  Counters out;
+  out.generated = c.generated.load(std::memory_order_relaxed);
+  out.shed = c.shed.load(std::memory_order_relaxed);
+  out.accepted = c.accepted.load(std::memory_order_relaxed);
+  out.completed = c.completed.load(std::memory_order_relaxed);
+  out.killed = c.killed.load(std::memory_order_relaxed);
+  out.requests = c.requests.load(std::memory_order_relaxed);
+  out.worker_deaths = c.worker_deaths.load(std::memory_order_relaxed);
+  out.respawns = c.respawns.load(std::memory_order_relaxed);
+  out.reap_batches = c.reap_batches.load(std::memory_order_relaxed);
+  out.chaos_phases = c.chaos_phases.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_counters() noexcept {
+  AtomicCounters& c = ctrs();
+  c.generated.store(0, std::memory_order_relaxed);
+  c.shed.store(0, std::memory_order_relaxed);
+  c.accepted.store(0, std::memory_order_relaxed);
+  c.completed.store(0, std::memory_order_relaxed);
+  c.killed.store(0, std::memory_order_relaxed);
+  c.requests.store(0, std::memory_order_relaxed);
+  c.worker_deaths.store(0, std::memory_order_relaxed);
+  c.respawns.store(0, std::memory_order_relaxed);
+  c.reap_batches.store(0, std::memory_order_relaxed);
+  c.chaos_phases.store(0, std::memory_order_relaxed);
+}
+
+void note_chaos_phase() noexcept { bump(ctrs().chaos_phases); }
+
+Service::Service(const ServiceConfig& cfg)
+    : cfg_(cfg),
+      queue_(cfg.queue_capacity == 0 ? 64 : cfg.queue_capacity) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.workers > htm::crash::kMaxWorkers) {
+    cfg_.workers = htm::crash::kMaxWorkers;
+  }
+  if (cfg_.short_requests == 0) cfg_.short_requests = 1;
+  if (cfg_.persistent_requests == 0) cfg_.persistent_requests = 1;
+  // Size the inner Collect for the live-handle high-water mark: at most one
+  // session per worker plus the queued backlog holds a handle at a time.
+  auto inner = collect::make_algorithm(
+      cfg_.algorithm,
+      [&] {
+        collect::MakeParams p;
+        p.static_capacity =
+            static_cast<int32_t>((cfg_.workers + 1) * 4 + 64);
+        p.min_size = 16;
+        p.max_threads = cfg_.workers + 2;  // + supervisor + generator
+        return p;
+      }());
+  if (inner == nullptr) {
+    std::fprintf(stderr, "service: unknown algorithm '%s'\n",
+                 cfg_.algorithm.c_str());
+    std::abort();
+  }
+  col_ = std::make_unique<collect::CrashTolerantCollect>(std::move(inner));
+  dead_ = std::make_unique<std::atomic<uint32_t>[]>(cfg_.workers);
+  clean_ = std::make_unique<std::atomic<uint32_t>[]>(cfg_.workers);
+  for (uint32_t w = 0; w < cfg_.workers; ++w) {
+    dead_[w].store(0, std::memory_order_relaxed);
+    clean_[w].store(0, std::memory_order_relaxed);
+  }
+}
+
+Service::~Service() {
+  if (started_ && !stopped_) stop();
+}
+
+void Service::start() {
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(cfg_.workers);
+  for (uint32_t w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+  supervisor_ = std::thread([this] { supervisor_main(); });
+}
+
+void Service::worker_main(uint32_t widx) {
+  // Fresh incarnation (epoch bump — tokens of a previous occupant of this
+  // dense id stay orphaned), then the pool-level opt-in: bind the logical
+  // worker index once, instead of threading per-call opt-ins through every
+  // session operation.
+  htm::crash::reset_thread();
+  htm::crash::bind_worker(widx);
+  Session s;
+  while (queue_.pop(&s)) {
+    const bool survived =
+        htm::crash::run_victim([&] { run_session(s); });
+    if (!survived) {
+      // The in-flight session dies with its worker; its handle (if
+      // registered) is now an orphan the supervisor's reaper recovers.
+      bump(ctrs().killed);
+      bump(ctrs().worker_deaths);
+      dead_[widx].store(1, std::memory_order_release);
+      return;
+    }
+    bump(ctrs().completed);
+  }
+  clean_[widx].store(1, std::memory_order_release);
+}
+
+void Service::run_session(const Session& s) {
+  const bool timing = obs::timing_enabled();
+  uint64_t intended = s.intended_arrival_cycles;
+  // Latency is charged from the intended instant: queue wait, a stalled
+  // substrate, backlog — all included (coordinated-omission-safe).
+  collect::Handle h = col_->register_handle(s.id);
+  if (timing) {
+    const uint64_t now = util::rdcycles();
+    obs::record_op(obs::OpKind::kRegister, now > intended ? now - intended : 0);
+  }
+  for (uint32_t r = 0; r < s.requests; ++r) {
+    intended += s.think_cycles;
+    wait_until_cycle(intended);
+    col_->update(h, (s.id << 8) | r);
+    bump(ctrs().requests);
+    if (timing) {
+      const uint64_t now = util::rdcycles();
+      obs::record_op(obs::OpKind::kUpdate, now > intended ? now - intended : 0);
+    }
+  }
+  intended += s.think_cycles;
+  wait_until_cycle(intended);
+  col_->deregister(h);
+  if (timing) {
+    const uint64_t now = util::rdcycles();
+    obs::record_op(obs::OpKind::kDeRegister,
+                   now > intended ? now - intended : 0);
+  }
+}
+
+void Service::supervisor_main() {
+  htm::crash::reset_thread();  // immortal: never opts in
+  const bool timing = obs::timing_enabled();
+  uint32_t poll = 0;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Respawn duty: a dead worker's OS thread is joined and a fresh thread
+    // re-binds the same logical index (reset_thread inside worker_main
+    // takes a new incarnation epoch). Respawning is unconditional — after
+    // close() a respawned worker just drains/exits clean — which keeps the
+    // "admitted sessions always finish" guarantee independent of when in
+    // shutdown a kill lands.
+    for (uint32_t w = 0; w < cfg_.workers; ++w) {
+      if (dead_[w].load(std::memory_order_acquire) != 0) {
+        workers_[w].join();
+        dead_[w].store(0, std::memory_order_relaxed);
+        bump(ctrs().respawns);
+        workers_[w] = std::thread([this, w] { worker_main(w); });
+      }
+    }
+    // Reap duty: recover handles orphaned by killed workers. The loop is
+    // the honest protocol (a reaper could itself observe a racing death).
+    if (col_->orphan_count() != 0) {
+      bump(ctrs().reap_batches);
+      while (col_->orphan_count() != 0) col_->reap_orphans();
+    }
+    // A periodic Collect keeps the read side of the substrate exercised —
+    // the service is a registration service, someone must scan it.
+    if (++poll % 8 == 0) {
+      std::vector<collect::Value> out;
+      const uint64_t t0 = util::rdcycles();
+      col_->collect(out);
+      if (timing) {
+        obs::record_op(obs::OpKind::kCollect, util::rdcycles() - t0);
+      }
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      bool all_clean = true;
+      for (uint32_t w = 0; w < cfg_.workers; ++w) {
+        if (clean_[w].load(std::memory_order_acquire) == 0) {
+          all_clean = false;
+          break;
+        }
+      }
+      if (all_clean) break;
+    }
+  }
+  for (uint32_t w = 0; w < cfg_.workers; ++w) {
+    if (workers_[w].joinable()) workers_[w].join();
+  }
+}
+
+uint64_t Service::run_generator() {
+  ArrivalConfig acfg;
+  acfg.rate_per_sec = cfg_.arrival_rate;
+  acfg.burstiness = cfg_.burstiness;
+  acfg.seed = cfg_.seed;
+  ArrivalProcess arrivals(acfg);
+  util::Xoshiro256 mix(cfg_.seed ^ 0x5e55104e5e55104eULL);
+
+  const uint64_t think_cycles = util::ns_to_cycles(cfg_.think_ns);
+  const uint64_t start = util::rdcycles();
+  const uint64_t end =
+      start + util::ns_to_cycles(static_cast<uint64_t>(cfg_.duration_ms * 1e6));
+  uint64_t intended = start;
+  uint64_t generated = 0;
+  for (;;) {
+    double gap_ns = static_cast<double>(arrivals.next_gap_ns());
+    const double mult = rate_multiplier_.load(std::memory_order_relaxed);
+    if (mult > 0.0 && mult != 1.0) gap_ns /= mult;  // spike = denser arrivals
+    intended += util::ns_to_cycles(static_cast<uint64_t>(gap_ns));
+    if (intended >= end) break;
+    // Pace to the intended instant. If generation itself falls behind the
+    // process, intended stays in the past and sessions are injected
+    // immediately — their latency (charged from `intended`) then includes
+    // the generator backlog, which is exactly what open-loop demands.
+    wait_until_cycle(intended);
+    Session s;
+    s.id = ++generated;
+    s.intended_arrival_cycles = intended;
+    s.persistent =
+        mix.next_double() < cfg_.persistent_fraction;
+    s.requests = s.persistent ? cfg_.persistent_requests : cfg_.short_requests;
+    s.think_cycles = think_cycles;
+    bump(ctrs().generated);
+    if (queue_.try_push(s)) {
+      bump(ctrs().accepted);
+    } else {
+      bump(ctrs().shed);  // refused connect: counted, never silent
+    }
+  }
+  return generated;
+}
+
+void Service::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  shutdown_.store(true, std::memory_order_release);
+  supervisor_.join();
+  // Final reap: a worker killed on the very last session leaves orphans
+  // after the supervisor's last pass.
+  if (col_->orphan_count() != 0) {
+    bump(ctrs().reap_batches);
+    while (col_->orphan_count() != 0) col_->reap_orphans();
+  }
+}
+
+void Service::set_rate_multiplier(double m) noexcept {
+  rate_multiplier_.store(m <= 0.0 ? 1.0 : m, std::memory_order_relaxed);
+}
+
+}  // namespace dc::service

@@ -1,0 +1,139 @@
+// The open-loop session service: millions of short-lived Dynamic Collect
+// participants, a worker pool, load shedding, and crash-recovery duty.
+//
+// The paper's Collect algorithms are exercised everywhere else by
+// fixed-population closed-loop drivers. This harness drives them the way a
+// real registration substrate is driven: an arrival process (arrival.hpp)
+// generates *sessions* — Register on connect, `requests` Updates separated
+// by think time, DeRegister on disconnect — mostly short-lived, plus a
+// configurable long tail of persistent sessions holding their handles for
+// many requests. Sessions flow through a bounded accept queue (queue.hpp)
+// to a pool of workers.
+//
+// Why sessions pin to one worker: Dynamic Collect's well-formedness
+// contract (collect/collect.hpp) says Update/DeRegister must come from the
+// registering thread. A session therefore executes start-to-finish on the
+// worker that popped it — the queue hands off whole sessions, never
+// individual operations.
+//
+// Open-loop discipline (the point of the harness):
+//  * Arrival instants are fixed by the process, not by service progress.
+//  * Every operation's latency is charged from its INTENDED issue instant
+//    (arrival time for Register, arrival + k*think for request k), so time
+//    spent waiting in the accept queue or behind a stalled substrate is
+//    *included* — no coordinated omission.
+//  * Overload sheds new connects at admission (counted, annotated on the
+//    telemetry timeline, never silent); admitted sessions always run to
+//    completion — or die with their killed worker, in which case the
+//    lease reaper recovers their handles.
+//
+// Crash duty: each worker binds its logical index at pool construction
+// (htm::crash::bind_worker — the pool-level opt-in) and runs sessions under
+// run_victim. A chaos kill (chaos.hpp) makes the worker die mid-session;
+// the supervisor thread respawns a fresh OS thread onto the same worker
+// index and reaps the orphaned handles, so "kill worker 3" is survivable
+// and measurable (MTTR, reap latency) rather than fatal.
+//
+// Accounting is conservation-checked end to end (validator-enforced in the
+// v8 report schema):
+//     generated == accepted + shed
+//     accepted  == completed + killed
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "collect/lease.hpp"
+#include "service/arrival.hpp"
+#include "service/queue.hpp"
+
+namespace dc::service {
+
+struct ServiceConfig {
+  double arrival_rate = 2000.0;  // sessions per second (open-loop)
+  double burstiness = 0.0;       // [0,1); 0 = pure Poisson
+  uint64_t seed = 1;
+  uint32_t workers = 2;
+  uint32_t queue_capacity = 64;
+  double duration_ms = 500.0;         // generator window
+  double persistent_fraction = 0.01;  // long-tail share of sessions
+  uint32_t short_requests = 4;        // Updates per short-lived session
+  uint32_t persistent_requests = 64;  // Updates per persistent session
+  uint64_t think_ns = 20000;          // intended gap between a session's ops
+  std::string algorithm = "ListFastCollect";  // inner Collect (registry name)
+};
+
+// Cumulative harness counters since reset_counters(). Monotonic,
+// sampler-readable at any time (every cell is written with relaxed
+// atomics); the timeline CounterProvider in bench_service merges
+// sessions_shed / chaos_phases into the substrate sample.
+struct Counters {
+  uint64_t generated = 0;  // arrivals the process produced
+  uint64_t shed = 0;       // refused at admission (queue full)
+  uint64_t accepted = 0;   // admitted to the queue
+  uint64_t completed = 0;  // ran to DeRegister
+  uint64_t killed = 0;     // died with their worker mid-session
+  uint64_t requests = 0;   // Updates issued
+  uint64_t worker_deaths = 0;
+  uint64_t respawns = 0;     // fresh threads onto a dead worker's index
+  uint64_t reap_batches = 0; // supervisor reap rounds that found orphans
+  uint64_t chaos_phases = 0; // bumped by the chaos orchestrator at onsets
+};
+
+Counters counters() noexcept;       // snapshot (relaxed loads)
+void reset_counters() noexcept;     // quiescent-only
+void note_chaos_phase() noexcept;   // chaos orchestrator, at each onset
+
+class Service {
+ public:
+  explicit Service(const ServiceConfig& cfg);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Spawns the worker pool and the supervisor. Call once.
+  void start();
+
+  // Runs the arrival loop on the calling thread for cfg.duration_ms,
+  // pacing to intended instants and shedding on a full queue. Returns the
+  // number of sessions generated.
+  uint64_t run_generator();
+
+  // Closes the queue, waits for every admitted session to complete (or die
+  // with a killed worker), joins workers and supervisor, runs the final
+  // orphan reap. Call once, after run_generator and after any chaos
+  // orchestrator has been stopped.
+  void stop();
+
+  // Rate-spike hook for the chaos orchestrator: multiplies the arrival
+  // rate (gaps divide by m) from the next arrival on. Safe while the
+  // generator runs.
+  void set_rate_multiplier(double m) noexcept;
+
+  const ServiceConfig& config() const noexcept { return cfg_; }
+  collect::CrashTolerantCollect& collect() noexcept { return *col_; }
+
+ private:
+  void worker_main(uint32_t widx);
+  void supervisor_main();
+  void run_session(const Session& s);
+
+  ServiceConfig cfg_;
+  std::unique_ptr<collect::CrashTolerantCollect> col_;
+  BoundedSessionQueue queue_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<std::atomic<uint32_t>[]> dead_;   // worker died, join+respawn
+  std::unique_ptr<std::atomic<uint32_t>[]> clean_;  // worker drained + exited
+  std::thread supervisor_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<double> rate_multiplier_{1.0};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace dc::service

@@ -46,6 +46,18 @@ Options Options::parse(int argc, char** argv) {
       opts.slo = next_value();
     } else if (std::strcmp(arg, "--metrics-out") == 0) {
       opts.metrics_path = next_value();
+    } else if (std::strcmp(arg, "--slo-observe") == 0) {
+      opts.slo_observe = true;
+    } else if (std::strcmp(arg, "--arrival-rate") == 0) {
+      opts.arrival_rate = std::atof(next_value());
+    } else if (std::strcmp(arg, "--burstiness") == 0) {
+      opts.burstiness = std::atof(next_value());
+    } else if (std::strcmp(arg, "--chaos") == 0) {
+      opts.chaos_path = next_value();
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      opts.workers = static_cast<uint32_t>(std::atoi(next_value()));
+    } else if (std::strcmp(arg, "--queue-capacity") == 0) {
+      opts.queue_capacity = static_cast<uint32_t>(std::atoi(next_value()));
     } else if (std::strcmp(arg, "--hist") == 0) {
       opts.hist = true;
     } else if (std::strcmp(arg, "--duration-ms") == 0) {
@@ -70,6 +82,9 @@ Options Options::parse(int argc, char** argv) {
   if (opts.max_threads < 1) opts.max_threads = 1;
   if (opts.fault_rate > 1.0) opts.fault_rate = 1.0;
   if (opts.crash_rate > 1.0) opts.crash_rate = 1.0;
+  if (opts.arrival_rate < 0.0) opts.arrival_rate = 0.0;
+  if (opts.burstiness < 0.0) opts.burstiness = 0.0;
+  if (opts.burstiness > 0.95) opts.burstiness = 0.95;
   if (opts.sample_interval_ms < 0.0) opts.sample_interval_ms = 0.0;
   // SLO targets and the Prometheus exposition are computed by the sampler;
   // asking for either without a sampling interval implies the 10 ms
@@ -86,7 +101,9 @@ void Options::print_help(const char* prog) {
       "usage: %s [--csv] [--json PATH] [--trace PATH] [--clock gv1|gv5] "
       "[--retry cause|fixed] [--validate exact|sig] [--fault-rate P] "
       "[--crash-rate P] [--sample-interval MS] [--slo SPEC] "
-      "[--metrics-out PATH] [--hist] [--duration-ms N] [--repeats N] "
+      "[--metrics-out PATH] [--slo-observe] [--arrival-rate R] "
+      "[--burstiness B] [--chaos PATH] [--workers N] [--queue-capacity N] "
+      "[--hist] [--duration-ms N] [--repeats N] "
       "[--max-threads N] [--full]\n",
       prog);
 }

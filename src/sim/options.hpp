@@ -38,6 +38,23 @@
 //                     any violated window makes the bench exit 3
 //   --metrics-out PATH  write a Prometheus-style text exposition of the
 //                     end-of-run counters/quantiles/annotations to PATH
+//   --slo-observe     report SLO violations without failing: the run exits 0
+//                     even when windows violated a --slo target (the JSON /
+//                     table still carry violations, episodes and MTTR).
+//                     Chaos runs use this to measure recovery time under
+//                     deliberately-unmeetable targets
+//
+// Service-harness options (bench_service only; other benches reject them):
+//   --arrival-rate R  open-loop session arrivals per second (default 0 =
+//                     the bench's own default)
+//   --burstiness B    MMPP burst factor in [0,1): 0 = pure Poisson, larger
+//                     values alternate hot/cold phases around the same mean
+//   --chaos PATH      timed chaos script (see src/service/chaos.hpp for the
+//                     grammar) driving fault storms, worker kills and rate
+//                     spikes
+//   --workers N       service worker-pool size (default 0 = bench default)
+//   --queue-capacity N  bounded accept-queue depth; arrivals that find it
+//                     full are shed (counted, never silently dropped)
 #pragma once
 
 #include <cstdint>
@@ -59,6 +76,12 @@ struct Options {
   double sample_interval_ms = 0.0;  // 0 = sampler off (no thread spawned)
   std::string slo;          // empty = no SLO targets
   std::string metrics_path; // empty = no Prometheus exposition
+  bool slo_observe = false; // report SLO verdicts but always exit 0
+  double arrival_rate = 0.0;   // sessions/s; 0 = bench default
+  double burstiness = 0.0;     // [0,1); 0 = pure Poisson
+  std::string chaos_path;      // empty = no chaos script
+  uint32_t workers = 0;        // service pool size; 0 = bench default
+  uint32_t queue_capacity = 0; // accept-queue depth; 0 = bench default
   bool hist = false;       // per-operation latency histograms
   double duration_ms = 50.0;
   int repeats = 3;

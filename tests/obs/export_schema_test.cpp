@@ -1,13 +1,16 @@
 // Validates the two exporter schemas by parsing what they write:
 //  * export_chrome_trace — Chrome trace-event JSON (Perfetto-loadable);
 //  * bench::write_json_report — the versioned --json benchmark report
-//    (schema_version 7: aborts_by_code incl. spurious causes, op_latency_ns
+//    (schema_version 8: aborts_by_code incl. spurious causes, op_latency_ns
 //    incl. the validate op, conflicts, trace requested/enabled split,
 //    retry/validation policy and fault-rate/crash-rate/sample-interval/slo
-//    options, robustness counters incl. the crash triple and the
-//    signature-validation triple, per-cause retry quantiles, and — only
-//    when the telemetry sampler ran — the timeline section, whose shape is
-//    covered by tests/obs/timeline_test.cpp).
+//    options plus the v8 slo_observe flag, robustness counters incl. the
+//    crash triple and the signature-validation triple, per-cause retry
+//    quantiles, and — only when the telemetry sampler ran — the timeline
+//    section, whose shape (incl. the v8 SLO episode ledger and the
+//    shed_onset/chaos_phase annotations) is covered by
+//    tests/obs/timeline_test.cpp; the v8 `service` section is emitted only
+//    by bench_service and is absent from every other report).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -145,7 +148,7 @@ TEST(OpSummary, QuantilesAreOrderedAndInNanoseconds) {
   EXPECT_EQ(obs::summarize_op(obs::OpKind::kUpdate).count, 0u);
 }
 
-TEST(JsonReport, SchemaV7CarriesObsSections) {
+TEST(JsonReport, SchemaV8CarriesObsSections) {
   obs::reset_histograms();
   obs::reset_conflicts();
   obs::reset_retry_stats();
@@ -173,7 +176,7 @@ TEST(JsonReport, SchemaV7CarriesObsSections) {
   const auto doc = Json::parse(read_file(path));
   ASSERT_TRUE(doc.has_value()) << "report is not valid JSON";
   EXPECT_DOUBLE_EQ(field(*doc, "schema_version", Json::Type::kNumber)->number(),
-                   7.0);
+                   8.0);
   EXPECT_EQ(field(*doc, "bench", Json::Type::kString)->str(), "schema_test");
 
   const Json* options = field(*doc, "options", Json::Type::kObject);
@@ -192,6 +195,7 @@ TEST(JsonReport, SchemaV7CarriesObsSections) {
       field(*options, "sample_interval_ms", Json::Type::kNumber)->number(),
       0.0);
   EXPECT_EQ(field(*options, "slo", Json::Type::kString)->str(), "");
+  EXPECT_FALSE(field(*options, "slo_observe", Json::Type::kBool)->boolean());
   const std::string validation =
       field(*options, "validation", Json::Type::kString)->str();
   EXPECT_TRUE(validation == "exact" || validation == "sig") << validation;
@@ -283,8 +287,11 @@ TEST(JsonReport, SchemaV7CarriesObsSections) {
   EXPECT_FALSE(field(*trace, "enabled", Json::Type::kBool)->boolean());
   field(*trace, "events_emitted", Json::Type::kNumber);
 
-  // Sampler never ran: the timeline section must be absent entirely.
+  // Sampler never ran: the timeline section must be absent entirely. And
+  // this is not a bench_service report, so the v8 service section must be
+  // absent too — only the service harness may emit it.
   EXPECT_EQ(doc->find("timeline"), nullptr);
+  EXPECT_EQ(doc->find("service"), nullptr);
 
   // The swept table survives unchanged, with numeric cells as numbers.
   const Json* columns = field(*doc, "columns", Json::Type::kArray);

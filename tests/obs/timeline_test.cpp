@@ -30,6 +30,8 @@ std::atomic<uint64_t> g_aborts{0};
 std::atomic<uint64_t> g_storms{0};
 std::atomic<uint64_t> g_storm_exits{0};
 std::atomic<uint64_t> g_crashes{0};
+std::atomic<uint64_t> g_shed{0};
+std::atomic<uint64_t> g_chaos_phases{0};
 
 tl::CounterSample synthetic_provider() {
   tl::CounterSample c;
@@ -38,6 +40,8 @@ tl::CounterSample synthetic_provider() {
   c.storm_entries = g_storms.load(std::memory_order_relaxed);
   c.storm_exits = g_storm_exits.load(std::memory_order_relaxed);
   c.crashes_injected = g_crashes.load(std::memory_order_relaxed);
+  c.sessions_shed = g_shed.load(std::memory_order_relaxed);
+  c.chaos_phases = g_chaos_phases.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -47,6 +51,8 @@ void zero_counters() {
   g_storms = 0;
   g_storm_exits = 0;
   g_crashes = 0;
+  g_shed = 0;
+  g_chaos_phases = 0;
 }
 
 tl::SamplerConfig config(double interval_ms = 1.0) {
@@ -304,6 +310,85 @@ TEST_F(TimelineTest, SloViolationsAccumulateAndSetExitCode) {
   EXPECT_EQ(obs::slo::exit_code(tl::slo_violations_total()), 3);
   EXPECT_EQ(obs::slo::exit_code(0), 0);
   obs::reset_histograms();
+}
+
+TEST_F(TimelineTest, EpisodesTrackViolationAndReattainment) {
+  // Violate for a stretch, then run clean: exactly one closed episode,
+  // recovered, and slo_reattainments() counts it. This is the MTTR
+  // primitive the chaos orchestrator's per-phase reports are built on.
+  obs::reset_histograms();
+  tl::SamplerConfig cfg = config(2.0);
+  std::string err;
+  ASSERT_TRUE(obs::slo::parse("update_p99<1ms", &cfg.slo, &err)) << err;
+  ASSERT_TRUE(tl::start(cfg));
+  const uint64_t slow = util::ns_to_cycles(5'000'000);  // 5ms >> 1ms bound
+  const uint64_t fast = util::ns_to_cycles(1'000);      // 1us << bound
+  for (int i = 0; i < 50; ++i) obs::record_op(obs::OpKind::kUpdate, slow);
+  sleep_ms(6);  // the violating window(s) close
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 50; ++i) obs::record_op(obs::OpKind::kUpdate, fast);
+    sleep_ms(3);  // clean evaluated windows close the episode
+  }
+  tl::stop();
+
+  EXPECT_GE(tl::slo_reattainments(), 1u);
+  const std::vector<tl::SloEpisode> eps = tl::slo_episodes();
+  ASSERT_GE(eps.size(), 1u);
+  const tl::SloEpisode& e = eps.front();
+  EXPECT_TRUE(e.recovered);
+  EXPECT_GE(e.violating_windows, 1u);
+  EXPECT_GE(e.end_window, e.start_window);
+  EXPECT_GE(e.t_end_ms, e.t_start_ms);
+  obs::reset_histograms();
+}
+
+TEST_F(TimelineTest, UnrecoveredEpisodeStaysOpenAndVacuousWindowsDontClose) {
+  // A violation followed only by idle (sample-less) windows: vacuous
+  // windows must NOT count as re-attainment — the episode ends the run
+  // open (recovered == false) and reattainments stays 0.
+  obs::reset_histograms();
+  tl::SamplerConfig cfg = config(2.0);
+  std::string err;
+  ASSERT_TRUE(obs::slo::parse("update_p99<1ms", &cfg.slo, &err)) << err;
+  ASSERT_TRUE(tl::start(cfg));
+  const uint64_t slow = util::ns_to_cycles(5'000'000);
+  for (int i = 0; i < 50; ++i) obs::record_op(obs::OpKind::kUpdate, slow);
+  sleep_ms(6);
+  sleep_ms(8);  // idle: windows close with no update samples at all
+  tl::stop();
+
+  EXPECT_EQ(tl::slo_reattainments(), 0u);
+  const std::vector<tl::SloEpisode> eps = tl::slo_episodes();
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_FALSE(eps.front().recovered)
+      << "vacuous windows must not close an episode";
+  EXPECT_GT(tl::slo_violations_total(), 0u);
+  obs::reset_histograms();
+}
+
+TEST_F(TimelineTest, ServiceCounterDeltasAnnotateShedAndChaos) {
+  // The two v8 counters decompose onto the timeline exactly like the
+  // substrate ones: shed_onset / chaos_phase events carry window deltas
+  // that sum back to the cumulative counters.
+  tl::SamplerConfig cfg = config(1.0);
+  ASSERT_TRUE(tl::start(cfg));
+  g_shed.fetch_add(7);
+  g_chaos_phases.fetch_add(1);
+  sleep_ms(4);
+  g_shed.fetch_add(5);
+  g_chaos_phases.fetch_add(2);
+  sleep_ms(4);
+  tl::stop();
+
+  EXPECT_EQ(tl::annotation_sum(tl::Annotation::kShedOnset), 12u);
+  EXPECT_EQ(tl::annotation_sum(tl::Annotation::kChaosPhase), 3u);
+  uint64_t shed_sum = 0, chaos_sum = 0;
+  for (const tl::Window& w : tl::windows()) {
+    shed_sum += w.delta.sessions_shed;
+    chaos_sum += w.delta.chaos_phases;
+  }
+  EXPECT_EQ(shed_sum, 12u);
+  EXPECT_EQ(chaos_sum, 3u);
 }
 
 TEST_F(TimelineTest, ZeroOverheadWhenNeverStarted) {

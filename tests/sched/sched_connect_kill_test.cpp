@@ -1,0 +1,158 @@
+// Exact scheduled reproductions of the chaos orchestrator's worker-kill
+// protocol (htm/crash.hpp request_worker_kill) landing on a *connecting*
+// session — the interleaving the open-loop service meets whenever a kill
+// phase fires while a worker is admitting: the mailbox is armed between
+// the victim's first lease bind and its next Register, so the death lands
+// inside the connect transaction. Two variants are pinned step-for-step:
+//
+//  * after=0 (immediate): the kill is consumed at the connect block and
+//    the victim dies inside the inner Register — the half-claimed handle
+//    must leave no lease, and only the previously bound lease is reaped;
+//  * after=1 (deferred, the service chaos default): the connect block
+//    consumes the mailbox but converts it into a self-schedule one block
+//    out, so the connect *completes*, binds its lease, and the next block
+//    dies — both bound leases must be reaped.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "collect/lease.hpp"
+#include "collect/registry.hpp"
+#include "htm/crash.hpp"
+#include "htm/htm.hpp"
+#include "htm/stats.hpp"
+#include "sched/sched.hpp"
+#include "tests/support/sched_harness.hpp"
+
+namespace dc::sched {
+namespace {
+
+class SchedConnectKill : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::crash::reset_all();
+    htm::reset_stats();
+    htm::reset_storm_sites();
+    collect::MakeParams params;
+    params.static_capacity = 1024;
+    params.max_threads = 16;
+    col_ = std::make_unique<collect::CrashTolerantCollect>(
+        collect::make_algorithm("ListFastCollect", params));
+  }
+  void TearDown() override {
+    htm::config() = saved_;
+    htm::crash::reset_all();
+  }
+
+  std::set<collect::Value> collect_set() {
+    std::vector<collect::Value> out;
+    col_->collect(out);
+    return {out.begin(), out.end()};
+  }
+
+  std::unique_ptr<collect::CrashTolerantCollect> col_;
+  htm::Config saved_;
+};
+
+TEST_F(SchedConnectKill, ImmediateKillDiesInsideTheConnect) {
+  // Thread 0 is the worker: it binds logical index 0, registers handle 7
+  // (the lease binds), then starts a second connect. The orchestrator
+  // (thread 1) arms the kill inside the stamp/bind window of the first
+  // register — before the victim's next atomic block — so the after=0
+  // mailbox is consumed at the connect block of handle 8 and the victim
+  // dies inside the inner Register: no lease for 8, no Collect slot, and
+  // the survivor reaps exactly the bound lease of 7.
+  std::atomic<bool> victim_dead{false};
+  std::atomic<bool> victim_survived{true};
+  std::atomic<std::size_t> reaped{99};
+  Options o;
+  o.policy = Policy::kCallback;
+  o.name = "connect_kill_immediate";
+  o.controller = [](const Decision& d) -> int32_t {
+    if (d.thread == 0 && d.kind == Kind::kLeaseStamp && d.seen == 1) {
+      return 1;  // first lease binding: arm the kill now
+    }
+    if (d.thread == 1 && d.kind == Kind::kYield) return 0;
+    return kStay;
+  };
+  schedtest::run_scheduled(
+      o, {[&] {
+            htm::crash::bind_worker(0);
+            victim_survived = htm::crash::run_victim([&] {
+              col_->register_handle(7);
+              col_->register_handle(8);  // dies inside this connect
+            });
+            victim_dead = true;
+          },
+          [&] {
+            ASSERT_TRUE(htm::crash::request_worker_kill(
+                0, htm::crash::Point::kTxnOp, /*after_ops=*/0,
+                /*after_blocks=*/0));
+            while (!victim_dead.load()) yield();
+            reaped = col_->reap_orphans();
+          }});
+  EXPECT_FALSE(victim_survived.load());
+  EXPECT_EQ(reaped.load(), 1u);
+  EXPECT_EQ(col_->lease_count(), 0u);
+  EXPECT_EQ(col_->orphan_count(), 0u);
+  EXPECT_TRUE(collect_set().empty())
+      << "the half-claimed connect left a Collect slot";
+  const htm::TxnStats agg = htm::aggregate_stats();
+  EXPECT_EQ(agg.crashes_injected, 1u);
+  EXPECT_EQ(agg.orphans_reaped, 1u);
+  EXPECT_EQ(htm::crash::worker_kills_pending(), 0u);
+}
+
+TEST_F(SchedConnectKill, DeferredKillLetsTheConnectCompleteThenDies) {
+  // Same arming point, but after=1 (the service chaos default): the
+  // connect block of handle 8 consumes the mailbox and converts it into a
+  // self-schedule one block out. The connect commits and binds its lease;
+  // the victim then dies in its next atomic block (the connect of 9).
+  // Both bound leases are orphaned and reaped; 9 never claimed a slot.
+  std::atomic<bool> victim_dead{false};
+  std::atomic<bool> victim_survived{true};
+  std::atomic<std::size_t> reaped{99};
+  Options o;
+  o.policy = Policy::kCallback;
+  o.name = "connect_kill_deferred";
+  o.controller = [](const Decision& d) -> int32_t {
+    if (d.thread == 0 && d.kind == Kind::kLeaseStamp && d.seen == 1) {
+      return 1;
+    }
+    if (d.thread == 1 && d.kind == Kind::kYield) return 0;
+    return kStay;
+  };
+  schedtest::run_scheduled(
+      o, {[&] {
+            htm::crash::bind_worker(0);
+            victim_survived = htm::crash::run_victim([&] {
+              col_->register_handle(7);
+              col_->register_handle(8);  // consumes the kill, completes
+              col_->register_handle(9);  // dies here
+            });
+            victim_dead = true;
+          },
+          [&] {
+            ASSERT_TRUE(htm::crash::request_worker_kill(
+                0, htm::crash::Point::kTxnOp, /*after_ops=*/0,
+                /*after_blocks=*/1));
+            while (!victim_dead.load()) yield();
+            reaped = col_->reap_orphans();
+          }});
+  EXPECT_FALSE(victim_survived.load());
+  EXPECT_EQ(reaped.load(), 2u)
+      << "the deferred kill should have let the connect bind its lease";
+  EXPECT_EQ(col_->lease_count(), 0u);
+  EXPECT_TRUE(collect_set().empty());
+  const htm::TxnStats agg = htm::aggregate_stats();
+  EXPECT_EQ(agg.crashes_injected, 1u);
+  EXPECT_EQ(agg.orphans_reaped, 2u);
+}
+
+}  // namespace
+}  // namespace dc::sched

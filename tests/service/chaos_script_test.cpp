@@ -1,0 +1,111 @@
+// The chaos script grammar (src/service/chaos.hpp): parsing, validation
+// errors with line numbers, canonical spec reconstruction, and onset
+// ordering. The orchestrator's runtime behavior is covered by the service
+// smoke test and the scheduled connect-kill suite; this file pins the
+// front-end.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "htm/crash.hpp"
+#include "service/chaos.hpp"
+
+namespace dc::service {
+namespace {
+
+TEST(ChaosScript, ParsesEveryPhaseKind) {
+  std::vector<ChaosPhase> phases;
+  std::string err;
+  const std::string text =
+      "# header comment\n"
+      "@100 fault-storm rate=0.5 for=50\n"
+      "\n"
+      "@200 kill worker=1 point=lock_held   # trailing comment\n"
+      "@300 kill worker=any\n"
+      "@400 rate-spike x=8 for=25\n";
+  ASSERT_TRUE(parse_script(text, &phases, &err)) << err;
+  ASSERT_EQ(phases.size(), 4u);
+
+  EXPECT_EQ(phases[0].kind, ChaosPhase::Kind::kFaultStorm);
+  EXPECT_DOUBLE_EQ(phases[0].at_ms, 100.0);
+  EXPECT_DOUBLE_EQ(phases[0].rate, 0.5);
+  EXPECT_DOUBLE_EQ(phases[0].for_ms, 50.0);
+
+  EXPECT_EQ(phases[1].kind, ChaosPhase::Kind::kKill);
+  EXPECT_EQ(phases[1].worker, 1u);
+  EXPECT_EQ(phases[1].point, htm::crash::Point::kLockHeld);
+  EXPECT_EQ(phases[1].after_blocks, 1u) << "kill deferral default";
+
+  EXPECT_EQ(phases[2].worker, htm::crash::kAnyWorker);
+  EXPECT_EQ(phases[2].point, htm::crash::Point::kTxnOp);
+
+  EXPECT_EQ(phases[3].kind, ChaosPhase::Kind::kRateSpike);
+  EXPECT_DOUBLE_EQ(phases[3].spike, 8.0);
+}
+
+TEST(ChaosScript, CanonicalSpecRoundTrips) {
+  // The reconstructed spec (whitespace-normalized, defaults made explicit)
+  // must itself re-parse to the same phase.
+  std::vector<ChaosPhase> a, b;
+  std::string err;
+  ASSERT_TRUE(parse_script("@250   kill   worker=any after=3\n", &a, &err));
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].spec, "@250 kill worker=any point=txn_op after=3");
+  ASSERT_TRUE(parse_script(a[0].spec + "\n", &b, &err)) << err;
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].worker, a[0].worker);
+  EXPECT_EQ(b[0].point, a[0].point);
+  EXPECT_EQ(b[0].after_blocks, 3u);
+  EXPECT_EQ(b[0].spec, a[0].spec);
+}
+
+TEST(ChaosScript, PhasesAreSortedByOnset) {
+  std::vector<ChaosPhase> phases;
+  std::string err;
+  ASSERT_TRUE(parse_script(
+      "@900 kill worker=0\n@100 fault-storm rate=0.1 for=10\n", &phases,
+      &err));
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(phases[0].at_ms, 100.0);
+  EXPECT_DOUBLE_EQ(phases[1].at_ms, 900.0);
+}
+
+TEST(ChaosScript, ErrorsNameTheOffendingLine) {
+  struct Bad {
+    const char* text;
+    const char* needle;  // expected fragment of the error
+  };
+  const Bad cases[] = {
+      {"kill worker=0\n", "expected '@<ms>'"},
+      {"@100 explode\n", "unknown verb"},
+      {"@100 fault-storm rate=0.5\n", "needs rate= and for="},
+      {"@100 fault-storm rate=1.5 for=10\n", "rate must be in [0,1]"},
+      {"@100 kill point=txn_op\n", "kill needs worker="},
+      {"@100 kill worker=0 point=sideways\n", "point must be"},
+      {"@100 kill worker=0 after=-1\n", "after= must be"},
+      {"@100 rate-spike for=10\n", "needs x= and for="},
+      {"@100 rate-spike x=2 bogus\n", "expected key=value"},
+      {"@100 kill worker=0 color=red\n", "unknown key"},
+  };
+  for (const Bad& c : cases) {
+    std::vector<ChaosPhase> phases;
+    std::string err;
+    EXPECT_FALSE(parse_script(c.text, &phases, &err)) << c.text;
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+    EXPECT_NE(err.find(c.needle), std::string::npos)
+        << "for input: " << c.text << "\ngot error: " << err;
+  }
+}
+
+TEST(ChaosScript, EmptyAndCommentOnlyScriptsAreValid) {
+  std::vector<ChaosPhase> phases;
+  std::string err;
+  ASSERT_TRUE(parse_script("", &phases, &err));
+  EXPECT_TRUE(phases.empty());
+  ASSERT_TRUE(parse_script("# nothing\n\n  # more nothing\n", &phases, &err));
+  EXPECT_TRUE(phases.empty());
+}
+
+}  // namespace
+}  // namespace dc::service

@@ -1,0 +1,101 @@
+// The bounded accept queue: shed accounting conservation, non-blocking
+// admission, and drain-after-close (the "admitted sessions always finish"
+// half of the service's conservation laws).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "service/queue.hpp"
+
+namespace dc::service {
+namespace {
+
+Session make_session(uint64_t id) {
+  Session s;
+  s.id = id;
+  return s;
+}
+
+TEST(BoundedQueue, ShedsWhenFullAndConservesEveryOffer) {
+  // Offer more than capacity with no consumer: exactly `cap` admitted,
+  // the rest refused, and accepted + shed == generated.
+  BoundedSessionQueue q(8);
+  uint64_t accepted = 0, shed = 0;
+  const uint64_t generated = 20;
+  for (uint64_t i = 0; i < generated; ++i) {
+    if (q.try_push(make_session(i))) {
+      ++accepted;
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(shed, 12u);
+  EXPECT_EQ(accepted + shed, generated);
+  EXPECT_EQ(q.size(), 8u);
+}
+
+TEST(BoundedQueue, PopDrainsInFifoOrderAfterClose) {
+  BoundedSessionQueue q(16);
+  for (uint64_t i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(make_session(i)));
+  q.close();
+  EXPECT_FALSE(q.try_push(make_session(99))) << "admission after close";
+  Session s;
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(&s)) << "close() must not abandon admitted sessions";
+    EXPECT_EQ(s.id, i);
+  }
+  EXPECT_FALSE(q.pop(&s)) << "closed and drained: pop must return false";
+}
+
+TEST(BoundedQueue, CloseIsIdempotentAndWakesBlockedPoppers) {
+  BoundedSessionQueue q(4);
+  std::atomic<int> done{0};
+  std::thread popper([&] {
+    Session s;
+    while (q.pop(&s)) {
+    }
+    done = 1;
+  });
+  // Give the popper a moment to block, then close twice.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  q.close();
+  popper.join();
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueue, ConcurrentProducerConsumerConservation) {
+  // One open-loop producer (never blocks), two consumers. Every offered
+  // session is either consumed or shed — none invented, none lost.
+  BoundedSessionQueue q(32);
+  std::atomic<uint64_t> consumed{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      Session s;
+      while (q.pop(&s)) consumed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  uint64_t accepted = 0, shed = 0;
+  const uint64_t generated = 50000;
+  for (uint64_t i = 0; i < generated; ++i) {
+    if (q.try_push(make_session(i))) {
+      ++accepted;
+    } else {
+      ++shed;
+    }
+  }
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(accepted + shed, generated);
+  EXPECT_EQ(consumed.load(), accepted)
+      << "admitted sessions must all reach a consumer";
+}
+
+}  // namespace
+}  // namespace dc::service

@@ -1,0 +1,152 @@
+// End-to-end service harness smoke: short real-time runs asserting the
+// conservation laws, graceful shedding, and kill-respawn-reap recovery.
+// These are the invariants the v8 report validator re-checks offline; here
+// they are checked in-process against the live counters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "htm/crash.hpp"
+#include "htm/fault.hpp"
+#include "htm/htm.hpp"
+#include "htm/stats.hpp"
+#include "service/chaos.hpp"
+#include "service/service.hpp"
+
+namespace dc::service {
+namespace {
+
+class ServiceSmoke : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::crash::reset_all();
+    htm::fault::set_rate_override(-1.0);
+    htm::reset_stats();
+    reset_counters();
+  }
+  void TearDown() override {
+    htm::config() = saved_;
+    htm::crash::reset_all();
+    htm::fault::set_rate_override(-1.0);
+  }
+  htm::Config saved_;
+};
+
+TEST_F(ServiceSmoke, CleanRunConservesSessionsAndLeavesNothingBehind) {
+  ServiceConfig cfg;
+  cfg.arrival_rate = 2000.0;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  cfg.duration_ms = 150.0;
+  Service svc(cfg);
+  svc.start();
+  const uint64_t generated = svc.run_generator();
+  svc.stop();
+
+  const Counters c = counters();
+  EXPECT_EQ(c.generated, generated);
+  EXPECT_GT(c.generated, 0u);
+  EXPECT_EQ(c.generated, c.accepted + c.shed);
+  EXPECT_EQ(c.accepted, c.completed + c.killed);
+  EXPECT_EQ(c.killed, 0u);
+  EXPECT_EQ(c.worker_deaths, 0u);
+  EXPECT_GT(c.requests, c.completed) << "sessions issue multiple Updates";
+  // Every session deregistered: no leases, no orphans, empty Collect.
+  EXPECT_EQ(svc.collect().lease_count(), 0u);
+  EXPECT_EQ(svc.collect().orphan_count(), 0u);
+  std::vector<collect::Value> out;
+  svc.collect().collect(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(ServiceSmoke, OverloadShedsInsteadOfBlockingTheGenerator) {
+  // A one-slot queue under heavy offered load: the open-loop generator
+  // must keep its schedule and shed, never block — and the shed sessions
+  // must be counted, not silently dropped.
+  ServiceConfig cfg;
+  cfg.arrival_rate = 50000.0;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.duration_ms = 100.0;
+  Service svc(cfg);
+  svc.start();
+  svc.run_generator();
+  svc.stop();
+
+  const Counters c = counters();
+  EXPECT_GT(c.shed, 0u) << "a 1-deep queue at 50k/s must shed";
+  EXPECT_GT(c.completed, 0u) << "admitted sessions still complete";
+  EXPECT_EQ(c.generated, c.accepted + c.shed);
+  EXPECT_EQ(c.accepted, c.completed + c.killed);
+}
+
+TEST_F(ServiceSmoke, KillPhaseIsSurvivedReapedAndRespawned) {
+  ServiceConfig cfg;
+  cfg.arrival_rate = 4000.0;
+  cfg.workers = 2;
+  cfg.duration_ms = 200.0;
+  Service svc(cfg);
+
+  std::vector<ChaosPhase> phases;
+  std::string err;
+  ASSERT_TRUE(parse_script("@30 kill worker=0\n@90 kill worker=1\n", &phases,
+                           &err))
+      << err;
+  ChaosOrchestrator chaos(phases, &svc);
+  svc.start();
+  chaos.start();
+  svc.run_generator();
+  chaos.stop();
+  svc.stop();
+
+  const Counters c = counters();
+  EXPECT_EQ(c.worker_deaths, 2u);
+  EXPECT_EQ(c.respawns, 2u) << "every dead worker slot must be respawned";
+  EXPECT_EQ(c.killed, c.worker_deaths)
+      << "each death takes exactly its in-flight session";
+  EXPECT_EQ(c.chaos_phases, 2u);
+  EXPECT_EQ(c.generated, c.accepted + c.shed);
+  EXPECT_EQ(c.accepted, c.completed + c.killed);
+  EXPECT_GT(c.completed, 0u) << "the pool kept serving through the kills";
+  // The killed sessions' leases were orphaned and reaped (the default
+  // after=1 deferral lands the death past the admission block), and the
+  // final state is clean.
+  const htm::TxnStats agg = htm::aggregate_stats();
+  EXPECT_EQ(agg.crashes_injected, 2u);
+  EXPECT_EQ(svc.collect().lease_count(), 0u);
+  EXPECT_EQ(svc.collect().orphan_count(), 0u);
+}
+
+TEST_F(ServiceSmoke, FaultStormPhaseRevertsItsOverride) {
+  ServiceConfig cfg;
+  cfg.arrival_rate = 2000.0;
+  cfg.workers = 2;
+  cfg.duration_ms = 150.0;
+  Service svc(cfg);
+
+  std::vector<ChaosPhase> phases;
+  std::string err;
+  ASSERT_TRUE(parse_script("@20 fault-storm rate=0.6 for=50\n", &phases,
+                           &err))
+      << err;
+  ChaosOrchestrator chaos(phases, &svc);
+  svc.start();
+  chaos.start();
+  svc.run_generator();
+  chaos.stop();
+  svc.stop();
+
+  const Counters c = counters();
+  EXPECT_EQ(c.chaos_phases, 1u);
+  EXPECT_EQ(c.generated, c.accepted + c.shed);
+  EXPECT_EQ(c.accepted, c.completed + c.killed);
+  EXPECT_LT(htm::fault::rate_override(), 0.0)
+      << "storm override must be reverted after the phase window";
+  EXPECT_GT(htm::aggregate_stats().faults_injected, 0u)
+      << "the storm window should have injected spurious aborts";
+}
+
+}  // namespace
+}  // namespace dc::service

@@ -188,6 +188,93 @@ def clean_sampled_v7_report():
     return doc
 
 
+def v8ify(doc):
+    """Upgrades a v7 fixture to the v8 shape: the slo_observe option, the
+    service pair in every counter block, the widened annotation whitelist,
+    and the SLO episode ledger. No service section — that is bench_service's
+    alone and is added by service_v8_report."""
+    doc["schema_version"] = 8
+    doc["options"]["slo_observe"] = False
+    tl = doc.get("timeline")
+    if tl:
+        for blk in [tl["baseline"]] + tl["windows"]:
+            blk.setdefault("sessions_shed", 0)
+            blk.setdefault("chaos_phases", 0)
+        tl["annotation_totals"].setdefault("shed_onset", 0)
+        tl["annotation_totals"].setdefault("chaos_phase", 0)
+        tl["slo"].setdefault("reattainments", 0)
+        tl["slo"].setdefault("episodes", [])
+    return doc
+
+
+def good_v8_report():
+    return v8ify(good_v7_report())
+
+
+def sampled_v8_report():
+    return v8ify(sampled_v7_report())
+
+
+def service_v8_report():
+    """A v8 bench_service report from a sampled chaos run: one fault-storm
+    and one kill applied (one rate-spike never fired), 10 sessions shed,
+    one worker death whose in-flight session was killed, orphan reaped,
+    and the SLO violated once then re-attained. Timeline service counters
+    telescope to the service totals; htm fault/crash counters are hot with
+    the rate options at 0 — legal precisely because chaos phases fired."""
+    doc = sampled_v8_report()
+    doc["bench"] = "service"
+    doc["htm"]["faults_injected"] = 50
+    doc["htm"]["crashes_injected"] = 1
+    doc["htm"]["orphans_reaped"] = 1
+    tl = doc["timeline"]
+    w0, w1 = tl["windows"]
+    w0["faults_injected"] = 50
+    w0["sessions_shed"] = 6
+    w0["chaos_phases"] = 2
+    w1["crashes_injected"] = 1
+    w1["orphans_reaped"] = 1
+    w1["sessions_shed"] = 4
+    tl["annotations"] += [
+        {"t_ms": 10.0, "window": 0, "kind": "shed_onset", "value": 6},
+        {"t_ms": 10.0, "window": 0, "kind": "chaos_phase", "value": 2},
+        {"t_ms": 20.0, "window": 1, "kind": "shed_onset", "value": 4},
+        {"t_ms": 20.0, "window": 1, "kind": "orphan_reap", "value": 1},
+        {"t_ms": 20.0, "window": 1, "kind": "thread_crash", "value": 1},
+    ]
+    tl["annotation_totals"].update(shed_onset=10, chaos_phase=2,
+                                   orphan_reap=1, thread_crash=1)
+    tl["slo"]["reattainments"] = 1
+    tl["slo"]["episodes"] = [
+        {"start_window": 0, "t_start_ms": 0.0, "end_window": 1,
+         "t_end_ms": 10.0, "recovered": True, "violating_windows": 1},
+    ]
+    doc["service"] = {
+        "arrival_rate": 1000.0, "burstiness": 0.0, "workers": 2,
+        "queue_capacity": 64, "duration_ms": 100.0,
+        "chaos_script": "bench/chaos_service.txt",
+        "sessions_generated": 100, "sessions_accepted": 90,
+        "sessions_shed": 10, "sessions_completed": 89,
+        "sessions_killed": 1, "requests": 500, "worker_deaths": 1,
+        "worker_respawns": 1, "reap_batches": 1, "chaos_phases": 2,
+        "phases": [
+            {"spec": "@10 fault-storm rate=0.5 for=20",
+             "kind": "fault-storm", "at_ms": 10, "onset_ms": 10.5,
+             "mttr_ms": 5.0, "shed_during": 4, "orphans_reaped": 0,
+             "reap_latency_ms": -1.0},
+            {"spec": "@50 kill worker=0 point=txn_op after=1",
+             "kind": "kill", "at_ms": 50, "onset_ms": 50.2,
+             "mttr_ms": 12.0, "shed_during": 6, "orphans_reaped": 1,
+             "reap_latency_ms": 8.0},
+            {"spec": "@500 rate-spike x=8 for=20", "kind": "rate-spike",
+             "at_ms": 500, "onset_ms": -1.0, "mttr_ms": -1.0,
+             "shed_during": 0, "orphans_reaped": 0,
+             "reap_latency_ms": -1.0},
+        ],
+    }
+    return doc
+
+
 def run_validator(validator, doc, flags=()):
     with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False,
                                      encoding="utf-8") as f:
@@ -386,6 +473,132 @@ def main():
     bad["timeline"]["slo"]["targets"][0]["violations"] = 99
     expect("slo violations exceed evaluated windows", bad, 1, (),
            "violations")
+
+    # --- v8: service harness schema. ---
+    expect("good v8 non-service report", good_v8_report(), 0)
+    expect("good v8 sampled non-service report", sampled_v8_report(), 0)
+    expect("good v8 service chaos report", service_v8_report(), 0)
+    expect("v8 exact --schema match", good_v8_report(), 0, ["--schema", "8"])
+    expect("service report with all expect flags", service_v8_report(), 0,
+           ["--expect-service", "--expect-shed", "--expect-chaos"])
+
+    bad = good_v8_report()
+    del bad["options"]["slo_observe"]
+    expect("v8 missing options.slo_observe", bad, 1, (), "slo_observe")
+
+    # Present-iff-service, both directions.
+    bad = good_v8_report()
+    bad["service"] = service_v8_report()["service"]
+    expect("service section on a non-service bench", bad, 1, (), "iff")
+
+    bad = service_v8_report()
+    del bad["service"]
+    expect("bench=service without a service section", bad, 1, (), "iff")
+
+    bad = good_v7_report()
+    bad["service"] = service_v8_report()["service"]
+    expect("v7 report with a v8 service section", bad, 1, (), "v8")
+
+    # The conservation laws, both halves.
+    bad = service_v8_report()
+    bad["service"]["sessions_shed"] = 9  # silently lost one shed session
+    expect("generated != accepted + shed", bad, 1, (), "conservation")
+
+    bad = service_v8_report()
+    bad["service"]["sessions_completed"] = 90  # invented a completion
+    expect("accepted != completed + killed", bad, 1, (), "conservation")
+
+    bad = service_v8_report()
+    bad["service"]["sessions_killed"] = 0
+    bad["service"]["sessions_completed"] = 90
+    expect("worker died but no session killed", bad, 1, (), "death")
+
+    bad = service_v8_report()
+    bad["service"]["worker_respawns"] = 3
+    expect("more respawns than deaths", bad, 1, (), "respawns")
+
+    # Timeline/service cross-checks: the service counters must telescope
+    # to the section totals in a service report...
+    bad = service_v8_report()
+    bad["timeline"]["windows"][1]["sessions_shed"] = 3
+    expect("timeline shed does not telescope to service total", bad, 1, (),
+           "decompose")
+
+    # ...and to exactly zero in a non-service report (dormancy guard).
+    bad = sampled_v8_report()
+    bad["timeline"]["windows"][0]["sessions_shed"] = 1
+    expect("non-service report ticked sessions_shed", bad, 1, (),
+           "decompose")
+
+    bad = sampled_v8_report()
+    del bad["timeline"]["annotation_totals"]["shed_onset"]
+    expect("v8 annotation whitelist missing shed_onset", bad, 1, (),
+           "whitelist")
+
+    # The episode ledger.
+    bad = sampled_v8_report()
+    del bad["timeline"]["slo"]["reattainments"]
+    expect("v8 slo missing reattainments", bad, 1, (), "reattainments")
+
+    bad = service_v8_report()
+    bad["timeline"]["slo"]["episodes"][0]["recovered"] = False
+    expect("recovered episodes != reattainments", bad, 1, (),
+           "reattainments")
+
+    bad = service_v8_report()
+    bad["timeline"]["slo"]["episodes"][0]["violating_windows"] = 0
+    expect("episode with zero violating windows", bad, 1, (), "episode")
+
+    # Phase reports: an unapplied phase must be inert, and the applied
+    # count must reconcile with the chaos_phases counter.
+    bad = service_v8_report()
+    bad["service"]["phases"][2]["shed_during"] = 5
+    expect("unapplied phase reports activity", bad, 1, (), "unapplied")
+
+    bad = service_v8_report()
+    bad["service"]["chaos_phases"] = 3
+    expect("chaos_phases != phases with an onset", bad, 1, (), "onset")
+
+    # Chaos can legitimately heat fault/crash counters with the rate
+    # options at 0 — but only the phase kinds that fired. A kill-free
+    # report with hot crash counters is still a leak.
+    bad = service_v8_report()
+    bad["service"]["phases"][1]["onset_ms"] = -1.0
+    bad["service"]["phases"][1]["mttr_ms"] = -1.0
+    bad["service"]["phases"][1]["shed_during"] = 0
+    bad["service"]["phases"][1]["orphans_reaped"] = 0
+    bad["service"]["phases"][1]["reap_latency_ms"] = -1.0
+    bad["service"]["chaos_phases"] = 1
+    bad["service"]["sessions_killed"] = 0
+    bad["service"]["sessions_completed"] = 90
+    bad["service"]["worker_deaths"] = 0
+    bad["service"]["worker_respawns"] = 0
+    expect("crash counters hot without an applied kill phase", bad, 1, (),
+           "crash injection off")
+
+    # The expect flags.
+    bad = service_v8_report()
+    bad["service"]["sessions_shed"] = 0
+    bad["service"]["sessions_accepted"] = 100
+    bad["service"]["sessions_completed"] = 99
+    for w in bad["timeline"]["windows"]:
+        w["sessions_shed"] = 0
+    bad["timeline"]["annotation_totals"]["shed_onset"] = 0
+    bad["timeline"]["annotations"] = [
+        a for a in bad["timeline"]["annotations"]
+        if a["kind"] != "shed_onset"]
+    expect("--expect-shed on a shed-free run", bad, 1, ["--expect-shed"],
+           "--expect-shed")
+
+    bad = service_v8_report()
+    bad["service"]["phases"][1]["mttr_ms"] = -1.0
+    expect("--expect-chaos with an unrecovered phase", bad, 1,
+           ["--expect-chaos"], "re-attained")
+
+    expect("--expect-service on a non-service v8 report", good_v8_report(),
+           1, ["--expect-service"], "bench_service")
+    expect("--expect-chaos on a v7 report", good_v7_report(), 1,
+           ["--expect-chaos"], "v8")
 
     if failures:
         print("validate_report_test: FAIL", file=sys.stderr)
