@@ -13,6 +13,7 @@
 #include "collect/registry.hpp"
 #include "htm/config.hpp"
 #include "htm/stats.hpp"
+#include "memory/pool.hpp"
 #include "obs/conflict_map.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
@@ -69,6 +70,18 @@ inline obs::timeline::CounterSample htm_counter_sample() {
   c.sig_validations = s.sig_validations;
   c.sig_false_aborts = s.sig_false_aborts;
   c.sig_ring_overflows = s.sig_ring_overflows;
+  // Pool counters ride the same sample so memory-pressure onsets land on
+  // the same timeline axis as commits/aborts (all monotone; os_bytes never
+  // shrinks by construction — the never-unmapping contract).
+  const mem::PoolStats ps = mem::pool_stats();
+  c.pool_allocations = ps.allocations;
+  c.pool_deallocations = ps.deallocations;
+  c.pool_os_bytes = ps.os_bytes;
+  c.alloc_failures = ps.alloc_failures;
+  c.alloc_faults_injected = ps.alloc_faults_injected;
+  c.pool_caches_reaped = ps.cache_blocks_reaped;
+  c.mem_pressure_onsets = ps.mem_pressure_onsets;
+  c.mem_pressure_exits = ps.mem_pressure_exits;
   return c;
 }
 
@@ -139,6 +152,13 @@ class ObsSession {
     if (opts_.crash_rate >= 0.0) {
       htm::config().crash.rate = opts_.crash_rate > 1.0 ? 1.0
                                                         : opts_.crash_rate;
+    }
+    if (opts_.mem_limit != ~0ull) {
+      htm::config().mem.limit_bytes = opts_.mem_limit;
+    }
+    if (opts_.alloc_fault_rate >= 0.0) {
+      htm::config().mem.alloc_fault_rate =
+          opts_.alloc_fault_rate > 1.0 ? 1.0 : opts_.alloc_fault_rate;
     }
     if (!opts_.trace_path.empty()) {
       obs::set_all(true);
@@ -231,6 +251,16 @@ inline sim::Options extract_obs_options(int& argc, char** argv) {
       opts.fault_rate = std::atof(argv[++i]);
     } else if (arg == "--crash-rate" && i + 1 < argc) {
       opts.crash_rate = std::atof(argv[++i]);
+    } else if (arg == "--mem-limit" && i + 1 < argc) {
+      const char* v = argv[++i];
+      char* end = nullptr;
+      unsigned long long bytes = std::strtoull(v, &end, 0);
+      if (*end == 'k' || *end == 'K') bytes <<= 10;
+      else if (*end == 'm' || *end == 'M') bytes <<= 20;
+      else if (*end == 'g' || *end == 'G') bytes <<= 30;
+      opts.mem_limit = bytes;
+    } else if (arg == "--alloc-fault-rate" && i + 1 < argc) {
+      opts.alloc_fault_rate = std::atof(argv[++i]);
     } else if (arg == "--sample-interval" && i + 1 < argc) {
       opts.sample_interval_ms = std::atof(argv[++i]);
     } else if (arg == "--slo" && i + 1 < argc) {
@@ -311,6 +341,25 @@ inline void print_htm_diagnostics() {
         static_cast<unsigned long long>(s.crashes_injected),
         static_cast<unsigned long long>(s.lock_recoveries),
         static_cast<unsigned long long>(s.orphans_reaped));
+  }
+  // Memory-pressure diagnostics — only interesting when bounded mode,
+  // allocation-fault injection, or a stranded-cache reap actually fired.
+  const mem::PoolStats ps = mem::pool_stats();
+  if (ps.limit_bytes != 0 || ps.alloc_failures != 0 ||
+      ps.cache_blocks_stranded != 0) {
+    std::printf(
+        "[mem] limit=%llu os-bytes=%llu live-blocks=%llu "
+        "alloc-failures=%llu (injected=%llu) pressure-onsets/exits=%llu/%llu "
+        "caches-stranded/reaped=%llu/%llu\n",
+        static_cast<unsigned long long>(ps.limit_bytes),
+        static_cast<unsigned long long>(ps.os_bytes),
+        static_cast<unsigned long long>(ps.live_blocks),
+        static_cast<unsigned long long>(ps.alloc_failures),
+        static_cast<unsigned long long>(ps.alloc_faults_injected),
+        static_cast<unsigned long long>(ps.mem_pressure_onsets),
+        static_cast<unsigned long long>(ps.mem_pressure_exits),
+        static_cast<unsigned long long>(ps.cache_blocks_stranded),
+        static_cast<unsigned long long>(ps.cache_blocks_reaped));
   }
   // Per-cause retry depth quantiles — which abort attempt number each cause
   // was recorded at (attempt 0 = first try); populated whenever aborts occur.
@@ -395,10 +444,14 @@ inline void write_json_cell(std::FILE* f, const std::string& cell) {
 }
 
 // Emits a CounterSample as the body of a JSON object (no braces): the same
-// fifteen keys for the baseline and for every window's deltas, so
+// twenty-four keys for the baseline and for every window's deltas, so
 // validators can difference them uniformly. The two service-tier keys are
 // all-zero outside service runs (validator-enforced against the presence
-// of the "service" section).
+// of the "service" section); the memory-tier keys are all-zero unless a
+// capacity bound / allocation-fault injection is configured (enforced the
+// same way against options.mem_limit / options.alloc_fault_rate), except
+// pool_allocations/pool_deallocations/pool_os_bytes which track the
+// always-on pool.
 inline void write_counter_fields(std::FILE* f,
                                  const obs::timeline::CounterSample& c) {
   std::fprintf(
@@ -409,7 +462,12 @@ inline void write_counter_fields(std::FILE* f,
       "\"storm_exits\": %llu, \"lock_recoveries\": %llu, "
       "\"orphans_reaped\": %llu, \"sig_validations\": %llu, "
       "\"sig_false_aborts\": %llu, \"sig_ring_overflows\": %llu, "
-      "\"sessions_shed\": %llu, \"chaos_phases\": %llu",
+      "\"sessions_shed\": %llu, \"chaos_phases\": %llu, "
+      "\"pool_allocations\": %llu, \"pool_deallocations\": %llu, "
+      "\"pool_os_bytes\": %llu, \"alloc_failures\": %llu, "
+      "\"alloc_faults_injected\": %llu, \"pool_caches_reaped\": %llu, "
+      "\"mem_pressure_onsets\": %llu, \"mem_pressure_exits\": %llu, "
+      "\"sessions_shed_mem\": %llu",
       static_cast<unsigned long long>(c.commits),
       static_cast<unsigned long long>(c.aborts),
       static_cast<unsigned long long>(c.lock_fallbacks),
@@ -424,7 +482,62 @@ inline void write_counter_fields(std::FILE* f,
       static_cast<unsigned long long>(c.sig_false_aborts),
       static_cast<unsigned long long>(c.sig_ring_overflows),
       static_cast<unsigned long long>(c.sessions_shed),
-      static_cast<unsigned long long>(c.chaos_phases));
+      static_cast<unsigned long long>(c.chaos_phases),
+      static_cast<unsigned long long>(c.pool_allocations),
+      static_cast<unsigned long long>(c.pool_deallocations),
+      static_cast<unsigned long long>(c.pool_os_bytes),
+      static_cast<unsigned long long>(c.alloc_failures),
+      static_cast<unsigned long long>(c.alloc_faults_injected),
+      static_cast<unsigned long long>(c.pool_caches_reaped),
+      static_cast<unsigned long long>(c.mem_pressure_onsets),
+      static_cast<unsigned long long>(c.mem_pressure_exits),
+      static_cast<unsigned long long>(c.sessions_shed_mem));
+}
+
+// The "mem" section of the v9 report: global pool accounting plus the
+// per-thread ledgers, always present so the validator can re-prove the
+// conservation laws offline (sum of thread ledgers == globals;
+// allocations - deallocations == live_blocks; reaped <= stranded) and
+// enforce the zero-overhead guard (failure/injection/pressure counters all
+// zero whenever bounded mode, injection and crash injection are off).
+inline void write_mem_section(std::FILE* f) {
+  const mem::PoolStats ps = mem::pool_stats();
+  std::fprintf(
+      f,
+      "  \"mem\": {\"limit_bytes\": %llu, \"alloc_fault_rate\": %g, "
+      "\"os_bytes\": %llu, \"live_bytes\": %llu, \"live_blocks\": %llu, "
+      "\"allocations\": %llu, \"deallocations\": %llu, "
+      "\"alloc_failures\": %llu, \"alloc_faults_injected\": %llu, "
+      "\"cache_blocks_stranded\": %llu, \"cache_blocks_reaped\": %llu, "
+      "\"mem_pressure_onsets\": %llu, \"mem_pressure_exits\": %llu,\n"
+      "    \"threads\": [",
+      static_cast<unsigned long long>(ps.limit_bytes),
+      htm::config().mem.alloc_fault_rate,
+      static_cast<unsigned long long>(ps.os_bytes),
+      static_cast<unsigned long long>(ps.live_bytes),
+      static_cast<unsigned long long>(ps.live_blocks),
+      static_cast<unsigned long long>(ps.allocations),
+      static_cast<unsigned long long>(ps.deallocations),
+      static_cast<unsigned long long>(ps.alloc_failures),
+      static_cast<unsigned long long>(ps.alloc_faults_injected),
+      static_cast<unsigned long long>(ps.cache_blocks_stranded),
+      static_cast<unsigned long long>(ps.cache_blocks_reaped),
+      static_cast<unsigned long long>(ps.mem_pressure_onsets),
+      static_cast<unsigned long long>(ps.mem_pressure_exits));
+  const std::vector<mem::PoolThreadStats> threads = mem::pool_thread_stats();
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const mem::PoolThreadStats& t = threads[i];
+    std::fprintf(f,
+                 "%s\n      {\"tid\": %u, \"allocations\": %llu, "
+                 "\"deallocations\": %llu, \"alloc_failures\": %llu, "
+                 "\"alloc_faults_injected\": %llu}",
+                 i == 0 ? "" : ",", t.tid,
+                 static_cast<unsigned long long>(t.allocations),
+                 static_cast<unsigned long long>(t.deallocations),
+                 static_cast<unsigned long long>(t.alloc_failures),
+                 static_cast<unsigned long long>(t.alloc_faults_injected));
+  }
+  std::fprintf(f, "%s]},\n", threads.empty() ? "" : "\n    ");
 }
 
 // The "timeline" section of the v7 report. Absent entirely when the sampler
@@ -583,6 +696,19 @@ inline void write_timeline_section(std::FILE* f) {
 //      and per-chaos-phase recovery reports. Non-service reports must not
 //      have the key — the same both-directions zero guard as every other
 //      schema tier
+//   9  adds options.mem_limit + options.alloc_fault_rate, the "alloc-failed"
+//      aborts_by_code entry and retry cause, nine memory-tier keys to every
+//      counter block (pool_allocations/pool_deallocations/pool_os_bytes
+//      always live; alloc_failures, alloc_faults_injected,
+//      pool_caches_reaped, mem_pressure_onsets, mem_pressure_exits,
+//      sessions_shed_mem all-zero unless bounded mode / injection / crashes
+//      are on — validator-enforced both directions), the
+//      mem_pressure_onset/mem_pressure_exit/mem_shed_onset/alloc_fault_burst
+//      annotation kinds, an always-present "mem" section (global pool
+//      accounting + per-thread ledgers, conservation-checked offline), the
+//      service section's shed_mem/oom counters and its v9 conservation laws
+//      (generated == accepted + shed + shed_mem; accepted == completed +
+//      killed + oom), and the mem-squeeze chaos phase kind
 //
 // `extra_section` (may be null) is invoked where optional sections live —
 // after the timeline section, before "columns" — and must emit either
@@ -603,7 +729,7 @@ inline void write_json_report(
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tmv);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": 8,\n");
+  std::fprintf(f, "  \"schema_version\": 9,\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n",
                detail::json_escape(bench_name).c_str());
   std::fprintf(f, "  \"generated_utc\": \"%s\",\n", stamp);
@@ -612,6 +738,7 @@ inline void write_json_report(
                "\"max_threads\": %u, \"hist\": %s, \"trace\": %s, "
                "\"clock\": \"%s\", \"retry\": \"%s\", \"validation\": \"%s\", "
                "\"fault_rate\": %g, \"crash_rate\": %g, "
+               "\"mem_limit\": %llu, \"alloc_fault_rate\": %g, "
                "\"sample_interval_ms\": %g, \"slo\": \"%s\", "
                "\"slo_observe\": %s},\n",
                opts.duration_ms, opts.repeats, opts.max_threads,
@@ -621,6 +748,9 @@ inline void write_json_report(
                htm::to_string(htm::config().retry_policy),
                htm::to_string(htm::config().validation),
                htm::config().fault.rate, htm::config().crash.rate,
+               static_cast<unsigned long long>(
+                   htm::config().mem.limit_bytes),
+               htm::config().mem.alloc_fault_rate,
                opts.sample_interval_ms,
                detail::json_escape(opts.slo).c_str(),
                opts.slo_observe ? "true" : "false");
@@ -738,6 +868,7 @@ inline void write_json_report(
                trace_requested ? "true" : "false",
                trace_requested && obs::kTraceCompiled ? "true" : "false",
                static_cast<unsigned long long>(obs::events_emitted()));
+  detail::write_mem_section(f);
   detail::write_timeline_section(f);
   if (extra_section) extra_section(f);
   std::fprintf(f, "  \"columns\": [");

@@ -14,12 +14,20 @@
 // --chaos SCRIPT runs a timed phase script (src/service/chaos.hpp) against
 // the live service; per-phase recovery metrics (MTTR to SLO re-attainment,
 // shed volume, orphan-reap latency) land in the "service" section of the
-// v8 JSON report alongside the timeline's chaos_phase/shed_onset
+// v9 JSON report alongside the timeline's chaos_phase/shed_onset
 // annotations. A clean run at a sustainable rate exits 0 with zero sheds;
 // an SLO-violating run exits 3 unless --slo-observe.
 //
+// Memory backpressure (PR 10): with --mem-limit the pool is bounded and a
+// mem-squeeze chaos phase (or plain overload) can push utilization past
+// the admission watermark — connects are then shed as shed_mem, and a
+// session that hits pool exhaustion mid-flight ends as oom (counted, never
+// a process abort). --longtail FRAC:DWELL shifts the session mix toward
+// persistent sessions so squeezes land on long-held state.
+//
 // Session accounting is conservation-checked before reporting:
-//     generated == accepted + shed,  accepted == completed + killed
+//     generated == accepted + shed + shed_mem
+//     accepted  == completed + killed + oom
 // and the process exits 1 if either fails — that is a harness bug, not a
 // robustness finding.
 #include <cstdio>
@@ -41,8 +49,48 @@ dc::obs::timeline::CounterSample service_counter_sample() {
   dc::obs::timeline::CounterSample c = dc::bench::detail::htm_counter_sample();
   const dc::service::Counters sc = dc::service::counters();
   c.sessions_shed = sc.shed;
+  c.sessions_shed_mem = sc.shed_mem;
   c.chaos_phases = sc.chaos_phases;
   return c;
+}
+
+// Bounded-mode pool pre-warm: map slabs until the pool's OS footprint
+// reaches ~85% of the capacity bound, then release the blocks (the
+// never-unmapping pool keeps the footprint). A real memory-budgeted server
+// pre-faults its arena the same way so steady-state latency never eats
+// page faults — and it makes mem-squeeze phases deterministic: a squeeze
+// to 90% of the limit lands below the warmed footprint regardless of how
+// little the session workload itself allocates.
+void prewarm_pool(uint64_t limit_bytes) {
+  // Warm the node class first: the workload's only steady-state allocation
+  // is the collect-list node (24 bytes -> 32-byte class). One slab of
+  // pre-faulted nodes means the service itself never triggers a refill, so
+  // os_bytes is pinned for the rest of the run and the squeeze bracket math
+  // (utilization vs watermark, headroom after release) is deterministic.
+  std::vector<void*> blocks;
+  constexpr std::size_t kNodeWarm = 32;
+  const uint64_t node_slab = dc::mem::pool_stats().os_bytes + 1;
+  while (dc::mem::pool_stats().os_bytes < node_slab) {
+    void* p = dc::mem::pool_try_allocate(kNodeWarm);
+    if (p == nullptr) break;
+    blocks.push_back(p);
+  }
+  // Bulk-fault the rest of the arena to ~85% of the cap with a large class.
+  const uint64_t target = limit_bytes - limit_bytes / 100 * 15;
+  constexpr std::size_t kWarmBlock = 16 * 1024;
+  std::vector<void*> bulk;
+  while (dc::mem::pool_stats().os_bytes < target) {
+    void* p = dc::mem::pool_try_allocate(kWarmBlock);
+    if (p == nullptr) break;  // limit denial: as warm as the cap allows
+    bulk.push_back(p);
+  }
+  for (void* p : blocks) dc::mem::pool_deallocate(p, kNodeWarm);
+  for (void* p : bulk) dc::mem::pool_deallocate(p, kWarmBlock);
+  dc::mem::pool_flush_thread_cache();
+  std::fprintf(stderr, "# pool pre-warmed to %llu / %llu bytes\n",
+               static_cast<unsigned long long>(
+                   dc::mem::pool_stats().os_bytes),
+               static_cast<unsigned long long>(limit_bytes));
 }
 
 }  // namespace
@@ -65,6 +113,12 @@ int main(int argc, char** argv) {
   cfg.queue_capacity = opts.queue_capacity > 0 ? opts.queue_capacity : 64;
   cfg.duration_ms = opts.duration_ms;
   cfg.seed = 1;
+  if (opts.longtail_fraction >= 0.0) {
+    cfg.persistent_fraction = opts.longtail_fraction;
+  }
+  if (opts.longtail_requests > 0) {
+    cfg.persistent_requests = opts.longtail_requests;
+  }
 
   std::vector<service::ChaosPhase> phases;
   if (!opts.chaos_path.empty()) {
@@ -97,6 +151,14 @@ int main(int argc, char** argv) {
     bench::print_host_caveat();
   }
 
+  // Bounded-mode runs pre-fault the arena (see prewarm_pool). Keep the
+  // limit comfortably above 8 slabs (512k): a too-tight cap makes the
+  // warm itself hit the bound and the service starts inside a pressure
+  // episode it can never leave.
+  if (const uint64_t limit = mem::pool_effective_limit(); limit != 0) {
+    prewarm_pool(limit);
+  }
+
   service::Service svc(cfg);
   service::ChaosOrchestrator chaos(phases, &svc);
   svc.start();
@@ -113,28 +175,32 @@ int main(int argc, char** argv) {
   const service::Counters c = service::counters();
 
   // Conservation: every generated session is accounted for exactly once.
-  if (c.generated != c.accepted + c.shed ||
-      c.accepted != c.completed + c.killed) {
+  if (c.generated != c.accepted + c.shed + c.shed_mem ||
+      c.accepted != c.completed + c.killed + c.oom) {
     std::fprintf(stderr,
                  "service: session accounting broken: generated=%llu "
-                 "accepted=%llu shed=%llu completed=%llu killed=%llu\n",
+                 "accepted=%llu shed=%llu shed_mem=%llu completed=%llu "
+                 "killed=%llu oom=%llu\n",
                  static_cast<unsigned long long>(c.generated),
                  static_cast<unsigned long long>(c.accepted),
                  static_cast<unsigned long long>(c.shed),
+                 static_cast<unsigned long long>(c.shed_mem),
                  static_cast<unsigned long long>(c.completed),
-                 static_cast<unsigned long long>(c.killed));
+                 static_cast<unsigned long long>(c.killed),
+                 static_cast<unsigned long long>(c.oom));
     return 1;
   }
 
   util::Table table({"arrival_rate", "burstiness", "workers", "generated",
-                     "accepted", "shed", "completed", "killed", "requests",
-                     "worker_deaths", "respawns"});
+                     "accepted", "shed", "shed_mem", "completed", "killed",
+                     "oom", "requests", "worker_deaths", "respawns"});
   table.add_row({util::Table::fmt(cfg.arrival_rate),
                  util::Table::fmt(cfg.burstiness),
                  util::Table::fmt(uint64_t{cfg.workers}),
                  util::Table::fmt(c.generated), util::Table::fmt(c.accepted),
-                 util::Table::fmt(c.shed), util::Table::fmt(c.completed),
-                 util::Table::fmt(c.killed), util::Table::fmt(c.requests),
+                 util::Table::fmt(c.shed), util::Table::fmt(c.shed_mem),
+                 util::Table::fmt(c.completed), util::Table::fmt(c.killed),
+                 util::Table::fmt(c.oom), util::Table::fmt(c.requests),
                  util::Table::fmt(c.worker_deaths),
                  util::Table::fmt(c.respawns)});
 
@@ -154,28 +220,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The v8 "service" section: config, conservation-checked session
+  // The v9 "service" section: config, conservation-checked session
   // accounting, and per-phase recovery reports.
   auto service_section = [&](std::FILE* f) {
     std::fprintf(
         f,
         "  \"service\": {\"arrival_rate\": %g, \"burstiness\": %g, "
         "\"workers\": %u, \"queue_capacity\": %u, \"duration_ms\": %g, "
-        "\"chaos_script\": \"%s\",\n"
+        "\"persistent_fraction\": %g, \"persistent_requests\": %u, "
+        "\"mem_shed_watermark\": %g, \"chaos_script\": \"%s\",\n"
         "    \"sessions_generated\": %llu, \"sessions_accepted\": %llu, "
-        "\"sessions_shed\": %llu, \"sessions_completed\": %llu, "
-        "\"sessions_killed\": %llu, \"requests\": %llu, "
+        "\"sessions_shed\": %llu, \"sessions_shed_mem\": %llu, "
+        "\"sessions_completed\": %llu, "
+        "\"sessions_killed\": %llu, \"sessions_oom\": %llu, "
+        "\"requests\": %llu, "
         "\"worker_deaths\": %llu, \"worker_respawns\": %llu, "
         "\"reap_batches\": %llu, \"chaos_phases\": %llu,\n"
         "    \"phases\": [",
         cfg.arrival_rate, cfg.burstiness, cfg.workers, cfg.queue_capacity,
-        cfg.duration_ms,
+        cfg.duration_ms, cfg.persistent_fraction, cfg.persistent_requests,
+        cfg.mem_shed_watermark,
         bench::detail::json_escape(opts.chaos_path).c_str(),
         static_cast<unsigned long long>(c.generated),
         static_cast<unsigned long long>(c.accepted),
         static_cast<unsigned long long>(c.shed),
+        static_cast<unsigned long long>(c.shed_mem),
         static_cast<unsigned long long>(c.completed),
         static_cast<unsigned long long>(c.killed),
+        static_cast<unsigned long long>(c.oom),
         static_cast<unsigned long long>(c.requests),
         static_cast<unsigned long long>(c.worker_deaths),
         static_cast<unsigned long long>(c.respawns),

@@ -24,9 +24,18 @@
 #      (fault storm + worker kills + rate spike) against an unmeetable SLO
 #      that must exit 3 (violated) while the report still validates with
 #      finite recovery bookkeeping. Every report goes through
-#      validate_report.py --schema 8 with the matching --expect-* flags,
+#      validate_report.py --schema 9 with the matching --expect-* flags,
 #      which re-prove the session conservation laws offline.
-#   7. (--sched) deterministic-schedule stage: runs the scheduled suite
+#   7. (--mem) memory-pressure smoke: runs bench_service three ways — an
+#      unbounded clean run where the validator's dormancy guard proves every
+#      memory-pressure counter stayed exactly zero, a seeded
+#      allocation-fault run (--alloc-fault-rate) whose denials must surface
+#      as counted per-session OOM outcomes (--expect-alloc-faults), and a
+#      bounded run squeezed mid-flight by bench/chaos_mem.txt that must shed
+#      on the pool watermark, re-attain its SLO with a finite MTTR, and
+#      close the pressure episode (--expect-mem-squeeze). All exit 0: memory
+#      exhaustion is a recoverable, counted condition, never a crash.
+#   8. (--sched) deterministic-schedule stage: runs the scheduled suite
 #      (exploration batteries, exact-race scripts, the seed sweep, replay
 #      of the tests/schedules regression corpus) honoring DC_SCHED_SEEDS,
 #      then builds build-nosched/ with -DDC_SCHED=OFF and runs the
@@ -34,7 +43,7 @@
 #      when compiled out.
 #
 # Usage: scripts/check.sh [--skip-tsan] [--skip-asan] [--fault] [--crash]
-#                         [--service] [--sched] [--clock gv1|gv5]
+#                         [--service] [--mem] [--sched] [--clock gv1|gv5]
 #                         [--validate exact|sig]
 #
 # --clock pins the global-clock policy (DC_CLOCK) for every stage, so one
@@ -54,6 +63,7 @@ skip_asan=0
 fault=0
 crash=0
 service=0
+mem=0
 sched=0
 clock=""
 validate=""
@@ -75,10 +85,11 @@ for arg in "$@"; do
     --fault) fault=1 ;;
     --crash) crash=1 ;;
     --service) service=1 ;;
+    --mem) mem=1 ;;
     --sched) sched=1 ;;
     --clock) prev="--clock" ;;
     --validate) prev="--validate" ;;
-    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --crash --service --sched --clock gv1|gv5 --validate exact|sig)" >&2; exit 2 ;;
+    *) echo "unknown option: $arg (supported: --skip-tsan --skip-asan --fault --crash --service --mem --sched --clock gv1|gv5 --validate exact|sig)" >&2; exit 2 ;;
   esac
 done
 if [[ -n "$prev" ]]; then
@@ -158,7 +169,7 @@ if [[ "$service" == 1 ]]; then
     --arrival-rate 1000 --workers 2 --duration-ms 500 \
     --sample-interval 25 --json service-clean-report.json
   python3 scripts/validate_report.py service-clean-report.json \
-    --schema 8 --expect-service
+    --schema 9 --expect-service
   python3 - service-clean-report.json <<'EOF'
 import json, sys
 svc = json.load(open(sys.argv[1]))["service"]
@@ -169,7 +180,7 @@ EOF
     --arrival-rate 50000 --workers 2 --queue-capacity 16 --duration-ms 500 \
     --json service-shed-report.json
   python3 scripts/validate_report.py service-shed-report.json \
-    --schema 8 --expect-service --expect-shed
+    --schema 9 --expect-service --expect-shed
   echo "== service smoke: chaos run vs an unmeetable SLO must exit 3 =="
   # update_p999<1us is unattainable (a software-TM update alone costs more):
   # every window violates, the bench reports the breach via exit 3, and the
@@ -185,7 +196,7 @@ EOF
     exit 1
   fi
   python3 scripts/validate_report.py service-chaos-report.json \
-    --schema 8 --expect-service
+    --schema 9 --expect-service
   python3 - service-chaos-report.json <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -207,7 +218,71 @@ EOF
     --sample-interval 25 --slo "update_p999<2ms" --slo-observe \
     --chaos bench/chaos_service.txt --json service-recovery-report.json
   python3 scripts/validate_report.py service-recovery-report.json \
-    --schema 8 --expect-service --expect-chaos
+    --schema 9 --expect-service --expect-chaos
+fi
+
+if [[ "$mem" == 1 ]]; then
+  echo "== mem smoke: unbounded clean run must keep every mem counter at 0 =="
+  # No bound, no injection: the validator's v9 dormancy guard fails the leg
+  # if any failure-path counter (alloc_failures, injected faults, pressure
+  # onsets/exits, alloc-failed aborts) moved at all.
+  ./build/bench/bench_service \
+    --arrival-rate 1000 --workers 2 --duration-ms 500 \
+    --sample-interval 25 --json mem-clean-report.json
+  python3 scripts/validate_report.py mem-clean-report.json \
+    --schema 9 --expect-service
+  python3 - mem-clean-report.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+svc = doc["service"]
+assert svc["sessions_shed_mem"] == 0, \
+    f"clean run shed {svc['sessions_shed_mem']} on the watermark"
+assert svc["sessions_oom"] == 0, f"clean run counted {svc['sessions_oom']} oom"
+EOF
+  echo "== mem smoke: injected denials must surface as counted oom sessions =="
+  # Seeded allocation-fault injection, no capacity bound: every denial lands
+  # on one session's Register, is counted as that session's OOM outcome, and
+  # the run still exits 0 — exhaustion is an outcome, not a crash.
+  ./build/bench/bench_service \
+    --arrival-rate 1000 --workers 2 --duration-ms 500 \
+    --alloc-fault-rate 0.05 \
+    --sample-interval 25 --json mem-fault-report.json
+  python3 scripts/validate_report.py mem-fault-report.json \
+    --schema 9 --expect-service --expect-alloc-faults
+  python3 - mem-fault-report.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+svc, mem = doc["service"], doc["mem"]
+assert svc["sessions_oom"] > 0, "injected denials but no oom session counted"
+assert svc["sessions_completed"] > 0, "nothing survived rate-0.05 injection"
+assert mem["alloc_faults_injected"] == mem["alloc_failures"], \
+    "unbounded run: every failure must be an injected one " \
+    f"({mem['alloc_faults_injected']} != {mem['alloc_failures']})"
+EOF
+  echo "== mem smoke: mid-run squeeze must shed, recover, and close the episode =="
+  # Bounded pool pre-warmed near the cap, then bench/chaos_mem.txt squeezes
+  # the bound below the mapped footprint mid-run: admission sheds on the
+  # watermark (shed_mem), the SLO re-attains with a finite MTTR after the
+  # release, and the pressure episode opens and closes exactly.
+  ./build/bench/bench_service \
+    --arrival-rate 1000 --workers 2 --duration-ms 1500 --mem-limit 512k \
+    --chaos bench/chaos_mem.txt \
+    --sample-interval 25 --slo "update_p999<2ms" --slo-observe \
+    --json mem-squeeze-report.json
+  python3 scripts/validate_report.py mem-squeeze-report.json \
+    --schema 9 --expect-service --expect-mem-squeeze
+  python3 - mem-squeeze-report.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+svc = doc["service"]
+assert svc["sessions_shed_mem"] > 0, "squeeze window shed nothing"
+assert svc["sessions_completed"] > 0, "nothing completed around the squeeze"
+squeezes = [p for p in svc["phases"] if p["kind"] == "mem-squeeze"]
+assert squeezes and all(p["onset_ms"] >= 0 for p in squeezes), \
+    "mem-squeeze phase never applied"
+assert all(p["mttr_ms"] >= 0 for p in squeezes), \
+    f"SLO never re-attained after the squeeze ({squeezes})"
+EOF
 fi
 
 if [[ "$sched" == 1 ]]; then

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Validate a benchmark --json report (schema_version 4 through 8) and,
+"""Validate a benchmark --json report (schema_version 4 through 9) and,
 optionally, a Chrome trace-event file produced by --trace.
 
 Usage: scripts/validate_report.py REPORT.json [TRACE.json] [--expect-events]
            [--expect-faults] [--expect-crashes] [--expect-storms]
            [--expect-clean-timeline] [--expect-service] [--expect-shed]
-           [--expect-chaos] [--schema N]
+           [--expect-chaos] [--expect-alloc-faults] [--expect-mem-squeeze]
+           [--schema N]
 
 The C++ unit tests (tests/obs/export_schema_test.cpp) validate the same
 schemas in-process; this script is the out-of-process check CI runs against
@@ -57,29 +58,65 @@ section with nonzero traffic; --expect-shed requires sessions_shed > 0
 (the overload leg); --expect-chaos requires at least one fault-storm AND
 one kill phase survived with every worker death recovered (the chaos
 leg).
+
+v9 reports add the memory tier: options.mem_limit / options.alloc_fault_rate,
+the "alloc-failed" abort code and retry cause, nine memory counters in every
+timeline counter block, the mem_pressure_onset / mem_pressure_exit /
+mem_shed_onset / alloc_fault_burst annotation kinds, an always-present "mem"
+section, and the service section's sessions_shed_mem / sessions_oom with the
+widened conservation laws (generated == accepted + shed + shed_mem;
+accepted == completed + killed + oom). The mem section is conservation-
+checked offline: the per-thread ledgers sum to the global counters (two
+independently maintained ledgers a double free or stranded-cache miscount
+would split), allocations - deallocations == live_blocks, reaped <=
+stranded, injected faults <= failures. The dormancy guard runs both ways:
+with no capacity bound, no allocation-fault injection, no crash injection
+and no mem-squeeze chaos phase, every failure/pressure/stranding counter
+must be exactly zero and no mem_pressure_* annotation may appear;
+--expect-alloc-faults requires injected faults > 0 (the injected leg) and
+--expect-mem-squeeze requires an applied mem-squeeze phase with at least
+one pressure onset AND a matching exit (the squeeze-recovery leg).
 """
 import json
 import sys
 
 SCHEMA_VERSION_MIN = 4
-SCHEMA_VERSION_MAX = 8
+SCHEMA_VERSION_MAX = 9
 
 OPS = ("register", "update", "deregister", "collect", "commit")
 OPS_V6 = OPS + ("validate",)
 SIG_KEYS = ("sig_validations", "sig_false_aborts", "sig_ring_overflows")
 ABORT_CODES = ("none", "conflict", "overflow", "explicit", "illegal-access",
                "interrupt", "tlb-miss", "save-restore")
+ABORT_CODES_V9 = ABORT_CODES + ("alloc-failed",)
 SPURIOUS_CODES = ("interrupt", "tlb-miss", "save-restore")
 
 # Timeline vocabulary (obs/timeline.hpp). Annotation kinds map 1:1 onto the
 # cumulative counter their per-window values decompose. v8 widens both with
 # the service pair; those two counters live in the service section (or are
 # implicitly zero when the report is not from bench_service), not in htm.
+# v9 widens both again with the memory tier, whose cumulative references
+# live in the mem section (sessions_shed_mem in the service section).
 COUNTER_KEYS = ("commits", "aborts", "lock_fallbacks", "tle_entries",
                 "faults_injected", "crashes_injected", "storm_entries",
                 "storm_exits", "lock_recoveries", "orphans_reaped",
                 "sig_validations", "sig_false_aborts", "sig_ring_overflows")
 SERVICE_COUNTER_KEYS = ("sessions_shed", "chaos_phases")
+MEM_COUNTER_KEYS = ("pool_allocations", "pool_deallocations", "pool_os_bytes",
+                    "alloc_failures", "alloc_faults_injected",
+                    "pool_caches_reaped", "mem_pressure_onsets",
+                    "mem_pressure_exits", "sessions_shed_mem")
+# timeline counter key -> mem section key it telescopes to.
+MEM_COUNTER_REF = {
+    "pool_allocations": "allocations",
+    "pool_deallocations": "deallocations",
+    "pool_os_bytes": "os_bytes",
+    "alloc_failures": "alloc_failures",
+    "alloc_faults_injected": "alloc_faults_injected",
+    "pool_caches_reaped": "cache_blocks_reaped",
+    "mem_pressure_onsets": "mem_pressure_onsets",
+    "mem_pressure_exits": "mem_pressure_exits",
+}
 ANNOTATION_COUNTER = {
     "storm_onset": "storm_entries",
     "storm_exit": "storm_exits",
@@ -92,19 +129,41 @@ SERVICE_ANNOTATION_COUNTER = {
     "shed_onset": "sessions_shed",
     "chaos_phase": "chaos_phases",
 }
+MEM_ANNOTATION_COUNTER = {
+    "mem_pressure_onset": "mem_pressure_onsets",
+    "mem_pressure_exit": "mem_pressure_exits",
+    "mem_shed_onset": "sessions_shed_mem",
+    "alloc_fault_burst": "alloc_failures",
+}
 QUANTILE_KEYS = ("p50_ns", "p90_ns", "p99_ns", "p999_ns")
 SLO_QUANTILES = ("p50", "p90", "p99", "p999")
 CHAOS_KINDS = ("fault-storm", "kill", "rate-spike")
+CHAOS_KINDS_V9 = CHAOS_KINDS + ("mem-squeeze",)
+
+
+def abort_codes(version):
+    return ABORT_CODES_V9 if version >= 9 else ABORT_CODES
+
+
+def chaos_kinds(version):
+    return CHAOS_KINDS_V9 if version >= 9 else CHAOS_KINDS
 
 
 def counter_keys(version):
-    return COUNTER_KEYS + (SERVICE_COUNTER_KEYS if version >= 8 else ())
+    keys = COUNTER_KEYS
+    if version >= 8:
+        keys = keys + SERVICE_COUNTER_KEYS
+    if version >= 9:
+        keys = keys + MEM_COUNTER_KEYS
+    return keys
 
 
 def annotation_counter(version):
     m = dict(ANNOTATION_COUNTER)
     if version >= 8:
         m.update(SERVICE_ANNOTATION_COUNTER)
+    if version >= 9:
+        m.update(MEM_ANNOTATION_COUNTER)
     return m
 
 
@@ -141,6 +200,12 @@ def validate_timeline(doc, version, expect_storms, expect_clean):
         svc = doc.get("service")
         ref["sessions_shed"] = svc["sessions_shed"] if svc else 0
         ref["chaos_phases"] = svc["chaos_phases"] if svc else 0
+    if version >= 9:
+        mem = doc["mem"]
+        for tl_key, mem_key in MEM_COUNTER_REF.items():
+            ref[tl_key] = mem[mem_key]
+        svc = doc.get("service")
+        ref["sessions_shed_mem"] = svc["sessions_shed_mem"] if svc else 0
     tl = doc.get("timeline")
     require(isinstance(tl, dict), "timeline must be an object")
     require(isinstance(tl.get("sample_interval_ms"), (int, float)) and
@@ -276,14 +341,17 @@ def validate_timeline(doc, version, expect_storms, expect_clean):
                 f"({ {k: v for k, v in totals.items() if v} })")
 
 
-def validate_service(doc, expect_service, expect_shed, expect_chaos):
-    """Checks the v8 service section: harness config, session accounting,
+def validate_service(doc, version, expect_service, expect_shed,
+                     expect_chaos):
+    """Checks the v8+ service section: harness config, session accounting,
     and per-chaos-phase recovery reports.
 
-    The two conservation laws are the section's whole point — an open-loop
+    The conservation laws are the section's whole point — an open-loop
     harness that loses track of a session under overload or chaos would
-    silently understate latency and overstate availability. Both must hold
-    exactly, in every run, chaos or not."""
+    silently understate latency and overstate availability. All must hold
+    exactly, in every run, chaos or not. v9 widens both laws with the
+    memory tier: watermark sheds (shed_mem) and mid-flight pool exhaustion
+    (oom) are distinct, counted outcomes, never silent drops."""
     svc = doc["service"]
     require(isinstance(svc, dict), "service must be an object")
     for key in ("arrival_rate", "burstiness", "duration_ms"):
@@ -292,21 +360,28 @@ def validate_service(doc, expect_service, expect_shed, expect_chaos):
         require(isinstance(svc.get(key), int) and svc[key] > 0,
                 f"service.{key}")
     require(isinstance(svc.get("chaos_script"), str), "service.chaos_script")
-    for key in ("sessions_generated", "sessions_accepted", "sessions_shed",
-                "sessions_completed", "sessions_killed", "requests",
-                "worker_deaths", "worker_respawns", "reap_batches",
-                "chaos_phases"):
+    counter_names = ["sessions_generated", "sessions_accepted",
+                     "sessions_shed", "sessions_completed", "sessions_killed",
+                     "requests", "worker_deaths", "worker_respawns",
+                     "reap_batches", "chaos_phases"]
+    if version >= 9:
+        counter_names += ["sessions_shed_mem", "sessions_oom"]
+    for key in counter_names:
         require(isinstance(svc.get(key), int), f"service.{key}")
+    shed_mem = svc.get("sessions_shed_mem", 0)
+    oom = svc.get("sessions_oom", 0)
     require(svc["sessions_generated"] ==
-            svc["sessions_accepted"] + svc["sessions_shed"],
+            svc["sessions_accepted"] + svc["sessions_shed"] + shed_mem,
             "service conservation broken: generated != accepted + shed "
-            f"({svc['sessions_generated']} != {svc['sessions_accepted']} + "
-            f"{svc['sessions_shed']})")
+            f"+ shed_mem ({svc['sessions_generated']} != "
+            f"{svc['sessions_accepted']} + {svc['sessions_shed']} + "
+            f"{shed_mem})")
     require(svc["sessions_accepted"] ==
-            svc["sessions_completed"] + svc["sessions_killed"],
+            svc["sessions_completed"] + svc["sessions_killed"] + oom,
             "service conservation broken: accepted != completed + killed "
-            f"({svc['sessions_accepted']} != {svc['sessions_completed']} + "
-            f"{svc['sessions_killed']})")
+            f"+ oom ({svc['sessions_accepted']} != "
+            f"{svc['sessions_completed']} + {svc['sessions_killed']} + "
+            f"{oom})")
     require(svc["sessions_killed"] == svc["worker_deaths"],
             "each worker death must take exactly its in-flight session "
             f"({svc['sessions_killed']} killed, {svc['worker_deaths']} "
@@ -319,8 +394,8 @@ def validate_service(doc, expect_service, expect_shed, expect_chaos):
     applied = 0
     for p in phases:
         require(isinstance(p.get("spec"), str), "phase.spec")
-        require(p.get("kind") in CHAOS_KINDS,
-                f"phase.kind {p.get('kind')!r} not in {CHAOS_KINDS}")
+        require(p.get("kind") in chaos_kinds(version),
+                f"phase.kind {p.get('kind')!r} not in {chaos_kinds(version)}")
         for key in ("at_ms", "onset_ms", "mttr_ms", "reap_latency_ms"):
             require(isinstance(p.get(key), (int, float)), f"phase.{key}")
         for key in ("shed_during", "orphans_reaped"):
@@ -369,10 +444,86 @@ def validate_service(doc, expect_service, expect_shed, expect_chaos):
                 "--expect-chaos: the pool never served through the chaos")
 
 
+def validate_mem(doc, mem_active, crash_active, expect_alloc_faults,
+                 expect_mem_squeeze, chaos_squeeze):
+    """Checks the v9 mem section: global pool accounting, per-thread
+    ledgers, and the conservation laws that tie them together.
+
+    The global counters and the per-thread ledgers are maintained
+    independently (one atomic set, one thread-local set); a double free,
+    a lost ledger, or a stranded-cache miscount splits them. The offline
+    re-proof here is the same discipline the service section gets."""
+    mem = doc["mem"]
+    require(isinstance(mem, dict), "mem must be an object")
+    for key in ("limit_bytes", "os_bytes", "live_bytes", "live_blocks",
+                "allocations", "deallocations", "alloc_failures",
+                "alloc_faults_injected", "cache_blocks_stranded",
+                "cache_blocks_reaped", "mem_pressure_onsets",
+                "mem_pressure_exits"):
+        require(isinstance(mem.get(key), int), f"mem.{key}")
+    require(isinstance(mem.get("alloc_fault_rate"), (int, float)),
+            "mem.alloc_fault_rate")
+    threads = mem.get("threads")
+    require(isinstance(threads, list), "mem.threads")
+    sums = dict.fromkeys(("allocations", "deallocations", "alloc_failures",
+                          "alloc_faults_injected"), 0)
+    tids = set()
+    for t in threads:
+        require(isinstance(t.get("tid"), int), "mem.threads[].tid")
+        require(t["tid"] not in tids, f"duplicate thread ledger {t['tid']}")
+        tids.add(t["tid"])
+        for key in sums:
+            require(isinstance(t.get(key), int), f"mem.threads[].{key}")
+            sums[key] += t[key]
+    for key in sums:
+        require(sums[key] == mem[key],
+                f"mem conservation broken: per-thread {key} sum to "
+                f"{sums[key]}, global says {mem[key]}")
+    require(mem["allocations"] - mem["deallocations"] == mem["live_blocks"],
+            "mem conservation broken: allocations - deallocations != "
+            f"live_blocks ({mem['allocations']} - {mem['deallocations']} "
+            f"!= {mem['live_blocks']})")
+    require(mem["alloc_faults_injected"] <= mem["alloc_failures"],
+            "more injected allocation faults than failures")
+    require(mem["cache_blocks_reaped"] <= mem["cache_blocks_stranded"],
+            "more stranded-cache blocks reaped than ever stranded")
+    require(mem["mem_pressure_exits"] <= mem["mem_pressure_onsets"],
+            "more pressure exits than onsets")
+    if not crash_active:
+        for key in ("cache_blocks_stranded", "cache_blocks_reaped"):
+            require(mem[key] == 0,
+                    f"crash injection off but mem.{key} != 0")
+    if not mem_active:
+        # The zero-overhead guard: with no capacity bound (configured or
+        # chaos-injected) and no fault injection, the failure paths must be
+        # provably untaken.
+        for key in ("alloc_failures", "alloc_faults_injected",
+                    "mem_pressure_onsets", "mem_pressure_exits"):
+            require(mem[key] == 0,
+                    f"memory pressure machinery off but mem.{key} != 0")
+        if not chaos_squeeze:
+            require(doc["htm"]["aborts_by_code"].get("alloc-failed", 0) == 0,
+                    "memory pressure machinery off but alloc-failed "
+                    "aborts recorded")
+    if expect_alloc_faults:
+        require(mem["alloc_faults_injected"] > 0,
+                "--expect-alloc-faults: no allocation faults were injected")
+    if expect_mem_squeeze:
+        require(chaos_squeeze,
+                "--expect-mem-squeeze: no mem-squeeze phase was applied")
+        require(mem["mem_pressure_onsets"] > 0,
+                "--expect-mem-squeeze: squeeze never produced a pressure "
+                "onset")
+        require(mem["mem_pressure_exits"] > 0,
+                "--expect-mem-squeeze: pressure never exited after the "
+                "squeeze released")
+
+
 def validate_report(path, expect_faults=False, expect_crashes=False,
                     expect_storms=False, expect_clean_timeline=False,
                     expect_service=False, expect_shed=False,
-                    expect_chaos=False, exact_schema=None):
+                    expect_chaos=False, expect_alloc_faults=False,
+                    expect_mem_squeeze=False, exact_schema=None):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     version = doc.get("schema_version")
@@ -403,6 +554,10 @@ def validate_report(path, expect_faults=False, expect_crashes=False,
     if version >= 8:
         require(isinstance(opts.get("slo_observe"), bool),
                 "options.slo_observe")
+    if version >= 9:
+        require(isinstance(opts.get("mem_limit"), int), "options.mem_limit")
+        require(isinstance(opts.get("alloc_fault_rate"), (int, float)),
+                "options.alloc_fault_rate")
     # The service section is bench_service's alone: present iff this is a
     # service report, and only the v8 schema knows it at all.
     if version >= 8:
@@ -415,21 +570,24 @@ def validate_report(path, expect_faults=False, expect_crashes=False,
                 "--expect-service/--expect-shed/--expect-chaos need a "
                 "v8 bench_service report")
     if "service" in doc:
-        validate_service(doc, expect_service, expect_shed, expect_chaos)
+        validate_service(doc, version, expect_service, expect_shed,
+                         expect_chaos)
     else:
         require(not (expect_service or expect_shed or expect_chaos),
                 "--expect-service/--expect-shed/--expect-chaos need a "
                 "v8 bench_service report")
-    # Chaos phases are the one legitimate way fault/crash counters go hot
-    # while the --fault-rate/--crash-rate options stay 0: a fault-storm
-    # flips the injector's override, a kill phase injects a thread death.
-    # The dormancy guards below must not misread orchestrated chaos as a
+    # Chaos phases are the one legitimate way fault/crash/memory counters
+    # go hot while the --fault-rate/--crash-rate/--mem-limit options stay
+    # 0: a fault-storm flips the injector's override, a kill phase injects
+    # a thread death, a mem-squeeze installs a pool limit override. The
+    # dormancy guards below must not misread orchestrated chaos as a
     # counter leak — but only the kinds that actually fired get a pass.
-    chaos_storm = chaos_kill = False
+    chaos_storm = chaos_kill = chaos_squeeze = False
     for p in doc.get("service", {}).get("phases", []):
         if p.get("onset_ms", -1) >= 0:
             chaos_storm |= p.get("kind") == "fault-storm"
             chaos_kill |= p.get("kind") == "kill"
+            chaos_squeeze |= p.get("kind") == "mem-squeeze"
     htm = doc.get("htm")
     require(isinstance(htm, dict), "htm must be an object")
     htm_keys = ["commits", "aborts", "abort_rate", "lock_fallbacks",
@@ -448,7 +606,7 @@ def validate_report(path, expect_faults=False, expect_crashes=False,
                 "gv5 run performed shared-clock fetch_adds")
     by_code = htm.get("aborts_by_code")
     require(isinstance(by_code, dict), "htm.aborts_by_code must be an object")
-    for code in ABORT_CODES:
+    for code in abort_codes(version):
         require(isinstance(by_code.get(code), int), f"aborts_by_code.{code}")
     require(sum(by_code.values()) == htm["aborts"],
             "aborts_by_code must sum to htm.aborts")
@@ -473,12 +631,28 @@ def validate_report(path, expect_faults=False, expect_crashes=False,
         for key in SIG_KEYS:
             require(htm[key] == 0,
                     f"validation is exact but htm.{key} != 0")
+    # The mem section is part of the v9 schema on EVERY bench (the pool is
+    # always live); earlier schemas must not carry it.
+    if version >= 9:
+        require("mem" in doc, "v9 report is missing the mem section")
+        mem_active = (opts["mem_limit"] != 0 or
+                      opts["alloc_fault_rate"] != 0 or chaos_squeeze)
+        crash_active = (expect_crashes or opts.get("crash_rate", 0) != 0 or
+                        chaos_kill)
+        validate_mem(doc, mem_active, crash_active, expect_alloc_faults,
+                     expect_mem_squeeze, chaos_squeeze)
+    else:
+        require("mem" not in doc,
+                f"v{version} report carries a v9 mem section")
+        require(not (expect_alloc_faults or expect_mem_squeeze),
+                "--expect-alloc-faults/--expect-mem-squeeze need a v9 "
+                "report")
     retry = doc.get("retry")
     require(isinstance(retry, dict), "retry must be an object")
     require(retry.get("policy") in ("cause", "fixed"), "retry.policy")
     by_cause = retry.get("by_cause")
     require(isinstance(by_cause, dict), "retry.by_cause must be an object")
-    for cause in ABORT_CODES:
+    for cause in abort_codes(version):
         entry = by_cause.get(cause)
         require(isinstance(entry, dict), f"retry.by_cause.{cause}")
         for key in ("count", "p50_attempt", "p99_attempt", "max_attempt"):
@@ -585,6 +759,8 @@ def main(argv):
     expect_service = "--expect-service" in args
     expect_shed = "--expect-shed" in args
     expect_chaos = "--expect-chaos" in args
+    expect_alloc_faults = "--expect-alloc-faults" in args
+    expect_mem_squeeze = "--expect-mem-squeeze" in args
     exact_schema = None
     trace_paths = []
     i = 0
@@ -603,6 +779,7 @@ def main(argv):
     report = validate_report(argv[1], expect_faults, expect_crashes,
                              expect_storms, expect_clean_timeline,
                              expect_service, expect_shed, expect_chaos,
+                             expect_alloc_faults, expect_mem_squeeze,
                              exact_schema)
     summary = [f"report ok (bench={report['bench']}, "
                f"commits={report['htm']['commits']}, "
@@ -614,11 +791,20 @@ def main(argv):
         summary.append(f"timeline ok ({tl['windows_total']} windows, "
                        f"{storms} storm onsets, "
                        f"{tl['slo']['violations_total']} SLO violations)")
+    if "mem" in report:
+        mem = report["mem"]
+        summary.append(f"mem ok (allocs={mem['allocations']}, "
+                       f"failures={mem['alloc_failures']}, "
+                       f"injected={mem['alloc_faults_injected']}, "
+                       f"pressure={mem['mem_pressure_onsets']}/"
+                       f"{mem['mem_pressure_exits']})")
     if "service" in report:
         svc = report["service"]
         summary.append(f"service ok (generated={svc['sessions_generated']}, "
                        f"shed={svc['sessions_shed']}, "
+                       f"shed_mem={svc.get('sessions_shed_mem', 0)}, "
                        f"killed={svc['sessions_killed']}, "
+                       f"oom={svc.get('sessions_oom', 0)}, "
                        f"chaos_phases={svc['chaos_phases']})")
     if trace_paths:
         events = validate_trace(trace_paths[0], expect_events)

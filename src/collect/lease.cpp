@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "htm/stats.hpp"
+#include "memory/pool.hpp"
 #include "obs/trace.hpp"
 #include "sched/checkpoint.hpp"
 
@@ -119,6 +120,13 @@ std::size_t CrashTolerantCollect::reap_orphans() {
     htm::local_stats().orphans_reaped++;
     obs::trace_orphan_reap(1, victim_tids[i]);
   }
+  // Capacity phase: dead threads strand more than their handles — their
+  // thread-local pool caches hold freed-but-unreachable blocks (up to a
+  // cache depth per size class per death, a real leak under --crash-rate).
+  // The same survivor-run sweep that recovers handles recovers that
+  // capacity; it also feeds the reclaim probe, so atomic blocks parked in
+  // the kAllocFailed wait see the reap as progress.
+  mem::pool_reap_stranded_caches();
   return reaped;
 }
 

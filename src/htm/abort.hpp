@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <new>
 
 namespace dc::htm {
 
@@ -43,6 +44,14 @@ enum class AbortCode : uint8_t {
   kInterrupt,
   kTlbMiss,
   kSaveRestore,
+  // A pool allocation inside the transaction failed (bounded-capacity mode
+  // or injected allocation fault; memory/pool.hpp). Not spurious — retrying
+  // the identical attempt immediately re-runs the identical allocation
+  // against the same exhausted pool — and not curable by the TLE lock
+  // either (the lock serializes conflicts; it cannot conjure memory). The
+  // cause-aware retry policy backs off waiting for reclamation progress and
+  // escalates to TxnOutOfMemory when none arrives (htm/retry.hpp).
+  kAllocFailed,
   kNumCodes,
 };
 
@@ -61,6 +70,22 @@ constexpr bool is_spurious(AbortCode code) noexcept {
 // algorithm code should use catch(...) only with rethrow.
 struct TxnAbort {
   AbortCode code;
+};
+
+// Caller-visible escalation of kAllocFailed: thrown by the retry loop when
+// a block keeps failing allocation and the pool shows no reclamation
+// progress across the bounded wait (Config::mem.alloc_retry_limit). Unlike
+// TxnAbort this is *meant* to be caught — it derives from std::bad_alloc so
+// existing out-of-memory handling (the service layer's per-session guard,
+// plain `catch (const std::bad_alloc&)`) sees pool exhaustion inside an
+// atomic block exactly like pool exhaustion outside one. It propagates out
+// of htm::atomic() via the non-TxnAbort escape path (the transaction is
+// already destroyed and rolled back when it leaves the retry loop).
+struct TxnOutOfMemory : std::bad_alloc {
+  const char* what() const noexcept override {
+    return "dc::htm: transactional allocation failed with no reclamation "
+           "progress";
+  }
 };
 
 }  // namespace dc::htm

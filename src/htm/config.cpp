@@ -148,6 +148,32 @@ CrashConfig default_crash_config() noexcept {
   return def;
 }
 
+MemConfig default_mem_config() noexcept {
+  // DC_MEM="BYTES" (pool capacity bound), DC_ALLOC_FAULT="RATE" or
+  // "RATE:SEED" (same grammar as DC_FAULT). Unparsable values leave the
+  // pool unbounded / injection off.
+  static const MemConfig def = [] {
+    MemConfig m;
+    if (const char* env = std::getenv("DC_MEM")) {
+      char* end = nullptr;
+      const unsigned long long bytes = std::strtoull(env, &end, 0);
+      if (end != env) m.limit_bytes = bytes;
+    }
+    if (const char* env = std::getenv("DC_ALLOC_FAULT")) {
+      char* end = nullptr;
+      const double rate = std::strtod(env, &end);
+      if (end != env) {
+        m.alloc_fault_rate = rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate);
+        if (*end == ':') {
+          m.alloc_fault_seed = std::strtoull(end + 1, nullptr, 0);
+        }
+      }
+    }
+    return m;
+  }();
+  return def;
+}
+
 Config& config() noexcept {
   static Config cfg;
   return cfg;

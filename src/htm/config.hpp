@@ -135,6 +135,40 @@ struct CrashConfig {
 // variable ("RATE" or "RATE:SEED", e.g. "0.02" or "0.02:7"; read once).
 CrashConfig default_crash_config() noexcept;
 
+// Memory-pressure knobs (memory/pool.hpp, DESIGN.md §15). Defaults: the
+// pool is unbounded and allocation-fault injection is off — the PR-1
+// never-fail contract, byte for byte.
+struct MemConfig {
+  // Bounded-capacity mode: the pool refuses to map new slabs once its OS
+  // footprint would exceed this many bytes (0 = unbounded). Recycled blocks
+  // keep flowing at the cap, so denial is transient backpressure, not a
+  // verdict. Chaos squeezes tighten the cap at runtime via
+  // mem::pool_set_limit_override without touching this value.
+  uint64_t limit_bytes = 0;
+
+  // Probability in [0, 1] that one pool allocation attempt is denied by the
+  // injector (drawn per attempt from a seeded per-thread stream, mixed with
+  // the sched run seed so injected failures replay with a recorded
+  // schedule). Scripted denials (mem::pool_set_alloc_fault_script) are
+  // configured separately and fire regardless of the rate.
+  double alloc_fault_rate = 0.0;
+
+  // Seed of the injector's random stream; mixed with the dense thread id.
+  uint64_t alloc_fault_seed = 0xa110cu;
+
+  // kAllocFailed retry budget (htm/retry.hpp): how many consecutive failed
+  // allocation attempts *without reclamation progress* a block tolerates
+  // before the retry loop escalates to TxnOutOfMemory. Progress (any free
+  // or stranded-cache reap, observed through the reclaim probe) resets the
+  // streak — a waiting block never gives up while memory is coming back.
+  uint32_t alloc_retry_limit = 16;
+};
+
+// Process default: unbounded / injection off, overridable by the DC_MEM
+// environment variable ("BYTES", e.g. "67108864") and DC_ALLOC_FAULT
+// ("RATE" or "RATE:SEED", same grammar as DC_FAULT; both read once).
+MemConfig default_mem_config() noexcept;
+
 struct Config {
   // Maximum number of transactional stores per transaction (unique words
   // written plus explicit charges for stores to private memory, which Rock's
@@ -212,6 +246,10 @@ struct Config {
   // schedules (crash::set_script) and per-thread one-shots
   // (crash::schedule_self) are configured separately.
   CrashConfig crash = default_crash_config();
+
+  // Memory-pressure model: pool capacity bound, allocation-fault injection,
+  // and the kAllocFailed retry budget; see MemConfig and memory/pool.hpp.
+  MemConfig mem = default_mem_config();
 
   // Abort-storm graceful degradation (htm/retry.hpp): each atomic call-site
   // keeps a contention score (+2 per conflict abort, -1 per commit, capped).

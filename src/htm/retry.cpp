@@ -37,6 +37,19 @@ void StormState::register_site(StormState* s) {
 
 }  // namespace detail
 
+namespace {
+std::atomic<ReclaimProbe> g_reclaim_probe{nullptr};
+}  // namespace
+
+void set_reclaim_probe(ReclaimProbe probe) noexcept {
+  g_reclaim_probe.store(probe, std::memory_order_release);
+}
+
+uint64_t reclaim_progress() noexcept {
+  const ReclaimProbe probe = g_reclaim_probe.load(std::memory_order_acquire);
+  return probe != nullptr ? probe() : 0;
+}
+
 void reset_storm_sites() noexcept {
   detail::SiteRegistry& r = detail::site_registry();
   std::lock_guard lock(r.mu);

@@ -15,9 +15,23 @@
 //   explicit         algorithmic  jittered capped backoff   backoff
 //   illegal-access   transient*   jittered capped backoff   backoff
 //   overflow         no           escalate straight to TLE  backoff
+//   alloc-failed     resource     wait for reclamation, then give up (both
+//                                 policies — see below)
 //
 //   (* illegal-access means the transaction read freed memory; the retry
 //      re-reads fresh pointers, so it behaves like a conflict.)
+//
+// alloc-failed is the one cause the TLE lock cannot cure: serializing the
+// block re-runs the same allocation against the same exhausted pool, so
+// escalation would convert an out-of-memory condition into a livelock under
+// the lock. Instead the controller backs off waiting for *reclamation
+// progress* — any block returned to circulation, observed through the
+// reclaim probe the pool registers at startup (set_reclaim_probe; the htm
+// layer never links dc_memory). Progress resets the wait budget;
+// Config::mem.alloc_retry_limit consecutive failures with no progress
+// escalate to a caller-visible TxnOutOfMemory (htm/abort.hpp) instead of
+// TLE. Because this is a correctness matter, not a tuning choice, both
+// retry policies handle it identically.
 //
 // Every abort — spurious included — counts toward the Config::
 // tle_after_aborts backstop, so even a 100% injected fault storm cannot
@@ -48,6 +62,18 @@
 #include "util/backoff.hpp"
 
 namespace dc::htm {
+
+// Reclamation-progress probe for the kAllocFailed wait policy. The pool
+// registers a function returning a monotone counter of blocks returned to
+// circulation (frees + stranded-cache reaps); the retry controller compares
+// successive readings to tell "memory is coming back, keep waiting" from
+// "nothing is moving, give up". Registered once at pool startup — the
+// dependency points memory -> htm, never the reverse (same inversion as the
+// obs counter providers). reclaim_progress() returns 0 while no probe is
+// registered.
+using ReclaimProbe = uint64_t (*)();
+void set_reclaim_probe(ReclaimProbe probe) noexcept;
+uint64_t reclaim_progress() noexcept;
 
 namespace detail {
 
@@ -180,10 +206,16 @@ class RetryController {
     }
   }
 
-  // A speculative attempt aborted with `code`.
-  void on_abort(AbortCode code) noexcept {
+  // A speculative attempt aborted with `code`. Throws TxnOutOfMemory (and
+  // only that) when a kAllocFailed streak exhausts its reclamation-wait
+  // budget — the one exit from the retry loop that is not a commit.
+  void on_abort(AbortCode code) {
     obs::record_retry(static_cast<uint8_t>(code), attempt_);
     ++attempt_;
+    if (code == AbortCode::kAllocFailed) {
+      on_alloc_failed();
+      return;
+    }
     if (code == AbortCode::kConflict && storm_on_) {
       storm_.note_abort(cfg_.storm_enter_score);
     }
@@ -209,10 +241,16 @@ class RetryController {
   }
 
   // An attempt under the lock aborted (explicit abort in lock mode); the
-  // block stays in lock mode and retries after a pause.
-  void on_lock_abort(AbortCode code) noexcept {
+  // block stays in lock mode and retries after a pause. Allocation can fail
+  // under the lock too (the lock cannot conjure memory), so kAllocFailed
+  // takes the same bounded-wait/escalate path as in speculative mode.
+  void on_lock_abort(AbortCode code) {
     obs::record_retry(static_cast<uint8_t>(code), attempt_);
     ++attempt_;
+    if (code == AbortCode::kAllocFailed) {
+      on_alloc_failed();
+      return;
+    }
     backoff_.pause();
   }
 
@@ -230,6 +268,20 @@ class RetryController {
   }
 
  private:
+  // Bounded wait for reclamation: the streak counts consecutive alloc
+  // failures that saw *no* probe movement; any progress re-arms the budget.
+  // Never sets escalated_ — TLE is not an answer to an empty pool.
+  void on_alloc_failed() {
+    const uint64_t progress = reclaim_progress();
+    if (alloc_fail_streak_ == 0 || progress != reclaim_snapshot_) {
+      reclaim_snapshot_ = progress;
+      alloc_fail_streak_ = 1;
+    } else if (++alloc_fail_streak_ > cfg_.mem.alloc_retry_limit) {
+      throw TxnOutOfMemory{};
+    }
+    backoff_.pause();
+  }
+
   const Config& cfg_;
   StormState& storm_;
   util::Backoff backoff_;
@@ -240,6 +292,8 @@ class RetryController {
   crash::Decision crash_plan_{};
   bool escalated_ = false;
   bool counted_entry_ = false;
+  uint64_t reclaim_snapshot_ = 0;
+  uint32_t alloc_fail_streak_ = 0;
 };
 
 }  // namespace detail

@@ -91,6 +91,8 @@ const char* to_string(AbortCode code) noexcept {
       return "tlb-miss";
     case AbortCode::kSaveRestore:
       return "save-restore";
+    case AbortCode::kAllocFailed:
+      return "alloc-failed";
     case AbortCode::kNumCodes:
       break;
   }

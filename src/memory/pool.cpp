@@ -8,10 +8,17 @@
 #include <new>
 #include <vector>
 
+#include "htm/config.hpp"
+#include "htm/crash.hpp"
 #include "htm/htm.hpp"
+#include "htm/retry.hpp"
 #include "htm/txn.hpp"
 #include "obs/trace.hpp"
+#include "sched/checkpoint.hpp"
 #include "util/asan.hpp"
+#include "util/relaxed.hpp"
+#include "util/rng.hpp"
+#include "util/thread_id.hpp"
 
 namespace dc::mem {
 
@@ -43,6 +50,34 @@ std::size_t class_bytes(std::size_t cls) noexcept {
   return std::size_t{1} << (cls + kMinClassLog2);
 }
 
+// Per-thread allocation ledger, one slot per dense thread id (recycled ids
+// share a slot across incarnations — the previous owner is gone, so the
+// single-writer contract holds at any instant). Slots are RelaxedCounter
+// cells so the telemetry sampler and the conservation check can read them
+// while workers are hot, and are never freed (retention contract).
+struct ThreadLedger {
+  util::RelaxedCounter allocations;
+  util::RelaxedCounter deallocations;
+  util::RelaxedCounter alloc_failures;
+  util::RelaxedCounter alloc_faults_injected;
+  // Injection addressing: the attempt counter scripts index, advanced only
+  // while injection is enabled (mirrors fault::begin_block).
+  uint64_t alloc_index = 0;
+  util::Xoshiro256 rng{1};
+  bool seeded = false;
+  uint32_t tid = 0;
+};
+
+// A dead thread's cache contents, moved out of its thread_local storage at
+// destruction time so the blocks stay addressable after the OS thread is
+// gone. The record is the *reaper's discovery surface* — nothing returns
+// these blocks to circulation except pool_reap_stranded_caches().
+struct StrandedCache {
+  htm::crash::Token owner;
+  std::vector<void*> lists[kNumClasses];
+  uint64_t blocks = 0;
+};
+
 struct GlobalPool {
   std::mutex mu;
   std::vector<void*> free_lists[kNumClasses];
@@ -51,12 +86,49 @@ struct GlobalPool {
   std::atomic<uint64_t> live_blocks{0};
   std::atomic<uint64_t> allocations{0};
   std::atomic<uint64_t> deallocations{0};
+  std::atomic<uint64_t> alloc_failures{0};
+  std::atomic<uint64_t> alloc_faults_injected{0};
+  std::atomic<uint64_t> cache_blocks_stranded{0};
+  std::atomic<uint64_t> cache_blocks_reaped{0};
+  std::atomic<uint64_t> mem_pressure_onsets{0};
+  std::atomic<uint64_t> mem_pressure_exits{0};
+  // Chaos-time cap (pool_set_limit_override); 0 = use Config::mem.
+  std::atomic<uint64_t> limit_override{0};
+  // Pressure flag; transitions only under mu so onset/exit pair up.
+  std::atomic<bool> pressure{false};
+
+  // Ledger registry, indexed by dense thread id. Guarded by ledger_mu for
+  // growth; the slots themselves are single-writer.
+  std::mutex ledger_mu;
+  std::vector<ThreadLedger*> ledgers;
+
+  std::vector<StrandedCache*> stranded;  // guarded by mu
+
+  // Scripted allocation faults (quiescent-set, like fault::set_script).
+  std::vector<ScriptedAllocFault> script;
+  std::atomic<bool> script_active{false};
+
+  uint64_t effective_limit() const noexcept {
+    const uint64_t ov = limit_override.load(std::memory_order_relaxed);
+    return ov != 0 ? ov : htm::config().mem.limit_bytes;
+  }
 
   // Carves a fresh slab into blocks of class `cls` and pushes them onto the
-  // global free list. Caller holds mu.
-  void refill_locked(std::size_t cls) {
+  // global free list, unless the capacity bound forbids the growth. Caller
+  // holds mu. Returns false on a limit denial (and opens a pressure
+  // episode); a successful refill closes one.
+  bool refill_locked(std::size_t cls) {
     const std::size_t bsz = class_bytes(cls);
     const std::size_t slab = bsz > kSlabBytes ? bsz : kSlabBytes;
+    const uint64_t limit = effective_limit();
+    if (limit != 0 &&
+        os_bytes.load(std::memory_order_relaxed) + slab > limit) {
+      if (!pressure.load(std::memory_order_relaxed)) {
+        pressure.store(true, std::memory_order_relaxed);
+        mem_pressure_onsets.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
     // Slabs are aligned to the block size (<= 4 KiB) or to 64 bytes for
     // bigger blocks; 16-byte alignment is all callers rely on.
     void* base = ::operator new(slab, std::align_val_t{64});
@@ -65,20 +137,66 @@ struct GlobalPool {
     for (std::size_t off = 0; off + bsz <= slab; off += bsz) {
       free_lists[cls].push_back(bytes + off);
     }
+    if (pressure.load(std::memory_order_relaxed)) {
+      pressure.store(false, std::memory_order_relaxed);
+      mem_pressure_exits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
   }
 };
 
 GlobalPool& global_pool() noexcept {
   // Leaked intentionally: blocks must stay mapped for the whole process
   // lifetime (sandboxing contract).
-  static GlobalPool* pool = new GlobalPool;
+  static GlobalPool* pool = [] {
+    auto* g = new GlobalPool;
+    // The kAllocFailed retry policy (htm/retry.hpp) waits for "reclamation
+    // progress" before giving up; the htm layer cannot link the pool, so
+    // it observes progress through this probe — any growth in blocks
+    // returned to circulation (frees + stranded-cache reaps).
+    htm::set_reclaim_probe([]() noexcept -> uint64_t {
+      GlobalPool& gp = global_pool();
+      return gp.deallocations.load(std::memory_order_relaxed) +
+             gp.cache_blocks_reaped.load(std::memory_order_relaxed);
+    });
+    return g;
+  }();
   return *pool;
+}
+
+ThreadLedger& ledger() noexcept {
+  thread_local ThreadLedger* mine = nullptr;
+  const uint32_t tid = util::thread_id();
+  // A recycled dense id hands the slot to the new incarnation; the cached
+  // pointer must be re-resolved if this OS thread's id ever changed (it
+  // cannot — ids are per-OS-thread — so the null check suffices).
+  if (mine == nullptr) {
+    GlobalPool& g = global_pool();
+    std::lock_guard lock(g.ledger_mu);
+    if (g.ledgers.size() <= tid) g.ledgers.resize(tid + 1, nullptr);
+    if (g.ledgers[tid] == nullptr) {
+      g.ledgers[tid] = new ThreadLedger;  // retained forever
+      g.ledgers[tid]->tid = tid;
+    }
+    mine = g.ledgers[tid];
+  }
+  return *mine;
 }
 
 struct ThreadCache {
   std::vector<void*> lists[kNumClasses];
 
-  ~ThreadCache() { flush(); }
+  ~ThreadCache() {
+    // A dead thread performs no cleanup: flushing here would be the
+    // simulator cheating on behalf of a thread that, on real hardware,
+    // just stopped. Strand the cache instead and let a survivor-run
+    // reaper recover it (pool_reap_stranded_caches).
+    if (htm::crash::self_dead()) {
+      strand();
+    } else {
+      flush();
+    }
+  }
 
   void flush() noexcept {
     GlobalPool& g = global_pool();
@@ -88,6 +206,24 @@ struct ThreadCache {
       lists[c].clear();
     }
   }
+
+  void strand() noexcept {
+    GlobalPool& g = global_pool();
+    auto* rec = new StrandedCache;  // freed by the reaper
+    rec->owner = htm::crash::self_token();
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      rec->blocks += lists[c].size();
+      rec->lists[c] = std::move(lists[c]);
+    }
+    if (rec->blocks == 0) {
+      delete rec;
+      return;
+    }
+    std::lock_guard lock(g.mu);
+    g.stranded.push_back(rec);
+    g.cache_blocks_stranded.fetch_add(rec->blocks,
+                                      std::memory_order_relaxed);
+  }
 };
 
 ThreadCache& thread_cache() noexcept {
@@ -95,22 +231,68 @@ ThreadCache& thread_cache() noexcept {
   return cache;
 }
 
-}  // namespace
+// Decides whether this allocation attempt is denied by the injector.
+// Mirrors fault::plan: scripted entries match first, then the rate draw;
+// the attempt counter advances only while some injection source is active.
+bool alloc_fault_fires(GlobalPool& g, ThreadLedger& led) {
+  const double rate = htm::config().mem.alloc_fault_rate;
+  const bool scripted = g.script_active.load(std::memory_order_relaxed);
+  if (rate <= 0.0 && !scripted) return false;
+  const uint64_t idx = led.alloc_index++;
+  if (scripted) {
+    std::lock_guard lock(g.ledger_mu);
+    for (const ScriptedAllocFault& e : g.script) {
+      if ((e.tid == kAnyThread || e.tid == led.tid) && e.index == idx) {
+        return true;
+      }
+    }
+  }
+  if (rate <= 0.0) return false;
+  if (!led.seeded) {
+    // Same seed-mixing discipline as fault.cpp: the stream is a pure
+    // function of (seed, tid), plus the sched run seed so injected
+    // failures are part of a recorded schedule and replay with it.
+    const uint64_t seed = htm::config().mem.alloc_fault_seed ^
+                          sched::run_seed() ^
+                          (0x9e3779b97f4a7c15ULL * (led.tid + 1));
+    led.rng = util::Xoshiro256(seed);
+    led.seeded = true;
+  }
+  return led.rng.next_double() < rate;
+}
 
-void* pool_allocate(std::size_t bytes) {
-  assert(!dc::htm::in_transaction() &&
-         "allocation inside a transaction (Rock could not either, §6)");
-  const std::size_t cls = class_of(bytes);
+// The shared allocation core. Returns nullptr on denial (injected fault or
+// limit-gated refill), with all failure accounting done.
+void* allocate_core(std::size_t cls, std::size_t req_bytes,
+                    const char* who) {
   if (cls >= kNumClasses) {
-    std::fprintf(stderr, "pool_allocate: %zu bytes exceeds max class\n",
-                 bytes);
+    std::fprintf(stderr, "%s: %zu bytes exceeds max class\n", who,
+                 req_bytes);
     std::abort();
   }
   GlobalPool& g = global_pool();
+  ThreadLedger& led = ledger();
+  if (alloc_fault_fires(g, led)) {
+    // An injected allocator failure: a schedule decision point, like
+    // kFaultFire — replayed schedules re-fire it at the same step.
+    sched::checkpoint(sched::Kind::kAllocFault);
+    led.alloc_failures++;
+    led.alloc_faults_injected++;
+    g.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    g.alloc_faults_injected.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   ThreadCache& tc = thread_cache();
   if (tc.lists[cls].empty()) {
     std::lock_guard lock(g.mu);
-    if (g.free_lists[cls].empty()) g.refill_locked(cls);
+    if (g.free_lists[cls].empty() && !g.refill_locked(cls)) {
+      // Bounded mode denied the growth; recycled blocks may still arrive,
+      // so this is a transient failure, not a verdict.
+      led.alloc_failures++;
+      g.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+      sched::checkpoint(sched::Kind::kAllocFault);
+      return nullptr;
+    }
     // Move up to half a cache depth in one batch.
     const std::size_t take =
         g.free_lists[cls].size() < kCacheDepth / 2 ? g.free_lists[cls].size()
@@ -126,8 +308,23 @@ void* pool_allocate(std::size_t bytes) {
   g.live_bytes.fetch_add(class_bytes(cls), std::memory_order_relaxed);
   g.live_blocks.fetch_add(1, std::memory_order_relaxed);
   g.allocations.fetch_add(1, std::memory_order_relaxed);
+  led.allocations++;
   obs::trace_pool_event(/*is_alloc=*/true,
                         static_cast<uint32_t>(class_bytes(cls)));
+  return p;
+}
+
+}  // namespace
+
+void* pool_try_allocate(std::size_t bytes) {
+  assert(!dc::htm::in_transaction() &&
+         "allocation inside a transaction (Rock could not either, §6)");
+  return allocate_core(class_of(bytes), bytes, "pool_allocate");
+}
+
+void* pool_allocate(std::size_t bytes) {
+  void* p = pool_try_allocate(bytes);
+  if (p == nullptr) throw PoolExhausted{};
   return p;
 }
 
@@ -156,6 +353,7 @@ void pool_deallocate(void* p, std::size_t bytes) noexcept {
   g.live_bytes.fetch_sub(class_bytes(cls), std::memory_order_relaxed);
   g.live_blocks.fetch_sub(1, std::memory_order_relaxed);
   g.deallocations.fetch_add(1, std::memory_order_relaxed);
+  ledger().deallocations++;
   obs::trace_pool_event(/*is_alloc=*/false,
                         static_cast<uint32_t>(class_bytes(cls)));
 }
@@ -167,33 +365,15 @@ void* pool_allocate_in_txn(dc::htm::Txn& txn, std::size_t bytes) {
   // calling pool_deallocate from it is legal.
   assert(dc::htm::in_transaction() &&
          "use pool_allocate outside transactions");
-  const std::size_t cls = class_of(bytes);
-  if (cls >= kNumClasses) {
-    std::fprintf(stderr, "pool_allocate_in_txn: %zu bytes exceeds max class\n",
-                 bytes);
-    std::abort();
+  void* p = allocate_core(class_of(bytes), bytes, "pool_allocate_in_txn");
+  if (p == nullptr) {
+    // Raise the failure as a first-class abort cause: the retry loop knows
+    // an allocation failure is neither spurious (retry-now is futile until
+    // something frees) nor a conflict (backoff alone cannot help) nor a
+    // capacity overflow (the TLE lock cannot conjure memory) — see the
+    // kAllocFailed policy in htm/retry.hpp.
+    txn.abort(htm::AbortCode::kAllocFailed);
   }
-  GlobalPool& g = global_pool();
-  ThreadCache& tc = thread_cache();
-  if (tc.lists[cls].empty()) {
-    std::lock_guard lock(g.mu);
-    if (g.free_lists[cls].empty()) g.refill_locked(cls);
-    const std::size_t take =
-        g.free_lists[cls].size() < kCacheDepth / 2 ? g.free_lists[cls].size()
-                                                   : kCacheDepth / 2;
-    for (std::size_t i = 0; i < take; ++i) {
-      tc.lists[cls].push_back(g.free_lists[cls].back());
-      g.free_lists[cls].pop_back();
-    }
-  }
-  void* p = tc.lists[cls].back();
-  tc.lists[cls].pop_back();
-  util::asan_unpoison(p, class_bytes(cls));  // recycled block: legal again
-  g.live_bytes.fetch_add(class_bytes(cls), std::memory_order_relaxed);
-  g.live_blocks.fetch_add(1, std::memory_order_relaxed);
-  g.allocations.fetch_add(1, std::memory_order_relaxed);
-  obs::trace_pool_event(/*is_alloc=*/true,
-                        static_cast<uint32_t>(class_bytes(cls)));
   txn.on_abort(
       [](void* block, std::size_t sz) { pool_deallocate(block, sz); }, p,
       bytes);
@@ -208,9 +388,115 @@ PoolStats pool_stats() noexcept {
       g.live_blocks.load(std::memory_order_relaxed),
       g.allocations.load(std::memory_order_relaxed),
       g.deallocations.load(std::memory_order_relaxed),
+      g.effective_limit(),
+      g.alloc_failures.load(std::memory_order_relaxed),
+      g.alloc_faults_injected.load(std::memory_order_relaxed),
+      g.cache_blocks_stranded.load(std::memory_order_relaxed),
+      g.cache_blocks_reaped.load(std::memory_order_relaxed),
+      g.mem_pressure_onsets.load(std::memory_order_relaxed),
+      g.mem_pressure_exits.load(std::memory_order_relaxed),
   };
 }
 
+std::vector<PoolThreadStats> pool_thread_stats() {
+  GlobalPool& g = global_pool();
+  std::lock_guard lock(g.ledger_mu);
+  std::vector<PoolThreadStats> out;
+  out.reserve(g.ledgers.size());
+  for (const ThreadLedger* led : g.ledgers) {
+    if (led == nullptr) continue;
+    out.push_back(PoolThreadStats{led->tid, led->allocations.load(),
+                                  led->deallocations.load(),
+                                  led->alloc_failures.load(),
+                                  led->alloc_faults_injected.load()});
+  }
+  return out;
+}
+
 void pool_flush_thread_cache() noexcept { thread_cache().flush(); }
+
+uint64_t pool_effective_limit() noexcept {
+  return global_pool().effective_limit();
+}
+
+void pool_set_limit_override(uint64_t bytes) noexcept {
+  GlobalPool& g = global_pool();
+  g.limit_override.store(bytes, std::memory_order_relaxed);
+  // Re-evaluate pressure under the new cap, both directions: a squeeze
+  // that removes slab headroom opens the episode at its onset (a recycled
+  // workload may never attempt a refill while capped, yet the pool IS
+  // under pressure — the admission watermark sheds on it), and a release
+  // (or a raise) that restores headroom ends it immediately, so squeeze
+  // MTTR is measured from the release, not from the next incidental
+  // refill.
+  std::lock_guard lock(g.mu);
+  const uint64_t limit = g.effective_limit();
+  const bool headroom =
+      limit == 0 ||
+      g.os_bytes.load(std::memory_order_relaxed) + kSlabBytes <= limit;
+  const bool pressure = g.pressure.load(std::memory_order_relaxed);
+  if (headroom && pressure) {
+    g.pressure.store(false, std::memory_order_relaxed);
+    g.mem_pressure_exits.fetch_add(1, std::memory_order_relaxed);
+  } else if (!headroom && !pressure) {
+    g.pressure.store(true, std::memory_order_relaxed);
+    g.mem_pressure_onsets.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t pool_limit_override() noexcept {
+  return global_pool().limit_override.load(std::memory_order_relaxed);
+}
+
+double pool_utilization() noexcept {
+  GlobalPool& g = global_pool();
+  const uint64_t limit = g.effective_limit();
+  if (limit == 0) return 0.0;
+  return static_cast<double>(g.os_bytes.load(std::memory_order_relaxed)) /
+         static_cast<double>(limit);
+}
+
+bool pool_under_pressure() noexcept {
+  return global_pool().pressure.load(std::memory_order_relaxed);
+}
+
+void pool_set_alloc_fault_script(std::vector<ScriptedAllocFault> script) {
+  GlobalPool& g = global_pool();
+  std::lock_guard lock(g.ledger_mu);
+  g.script = std::move(script);
+  g.script_active.store(!g.script.empty(), std::memory_order_relaxed);
+}
+
+void pool_clear_alloc_fault_script() { pool_set_alloc_fault_script({}); }
+
+void pool_reset_alloc_fault_thread() noexcept {
+  ThreadLedger& led = ledger();
+  led.alloc_index = 0;
+  led.seeded = false;
+}
+
+std::size_t pool_reap_stranded_caches() noexcept {
+  GlobalPool& g = global_pool();
+  std::lock_guard lock(g.mu);
+  std::size_t reclaimed = 0;
+  for (StrandedCache* rec : g.stranded) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      for (void* p : rec->lists[c]) g.free_lists[c].push_back(p);
+    }
+    reclaimed += rec->blocks;
+    delete rec;
+  }
+  g.stranded.clear();
+  if (reclaimed != 0) {
+    g.cache_blocks_reaped.fetch_add(reclaimed, std::memory_order_relaxed);
+  }
+  return reclaimed;
+}
+
+uint64_t pool_stranded_blocks() noexcept {
+  GlobalPool& g = global_pool();
+  return g.cache_blocks_stranded.load(std::memory_order_relaxed) -
+         g.cache_blocks_reaped.load(std::memory_order_relaxed);
+}
 
 }  // namespace dc::mem

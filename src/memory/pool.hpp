@@ -21,12 +21,28 @@
 // unreachable from transactionally-visible shared state, and never from
 // inside a transaction (Rock could not run malloc/free transactionally
 // either, paper §6).
+//
+// Memory pressure (DESIGN.md §15): by default the pool is unbounded and an
+// OS-level out-of-memory still aborts the process (there is nothing useful
+// to do). With a capacity bound (Config::mem.limit_bytes, --mem-limit /
+// DC_MEM) exhaustion becomes a *recoverable* condition instead: the pool
+// refuses to map new slabs past the limit and the allocation FAILS —
+// pool_try_allocate returns nullptr, pool_allocate throws PoolExhausted
+// (a std::bad_alloc), and pool_allocate_in_txn aborts the enclosing
+// transaction with AbortCode::kAllocFailed so the cause-aware retry policy
+// can wait for reclamation (htm/retry.hpp). Recycled blocks keep the pool
+// serviceable at the cap: only growth is denied, never reuse. The same
+// failure paths are exercised without a limit by seeded allocation-fault
+// injection (Config::mem.alloc_fault_rate, --alloc-fault-rate) and by
+// scripted per-allocation schedules, mirroring the fault.* / crash.* tiers.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <type_traits>
+#include <vector>
 
 namespace dc::htm {
 class Txn;
@@ -44,11 +60,62 @@ struct PoolStats {
   uint64_t live_blocks;
   uint64_t allocations;
   uint64_t deallocations;
+  // The capacity bound in force when the snapshot was taken (the chaos
+  // override if one is active, else Config::mem.limit_bytes; 0 = unbounded).
+  uint64_t limit_bytes;
+  // Allocation attempts that failed — limit denials plus injected faults.
+  // Zero whenever bounded mode and injection are both off (the checkable
+  // zero-overhead invariant, like faults_injected / crashes_injected).
+  uint64_t alloc_failures;
+  // The subset of alloc_failures raised by the injector.
+  uint64_t alloc_faults_injected;
+  // Blocks stranded in dead threads' local caches (cumulative; see
+  // pool_reap_stranded_caches) and blocks the reaper recovered from them.
+  // reaped <= stranded always; stranded - reaped is the current leak.
+  uint64_t cache_blocks_stranded;
+  uint64_t cache_blocks_reaped;
+  // Memory-pressure episode edges: a limit denial while not under pressure
+  // opens an episode; the next successful slab refill (or a limit raise
+  // that restores headroom) closes it. The timeline sampler turns these
+  // into mem_pressure_onset / mem_pressure_exit annotations.
+  uint64_t mem_pressure_onsets;
+  uint64_t mem_pressure_exits;
 };
 
-// Allocates `bytes` (rounded up to a size class). Never returns nullptr;
-// aborts the process on out-of-memory (acceptable for a research harness).
-// Must not be called inside a transaction.
+// Per-thread allocation ledger (dense thread id). Kept forever like the
+// TxnStats registry (retention contract, src/htm/stats.hpp): a dead
+// worker's counts must survive into the post-run conservation check. The
+// conservation law the validator re-proves offline: the per-thread
+// allocations/deallocations sum to the pool's global counters, and
+// allocations - deallocations == live_blocks — two independently
+// maintained ledgers that a double free or a stranded-cache miscount
+// would split.
+struct PoolThreadStats {
+  uint32_t tid;
+  uint64_t allocations;
+  uint64_t deallocations;
+  uint64_t alloc_failures;
+  uint64_t alloc_faults_injected;
+};
+
+// The caller-visible bounded-mode failure (only ever thrown when a capacity
+// bound or injection is configured — the unbounded default cannot raise it).
+struct PoolExhausted : std::bad_alloc {
+  const char* what() const noexcept override {
+    return "dc::mem: pool capacity limit reached";
+  }
+};
+
+// Allocates `bytes` (rounded up to a size class), or nullptr when bounded
+// mode denies growth / an injected allocation fault fires. Must not be
+// called inside a transaction. Asking for more than the largest size class
+// is a configuration error and still aborts.
+void* pool_try_allocate(std::size_t bytes);
+
+// Allocates `bytes` (rounded up to a size class). Never returns nullptr:
+// throws PoolExhausted where pool_try_allocate would return nullptr (which
+// requires bounded mode or injection to be on — the unbounded clean path
+// cannot throw). Must not be called inside a transaction.
 void* pool_allocate(std::size_t bytes);
 
 // Returns a block to the pool. `bytes` must be the size passed to
@@ -58,9 +125,80 @@ void pool_deallocate(void* p, std::size_t bytes) noexcept;
 
 PoolStats pool_stats() noexcept;
 
+// Snapshot of every thread ledger (see PoolThreadStats).
+std::vector<PoolThreadStats> pool_thread_stats();
+
 // Drains the calling thread's local caches back to the global pool
 // (used by tests that assert recycling behaviour).
 void pool_flush_thread_cache() noexcept;
+
+// ----- Capacity bound ------------------------------------------------------
+
+// The bound currently in force: the runtime override if set, else
+// Config::mem.limit_bytes. 0 = unbounded.
+uint64_t pool_effective_limit() noexcept;
+
+// Runtime limit override for externally-orchestrated memory squeezes.
+// Config::mem.limit_bytes is quiescent-only (like every Config knob); a
+// chaos orchestrator that wants to shrink the effective cap *while workers
+// run* sets the override instead (one atomic, read per refill). 0 clears
+// the override and falls back to the configured limit. Setting it
+// re-evaluates the pressure flag in both directions: a squeeze below the
+// mapped footprint opens an episode at its onset (even if the capped
+// workload never attempts a refill), and clearing (or raising) closes it
+// so a squeeze release shows up as a mem_pressure_exit without waiting
+// for the next refill.
+void pool_set_limit_override(uint64_t bytes) noexcept;
+uint64_t pool_limit_override() noexcept;  // 0 when no override is active
+
+// os_bytes / effective limit, or 0.0 when unbounded. May exceed 1.0 after
+// a squeeze shrank the limit below what is already mapped — exactly the
+// condition admission control sheds on (service layer).
+double pool_utilization() noexcept;
+
+// True between a mem_pressure_onset and its matching exit.
+bool pool_under_pressure() noexcept;
+
+// ----- Allocation-fault injection ------------------------------------------
+
+inline constexpr uint32_t kAnyThread = ~0u;
+
+// One scripted denial: the `index`-th allocation attempt on thread `tid`
+// (counted from the last pool_reset_alloc_fault_thread() there; attempts
+// are numbered only while injection is enabled) fails. Mirrors
+// fault::ScriptedAbort / crash::ScriptedCrash addressing.
+struct ScriptedAllocFault {
+  uint32_t tid = kAnyThread;
+  uint64_t index = 0;
+};
+
+// Installs (replaces) the scripted schedule. Quiescent-only, like
+// fault::set_script. An empty vector clears the script.
+void pool_set_alloc_fault_script(std::vector<ScriptedAllocFault> script);
+void pool_clear_alloc_fault_script();
+
+// Rezeroes the calling thread's allocation-attempt counter and re-seeds its
+// draw stream from the current Config::mem.alloc_fault_seed. Tests call
+// this so scripts can address attempts relative to the test's start.
+void pool_reset_alloc_fault_thread() noexcept;
+
+// ----- Stranded-cache recovery ---------------------------------------------
+//
+// A thread that dies (htm/crash.hpp) strands its local cache: a real dead
+// thread performs no cleanup, so those freed-but-cached blocks are
+// unreachable by every survivor — capacity leaks at up to kCacheDepth
+// blocks per size class per death, forever, under --crash-rate. The pool
+// models this honestly (a dead victim's cache is never flushed back) and
+// routes recovery through the same survivor-run reaper that recovers
+// orphaned Collect handles: CrashTolerantCollect::reap_orphans calls
+// pool_reap_stranded_caches() after its lease pass.
+
+// Returns stranded blocks to the global free lists. Survivor-callable at
+// any time; returns the number of blocks recovered.
+std::size_t pool_reap_stranded_caches() noexcept;
+
+// Blocks currently stranded (cache_blocks_stranded - cache_blocks_reaped).
+uint64_t pool_stranded_blocks() noexcept;
 
 // Typed helpers ------------------------------------------------------------
 
@@ -111,6 +249,10 @@ void destroy(T* p) noexcept {
 //
 // The object is constructed with plain stores (it is private until some
 // committed transaction publishes a pointer to it).
+//
+// Failure raises AbortCode::kAllocFailed through txn.abort(): the retry
+// policy backs off waiting for reclamation progress and escalates to
+// htm::TxnOutOfMemory — never to the TLE lock, which cannot conjure memory.
 void* pool_allocate_in_txn(dc::htm::Txn& txn, std::size_t bytes);
 
 template <class T, class... Args>

@@ -57,6 +57,8 @@ const char* retry_cause_name(uint8_t cause) noexcept {
       return "tlb-miss";
     case 7:
       return "save-restore";
+    case 8:
+      return "alloc-failed";
     default:
       return "?";
   }

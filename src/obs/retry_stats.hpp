@@ -24,7 +24,7 @@ namespace dc::obs {
 
 // Mirror of htm::AbortCode::kNumCodes (keep in sync; asserted in
 // htm/retry.cpp).
-inline constexpr std::size_t kNumRetryCauses = 8;
+inline constexpr std::size_t kNumRetryCauses = 9;
 
 // Human-readable name for a raw abort-cause byte ("conflict", "overflow",
 // "interrupt", ...; "?" when out of range). Mirrors htm::to_string(AbortCode)

@@ -31,6 +31,18 @@ CounterSample diff(const CounterSample& cur, const CounterSample& prev) {
       sub(cur.sig_ring_overflows, prev.sig_ring_overflows);
   d.sessions_shed = sub(cur.sessions_shed, prev.sessions_shed);
   d.chaos_phases = sub(cur.chaos_phases, prev.chaos_phases);
+  d.pool_allocations = sub(cur.pool_allocations, prev.pool_allocations);
+  d.pool_deallocations =
+      sub(cur.pool_deallocations, prev.pool_deallocations);
+  d.pool_os_bytes = sub(cur.pool_os_bytes, prev.pool_os_bytes);
+  d.alloc_failures = sub(cur.alloc_failures, prev.alloc_failures);
+  d.alloc_faults_injected =
+      sub(cur.alloc_faults_injected, prev.alloc_faults_injected);
+  d.pool_caches_reaped = sub(cur.pool_caches_reaped, prev.pool_caches_reaped);
+  d.mem_pressure_onsets =
+      sub(cur.mem_pressure_onsets, prev.mem_pressure_onsets);
+  d.mem_pressure_exits = sub(cur.mem_pressure_exits, prev.mem_pressure_exits);
+  d.sessions_shed_mem = sub(cur.sessions_shed_mem, prev.sessions_shed_mem);
   return d;
 }
 
@@ -89,6 +101,10 @@ void annotate(State& s, const Window& w) {
       {Annotation::kThreadCrash, w.delta.crashes_injected},
       {Annotation::kShedOnset, w.delta.sessions_shed},
       {Annotation::kChaosPhase, w.delta.chaos_phases},
+      {Annotation::kMemPressureOnset, w.delta.mem_pressure_onsets},
+      {Annotation::kMemPressureExit, w.delta.mem_pressure_exits},
+      {Annotation::kMemShedOnset, w.delta.sessions_shed_mem},
+      {Annotation::kAllocFaultBurst, w.delta.alloc_failures},
   };
   for (const Rule& r : rules) {
     if (r.value == 0) continue;
@@ -244,6 +260,14 @@ const char* to_string(Annotation kind) noexcept {
       return "shed_onset";
     case Annotation::kChaosPhase:
       return "chaos_phase";
+    case Annotation::kMemPressureOnset:
+      return "mem_pressure_onset";
+    case Annotation::kMemPressureExit:
+      return "mem_pressure_exit";
+    case Annotation::kMemShedOnset:
+      return "mem_shed_onset";
+    case Annotation::kAllocFaultBurst:
+      return "alloc_fault_burst";
     case Annotation::kNumKinds:
       break;
   }
@@ -471,6 +495,25 @@ bool export_prometheus(const std::string& path) {
       {"dc_sessions_shed_total", "Service sessions shed at admission",
        c.sessions_shed},
       {"dc_chaos_phases_total", "Chaos phases applied", c.chaos_phases},
+      {"dc_pool_allocations_total", "Pool blocks handed out",
+       c.pool_allocations},
+      {"dc_pool_deallocations_total", "Pool blocks returned",
+       c.pool_deallocations},
+      {"dc_pool_os_bytes", "Bytes mapped from the OS for slabs",
+       c.pool_os_bytes},
+      {"dc_alloc_failures_total", "Failed pool allocation attempts",
+       c.alloc_failures},
+      {"dc_alloc_faults_injected_total", "Injected allocation faults",
+       c.alloc_faults_injected},
+      {"dc_pool_caches_reaped_total",
+       "Blocks recovered from dead threads' caches", c.pool_caches_reaped},
+      {"dc_mem_pressure_onsets_total", "Memory-pressure episodes opened",
+       c.mem_pressure_onsets},
+      {"dc_mem_pressure_exits_total", "Memory-pressure episodes closed",
+       c.mem_pressure_exits},
+      {"dc_sessions_shed_mem_total",
+       "Service sessions shed on the pool-utilization watermark",
+       c.sessions_shed_mem},
   };
   for (const Row& r : counters) {
     std::fprintf(f, "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", r.name,

@@ -72,6 +72,21 @@ struct CounterSample {
   // "service" section is present.
   uint64_t sessions_shed = 0;
   uint64_t chaos_phases = 0;
+  // Memory-pressure counters (src/memory pool, PR 10). All monotone —
+  // pool_os_bytes grows only (the pool never unmaps), so it differences
+  // like any other cumulative counter and a window's delta is the bytes
+  // newly mapped inside it. Zero on clean runs (no --mem-limit /
+  // --alloc-fault-rate and no crashes): the validator enforces the
+  // zero-overhead guard both directions.
+  uint64_t pool_allocations = 0;
+  uint64_t pool_deallocations = 0;
+  uint64_t pool_os_bytes = 0;
+  uint64_t alloc_failures = 0;
+  uint64_t alloc_faults_injected = 0;
+  uint64_t pool_caches_reaped = 0;
+  uint64_t mem_pressure_onsets = 0;
+  uint64_t mem_pressure_exits = 0;
+  uint64_t sessions_shed_mem = 0;  // service tier, like sessions_shed
 };
 
 using CounterProvider = CounterSample (*)();
@@ -113,6 +128,14 @@ enum class Annotation : uint8_t {
   kThreadCrash,
   kShedOnset,
   kChaosPhase,
+  // Memory-pressure episode edges (mem_pressure_onset -> the pool's
+  // mem_pressure_onsets counter, mem_pressure_exit -> mem_pressure_exits,
+  // mem_shed_onset -> sessions_shed_mem, alloc_fault_burst ->
+  // alloc_failures) — same exact-decomposition contract as above.
+  kMemPressureOnset,
+  kMemPressureExit,
+  kMemShedOnset,
+  kAllocFaultBurst,
   kNumKinds,
 };
 

@@ -37,6 +37,7 @@ enum class Kind : uint8_t {
   kLeaseStamp,       // CrashTolerantCollect::stamp_lease entry
   kLeaseReap,        // reap_orphans phase boundary
   kYield,            // explicit sched::yield() / Txn::yield_now
+  kAllocFault,       // a pool allocation is about to fail (limit or injected)
   kNumKinds,
 };
 

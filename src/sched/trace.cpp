@@ -21,6 +21,7 @@ const char* to_string(Kind k) noexcept {
     case Kind::kLeaseStamp: return "lease_stamp";
     case Kind::kLeaseReap: return "lease_reap";
     case Kind::kYield: return "yield";
+    case Kind::kAllocFault: return "alloc_fault";
     case Kind::kNumKinds: break;
   }
   return "?";
@@ -42,6 +43,7 @@ char kind_code(Kind k) noexcept {
     case Kind::kLeaseStamp: return 'E';
     case Kind::kLeaseReap: return 'P';
     case Kind::kYield: return 'Y';
+    case Kind::kAllocFault: return 'M';
     case Kind::kNumKinds: break;
   }
   return '?';

@@ -43,6 +43,47 @@ struct ArrivalConfig {
   uint64_t seed = 1;
 };
 
+// Session-mix draw: which arrivals are long-tail persistent sessions and
+// how many requests each population issues. Split out of the service so
+// the mix is a reusable, seeded, deterministic process like the arrival
+// gaps themselves — a given (fraction, seed) marks the same arrivals
+// persistent on every run. The long tail is what makes mem-squeeze phases
+// interesting: persistent sessions hold Collect handles (and therefore
+// pool blocks) across many think-time gaps, so pool footprint and sweep
+// cost grow with dwell, not just with arrival rate. Configured from the
+// CLI as --longtail FRAC:DWELL (fraction of arrivals; requests each such
+// session issues before deregistering).
+struct SessionMixConfig {
+  double longtail_fraction = 0.01;  // share of arrivals that are persistent
+  uint32_t short_requests = 4;      // Updates per short-lived session
+  uint32_t longtail_requests = 64;  // Updates per persistent session
+  uint64_t seed = 1;
+};
+
+class SessionMix {
+ public:
+  explicit SessionMix(const SessionMixConfig& cfg) noexcept
+      : cfg_(cfg), rng_(cfg.seed ^ 0x5e55104e5e55104eULL) {}
+
+  struct Draw {
+    bool persistent = false;
+    uint32_t requests = 1;
+  };
+
+  // The mix decision for the next arrival. Deterministic given the seed.
+  Draw next() noexcept {
+    Draw d;
+    d.persistent = rng_.next_double() < cfg_.longtail_fraction;
+    d.requests =
+        d.persistent ? cfg_.longtail_requests : cfg_.short_requests;
+    return d;
+  }
+
+ private:
+  SessionMixConfig cfg_;
+  util::Xoshiro256 rng_;
+};
+
 class ArrivalProcess {
  public:
   explicit ArrivalProcess(const ArrivalConfig& cfg);

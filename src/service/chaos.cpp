@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "htm/fault.hpp"
+#include "memory/pool.hpp"
 #include "service/service.hpp"
 #include "util/cycles.hpp"
 
@@ -25,6 +26,8 @@ const char* to_string(ChaosPhase::Kind k) noexcept {
       return "kill";
     case ChaosPhase::Kind::kRateSpike:
       return "rate-spike";
+    case ChaosPhase::Kind::kMemSqueeze:
+      return "mem-squeeze";
   }
   return "?";
 }
@@ -36,6 +39,26 @@ bool fail(std::string* err, int line_no, const std::string& why) {
     *err = "chaos script line " + std::to_string(line_no) + ": " + why;
   }
   return false;
+}
+
+// "<bytes>", optionally suffixed k/m/g (binary units). Returns false on
+// anything unparsable or zero.
+bool parse_bytes(const std::string& v, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 0);
+  if (end == v.c_str() || n == 0) return false;
+  uint64_t mult = 1;
+  if (*end == 'k' || *end == 'K') {
+    mult = 1ull << 10;
+  } else if (*end == 'm' || *end == 'M') {
+    mult = 1ull << 20;
+  } else if (*end == 'g' || *end == 'G') {
+    mult = 1ull << 30;
+  } else if (*end != '\0') {
+    return false;
+  }
+  *out = n * mult;
+  return true;
 }
 
 bool parse_point(const std::string& v, htm::crash::Point* out) {
@@ -80,11 +103,13 @@ bool parse_script(const std::string& text, std::vector<ChaosPhase>* out,
       p.kind = ChaosPhase::Kind::kKill;
     } else if (verb == "rate-spike") {
       p.kind = ChaosPhase::Kind::kRateSpike;
+    } else if (verb == "mem-squeeze") {
+      p.kind = ChaosPhase::Kind::kMemSqueeze;
     } else {
       return fail(err, line_no, "unknown verb '" + verb + "'");
     }
     bool have_rate = false, have_for = false, have_worker = false,
-         have_spike = false;
+         have_spike = false, have_limit = false;
     while (ls >> tok) {
       const std::size_t eq = tok.find('=');
       if (eq == std::string::npos) {
@@ -124,6 +149,11 @@ bool parse_script(const std::string& text, std::vector<ChaosPhase>* out,
         p.spike = std::atof(val.c_str());
         if (p.spike <= 0.0) return fail(err, line_no, "x= must be > 0");
         have_spike = true;
+      } else if (key == "limit") {
+        if (!parse_bytes(val, &p.limit_bytes)) {
+          return fail(err, line_no, "limit= must be bytes[k|m|g], nonzero");
+        }
+        have_limit = true;
       } else {
         return fail(err, line_no, "unknown key '" + key + "'");
       }
@@ -140,6 +170,11 @@ bool parse_script(const std::string& text, std::vector<ChaosPhase>* out,
       case ChaosPhase::Kind::kRateSpike:
         if (!have_spike || !have_for) {
           return fail(err, line_no, "rate-spike needs x= and for=");
+        }
+        break;
+      case ChaosPhase::Kind::kMemSqueeze:
+        if (!have_limit || !have_for) {
+          return fail(err, line_no, "mem-squeeze needs limit= and for=");
         }
         break;
     }
@@ -165,6 +200,11 @@ bool parse_script(const std::string& text, std::vector<ChaosPhase>* out,
           break;
         case ChaosPhase::Kind::kRateSpike:
           std::snprintf(buf, sizeof buf, " x=%g for=%g", p.spike, p.for_ms);
+          break;
+        case ChaosPhase::Kind::kMemSqueeze:
+          std::snprintf(buf, sizeof buf, " limit=%llu for=%g",
+                        static_cast<unsigned long long>(p.limit_bytes),
+                        p.for_ms);
           break;
       }
       spec += buf;
@@ -218,6 +258,7 @@ void ChaosOrchestrator::stop() {
   // Safety net: whatever the thread was in the middle of, leave the
   // process with no chaos overrides active.
   htm::fault::set_rate_override(-1.0);
+  mem::pool_set_limit_override(0);
   if (svc_ != nullptr) svc_->set_rate_multiplier(1.0);
 }
 
@@ -275,6 +316,9 @@ void ChaosOrchestrator::thread_main() {
         case ChaosPhase::Kind::kRateSpike:
           if (svc_ != nullptr) svc_->set_rate_multiplier(p.spike);
           break;
+        case ChaosPhase::Kind::kMemSqueeze:
+          mem::pool_set_limit_override(p.limit_bytes);
+          break;
       }
       note_chaos_phase();
       const uint64_t base = tl0 != 0 ? tl0 : t0;
@@ -287,6 +331,12 @@ void ChaosOrchestrator::thread_main() {
           break;
         case ChaosPhase::Kind::kRateSpike:
           if (svc_ != nullptr) svc_->set_rate_multiplier(1.0);
+          break;
+        case ChaosPhase::Kind::kMemSqueeze:
+          // Release restores the configured limit; the override setter
+          // also closes any open pressure episode, so MTTR is measured
+          // from the release itself.
+          mem::pool_set_limit_override(0);
           break;
         case ChaosPhase::Kind::kKill:
           break;
@@ -373,7 +423,7 @@ std::vector<PhaseReport> ChaosOrchestrator::reports(
       // A window counts if it overlaps [onset, until): straddling windows
       // are included rather than dropped (10 ms granularity).
       if (w.t_end_ms < r.onset_ms || w.t_start_ms >= until_ms) continue;
-      r.shed_during += w.delta.sessions_shed;
+      r.shed_during += w.delta.sessions_shed + w.delta.sessions_shed_mem;
       if (r.phase.kind == ChaosPhase::Kind::kKill) {
         r.orphans_reaped += w.delta.orphans_reaped;
         if (r.reap_latency_ms < 0.0 && w.delta.orphans_reaped > 0) {

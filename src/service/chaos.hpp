@@ -30,6 +30,14 @@
 //       Multiply the open-loop arrival rate by mult for the window — the
 //       overload phase that exercises admission shedding.
 //
+//   @<ms> mem-squeeze limit=<bytes[k|m|g]> for=<ms>
+//       Shrink the pool's effective capacity bound to `limit` for the
+//       window (mem::pool_set_limit_override), then restore the configured
+//       limit. Models a co-tenant eating the memory budget: allocations
+//       start failing, the kAllocFailed retry path waits for reclamation,
+//       admission control sheds on the utilization watermark (shed_mem),
+//       and after release MTTR measures how fast the SLO is re-attained.
+//
 // Phases execute on a dedicated orchestrator thread; each onset bumps the
 // service chaos_phases counter, which the timeline sampler turns into a
 // `chaos_phase` annotation — so every phase is visible, timestamped, on
@@ -60,7 +68,8 @@ namespace dc::service {
 class Service;
 
 struct ChaosPhase {
-  enum class Kind : uint8_t { kFaultStorm = 0, kKill, kRateSpike };
+  enum class Kind : uint8_t { kFaultStorm = 0, kKill, kRateSpike,
+                              kMemSqueeze };
   Kind kind = Kind::kFaultStorm;
   double at_ms = 0.0;
   double for_ms = 0.0;  // 0 for kill (a point event)
@@ -69,6 +78,7 @@ struct ChaosPhase {
   htm::crash::Point point = htm::crash::Point::kTxnOp;
   uint32_t after_blocks = 1;  // kill deferral (see grammar note above)
   double spike = 1.0;   // rate-spike multiplier
+  uint64_t limit_bytes = 0;  // mem-squeeze cap for the window
   std::string spec;     // the source line, for reports
 };
 

@@ -6,6 +6,7 @@
 
 #include "collect/registry.hpp"
 #include "htm/crash.hpp"
+#include "memory/pool.hpp"
 #include "obs/histogram.hpp"
 #include "obs/obs.hpp"
 #include "util/cycles.hpp"
@@ -21,9 +22,11 @@ namespace {
 struct AtomicCounters {
   std::atomic<uint64_t> generated{0};
   std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> shed_mem{0};
   std::atomic<uint64_t> accepted{0};
   std::atomic<uint64_t> completed{0};
   std::atomic<uint64_t> killed{0};
+  std::atomic<uint64_t> oom{0};
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> worker_deaths{0};
   std::atomic<uint64_t> respawns{0};
@@ -65,9 +68,11 @@ Counters counters() noexcept {
   Counters out;
   out.generated = c.generated.load(std::memory_order_relaxed);
   out.shed = c.shed.load(std::memory_order_relaxed);
+  out.shed_mem = c.shed_mem.load(std::memory_order_relaxed);
   out.accepted = c.accepted.load(std::memory_order_relaxed);
   out.completed = c.completed.load(std::memory_order_relaxed);
   out.killed = c.killed.load(std::memory_order_relaxed);
+  out.oom = c.oom.load(std::memory_order_relaxed);
   out.requests = c.requests.load(std::memory_order_relaxed);
   out.worker_deaths = c.worker_deaths.load(std::memory_order_relaxed);
   out.respawns = c.respawns.load(std::memory_order_relaxed);
@@ -80,9 +85,11 @@ void reset_counters() noexcept {
   AtomicCounters& c = ctrs();
   c.generated.store(0, std::memory_order_relaxed);
   c.shed.store(0, std::memory_order_relaxed);
+  c.shed_mem.store(0, std::memory_order_relaxed);
   c.accepted.store(0, std::memory_order_relaxed);
   c.completed.store(0, std::memory_order_relaxed);
   c.killed.store(0, std::memory_order_relaxed);
+  c.oom.store(0, std::memory_order_relaxed);
   c.requests.store(0, std::memory_order_relaxed);
   c.worker_deaths.store(0, std::memory_order_relaxed);
   c.respawns.store(0, std::memory_order_relaxed);
@@ -150,8 +157,9 @@ void Service::worker_main(uint32_t widx) {
   htm::crash::bind_worker(widx);
   Session s;
   while (queue_.pop(&s)) {
+    bool ok = true;
     const bool survived =
-        htm::crash::run_victim([&] { run_session(s); });
+        htm::crash::run_victim([&] { ok = run_session(s); });
     if (!survived) {
       // The in-flight session dies with its worker; its handle (if
       // registered) is now an orphan the supervisor's reaper recovers.
@@ -160,39 +168,65 @@ void Service::worker_main(uint32_t widx) {
       dead_[widx].store(1, std::memory_order_release);
       return;
     }
-    bump(ctrs().completed);
+    bump(ok ? ctrs().completed : ctrs().oom);
   }
   clean_[widx].store(1, std::memory_order_release);
 }
 
-void Service::run_session(const Session& s) {
+bool Service::run_session(const Session& s) {
   const bool timing = obs::timing_enabled();
   uint64_t intended = s.intended_arrival_cycles;
-  // Latency is charged from the intended instant: queue wait, a stalled
-  // substrate, backlog — all included (coordinated-omission-safe).
-  collect::Handle h = col_->register_handle(s.id);
-  if (timing) {
-    const uint64_t now = util::rdcycles();
-    obs::record_op(obs::OpKind::kRegister, now > intended ? now - intended : 0);
-  }
-  for (uint32_t r = 0; r < s.requests; ++r) {
-    intended += s.think_cycles;
-    wait_until_cycle(intended);
-    col_->update(h, (s.id << 8) | r);
-    bump(ctrs().requests);
+  collect::Handle h = nullptr;
+  bool registered = false;
+  // Pool exhaustion surfaces here as std::bad_alloc: PoolExhausted from
+  // Register's out-of-transaction node allocation, or TxnOutOfMemory when
+  // an atomic block gave up after the bounded reclamation wait. Either way
+  // the *session* ends (best-effort DeRegister so its handle is not leaked
+  // capacity), the worker lives on, and the caller counts it oom — memory
+  // pressure degrades throughput, never kills the process.
+  try {
+    // Latency is charged from the intended instant: queue wait, a stalled
+    // substrate, backlog — all included (coordinated-omission-safe).
+    h = col_->register_handle(s.id);
+    registered = true;
     if (timing) {
       const uint64_t now = util::rdcycles();
-      obs::record_op(obs::OpKind::kUpdate, now > intended ? now - intended : 0);
+      obs::record_op(obs::OpKind::kRegister,
+                     now > intended ? now - intended : 0);
     }
+    for (uint32_t r = 0; r < s.requests; ++r) {
+      intended += s.think_cycles;
+      wait_until_cycle(intended);
+      col_->update(h, (s.id << 8) | r);
+      bump(ctrs().requests);
+      if (timing) {
+        const uint64_t now = util::rdcycles();
+        obs::record_op(obs::OpKind::kUpdate,
+                       now > intended ? now - intended : 0);
+      }
+    }
+    intended += s.think_cycles;
+    wait_until_cycle(intended);
+    col_->deregister(h);
+    registered = false;
+    if (timing) {
+      const uint64_t now = util::rdcycles();
+      obs::record_op(obs::OpKind::kDeRegister,
+                     now > intended ? now - intended : 0);
+    }
+  } catch (const std::bad_alloc&) {
+    if (registered) {
+      // DeRegister frees memory on every algorithm (that is its job), but
+      // its atomic block can still die on an *injected* allocation fault;
+      // leaving the handle to the lease reaper is the correct fallback.
+      try {
+        col_->deregister(h);
+      } catch (const std::bad_alloc&) {
+      }
+    }
+    return false;
   }
-  intended += s.think_cycles;
-  wait_until_cycle(intended);
-  col_->deregister(h);
-  if (timing) {
-    const uint64_t now = util::rdcycles();
-    obs::record_op(obs::OpKind::kDeRegister,
-                   now > intended ? now - intended : 0);
-  }
+  return true;
 }
 
 void Service::supervisor_main() {
@@ -253,7 +287,12 @@ uint64_t Service::run_generator() {
   acfg.burstiness = cfg_.burstiness;
   acfg.seed = cfg_.seed;
   ArrivalProcess arrivals(acfg);
-  util::Xoshiro256 mix(cfg_.seed ^ 0x5e55104e5e55104eULL);
+  SessionMixConfig mcfg;
+  mcfg.longtail_fraction = cfg_.persistent_fraction;
+  mcfg.short_requests = cfg_.short_requests;
+  mcfg.longtail_requests = cfg_.persistent_requests;
+  mcfg.seed = cfg_.seed;
+  SessionMix mix(mcfg);
 
   const uint64_t think_cycles = util::ns_to_cycles(cfg_.think_ns);
   const uint64_t start = util::rdcycles();
@@ -275,12 +314,18 @@ uint64_t Service::run_generator() {
     Session s;
     s.id = ++generated;
     s.intended_arrival_cycles = intended;
-    s.persistent =
-        mix.next_double() < cfg_.persistent_fraction;
-    s.requests = s.persistent ? cfg_.persistent_requests : cfg_.short_requests;
+    const SessionMix::Draw draw = mix.next();
+    s.persistent = draw.persistent;
+    s.requests = draw.requests;
     s.think_cycles = think_cycles;
     bump(ctrs().generated);
-    if (queue_.try_push(s)) {
+    // Memory backpressure precedes the queue: a connect refused on the
+    // pool watermark never occupies a queue slot, and the two shed causes
+    // stay separable in the report (more workers vs. more memory).
+    if (mem::pool_effective_limit() != 0 &&
+        mem::pool_utilization() >= cfg_.mem_shed_watermark) {
+      bump(ctrs().shed_mem);
+    } else if (queue_.try_push(s)) {
       bump(ctrs().accepted);
     } else {
       bump(ctrs().shed);  // refused connect: counted, never silent

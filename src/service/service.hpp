@@ -34,10 +34,20 @@
 // index and reaps the orphaned handles, so "kill worker 3" is survivable
 // and measurable (MTTR, reap latency) rather than fatal.
 //
+// Memory backpressure (PR 10): when the pool runs bounded
+// (--mem-limit / a chaos mem-squeeze override), admission control sheds new
+// connects once pool utilization crosses mem_shed_watermark — counted
+// separately (shed_mem) from queue-full shedding, because the remedies
+// differ (more workers vs. more memory). Admitted sessions that still hit
+// exhaustion (PoolExhausted outside a transaction, TxnOutOfMemory after the
+// retry policy's bounded reclamation wait) end early with a best-effort
+// DeRegister and are counted `oom` — a shed *session*, never a dead
+// process.
+//
 // Accounting is conservation-checked end to end (validator-enforced in the
-// v8 report schema):
-//     generated == accepted + shed
-//     accepted  == completed + killed
+// v9 report schema):
+//     generated == accepted + shed + shed_mem
+//     accepted  == completed + killed + oom
 #pragma once
 
 #include <atomic>
@@ -65,6 +75,11 @@ struct ServiceConfig {
   uint32_t persistent_requests = 64;  // Updates per persistent session
   uint64_t think_ns = 20000;          // intended gap between a session's ops
   std::string algorithm = "ListFastCollect";  // inner Collect (registry name)
+  // Admission high watermark on pool utilization (os_bytes / effective
+  // limit): at or above it new connects are shed (shed_mem). Only active
+  // while a capacity bound is in force — unbounded pools have utilization
+  // 0.0 by definition.
+  double mem_shed_watermark = 0.9;
 };
 
 // Cumulative harness counters since reset_counters(). Monotonic,
@@ -74,9 +89,11 @@ struct ServiceConfig {
 struct Counters {
   uint64_t generated = 0;  // arrivals the process produced
   uint64_t shed = 0;       // refused at admission (queue full)
+  uint64_t shed_mem = 0;   // refused at admission (pool watermark)
   uint64_t accepted = 0;   // admitted to the queue
   uint64_t completed = 0;  // ran to DeRegister
   uint64_t killed = 0;     // died with their worker mid-session
+  uint64_t oom = 0;        // ended early on pool exhaustion
   uint64_t requests = 0;   // Updates issued
   uint64_t worker_deaths = 0;
   uint64_t respawns = 0;     // fresh threads onto a dead worker's index
@@ -121,7 +138,8 @@ class Service {
  private:
   void worker_main(uint32_t widx);
   void supervisor_main();
-  void run_session(const Session& s);
+  // False when the session ended early on pool exhaustion (counted oom).
+  bool run_session(const Session& s);
 
   ServiceConfig cfg_;
   std::unique_ptr<collect::CrashTolerantCollect> col_;

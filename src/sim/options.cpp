@@ -40,6 +40,23 @@ Options Options::parse(int argc, char** argv) {
       opts.fault_rate = std::atof(next_value());
     } else if (std::strcmp(arg, "--crash-rate") == 0) {
       opts.crash_rate = std::atof(next_value());
+    } else if (std::strcmp(arg, "--mem-limit") == 0) {
+      const char* v = next_value();
+      char* end = nullptr;
+      unsigned long long bytes = std::strtoull(v, &end, 0);
+      if (*end == 'k' || *end == 'K') {
+        bytes <<= 10;
+      } else if (*end == 'm' || *end == 'M') {
+        bytes <<= 20;
+      } else if (*end == 'g' || *end == 'G') {
+        bytes <<= 30;
+      } else if (*end != '\0' || end == v) {
+        std::fprintf(stderr, "--mem-limit wants BYTES[k|m|g], got %s\n", v);
+        std::exit(2);
+      }
+      opts.mem_limit = bytes;
+    } else if (std::strcmp(arg, "--alloc-fault-rate") == 0) {
+      opts.alloc_fault_rate = std::atof(next_value());
     } else if (std::strcmp(arg, "--sample-interval") == 0) {
       opts.sample_interval_ms = std::atof(next_value());
     } else if (std::strcmp(arg, "--slo") == 0) {
@@ -58,6 +75,21 @@ Options Options::parse(int argc, char** argv) {
       opts.workers = static_cast<uint32_t>(std::atoi(next_value()));
     } else if (std::strcmp(arg, "--queue-capacity") == 0) {
       opts.queue_capacity = static_cast<uint32_t>(std::atoi(next_value()));
+    } else if (std::strcmp(arg, "--longtail") == 0) {
+      const char* v = next_value();
+      char* end = nullptr;
+      const double frac = std::strtod(v, &end);
+      if (end == v || *end != ':' || frac < 0.0 || frac > 1.0) {
+        std::fprintf(stderr, "--longtail wants FRAC:DWELL, got %s\n", v);
+        std::exit(2);
+      }
+      const int dwell = std::atoi(end + 1);
+      if (dwell <= 0) {
+        std::fprintf(stderr, "--longtail DWELL must be positive\n");
+        std::exit(2);
+      }
+      opts.longtail_fraction = frac;
+      opts.longtail_requests = static_cast<uint32_t>(dwell);
     } else if (std::strcmp(arg, "--hist") == 0) {
       opts.hist = true;
     } else if (std::strcmp(arg, "--duration-ms") == 0) {
@@ -82,6 +114,7 @@ Options Options::parse(int argc, char** argv) {
   if (opts.max_threads < 1) opts.max_threads = 1;
   if (opts.fault_rate > 1.0) opts.fault_rate = 1.0;
   if (opts.crash_rate > 1.0) opts.crash_rate = 1.0;
+  if (opts.alloc_fault_rate > 1.0) opts.alloc_fault_rate = 1.0;
   if (opts.arrival_rate < 0.0) opts.arrival_rate = 0.0;
   if (opts.burstiness < 0.0) opts.burstiness = 0.0;
   if (opts.burstiness > 0.95) opts.burstiness = 0.95;
@@ -100,10 +133,11 @@ void Options::print_help(const char* prog) {
   std::printf(
       "usage: %s [--csv] [--json PATH] [--trace PATH] [--clock gv1|gv5] "
       "[--retry cause|fixed] [--validate exact|sig] [--fault-rate P] "
-      "[--crash-rate P] [--sample-interval MS] [--slo SPEC] "
+      "[--crash-rate P] [--mem-limit BYTES[k|m|g]] [--alloc-fault-rate P] "
+      "[--sample-interval MS] [--slo SPEC] "
       "[--metrics-out PATH] [--slo-observe] [--arrival-rate R] "
       "[--burstiness B] [--chaos PATH] [--workers N] [--queue-capacity N] "
-      "[--hist] [--duration-ms N] [--repeats N] "
+      "[--longtail FRAC:DWELL] [--hist] [--duration-ms N] [--repeats N] "
       "[--max-threads N] [--full]\n",
       prog);
 }

@@ -28,6 +28,14 @@
 //                     abandoning the simulated thread without cleanup (0..1,
 //                     default 0 = off); exercises the recoverable TLE lock
 //                     and the lease reaper, never the published figures
+//   --mem-limit BYTES bound the pool's OS footprint: past the limit,
+//                     allocations fail recoverably (PoolExhausted /
+//                     kAllocFailed) instead of growing; 0 (default) =
+//                     unbounded. Suffixes k/m/g accepted
+//   --alloc-fault-rate P  deny a fraction P of pool allocation attempts
+//                     from a seeded per-thread stream (0..1, default 0 =
+//                     off); the memory tier of the fault/crash injection
+//                     family, never the published figures
 //   --sample-interval MS  run the continuous-telemetry sampler
 //                     (obs/timeline.hpp) with tumbling windows of MS
 //                     milliseconds; 0 (the default) spawns no sampler
@@ -55,6 +63,9 @@
 //   --workers N       service worker-pool size (default 0 = bench default)
 //   --queue-capacity N  bounded accept-queue depth; arrivals that find it
 //                     full are shed (counted, never silently dropped)
+//   --longtail FRAC:DWELL  session mix: a fraction FRAC of arrivals are
+//                     persistent sessions issuing DWELL requests before
+//                     deregistering (the rest are short-lived churn)
 #pragma once
 
 #include <cstdint>
@@ -73,6 +84,9 @@ struct Options {
                            // (exact/DC_VALIDATE)
   double fault_rate = -1.0;  // negative = keep the process default (DC_FAULT)
   double crash_rate = -1.0;  // negative = keep the process default (DC_CRASH)
+  // ~0 = keep the process default (DC_MEM); 0 = explicitly unbounded.
+  uint64_t mem_limit = ~0ull;
+  double alloc_fault_rate = -1.0;  // negative = default (DC_ALLOC_FAULT)
   double sample_interval_ms = 0.0;  // 0 = sampler off (no thread spawned)
   std::string slo;          // empty = no SLO targets
   std::string metrics_path; // empty = no Prometheus exposition
@@ -82,6 +96,8 @@ struct Options {
   std::string chaos_path;      // empty = no chaos script
   uint32_t workers = 0;        // service pool size; 0 = bench default
   uint32_t queue_capacity = 0; // accept-queue depth; 0 = bench default
+  double longtail_fraction = -1.0;  // negative = bench default
+  uint32_t longtail_requests = 0;   // 0 = bench default
   bool hist = false;       // per-operation latency histograms
   double duration_ms = 50.0;
   int repeats = 3;

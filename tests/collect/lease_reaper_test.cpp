@@ -15,6 +15,7 @@
 #include "collect/registry.hpp"
 #include "htm/crash.hpp"
 #include "htm/htm.hpp"
+#include "memory/pool.hpp"
 
 namespace dc::collect {
 namespace {
@@ -153,6 +154,40 @@ TEST_F(LeaseReaper, DeathWhileHoldingTheLockStillReapsClean) {
   EXPECT_GE(s.lock_recoveries, 1u);
   EXPECT_EQ(s.orphans_reaped, 2u);
   EXPECT_EQ(htm::nontxn_load(htm::detail::tle_lock_word()), 0u);
+}
+
+TEST_F(LeaseReaper, DeadThreadsLocalCacheIsReapedWithItsHandles) {
+  // A victim churns allocate/free so its local pool cache holds recycled
+  // blocks, then dies. A real dead thread performs no cleanup, so those
+  // blocks are stranded — invisible to every survivor's allocations — until
+  // the same reaper pass that recovers the victim's handles returns them to
+  // the global free lists (lease.cpp calls pool_reap_stranded_caches after
+  // its lease sweep).
+  std::thread victim([&] {
+    htm::crash::reset_thread();
+    const bool survived = htm::crash::run_victim([&] {
+      // Park blocks in the local cache: frees go there, not to the pool.
+      std::vector<void*> blocks;
+      for (int i = 0; i < 32; ++i) blocks.push_back(mem::pool_allocate(64));
+      for (void* p : blocks) mem::pool_deallocate(p, 64);
+      htm::crash::schedule_self(htm::crash::Point::kTxnOp,
+                                /*blocks_from_now=*/1, /*after_ops=*/0);
+      for (uint64_t i = 0;; ++i) {
+        Handle t = col_->register_handle(500 + i);
+        col_->deregister(t);
+      }
+    });
+    EXPECT_FALSE(survived);
+  });
+  victim.join();
+  const uint64_t leak = mem::pool_stranded_blocks();
+  EXPECT_GT(leak, 0u) << "the dead victim's cache must strand, not flush";
+  const auto before = mem::pool_stats();
+  col_->reap_orphans();
+  EXPECT_EQ(mem::pool_stranded_blocks(), 0u);
+  const auto after = mem::pool_stats();
+  EXPECT_EQ(after.cache_blocks_reaped - before.cache_blocks_reaped, leak);
+  EXPECT_LE(after.cache_blocks_reaped, after.cache_blocks_stranded);
 }
 
 TEST_F(LeaseReaper, TwoVictimsOneSurvivorConverges) {

@@ -1,0 +1,323 @@
+// Bounded-capacity mode and allocation-fault injection (DESIGN.md §15): the
+// pool under a capacity bound denies growth but never reuse, pressure
+// episodes open and close symmetrically (refill denial or squeeze onset;
+// refill success or headroom restoration), injected denials are seeded and
+// replayable, and an in-transaction allocation-failure streak escalates to
+// htm::TxnOutOfMemory — never to the TLE lock.
+//
+// All measurements are relative to a pool_stats() snapshot: the pool is
+// process-global and earlier suites in this binary have already mapped
+// slabs and churned counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "htm/htm.hpp"
+#include "memory/pool.hpp"
+#include "util/thread_id.hpp"
+
+namespace dc::mem {
+namespace {
+
+// Mirrors pool.cpp's kSlabBytes (internal): the granularity of pool growth,
+// and therefore of the headroom test the pressure logic applies.
+constexpr uint64_t kSlab = 64 * 1024;
+
+// A block size >= the slab size carves exactly one block per slab, so once
+// the free list is drained every allocation forces a refill — the only way
+// to hit the capacity bound deterministically from a test.
+constexpr std::size_t kBig = 256 * 1024;
+
+class PoolLimit : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::config().tle_after_aborts = 0;
+    pool_set_limit_override(0);
+    pool_clear_alloc_fault_script();
+    pool_reset_alloc_fault_thread();
+    pool_flush_thread_cache();
+    ASSERT_FALSE(pool_under_pressure());
+  }
+  void TearDown() override {
+    pool_set_limit_override(0);
+    pool_clear_alloc_fault_script();
+    htm::config() = saved_;
+    pool_reset_alloc_fault_thread();
+    pool_flush_thread_cache();
+  }
+
+  // Allocates kBig blocks until one forces a fresh slab, leaving the class's
+  // free list empty (recycled stock from earlier tests drained, and the new
+  // slab's single block is the one just handed out).
+  std::vector<void*> occupy_big_class() {
+    std::vector<void*> held;
+    const uint64_t start = pool_stats().os_bytes;
+    while (pool_stats().os_bytes == start) held.push_back(pool_allocate(kBig));
+    return held;
+  }
+
+  static void release(std::vector<void*>& held) {
+    for (void* p : held) pool_deallocate(p, kBig);
+    held.clear();
+    pool_flush_thread_cache();
+  }
+
+  htm::Config saved_;
+};
+
+TEST_F(PoolLimit, CapDeniesGrowthButAllowsRecycle) {
+  std::vector<void*> held = occupy_big_class();
+  const auto before = pool_stats();
+
+  pool_set_limit_override(before.os_bytes);  // zero headroom for any class
+  EXPECT_TRUE(pool_under_pressure());
+  EXPECT_DOUBLE_EQ(pool_utilization(), 1.0);
+  EXPECT_EQ(pool_stats().mem_pressure_onsets, before.mem_pressure_onsets + 1);
+
+  EXPECT_EQ(pool_try_allocate(kBig), nullptr);
+  auto after = pool_stats();
+  EXPECT_EQ(after.os_bytes, before.os_bytes);  // growth denied, not deferred
+  EXPECT_EQ(after.alloc_failures, before.alloc_failures + 1);
+  // A limit denial is not an injected fault.
+  EXPECT_EQ(after.alloc_faults_injected, before.alloc_faults_injected);
+
+  // Recycling keeps the pool serviceable at the cap: free one block and the
+  // next allocation succeeds without growth or another failure.
+  pool_deallocate(held.back(), kBig);
+  held.pop_back();
+  void* again = pool_try_allocate(kBig);
+  ASSERT_NE(again, nullptr);
+  held.push_back(again);
+  after = pool_stats();
+  EXPECT_EQ(after.os_bytes, before.os_bytes);
+  EXPECT_EQ(after.alloc_failures, before.alloc_failures + 1);
+
+  // Clearing the bound restores headroom and closes the episode.
+  pool_set_limit_override(0);
+  EXPECT_FALSE(pool_under_pressure());
+  EXPECT_EQ(pool_stats().mem_pressure_exits, before.mem_pressure_exits + 1);
+  release(held);
+}
+
+TEST_F(PoolLimit, AllocateThrowsPoolExhaustedAtCap) {
+  std::vector<void*> held = occupy_big_class();
+  pool_set_limit_override(pool_stats().os_bytes);
+  EXPECT_THROW(pool_allocate(kBig), PoolExhausted);
+  pool_set_limit_override(0);
+  release(held);
+}
+
+TEST_F(PoolLimit, OverrideSqueezeOpensAndClosesEpisodeWithoutRefills) {
+  // A squeeze below the mapped footprint must open the episode at its own
+  // onset: a fully-recycled workload may never attempt a refill while
+  // capped, yet the squeeze is still memory pressure.
+  //
+  // In a fresh process the pool has no mapped slabs and os_bytes == 0 —
+  // where an override of 0 would mean "cleared", not "squeezed". Map a
+  // footprint first so the squeeze below is a real bound.
+  pool_deallocate(pool_allocate(64), 64);
+  const auto before = pool_stats();
+  ASSERT_GT(before.os_bytes, 0u);
+  pool_set_limit_override(before.os_bytes);
+  EXPECT_TRUE(pool_under_pressure());
+  EXPECT_EQ(pool_stats().mem_pressure_onsets, before.mem_pressure_onsets + 1);
+
+  // Raising the bound back above footprint + one slab closes it.
+  pool_set_limit_override(before.os_bytes + 2 * kSlab);
+  EXPECT_FALSE(pool_under_pressure());
+  EXPECT_EQ(pool_stats().mem_pressure_exits, before.mem_pressure_exits + 1);
+
+  // Re-evaluation is edge-triggered: moving between two satisfied bounds
+  // opens nothing, clearing an already-closed episode closes nothing.
+  pool_set_limit_override(before.os_bytes + 3 * kSlab);
+  pool_set_limit_override(0);
+  const auto after = pool_stats();
+  EXPECT_EQ(after.mem_pressure_onsets, before.mem_pressure_onsets + 1);
+  EXPECT_EQ(after.mem_pressure_exits, before.mem_pressure_exits + 1);
+}
+
+TEST_F(PoolLimit, OverrideTakesPrecedenceOverConfiguredLimit) {
+  htm::config().mem.limit_bytes = 123u << 20;  // far above any test footprint
+  EXPECT_EQ(pool_effective_limit(), 123u << 20);
+  pool_set_limit_override(999u << 20);
+  EXPECT_EQ(pool_limit_override(), 999u << 20);
+  EXPECT_EQ(pool_effective_limit(), 999u << 20);
+  pool_set_limit_override(0);
+  EXPECT_EQ(pool_limit_override(), 0u);
+  EXPECT_EQ(pool_effective_limit(), 123u << 20);
+}
+
+TEST_F(PoolLimit, RateInjectionIsSeededAndDeterministic) {
+  // Warm the class before injection starts so the runs below never refill
+  // (a fresh process would otherwise map its first slab mid-measurement).
+  pool_deallocate(pool_allocate(64), 64);
+  htm::config().mem.alloc_fault_rate = 0.25;
+  auto run = [] {
+    pool_reset_alloc_fault_thread();
+    std::vector<int> failed;
+    for (int i = 0; i < 256; ++i) {
+      void* p = pool_try_allocate(64);
+      if (p == nullptr) {
+        failed.push_back(i);
+      } else {
+        pool_deallocate(p, 64);
+      }
+    }
+    return failed;
+  };
+  const auto before = pool_stats();
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);  // same seed, same thread: same denial pattern
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_LT(first.size(), 256u);
+
+  htm::config().mem.alloc_fault_seed = 0xfeedu;
+  const auto reseeded = run();
+  EXPECT_NE(first, reseeded);
+
+  const auto after = pool_stats();
+  const uint64_t total = first.size() + second.size() + reseeded.size();
+  EXPECT_EQ(after.alloc_faults_injected - before.alloc_faults_injected, total);
+  EXPECT_EQ(after.alloc_failures - before.alloc_failures, total);
+  // Denied attempts hand out nothing and leak nothing.
+  EXPECT_EQ(after.live_blocks, before.live_blocks);
+  EXPECT_EQ(after.os_bytes, before.os_bytes);
+}
+
+TEST_F(PoolLimit, ScriptedFaultFiresAtExactIndex) {
+  pool_set_alloc_fault_script({{kAnyThread, 3}});
+  pool_reset_alloc_fault_thread();
+  const auto before = pool_stats();
+  for (int i = 0; i < 6; ++i) {
+    void* p = pool_try_allocate(64);
+    if (i == 3) {
+      EXPECT_EQ(p, nullptr) << "attempt " << i;
+    } else {
+      ASSERT_NE(p, nullptr) << "attempt " << i;
+      pool_deallocate(p, 64);
+    }
+  }
+  const auto after = pool_stats();
+  EXPECT_EQ(after.alloc_faults_injected, before.alloc_faults_injected + 1);
+  EXPECT_EQ(after.alloc_failures, before.alloc_failures + 1);
+}
+
+TEST_F(PoolLimit, ScriptedFaultTargetsOneThread) {
+  // A script addressed to this thread's dense id must not fire on another.
+  pool_set_alloc_fault_script({{util::thread_id(), 0}});
+  pool_reset_alloc_fault_thread();
+
+  bool other_failed = false;
+  std::thread other([&] {
+    pool_reset_alloc_fault_thread();
+    void* p = pool_try_allocate(64);
+    other_failed = (p == nullptr);
+    if (p != nullptr) pool_deallocate(p, 64);
+    pool_flush_thread_cache();
+  });
+  other.join();
+  EXPECT_FALSE(other_failed);
+
+  EXPECT_EQ(pool_try_allocate(64), nullptr);  // ours fires here
+}
+
+TEST_F(PoolLimit, RetryAfterTransientDenialCommits) {
+  // Two denials, then stock: the cause-aware retry re-runs the block and the
+  // third attempt's allocation commits — no escalation below the budget.
+  pool_set_alloc_fault_script({{kAnyThread, 0}, {kAnyThread, 1}});
+  pool_reset_alloc_fault_thread();
+  const auto before = pool_stats();
+  uint64_t* out = nullptr;
+  htm::atomic([&](htm::Txn& txn) {
+    out = static_cast<uint64_t*>(pool_allocate_in_txn(txn, sizeof(uint64_t)));
+  });
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(pool_stats().live_blocks, before.live_blocks + 1);
+  EXPECT_EQ(pool_stats().alloc_faults_injected,
+            before.alloc_faults_injected + 2);
+  pool_deallocate(out, sizeof(uint64_t));
+}
+
+TEST_F(PoolLimit, AllocFailureStreakEscalatesToTxnOutOfMemory) {
+  // Enough consecutive denials (with no reclamation progress anywhere) to
+  // exhaust the streak budget. TLE is armed on purpose: kAllocFailed must
+  // never escalate to the lock — the lock cannot conjure memory.
+  htm::config().mem.alloc_retry_limit = 3;
+  htm::config().tle_after_aborts = 2;
+  std::vector<ScriptedAllocFault> script;
+  for (uint64_t i = 0; i < 16; ++i) script.push_back({kAnyThread, i});
+  pool_set_alloc_fault_script(std::move(script));
+  pool_reset_alloc_fault_thread();
+
+  const auto before = pool_stats();
+  const uint64_t tle_before = htm::aggregate_stats().tle_entries;
+  bool body_finished = false;
+  EXPECT_THROW(htm::atomic([&](htm::Txn& txn) {
+                 (void)pool_allocate_in_txn(txn, sizeof(uint64_t));
+                 body_finished = true;
+               }),
+               htm::TxnOutOfMemory);
+  EXPECT_FALSE(body_finished);
+  EXPECT_EQ(htm::aggregate_stats().tle_entries, tle_before);
+
+  const auto after = pool_stats();
+  // streak: 1 (re-arms the snapshot), 2, 3, 4 > limit -> throw: 4 denials.
+  EXPECT_EQ(after.alloc_faults_injected, before.alloc_faults_injected + 4);
+  EXPECT_EQ(after.live_blocks, before.live_blocks);  // nothing leaked
+}
+
+TEST_F(PoolLimit, ThreadLedgersSumToGlobalCounters) {
+  // Churn from short-lived threads, then prove the independently maintained
+  // ledgers agree — the conservation law the report validator re-proves
+  // offline from the JSON mem section.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 64; ++i) {
+        void* p = pool_allocate(128);
+        pool_deallocate(p, 128);
+      }
+      pool_flush_thread_cache();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto g = pool_stats();
+  uint64_t alloc = 0, dealloc = 0, failures = 0, injected = 0;
+  for (const auto& t : pool_thread_stats()) {
+    alloc += t.allocations;
+    dealloc += t.deallocations;
+    failures += t.alloc_failures;
+    injected += t.alloc_faults_injected;
+  }
+  EXPECT_EQ(alloc, g.allocations);
+  EXPECT_EQ(dealloc, g.deallocations);
+  EXPECT_EQ(failures, g.alloc_failures);
+  EXPECT_EQ(injected, g.alloc_faults_injected);
+  EXPECT_EQ(g.allocations - g.deallocations, g.live_blocks);
+}
+
+TEST_F(PoolLimit, CleanModeCountersStayZero) {
+  // The zero-overhead invariant, delta form: with no bound and no injection
+  // configured, churn moves none of the bounded-mode counters.
+  const auto before = pool_stats();
+  for (int i = 0; i < 128; ++i) {
+    void* p = pool_allocate(64);
+    pool_deallocate(p, 64);
+  }
+  const auto after = pool_stats();
+  EXPECT_EQ(after.alloc_failures, before.alloc_failures);
+  EXPECT_EQ(after.alloc_faults_injected, before.alloc_faults_injected);
+  EXPECT_EQ(after.mem_pressure_onsets, before.mem_pressure_onsets);
+  EXPECT_EQ(after.mem_pressure_exits, before.mem_pressure_exits);
+  EXPECT_EQ(pool_effective_limit(), 0u);
+  EXPECT_EQ(pool_utilization(), 0.0);
+  EXPECT_FALSE(pool_under_pressure());
+}
+
+}  // namespace
+}  // namespace dc::mem

@@ -1,14 +1,17 @@
 // Validates the two exporter schemas by parsing what they write:
 //  * export_chrome_trace — Chrome trace-event JSON (Perfetto-loadable);
 //  * bench::write_json_report — the versioned --json benchmark report
-//    (schema_version 8: aborts_by_code incl. spurious causes, op_latency_ns
-//    incl. the validate op, conflicts, trace requested/enabled split,
-//    retry/validation policy and fault-rate/crash-rate/sample-interval/slo
-//    options plus the v8 slo_observe flag, robustness counters incl. the
-//    crash triple and the signature-validation triple, per-cause retry
-//    quantiles, and — only when the telemetry sampler ran — the timeline
-//    section, whose shape (incl. the v8 SLO episode ledger and the
-//    shed_onset/chaos_phase annotations) is covered by
+//    (schema_version 9: aborts_by_code incl. spurious causes and the v9
+//    alloc-failed code, op_latency_ns incl. the validate op, conflicts,
+//    trace requested/enabled split, retry/validation policy and
+//    fault-rate/crash-rate/sample-interval/slo options plus the v8
+//    slo_observe flag and the v9 mem_limit/alloc_fault_rate pair,
+//    robustness counters incl. the crash triple and the
+//    signature-validation triple, per-cause retry quantiles, the
+//    always-present v9 `mem` section (global pool accounting plus
+//    per-thread ledgers), and — only when the telemetry sampler ran — the
+//    timeline section, whose shape (incl. the v8 SLO episode ledger and
+//    the shed_onset/chaos_phase/mem_pressure annotations) is covered by
 //    tests/obs/timeline_test.cpp; the v8 `service` section is emitted only
 //    by bench_service and is absent from every other report).
 #include <gtest/gtest.h>
@@ -148,7 +151,7 @@ TEST(OpSummary, QuantilesAreOrderedAndInNanoseconds) {
   EXPECT_EQ(obs::summarize_op(obs::OpKind::kUpdate).count, 0u);
 }
 
-TEST(JsonReport, SchemaV8CarriesObsSections) {
+TEST(JsonReport, SchemaV9CarriesObsSections) {
   obs::reset_histograms();
   obs::reset_conflicts();
   obs::reset_retry_stats();
@@ -176,7 +179,7 @@ TEST(JsonReport, SchemaV8CarriesObsSections) {
   const auto doc = Json::parse(read_file(path));
   ASSERT_TRUE(doc.has_value()) << "report is not valid JSON";
   EXPECT_DOUBLE_EQ(field(*doc, "schema_version", Json::Type::kNumber)->number(),
-                   8.0);
+                   9.0);
   EXPECT_EQ(field(*doc, "bench", Json::Type::kString)->str(), "schema_test");
 
   const Json* options = field(*doc, "options", Json::Type::kObject);
@@ -196,6 +199,11 @@ TEST(JsonReport, SchemaV8CarriesObsSections) {
       0.0);
   EXPECT_EQ(field(*options, "slo", Json::Type::kString)->str(), "");
   EXPECT_FALSE(field(*options, "slo_observe", Json::Type::kBool)->boolean());
+  // v9 memory-tier options: no bound, no injection in this run.
+  EXPECT_DOUBLE_EQ(field(*options, "mem_limit", Json::Type::kNumber)->number(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      field(*options, "alloc_fault_rate", Json::Type::kNumber)->number(), 0.0);
   const std::string validation =
       field(*options, "validation", Json::Type::kString)->str();
   EXPECT_TRUE(validation == "exact" || validation == "sig") << validation;
@@ -226,7 +234,7 @@ TEST(JsonReport, SchemaV8CarriesObsSections) {
   const Json* by_code = field(*htm, "aborts_by_code", Json::Type::kObject);
   for (const char* code :
        {"none", "conflict", "overflow", "explicit", "illegal-access",
-        "interrupt", "tlb-miss", "save-restore"}) {
+        "interrupt", "tlb-miss", "save-restore", "alloc-failed"}) {
     field(*by_code, code, Json::Type::kNumber);
   }
 
@@ -238,7 +246,7 @@ TEST(JsonReport, SchemaV8CarriesObsSections) {
   const Json* by_cause = field(*retry, "by_cause", Json::Type::kObject);
   for (const char* cause :
        {"none", "conflict", "overflow", "explicit", "illegal-access",
-        "interrupt", "tlb-miss", "save-restore"}) {
+        "interrupt", "tlb-miss", "save-restore", "alloc-failed"}) {
     const Json* entry = field(*by_cause, cause, Json::Type::kObject);
     field(*entry, "count", Json::Type::kNumber);
     field(*entry, "p50_attempt", Json::Type::kNumber);
@@ -286,6 +294,38 @@ TEST(JsonReport, SchemaV8CarriesObsSections) {
   EXPECT_FALSE(field(*trace, "requested", Json::Type::kBool)->boolean());
   EXPECT_FALSE(field(*trace, "enabled", Json::Type::kBool)->boolean());
   field(*trace, "events_emitted", Json::Type::kNumber);
+
+  // The v9 mem section is on every report (the pool is always live):
+  // global pool accounting plus one ledger per thread that ever touched
+  // the pool. This run bounded nothing and injected nothing, so the
+  // failure-path counters must be exactly zero and the global ledger must
+  // balance.
+  const Json* mem = field(*doc, "mem", Json::Type::kObject);
+  for (const char* counter :
+       {"limit_bytes", "os_bytes", "live_bytes", "live_blocks",
+        "allocations", "deallocations", "alloc_failures",
+        "alloc_faults_injected", "cache_blocks_stranded",
+        "cache_blocks_reaped", "mem_pressure_onsets", "mem_pressure_exits",
+        "alloc_fault_rate"}) {
+    field(*mem, counter, Json::Type::kNumber);
+  }
+  EXPECT_DOUBLE_EQ(mem->find("alloc_failures")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(mem->find("alloc_faults_injected")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(mem->find("mem_pressure_onsets")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(mem->find("mem_pressure_exits")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(mem->find("allocations")->number() -
+                       mem->find("deallocations")->number(),
+                   mem->find("live_blocks")->number());
+  const Json* threads = field(*mem, "threads", Json::Type::kArray);
+  double thread_allocs = 0.0;
+  for (const Json& t : threads->items()) {
+    field(t, "tid", Json::Type::kNumber);
+    field(t, "deallocations", Json::Type::kNumber);
+    field(t, "alloc_failures", Json::Type::kNumber);
+    field(t, "alloc_faults_injected", Json::Type::kNumber);
+    thread_allocs += field(t, "allocations", Json::Type::kNumber)->number();
+  }
+  EXPECT_DOUBLE_EQ(thread_allocs, mem->find("allocations")->number());
 
   // Sampler never ran: the timeline section must be absent entirely. And
   // this is not a bench_service report, so the v8 service section must be

@@ -31,6 +31,7 @@
 #include "htm/retry.hpp"
 #include "htm/stats.hpp"
 #include "htm/valring.hpp"
+#include "memory/pool.hpp"
 #include "sched/sched.hpp"
 #include "sched/trace.hpp"
 #include "tests/support/sched_harness.hpp"
@@ -368,6 +369,52 @@ RunResult run_regression_workload(const std::string& name, Options o) {
     EXPECT_EQ(htm::sigring::crosscheck_false_negatives().load(), 0u);
     return r;
   }
+  if (name == "regress_alloc_fault_register") {
+    // Scripted allocation denial on each thread's first Register. The
+    // Register allocates its node before the publish transaction (the paper
+    // splits allocation out of atomic blocks), so the denial surfaces as
+    // PoolExhausted and the caller retries — the service-worker pattern.
+    // The kAllocFault checkpoint sits on the denial, so the recorded
+    // schedule replays the failure at the same step; the retried Registers
+    // must commit exactly once and the deregisters must leave the Collect
+    // empty, on whatever schedule is played.
+    collect::MakeParams params;
+    params.static_capacity = 256;
+    params.max_threads = 8;
+    static std::unique_ptr<collect::CrashTolerantCollect> col;
+    col = std::make_unique<collect::CrashTolerantCollect>(
+        collect::make_algorithm("ListFastCollect", params));
+    const auto pool_before = mem::pool_stats();
+    mem::pool_set_alloc_fault_script({{mem::kAnyThread, 0}});
+    auto register_retrying = [](collect::Value v) {
+      for (;;) {
+        try {
+          return col->register_handle(v);
+        } catch (const std::bad_alloc&) {
+        }
+      }
+    };
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([register_retrying] {
+      collect::Handle h = register_retrying(7);
+      col->update(h, 8);
+      col->deregister(h);
+    });
+    bodies.push_back([register_retrying] {
+      collect::Handle h = register_retrying(9);
+      col->deregister(h);
+    });
+    RunResult r = schedtest::run_scheduled(std::move(o), std::move(bodies));
+    mem::pool_clear_alloc_fault_script();
+    EXPECT_EQ(mem::pool_stats().alloc_faults_injected,
+              pool_before.alloc_faults_injected + 2);
+    std::vector<collect::Value> out;
+    col->collect(out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(col->lease_count(), 0u);
+    col.reset();
+    return r;
+  }
   if (name == "regress_dead_holder") {
     htm::config().tle_after_aborts = 2;
     static uint64_t cell;
@@ -443,6 +490,7 @@ TEST_F(SchedSweep, RecordRegressionSchedules) {
       {"regress_conservation_gv1", 3},
       {"regress_conservation_gv5sig", 5},
       {"regress_dead_holder", 7},
+      {"regress_alloc_fault_register", 11},
   };
   std::filesystem::create_directories(dir);
   for (const Spec& s : specs) {

@@ -1,0 +1,156 @@
+// End-to-end memory-pressure recovery (DESIGN.md §15): a scripted
+// mem-squeeze phase drops the pool's capacity bound below the mapped
+// footprint mid-run. The service must shed at admission (counted as
+// shed_mem, never a process abort), the pool must mark the pressure episode
+// at the squeeze's onset and close it at release, and admission must resume
+// once the bound lifts. Allocation-fault injection must surface as counted
+// per-session OOM outcomes under the same conservation laws.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "htm/crash.hpp"
+#include "htm/fault.hpp"
+#include "htm/htm.hpp"
+#include "memory/pool.hpp"
+#include "service/chaos.hpp"
+#include "service/service.hpp"
+
+namespace dc::service {
+namespace {
+
+class MemSqueeze : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = htm::config();
+    htm::crash::reset_all();
+    htm::fault::set_rate_override(-1.0);
+    htm::reset_stats();
+    reset_counters();
+    mem::pool_set_limit_override(0);
+    mem::pool_clear_alloc_fault_script();
+    mem::pool_flush_thread_cache();
+  }
+  void TearDown() override {
+    mem::pool_set_limit_override(0);
+    mem::pool_clear_alloc_fault_script();
+    htm::config() = saved_;
+    htm::crash::reset_all();
+  }
+  htm::Config saved_;
+};
+
+TEST_F(MemSqueeze, SqueezePhaseShedsAtAdmissionAndRecovers) {
+  // Make sure the pool has a nonzero footprint, then squeeze the bound to
+  // 1 KiB — far below it, so utilization is pinned past the admission
+  // watermark for the whole window and every connect in it sheds.
+  mem::pool_deallocate(mem::pool_allocate(64), 64);
+  const auto pool_before = mem::pool_stats();
+  ASSERT_GT(pool_before.os_bytes, 1024u);
+
+  ServiceConfig cfg;
+  cfg.arrival_rate = 2000.0;
+  cfg.workers = 2;
+  cfg.duration_ms = 250.0;
+  Service svc(cfg);
+
+  std::vector<ChaosPhase> phases;
+  std::string err;
+  ASSERT_TRUE(parse_script("@30 mem-squeeze limit=1k for=60\n", &phases, &err))
+      << err;
+  ChaosOrchestrator chaos(phases, &svc);
+
+  // Snapshot the counters shortly after the squeeze window closes, so the
+  // final diff proves admission resumed after the release.
+  Counters mid{};
+  std::thread watcher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(140));
+    mid = counters();
+  });
+
+  svc.start();
+  chaos.start();
+  svc.run_generator();
+  chaos.stop();
+  svc.stop();
+  watcher.join();
+
+  const Counters c = counters();
+  EXPECT_EQ(c.chaos_phases, 1u);
+  EXPECT_GT(c.shed_mem, 0u) << "the squeeze window must shed";
+  EXPECT_GT(c.completed, 0u) << "the service survives the squeeze";
+  EXPECT_EQ(c.generated, c.accepted + c.shed + c.shed_mem);
+  EXPECT_EQ(c.accepted, c.completed + c.killed + c.oom);
+  EXPECT_EQ(c.worker_deaths, 0u) << "backpressure, not casualties";
+  EXPECT_GT(c.accepted, mid.accepted)
+      << "admission must resume once the bound lifts";
+
+  // The pool marked the episode at the squeeze onset and closed it at the
+  // release — and the phase reverted its override.
+  const auto pool_after = mem::pool_stats();
+  EXPECT_GE(pool_after.mem_pressure_onsets, pool_before.mem_pressure_onsets + 1);
+  EXPECT_GE(pool_after.mem_pressure_exits, pool_before.mem_pressure_exits + 1);
+  EXPECT_EQ(pool_after.mem_pressure_onsets - pool_before.mem_pressure_onsets,
+            pool_after.mem_pressure_exits - pool_before.mem_pressure_exits);
+  EXPECT_FALSE(mem::pool_under_pressure());
+  EXPECT_EQ(mem::pool_limit_override(), 0u);
+}
+
+TEST_F(MemSqueeze, AllocFaultsSurfaceAsCountedOomSessions) {
+  // Seeded allocation-fault injection, no capacity bound: denials surface
+  // through the session path as counted OOM outcomes — the process never
+  // aborts and the conservation laws keep holding.
+  htm::config().mem.alloc_fault_rate = 0.1;
+  mem::pool_reset_alloc_fault_thread();
+  const auto pool_before = mem::pool_stats();
+
+  ServiceConfig cfg;
+  cfg.arrival_rate = 2000.0;
+  cfg.workers = 2;
+  cfg.duration_ms = 200.0;
+  Service svc(cfg);
+  svc.start();
+  svc.run_generator();
+  svc.stop();
+
+  const Counters c = counters();
+  const auto pool_after = mem::pool_stats();
+  EXPECT_GT(pool_after.alloc_faults_injected,
+            pool_before.alloc_faults_injected);
+  EXPECT_GT(c.oom, 0u) << "injected denials must be counted";
+  EXPECT_EQ(c.generated, c.accepted + c.shed + c.shed_mem);
+  EXPECT_EQ(c.accepted, c.completed + c.killed + c.oom);
+  EXPECT_GT(c.completed, 0u) << "most sessions still complete at rate 0.1";
+  EXPECT_EQ(c.worker_deaths, 0u);
+}
+
+TEST_F(MemSqueeze, CleanRunMovesNoMemCounters) {
+  // Zero-overhead guard, end to end: an unbounded, injection-free service
+  // run must not move a single bounded-mode counter.
+  const auto pool_before = mem::pool_stats();
+
+  ServiceConfig cfg;
+  cfg.arrival_rate = 2000.0;
+  cfg.workers = 2;
+  cfg.duration_ms = 100.0;
+  Service svc(cfg);
+  svc.start();
+  svc.run_generator();
+  svc.stop();
+
+  const Counters c = counters();
+  const auto pool_after = mem::pool_stats();
+  EXPECT_EQ(c.shed_mem, 0u);
+  EXPECT_EQ(c.oom, 0u);
+  EXPECT_EQ(pool_after.alloc_failures, pool_before.alloc_failures);
+  EXPECT_EQ(pool_after.alloc_faults_injected,
+            pool_before.alloc_faults_injected);
+  EXPECT_EQ(pool_after.mem_pressure_onsets, pool_before.mem_pressure_onsets);
+  EXPECT_EQ(pool_after.mem_pressure_exits, pool_before.mem_pressure_exits);
+}
+
+}  // namespace
+}  // namespace dc::service

@@ -25,6 +25,7 @@
 #include "htm/crash.hpp"
 #include "htm/fault.hpp"
 #include "htm/orec.hpp"
+#include "memory/pool.hpp"
 #include "sched/sched.hpp"
 #include "util/thread_id.hpp"
 
@@ -116,6 +117,7 @@ inline sched::RunResult run_scheduled(
       util::thread_id();  // claim the dense id before the body runs
       htm::fault::reset_thread();
       htm::crash::reset_thread();
+      mem::pool_reset_alloc_fault_thread();
       b();
     });
   }

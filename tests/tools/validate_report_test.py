@@ -275,6 +275,119 @@ def service_v8_report():
     return doc
 
 
+MEM_TL_KEYS = ("pool_allocations", "pool_deallocations", "pool_os_bytes",
+               "alloc_failures", "alloc_faults_injected", "pool_caches_reaped",
+               "mem_pressure_onsets", "mem_pressure_exits",
+               "sessions_shed_mem")
+MEM_ANNOTATIONS = ("mem_pressure_onset", "mem_pressure_exit",
+                   "mem_shed_onset", "alloc_fault_burst")
+
+
+def mem_section(**kw):
+    """An all-dormant mem section whose ledgers balance: one thread did ten
+    allocations and ten frees against one mapped slab."""
+    base = {"limit_bytes": 0, "os_bytes": 65536, "live_bytes": 0,
+            "live_blocks": 0, "allocations": 10, "deallocations": 10,
+            "alloc_failures": 0, "alloc_faults_injected": 0,
+            "cache_blocks_stranded": 0, "cache_blocks_reaped": 0,
+            "mem_pressure_onsets": 0, "mem_pressure_exits": 0,
+            "alloc_fault_rate": 0,
+            "threads": [{"tid": 0, "allocations": 10, "deallocations": 10,
+                         "alloc_failures": 0, "alloc_faults_injected": 0}]}
+    base.update(kw)
+    return base
+
+
+def v9ify(doc):
+    """Upgrades a v8 fixture to the v9 shape: the memory-tier options, the
+    alloc-failed abort code and retry cause, the nine memory counters in
+    every timeline counter block (cumulative pool state rides in the
+    baseline), the widened annotation whitelist, and a dormant mem
+    section. Service-section widening is squeeze/service fixtures' own."""
+    doc["schema_version"] = 9
+    doc["options"]["mem_limit"] = 0
+    doc["options"]["alloc_fault_rate"] = 0
+    doc["htm"]["aborts_by_code"]["alloc-failed"] = 0
+    doc["retry"]["by_cause"]["alloc-failed"] = {
+        "count": 0, "p50_attempt": 0.0, "p99_attempt": 0.0, "max_attempt": 0}
+    doc["mem"] = mem_section()
+    tl = doc.get("timeline")
+    if tl:
+        for blk in [tl["baseline"]] + tl["windows"]:
+            for key in MEM_TL_KEYS:
+                blk.setdefault(key, 0)
+        tl["baseline"]["pool_allocations"] = 10
+        tl["baseline"]["pool_deallocations"] = 10
+        tl["baseline"]["pool_os_bytes"] = 65536
+        for kind in MEM_ANNOTATIONS:
+            tl["annotation_totals"].setdefault(kind, 0)
+    return doc
+
+
+def good_v9_report():
+    return v9ify(good_v8_report())
+
+
+def sampled_v9_report():
+    return v9ify(sampled_v8_report())
+
+
+def injected_v9_report():
+    """A v9 report from an --alloc-fault-rate run: seeded denials were
+    injected and every one was counted as a failure, dormancy waived by
+    the nonzero rate option."""
+    doc = good_v9_report()
+    doc["options"]["alloc_fault_rate"] = 0.05
+    doc["mem"]["alloc_fault_rate"] = 0.05
+    doc["mem"]["alloc_failures"] = 3
+    doc["mem"]["alloc_faults_injected"] = 3
+    doc["mem"]["threads"][0]["alloc_failures"] = 3
+    doc["mem"]["threads"][0]["alloc_faults_injected"] = 3
+    return doc
+
+
+def service_v9_report():
+    doc = v9ify(service_v8_report())
+    doc["service"]["sessions_shed_mem"] = 0
+    doc["service"]["sessions_oom"] = 0
+    return doc
+
+
+def squeeze_v9_report():
+    """A v9 bench_service report whose chaos script also ran a mem-squeeze:
+    five sessions shed on the pool watermark during the squeeze window, one
+    pressure episode opened and closed, everything telescoping through the
+    timeline to the mem and service sections."""
+    doc = service_v9_report()
+    svc = doc["service"]
+    svc["chaos_script"] = "bench/chaos_mem.txt"
+    svc["phases"].append(
+        {"spec": "@30 mem-squeeze limit=460k for=40", "kind": "mem-squeeze",
+         "at_ms": 30, "onset_ms": 30.4, "mttr_ms": 6.0, "shed_during": 5,
+         "orphans_reaped": 0, "reap_latency_ms": -1.0})
+    svc["chaos_phases"] = 3
+    svc["sessions_shed_mem"] = 5
+    svc["sessions_accepted"] = 85
+    svc["sessions_completed"] = 84
+    doc["mem"]["mem_pressure_onsets"] = 1
+    doc["mem"]["mem_pressure_exits"] = 1
+    tl = doc["timeline"]
+    w1 = tl["windows"][1]
+    w1["chaos_phases"] = 1
+    w1["sessions_shed_mem"] = 5
+    w1["mem_pressure_onsets"] = 1
+    w1["mem_pressure_exits"] = 1
+    tl["annotations"] += [
+        {"t_ms": 20.0, "window": 1, "kind": "chaos_phase", "value": 1},
+        {"t_ms": 20.0, "window": 1, "kind": "mem_shed_onset", "value": 5},
+        {"t_ms": 20.0, "window": 1, "kind": "mem_pressure_onset", "value": 1},
+        {"t_ms": 20.0, "window": 1, "kind": "mem_pressure_exit", "value": 1},
+    ]
+    tl["annotation_totals"].update(chaos_phase=3, mem_shed_onset=5,
+                                  mem_pressure_onset=1, mem_pressure_exit=1)
+    return doc
+
+
 def run_validator(validator, doc, flags=()):
     with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False,
                                      encoding="utf-8") as f:
@@ -599,6 +712,131 @@ def main():
            1, ["--expect-service"], "bench_service")
     expect("--expect-chaos on a v7 report", good_v7_report(), 1,
            ["--expect-chaos"], "v8")
+
+    # --- v9: memory-tier schema. ---
+    expect("good v9 unsampled report", good_v9_report(), 0)
+    expect("good v9 sampled report", sampled_v9_report(), 0)
+    expect("v9 exact --schema match", good_v9_report(), 0, ["--schema", "9"])
+    expect("good v9 service report", service_v9_report(), 0,
+           ["--expect-service"])
+    expect("injected v9 with --expect-alloc-faults", injected_v9_report(), 0,
+           ["--expect-alloc-faults"])
+    expect("squeeze v9 with all expect flags", squeeze_v9_report(), 0,
+           ["--expect-service", "--expect-chaos", "--expect-mem-squeeze"])
+
+    bad = good_v9_report()
+    del bad["options"]["mem_limit"]
+    expect("v9 missing options.mem_limit", bad, 1, (), "mem_limit")
+
+    bad = good_v9_report()
+    del bad["options"]["alloc_fault_rate"]
+    expect("v9 missing options.alloc_fault_rate", bad, 1, (),
+           "alloc_fault_rate")
+
+    # The mem section is present iff v9, on every bench.
+    bad = good_v9_report()
+    del bad["mem"]
+    expect("v9 report without a mem section", bad, 1, (), "mem")
+
+    bad = good_v8_report()
+    bad["mem"] = mem_section()
+    expect("v8 report carrying a v9 mem section", bad, 1, (), "mem section")
+
+    bad = good_v9_report()
+    del bad["htm"]["aborts_by_code"]["alloc-failed"]
+    expect("v9 missing the alloc-failed abort code", bad, 1, (),
+           "alloc-failed")
+
+    bad = good_v9_report()
+    del bad["retry"]["by_cause"]["alloc-failed"]
+    expect("v9 missing the alloc-failed retry cause", bad, 1, (),
+           "alloc-failed")
+
+    # The conservation laws that tie the ledgers together.
+    bad = good_v9_report()
+    bad["mem"]["threads"][0]["allocations"] = 9
+    expect("per-thread ledgers do not sum to globals", bad, 1, (),
+           "per-thread")
+
+    bad = good_v9_report()
+    bad["mem"]["live_blocks"] = 1
+    expect("allocations - deallocations != live_blocks", bad, 1, (),
+           "live_blocks")
+
+    bad = injected_v9_report()
+    bad["mem"]["alloc_failures"] = 2
+    bad["mem"]["threads"][0]["alloc_failures"] = 2
+    expect("more injected faults than failures", bad, 1, (), "injected")
+
+    bad = good_v9_report()
+    bad["mem"]["mem_pressure_exits"] = 1
+    bad["mem"]["mem_pressure_onsets"] = 0
+    expect("more pressure exits than onsets", bad, 1, (), "exits")
+
+    # Dormancy guards: clean runs must be provably clean.
+    bad = good_v9_report()
+    bad["mem"]["alloc_failures"] = 1
+    bad["mem"]["threads"][0]["alloc_failures"] = 1
+    expect("bound off but alloc_failures hot", bad, 1, (), "machinery off")
+
+    bad = good_v9_report()
+    bad["htm"]["aborts_by_code"]["alloc-failed"] = 3
+    bad["htm"]["aborts_by_code"]["conflict"] = 0
+    expect("bound off but alloc-failed aborts recorded", bad, 1, (),
+           "alloc-failed")
+
+    bad = good_v9_report()
+    bad["mem"]["cache_blocks_stranded"] = 2
+    bad["mem"]["cache_blocks_reaped"] = 1
+    expect("crash injection off but stranded-cache counters hot", bad, 1, (),
+           "crash injection off")
+
+    # Timeline cross-checks: every counter block carries the memory nine
+    # and they telescope to the mem section.
+    bad = sampled_v9_report()
+    del bad["timeline"]["baseline"]["pool_allocations"]
+    expect("v9 baseline missing a memory counter", bad, 1, (),
+           "pool_allocations")
+
+    bad = sampled_v9_report()
+    bad["timeline"]["windows"][0]["pool_allocations"] = 1
+    expect("timeline pool counters do not telescope to mem", bad, 1, (),
+           "decompose")
+
+    bad = sampled_v9_report()
+    del bad["timeline"]["annotation_totals"]["mem_pressure_onset"]
+    expect("v9 annotation whitelist missing mem_pressure_onset", bad, 1, (),
+           "whitelist")
+
+    # The squeeze fixture's telescoping is load-bearing: break one leg.
+    bad = squeeze_v9_report()
+    bad["timeline"]["windows"][1]["sessions_shed_mem"] = 4
+    expect("timeline shed_mem does not telescope to service", bad, 1, (),
+           "decompose")
+
+    bad = squeeze_v9_report()
+    bad["service"]["sessions_shed_mem"] = 4
+    expect("generated != accepted + shed + shed_mem", bad, 1, (),
+           "conservation")
+
+    bad = squeeze_v9_report()
+    bad["service"]["sessions_oom"] = 1
+    expect("accepted != completed + killed + oom", bad, 1, (),
+           "conservation")
+
+    # A mem-squeeze phase is a v9 concept.
+    bad = service_v8_report()
+    bad["service"]["phases"][2]["kind"] = "mem-squeeze"
+    expect("mem-squeeze phase kind in a v8 report", bad, 1, (), "kind")
+
+    # The expect flags.
+    expect("--expect-alloc-faults on a clean v9 report", good_v9_report(), 1,
+           ["--expect-alloc-faults"], "--expect-alloc-faults")
+    expect("--expect-alloc-faults on a v8 report", good_v8_report(), 1,
+           ["--expect-alloc-faults"], "v9")
+    expect("--expect-mem-squeeze without a squeeze phase",
+           service_v9_report(), 1, ["--expect-mem-squeeze"],
+           "--expect-mem-squeeze")
 
     if failures:
         print("validate_report_test: FAIL", file=sys.stderr)
